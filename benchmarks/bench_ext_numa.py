@@ -1,0 +1,51 @@
+"""Extension — NUMA sensitivity (the paper's Section VII prediction).
+
+"Expected performance improvements in NUMA architectures are higher,
+because of larger differences in communication latencies."  We run the
+same good/bad placements of a pure-pairs workload on the UMA Harpertown
+and on its NUMA variant (chip-crossing transfers 2.5× dearer, remote
+first-touch DRAM fills penalized) and report the mapping improvement on
+each machine.
+"""
+
+from conftest import save_artifact
+
+from repro.machine.simulator import Simulator
+from repro.machine.system import System, SystemConfig, numa_variant
+from repro.machine.topology import harpertown
+from repro.util.render import format_table
+from repro.workloads.synthetic import PhaseShiftWorkload
+
+TOPO = harpertown()
+
+
+def pairs_phases():
+    wl = PhaseShiftWorkload(num_threads=8, seed=3, iterations_per_epoch=8)
+    return [p for p in wl.phases() if ".e0." in p.name]
+
+
+def test_numa_widens_mapping_gains(benchmark, out_dir):
+    good = list(range(8))                      # every pair shares an L2
+    bad = [t // 2 + 4 * (t % 2) for t in range(8)]  # every pair splits chips
+
+    def run():
+        out = {}
+        for label, cfg in (("UMA", SystemConfig()), ("NUMA", numa_variant())):
+            rg = Simulator(System(TOPO, cfg)).run(pairs_phases(), mapping=good)
+            rb = Simulator(System(TOPO, cfg)).run(pairs_phases(), mapping=bad)
+            out[label] = (rg.execution_cycles, rb.execution_cycles)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    improvements = {}
+    for label, (gcyc, bcyc) in results.items():
+        improvements[label] = 1 - gcyc / bcyc
+        rows.append([label, gcyc, bcyc, f"{100 * improvements[label]:.1f}%"])
+    text = format_table(
+        rows, header=["machine", "good-mapping cycles", "bad-mapping cycles",
+                      "improvement"]
+    )
+    save_artifact(out_dir, "ext_numa.txt", text)
+
+    assert improvements["NUMA"] > improvements["UMA"] + 0.05

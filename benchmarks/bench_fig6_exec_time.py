@@ -1,0 +1,34 @@
+"""Figure 6 — execution time normalized to the OS scheduler.
+
+Shape targets (paper Section VI-B): every benchmark runs at least as fast
+under the detected mappings as under the OS scheduler; SP shows the
+largest improvement (paper: −15.3%); the homogeneous benchmarks (CG, EP,
+FT) show essentially none.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments.figures import fig6, figure_data
+
+
+def test_render_fig6(benchmark, suite_results, out_dir):
+    text = benchmark(fig6, suite_results)
+    save_artifact(out_dir, "fig6_exec_time.txt", text)
+    from repro.experiments.figures import figure_svg
+    (out_dir / "fig6_exec_time.svg").write_text(figure_svg(suite_results, 6) + "\n")
+
+    data = figure_data(suite_results, 6)
+
+    # Nobody loses to the OS scheduler (beyond noise).
+    for name, row in data.items():
+        assert row["SM"] < 1.03, (name, row)
+        assert row["HM"] < 1.03, (name, row)
+
+    # SP is the biggest winner, with a double-digit improvement.
+    sm_gains = {name: 1.0 - row["SM"] for name, row in data.items()}
+    assert max(sm_gains, key=sm_gains.get) in ("sp", "lu")
+    assert sm_gains["sp"] > 0.10
+
+    # Homogeneous benchmarks gain (next to) nothing.
+    for name in ("cg", "ep", "ft"):
+        assert abs(1.0 - data[name]["SM"]) < 0.05, (name, data[name])

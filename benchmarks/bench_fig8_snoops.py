@@ -1,0 +1,32 @@
+"""Figure 8 — snoop transactions normalized to the OS scheduler.
+
+Shape targets: MG shows the largest snoop reduction (paper: −65.4%, "MG is
+the benchmark that presented the highest reduction of the number of snoop
+transactions"), the domain benchmarks reduce clearly, the homogeneous
+ones don't.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments.figures import fig8, figure_data
+
+
+def test_render_fig8(benchmark, suite_results, out_dir):
+    text = benchmark(fig8, suite_results)
+    save_artifact(out_dir, "fig8_snoops.txt", text)
+    from repro.experiments.figures import figure_svg
+    (out_dir / "fig8_snoops.svg").write_text(figure_svg(suite_results, 8) + "\n")
+
+    data = figure_data(suite_results, 8)
+    reductions = {name: 1.0 - min(row["SM"], row["HM"])
+                  for name, row in data.items()}
+
+    # MG leads, with a reduction in the paper's ballpark (>50%).
+    assert max(reductions, key=reductions.get) == "mg"
+    assert reductions["mg"] > 0.5
+
+    for name in ("bt", "sp", "lu", "ua"):
+        assert reductions[name] > 0.15, (name, reductions[name])
+
+    for name in ("cg", "ft", "ep"):
+        assert reductions[name] < 0.15, (name, reductions[name])

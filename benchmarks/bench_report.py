@@ -1,0 +1,20 @@
+"""Full reproduction report — every paper value next to ours.
+
+Renders the Markdown report (the basis of EXPERIMENTS.md) from the shared
+suite run and checks the four headline claims reproduce in direction.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments.report import generate_report, headline_comparison
+
+
+def test_generate_report(benchmark, suite_results, out_dir):
+    text = benchmark(generate_report, suite_results)
+    save_artifact(out_dir, "reproduction_report.md", text)
+
+    headlines = headline_comparison(suite_results)
+    assert len(headlines) == 4
+    for key, row in headlines.items():
+        # Every headline reduction reproduces in direction (ours > 0).
+        assert row["measured"] > 0.05, (key, row)

@@ -1,0 +1,54 @@
+"""Table II — cache configuration, plus hierarchy access throughput.
+
+Table II is configuration, not measurement — it is rendered live from the
+Harpertown preset so it cannot drift from the simulated machine.  The
+benchmark measures the cache hierarchy's raw access throughput (the hot
+path of every experiment in this repo).
+"""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.experiments.tables import table2
+from repro.machine.system import System
+from repro.machine.topology import harpertown
+
+
+def test_hierarchy_access_throughput(benchmark):
+    """Throughput of the L1→L2→bus access path on a mixed access stream."""
+    system = System(harpertown())
+    rng = np.random.default_rng(0)
+    addrs = (rng.integers(0, 4096, size=2048) * 64).tolist()
+    writes = (rng.random(2048) < 0.3).tolist()
+    access = system.hierarchy.access
+
+    def run():
+        total = 0
+        for addr, w in zip(addrs, writes):
+            total += access(0, addr, w)
+        return total
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_tlb_translate_throughput(benchmark):
+    """Throughput of the MMU translate path (TLB hit-dominated)."""
+    system = System(harpertown())
+    rng = np.random.default_rng(1)
+    addrs = (rng.integers(0, 32, size=2048) << 12).tolist()
+    translate = system.mmus[0].translate
+
+    def run():
+        total = 0
+        for addr in addrs:
+            total += translate(addr)
+        return total
+
+    benchmark(run)
+
+
+def test_render_table2(benchmark, out_dir):
+    text = benchmark(table2, harpertown())
+    save_artifact(out_dir, "table2_configuration.txt", text)
+    assert "6144 KiB" in text

@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark harness.
+
+The full experiment suite (detection + mapping + performance ensembles for
+all nine NPB kernels) runs **once per pytest session** and is shared by
+every table/figure bench.  Scale and ensemble sizes are tunable via
+environment variables so the same harness serves quick regression runs and
+full reproduction runs:
+
+    REPRO_BENCH_SCALE        workload scale (default 0.4)
+    REPRO_BENCH_OS_RUNS      OS-scheduler ensemble size (default 4)
+    REPRO_BENCH_MAPPED_RUNS  repetitions per SM/HM mapping (default 2)
+
+Rendered tables/figures are also written to ``benchmarks/out/`` so a bench
+run leaves reviewable artifacts behind.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        scale=float(os.environ.get("REPRO_BENCH_SCALE", "0.4")),
+        os_runs=int(os.environ.get("REPRO_BENCH_OS_RUNS", "4")),
+        mapped_runs=int(os.environ.get("REPRO_BENCH_MAPPED_RUNS", "2")),
+        sm_sample_threshold=6,
+        hm_period_cycles=80_000,
+        seed=2012,
+    )
+
+
+@pytest.fixture(scope="session")
+def suite_results():
+    """One full suite run shared by all table/figure benches."""
+    runner = ExperimentRunner(bench_config())
+    return runner.run_suite(verbose=True)
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def save_artifact(out_dir: pathlib.Path, name: str, text: str) -> None:
+    """Write one rendered table/figure and echo it to the console."""
+    path = out_dir / name
+    path.write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n")

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Bring your own application: define a workload, detect, and map it.
+
+Shows the extension surface a downstream user cares about:
+
+* writing a custom :class:`~repro.workloads.base.Workload` (here: a 2-D
+  stencil decomposed over a 4×2 thread grid, so each thread has both a
+  left/right and an up/down partner — a pattern none of the built-ins
+  produce);
+* comparing the SM detector's matrix against the full-trace oracle;
+* seeing which thread pairs the Edmonds mapper co-locates, and what that
+  does to the machine-level counters.
+
+Run:  python examples/custom_workload.py
+"""
+
+import numpy as np
+
+from repro import (
+    DetectorConfig,
+    Simulator,
+    SoftwareManagedDetector,
+    System,
+    SystemConfig,
+    TLBManagement,
+    harpertown,
+    hierarchical_mapping,
+    oracle_matrix,
+    pearson_similarity,
+    random_mapping,
+)
+from repro.mem.address import AddressSpace
+from repro.workloads.access import boundary_pages, sweep
+from repro.workloads.base import AccessStream, Phase, Workload, concat_streams
+
+
+class Stencil2D(Workload):
+    """5-point stencil on a grid decomposed over GRID_W × GRID_H threads.
+
+    Thread (x, y) owns one tile; every iteration it sweeps the tile and
+    reads boundary strips of its horizontal *and* vertical neighbours.
+    The expected communication matrix is the 2-D mesh adjacency — thread
+    t talks to t±1 (same row) and t±GRID_W (same column).
+    """
+
+    name = "stencil2d"
+    pattern_class = "domain"
+    GRID_W, GRID_H = 4, 2
+
+    def __init__(self, num_threads=8, seed=None, iterations=3,
+                 tile_bytes=64 * 1024, halo_bytes=8 * 1024):
+        if num_threads != self.GRID_W * self.GRID_H:
+            raise ValueError("this example uses a fixed 4x2 thread grid")
+        super().__init__(num_threads, seed)
+        self.iterations = iterations
+        self.halo = halo_bytes
+        self.space = AddressSpace()
+        self.tiles = [
+            self.space.allocate(f"tile{t}", tile_bytes)
+            for t in range(num_threads)
+        ]
+
+    def _neighbors(self, t):
+        x, y = t % self.GRID_W, t // self.GRID_W
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nx, ny = x + dx, y + dy
+            if 0 <= nx < self.GRID_W and 0 <= ny < self.GRID_H:
+                yield ny * self.GRID_W + nx
+
+    def generate_phases(self):
+        for it in range(self.iterations):
+            streams = []
+            for t in range(self.num_threads):
+                rng = self.seeds.generator("sweep", it, t)
+                parts = [AccessStream.mixed(sweep(self.tiles[t]), 0.35, rng)]
+                for n in self._neighbors(t):
+                    side = "low" if n > t else "high"
+                    parts.append(AccessStream.reads(
+                        boundary_pages(self.tiles[n], self.halo, side)
+                    ))
+                own = np.concatenate([
+                    boundary_pages(self.tiles[t], self.halo, "low"),
+                    boundary_pages(self.tiles[t], self.halo, "high"),
+                ])
+                parts.append(AccessStream.mixed(own, 0.5, rng))
+                streams.append(concat_streams(parts))
+            yield Phase(f"step{it}", streams)
+
+
+def main() -> None:
+    topology = harpertown()
+
+    # Detect with the SM mechanism.
+    system = System(topology, SystemConfig(tlb_management=TLBManagement.SOFTWARE))
+    detector = SoftwareManagedDetector(8, DetectorConfig(sm_sample_threshold=3))
+    Simulator(system).run(Stencil2D(seed=5), detectors=[detector])
+
+    truth = oracle_matrix(Stencil2D(seed=5))
+    print(detector.matrix.heatmap("SM-detected pattern (4x2 stencil):"))
+    print()
+    print(truth.heatmap("Ground truth (full-trace oracle):"))
+    print(f"\nPearson similarity: "
+          f"{pearson_similarity(detector.matrix, truth):.2f}")
+
+    mapping = hierarchical_mapping(detector.matrix, topology)
+    print(f"\nMapping: {mapping}")
+    for t in range(8):
+        partner = next(
+            (u for u in range(8)
+             if u != t and topology.l2_of_core(mapping[u]) ==
+             topology.l2_of_core(mapping[t])), None)
+        if t < partner:
+            print(f"  threads {t} and {partner} share an L2 "
+                  f"(truth communication: {truth[t, partner]:.0f})")
+
+    mapped = Simulator(System(topology)).run(Stencil2D(seed=5), mapping=mapping)
+    rand = Simulator(System(topology)).run(
+        Stencil2D(seed=5), mapping=random_mapping(8, topology, 1)
+    )
+    print(f"\nMapped vs random placement:")
+    print(f"  cycles        {mapped.execution_cycles:>10,} vs {rand.execution_cycles:>10,}")
+    print(f"  invalidations {mapped.invalidations:>10,} vs {rand.invalidations:>10,}")
+    print(f"  snoops        {mapped.snoop_transactions:>10,} vs {rand.snoop_transactions:>10,}")
+
+
+if __name__ == "__main__":
+    main()

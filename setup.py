@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works on
+offline machines whose setuptools lacks PEP 660 editable support
+(no ``wheel`` package available).
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,120 @@
+"""repro — TLB-based communication detection and thread mapping.
+
+A complete, from-scratch reproduction of *"Using the Translation Lookaside
+Buffer to Map Threads in Parallel Applications Based on Shared Memory"*
+(Cruz, Diener, Navaux — IPDPS 2012): the SM/HM detection mechanisms, the
+Edmonds-matching thread mapper, the multicore TLB+MESI simulator they are
+evaluated on, synthetic NPB trace kernels, and a harness regenerating every
+table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import (
+        ExperimentConfig, ExperimentRunner, SoftwareManagedDetector,
+        Simulator, System, harpertown, hierarchical_mapping, make_npb_workload,
+    )
+
+    system = System(harpertown())
+    workload = make_npb_workload("sp", scale=0.25, seed=1)
+    detector = SoftwareManagedDetector(num_threads=8)
+    Simulator(system).run(workload, detectors=[detector])
+    mapping = hierarchical_mapping(detector.matrix, system.topology)
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.core import (
+    CommunicationMatrix,
+    Detector,
+    DetectorConfig,
+    HardwareManagedDetector,
+    OracleDetector,
+    SoftwareManagedDetector,
+    cosine_similarity,
+    oracle_matrix,
+    pattern_class_of,
+    pearson_similarity,
+)
+from repro.experiments import BenchmarkResult, ExperimentConfig, ExperimentRunner
+from repro.machine import (
+    SimConfig,
+    SimResult,
+    Simulator,
+    System,
+    SystemConfig,
+    Topology,
+    harpertown,
+    multi_level,
+)
+from repro.mapping import (
+    brute_force_mapping,
+    drb_mapping,
+    greedy_mapping,
+    hierarchical_mapping,
+    mapping_cost,
+    max_weight_matching,
+    os_scheduler_mappings,
+    random_mapping,
+    round_robin_mapping,
+)
+from repro.tlb import MMU, TLB, PageTable, TLBConfig, TLBManagement
+from repro.workloads import (
+    AccessStream,
+    NPB_BENCHMARKS,
+    Phase,
+    Workload,
+    make_npb_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core
+    "CommunicationMatrix",
+    "Detector",
+    "DetectorConfig",
+    "HardwareManagedDetector",
+    "OracleDetector",
+    "SoftwareManagedDetector",
+    "cosine_similarity",
+    "oracle_matrix",
+    "pattern_class_of",
+    "pearson_similarity",
+    # experiments
+    "BenchmarkResult",
+    "ExperimentConfig",
+    "ExperimentRunner",
+    # machine
+    "SimConfig",
+    "SimResult",
+    "Simulator",
+    "System",
+    "SystemConfig",
+    "Topology",
+    "harpertown",
+    "multi_level",
+    # mapping
+    "brute_force_mapping",
+    "drb_mapping",
+    "greedy_mapping",
+    "hierarchical_mapping",
+    "mapping_cost",
+    "max_weight_matching",
+    "os_scheduler_mappings",
+    "random_mapping",
+    "round_robin_mapping",
+    # tlb
+    "MMU",
+    "TLB",
+    "PageTable",
+    "TLBConfig",
+    "TLBManagement",
+    # workloads
+    "AccessStream",
+    "NPB_BENCHMARKS",
+    "Phase",
+    "Workload",
+    "make_npb_workload",
+    "__version__",
+]

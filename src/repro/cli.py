@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` — print the machine model (Tables I & II).
+* ``detect`` — run a detection mechanism on an NPB kernel, print the
+  communication heatmap and the derived mapping.
+* ``reproduce`` — run the paper's full protocol on chosen benchmarks and
+  print (or write) the reproduction report.
+* ``record`` / ``replay`` — save a workload's trace to .npz / run a saved
+  trace through the simulator.
+* ``ablate`` — run one of the design-choice sweeps (sampling, HM period,
+  TLB geometry, page size, L2 TLB, mapper comparison) and print the table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.detection import DetectorConfig
+from repro.core.hm_detector import HardwareManagedDetector
+from repro.core.oracle import OracleDetector, oracle_matrix
+from repro.core.sm_detector import SoftwareManagedDetector
+from repro.experiments.config import PAPER_BENCHMARKS, ExperimentConfig
+from repro.experiments.report import generate_report
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.tables import table1, table2
+from repro.machine.simulator import Simulator
+from repro.machine.system import System, SystemConfig
+from repro.machine.topology import harpertown
+from repro.mapping.hierarchical import hierarchical_mapping
+from repro.tlb.mmu import TLBManagement
+from repro.workloads.npb import make_npb_workload
+from repro.workloads.trace import TraceWorkload, save_trace
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TLB-based communication detection and thread mapping "
+                    "(Cruz/Diener/Navaux, IPDPS 2012 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print the machine model (Tables I & II)")
+
+    p = sub.add_parser("detect", help="detect one benchmark's pattern")
+    p.add_argument("benchmark", choices=sorted(PAPER_BENCHMARKS))
+    p.add_argument("--mechanism", choices=("sm", "hm", "oracle"), default="sm")
+    p.add_argument("--scale", type=float, default=0.4)
+    p.add_argument("--seed", type=int, default=2012)
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--sample-threshold", type=int, default=6,
+                   help="SM: search 1 of every N TLB misses")
+    p.add_argument("--scan-period", type=int, default=80_000,
+                   help="HM: cycles between TLB scans")
+
+    p = sub.add_parser("reproduce", help="run the paper's protocol")
+    p.add_argument("benchmarks", nargs="*", default=[],
+                   metavar="BENCH", help="subset (default: all nine)")
+    p.add_argument("--scale", type=float, default=0.4)
+    p.add_argument("--os-runs", type=int, default=4)
+    p.add_argument("--mapped-runs", type=int, default=2)
+    p.add_argument("--seed", type=int, default=2012)
+    p.add_argument("--output", type=str, default=None,
+                   help="write the Markdown report here instead of stdout")
+
+    p = sub.add_parser("record", help="save a benchmark's trace to .npz")
+    p.add_argument("benchmark", choices=sorted(PAPER_BENCHMARKS))
+    p.add_argument("path")
+    p.add_argument("--scale", type=float, default=0.4)
+    p.add_argument("--seed", type=int, default=2012)
+    p.add_argument("--threads", type=int, default=8)
+
+    p = sub.add_parser("replay", help="simulate a saved trace")
+    p.add_argument("path")
+    p.add_argument("--mapping", type=str, default=None,
+                   help="comma-separated thread->core list (default identity)")
+
+    p = sub.add_parser("ablate", help="run one ablation sweep")
+    p.add_argument("sweep", choices=("sm-sampling", "hm-period",
+                                     "tlb-geometry", "page-size", "l2-tlb",
+                                     "mappers"))
+    p.add_argument("--benchmark", default=None,
+                   help="NPB kernel (default: each sweep's canonical one)")
+    p.add_argument("--scale", type=float, default=0.3)
+    p.add_argument("--seed", type=int, default=2012)
+    return parser
+
+
+def _cmd_info() -> int:
+    topo = harpertown()
+    print("Machine (paper Figure 3):")
+    print(topo.describe())
+    print("\nTable I — detection mechanisms:")
+    print(table1(num_cores=topo.num_cores))
+    print("\nTable II — cache configuration:")
+    print(table2(topo))
+    return 0
+
+
+def _cmd_detect(args) -> int:
+    topo = harpertown()
+    wl = make_npb_workload(args.benchmark, num_threads=args.threads,
+                           scale=args.scale, seed=args.seed)
+    cfg = DetectorConfig(sm_sample_threshold=args.sample_threshold,
+                         hm_period_cycles=args.scan_period)
+    if args.mechanism == "oracle":
+        det = OracleDetector(wl, num_threads=args.threads)
+    elif args.mechanism == "sm":
+        det = SoftwareManagedDetector(args.threads, cfg)
+        system = System(topo, SystemConfig(tlb_management=TLBManagement.SOFTWARE))
+        Simulator(system).run(wl, detectors=[det])
+    else:
+        det = HardwareManagedDetector(args.threads, cfg)
+        Simulator(System(topo)).run(wl, detectors=[det])
+    print(det.matrix.heatmap(
+        f"{args.benchmark.upper()} — {args.mechanism.upper()} detection"
+    ))
+    for key, value in det.summary().items():
+        print(f"  {key}: {value}")
+    mapping = hierarchical_mapping(det.matrix, topo)
+    print(f"\nDerived thread -> core mapping: {mapping}")
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    benchmarks = tuple(b.lower() for b in args.benchmarks) or PAPER_BENCHMARKS
+    config = ExperimentConfig(
+        benchmarks=benchmarks,
+        scale=args.scale,
+        os_runs=args.os_runs,
+        mapped_runs=args.mapped_runs,
+        seed=args.seed,
+        sm_sample_threshold=6,
+        hm_period_cycles=80_000,
+    )
+    results = ExperimentRunner(config).run_suite(verbose=True)
+    report = generate_report(results)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(report + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_record(args) -> int:
+    wl = make_npb_workload(args.benchmark, num_threads=args.threads,
+                           scale=args.scale, seed=args.seed)
+    n = save_trace(wl, args.path)
+    print(f"saved {n} phases ({wl.total_accesses()} accesses) to {args.path}")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    wl = TraceWorkload(args.path)
+    mapping = None
+    if args.mapping:
+        mapping = [int(x) for x in args.mapping.split(",")]
+    res = Simulator(System(harpertown())).run(wl, mapping=mapping)
+    print(f"replayed {wl.name}: {res.accesses} accesses")
+    print(f"  execution cycles:   {res.execution_cycles:,}")
+    print(f"  TLB miss rate:      {res.tlb_miss_rate:.3%}")
+    print(f"  invalidations:      {res.invalidations:,}")
+    print(f"  snoop transactions: {res.snoop_transactions:,}")
+    print(f"  L2 misses:          {res.l2_misses:,}")
+    return 0
+
+
+def _cmd_ablate(args) -> int:
+    from repro.experiments import ablations
+    from repro.util.render import format_table
+
+    sweeps = {
+        "sm-sampling": (ablations.sm_sampling_sweep, "sp"),
+        "hm-period": (ablations.hm_period_sweep, "sp"),
+        "tlb-geometry": (ablations.tlb_geometry_sweep, "bt"),
+        "page-size": (ablations.page_size_sweep, "bt"),
+        "l2-tlb": (ablations.l2_tlb_sweep, "sp"),
+    }
+    if args.sweep == "mappers":
+        costs = ablations.mapper_comparison(
+            args.benchmark or "sp", scale=args.scale, seed=args.seed
+        )
+        rows = [[name, f"{cost:.0f}"] for name, cost in
+                sorted(costs.items(), key=lambda kv: kv[1])]
+        print(format_table(rows, header=["mapper", "cost (lower is better)"]))
+        return 0
+    fn, default_bench = sweeps[args.sweep]
+    records = fn(args.benchmark or default_bench, scale=args.scale,
+                 seed=args.seed)
+    header = list(records[0])
+    rows = [[f"{rec[k]:.4g}" if isinstance(rec[k], float) else str(rec[k])
+             for k in header] for rec in records]
+    print(format_table(rows, header=header))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "detect":
+        return _cmd_detect(args)
+    if args.command == "reproduce":
+        return _cmd_reproduce(args)
+    if args.command == "record":
+        return _cmd_record(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    if args.command == "ablate":
+        return _cmd_ablate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

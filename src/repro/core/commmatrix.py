@@ -1,0 +1,175 @@
+"""The communication matrix (Section III-C of the paper).
+
+Communication is tracked only between *pairs* of threads — the paper's
+deliberate Θ(N²) compromise — as a symmetric non-negative matrix whose cell
+``(i, j)`` accumulates detected sharing events between threads ``i`` and
+``j``.  The diagonal is always zero (self-communication is meaningless).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.render import ascii_heatmap
+
+
+class CommunicationMatrix:
+    """Symmetric thread×thread communication-amount accumulator."""
+
+    def __init__(self, num_threads: int):
+        if num_threads < 2:
+            raise ValueError("communication needs at least 2 threads")
+        self.num_threads = num_threads
+        self._m = np.zeros((num_threads, num_threads), dtype=np.float64)
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "CommunicationMatrix":
+        """Wrap an existing square array (symmetrized, diagonal cleared)."""
+        a = np.asarray(array, dtype=np.float64)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValueError(f"expected square array, got shape {a.shape}")
+        if np.any(a < 0):
+            raise ValueError("communication amounts must be non-negative")
+        cm = cls(a.shape[0])
+        sym = (a + a.T) / 2.0
+        np.fill_diagonal(sym, 0.0)
+        cm._m = sym
+        return cm
+
+    def copy(self) -> "CommunicationMatrix":
+        """Deep copy (snapshots for histories/tests)."""
+        out = CommunicationMatrix(self.num_threads)
+        out._m = self._m.copy()
+        return out
+
+    # -- accumulation ------------------------------------------------------------
+
+    def increment(self, i: int, j: int, amount: float = 1.0) -> None:
+        """Record ``amount`` of communication between threads ``i`` and ``j``."""
+        if i == j:
+            return  # self-sharing is not communication
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        self._m[i, j] += amount
+        self._m[j, i] += amount
+
+    def add(self, other: "CommunicationMatrix") -> "CommunicationMatrix":
+        """In-place accumulate another matrix (phase merging)."""
+        if other.num_threads != self.num_threads:
+            raise ValueError("thread counts differ")
+        self._m += other._m
+        return self
+
+    def scale(self, factor: float) -> "CommunicationMatrix":
+        """In-place multiply by a non-negative factor."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        self._m *= factor
+        return self
+
+    # -- views -------------------------------------------------------------------
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The underlying array (a defensive copy)."""
+        return self._m.copy()
+
+    def __getitem__(self, key: Tuple[int, int]) -> float:
+        return float(self._m[key])
+
+    @property
+    def total(self) -> float:
+        """Total communication (each pair counted once)."""
+        return float(self._m.sum() / 2.0)
+
+    def normalized(self) -> np.ndarray:
+        """Matrix scaled so the largest off-diagonal cell is 1 (figures)."""
+        peak = self._m.max()
+        if peak == 0:
+            return self._m.copy()
+        return self._m / peak
+
+    def row_sums(self) -> np.ndarray:
+        """Per-thread total communication."""
+        return self._m.sum(axis=1)
+
+    def top_pairs(self, k: int = 5) -> List[Tuple[int, int, float]]:
+        """The ``k`` most-communicating thread pairs, descending."""
+        pairs = [
+            (i, j, float(self._m[i, j]))
+            for i in range(self.num_threads)
+            for j in range(i + 1, self.num_threads)
+        ]
+        pairs.sort(key=lambda p: p[2], reverse=True)
+        return pairs[:k]
+
+    def heatmap(self, title: str = "") -> str:
+        """ASCII rendering in the style of the paper's Figures 4/5."""
+        return ascii_heatmap(self._m, title=title)
+
+    # -- structure metrics ---------------------------------------------------------
+
+    def offdiagonal(self) -> np.ndarray:
+        """Flat array of the strict upper triangle (each pair once)."""
+        iu = np.triu_indices(self.num_threads, k=1)
+        return self._m[iu]
+
+    def heterogeneity(self) -> float:
+        """Coefficient of variation of pair amounts.
+
+        ~0 for homogeneous patterns (CG/EP/FT), large for domain
+        decomposition (BT/SP/...).  Zero when there is no communication.
+        """
+        off = self.offdiagonal()
+        mean = off.mean()
+        if mean == 0:
+            return 0.0
+        return float(off.std() / mean)
+
+    def neighbor_fraction(self) -> float:
+        """Fraction of communication between adjacent thread ids.
+
+        High for domain-decomposition patterns where thread *t* shares its
+        subdomain borders with threads *t±1*.
+        """
+        tot = self.total
+        if tot == 0:
+            return 0.0
+        near = sum(
+            float(self._m[t, t + 1]) for t in range(self.num_threads - 1)
+        )
+        return near / tot
+
+    # -- persistence ---------------------------------------------------------------
+
+    def to_csv(self, path) -> None:
+        """Write the matrix as CSV (one row per thread, float cells).
+
+        The interchange format for external analysis tools — the paper's
+        figures are exactly plots of these files.
+        """
+        np.savetxt(path, self._m, delimiter=",", fmt="%.6g")
+
+    @classmethod
+    def from_csv(cls, path) -> "CommunicationMatrix":
+        """Load a matrix written by :meth:`to_csv` (validated on load)."""
+        return cls.from_array(np.loadtxt(path, delimiter=",", ndmin=2))
+
+    def check_invariants(self) -> None:
+        """Assert symmetry / zero diagonal / non-negativity (tests, debug)."""
+        if not np.allclose(self._m, self._m.T):
+            raise AssertionError("communication matrix must be symmetric")
+        if np.any(np.diag(self._m) != 0):
+            raise AssertionError("diagonal must be zero")
+        if np.any(self._m < 0):
+            raise AssertionError("amounts must be non-negative")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CommunicationMatrix(threads={self.num_threads}, "
+            f"total={self.total:.4g}, heterogeneity={self.heterogeneity():.3f})"
+        )

@@ -1,0 +1,144 @@
+"""Detector protocol shared by the SM, HM and oracle mechanisms.
+
+A detector is attached to a :class:`~repro.machine.system.System` for the
+duration of a simulated run.  It observes the machine through whatever
+channel its mechanism allows — TLB-miss traps for SM, periodic privileged
+TLB scans for HM — and accumulates a thread-level
+:class:`~repro.core.commmatrix.CommunicationMatrix`.
+
+TLBs belong to *cores*; the communication matrix is over *threads*.  The
+``core_to_thread`` placement passed at attach time performs the
+translation, so detection works under any pinning (the paper detects under
+the identity placement, one thread per core).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.commmatrix import CommunicationMatrix
+from repro.machine.system import System
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Parameters shared by both mechanisms (Table I)."""
+
+    #: SM: run the search once every ``sm_sample_threshold`` TLB misses
+    #: (the paper's n = 100, i.e. 1% of misses).
+    sm_sample_threshold: int = 100
+    #: Cycles of one SM search routine (paper measurement: 231).
+    sm_routine_cycles: int = 231
+    #: Cycles charged for the fast path (counter increment + compare).
+    sm_increment_cycles: int = 2
+    #: HM: cycles between all-pairs scans (the paper's n = 10,000,000).
+    hm_period_cycles: int = 10_000_000
+    #: Cycles of one HM scan routine (paper measurement: 84,297).
+    hm_routine_cycles: int = 84_297
+
+    def __post_init__(self) -> None:
+        if self.sm_sample_threshold < 1:
+            raise ValueError("sm_sample_threshold must be >= 1")
+        if self.hm_period_cycles < 1:
+            raise ValueError("hm_period_cycles must be >= 1")
+
+
+class Detector(abc.ABC):
+    """Base class: lifecycle + matrix bookkeeping."""
+
+    name: str = "detector"
+
+    def __init__(self, num_threads: int, config: Optional[DetectorConfig] = None):
+        self.num_threads = num_threads
+        self.config = config or DetectorConfig()
+        self.matrix = CommunicationMatrix(num_threads)
+        self._system: Optional[System] = None
+        self._core_to_thread: Dict[int, int] = {}
+        #: Virtual pages excluded from matching (Section III-A1: only
+        #: *data* accesses are relevant — shared read-only pages such as
+        #: program text would register as uniform all-pairs communication.
+        #: The OS knows its text/library mappings and filters them here).
+        self.ignored_pages: set = set()
+
+    def ignore_pages(self, pages) -> None:
+        """Exclude virtual page numbers from communication matching."""
+        self.ignored_pages.update(int(p) for p in pages)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def attach(self, system: System, core_to_thread: Dict[int, int]) -> None:
+        """Bind to a machine for one run."""
+        if self._system is not None:
+            raise RuntimeError(f"{self.name} is already attached")
+        if len(core_to_thread) != self.num_threads:
+            raise ValueError(
+                f"{self.name}: placement covers {len(core_to_thread)} cores "
+                f"for {self.num_threads} threads"
+            )
+        self._system = system
+        self._core_to_thread = dict(core_to_thread)
+        self._on_attach()
+
+    def detach(self) -> None:
+        """Unbind (idempotent); the accumulated matrix survives."""
+        if self._system is None:
+            return
+        self._on_detach()
+        self._system = None
+        self._core_to_thread = {}
+
+    def _on_attach(self) -> None:
+        """Mechanism-specific hookup (override)."""
+
+    def _on_detach(self) -> None:
+        """Mechanism-specific teardown (override)."""
+
+    def rebind(self, core_to_thread: Dict[int, int]) -> None:
+        """Update the core→thread placement mid-run (thread migration).
+
+        The accumulated matrix is kept — communication already observed
+        stays attributed to the threads that performed it.
+        """
+        if self._system is None:
+            raise RuntimeError(f"{self.name} is not attached")
+        if len(core_to_thread) != self.num_threads:
+            raise ValueError(
+                f"{self.name}: placement covers {len(core_to_thread)} cores "
+                f"for {self.num_threads} threads"
+            )
+        self._core_to_thread = dict(core_to_thread)
+        self._on_rebind()
+
+    def _on_rebind(self) -> None:
+        """Mechanism-specific placement refresh (override)."""
+
+    # -- simulator interface --------------------------------------------------------
+
+    def poll(self, now_cycles: int) -> Optional[Tuple[int, int]]:
+        """Called at every scheduling round with the current global clock.
+
+        Return ``(core_id, cost_cycles)`` to charge a detection routine to a
+        core, or None.  The default mechanism is event-driven and needs no
+        polling.
+        """
+        return None
+
+    # -- results -------------------------------------------------------------------
+
+    def thread_of(self, core: int) -> Optional[int]:
+        """Thread currently placed on ``core`` (None for idle cores)."""
+        return self._core_to_thread.get(core)
+
+    @abc.abstractmethod
+    def summary(self) -> dict:
+        """Mechanism statistics (searches run, matches found, cycles spent)."""
+
+    def reset(self) -> None:
+        """Clear the matrix and statistics for a fresh detection run."""
+        self.matrix = CommunicationMatrix(self.num_threads)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "attached" if self._system is not None else "idle"
+        return f"{type(self).__name__}(threads={self.num_threads}, {state})"

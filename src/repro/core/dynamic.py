@@ -1,0 +1,162 @@
+"""Dynamic thread migration driven by TLB-detected communication.
+
+The paper stops at static mappings ("Dynamic migration requires an
+algorithm to detect when the communication pattern changes, as well as
+substantial modifications to the scheduler") and names both as future
+work.  This module implements that future work inside the simulator:
+
+* a :class:`MigrationController` snapshots an attached detector's matrix
+  at phase boundaries (via :class:`~repro.core.history.CommunicationHistory`),
+* smooths the last few windows into a current-pattern estimate (single
+  sampled windows are noisy),
+* and requests a remap only when the mapping the current pattern wants is
+  *sufficiently better* than the mapping in force — a cost-hysteresis gate
+  that makes the policy robust to sampling noise, plus a rate limiter and
+  a per-thread migration cost charged by the simulator.
+
+The simulator consumes the controller through one hook,
+``on_phase_end(phase_index, now_cycles) -> Optional[mapping]``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.commmatrix import CommunicationMatrix
+from repro.core.detection import Detector
+from repro.core.history import CommunicationHistory, pattern_drift
+from repro.machine.topology import Topology
+from repro.mapping.hierarchical import hierarchical_mapping
+from repro.mapping.quality import mapping_cost
+
+
+class MigrationController:
+    """Remaps threads when the detected communication pattern has changed
+    enough that a different placement clearly wins.
+
+    Args:
+        detector: the attached detection mechanism whose cumulative matrix
+            is observed (SM or HM; anything with a ``matrix``).
+        topology: machine topology for the mapper and cost objective.
+        drift_threshold: cheap pre-filter — only consider remapping when
+            the smoothed window's pattern drifted at least this much
+            (0..2) from the pattern the current mapping was derived from.
+        hysteresis: remap only if the current mapping's cost on the
+            smoothed window exceeds the proposed mapping's by this
+            fraction (0.25 = the new placement must be ≥25% better).
+        window_smoothing: number of recent windows summed into the
+            current-pattern estimate.
+        min_interval_cycles: rate limiter between remaps.
+        min_window_communication: ignore windows with less total detected
+            communication (no signal to act on).
+        migration_cost_cycles: cycles charged per migrated thread by the
+            simulator (context migration + scheduler work).
+    """
+
+    def __init__(
+        self,
+        detector: Detector,
+        topology: Optional[Topology] = None,
+        drift_threshold: float = 0.3,
+        hysteresis: float = 0.25,
+        window_smoothing: int = 2,
+        min_interval_cycles: int = 200_000,
+        min_window_communication: float = 10.0,
+        migration_cost_cycles: int = 20_000,
+    ):
+        if not 0.0 <= drift_threshold <= 2.0:
+            raise ValueError("drift_threshold must be in [0, 2]")
+        if hysteresis < 0:
+            raise ValueError("hysteresis must be non-negative")
+        if window_smoothing < 1:
+            raise ValueError("window_smoothing must be >= 1")
+        self.detector = detector
+        self.topology = topology or Topology()
+        self.drift_threshold = drift_threshold
+        self.hysteresis = hysteresis
+        self.window_smoothing = window_smoothing
+        self.min_interval_cycles = min_interval_cycles
+        self.min_window_communication = min_window_communication
+        self.migration_cost_cycles = migration_cost_cycles
+        self.history = CommunicationHistory(detector.num_threads)
+        self.migrations = 0
+        self.mapping_log: List[List[int]] = []
+        self._distance = self.topology.distance_matrix()
+        self._current_mapping: Optional[List[int]] = None
+        self._mapping_basis: Optional[CommunicationMatrix] = None
+        self._last_remap_cycle: Optional[int] = None
+
+    # -- pattern estimation -------------------------------------------------------
+
+    def _smoothed_window(self) -> CommunicationMatrix:
+        """Sum of the last ``window_smoothing`` windows."""
+        n = len(self.history)
+        take = min(self.window_smoothing, n)
+        acc = self.history.window(-1)
+        for i in range(2, take + 1):
+            acc.add(self.history.window(-i))
+        return acc
+
+    # -- simulator hook ---------------------------------------------------------
+
+    def on_phase_end(self, phase_index: int, now_cycles: int) -> Optional[List[int]]:
+        """Called by the simulator at every barrier.
+
+        Returns a new thread→core mapping to apply, or None to keep going.
+        """
+        self.history.record(self.detector.matrix, now_cycles)
+        window = self._smoothed_window()
+        if window.total < self.min_window_communication:
+            return None  # not enough evidence
+        if self._current_mapping is None:
+            # First acted-on window: establish the initial mapping.
+            return self._remap(window, now_cycles)
+        if (
+            self._last_remap_cycle is not None
+            and now_cycles - self._last_remap_cycle < self.min_interval_cycles
+        ):
+            return None
+        if pattern_drift(window, self._mapping_basis) < self.drift_threshold:
+            return None
+        proposed = hierarchical_mapping(window, self.topology)
+        current_cost = mapping_cost(window, self._current_mapping, self._distance)
+        proposed_cost = mapping_cost(window, proposed, self._distance)
+        if current_cost <= proposed_cost * (1.0 + self.hysteresis):
+            # The pattern moved, but the placement in force is still
+            # (nearly) as good — refresh the basis, don't migrate.
+            self._mapping_basis = window
+            return None
+        return self._remap(window, now_cycles, proposed)
+
+    def _remap(
+        self,
+        window: CommunicationMatrix,
+        now_cycles: int,
+        proposed: Optional[List[int]] = None,
+    ) -> Optional[List[int]]:
+        mapping = proposed or hierarchical_mapping(window, self.topology)
+        if mapping == self._current_mapping:
+            self._mapping_basis = window
+            return None
+        self._current_mapping = list(mapping)
+        self._mapping_basis = window
+        self._last_remap_cycle = now_cycles
+        self.migrations += 1
+        self.mapping_log.append(list(mapping))
+        return list(mapping)
+
+    # -- reporting ------------------------------------------------------------------
+
+    @property
+    def current_mapping(self) -> Optional[List[int]]:
+        return list(self._current_mapping) if self._current_mapping else None
+
+    def summary(self) -> dict:
+        """Controller statistics (migrations, windows, mapping log)."""
+        return {
+            "migrations": self.migrations,
+            "windows_observed": len(self.history),
+            "drift_threshold": self.drift_threshold,
+            "hysteresis": self.hysteresis,
+            "mapping_log": [list(m) for m in self.mapping_log],
+        }

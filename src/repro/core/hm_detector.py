@@ -1,0 +1,119 @@
+"""The hardware-managed TLB mechanism (Section IV-B, Figure 1b).
+
+x86-style TLBs are refilled by a hardware walker — there is no miss trap
+for the OS to piggyback on.  The paper instead proposes a small ISA
+addition letting the kernel *read* TLB contents, and a periodic scan:
+every ``n`` cycles (the paper uses 10 million), compare **all pairs** of
+TLBs set by set and increment the communication matrix for every virtual
+page resident in both.
+
+The all-pairs scan is Θ(P²·S) for set-associative TLBs (Table I), and —
+crucially for reproducing the paper's Figure 5 artifacts — it samples the
+machine at *instants*: whichever pair of threads happens to have shared
+pages resident when the timer fires dominates the matrix, which is how IS
+and MG end up showing spurious hot rows ("the runtime behavior ... can
+present a challenge to HM").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.detection import Detector, DetectorConfig
+
+
+class HardwareManagedDetector(Detector):
+    """HM mechanism: periodic all-pairs comparison of TLB contents."""
+
+    name = "HM"
+
+    def __init__(self, num_threads: int, config: Optional[DetectorConfig] = None):
+        super().__init__(num_threads, config)
+        self.scans_run = 0
+        self.matches_found = 0
+        self.detection_cycles = 0
+        self._last_scan = 0
+        self._scan_core_rr = 0
+
+    def _on_attach(self) -> None:
+        self._tlbs = self._system.tlbs
+        self._cores = sorted(self._core_to_thread)
+        self._last_scan = 0
+        self._scan_core_rr = 0
+
+    def _on_rebind(self) -> None:
+        self._cores = sorted(self._core_to_thread)
+
+    def poll(self, now_cycles: int) -> Optional[Tuple[int, int]]:
+        """Fire a scan if at least one period elapsed since the last one.
+
+        Mirrors the flowchart: compare ``now - period`` against the stored
+        cycle counter of the last search; if enough time has passed, store
+        the current counter and scan.  Returns the (round-robin) core the
+        OS ran the scan on and the routine cost to charge it.
+        """
+        if now_cycles - self._last_scan < self.config.hm_period_cycles:
+            return None
+        self._last_scan = now_cycles
+        self._scan()
+        self.scans_run += 1
+        self.detection_cycles += self.config.hm_routine_cycles
+        core = self._cores[self._scan_core_rr % len(self._cores)]
+        self._scan_core_rr += 1
+        return core, self.config.hm_routine_cycles
+
+    # -- the scan ---------------------------------------------------------------
+
+    def _scan(self) -> None:
+        """Compare every pair of TLBs set-by-set for matching entries."""
+        cores = self._cores
+        tlbs = self._tlbs
+        matrix = self.matrix
+        c2t = self._core_to_thread
+        ignored = self.ignored_pages
+        num_sets = tlbs[cores[0]].config.num_sets
+        for ai in range(len(cores)):
+            core_a = cores[ai]
+            thread_a = c2t[core_a]
+            tlb_a = tlbs[core_a]
+            for bi in range(ai + 1, len(cores)):
+                core_b = cores[bi]
+                thread_b = c2t[core_b]
+                tlb_b = tlbs[core_b]
+                matches = 0
+                for s in range(num_sets):
+                    entries_a = tlb_a.set_entries(s)
+                    if not entries_a:
+                        continue
+                    entries_b = tlb_b.set_entries(s)
+                    if not entries_b:
+                        continue
+                    # Set-associative: only same-set entries can match,
+                    # which is what drops the complexity from Θ(P²S²)
+                    # (fully associative) to Θ(P²S).
+                    eb = set(entries_b)
+                    for vpn in entries_a:
+                        if vpn in eb and vpn not in ignored:
+                            matches += 1
+                if matches:
+                    self.matches_found += matches
+                    matrix.increment(thread_a, thread_b, matches)
+
+    # -- reporting ------------------------------------------------------------------
+
+    def summary(self) -> dict:
+        return {
+            "mechanism": "hardware-managed",
+            "scans_run": self.scans_run,
+            "matches_found": self.matches_found,
+            "detection_cycles": self.detection_cycles,
+            "period_cycles": self.config.hm_period_cycles,
+        }
+
+    def reset(self) -> None:
+        super().reset()
+        self.scans_run = 0
+        self.matches_found = 0
+        self.detection_cycles = 0
+        self._last_scan = 0
+        self._scan_core_rr = 0

@@ -1,0 +1,27 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+The :class:`ExperimentRunner` executes the paper's full protocol for each
+benchmark — detect communication with SM and HM under identity pinning,
+derive mappings with the hierarchical Edmonds mapper, then run a
+performance ensemble (OS-scheduler placements vs. the SM/HM mappings) —
+and the ``figures`` / ``tables`` modules format the results the way the
+paper reports them.  ``paper_values`` holds the published numbers for
+side-by-side comparison; ``ablations`` sweeps the design choices
+DESIGN.md §5 calls out.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import BenchmarkResult, ExperimentRunner, MappingRuns
+from repro.experiments import figures, tables, paper_values, ablations, report
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "BenchmarkResult",
+    "MappingRuns",
+    "figures",
+    "tables",
+    "paper_values",
+    "ablations",
+    "report",
+]

@@ -1,0 +1,112 @@
+"""The numbers the paper reports, for side-by-side comparison.
+
+Transcribed from Tables III, IV and V and the headline claims of
+Cruz/Diener/Navaux (IPDPS 2012).  Keys are benchmark names in lower case;
+policies are "OS", "SM", "HM".
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+BENCHMARKS = ("bt", "cg", "ep", "ft", "is", "lu", "mg", "sp", "ua")
+
+#: Table III — software-managed TLB statistics, all values in percent.
+TABLE3_SM: Dict[str, Dict[str, float]] = {
+    "bt": {"tlb_miss_rate": 0.010, "sampled": 0.655, "overhead": 0.195},
+    "cg": {"tlb_miss_rate": 0.015, "sampled": 0.942, "overhead": 0.249},
+    "ep": {"tlb_miss_rate": 0.002, "sampled": 0.998, "overhead": 0.027},
+    "ft": {"tlb_miss_rate": 0.007, "sampled": 0.961, "overhead": 0.120},
+    "is": {"tlb_miss_rate": 0.333, "sampled": 0.993, "overhead": 4.077},
+    "lu": {"tlb_miss_rate": 0.026, "sampled": 0.875, "overhead": 0.519},
+    "mg": {"tlb_miss_rate": 0.008, "sampled": 0.820, "overhead": 0.117},
+    "sp": {"tlb_miss_rate": 0.032, "sampled": 0.909, "overhead": 0.751},
+    "ua": {"tlb_miss_rate": 0.005, "sampled": 0.829, "overhead": 0.080},
+}
+
+#: Detection routine costs measured by the paper (cycles).
+SM_ROUTINE_CYCLES = 231
+HM_ROUTINE_CYCLES = 84_297
+
+#: Table IV — execution time in seconds per policy.
+TABLE4_EXECUTION_TIME: Dict[str, Dict[str, float]] = {
+    "bt": {"OS": 0.74, "SM": 0.68, "HM": 0.69},
+    "cg": {"OS": 0.13, "SM": 0.13, "HM": 0.13},
+    "ep": {"OS": 0.48, "SM": 0.47, "HM": 0.47},
+    "ft": {"OS": 0.10, "SM": 0.10, "HM": 0.10},
+    "is": {"OS": 0.06, "SM": 0.06, "HM": 0.06},
+    "lu": {"OS": 2.39, "SM": 2.27, "HM": 2.27},
+    "mg": {"OS": 0.23, "SM": 0.22, "HM": 0.22},
+    "sp": {"OS": 2.53, "SM": 2.14, "HM": 2.25},
+    "ua": {"OS": 2.19, "SM": 2.06, "HM": 2.06},
+}
+
+#: Table IV — invalidations per second.
+TABLE4_INVALIDATIONS: Dict[str, Dict[str, float]] = {
+    "bt": {"OS": 9_845_216, "SM": 7_019_908, "HM": 7_499_308},
+    "cg": {"OS": 3_831_746, "SM": 3_624_698, "HM": 3_747_079},
+    "ep": {"OS": 121_230, "SM": 103_558, "HM": 105_117},
+    "ft": {"OS": 16_154_353, "SM": 16_571_898, "HM": 16_544_292},
+    "is": {"OS": 9_754_232, "SM": 9_681_120, "HM": 9_637_287},
+    "lu": {"OS": 14_457_991, "SM": 12_395_757, "HM": 13_745_080},
+    "mg": {"OS": 35_970_058, "SM": 35_792_412, "HM": 35_439_765},
+    "sp": {"OS": 17_749_230, "SM": 13_535_357, "HM": 13_956_912},
+    "ua": {"OS": 7_361_187, "SM": 4_609_197, "HM": 4_600_673},
+}
+
+#: Table IV — snoop transactions per second.
+TABLE4_SNOOPS: Dict[str, Dict[str, float]] = {
+    "bt": {"OS": 7_196_937, "SM": 3_612_138, "HM": 4_263_300},
+    "cg": {"OS": 10_374_266, "SM": 10_395_271, "HM": 10_492_865},
+    "ep": {"OS": 27_870, "SM": 21_560, "HM": 22_666},
+    "ft": {"OS": 5_172_957, "SM": 5_288_628, "HM": 5_298_599},
+    "is": {"OS": 11_461_581, "SM": 11_889_910, "HM": 11_830_896},
+    "lu": {"OS": 12_706_165, "SM": 8_739_948, "HM": 9_881_274},
+    "mg": {"OS": 4_093_348, "SM": 1_519_446, "HM": 2_482_490},
+    "sp": {"OS": 10_668_132, "SM": 5_874_685, "HM": 6_757_793},
+    "ua": {"OS": 5_008_487, "SM": 3_055_559, "HM": 3_064_284},
+}
+
+#: Table IV — L2 misses per second.
+TABLE4_L2_MISSES: Dict[str, Dict[str, float]] = {
+    "bt": {"OS": 248_962, "SM": 212_403, "HM": 207_314},
+    "cg": {"OS": 1_144_400, "SM": 1_169_066, "HM": 1_176_111},
+    "ep": {"OS": 3_365, "SM": 3_159, "HM": 3_240},
+    "ft": {"OS": 460_250, "SM": 473_133, "HM": 472_221},
+    "is": {"OS": 1_007_312, "SM": 914_644, "HM": 908_205},
+    "lu": {"OS": 656_734, "SM": 575_242, "HM": 669_864},
+    "mg": {"OS": 939_658, "SM": 924_153, "HM": 953_271},
+    "sp": {"OS": 339_850, "SM": 276_327, "HM": 263_512},
+    "ua": {"OS": 741_887, "SM": 610_845, "HM": 610_188},
+}
+
+#: Table V — relative standard deviations (percent) of the execution time.
+TABLE5_EXECUTION_TIME_STD: Dict[str, Dict[str, float]] = {
+    "bt": {"OS": 3.44, "SM": 4.15, "HM": 0.79},
+    "cg": {"OS": 11.35, "SM": 2.68, "HM": 4.62},
+    "ep": {"OS": 5.13, "SM": 1.98, "HM": 1.87},
+    "ft": {"OS": 20.55, "SM": 6.83, "HM": 6.13},
+    "is": {"OS": 21.26, "SM": 4.62, "HM": 11.11},
+    "lu": {"OS": 6.98, "SM": 0.20, "HM": 1.17},
+    "mg": {"OS": 9.22, "SM": 2.82, "HM": 3.11},
+    "sp": {"OS": 1.35, "SM": 0.11, "HM": 0.11},
+    "ua": {"OS": 1.76, "SM": 0.25, "HM": 1.21},
+}
+
+#: Headline claims (Section VI / abstract).
+HEADLINES = {
+    "best_execution_improvement": ("sp", 0.153),   # -15.3% execution time
+    "best_l2_miss_reduction": ("sp", 0.311),       # -31.1% cache misses
+    "best_invalidation_reduction": ("ua", 0.41),   # -41% invalidations
+    "best_snoop_reduction": ("mg", 0.654),         # -65.4% snoops
+    "homogeneous_benchmarks": ("cg", "ep", "ft"),  # no improvement expected
+}
+
+
+def normalized_table4(metric: Dict[str, Dict[str, float]]) -> Dict[str, Dict[str, float]]:
+    """Table IV values normalized to the OS policy (the Figures 6-9 view)."""
+    out = {}
+    for bench, row in metric.items():
+        base = row["OS"]
+        out[bench] = {k: (v / base if base else 0.0) for k, v in row.items()}
+    return out

@@ -1,0 +1,174 @@
+"""Regeneration of the paper's tables as text.
+
+Table I and II are configuration tables (rendered live from the objects
+that embody them, so they cannot drift from the implementation); Tables
+III-V are measurement tables filled from a suite run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from repro.core.detection import DetectorConfig
+from repro.core.overhead import (
+    hm_scan_comparisons,
+    overhead_report,
+    sm_search_comparisons,
+)
+from repro.experiments.runner import BenchmarkResult
+from repro.machine.topology import Topology
+from repro.tlb.tlb import TLBConfig
+from repro.util.render import format_table
+from repro.util.stats import summarize
+
+
+def table1(
+    config: DetectorConfig | None = None,
+    tlb: TLBConfig | None = None,
+    num_cores: int = 8,
+) -> str:
+    """Table I: comparison of the SM and HM mechanisms."""
+    config = config or DetectorConfig()
+    tlb = tlb or TLBConfig()
+    rows = [
+        ["Example architecture", "SPARC, MIPS", "Intel (x86/x86-64)"],
+        ["Trigger", "every n TLB misses", "every n cycles"],
+        ["n (paper defaults)", "100", "10,000,000"],
+        [
+            "TLBs searched",
+            "pairs with missing TLB",
+            "all possible pairs",
+        ],
+        [
+            "Complexity (set-assoc.)",
+            "Θ(P)",
+            "Θ(P²·S)",
+        ],
+        [
+            "Comparisons/search (this config)",
+            str(sm_search_comparisons(num_cores, tlb)),
+            str(hm_scan_comparisons(num_cores, tlb)),
+        ],
+        ["Routine cost (cycles)", str(config.sm_routine_cycles), str(config.hm_routine_cycles)],
+        ["Hardware modification", "No", "Yes (TLB-read instruction)"],
+    ]
+    return format_table(rows, header=["", "Software-managed", "Hardware-managed"])
+
+
+def table2(topology: Topology | None = None) -> str:
+    """Table II: configuration of the caches."""
+    topology = topology or Topology()
+    l1, l2 = topology.l1_config, topology.l2_config
+    rows = [
+        ["Size", f"{l1.size // 1024} KiB", f"{l2.size // 1024} KiB"],
+        [
+            "Number",
+            f"{topology.num_cores} inst + {topology.num_cores} data",
+            f"{topology.num_l2} (shared by {topology.cores_per_l2} cores)",
+        ],
+        ["Line size", f"{l1.line_size} bytes", f"{l2.line_size} bytes"],
+        ["Associativity", f"{l1.ways} ways", f"{l2.ways} ways"],
+        ["Latency", f"{l1.latency} cycles", f"{l2.latency} cycles"],
+        [
+            "Policy",
+            "write-through" if not l1.write_back else "write-back",
+            ("write-back" if l2.write_back else "write-through") + ", MESI",
+        ],
+    ]
+    return format_table(rows, header=["Parameter", "L1 cache", "L2 cache"])
+
+
+def table3_rows(results: Mapping[str, BenchmarkResult]) -> List[List[object]]:
+    """Table III rows: per-benchmark SM statistics (percentages)."""
+    rows = []
+    for name in sorted(results):
+        r = results[name]
+        rep = overhead_report(r.detector_stats["SM"], r.detection_results["SM"])
+        miss_pct, sampled_pct, overhead_pct = rep.as_row()
+        rows.append([
+            name.upper(),
+            f"{miss_pct:.3f}%",
+            f"{sampled_pct:.3f}%",
+            f"{overhead_pct:.3f}%",
+        ])
+    return rows
+
+
+def table3(results: Mapping[str, BenchmarkResult]) -> str:
+    """Table III: statistics for the software-managed TLB."""
+    return format_table(
+        table3_rows(results),
+        header=["App.", "TLB miss rate", "Misses searched", "Total overhead"],
+    )
+
+
+#: SimResult attribute per Table IV block.
+TABLE4_METRICS = (
+    ("Execution time (s)", "execution_seconds", 1.0),
+    ("Invalidations / s", "invalidations_per_second", 1.0),
+    ("Snoop transactions / s", "snoops_per_second", 1.0),
+    ("L2 misses / s", "l2_misses_per_second", 1.0),
+)
+
+
+def table4_data(results: Mapping[str, BenchmarkResult]) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """{metric_label: {benchmark: {policy: mean}}}."""
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for label, attr, _ in TABLE4_METRICS:
+        out[label] = {
+            name: {
+                policy: r.mean(policy, attr) for policy in ("OS", "SM", "HM")
+            }
+            for name, r in results.items()
+        }
+    return out
+
+
+def table4(results: Mapping[str, BenchmarkResult]) -> str:
+    """Table IV: absolute values per policy (means over the ensembles)."""
+    benches = sorted(results)
+    blocks = []
+    for label, attr, _ in TABLE4_METRICS:
+        rows = []
+        for policy in ("OS", "SM", "HM"):
+            row: List[object] = [policy]
+            for name in benches:
+                val = results[name].mean(policy, attr)
+                row.append(f"{val:.3g}")
+            rows.append(row)
+        blocks.append(
+            label + "\n" + format_table(rows, header=["Mapping"] + [b.upper() for b in benches])
+        )
+    return "\n\n".join(blocks)
+
+
+def table5_data(results: Mapping[str, BenchmarkResult]) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Relative standard deviations per metric/benchmark/policy (fractions)."""
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for label, attr, _ in TABLE4_METRICS:
+        out[label] = {}
+        for name, r in results.items():
+            out[label][name] = {}
+            for policy in ("OS", "SM", "HM"):
+                stats = summarize(r.runs[policy].metric(attr))
+                out[label][name][policy] = stats.relative_std
+    return out
+
+
+def table5(results: Mapping[str, BenchmarkResult]) -> str:
+    """Table V: standard deviations (as percentages of the mean)."""
+    data = table5_data(results)
+    benches = sorted(results)
+    blocks = []
+    for label, rows_by_bench in data.items():
+        rows = []
+        for policy in ("OS", "SM", "HM"):
+            row: List[object] = [policy]
+            for name in benches:
+                row.append(f"{100 * rows_by_bench[name][policy]:.2f}%")
+            rows.append(row)
+        blocks.append(
+            label + " (std dev)\n"
+            + format_table(rows, header=["Mapping"] + [b.upper() for b in benches])
+        )
+    return "\n\n".join(blocks)

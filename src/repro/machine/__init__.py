@@ -1,0 +1,28 @@
+"""Machine model: topology, assembled system, trace-driven simulator.
+
+``Topology`` describes who shares what (cores → L2s → chips) and yields the
+distance matrix the mapping-quality objective uses; ``System`` assembles
+page table, per-core MMUs and the cache hierarchy for a topology; the
+``Simulator`` drives a workload's access streams through a system under a
+given thread→core mapping and produces the paper's measured quantities.
+"""
+
+from repro.machine.topology import Topology, harpertown, multi_level, nehalem
+from repro.machine.system import System, SystemConfig, nehalem_config, numa_variant
+from repro.machine.simulator import NoiseConfig, PhaseStats, SimConfig, SimResult, Simulator
+
+__all__ = [
+    "Topology",
+    "harpertown",
+    "multi_level",
+    "nehalem",
+    "nehalem_config",
+    "System",
+    "SystemConfig",
+    "numa_variant",
+    "NoiseConfig",
+    "PhaseStats",
+    "SimConfig",
+    "SimResult",
+    "Simulator",
+]

@@ -1,0 +1,393 @@
+"""Trace-driven multicore simulator.
+
+Drives a workload's per-thread access streams through a :class:`System`
+under a thread→core mapping, interleaving threads round-robin in quanta of
+``quantum`` accesses so that concurrent sharing, MESI ping-pong and the
+HM mechanism's temporal sampling are all meaningful.  Phase boundaries are
+barriers: every core's clock is advanced to the slowest core's.
+
+Per access, a core is charged: a base op cost, the translation cost (zero
+on a TLB hit; walk + trap + detection-hook cycles on a miss) and the cache
+access latency.  The execution time of the run is the maximum core clock —
+the paper's measured quantity in Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.machine.system import System
+from repro.workloads.base import Phase, Workload
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Simulator knobs.
+
+    Attributes:
+        quantum: accesses per thread per scheduling round.  Small enough
+            that threads genuinely overlap, large enough to amortize loop
+            overhead.
+        base_op_cycles: compute cycles charged per access (models the
+            arithmetic between memory operations).
+        charge_detection: whether detection-mechanism routine cycles perturb
+            core clocks (True reproduces the paper's overhead measurements;
+            False gives an idealized mechanism).
+        collect_phase_stats: record a per-phase counter breakdown in
+            ``SimResult.phases`` (time-resolved analysis, e.g. watching
+            invalidations collapse after a dynamic remap).
+        noise: optional OS-noise model (random preemptions + TLB flushes).
+    """
+
+    quantum: int = 256
+    base_op_cycles: int = 1
+    charge_detection: bool = True
+    collect_phase_stats: bool = False
+    noise: Optional[NoiseConfig] = None
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """OS-noise model: random preemptions hitting the application cores.
+
+    Real machines run daemons, interrupts and kernel threads; each
+    preemption steals cycles and (on return) leaves the TLB partly or
+    fully cold.  This is the physical source of the run-to-run variance
+    the paper's Table V reports — and a robustness test for the detection
+    mechanisms, whose TLB contents get clobbered underneath them.
+
+    Attributes:
+        preemption_rate: probability that a thread's scheduling quantum is
+            interrupted by a preemption.
+        preemption_cost: cycles stolen per preemption.
+        flush_tlb: whether the preempting work evicts the TLB (it ran its
+            own address space).
+        seed: noise stream seed — vary per run for ensemble variance.
+    """
+
+    preemption_rate: float = 0.01
+    preemption_cost: int = 30_000
+    flush_tlb: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.preemption_rate <= 1.0:
+            raise ValueError("preemption_rate must be in [0, 1]")
+        if self.preemption_cost < 0:
+            raise ValueError("preemption_cost must be non-negative")
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Counter deltas for one barrier-delimited phase."""
+
+    name: str
+    accesses: int
+    cycles: int                 # growth of the max core clock
+    invalidations: int
+    snoop_transactions: int
+    l2_misses: int
+    tlb_misses: int
+
+
+@dataclass
+class SimResult:
+    """Everything the paper measures for one run."""
+
+    execution_cycles: int
+    execution_seconds: float
+    core_cycles: List[int]
+    accesses: int
+    invalidations: int
+    snoop_transactions: int
+    l2_misses: int
+    memory_fetches: int
+    l1_sibling_invalidations: int
+    tlb_accesses: int
+    tlb_misses: int
+    inter_chip_transactions: int
+    intra_chip_transactions: int
+    detection: Dict[str, dict] = field(default_factory=dict)
+    migrations: int = 0
+    threads_migrated: int = 0
+    #: OS-noise preemptions injected (when :attr:`SimConfig.noise` is set).
+    preemptions: int = 0
+    #: Per-phase counter deltas (populated when
+    #: :attr:`SimConfig.collect_phase_stats` is set).
+    phases: List["PhaseStats"] = field(default_factory=list)
+
+    @property
+    def tlb_miss_rate(self) -> float:
+        """Fraction of accesses missing the TLB (Table III column 1)."""
+        return self.tlb_misses / self.tlb_accesses if self.tlb_accesses else 0.0
+
+    def per_second(self, value: float) -> float:
+        """Convert an event count to events/second (Table IV rows)."""
+        return value / self.execution_seconds if self.execution_seconds else 0.0
+
+    @property
+    def invalidations_per_second(self) -> float:
+        return self.per_second(self.invalidations)
+
+    @property
+    def snoops_per_second(self) -> float:
+        return self.per_second(self.snoop_transactions)
+
+    @property
+    def l2_misses_per_second(self) -> float:
+        return self.per_second(self.l2_misses)
+
+
+PhaseSource = Union[Workload, Iterable[Phase]]
+
+
+class Simulator:
+    """Runs workloads on a :class:`System`."""
+
+    def __init__(self, system: Optional[System] = None, config: Optional[SimConfig] = None):
+        self.system = system or System()
+        self.config = config or SimConfig()
+
+    def run(
+        self,
+        workload: PhaseSource,
+        mapping: Optional[Sequence[int]] = None,
+        detectors: Sequence[object] = (),
+        reset: bool = True,
+        migration_controller: Optional[object] = None,
+    ) -> SimResult:
+        """Simulate one full execution.
+
+        Args:
+            workload: a :class:`Workload` or an iterable of phases.
+            mapping: ``mapping[t]`` = core running thread ``t``.  Must be a
+                permutation prefix of the core set (the paper pins one
+                thread per core).  Defaults to the identity.
+            detectors: detection mechanisms implementing the
+                :class:`~repro.core.detection.Detector` protocol; they are
+                attached for the duration of the run.
+            reset: start from cold caches/TLBs and zeroed counters.
+            migration_controller: optional dynamic-mapping policy (e.g.
+                :class:`~repro.core.dynamic.MigrationController`).  Its
+                ``on_phase_end(phase_index, now_cycles)`` hook is called at
+                every barrier; a returned mapping is applied before the
+                next phase, each moved thread paying the controller's
+                ``migration_cost_cycles`` on its new core, and attached
+                detectors are rebound to the new placement.
+        """
+        system = self.system
+        phases = workload.phases() if isinstance(workload, Workload) else iter(workload)
+        if reset:
+            system.reset()
+
+        first = next(phases, None)
+        if first is None:
+            raise ValueError("workload produced no phases")
+        num_threads = first.num_threads
+        if mapping is None:
+            mapping = list(range(num_threads))
+        else:
+            mapping = list(mapping)
+        if len(mapping) != num_threads:
+            raise ValueError(
+                f"mapping has {len(mapping)} entries for {num_threads} threads"
+            )
+        if len(set(mapping)) != num_threads:
+            raise ValueError("mapping must place each thread on a distinct core")
+        if max(mapping) >= system.num_cores or min(mapping) < 0:
+            raise ValueError(
+                f"mapping uses cores outside 0..{system.num_cores - 1}"
+            )
+
+        core_to_thread = {core: t for t, core in enumerate(mapping)}
+        for det in detectors:
+            det.attach(system, core_to_thread)
+        try:
+            result = self._run_phases(
+                first, phases, mapping, detectors, migration_controller
+            )
+        finally:
+            for det in detectors:
+                det.detach()
+        for det in detectors:
+            result.detection[getattr(det, "name", type(det).__name__)] = det.summary()
+        return result
+
+    # -- core loop -------------------------------------------------------------
+
+    def _run_phases(
+        self,
+        first: Phase,
+        rest: Iterable[Phase],
+        mapping: List[int],
+        detectors: Sequence[object],
+        migration_controller: Optional[object] = None,
+    ) -> SimResult:
+        system = self.system
+        cfg = self.config
+        num_cores = system.num_cores
+        core_cycles = [0] * num_cores
+        total_accesses = 0
+        quantum = cfg.quantum
+        base = cfg.base_op_cycles
+        charge = cfg.charge_detection
+        translate = [mmu.translate for mmu in system.mmus]
+        access = system.hierarchy.access
+        noise = cfg.noise
+        noise_rng = (
+            np.random.default_rng(noise.seed)
+            if noise is not None and noise.preemption_rate > 0
+            else None
+        )
+        preemptions = 0
+
+        def maybe_preempt(core: int) -> None:
+            nonlocal preemptions
+            if noise_rng is None or noise_rng.random() >= noise.preemption_rate:
+                return
+            preemptions += 1
+            core_cycles[core] += noise.preemption_cost
+            if noise.flush_tlb:
+                mmu = system.mmus[core]
+                mmu.tlb.flush()
+                if mmu.l2_tlb is not None:
+                    mmu.l2_tlb.flush()
+
+        def run_phase(phase: Phase) -> int:
+            done = 0
+            addrs = [s.addrs.tolist() for s in phase.streams]
+            writes = [s.writes.tolist() for s in phase.streams]
+            pos = [0] * len(addrs)
+            active = [t for t in range(len(addrs)) if len(addrs[t])]
+            while active:
+                for t in active[:]:
+                    core = mapping[t]
+                    a = addrs[t]
+                    w = writes[t]
+                    i = pos[t]
+                    end = min(i + quantum, len(a))
+                    tr = translate[core]
+                    cyc = 0
+                    while i < end:
+                        addr = a[i]
+                        cyc += base + tr(addr) + access(core, addr, w[i])
+                        i += 1
+                    core_cycles[core] += cyc
+                    done += end - pos[t]
+                    pos[t] = end
+                    if noise_rng is not None:
+                        maybe_preempt(core)
+                    if end == len(a):
+                        active.remove(t)
+                if detectors:
+                    now = max(core_cycles)
+                    for det in detectors:
+                        polled = det.poll(now)
+                        if polled is not None and charge:
+                            core_id, cost = polled
+                            core_cycles[core_id] += cost
+            return done
+
+        migrations = 0
+        threads_migrated = 0
+        phase_stats: List[PhaseStats] = []
+        collect_phases = cfg.collect_phase_stats
+
+        def counters_snapshot():
+            h = system.hierarchy
+            return (
+                max(core_cycles),
+                h.stats.invalidations,
+                h.stats.snoop_transactions,
+                h.stats.l2_misses,
+                sum(t.stats.misses for t in system.tlbs),
+            )
+
+        def record_phase(phase: Phase, before, accesses: int) -> None:
+            after = counters_snapshot()
+            phase_stats.append(PhaseStats(
+                name=phase.name,
+                accesses=accesses,
+                cycles=after[0] - before[0],
+                invalidations=after[1] - before[1],
+                snoop_transactions=after[2] - before[2],
+                l2_misses=after[3] - before[3],
+                tlb_misses=after[4] - before[4],
+            ))
+
+        def handle_migration(phase_index: int) -> None:
+            nonlocal migrations, threads_migrated
+            if migration_controller is None:
+                return
+            new_mapping = migration_controller.on_phase_end(
+                phase_index, max(core_cycles)
+            )
+            if new_mapping is None:
+                return
+            new_mapping = list(new_mapping)
+            if sorted(set(new_mapping)) != sorted(new_mapping) or len(
+                new_mapping
+            ) != len(mapping):
+                raise ValueError("migration controller returned an invalid mapping")
+            if max(new_mapping) >= num_cores or min(new_mapping) < 0:
+                raise ValueError("migration controller mapped outside the core set")
+            moved = [t for t in range(len(mapping)) if mapping[t] != new_mapping[t]]
+            if not moved:
+                return
+            cost = int(getattr(migration_controller, "migration_cost_cycles", 0))
+            for t in moved:
+                core_cycles[new_mapping[t]] += cost
+            mapping[:] = new_mapping
+            migrations += 1
+            threads_migrated += len(moved)
+            core_to_thread = {core: t for t, core in enumerate(mapping)}
+            for det in detectors:
+                det.rebind(core_to_thread)
+
+        phase_index = 0
+        before = counters_snapshot() if collect_phases else None
+        done = run_phase(first)
+        total_accesses += done
+        if collect_phases:
+            record_phase(first, before, done)
+        handle_migration(phase_index)
+        for phase in rest:
+            phase_index += 1
+            # Barrier: everyone waits for the slowest core.
+            sync = max(core_cycles)
+            for c in range(num_cores):
+                core_cycles[c] = sync
+            before = counters_snapshot() if collect_phases else None
+            done = run_phase(phase)
+            total_accesses += done
+            if collect_phases:
+                record_phase(phase, before, done)
+            handle_migration(phase_index)
+
+        execution_cycles = max(core_cycles)
+        h = system.hierarchy
+        ic = h.interconnect.stats
+        tlb_acc = sum(t.stats.accesses for t in system.tlbs)
+        tlb_miss = sum(t.stats.misses for t in system.tlbs)
+        return SimResult(
+            execution_cycles=execution_cycles,
+            execution_seconds=system.cycles_to_seconds(execution_cycles),
+            core_cycles=list(core_cycles),
+            accesses=total_accesses,
+            invalidations=h.stats.invalidations,
+            snoop_transactions=h.stats.snoop_transactions,
+            l2_misses=h.stats.l2_misses,
+            memory_fetches=h.stats.memory_fetches,
+            l1_sibling_invalidations=h.l1_sibling_invalidations,
+            tlb_accesses=tlb_acc,
+            tlb_misses=tlb_miss,
+            inter_chip_transactions=ic.inter_transactions,
+            intra_chip_transactions=ic.intra_transactions,
+            migrations=migrations,
+            threads_migrated=threads_migrated,
+            preemptions=preemptions,
+            phases=phase_stats,
+        )

@@ -1,0 +1,201 @@
+"""Assembled machine: page table + per-core MMUs + cache hierarchy.
+
+``System`` is the paper's simulated machine (Section V-B): it owns one
+shared page table, one MMU (with TLB) per core, and the two-level MESI
+hierarchy, wired according to a :class:`~repro.machine.topology.Topology`.
+Detection mechanisms attach to it — the SM detector registers TLB-miss
+hooks on every MMU; the HM detector gets the TLB list for periodic scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.machine.topology import Topology, harpertown
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.interconnect import Interconnect, InterconnectConfig
+from repro.mem.numa import AutoNUMA, FirstTouchNUMA, NUMAConfig
+from repro.tlb.mmu import MMU, TLBManagement
+from repro.tlb.pagetable import PageTable, PageTableConfig
+from repro.tlb.tlb import TLB, TLBConfig
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Non-topology machine parameters.
+
+    Attributes:
+        tlb: TLB geometry (paper: 64 entries, 4-way).
+        tlb_management: software- or hardware-managed refill.
+        page_table: page-table geometry/walk cost.
+        memory_latency: DRAM fill cycles (UMA; ignored when ``numa`` set).
+        frequency_ghz: clock used to convert cycles to seconds.
+        interconnect: link latencies.
+        numa: optional NUMA parameters; when set, each page is homed on
+            the chip that first touches it and remote fills pay the
+            penalty (see :mod:`repro.mem.numa`).
+    """
+
+    tlb: TLBConfig = field(default_factory=TLBConfig)
+    #: Optional second-level TLB (e.g. Nehalem: 512-entry 4-way); L1-TLB
+    #: misses that hit here skip the walk and the SM trap entirely.
+    l2_tlb: "TLBConfig | None" = None
+    tlb_management: TLBManagement = TLBManagement.HARDWARE
+    page_table: PageTableConfig = field(default_factory=PageTableConfig)
+    memory_latency: int = 200
+    frequency_ghz: float = 2.0
+    interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
+    numa: "NUMAConfig | None" = None
+
+
+def nehalem_config() -> SystemConfig:
+    """System parameters matching :func:`~repro.machine.topology.nehalem`.
+
+    Two-level TLB (64-entry 4-way L1 D-TLB backed by a 512-entry 4-way
+    unified L2 TLB) and NUMA memory (integrated controllers + QPI).
+    """
+    return SystemConfig(
+        tlb=TLBConfig(entries=64, ways=4),
+        l2_tlb=TLBConfig(entries=512, ways=4),
+        tlb_management=TLBManagement.HARDWARE,
+        memory_latency=180,
+        interconnect=InterconnectConfig(
+            intra_chip_latency=30,
+            inter_chip_latency=110,
+            intra_chip_invalidate_latency=10,
+            inter_chip_invalidate_latency=35,
+        ),
+        numa=NUMAConfig(local_latency=180, remote_penalty=120),
+    )
+
+
+def numa_variant(
+    config: Optional[SystemConfig] = None,
+    remote_memory_penalty: int = 160,
+    interchip_factor: float = 2.5,
+) -> SystemConfig:
+    """NUMA version of a system configuration.
+
+    Two changes, per the paper's conclusion that NUMA widens the latency
+    gap thread mapping exploits: chip-crossing transfers get
+    ``interchip_factor`` more expensive (socket interconnect instead of a
+    shared bus), and DRAM fills from a page homed on another chip pay
+    ``remote_memory_penalty`` extra cycles (first-touch homing).
+    """
+    base = config or SystemConfig()
+    ic = base.interconnect
+    return SystemConfig(
+        tlb=base.tlb,
+        tlb_management=base.tlb_management,
+        page_table=base.page_table,
+        memory_latency=base.memory_latency,
+        frequency_ghz=base.frequency_ghz,
+        interconnect=InterconnectConfig(
+            intra_chip_latency=ic.intra_chip_latency,
+            inter_chip_latency=int(ic.inter_chip_latency * interchip_factor),
+            intra_chip_invalidate_latency=ic.intra_chip_invalidate_latency,
+            inter_chip_invalidate_latency=int(
+                ic.inter_chip_invalidate_latency * interchip_factor
+            ),
+        ),
+        numa=NUMAConfig(
+            local_latency=base.memory_latency,
+            remote_penalty=remote_memory_penalty,
+            page_size=base.page_table.page_size,
+        ),
+    )
+
+
+class System:
+    """One simulated multicore machine."""
+
+    def __init__(
+        self,
+        topology: Optional[Topology] = None,
+        config: Optional[SystemConfig] = None,
+    ):
+        self.topology = topology or harpertown()
+        self.config = config or SystemConfig()
+        if self.config.tlb.page_size != self.config.page_table.page_size:
+            raise ValueError("TLB and page table disagree on page size")
+        if (self.config.l2_tlb is not None
+                and self.config.l2_tlb.page_size != self.config.tlb.page_size):
+            raise ValueError("L1 and L2 TLBs disagree on page size")
+        self.page_table = PageTable(self.config.page_table)
+        self.mmus: List[MMU] = [
+            MMU(
+                core_id=c,
+                page_table=self.page_table,
+                tlb_config=self.config.tlb,
+                management=self.config.tlb_management,
+                l2_tlb_config=self.config.l2_tlb,
+            )
+            for c in range(self.topology.num_cores)
+        ]
+        if self.config.numa is None:
+            self.numa_model = None
+        elif self.config.numa.auto_migrate:
+            self.numa_model = AutoNUMA(
+                self.config.numa, line_size=self.topology.l1_config.line_size
+            )
+        else:
+            self.numa_model = FirstTouchNUMA(
+                self.config.numa, line_size=self.topology.l1_config.line_size
+            )
+        self.hierarchy = MemoryHierarchy(
+            num_cores=self.topology.num_cores,
+            core_to_l2=self.topology.core_to_l2(),
+            chip_of_l2=self.topology.chip_of_l2(),
+            l1_config=self.topology.l1_config,
+            l2_config=self.topology.l2_config,
+            interconnect=Interconnect(self.config.interconnect),
+            memory_latency=self.config.memory_latency,
+            memory_model=self.numa_model,
+        )
+
+    @property
+    def num_cores(self) -> int:
+        return self.topology.num_cores
+
+    @property
+    def tlbs(self) -> List[TLB]:
+        """All per-core L1 TLBs (what the HM mechanism scans)."""
+        return [mmu.tlb for mmu in self.mmus]
+
+    @property
+    def l2_tlbs(self) -> "List[TLB] | None":
+        """Per-core second-level TLBs, or None when not configured."""
+        if self.config.l2_tlb is None:
+            return None
+        return [mmu.l2_tlb for mmu in self.mmus]
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count to wall time at the configured clock."""
+        return cycles / (self.config.frequency_ghz * 1e9)
+
+    def reset(self) -> None:
+        """Fresh caches/TLBs/counters; the page table survives (same process)."""
+        for mmu in self.mmus:
+            mmu.tlb.flush()
+            mmu.tlb.stats.__init__()
+            if mmu.l2_tlb is not None:
+                mmu.l2_tlb.flush()
+                mmu.l2_tlb.stats.__init__()
+        self.hierarchy.flush_all()
+        self.hierarchy.reset_stats()
+        if self.numa_model is not None:
+            self.numa_model.reset_stats()
+
+    def tlb_miss_rate(self) -> float:
+        """Aggregate TLB miss rate over all cores (Table III column 1)."""
+        hits = sum(t.stats.hits for t in self.tlbs)
+        misses = sum(t.stats.misses for t in self.tlbs)
+        total = hits + misses
+        return misses / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"System({self.topology.num_cores} cores, "
+            f"{self.config.tlb_management.value}-managed TLB)"
+        )

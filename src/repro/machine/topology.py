@@ -1,0 +1,222 @@
+"""Machine topology: which cores share which caches and chips.
+
+The paper's machine (Figure 3) is two Intel Harpertown-style packages, four
+cores each, with every L2 shared by a core pair — so the memory hierarchy
+defines three distance classes between cores: same L2, same chip, and
+cross-chip.  ``Topology`` generalizes this to any cores-per-L2 /
+L2s-per-chip / chips arrangement and derives:
+
+* the wiring tables the :class:`~repro.mem.hierarchy.MemoryHierarchy` needs,
+* the core-distance matrix used by the mapping-quality objective,
+* the group sizes per shared level that drive the hierarchical mapper
+  (pairs for a shared L2, fours for a chip, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.mem.cache import CacheConfig
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A symmetric cores/L2s/chips tree.
+
+    Attributes:
+        cores_per_l2: cores sharing each L2 cache.
+        l2_per_chip: L2 caches per chip (socket).
+        chips: number of chips.
+        distance_weights: (same_l2, same_chip, cross_chip) hop costs used in
+            the mapping objective; the defaults follow the relative latency
+            of L2 sharing vs. intra-chip vs. front-side-bus transfers.
+        l1_config / l2_config: cache geometries for systems built on this
+            topology (paper Table II defaults).
+    """
+
+    cores_per_l2: int = 2
+    l2_per_chip: int = 2
+    chips: int = 2
+    distance_weights: Tuple[float, float, float] = (1.0, 2.0, 4.0)
+    l1_config: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size=32 * 1024, ways=4, line_size=64, latency=2,
+            write_back=False, name="L1",
+        )
+    )
+    l2_config: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size=6 * 1024 * 1024, ways=8, line_size=64, latency=8,
+            write_back=True, name="L2",
+        )
+    )
+
+    def __post_init__(self) -> None:
+        check_positive("cores_per_l2", self.cores_per_l2)
+        check_positive("l2_per_chip", self.l2_per_chip)
+        check_positive("chips", self.chips)
+        w = self.distance_weights
+        if not (0 < w[0] <= w[1] <= w[2]):
+            raise ValueError(
+                f"distance_weights must be increasing positives, got {w}"
+            )
+
+    # -- derived sizes -----------------------------------------------------------
+
+    @property
+    def num_cores(self) -> int:
+        return self.cores_per_l2 * self.l2_per_chip * self.chips
+
+    @property
+    def num_l2(self) -> int:
+        return self.l2_per_chip * self.chips
+
+    @property
+    def cores_per_chip(self) -> int:
+        return self.cores_per_l2 * self.l2_per_chip
+
+    # -- wiring tables ------------------------------------------------------------
+
+    def core_to_l2(self) -> List[int]:
+        """L2 id for each core (cores numbered L2-major, as in Figure 3)."""
+        return [c // self.cores_per_l2 for c in range(self.num_cores)]
+
+    def chip_of_l2(self) -> List[int]:
+        """Chip id for each L2."""
+        return [l2 // self.l2_per_chip for l2 in range(self.num_l2)]
+
+    def chip_of_core(self, core: int) -> int:
+        """Chip id of a core."""
+        return core // self.cores_per_chip
+
+    def l2_of_core(self, core: int) -> int:
+        """L2 id of a core."""
+        return core // self.cores_per_l2
+
+    def cores_of_l2(self, l2: int) -> List[int]:
+        """Cores attached to L2 ``l2``."""
+        base = l2 * self.cores_per_l2
+        return list(range(base, base + self.cores_per_l2))
+
+    # -- distances ---------------------------------------------------------------
+
+    def distance(self, a: int, b: int) -> float:
+        """Communication distance between two cores (0 for a == b)."""
+        if a == b:
+            return 0.0
+        same_l2, same_chip, cross = self.distance_weights
+        if self.l2_of_core(a) == self.l2_of_core(b):
+            return same_l2
+        if self.chip_of_core(a) == self.chip_of_core(b):
+            return same_chip
+        return cross
+
+    def distance_matrix(self) -> np.ndarray:
+        """Full core×core distance matrix (vectorized construction)."""
+        n = self.num_cores
+        cores = np.arange(n)
+        l2 = cores // self.cores_per_l2
+        chip = cores // self.cores_per_chip
+        same_l2 = l2[:, None] == l2[None, :]
+        same_chip = chip[:, None] == chip[None, :]
+        w_l2, w_chip, w_cross = self.distance_weights
+        d = np.full((n, n), w_cross, dtype=float)
+        d[same_chip] = w_chip
+        d[same_l2] = w_l2
+        np.fill_diagonal(d, 0.0)
+        return d
+
+    # -- hierarchy levels for the mapper ---------------------------------------------
+
+    def group_sizes(self) -> List[int]:
+        """Group size at each shared level, innermost first.
+
+        Harpertown: ``[2, 4]`` — pairs share an L2, fours share a chip.  The
+        machine level (all cores) is omitted; grouping beyond a chip buys
+        nothing.
+        """
+        sizes = []
+        if self.cores_per_l2 > 1:
+            sizes.append(self.cores_per_l2)
+        if self.l2_per_chip > 1 and self.chips > 1:
+            sizes.append(self.cores_per_chip)
+        return sizes
+
+    def describe(self) -> str:
+        """Human-readable summary (Table II / Figure 3 style)."""
+        lines = [
+            f"{self.chips} chip(s) x {self.l2_per_chip} L2 x "
+            f"{self.cores_per_l2} core(s) = {self.num_cores} cores",
+            f"L1: {self.l1_config.size // 1024} KiB, {self.l1_config.ways}-way, "
+            f"{self.l1_config.latency} cycles, "
+            f"{'write-back' if self.l1_config.write_back else 'write-through'}",
+            f"L2: {self.l2_config.size // 1024} KiB, {self.l2_config.ways}-way, "
+            f"{self.l2_config.latency} cycles, "
+            f"{'write-back' if self.l2_config.write_back else 'write-through'}"
+            f", shared by {self.cores_per_l2} cores",
+        ]
+        return "\n".join(lines)
+
+
+def harpertown(cache_scale: float = 1.0) -> Topology:
+    """The paper's evaluation machine: 2 × (4-core Harpertown), Table II caches.
+
+    ``cache_scale`` shrinks both caches proportionally — used to keep the
+    cache:working-set ratio faithful when workloads run at reduced scale
+    (see DESIGN.md §6).  Scaled sizes are rounded to keep set counts whole.
+    """
+    def scaled(cfg: CacheConfig) -> CacheConfig:
+        if cache_scale == 1.0:
+            return cfg
+        unit = cfg.line_size * cfg.ways
+        size = max(unit, int(cfg.size * cache_scale) // unit * unit)
+        return CacheConfig(
+            size=size, ways=cfg.ways, line_size=cfg.line_size,
+            latency=cfg.latency, write_back=cfg.write_back, name=cfg.name,
+        )
+
+    base = Topology()
+    return Topology(
+        cores_per_l2=2,
+        l2_per_chip=2,
+        chips=2,
+        l1_config=scaled(base.l1_config),
+        l2_config=scaled(base.l2_config),
+    )
+
+
+def multi_level(cores_per_l2: int, l2_per_chip: int, chips: int) -> Topology:
+    """Arbitrary symmetric topology with default cache geometry."""
+    return Topology(cores_per_l2=cores_per_l2, l2_per_chip=l2_per_chip, chips=chips)
+
+
+def nehalem(cache_scale: float = 1.0) -> Topology:
+    """A Nehalem-generation machine: 2 sockets × 4 cores, one shared LLC.
+
+    The paper names Nehalem as the other reference architecture (its L1
+    D-TLB is the 64-entry size the experiments use).  Architecturally it
+    differs from Harpertown in the ways that matter here: all four cores
+    of a chip share one large last-level cache (modelled as the "L2"
+    level), the TLB is two-level, and memory is NUMA.  Pair this topology
+    with :func:`repro.machine.system.nehalem_config`.
+    """
+    def scaled(size: int, unit: int) -> int:
+        if cache_scale == 1.0:
+            return size
+        return max(unit, int(size * cache_scale) // unit * unit)
+
+    l1 = CacheConfig(size=scaled(32 * 1024, 64 * 4), ways=4, line_size=64,
+                     latency=2, write_back=False, name="L1")
+    llc = CacheConfig(size=scaled(8 * 1024 * 1024, 64 * 16), ways=16,
+                      line_size=64, latency=14, write_back=True, name="L3")
+    return Topology(
+        cores_per_l2=4,   # four cores share the LLC
+        l2_per_chip=1,
+        chips=2,
+        l1_config=l1,
+        l2_config=llc,
+    )

@@ -1,0 +1,39 @@
+"""Thread-mapping algorithms (Section V-A of the paper).
+
+The pipeline is: communication matrix → Edmonds maximum-weight perfect
+matching → hierarchical regrouping (pairs, pairs-of-pairs, ...) → placement
+of groups onto the machine's cache domains.  Baselines (OS-scheduler
+ensemble, round-robin, random, brute-force optimal, greedy) and a
+Scotch-style dual-recursive-bipartitioning mapper are provided for
+comparison.
+"""
+
+from repro.mapping.blossom import max_weight_matching, matching_weight
+from repro.mapping.hierarchical import hierarchical_mapping, group_threads
+from repro.mapping.baselines import (
+    brute_force_mapping,
+    greedy_mapping,
+    os_scheduler_mappings,
+    packed_mapping,
+    random_mapping,
+    round_robin_mapping,
+)
+from repro.mapping.drb import drb_mapping
+from repro.mapping.quality import mapping_cost, mapping_quality, normalized_cost
+
+__all__ = [
+    "max_weight_matching",
+    "matching_weight",
+    "hierarchical_mapping",
+    "group_threads",
+    "brute_force_mapping",
+    "greedy_mapping",
+    "os_scheduler_mappings",
+    "packed_mapping",
+    "random_mapping",
+    "round_robin_mapping",
+    "drb_mapping",
+    "mapping_cost",
+    "mapping_quality",
+    "normalized_cost",
+]

@@ -1,0 +1,159 @@
+"""Baseline mappings the paper (and our ablations) compare against.
+
+* ``os_scheduler_mappings`` — the paper's "OS" bars: whatever the stock
+  Linux scheduler happened to do across 100 runs.  Modeled as an ensemble
+  of uniform-random placements, which reproduces both the mediocre mean
+  and the high run-to-run variance the paper reports (Table V: the OS rows
+  have the largest standard deviations).
+* ``round_robin_mapping`` — scatter placement: consecutive threads on
+  different L2 domains (worst case for neighbour-communication patterns).
+* ``packed_mapping`` — compact placement: thread *t* on core *t* (for
+  domain-decomposition workloads this is accidentally near-optimal, which
+  is why the paper's identity-pinned *detection* runs see the true
+  pattern).
+* ``random_mapping`` — one uniform draw.
+* ``greedy_mapping`` — pair the heaviest communicating pair first;
+  the natural cheap alternative to Edmonds matching.
+* ``brute_force_mapping`` — exact optimum by exhaustive permutation search
+  (feasible for the paper's 8 threads; used as the quality yardstick).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.commmatrix import CommunicationMatrix
+from repro.machine.topology import Topology
+from repro.mapping.quality import mapping_cost
+from repro.util.rng import RngLike, as_rng
+
+MatrixLike = Union[CommunicationMatrix, np.ndarray]
+
+
+def _as_array(comm: MatrixLike) -> np.ndarray:
+    if isinstance(comm, CommunicationMatrix):
+        return comm.matrix
+    return np.asarray(comm, dtype=float)
+
+
+def _check_fit(num_threads: int, topology: Topology) -> None:
+    if num_threads > topology.num_cores:
+        raise ValueError(
+            f"{num_threads} threads exceed {topology.num_cores} cores"
+        )
+
+
+def packed_mapping(num_threads: int, topology: Optional[Topology] = None) -> List[int]:
+    """Thread t → core t (fills L2 domains in order)."""
+    topology = topology or Topology()
+    _check_fit(num_threads, topology)
+    return list(range(num_threads))
+
+
+def round_robin_mapping(num_threads: int, topology: Optional[Topology] = None) -> List[int]:
+    """Scatter threads across L2 domains before reusing any.
+
+    Harpertown order: cores 0, 2, 4, 6, 1, 3, 5, 7 — consecutive threads
+    never share an L2 until every L2 has one thread.
+    """
+    topology = topology or Topology()
+    _check_fit(num_threads, topology)
+    order: List[int] = []
+    for slot in range(topology.cores_per_l2):
+        for l2 in range(topology.num_l2):
+            order.append(l2 * topology.cores_per_l2 + slot)
+    return order[:num_threads]
+
+
+def random_mapping(
+    num_threads: int,
+    topology: Optional[Topology] = None,
+    rng: RngLike = None,
+) -> List[int]:
+    """One uniform-random placement of threads onto distinct cores."""
+    topology = topology or Topology()
+    _check_fit(num_threads, topology)
+    gen = as_rng(rng)
+    cores = gen.permutation(topology.num_cores)[:num_threads]
+    return [int(c) for c in cores]
+
+
+def os_scheduler_mappings(
+    num_threads: int,
+    topology: Optional[Topology] = None,
+    runs: int = 10,
+    seed: RngLike = None,
+) -> List[List[int]]:
+    """Placement ensemble standing in for the stock OS scheduler.
+
+    One independent random placement per run; averaging run metrics over
+    the ensemble reproduces the paper's "OS" bars and their variance.
+    """
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    gen = as_rng(seed)
+    return [random_mapping(num_threads, topology, gen) for _ in range(runs)]
+
+
+def greedy_mapping(
+    comm: MatrixLike,
+    topology: Optional[Topology] = None,
+) -> List[int]:
+    """Greedy hierarchical grouping: heaviest pair first, then heaviest
+    pair-of-pairs, etc.  Same structure as the paper's algorithm with the
+    Edmonds matcher swapped for a greedy matcher — the ablation baseline.
+    """
+    from repro.mapping.hierarchical import hierarchical_mapping
+
+    def greedy_matcher(weights: np.ndarray):
+        n = weights.shape[0]
+        order = sorted(
+            ((i, j) for i in range(n) for j in range(i + 1, n)),
+            key=lambda p: weights[p[0], p[1]],
+            reverse=True,
+        )
+        used = set()
+        pairs = []
+        for i, j in order:
+            if i not in used and j not in used:
+                pairs.append((i, j))
+                used.add(i)
+                used.add(j)
+        return pairs
+
+    return hierarchical_mapping(comm, topology, matcher=greedy_matcher)
+
+
+def brute_force_mapping(
+    comm: MatrixLike,
+    topology: Optional[Topology] = None,
+    max_threads: int = 9,
+) -> List[int]:
+    """Exact minimum-cost mapping by exhaustive search.
+
+    Complexity is cores!/(cores-threads)!; the guard refuses anything past
+    ``max_threads`` (8! = 40320 placements for the paper's machine is
+    instant; 12 is already painful).
+    """
+    topology = topology or Topology()
+    m = _as_array(comm)
+    n = m.shape[0]
+    _check_fit(n, topology)
+    if n > max_threads:
+        raise ValueError(
+            f"brute force limited to {max_threads} threads, got {n}"
+        )
+    dist = topology.distance_matrix()
+    best_cost = float("inf")
+    best: Optional[List[int]] = None
+    for perm in itertools.permutations(range(topology.num_cores), n):
+        cores = np.asarray(perm, dtype=int)
+        cost = float((m * dist[np.ix_(cores, cores)]).sum())
+        if cost < best_cost - 1e-12:
+            best_cost = cost
+            best = list(perm)
+    assert best is not None
+    return best

@@ -1,0 +1,157 @@
+"""The paper's mapping heuristic: repeated matching up the memory hierarchy.
+
+Section V-A: the communication matrix is a complete weighted graph; Edmonds
+matching pairs the threads so that intra-pair communication is maximal, and
+each pair lands on two cores sharing an L2.  Where the hierarchy has wider
+shared levels (four cores per chip on Harpertown), a *second* matrix over
+pairs is built with the paper's heuristic
+
+    H[(x,y),(z,k)] = M[x,z] + M[x,k] + M[y,z] + M[y,k]
+
+and matched again, giving pairs-of-pairs that land on chips — and so on for
+as many levels as the topology exposes.  The generalization to groups of
+any size is the straightforward one: H between two groups is the sum of M
+over all cross pairs (for singleton groups it reduces to M, for pairs it is
+exactly the paper's formula).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.commmatrix import CommunicationMatrix
+from repro.machine.topology import Topology
+from repro.mapping.blossom import max_weight_matching
+
+MatrixLike = Union[CommunicationMatrix, np.ndarray]
+Matcher = Callable[[np.ndarray], List[Tuple[int, int]]]
+
+#: Marker for padding slots when thread counts don't fill a level evenly.
+_DUMMY = None
+
+
+def _as_array(comm: MatrixLike) -> np.ndarray:
+    if isinstance(comm, CommunicationMatrix):
+        return comm.matrix
+    a = np.asarray(comm, dtype=float)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"communication matrix must be square, got {a.shape}")
+    return a
+
+
+def _group_affinity(m: np.ndarray, a: Sequence[int], b: Sequence[int]) -> float:
+    """Total communication between two groups (the generalized H)."""
+    ra = [t for t in a if t is not _DUMMY]
+    rb = [t for t in b if t is not _DUMMY]
+    if not ra or not rb:
+        return 0.0
+    return float(m[np.ix_(ra, rb)].sum())
+
+
+def _merge_once(
+    m: np.ndarray, groups: List[List[int]], matcher: Matcher
+) -> List[List[int]]:
+    """One matching round: merge groups pairwise by maximum affinity."""
+    work = list(groups)
+    if len(work) % 2 == 1:
+        work.append([_DUMMY])
+    g = len(work)
+    h = np.zeros((g, g), dtype=float)
+    for i in range(g):
+        for j in range(i + 1, g):
+            h[i, j] = h[j, i] = _group_affinity(m, work[i], work[j])
+    pairs = matcher(h)
+    if 2 * len(pairs) != g:
+        raise RuntimeError(
+            f"matcher returned {len(pairs)} pairs for {g} groups "
+            "(perfect matching expected)"
+        )
+    merged = [work[i] + work[j] for i, j in pairs]
+    # Stable order: by smallest real member, keeping output deterministic.
+    def key(group: List[int]) -> int:
+        real = [t for t in group if t is not _DUMMY]
+        return min(real) if real else len(m)
+
+    merged.sort(key=key)
+    return merged
+
+
+def group_threads(
+    comm: MatrixLike,
+    group_sizes: Sequence[int],
+    matcher: Matcher = max_weight_matching,
+) -> List[List[int]]:
+    """Group threads by communication affinity, level by level.
+
+    Args:
+        comm: thread communication matrix.
+        group_sizes: target group size per shared level, innermost first
+            (Harpertown: ``[2, 4]``).  Each size must be a multiple of the
+            previous one; groups double per matching round, so sizes must
+            be powers of two times the first size.
+        matcher: perfect-matching routine (injectable for the ablation
+            comparing Edmonds against greedy pairing).
+
+    Returns:
+        List of groups (lists of thread ids, padding removed), ordered by
+        smallest member.  Group members appear in merge order, so the
+        sub-group structure (which pair is which) is recoverable from
+        positions: the first half of a group of 4 is one matched pair.
+    """
+    m = _as_array(comm)
+    n = m.shape[0]
+    groups: List[List[int]] = [[t] for t in range(n)]
+    for size in group_sizes:
+        if size < 1:
+            raise ValueError(f"group size must be >= 1, got {size}")
+        current = len(groups[0])
+        if size % current != 0 or (size // current) & (size // current - 1):
+            raise ValueError(
+                f"group size {size} not reachable by doubling from {current}"
+            )
+        while len(groups) > 1 and len(groups[0]) < size:
+            groups = _merge_once(m, groups, matcher)
+    return [[t for t in g if t is not _DUMMY] for g in groups]
+
+
+def hierarchical_mapping(
+    comm: MatrixLike,
+    topology: Optional[Topology] = None,
+    matcher: Matcher = max_weight_matching,
+) -> List[int]:
+    """Thread→core mapping via hierarchical matching (the paper's algorithm).
+
+    Threads are grouped to the topology's shared-level sizes, then groups
+    are laid out onto consecutive core blocks: on Harpertown, each group of
+    four lands on one chip with its two constituent pairs on the chip's two
+    L2s.  All cache domains of a symmetric machine are interchangeable, so
+    block assignment in group order is optimal given the grouping.
+
+    Returns ``mapping`` with ``mapping[t]`` = core of thread ``t``.
+    """
+    topology = topology or Topology()
+    m = _as_array(comm)
+    n = m.shape[0]
+    if n > topology.num_cores:
+        raise ValueError(
+            f"{n} threads will not fit on {topology.num_cores} cores "
+            "(the paper maps one thread per core)"
+        )
+    sizes = [s for s in topology.group_sizes() if s <= n]
+    # Keep merge-tree positions: do NOT strip padding until cores assigned.
+    groups: List[List[int]] = [[t] for t in range(n)]
+    for size in sizes:
+        while len(groups) > 1 and len(groups[0]) < size:
+            groups = _merge_once(m, groups, matcher)
+    mapping: List[int] = [-1] * n
+    core = 0
+    for group in groups:
+        for t in group:
+            if t is not _DUMMY:
+                mapping[t] = core
+            core += 1  # padding slots still consume a core position
+    if core > topology.num_cores:
+        raise RuntimeError("group layout overflowed the core set")
+    return mapping

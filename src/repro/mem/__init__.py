@@ -1,0 +1,50 @@
+"""Memory-system substrate: addresses, caches, MESI coherence, interconnect.
+
+This package models everything below the core: the physical/virtual address
+arithmetic, set-associative caches with write-through (L1) and write-back
+(L2) policies, a MESI snooping coherence protocol whose invalidation and
+cache-to-cache (snoop) transaction counters reproduce the quantities the
+paper measures with hardware performance counters, and an intra/inter-chip
+interconnect traffic model.
+"""
+
+from repro.mem.address import (
+    DEFAULT_LINE_SIZE,
+    DEFAULT_PAGE_SIZE,
+    AddressSpace,
+    Region,
+    line_index,
+    line_of,
+    offset_in_page,
+    page_of,
+)
+from repro.mem.cache import Cache, CacheConfig, CacheStats, MESIState
+from repro.mem.coherence import CoherenceBus, CoherenceStats
+from repro.mem.hierarchy import AccessResult, MemoryHierarchy
+from repro.mem.interconnect import Interconnect, InterconnectStats
+from repro.mem.numa import AutoNUMA, FirstTouchNUMA, NUMAConfig, UniformMemory
+
+__all__ = [
+    "DEFAULT_LINE_SIZE",
+    "DEFAULT_PAGE_SIZE",
+    "AddressSpace",
+    "Region",
+    "line_index",
+    "line_of",
+    "offset_in_page",
+    "page_of",
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "MESIState",
+    "CoherenceBus",
+    "CoherenceStats",
+    "AccessResult",
+    "MemoryHierarchy",
+    "Interconnect",
+    "InterconnectStats",
+    "AutoNUMA",
+    "FirstTouchNUMA",
+    "NUMAConfig",
+    "UniformMemory",
+]

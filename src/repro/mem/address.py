@@ -1,0 +1,160 @@
+"""Virtual-address arithmetic and address-space layout.
+
+Workload kernels operate on *named regions* of a simulated virtual address
+space (``AddressSpace``): each array a kernel touches is a page-aligned
+region, and kernels emit raw virtual addresses.  The TLB works at page
+granularity and the caches at line granularity; the helpers here perform
+the splits, vectorized over numpy arrays so trace generation stays cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.util.validation import check_power_of_two
+
+#: Default page size (bytes).  4 KiB matches both x86-64 and UltraSPARC
+#: base pages, the two architecture families the paper discusses.
+DEFAULT_PAGE_SIZE = 4096
+
+#: Default cache-line size (bytes), Table II of the paper.
+DEFAULT_LINE_SIZE = 64
+
+ArrayOrInt = Union[int, np.ndarray]
+
+
+def page_of(addr: ArrayOrInt, page_size: int = DEFAULT_PAGE_SIZE) -> ArrayOrInt:
+    """Virtual page number containing ``addr`` (vectorized)."""
+    shift = int(page_size).bit_length() - 1
+    if isinstance(addr, np.ndarray):
+        return addr >> shift
+    return int(addr) >> shift
+
+
+def line_of(addr: ArrayOrInt, line_size: int = DEFAULT_LINE_SIZE) -> ArrayOrInt:
+    """Cache-line number containing ``addr`` (vectorized)."""
+    shift = int(line_size).bit_length() - 1
+    if isinstance(addr, np.ndarray):
+        return addr >> shift
+    return int(addr) >> shift
+
+
+def offset_in_page(addr: ArrayOrInt, page_size: int = DEFAULT_PAGE_SIZE) -> ArrayOrInt:
+    """Byte offset of ``addr`` within its page (vectorized)."""
+    mask = int(page_size) - 1
+    if isinstance(addr, np.ndarray):
+        return addr & mask
+    return int(addr) & mask
+
+
+def line_index(addr: ArrayOrInt, num_sets: int, line_size: int = DEFAULT_LINE_SIZE) -> ArrayOrInt:
+    """Cache set index for ``addr`` in a cache with ``num_sets`` sets."""
+    ln = line_of(addr, line_size)
+    mask = int(num_sets) - 1
+    if isinstance(ln, np.ndarray):
+        return ln & mask
+    return int(ln) & mask
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named, page-aligned span of the virtual address space."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the region."""
+        return self.base + self.size
+
+    def addr(self, offset: ArrayOrInt) -> ArrayOrInt:
+        """Virtual address of byte ``offset`` within the region.
+
+        ``offset`` may be a numpy array; bounds are checked on scalars and
+        on array min/max (cheap, catches generator bugs early).
+        """
+        if isinstance(offset, np.ndarray):
+            if offset.size:
+                lo = int(offset.min())
+                hi = int(offset.max())
+                if lo < 0 or hi >= self.size:
+                    raise IndexError(
+                        f"offsets [{lo}, {hi}] out of range for region "
+                        f"{self.name!r} of size {self.size}"
+                    )
+            return offset.astype(np.int64) + self.base
+        off = int(offset)
+        if not 0 <= off < self.size:
+            raise IndexError(f"offset {off} out of range for region {self.name!r}")
+        return self.base + off
+
+    def pages(self, page_size: int = DEFAULT_PAGE_SIZE) -> range:
+        """Range of virtual page numbers the region spans."""
+        first = self.base // page_size
+        last = (self.end - 1) // page_size
+        return range(first, last + 1)
+
+    def contains(self, addr: int) -> bool:
+        """Whether ``addr`` falls inside the region."""
+        return self.base <= addr < self.end
+
+
+class AddressSpace:
+    """Page-aligned bump allocator for named regions.
+
+    Each workload builds one AddressSpace and allocates a region per logical
+    array (grid slabs, key buffers, halo pages...).  A one-page guard gap is
+    left between regions so adjacent regions never share a page — sharing in
+    the traces is then *only* what the kernel deliberately expresses.
+    """
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE, base: int = DEFAULT_PAGE_SIZE):
+        check_power_of_two("page_size", page_size)
+        if base % page_size != 0:
+            raise ValueError(f"base {base:#x} must be page aligned")
+        self.page_size = page_size
+        self._cursor = base
+        self._regions: Dict[str, Region] = {}
+
+    def allocate(self, name: str, size: int, guard: bool = True) -> Region:
+        """Allocate ``size`` bytes as region ``name`` (page aligned)."""
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already allocated")
+        if size <= 0:
+            raise ValueError(f"region size must be positive, got {size}")
+        aligned = -(-size // self.page_size) * self.page_size
+        region = Region(name=name, base=self._cursor, size=size)
+        self._cursor += aligned + (self.page_size if guard else 0)
+        self._regions[name] = region
+        return region
+
+    def __getitem__(self, name: str) -> Region:
+        return self._regions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    @property
+    def regions(self) -> Dict[str, Region]:
+        """Mapping of all allocated regions (insertion ordered)."""
+        return dict(self._regions)
+
+    @property
+    def footprint(self) -> int:
+        """Total bytes spanned, including alignment and guard pages."""
+        return self._cursor
+
+    def region_for(self, addr: int) -> Region:
+        """Region containing ``addr`` (linear scan; debugging helper)."""
+        for region in self._regions.values():
+            if region.contains(addr):
+                return region
+        raise KeyError(f"address {addr:#x} not in any region")

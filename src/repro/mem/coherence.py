@@ -1,0 +1,248 @@
+"""MESI snooping coherence over the shared L2 caches.
+
+The paper's performance metrics — cache-line invalidations, snoop
+transactions, L2 misses — are exactly the events this bus produces:
+
+* an **invalidation** is one remote L2 dropping a line because a writer
+  needed ownership (SHARED→MODIFIED upgrade, or a read-for-ownership miss);
+* a **snoop transaction** is a miss served by another cache instead of
+  memory ("a core requests data that is not present in its cache and has to
+  retrieve the data from another cache");
+* an **L2 miss** is any request not satisfied by the local L2, regardless
+  of who ends up supplying the data.
+
+Latency charging is asymmetric on purpose: writers mostly hide invalidation
+latency behind store buffers (they are charged only the broadcast cost),
+while readers pay the full transfer cost of a cache-to-cache or memory
+fill — which is how bad mappings become slow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.mem.cache import Cache, MESIState
+from repro.mem.interconnect import Interconnect
+
+#: Hook fired when a line is invalidated in cache ``cache_id`` so the level
+#: above (the private L1s) can drop their stale copies.
+InvalidateHook = Callable[[int, int], None]
+
+
+@dataclass
+class CoherenceStats:
+    """Aggregate protocol counters (the paper's Figures 7-9 quantities)."""
+
+    invalidations: int = 0
+    snoop_transactions: int = 0
+    l2_misses: int = 0
+    memory_fetches: int = 0
+    upgrades: int = 0
+    writebacks_to_memory: int = 0
+    per_cache_misses: List[int] = field(default_factory=list)
+
+    def reset(self) -> None:
+        """Zero all counters, keeping the per-cache list length."""
+        n = len(self.per_cache_misses)
+        self.invalidations = 0
+        self.snoop_transactions = 0
+        self.l2_misses = 0
+        self.memory_fetches = 0
+        self.upgrades = 0
+        self.writebacks_to_memory = 0
+        self.per_cache_misses = [0] * n
+
+
+class CoherenceBus:
+    """Snooping bus connecting the L2 caches of one machine.
+
+    Args:
+        caches: the L2 caches, indexed by cache id.
+        chip_of: chip (socket) index of each cache, parallel to ``caches``.
+        interconnect: traffic model for transfer/invalidate costs.
+        memory_latency: cycles for a fill from DRAM.
+    """
+
+    def __init__(
+        self,
+        caches: Sequence[Cache],
+        chip_of: Sequence[int],
+        interconnect: Optional[Interconnect] = None,
+        memory_latency: int = 200,
+        memory_model: Optional[object] = None,
+    ):
+        if len(caches) != len(chip_of):
+            raise ValueError("caches and chip_of must be parallel sequences")
+        self.caches = list(caches)
+        self.chip_of = list(chip_of)
+        self.interconnect = interconnect or Interconnect()
+        self.memory_latency = memory_latency
+        #: Fill-latency oracle; UMA by default, NUMA when a
+        #: :class:`~repro.mem.numa.FirstTouchNUMA` is plugged in.
+        self.memory_model = memory_model
+        self.stats = CoherenceStats(per_cache_misses=[0] * len(self.caches))
+        self.invalidate_hooks: List[InvalidateHook] = []
+        self._line_size = self.caches[0].config.line_size if self.caches else 64
+
+    def add_invalidate_hook(self, hook: InvalidateHook) -> None:
+        """Register a callback for remote-cache invalidations (L1 shootdown)."""
+        self.invalidate_hooks.append(hook)
+
+    def _memory_fill(self, cache_id: int, line: int) -> int:
+        """DRAM fill latency for ``cache_id`` reading ``line``."""
+        if self.memory_model is None:
+            return self.memory_latency
+        return self.memory_model.memory_latency(self.chip_of[cache_id], line)
+
+    # -- internal helpers -----------------------------------------------------
+
+    def _holders(self, line: int, excluding: int) -> List[int]:
+        """Cache ids (other than ``excluding``) holding ``line``."""
+        return [
+            cid
+            for cid, cache in enumerate(self.caches)
+            if cid != excluding and cache.probe(line) != MESIState.INVALID
+        ]
+
+    def _invalidate_in(self, cache_id: int, line: int) -> None:
+        """Invalidate ``line`` in cache ``cache_id`` and notify hooks."""
+        prior = self.caches[cache_id].invalidate(line)
+        if prior == MESIState.MODIFIED:
+            # Ownership moves with the request; memory sees a writeback.
+            self.stats.writebacks_to_memory += 1
+        self.stats.invalidations += 1
+        for hook in self.invalidate_hooks:
+            hook(cache_id, line)
+
+    def _handle_victim(self, cache_id: int, victim) -> None:
+        """Account for a line evicted by an insert (and shoot down L1s)."""
+        if victim is None:
+            return
+        vline, vstate = victim
+        if vstate == MESIState.MODIFIED:
+            self.stats.writebacks_to_memory += 1
+        for hook in self.invalidate_hooks:
+            hook(cache_id, vline)
+
+    # -- protocol operations ----------------------------------------------------
+
+    def read(self, cache_id: int, line: int) -> int:
+        """Core-side read reaching L2 ``cache_id``; returns latency in cycles."""
+        cache = self.caches[cache_id]
+        state = cache.lookup(line)
+        if state != MESIState.INVALID:
+            return cache.config.latency
+        # Local L2 miss.
+        self.stats.l2_misses += 1
+        self.stats.per_cache_misses[cache_id] += 1
+        holders = self._holders(line, excluding=cache_id)
+        if holders:
+            # Served cache-to-cache: one snoop transaction.  Prefer an
+            # on-chip supplier; a MODIFIED holder must supply regardless.
+            my_chip = self.chip_of[cache_id]
+            supplier = holders[0]
+            for h in holders:
+                if self.caches[h].probe(line) == MESIState.MODIFIED:
+                    supplier = h
+                    break
+                if self.chip_of[h] == my_chip:
+                    supplier = h
+            self.stats.snoop_transactions += 1
+            sup_state = self.caches[supplier].probe(line)
+            if sup_state == MESIState.MODIFIED:
+                self.stats.writebacks_to_memory += 1
+            # All holders (incl. supplier) downgrade to SHARED.
+            for h in holders:
+                self.caches[h].set_state(line, MESIState.SHARED)
+            latency = cache.config.latency + self.interconnect.transfer(
+                self.chip_of[supplier], my_chip, self._line_size, kind="snoop"
+            )
+            self._handle_victim(cache_id, cache.insert(line, MESIState.SHARED))
+            return latency
+        # Served from memory.
+        self.stats.memory_fetches += 1
+        self._handle_victim(cache_id, cache.insert(line, MESIState.EXCLUSIVE))
+        return cache.config.latency + self._memory_fill(cache_id, line)
+
+    def write(self, cache_id: int, line: int) -> int:
+        """Core-side write reaching L2 ``cache_id``; returns latency in cycles.
+
+        The L1s above are write-through, so every store arrives here; hits
+        in MODIFIED/EXCLUSIVE are the silent fast path.
+        """
+        cache = self.caches[cache_id]
+        state = cache.lookup(line)
+        my_chip = self.chip_of[cache_id]
+        if state == MESIState.MODIFIED:
+            return 0
+        if state == MESIState.EXCLUSIVE:
+            cache.set_state(line, MESIState.MODIFIED)
+            return 0
+        if state == MESIState.SHARED:
+            # Upgrade: broadcast invalidations to every other holder.
+            self.stats.upgrades += 1
+            latency = 0
+            for h in self._holders(line, excluding=cache_id):
+                latency = max(
+                    latency,
+                    self.interconnect.invalidate(my_chip, self.chip_of[h]),
+                )
+                self._invalidate_in(h, line)
+            cache.set_state(line, MESIState.MODIFIED)
+            return latency
+        # Write miss: read-for-ownership.
+        self.stats.l2_misses += 1
+        self.stats.per_cache_misses[cache_id] += 1
+        holders = self._holders(line, excluding=cache_id)
+        if holders:
+            self.stats.snoop_transactions += 1
+            supplier = holders[0]
+            for h in holders:
+                if self.caches[h].probe(line) == MESIState.MODIFIED:
+                    supplier = h
+                    break
+                if self.chip_of[h] == my_chip:
+                    supplier = h
+            latency = self.interconnect.transfer(
+                self.chip_of[supplier], my_chip, self._line_size, kind="rfo"
+            )
+            for h in holders:
+                self._invalidate_in(h, line)
+        else:
+            self.stats.memory_fetches += 1
+            latency = self._memory_fill(cache_id, line)
+        self._handle_victim(cache_id, cache.insert(line, MESIState.MODIFIED))
+        return latency
+
+    # -- invariants (used by tests and debug assertions) ------------------------
+
+    def holders_of(self, line: int) -> List[int]:
+        """All cache ids currently holding ``line`` (any valid state)."""
+        return [
+            cid
+            for cid, cache in enumerate(self.caches)
+            if cache.probe(line) != MESIState.INVALID
+        ]
+
+    def check_invariants(self, line: int) -> None:
+        """Assert MESI single-writer/multiple-reader invariants for ``line``."""
+        states = [
+            self.caches[cid].probe(line) for cid in range(len(self.caches))
+        ]
+        valid = [s for s in states if s != MESIState.INVALID]
+        n_mod = sum(1 for s in valid if s == MESIState.MODIFIED)
+        n_excl = sum(1 for s in valid if s == MESIState.EXCLUSIVE)
+        if n_mod + n_excl > 1:
+            raise AssertionError(
+                f"line {line:#x}: multiple exclusive owners ({states})"
+            )
+        if (n_mod or n_excl) and len(valid) > 1:
+            raise AssertionError(
+                f"line {line:#x}: M/E coexists with other copies ({states})"
+            )
+
+    def reset_stats(self) -> None:
+        """Zero protocol and interconnect counters."""
+        self.stats.reset()
+        self.interconnect.reset()

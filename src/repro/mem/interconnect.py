@@ -1,0 +1,99 @@
+"""Intra-chip vs. inter-chip interconnect traffic model.
+
+Section III-A2 of the paper: the second objective of thread mapping is to
+keep coherence traffic on the fast intra-chip paths and off the front-side
+bus.  This module charges latencies and records per-path traffic so the
+experiment harness can report how mapping shifts transactions between the
+two classes of links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """Latency (cycles) and modeling knobs for the two link classes.
+
+    Defaults approximate a Harpertown-era system: a cache-to-cache transfer
+    inside one package is several times cheaper than one crossing the
+    front-side bus, and both are cheaper than a DRAM fetch.
+    """
+
+    intra_chip_latency: int = 40
+    inter_chip_latency: int = 150
+    intra_chip_invalidate_latency: int = 12
+    inter_chip_invalidate_latency: int = 40
+
+    def __post_init__(self) -> None:
+        check_positive("intra_chip_latency", self.intra_chip_latency)
+        check_positive("inter_chip_latency", self.inter_chip_latency)
+        check_positive("intra_chip_invalidate_latency", self.intra_chip_invalidate_latency)
+        check_positive("inter_chip_invalidate_latency", self.inter_chip_invalidate_latency)
+
+
+@dataclass
+class InterconnectStats:
+    """Transaction and byte counts per link class."""
+
+    intra_transactions: int = 0
+    inter_transactions: int = 0
+    intra_bytes: int = 0
+    inter_bytes: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_transactions(self) -> int:
+        return self.intra_transactions + self.inter_transactions
+
+    @property
+    def inter_chip_fraction(self) -> float:
+        """Fraction of transactions that crossed chips (mapping quality cue)."""
+        total = self.total_transactions
+        return self.inter_transactions / total if total else 0.0
+
+
+class Interconnect:
+    """Records traffic between chips and hands out transfer latencies."""
+
+    def __init__(self, config: InterconnectConfig | None = None):
+        self.config = config or InterconnectConfig()
+        self.stats = InterconnectStats()
+
+    def transfer(self, src_chip: int, dst_chip: int, nbytes: int, kind: str = "data") -> int:
+        """Record a data transfer; returns the latency to charge."""
+        same = src_chip == dst_chip
+        if same:
+            self.stats.intra_transactions += 1
+            self.stats.intra_bytes += nbytes
+        else:
+            self.stats.inter_transactions += 1
+            self.stats.inter_bytes += nbytes
+        self.stats.by_kind[kind] = self.stats.by_kind.get(kind, 0) + 1
+        return (
+            self.config.intra_chip_latency
+            if same
+            else self.config.inter_chip_latency
+        )
+
+    def invalidate(self, src_chip: int, dst_chip: int, kind: str = "invalidate") -> int:
+        """Record an invalidation message; returns the latency to charge."""
+        same = src_chip == dst_chip
+        if same:
+            self.stats.intra_transactions += 1
+        else:
+            self.stats.inter_transactions += 1
+        self.stats.by_kind[kind] = self.stats.by_kind.get(kind, 0) + 1
+        return (
+            self.config.intra_chip_invalidate_latency
+            if same
+            else self.config.inter_chip_invalidate_latency
+        )
+
+    def reset(self) -> None:
+        """Zero all counters (between experiment repetitions)."""
+        self.stats = InterconnectStats()

@@ -1,0 +1,168 @@
+"""NUMA memory model: first-touch page homes, remote-access penalty.
+
+The paper's conclusion predicts larger mapping gains on NUMA machines
+("Expected performance improvements in NUMA architectures are higher,
+because of larger differences in communication latencies").  This module
+adds the missing latency asymmetry: each memory page is *homed* on the
+chip whose core first touched it (Linux's default first-touch placement),
+and a memory fetch from a non-home chip pays an extra penalty.
+
+The model plugs into the :class:`~repro.mem.coherence.CoherenceBus` as its
+``memory_model``: the bus asks it for the fill latency of every request
+that reaches DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class NUMAConfig:
+    """NUMA latency parameters.
+
+    Attributes:
+        local_latency: cycles for a fill from the chip's own controller.
+        remote_penalty: extra cycles when the page is homed on another
+            chip (QPI/HyperTransport hop, roughly +60-100% on real parts).
+        page_size: home granularity (OS pages).
+        auto_migrate: enable AutoNUMA-style page migration — a page that
+            keeps being fetched remotely is rehomed to the fetching chip
+            (the *data mapping* complement to the paper's thread mapping;
+            cf. Broquedis et al. [13] in the related work).
+        migrate_threshold: consecutive-ish remote fetches by one chip
+            before its page migrates.
+        migrate_latency: one-off extra cycles charged to the access that
+            triggers a migration (the page copy).
+    """
+
+    local_latency: int = 200
+    remote_penalty: int = 160
+    page_size: int = 4096
+    auto_migrate: bool = False
+    migrate_threshold: int = 4
+    migrate_latency: int = 600
+
+    def __post_init__(self) -> None:
+        check_positive("local_latency", self.local_latency)
+        check_positive("remote_penalty", self.remote_penalty)
+        check_positive("page_size", self.page_size)
+        check_positive("migrate_threshold", self.migrate_threshold)
+        check_positive("migrate_latency", self.migrate_latency)
+
+
+class FirstTouchNUMA:
+    """First-touch page-home tracking + fill-latency oracle."""
+
+    def __init__(self, config: NUMAConfig | None = None, line_size: int = 64):
+        self.config = config or NUMAConfig()
+        self._page_shift = (
+            self.config.page_size.bit_length() - 1
+            - (line_size.bit_length() - 1)
+        )  # shift from line number to page number
+        self._home: Dict[int, int] = {}
+        self.local_fetches = 0
+        self.remote_fetches = 0
+
+    def page_of_line(self, line: int) -> int:
+        """Page number containing cache line ``line``."""
+        return line >> self._page_shift
+
+    def home_of(self, line: int) -> int | None:
+        """Chip the line's page is homed on (None before first touch)."""
+        return self._home.get(self.page_of_line(line))
+
+    def memory_latency(self, chip: int, line: int) -> int:
+        """Fill latency for ``chip`` fetching ``line`` from memory.
+
+        First touch homes the page on the requesting chip.
+        """
+        page = line >> self._page_shift
+        home = self._home.get(page)
+        if home is None:
+            self._home[page] = chip
+            home = chip
+        if home == chip:
+            self.local_fetches += 1
+            return self.config.local_latency
+        self.remote_fetches += 1
+        return self.config.local_latency + self.config.remote_penalty
+
+    @property
+    def remote_fraction(self) -> float:
+        """Fraction of DRAM fills served from a remote chip."""
+        total = self.local_fetches + self.remote_fetches
+        return self.remote_fetches / total if total else 0.0
+
+    @property
+    def homed_pages(self) -> int:
+        return len(self._home)
+
+    def reset_stats(self) -> None:
+        """Zero fetch counters; page homes persist (they are OS state)."""
+        self.local_fetches = 0
+        self.remote_fetches = 0
+
+
+class AutoNUMA(FirstTouchNUMA):
+    """First-touch homing plus threshold-based page migration.
+
+    Mirrors Linux's AutoNUMA in spirit: each page tracks remote fetches
+    per chip; once one chip accumulates ``migrate_threshold`` of them, the
+    page is rehomed there (the triggering access pays ``migrate_latency``
+    for the copy) and the counters reset.  Local fetches decay the
+    counters, so ping-ponging between chips that genuinely share the page
+    does not thrash migrations.
+    """
+
+    def __init__(self, config: NUMAConfig | None = None, line_size: int = 64):
+        super().__init__(config or NUMAConfig(auto_migrate=True), line_size)
+        self._remote_counts: Dict[int, Dict[int, int]] = {}
+        self.page_migrations = 0
+
+    def memory_latency(self, chip: int, line: int) -> int:
+        """Fill latency; counts remote claims and migrates hot pages."""
+        page = line >> self._page_shift
+        home = self._home.get(page)
+        if home is None:
+            self._home[page] = chip
+            self.local_fetches += 1
+            return self.config.local_latency
+        if home == chip:
+            self.local_fetches += 1
+            # Local use decays foreign claims on this page.
+            counts = self._remote_counts.get(page)
+            if counts:
+                for other in list(counts):
+                    counts[other] -= 1
+                    if counts[other] <= 0:
+                        del counts[other]
+            return self.config.local_latency
+        self.remote_fetches += 1
+        counts = self._remote_counts.setdefault(page, {})
+        counts[chip] = counts.get(chip, 0) + 1
+        if counts[chip] >= self.config.migrate_threshold:
+            self._home[page] = chip
+            self._remote_counts.pop(page, None)
+            self.page_migrations += 1
+            return (self.config.local_latency + self.config.remote_penalty
+                    + self.config.migrate_latency)
+        return self.config.local_latency + self.config.remote_penalty
+
+    def reset_stats(self) -> None:
+        """Zero fetch counters; homes and migration counters persist."""
+        super().reset_stats()
+
+
+class UniformMemory:
+    """UMA stand-in with the same interface (always local latency)."""
+
+    def __init__(self, latency: int = 200):
+        self.latency = latency
+
+    def memory_latency(self, chip: int, line: int) -> int:
+        """Same fill latency regardless of requester or page."""
+        return self.latency

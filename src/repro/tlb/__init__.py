@@ -1,0 +1,22 @@
+"""Virtual-memory substrate: page table, set-associative TLBs, per-core MMUs.
+
+The TLB model is the observable the paper's mechanism is built on: per-core
+set-associative translation caches with LRU replacement whose *contents*
+(resident page numbers) can be probed by the detection mechanisms, either on
+a miss trap (software-managed) or by a periodic privileged scan
+(hardware-managed).
+"""
+
+from repro.tlb.pagetable import PageTable, PageTableConfig
+from repro.tlb.tlb import TLB, TLBConfig, TLBStats
+from repro.tlb.mmu import MMU, TLBManagement
+
+__all__ = [
+    "PageTable",
+    "PageTableConfig",
+    "TLB",
+    "TLBConfig",
+    "TLBStats",
+    "MMU",
+    "TLBManagement",
+]

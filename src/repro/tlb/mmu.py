@@ -1,0 +1,121 @@
+"""Per-core memory-management unit.
+
+The MMU is the core-side front end of virtual memory: every access consults
+the TLB; on a miss the translation is fetched from the page table and the
+entry filled.  Two management disciplines are modeled, matching Section IV
+of the paper:
+
+* ``SOFTWARE`` (SPARC/MIPS style): a miss traps to the OS.  The trap itself
+  costs extra cycles, and the OS has the hook point where the SM detection
+  mechanism runs — the ``miss_hooks`` fire *inside* the trap handler.
+* ``HARDWARE`` (x86 style): the hardware walker fetches the entry; no trap.
+  Miss hooks still fire (the simulator uses them for statistics), but the
+  HM detection mechanism does not rely on them — it scans TLB contents
+  periodically instead.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional
+
+from repro.tlb.pagetable import PageTable
+from repro.tlb.tlb import TLB, TLBConfig
+
+#: Signature of a TLB-miss hook: (core_id, vpn) -> extra cycles to charge.
+MissHook = Callable[[int, int], int]
+
+
+class TLBManagement(enum.Enum):
+    """Who refills the TLB on a miss."""
+
+    SOFTWARE = "software"
+    HARDWARE = "hardware"
+
+
+class MMU:
+    """TLB + walker for one core.
+
+    Args:
+        core_id: index of the owning core.
+        page_table: shared :class:`PageTable`.
+        tlb_config: geometry of this core's TLB.
+        management: software- or hardware-managed refill.
+        trap_latency: extra cycles for the OS trap on a software-managed
+            miss (kernel entry/exit); zero for hardware-managed.
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        page_table: PageTable,
+        tlb_config: Optional[TLBConfig] = None,
+        management: TLBManagement = TLBManagement.HARDWARE,
+        trap_latency: int = 60,
+        l2_tlb_config: Optional[TLBConfig] = None,
+        l2_tlb_latency: int = 7,
+    ):
+        """See class docstring.  ``l2_tlb_config`` adds a second-level TLB
+        (Nehalem-style: small L1 TLB backed by a larger unified L2 TLB); an
+        L1 miss that hits the L2 TLB pays ``l2_tlb_latency`` instead of a
+        walk, and *does not* trap or fire miss hooks — which is exactly why
+        the paper sizes its mechanism on the L1 TLB ("the size of the L1
+        TLB in the Intel Nehalem architecture")."""
+        self.core_id = core_id
+        self.page_table = page_table
+        self.tlb = TLB(tlb_config, core_id=core_id)
+        self.l2_tlb = (
+            TLB(l2_tlb_config, core_id=core_id) if l2_tlb_config else None
+        )
+        self.l2_tlb_latency = l2_tlb_latency
+        self.management = management
+        self.trap_latency = trap_latency if management is TLBManagement.SOFTWARE else 0
+        self.miss_hooks: List[MissHook] = []
+        self._page_shift = self.tlb.config.page_size.bit_length() - 1
+
+    def add_miss_hook(self, hook: MissHook) -> None:
+        """Register a hook fired on every TLB miss (detection mechanisms)."""
+        self.miss_hooks.append(hook)
+
+    def translate(self, addr: int) -> int:
+        """Translate a virtual address; returns cycles spent on translation.
+
+        A TLB hit is free (the lookup overlaps the L1 access in real
+        pipelines).  A miss pays the table walk, the management trap if
+        software-managed, and whatever the miss hooks charge.
+        """
+        vpn = addr >> self._page_shift
+        if self.tlb.lookup(vpn):
+            return 0
+        if self.l2_tlb is not None and self.l2_tlb.lookup(vpn):
+            # Second-level hit: refill the L1 TLB, skip walk/trap/hooks.
+            pfn = self.page_table.translate(vpn)
+            self.tlb.fill(vpn, pfn if pfn is not None else 0)
+            return self.l2_tlb_latency
+        pfn, walk_cost = self.page_table.walk(vpn)
+        cost = walk_cost + self.trap_latency
+        for hook in self.miss_hooks:
+            cost += hook(self.core_id, vpn)
+        self.tlb.fill(vpn, pfn)
+        if self.l2_tlb is not None:
+            self.l2_tlb.fill(vpn, pfn)
+        return cost
+
+    def vpn_of(self, addr: int) -> int:
+        """Virtual page number of ``addr``."""
+        return addr >> self._page_shift
+
+    def shootdown(self, vpn: int) -> bool:
+        """Invalidate one TLB entry at every level (page-table change)."""
+        hit = self.tlb.invalidate(vpn)
+        if self.l2_tlb is not None:
+            hit = self.l2_tlb.invalidate(vpn) or hit
+        return hit
+
+    @property
+    def stats(self):
+        """This core's :class:`~repro.tlb.tlb.TLBStats`."""
+        return self.tlb.stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MMU(core={self.core_id}, {self.management.value}, {self.tlb!r})"

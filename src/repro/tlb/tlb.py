@@ -1,0 +1,219 @@
+"""Set-associative TLB with LRU replacement.
+
+This is the data structure the whole paper revolves around: a small,
+per-core translation cache whose residency set approximates "pages this
+core touched recently".  The default geometry — 64 entries, 4-way — is the
+paper's (the UltraSPARC D-TLB and the Nehalem L1 D-TLB size).
+
+Besides the usual lookup/fill interface the class exposes the two probe
+operations the detection mechanisms need:
+
+* ``probe(vpn)`` — non-destructive membership test (SM searches the *other*
+  cores' TLBs for the page that just missed); Θ(ways) for a set-associative
+  TLB, which is the paper's Θ(P) argument.
+* ``set_entries(index)`` / ``resident_pages()`` — bulk content access used
+  by the HM mechanism's periodic all-pairs scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.util.validation import check_power_of_two
+
+#: Sentinel tag for an empty way.
+_EMPTY = -1
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """TLB geometry.
+
+    Attributes:
+        entries: total entry count (power of two).
+        ways: associativity; ``ways == entries`` gives a fully associative
+            TLB (the paper analyzes both).
+        page_size: bytes per page (used by callers to split addresses; the
+            TLB itself only sees virtual page numbers).
+    """
+
+    entries: int = 64
+    ways: int = 4
+    page_size: int = 4096
+
+    def __post_init__(self) -> None:
+        check_power_of_two("entries", self.entries)
+        check_power_of_two("ways", self.ways)
+        check_power_of_two("page_size", self.page_size)
+        if self.ways > self.entries:
+            raise ValueError(
+                f"ways ({self.ways}) cannot exceed entries ({self.entries})"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (1 when fully associative)."""
+        return self.entries // self.ways
+
+    @property
+    def fully_associative(self) -> bool:
+        return self.num_sets == 1
+
+
+@dataclass
+class TLBStats:
+    """Hit/miss/eviction counters for one TLB."""
+
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss fraction in [0, 1]; 0.0 before any access."""
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+
+class TLB:
+    """One core's translation lookaside buffer.
+
+    Tags are virtual page numbers; the stored translation (physical frame)
+    is kept alongside so the model round-trips real translations, although
+    the detection mechanisms only ever compare the virtual tags.
+    """
+
+    def __init__(self, config: Optional[TLBConfig] = None, core_id: int = 0):
+        self.config = config or TLBConfig()
+        self.core_id = core_id
+        self.stats = TLBStats()
+        n = self.config.num_sets
+        w = self.config.ways
+        # Parallel per-set arrays: plain lists beat numpy for sub-10-way scans.
+        self._tags: List[List[int]] = [[_EMPTY] * w for _ in range(n)]
+        self._pfns: List[List[int]] = [[_EMPTY] * w for _ in range(n)]
+        self._stamp: List[List[int]] = [[0] * w for _ in range(n)]
+        self._clock = 0
+        self._set_mask = n - 1
+
+    # -- core interface ----------------------------------------------------
+
+    def set_index(self, vpn: int) -> int:
+        """Set an entry for ``vpn`` would live in."""
+        return vpn & self._set_mask
+
+    def lookup(self, vpn: int) -> bool:
+        """LRU-updating lookup.  Returns hit/miss and counts it."""
+        self._clock += 1
+        tags = self._tags[vpn & self._set_mask]
+        for way, tag in enumerate(tags):
+            if tag == vpn:
+                self._stamp[vpn & self._set_mask][way] = self._clock
+                self.stats.hits += 1
+                return True
+        self.stats.misses += 1
+        return False
+
+    def fill(self, vpn: int, pfn: int = 0) -> Optional[int]:
+        """Insert a translation, evicting LRU if the set is full.
+
+        Returns the evicted virtual page number, or None if a free way was
+        used.  Filling a vpn that is already resident refreshes it in place.
+        """
+        self._clock += 1
+        idx = vpn & self._set_mask
+        tags = self._tags[idx]
+        stamps = self._stamp[idx]
+        free = -1
+        for way, tag in enumerate(tags):
+            if tag == vpn:
+                self._pfns[idx][way] = pfn
+                stamps[way] = self._clock
+                return None
+            if tag == _EMPTY and free < 0:
+                free = way
+        self.stats.fills += 1
+        if free >= 0:
+            way = free
+            evicted = None
+        else:
+            # Manual LRU scan over <= `ways` stamps (hot path).
+            way = 0
+            best = stamps[0]
+            for w in range(1, len(stamps)):
+                if stamps[w] < best:
+                    best = stamps[w]
+                    way = w
+            evicted = tags[way]
+            self.stats.evictions += 1
+        tags[way] = vpn
+        self._pfns[idx][way] = pfn
+        stamps[way] = self._clock
+        return evicted
+
+    def invalidate(self, vpn: int) -> bool:
+        """Drop a translation (TLB shootdown).  Returns whether present."""
+        idx = vpn & self._set_mask
+        tags = self._tags[idx]
+        for way, tag in enumerate(tags):
+            if tag == vpn:
+                tags[way] = _EMPTY
+                self._pfns[idx][way] = _EMPTY
+                self.stats.invalidations += 1
+                return True
+        return False
+
+    def flush(self) -> None:
+        """Drop all translations (context switch / full shootdown)."""
+        for idx in range(len(self._tags)):
+            w = self.config.ways
+            self._tags[idx] = [_EMPTY] * w
+            self._pfns[idx] = [_EMPTY] * w
+            self._stamp[idx] = [0] * w
+
+    # -- detection-mechanism interface --------------------------------------
+
+    def probe(self, vpn: int) -> bool:
+        """Non-destructive membership test (does not touch LRU or stats).
+
+        This is the SM mechanism's primitive: on a miss in core A, probe the
+        TLBs of all other cores for the missing page.
+        """
+        return vpn in self._tags[vpn & self._set_mask]
+
+    def set_entries(self, index: int) -> List[int]:
+        """Resident virtual page numbers of set ``index`` (no sentinels)."""
+        return [t for t in self._tags[index] if t != _EMPTY]
+
+    def resident_pages(self) -> List[int]:
+        """All resident virtual page numbers (the TLB 'snapshot')."""
+        out: List[int] = []
+        for tags in self._tags:
+            for t in tags:
+                if t != _EMPTY:
+                    out.append(t)
+        return out
+
+    def occupancy(self) -> int:
+        """Number of live entries."""
+        return sum(1 for tags in self._tags for t in tags if t != _EMPTY)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.resident_pages())
+
+    def __contains__(self, vpn: int) -> bool:
+        return self.probe(vpn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        c = self.config
+        return (
+            f"TLB(core={self.core_id}, {c.entries}e/{c.ways}w, "
+            f"occupancy={self.occupancy()})"
+        )

@@ -1,0 +1,48 @@
+"""Shared utilities: seeded RNG plumbing, statistics, ASCII rendering, validation.
+
+These helpers are intentionally dependency-light (numpy only) and are used by
+every other subpackage.  Nothing in here knows about TLBs, caches, or
+thread mapping.
+"""
+
+from repro.util.rng import SeedSequenceFactory, as_rng, derive_seed
+from repro.util.stats import (
+    RunningStats,
+    confidence_interval95,
+    geometric_mean,
+    normalized,
+    percent_change,
+    summarize,
+)
+from repro.util.render import (
+    ascii_heatmap,
+    bar_chart,
+    format_table,
+    shade_char,
+)
+from repro.util.validation import (
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+    check_probability,
+)
+
+__all__ = [
+    "SeedSequenceFactory",
+    "as_rng",
+    "derive_seed",
+    "RunningStats",
+    "confidence_interval95",
+    "geometric_mean",
+    "normalized",
+    "percent_change",
+    "summarize",
+    "ascii_heatmap",
+    "bar_chart",
+    "format_table",
+    "shade_char",
+    "check_in_range",
+    "check_positive",
+    "check_power_of_two",
+    "check_probability",
+]

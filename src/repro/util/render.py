@@ -1,0 +1,120 @@
+"""Plain-text rendering of the paper's figures.
+
+The paper's communication patterns (Figures 4 & 5) are grayscale
+thread-by-thread heatmaps; Figures 6-9 are grouped bar charts.  We render
+both as Unicode text so that benchmark harnesses can regenerate them on any
+terminal without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+# Darker = more communication, matching the paper's figures.
+_SHADES = " .:-=+*#%@"
+
+
+def shade_char(value: float, vmax: float) -> str:
+    """Map ``value`` in [0, vmax] to one of ten density characters."""
+    if vmax <= 0 or value <= 0:
+        return _SHADES[0]
+    frac = min(1.0, float(value) / float(vmax))
+    idx = min(len(_SHADES) - 1, int(round(frac * (len(_SHADES) - 1))))
+    return _SHADES[idx]
+
+
+def ascii_heatmap(
+    matrix: np.ndarray,
+    title: str = "",
+    labels: Optional[Sequence[str]] = None,
+    normalize: bool = True,
+) -> str:
+    """Render a square matrix as an ASCII heatmap.
+
+    The diagonal is rendered as ``·`` (self-communication is meaningless in
+    the paper's communication matrices).
+    """
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {m.shape}")
+    n = m.shape[0]
+    if labels is None:
+        labels = [str(i) for i in range(n)]
+    off = m.copy()
+    np.fill_diagonal(off, 0.0)
+    vmax = float(off.max()) if normalize else 1.0
+    width = max(len(str(lbl)) for lbl in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * (width + 1) + " ".join(f"{lbl:>1}" for lbl in labels)
+    lines.append(header)
+    for i in range(n):
+        row = []
+        for j in range(n):
+            if i == j:
+                row.append("·")
+            else:
+                row.append(shade_char(off[i, j], vmax))
+        lines.append(f"{labels[i]:>{width}} " + " ".join(row))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    reference: float = 1.0,
+) -> str:
+    """Render a horizontal bar chart of {label: value}.
+
+    A vertical tick marks ``reference`` (the OS-normalized 1.0 line of
+    Figures 6-9) when it falls inside the plotted range.
+    """
+    if not values:
+        return title
+    vmax = max(max(values.values()), reference, 1e-12)
+    label_w = max(len(k) for k in values)
+    ref_col = int(round(reference / vmax * width))
+    lines = [title] if title else []
+    for k, v in values.items():
+        n = int(round(max(v, 0.0) / vmax * width))
+        bar = list("█" * n + " " * (width - n))
+        if 0 <= ref_col < width and reference < vmax + 1e-12:
+            bar[ref_col] = "│" if bar[ref_col] == " " else bar[ref_col]
+        lines.append(f"{k:>{label_w}} |{''.join(bar)}| {v:.3f}")
+    return "\n".join(lines)
+
+
+def format_table(
+    rows: Sequence[Sequence[object]],
+    header: Optional[Sequence[str]] = None,
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Format rows as an aligned text table (paper-style tables III-V)."""
+    def fmt(x: object) -> str:
+        if isinstance(x, float):
+            return float_fmt.format(x)
+        return str(x)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    all_rows = ([list(map(str, header))] if header else []) + str_rows
+    if not all_rows:
+        return ""
+    ncols = max(len(r) for r in all_rows)
+    widths = [0] * ncols
+    for r in all_rows:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if header:
+        lines.append("  ".join(f"{c:<{widths[i]}}" for i, c in enumerate(all_rows[0])))
+        lines.append("  ".join("-" * w for w in widths))
+        body = all_rows[1:]
+    else:
+        body = all_rows
+    for r in body:
+        lines.append("  ".join(f"{c:<{widths[i]}}" for i, c in enumerate(r)))
+    return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Statistics helpers used by the experiment harness.
+
+The paper reports means over 100 runs plus standard deviations (Table V);
+``RunningStats`` accumulates those without storing every sample, and the
+module-level helpers cover the normalizations used in Figures 6-9.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+class RunningStats:
+    """Welford online mean/variance accumulator.
+
+    Numerically stable for long run ensembles; supports merging partial
+    accumulators (used when experiment shards run independently).
+    """
+
+    __slots__ = ("n", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def push(self, x: float) -> None:
+        """Add one sample."""
+        x = float(x)
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        self._min = min(self._min, x)
+        self._max = max(self._max, x)
+
+    def extend(self, xs: Iterable[float]) -> None:
+        """Add many samples."""
+        for x in xs:
+            self.push(x)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Combine two accumulators (parallel Welford merge)."""
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n = other.n
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            return self
+        n = self.n + other.n
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.n * other.n / n
+        self._mean += delta * other.n / n
+        self.n = n
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        return self
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (needs n >= 2)."""
+        return self._m2 / (self.n - 1) if self.n >= 2 else 0.0
+
+    @property
+    def std(self) -> float:
+        """Unbiased sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def relative_std(self) -> float:
+        """std / |mean| — the paper's Table V reports this as a percentage."""
+        return self.std / abs(self._mean) if self.n >= 2 and self._mean else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self.n else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.n else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunningStats(n={self.n}, mean={self.mean:.6g}, std={self.std:.6g})"
+
+
+def summarize(samples: Sequence[float]) -> RunningStats:
+    """Build a :class:`RunningStats` from a sequence."""
+    rs = RunningStats()
+    rs.extend(samples)
+    return rs
+
+
+def confidence_interval95(samples: Sequence[float]) -> tuple[float, float]:
+    """Normal-approximation 95% CI on the mean of ``samples``."""
+    rs = summarize(samples)
+    if rs.n < 2:
+        return (rs.mean, rs.mean)
+    half = 1.96 * rs.std / math.sqrt(rs.n)
+    return (rs.mean - half, rs.mean + half)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (speedup aggregation)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric_mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def normalized(values: Mapping[str, float], baseline: str) -> Dict[str, float]:
+    """Normalize a {label: value} mapping to ``values[baseline]``.
+
+    This is the transform behind Figures 6-9 (everything relative to the
+    OS scheduler).  A zero baseline normalizes to zero to keep homogeneous
+    benchmarks (e.g. EP snoop counts) well defined.
+    """
+    if baseline not in values:
+        raise KeyError(f"baseline {baseline!r} not among {sorted(values)}")
+    base = values[baseline]
+    if base == 0:
+        return {k: 0.0 for k in values}
+    return {k: v / base for k, v in values.items()}
+
+
+def percent_change(new: float, old: float) -> float:
+    """Signed percent change from ``old`` to ``new`` (negative = reduction)."""
+    if old == 0:
+        return 0.0
+    return 100.0 * (new - old) / old
+
+
+@dataclass
+class MetricSeries:
+    """Named collection of run ensembles, one RunningStats per label."""
+
+    name: str
+    stats: Dict[str, RunningStats] = field(default_factory=dict)
+
+    def push(self, label: str, value: float) -> None:
+        """Add one sample under ``label``."""
+        self.stats.setdefault(label, RunningStats()).push(value)
+
+    def means(self) -> Dict[str, float]:
+        """Per-label sample means."""
+        return {k: v.mean for k, v in self.stats.items()}
+
+    def relative_stds(self) -> Dict[str, float]:
+        """Per-label coefficient of variation (Table V semantics)."""
+        return {k: v.relative_std for k, v in self.stats.items()}

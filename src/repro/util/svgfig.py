@@ -1,0 +1,174 @@
+"""Dependency-free SVG rendering of the paper's figure types.
+
+The text renderers in :mod:`repro.util.render` serve terminals; these
+produce standalone ``.svg`` files for papers/READMEs — communication
+heatmaps (Figures 4/5) and grouped bar charts (Figures 6-9).  Plain
+string assembly, no plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+#: Bar fill colours per policy, matching the paper's OS/SM/HM grouping.
+SERIES_COLORS = ("#9aa0a6", "#1a73e8", "#ea8600", "#188038", "#d93025")
+
+_FONT = 'font-family="Helvetica, Arial, sans-serif"'
+
+
+def _svg_document(width: int, height: int, body: List[str]) -> str:
+    head = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">'
+    )
+    return "\n".join([head, *body, "</svg>"])
+
+
+def _gray(value: float, vmax: float) -> str:
+    """Paper-style grayscale: darker = more communication."""
+    if vmax <= 0:
+        frac = 0.0
+    else:
+        frac = min(1.0, max(0.0, float(value) / float(vmax)))
+    level = int(round(255 * (1.0 - frac)))
+    return f"rgb({level},{level},{level})"
+
+
+def heatmap_svg(
+    matrix: np.ndarray,
+    title: str = "",
+    cell: int = 28,
+    labels: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a communication matrix as an SVG heatmap (Figures 4/5 style)."""
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {m.shape}")
+    n = m.shape[0]
+    labels = [str(x) for x in (labels or range(n))]
+    off = m.copy()
+    np.fill_diagonal(off, 0.0)
+    vmax = float(off.max())
+    margin = 34
+    top = 30 if title else 10
+    width = margin + n * cell + 10
+    height = top + n * cell + margin
+    body: List[str] = []
+    if title:
+        body.append(
+            f'<text x="{margin}" y="18" {_FONT} font-size="13">'
+            f"{escape(title)}</text>"
+        )
+    for i in range(n):
+        for j in range(n):
+            x = margin + j * cell
+            y = top + i * cell
+            fill = "#ffffff" if i == j else _gray(off[i, j], vmax)
+            body.append(
+                f'<rect x="{x}" y="{y}" width="{cell}" height="{cell}" '
+                f'fill="{fill}" stroke="#cccccc" stroke-width="0.5"/>'
+            )
+            if i == j:
+                cx = x + cell / 2
+                cy = y + cell / 2 + 1
+                body.append(
+                    f'<circle cx="{cx}" cy="{cy}" r="1.5" fill="#999999"/>'
+                )
+    for k, lbl in enumerate(labels):
+        body.append(
+            f'<text x="{margin + k * cell + cell / 2}" '
+            f'y="{top + n * cell + 14}" {_FONT} font-size="10" '
+            f'text-anchor="middle">{escape(lbl)}</text>'
+        )
+        body.append(
+            f'<text x="{margin - 6}" y="{top + k * cell + cell / 2 + 3}" '
+            f'{_FONT} font-size="10" text-anchor="end">{escape(lbl)}</text>'
+        )
+    return _svg_document(width, height, body)
+
+
+def grouped_bars_svg(
+    data: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    series_order: Optional[Sequence[str]] = None,
+    bar_width: int = 14,
+    plot_height: int = 160,
+    reference: float = 1.0,
+) -> str:
+    """Render {group: {series: value}} as grouped bars (Figures 6-9 style).
+
+    A dashed line marks ``reference`` (the OS-normalized 1.0).
+    """
+    if not data:
+        raise ValueError("no data to plot")
+    groups = list(data)
+    series = list(series_order or next(iter(data.values())))
+    vmax = max(
+        max((row.get(s, 0.0) for s in series), default=0.0)
+        for row in data.values()
+    )
+    vmax = max(vmax, reference) * 1.1 or 1.0
+    gap = 18
+    group_w = len(series) * bar_width + gap
+    margin_l, margin_b, top = 40, 36, 30 if title else 12
+    width = margin_l + len(groups) * group_w + 20
+    height = top + plot_height + margin_b
+    body: List[str] = []
+    if title:
+        body.append(
+            f'<text x="{margin_l}" y="18" {_FONT} font-size="13">'
+            f"{escape(title)}</text>"
+        )
+
+    def y_of(v: float) -> float:
+        return top + plot_height * (1.0 - v / vmax)
+
+    # Reference line.
+    if 0 < reference <= vmax:
+        body.append(
+            f'<line x1="{margin_l}" y1="{y_of(reference):.1f}" '
+            f'x2="{width - 10}" y2="{y_of(reference):.1f}" '
+            f'stroke="#888888" stroke-dasharray="4,3" stroke-width="1"/>'
+        )
+    # Bars.
+    for gi, group in enumerate(groups):
+        for si, s in enumerate(series):
+            v = float(data[group].get(s, 0.0))
+            x = margin_l + gi * group_w + si * bar_width
+            y = y_of(max(v, 0.0))
+            h = top + plot_height - y
+            color = SERIES_COLORS[si % len(SERIES_COLORS)]
+            body.append(
+                f'<rect x="{x}" y="{y:.1f}" width="{bar_width - 2}" '
+                f'height="{h:.1f}" fill="{color}"/>'
+            )
+        body.append(
+            f'<text x="{margin_l + gi * group_w + (group_w - gap) / 2}" '
+            f'y="{top + plot_height + 14}" {_FONT} font-size="10" '
+            f'text-anchor="middle">{escape(str(group))}</text>'
+        )
+    # Baseline + legend.
+    body.append(
+        f'<line x1="{margin_l}" y1="{top + plot_height}" '
+        f'x2="{width - 10}" y2="{top + plot_height}" '
+        f'stroke="#333333" stroke-width="1"/>'
+    )
+    for si, s in enumerate(series):
+        x = margin_l + si * 70
+        y = top + plot_height + 28
+        color = SERIES_COLORS[si % len(SERIES_COLORS)]
+        body.append(f'<rect x="{x}" y="{y - 9}" width="10" height="10" fill="{color}"/>')
+        body.append(
+            f'<text x="{x + 14}" y="{y}" {_FONT} font-size="10">'
+            f"{escape(str(s))}</text>"
+        )
+    return _svg_document(width, height, body)
+
+
+def save_svg(svg: str, path) -> None:
+    """Write an SVG string to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(svg + "\n")

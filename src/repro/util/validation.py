@@ -1,0 +1,43 @@
+"""Argument-validation helpers with consistent error messages.
+
+Hardware-model parameters (cache geometry, TLB geometry, page sizes) have
+structural constraints — power-of-two sizes, positive counts — that are
+easy to violate silently.  These helpers fail fast with the parameter name
+in the message.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+Number = Union[int, float]
+
+
+def check_positive(name: str, value: Number) -> Number:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_power_of_two(name: str, value: int) -> int:
+    """Require ``value`` to be a positive power of two (sizes, ways, pages)."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ValueError(f"{name} must be a positive power of two, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``0.0 <= value <= 1.0``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_in_range(name: str, value: Number, lo: Number, hi: Number) -> Number:
+    """Require ``lo <= value <= hi``."""
+    if not lo <= value <= hi:
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value

@@ -1,0 +1,36 @@
+"""Workloads: synthetic trace kernels standing in for the NAS benchmarks.
+
+The detection mechanism only ever observes page-level memory-access
+streams, so each workload is a *trace kernel*: it lays out the benchmark's
+arrays in a simulated virtual address space and emits, phase by phase, the
+per-thread access streams the real benchmark's data decomposition would
+produce.  See DESIGN.md §2 for the substitution argument.
+"""
+
+from repro.workloads.base import AccessStream, Phase, Workload, concat_streams
+from repro.workloads.synthetic import (
+    AllToAllWorkload,
+    FalseSharingWorkload,
+    MasterWorkerWorkload,
+    NearestNeighborWorkload,
+    PhaseShiftWorkload,
+    PipelineWorkload,
+    PrivateWorkload,
+)
+from repro.workloads.npb import NPB_BENCHMARKS, make_npb_workload
+
+__all__ = [
+    "AccessStream",
+    "Phase",
+    "Workload",
+    "concat_streams",
+    "AllToAllWorkload",
+    "FalseSharingWorkload",
+    "MasterWorkerWorkload",
+    "NearestNeighborWorkload",
+    "PhaseShiftWorkload",
+    "PipelineWorkload",
+    "PrivateWorkload",
+    "NPB_BENCHMARKS",
+    "make_npb_workload",
+]

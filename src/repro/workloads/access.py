@@ -1,0 +1,123 @@
+"""Vectorized access-pattern primitives shared by all trace kernels.
+
+Every generator returns an int64 numpy array of byte addresses; kernels
+compose these into :class:`~repro.workloads.base.AccessStream` objects.
+Strides default to one access per cache line — the granularity at which
+both the cache model and (after the page split) the TLB see behaviour —
+keeping traces compact without changing which lines/pages get touched.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.mem.address import Region
+
+#: Default inter-access stride: one touch per 64-byte cache line.
+LINE_STRIDE = 64
+
+
+def sweep(region: Region, start: int = 0, end: Optional[int] = None,
+          stride: int = LINE_STRIDE, repeats: int = 1) -> np.ndarray:
+    """Sequential sweep over ``region[start:end]``, repeated ``repeats`` times.
+
+    The bread-and-butter pattern of structured-grid kernels: a stencil
+    update marches linearly through the subdomain.
+    """
+    if end is None:
+        end = region.size
+    if not 0 <= start < end <= region.size:
+        raise ValueError(
+            f"invalid sweep range [{start}, {end}) in region of {region.size} bytes"
+        )
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1, got {stride}")
+    once = np.arange(start, end, stride, dtype=np.int64) + region.base
+    if repeats == 1:
+        return once
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    return np.tile(once, repeats)
+
+
+def strided_gather(region: Region, count: int, stride: int,
+                   start: int = 0) -> np.ndarray:
+    """``count`` accesses at a fixed stride, wrapping around the region.
+
+    Models column-major walks over row-major arrays (matrix transposes,
+    FFT butterflies): large strides touch one line per page and blow
+    through the TLB reach.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    offs = (start + stride * np.arange(count, dtype=np.int64)) % region.size
+    return offs + region.base
+
+
+def random_touch(region: Region, count: int, rng: np.random.Generator,
+                 align: int = LINE_STRIDE, start: int = 0,
+                 end: Optional[int] = None) -> np.ndarray:
+    """``count`` uniform-random line-aligned touches in ``region[start:end]``.
+
+    Models hash/bucket scatter (IS key ranking) and pointer chasing; with a
+    range much larger than TLB reach this is what drives a benchmark's TLB
+    miss rate up.
+    """
+    if end is None:
+        end = region.size
+    if not 0 <= start < end <= region.size:
+        raise ValueError(f"invalid range [{start}, {end})")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    slots = (end - start) // align
+    if slots <= 0:
+        raise ValueError("range smaller than alignment")
+    offs = start + rng.integers(0, slots, size=count, endpoint=False) * align
+    return offs.astype(np.int64) + region.base
+
+
+def hotspot_touch(region: Region, count: int, rng: np.random.Generator,
+                  hot_fraction: float = 0.1, hot_probability: float = 0.9,
+                  align: int = LINE_STRIDE) -> np.ndarray:
+    """Zipf-ish accesses: ``hot_probability`` of touches land in the first
+    ``hot_fraction`` of the region (sparse-matrix row bands, lock words)."""
+    if not 0 < hot_fraction <= 1:
+        raise ValueError("hot_fraction must be in (0, 1]")
+    if not 0 <= hot_probability <= 1:
+        raise ValueError("hot_probability must be in [0, 1]")
+    hot_end = max(align, int(region.size * hot_fraction) // align * align)
+    is_hot = rng.random(count) < hot_probability
+    n_hot = int(is_hot.sum())
+    out = np.empty(count, dtype=np.int64)
+    if n_hot:
+        out[is_hot] = random_touch(region, n_hot, rng, align=align, end=hot_end)
+    n_cold = count - n_hot
+    if n_cold:
+        if hot_end >= region.size:
+            out[~is_hot] = random_touch(region, n_cold, rng, align=align)
+        else:
+            out[~is_hot] = random_touch(
+                region, n_cold, rng, align=align, start=hot_end
+            )
+    return out
+
+
+def boundary_pages(region: Region, halo_bytes: int, side: str,
+                   stride: int = LINE_STRIDE) -> np.ndarray:
+    """Addresses of one boundary strip of a subdomain slab.
+
+    ``side="low"`` is the first ``halo_bytes`` of the region, ``"high"``
+    the last — what a domain-decomposition neighbour reads during halo
+    exchange.
+    """
+    if not 0 < halo_bytes <= region.size:
+        raise ValueError(
+            f"halo_bytes {halo_bytes} out of range for region of {region.size}"
+        )
+    if side == "low":
+        return sweep(region, 0, halo_bytes, stride)
+    if side == "high":
+        return sweep(region, region.size - halo_bytes, region.size, stride)
+    raise ValueError(f"side must be 'low' or 'high', got {side!r}")

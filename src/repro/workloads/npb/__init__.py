@@ -1,0 +1,71 @@
+"""Synthetic NAS Parallel Benchmark trace kernels (OpenMP, W-class shapes).
+
+Each module reproduces the *memory-access structure* of one NPB benchmark
+at the page/line level — the only thing the paper's mechanism observes —
+per the substitution documented in DESIGN.md §2.  The registry maps the
+paper's benchmark names to factories:
+
+>>> from repro.workloads.npb import make_npb_workload
+>>> bt = make_npb_workload("bt", num_threads=8, scale=0.5, seed=1)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.util.rng import RngLike
+from repro.workloads.base import Workload
+
+from repro.workloads.npb.bt import BTWorkload
+from repro.workloads.npb.cg import CGWorkload
+from repro.workloads.npb.ep import EPWorkload
+from repro.workloads.npb.ft import FTWorkload
+from repro.workloads.npb.is_ import ISWorkload
+from repro.workloads.npb.lu import LUWorkload
+from repro.workloads.npb.mg import MGWorkload
+from repro.workloads.npb.sp import SPWorkload
+from repro.workloads.npb.ua import UAWorkload
+
+#: Benchmark name → workload class, in the paper's order (DC is excluded
+#: there too: "We ran all the benchmarks except DC").
+NPB_BENCHMARKS: Dict[str, type] = {
+    "bt": BTWorkload,
+    "cg": CGWorkload,
+    "ep": EPWorkload,
+    "ft": FTWorkload,
+    "is": ISWorkload,
+    "lu": LUWorkload,
+    "mg": MGWorkload,
+    "sp": SPWorkload,
+    "ua": UAWorkload,
+}
+
+
+def make_npb_workload(
+    name: str,
+    num_threads: int = 8,
+    scale: float = 1.0,
+    seed: RngLike = None,
+) -> Workload:
+    """Instantiate a benchmark by its paper name (case-insensitive)."""
+    key = name.lower()
+    if key not in NPB_BENCHMARKS:
+        raise KeyError(
+            f"unknown NPB benchmark {name!r}; known: {sorted(NPB_BENCHMARKS)}"
+        )
+    return NPB_BENCHMARKS[key](num_threads=num_threads, scale=scale, seed=seed)
+
+
+__all__ = [
+    "NPB_BENCHMARKS",
+    "make_npb_workload",
+    "BTWorkload",
+    "CGWorkload",
+    "EPWorkload",
+    "FTWorkload",
+    "ISWorkload",
+    "LUWorkload",
+    "MGWorkload",
+    "SPWorkload",
+    "UAWorkload",
+]

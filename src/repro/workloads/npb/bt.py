@@ -1,0 +1,37 @@
+"""BT — Block Tridiagonal solver.
+
+NPB's BT solves block-tridiagonal systems from an ADI discretization over
+a 3-D structured grid, decomposed into per-thread slabs.  Communication is
+the classic nearest-neighbour halo exchange ("a lot of communication
+between neighboring threads ... most of the shared data is located on the
+borders of each sub-domain", paper Section VI-A), at a moderate
+communication-to-computation ratio — the paper sees clear invalidation and
+snoop reductions from mapping but only a small execution-time gain.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import RngLike
+from repro.workloads.npb.common import GridKernel, GridParams
+
+
+class BTWorkload(GridKernel):
+    """Domain decomposition, moderate halo, medium run length."""
+
+    name = "bt"
+    pattern_class = "domain"
+
+    def __init__(self, num_threads: int = 8, scale: float = 1.0, seed: RngLike = None):
+        super().__init__(
+            GridParams(
+                iterations=10,
+                slab_bytes=256 * 1024,
+                halo_bytes=24 * 1024,
+                write_fraction=0.35,
+                boundary_write_fraction=0.55,
+                sweeps_per_iter=1,
+            ),
+            num_threads=num_threads,
+            scale=scale,
+            seed=seed,
+        )

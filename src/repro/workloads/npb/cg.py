@@ -1,0 +1,84 @@
+"""CG — Conjugate Gradient with an irregular sparse matrix.
+
+The sparse matrix-vector product reads the shared iterate vector through
+an unstructured sparsity pattern: mostly from the reader's own band (and
+its immediate neighbours), with a uniform scatter tail across all
+segments.  That yields the profile the paper describes: an essentially
+homogeneous communication matrix "with traces of a domain decomposition
+pattern ... less expressive compared to BT, IS, LU, SP and UA" — and
+correspondingly no mapping benefit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.mem.address import AddressSpace
+from repro.util.rng import RngLike
+from repro.workloads.access import random_touch, sweep
+from repro.workloads.base import AccessStream, Phase, Workload, concat_streams
+from repro.workloads.npb.common import scaled_iters
+
+
+class CGWorkload(Workload):
+    """SpMV iterations: private matrix data + banded reads of a shared vector."""
+
+    name = "cg"
+    pattern_class = "homogeneous"
+
+    #: Fraction of vector reads landing in the neighbour band (own ±1
+    #: segment); the remainder scatters uniformly — the homogeneous floor.
+    NEIGHBOR_BAND_FRACTION = 0.45
+    GATHER_ACCESSES = 700
+
+    def __init__(self, num_threads: int = 8, scale: float = 1.0, seed: RngLike = None):
+        super().__init__(num_threads, seed)
+        self.iterations = scaled_iters(4, scale)
+        self.space = AddressSpace()
+        self.matrix = [
+            self.space.allocate(f"cg.mat{t}", 64 * 1024)
+            for t in range(num_threads)
+        ]
+        # The shared iterate vector, one owned segment per thread.
+        self.vector = [
+            self.space.allocate(f"cg.vec{t}", 16 * 1024)
+            for t in range(num_threads)
+        ]
+
+    def _gather(self, t: int, it: int) -> AccessStream:
+        """Irregular reads of the shared vector (the SpMV gather)."""
+        rng = self.seeds.generator("gather", it, t)
+        n = self.num_threads
+        counts = np.zeros(n, dtype=int)
+        band = [s for s in (t - 1, t, t + 1) if 0 <= s < n]
+        n_band = int(self.GATHER_ACCESSES * self.NEIGHBOR_BAND_FRACTION)
+        band_picks = np.bincount(
+            rng.integers(0, len(band), size=n_band), minlength=len(band)
+        )
+        for s, c in zip(band, band_picks):
+            counts[s] += int(c)
+        scatter = rng.integers(0, n, size=self.GATHER_ACCESSES - n_band)
+        counts += np.bincount(scatter, minlength=n)
+        parts = []
+        for s in range(n):
+            if counts[s]:
+                parts.append(AccessStream.reads(
+                    random_touch(self.vector[s], int(counts[s]), rng)
+                ))
+        return concat_streams(parts)
+
+    def generate_phases(self) -> Iterator[Phase]:
+        for it in range(self.iterations):
+            streams = []
+            for t in range(self.num_threads):
+                rng = self.seeds.generator("spmv", it, t)
+                parts = [
+                    AccessStream.reads(sweep(self.matrix[t])),
+                    self._gather(t, it),
+                    # Update own vector segment (the axpy).
+                    AccessStream.mixed(sweep(self.vector[t]), 0.7, rng),
+                ]
+                streams.append(concat_streams(parts))
+            yield Phase(f"cg.iter{it}", streams)

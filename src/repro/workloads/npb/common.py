@@ -1,0 +1,155 @@
+"""Shared machinery for the NPB trace kernels.
+
+Most NPB benchmarks are structured-grid solvers parallelized by domain
+decomposition: each thread owns a contiguous slab of the grid, sweeps it
+every iteration, and exchanges halo strips with its slab neighbours.
+:class:`GridKernel` implements that skeleton with knobs for the per-
+benchmark differences (halo width, sweep count, write intensity, the LU
+wavefront's distant-partner exchange, staggered exchange timing).
+
+The benchmark classes in the sibling modules are thin parameterizations of
+this skeleton (BT/SP/LU/MG-fine) or standalone generators for the
+irregular ones (CG, EP, FT, IS, UA).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.mem.address import AddressSpace, Region
+from repro.util.rng import RngLike
+from repro.workloads.access import boundary_pages, sweep
+from repro.workloads.base import AccessStream, Phase, Workload, concat_streams
+
+
+def scaled_iters(base: int, scale: float) -> int:
+    """Scale an iteration count, staying >= 1."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return max(1, int(round(base * scale)))
+
+
+@dataclass(frozen=True)
+class GridParams:
+    """Knobs of the domain-decomposition skeleton.
+
+    Attributes:
+        iterations: outer time steps (scaled by the workload's ``scale``).
+        slab_bytes: private subdomain bytes per thread.
+        halo_bytes: boundary strip shared with each slab neighbour.
+        write_fraction: store fraction during slab sweeps.
+        boundary_write_fraction: store fraction when refreshing own borders
+            (high values drive MESI invalidations on the shared pages).
+        sweeps_per_iter: slab sweeps per iteration (compute intensity).
+        mirror_fraction: extra exchange with thread ``N-1-t`` as a fraction
+            of the halo volume (LU's distant-thread communication).
+        stagger: split each exchange into sub-phases where only a sliding
+            window of threads is active — the temporal structure that
+            biases the HM mechanism's instant sampling.
+    """
+
+    iterations: int = 10
+    slab_bytes: int = 128 * 1024
+    halo_bytes: int = 16 * 1024
+    write_fraction: float = 0.3
+    boundary_write_fraction: float = 0.5
+    sweeps_per_iter: int = 1
+    mirror_fraction: float = 0.0
+    stagger: bool = False
+
+
+class GridKernel(Workload):
+    """Domain-decomposed structured-grid skeleton (see module docstring)."""
+
+    name = "grid"
+    pattern_class = "domain"
+
+    def __init__(
+        self,
+        params: GridParams,
+        num_threads: int = 8,
+        scale: float = 1.0,
+        seed: RngLike = None,
+    ):
+        super().__init__(num_threads, seed)
+        self.params = params
+        self.scale = scale
+        self.iterations = scaled_iters(params.iterations, scale)
+        self.space = AddressSpace()
+        self.slabs: List[Region] = [
+            self.space.allocate(f"{self.name}.slab{t}", params.slab_bytes)
+            for t in range(num_threads)
+        ]
+
+    # -- building blocks (overridable by subclasses) ---------------------------
+
+    def compute_stream(self, t: int, it: int) -> AccessStream:
+        """One iteration of stencil compute over thread t's slab."""
+        rng = self.seeds.generator("compute", it, t)
+        addrs = sweep(self.slabs[t], repeats=self.params.sweeps_per_iter)
+        return AccessStream.mixed(addrs, self.params.write_fraction, rng)
+
+    def exchange_stream(self, t: int, it: int) -> AccessStream:
+        """Halo exchange for thread t: read neighbours, refresh own borders."""
+        p = self.params
+        n = self.num_threads
+        parts: List[AccessStream] = []
+        if t > 0:
+            parts.append(AccessStream.reads(
+                boundary_pages(self.slabs[t - 1], p.halo_bytes, "high")
+            ))
+        if t < n - 1:
+            parts.append(AccessStream.reads(
+                boundary_pages(self.slabs[t + 1], p.halo_bytes, "low")
+            ))
+        if p.mirror_fraction > 0:
+            mirror = n - 1 - t
+            if mirror != t:
+                mbytes = max(
+                    64, int(p.halo_bytes * p.mirror_fraction) // 64 * 64
+                )
+                side = "high" if mirror > t else "low"
+                parts.append(AccessStream.reads(
+                    boundary_pages(self.slabs[mirror], mbytes, side)
+                ))
+        rng = self.seeds.generator("border", it, t)
+        own = np.concatenate([
+            boundary_pages(self.slabs[t], p.halo_bytes, "low"),
+            boundary_pages(self.slabs[t], p.halo_bytes, "high"),
+        ])
+        parts.append(AccessStream.mixed(own, p.boundary_write_fraction, rng))
+        return concat_streams(parts)
+
+    # -- phase emission ----------------------------------------------------------
+
+    def _staggered_exchange(self, it: int) -> Iterator[Phase]:
+        """Exchange split into sliding-window sub-phases (pairs go one
+        after another), so an HM scan catches only whoever is active."""
+        n = self.num_threads
+        window = 2
+        for lo in range(0, n, window):
+            streams = []
+            for t in range(n):
+                if lo <= t < lo + window:
+                    streams.append(self.exchange_stream(t, it))
+                else:
+                    streams.append(AccessStream.empty())
+            yield Phase(f"{self.name}.exchange{it}.w{lo}", streams)
+
+    def generate_phases(self) -> Iterator[Phase]:
+        for it in range(self.iterations):
+            yield Phase(
+                f"{self.name}.compute{it}",
+                [self.compute_stream(t, it) for t in range(self.num_threads)],
+            )
+            if self.params.stagger:
+                yield from self._staggered_exchange(it)
+            else:
+                yield Phase(
+                    f"{self.name}.exchange{it}",
+                    [self.exchange_stream(t, it) for t in range(self.num_threads)],
+                )

@@ -1,0 +1,63 @@
+"""EP — Embarrassingly Parallel (Monte-Carlo Gaussian pairs).
+
+EP "does not share data between the threads" (paper Section VI-B): each
+thread generates and tallies random deviates in private memory, with a
+single tiny shared-result reduction at the very end.  The absolute
+invalidation/snoop counts are therefore minuscule — which is exactly why
+the paper's EP bars bounce around with huge standard deviations and why
+mapping cannot (and should not) help.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.mem.address import AddressSpace
+from repro.util.rng import RngLike
+from repro.workloads.access import random_touch, sweep
+from repro.workloads.base import AccessStream, Phase, Workload
+from repro.workloads.npb.common import scaled_iters
+
+
+class EPWorkload(Workload):
+    """Pure private compute + one tiny final reduction."""
+
+    name = "ep"
+    pattern_class = "none"
+
+    def __init__(self, num_threads: int = 8, scale: float = 1.0, seed: RngLike = None):
+        super().__init__(num_threads, seed)
+        self.iterations = scaled_iters(12, scale)
+        self.space = AddressSpace()
+        self.batches = [
+            self.space.allocate(f"ep.batch{t}", 96 * 1024)
+            for t in range(num_threads)
+        ]
+        # One shared page of global sums, touched a handful of times total.
+        self.result = self.space.allocate("ep.result", 4096)
+
+    def generate_phases(self) -> Iterator[Phase]:
+        for it in range(self.iterations):
+            streams = []
+            for t in range(self.num_threads):
+                rng = self.seeds.generator("ep", it, t)
+                addrs = np.concatenate([
+                    sweep(self.batches[t]),
+                    random_touch(self.batches[t], 512, rng),
+                ])
+                streams.append(AccessStream.mixed(addrs, 0.35, rng))
+            yield Phase(f"ep.batch{it}", streams)
+        # Final reduction: every thread adds its tally into the shared page.
+        reduction = []
+        for t in range(self.num_threads):
+            addrs = self.result.base + np.arange(0, 512, 64, dtype=np.int64)
+            reduction.append(AccessStream(
+                np.concatenate([addrs, addrs]),
+                np.concatenate([
+                    np.zeros(len(addrs), dtype=bool),
+                    np.ones(len(addrs), dtype=bool),
+                ]),
+            ))
+        yield Phase("ep.reduce", reduction)

@@ -1,0 +1,76 @@
+"""FT — 3-D Fast Fourier Transform.
+
+The distributed FFT alternates local 1-D transforms over a thread's own
+panels with a global transpose in which every thread reads an equal slice
+of *every* other thread's panel.  The all-to-all makes the communication
+matrix homogeneous ("CG, EP and FT present homogeneous communication
+patterns") — every placement is equivalent, so mapping buys nothing.
+
+Slices are read contiguously (the transpose's receive side is a packed
+copy), keeping FT's TLB miss rate low as in the paper's Table III; and a
+final local pass after the last transpose re-writes the panels that every
+other thread just read, which is what generates FT's (mapping-insensitive)
+invalidation traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.mem.address import AddressSpace
+from repro.util.rng import RngLike
+from repro.workloads.access import sweep
+from repro.workloads.base import AccessStream, Phase, Workload, concat_streams
+from repro.workloads.npb.common import scaled_iters
+
+
+class FTWorkload(Workload):
+    """Local FFT passes + homogeneous all-to-all transpose."""
+
+    name = "ft"
+    pattern_class = "homogeneous"
+
+    def __init__(self, num_threads: int = 8, scale: float = 1.0, seed: RngLike = None):
+        super().__init__(num_threads, seed)
+        self.iterations = scaled_iters(2, scale)
+        self.space = AddressSpace()
+        self.panels = [
+            self.space.allocate(f"ft.panel{t}", 64 * 1024)
+            for t in range(num_threads)
+        ]
+
+    def _local_phase(self, label: str) -> Phase:
+        """Local butterflies: sweep own panel twice, writing results."""
+        streams = []
+        for t in range(self.num_threads):
+            rng = self.seeds.generator("fft", label, t)
+            streams.append(
+                AccessStream.mixed(sweep(self.panels[t], repeats=2), 0.5, rng)
+            )
+        return Phase(f"ft.local.{label}", streams)
+
+    def _transpose_phase(self, it: int) -> Phase:
+        """Global transpose: contiguous slice reads of everyone's panel."""
+        n = self.num_threads
+        slice_bytes = self.panels[0].size // n
+        transpose = []
+        for t in range(n):
+            parts = []
+            lo = t * slice_bytes
+            for other in range(n):
+                if other == t:
+                    continue
+                parts.append(AccessStream.reads(
+                    sweep(self.panels[other], lo, lo + slice_bytes)
+                ))
+            transpose.append(concat_streams(parts))
+        return Phase(f"ft.transpose{it}", transpose)
+
+    def generate_phases(self) -> Iterator[Phase]:
+        for it in range(self.iterations):
+            yield self._local_phase(str(it))
+            yield self._transpose_phase(it)
+        # Inverse-transform pass: rewrites the panels everyone just read.
+        yield self._local_phase("inverse")

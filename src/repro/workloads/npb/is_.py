@@ -1,0 +1,99 @@
+"""IS — Integer Sort (bucket sort of uniformly random keys).
+
+Two properties of IS shape the paper's results and are modeled explicitly:
+
+* **TLB-hostile ranking**: the counting phase scatters over a key space far
+  larger than TLB reach, giving IS "more than 10 times the number of TLB
+  misses compared to the other applications" (Table III: 0.333% vs ≈0.01%)
+  — and therefore the highest SM overhead (≈4%).
+* **Phased, pair-staggered redistribution**: bucket boundaries are
+  exchanged with slab neighbours (the domain pattern SM sees in Figure 4),
+  but the exchange happens in bursts, a couple of threads at a time, which
+  is what misleads HM's instant sampling into its Figure 5 artifact
+  ("HM detected a large amount of communication between two threads and
+  all the other ones").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.mem.address import AddressSpace
+from repro.util.rng import RngLike
+from repro.workloads.access import boundary_pages, random_touch, sweep
+from repro.workloads.base import AccessStream, Phase, Workload, concat_streams
+from repro.workloads.npb.common import scaled_iters
+
+
+class ISWorkload(Workload):
+    """Bucket sort: TLB-hostile private ranking + staggered neighbour exchange."""
+
+    name = "is"
+    pattern_class = "domain"
+
+    def __init__(self, num_threads: int = 8, scale: float = 1.0, seed: RngLike = None):
+        super().__init__(num_threads, seed)
+        self.iterations = scaled_iters(2, scale)
+        self.random_rank_accesses = 260
+        self.sequential_key_bytes = 128 * 1024
+        self.space = AddressSpace()
+        # Large private key arrays: the TLB-miss driver.
+        self.keys = [
+            self.space.allocate(f"is.keys{t}", 2 * 1024 * 1024)
+            for t in range(num_threads)
+        ]
+        # Per-thread bucket arrays whose border buckets straddle neighbours.
+        self.buckets = [
+            self.space.allocate(f"is.buckets{t}", 64 * 1024)
+            for t in range(num_threads)
+        ]
+        self.halo = 16 * 1024
+
+    def _rank_phase(self, it: int) -> Phase:
+        """Private counting: random scatter over the big key arrays."""
+        streams = []
+        for t in range(self.num_threads):
+            rng = self.seeds.generator("rank", it, t)
+            # Sequential key reads (the scan) with random histogram
+            # updates scattered over the whole key space (the ranking).
+            addrs = np.concatenate([
+                sweep(self.keys[t], end=self.sequential_key_bytes),
+                random_touch(self.keys[t], self.random_rank_accesses, rng),
+                sweep(self.buckets[t], stride=256),
+            ])
+            streams.append(AccessStream.mixed(addrs, 0.45, rng))
+        return Phase(f"is.rank{it}", streams)
+
+    def _exchange_bursts(self, it: int) -> Iterator[Phase]:
+        """Neighbour bucket exchange, two threads at a time."""
+        n = self.num_threads
+        for lo in range(0, n, 2):
+            streams: List[AccessStream] = []
+            for t in range(n):
+                if not lo <= t < lo + 2:
+                    streams.append(AccessStream.empty())
+                    continue
+                rng = self.seeds.generator("exch", it, t)
+                parts = []
+                if t > 0:
+                    parts.append(AccessStream.reads(
+                        boundary_pages(self.buckets[t - 1], self.halo, "high")
+                    ))
+                if t < n - 1:
+                    parts.append(AccessStream.reads(
+                        boundary_pages(self.buckets[t + 1], self.halo, "low")
+                    ))
+                own = np.concatenate([
+                    boundary_pages(self.buckets[t], self.halo, "low"),
+                    boundary_pages(self.buckets[t], self.halo, "high"),
+                ])
+                parts.append(AccessStream.mixed(own, 0.6, rng))
+                streams.append(concat_streams(parts))
+            yield Phase(f"is.exchange{it}.burst{lo}", streams)
+
+    def generate_phases(self) -> Iterator[Phase]:
+        for it in range(self.iterations):
+            yield self._rank_phase(it)
+            yield from self._exchange_bursts(it)

@@ -1,0 +1,39 @@
+"""LU — Lower-Upper Gauss-Seidel solver.
+
+LU's SSOR sweeps propagate a wavefront through the grid: besides the
+nearest-neighbour halo traffic, threads at opposite ends of the
+decomposition exchange data ("LU also presents communication with the most
+distant threads", paper Section VI-A, citing [10]) — modeled as a
+mirror-partner exchange (thread t ↔ thread N−1−t) at a fraction of the
+halo volume.  The wavefront also staggers thread activity in time, which
+is why only SM (not HM) resolves the distant component in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import RngLike
+from repro.workloads.npb.common import GridKernel, GridParams
+
+
+class LUWorkload(GridKernel):
+    """Domain decomposition + mirror-partner (distant) exchange."""
+
+    name = "lu"
+    pattern_class = "domain+distant"
+
+    def __init__(self, num_threads: int = 8, scale: float = 1.0, seed: RngLike = None):
+        super().__init__(
+            GridParams(
+                iterations=10,
+                slab_bytes=320 * 1024,
+                halo_bytes=32 * 1024,
+                write_fraction=0.3,
+                boundary_write_fraction=0.55,
+                sweeps_per_iter=1,
+                mirror_fraction=0.45,
+                stagger=True,
+            ),
+            num_threads=num_threads,
+            scale=scale,
+            seed=seed,
+        )

@@ -1,0 +1,362 @@
+"""Parameterized synthetic workloads with known communication ground truth.
+
+These are the controlled inputs for unit/property tests and ablations: each
+class produces a pattern whose communication matrix is known *by
+construction* (ring, pipeline, star, all-to-all, none), so detector and
+mapper behaviour can be asserted exactly — unlike the NPB kernels, whose
+patterns are realistic but noisy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.mem.address import AddressSpace
+from repro.util.rng import RngLike
+from repro.workloads.access import boundary_pages, random_touch, sweep
+from repro.workloads.base import AccessStream, Phase, Workload, concat_streams
+
+
+class NearestNeighborWorkload(Workload):
+    """1-D domain decomposition: thread t shares slab borders with t±1.
+
+    Ground truth: a tridiagonal-ish communication matrix — the archetype of
+    BT/SP/MG-style patterns.
+    """
+
+    name = "synthetic-neighbor"
+    pattern_class = "domain"
+
+    def __init__(self, num_threads: int = 8, seed: RngLike = None,
+                 iterations: int = 4, slab_bytes: int = 64 * 1024,
+                 halo_bytes: int = 8 * 1024, write_fraction: float = 0.3,
+                 ring: bool = False, code_bytes: int = 0,
+                 master_init: bool = False):
+        super().__init__(num_threads, seed)
+        #: Thread 0 writes every slab before parallel work begins — the
+        #: classic first-touch NUMA anti-pattern (all pages homed on the
+        #: master's chip).
+        self.master_init = master_init
+        self.iterations = iterations
+        self.halo_bytes = halo_bytes
+        self.write_fraction = write_fraction
+        self.ring = ring
+        self.space = AddressSpace()
+        self.slabs = [
+            self.space.allocate(f"slab{t}", slab_bytes)
+            for t in range(num_threads)
+        ]
+        # Optional shared read-only region standing in for program text:
+        # every thread fetches from it each iteration.  Not communication
+        # in the paper's sense (Section III-A1) — used to test the
+        # detectors' instruction-page filtering.
+        self.code = (
+            self.space.allocate("code", code_bytes) if code_bytes else None
+        )
+
+    def code_pages(self):
+        """Virtual page numbers of the shared code region (empty if none)."""
+        return list(self.code.pages()) if self.code is not None else []
+
+    def generate_phases(self) -> Iterator[Phase]:
+        n = self.num_threads
+        if self.master_init:
+            init_rng = self.seeds.generator("init")
+            init = [AccessStream.empty() for _ in range(n)]
+            init[0] = AccessStream.mixed(
+                np.concatenate([sweep(slab) for slab in self.slabs]),
+                0.9, init_rng,
+            )
+            yield Phase("init", init)
+        for it in range(self.iterations):
+            compute = []
+            for t in range(n):
+                rng = self.seeds.generator("compute", it, t)
+                parts = [AccessStream.mixed(
+                    sweep(self.slabs[t]), self.write_fraction, rng
+                )]
+                if self.code is not None:
+                    parts.append(AccessStream.reads(sweep(self.code)))
+                compute.append(concat_streams(parts))
+            yield Phase(f"compute{it}", compute)
+            exchange = []
+            for t in range(n):
+                parts = []
+                left = t - 1 if t > 0 else (n - 1 if self.ring else None)
+                right = t + 1 if t < n - 1 else (0 if self.ring else None)
+                if left is not None:
+                    parts.append(AccessStream.reads(
+                        boundary_pages(self.slabs[left], self.halo_bytes, "high")
+                    ))
+                if right is not None:
+                    parts.append(AccessStream.reads(
+                        boundary_pages(self.slabs[right], self.halo_bytes, "low")
+                    ))
+                # Refresh own borders (writes: the stencil update).
+                rng = self.seeds.generator("border", it, t)
+                own = np.concatenate([
+                    boundary_pages(self.slabs[t], self.halo_bytes, "low"),
+                    boundary_pages(self.slabs[t], self.halo_bytes, "high"),
+                ])
+                parts.append(AccessStream.mixed(own, 0.5, rng))
+                exchange.append(concat_streams(parts))
+            yield Phase(f"exchange{it}", exchange)
+
+
+class PipelineWorkload(Workload):
+    """Producer→consumer chain: thread t writes buffer t, thread t+1 reads it.
+
+    Ground truth: communication only on the superdiagonal — an asymmetric
+    (direction-wise) pattern that still yields a symmetric matrix.
+    """
+
+    name = "synthetic-pipeline"
+    pattern_class = "pipeline"
+
+    def __init__(self, num_threads: int = 8, seed: RngLike = None,
+                 iterations: int = 4, buffer_bytes: int = 32 * 1024):
+        super().__init__(num_threads, seed)
+        self.iterations = iterations
+        self.space = AddressSpace()
+        self.buffers = [
+            self.space.allocate(f"buf{t}", buffer_bytes)
+            for t in range(num_threads)
+        ]
+
+    def generate_phases(self) -> Iterator[Phase]:
+        n = self.num_threads
+        for it in range(self.iterations):
+            streams = []
+            for t in range(n):
+                parts = [AccessStream.writes_only(sweep(self.buffers[t]))]
+                if t > 0:
+                    parts.append(AccessStream.reads(sweep(self.buffers[t - 1])))
+                streams.append(concat_streams(parts))
+            yield Phase(f"stage{it}", streams)
+
+
+class MasterWorkerWorkload(Workload):
+    """Thread 0 distributes work to and collects results from all others.
+
+    Ground truth: a star — row/column 0 dominates the matrix.
+    """
+
+    name = "synthetic-master-worker"
+    pattern_class = "master-worker"
+
+    def __init__(self, num_threads: int = 8, seed: RngLike = None,
+                 iterations: int = 4, task_bytes: int = 16 * 1024,
+                 private_bytes: int = 64 * 1024):
+        super().__init__(num_threads, seed)
+        self.iterations = iterations
+        self.space = AddressSpace()
+        self.taskqs = [
+            self.space.allocate(f"task{t}", task_bytes)
+            for t in range(num_threads)
+        ]
+        self.scratch = [
+            self.space.allocate(f"scratch{t}", private_bytes)
+            for t in range(num_threads)
+        ]
+
+    def generate_phases(self) -> Iterator[Phase]:
+        n = self.num_threads
+        for it in range(self.iterations):
+            streams = []
+            for t in range(n):
+                if t == 0:
+                    # Master writes every worker's task queue, reads results.
+                    parts = [
+                        AccessStream.writes_only(sweep(self.taskqs[w]))
+                        for w in range(1, n)
+                    ] + [
+                        AccessStream.reads(sweep(self.taskqs[w]))
+                        for w in range(1, n)
+                    ]
+                else:
+                    rng = self.seeds.generator("work", it, t)
+                    parts = [
+                        AccessStream.reads(sweep(self.taskqs[t])),
+                        AccessStream.mixed(sweep(self.scratch[t]), 0.4, rng),
+                        AccessStream.writes_only(sweep(self.taskqs[t])),
+                    ]
+                streams.append(concat_streams(parts))
+            yield Phase(f"round{it}", streams)
+
+
+class AllToAllWorkload(Workload):
+    """Every thread reads equal slices of every other thread's buffer.
+
+    Ground truth: homogeneous — the FT-style pattern that thread mapping
+    cannot improve (paper Section VI-B).
+    """
+
+    name = "synthetic-alltoall"
+    pattern_class = "homogeneous"
+
+    def __init__(self, num_threads: int = 8, seed: RngLike = None,
+                 iterations: int = 3, buffer_bytes: int = 32 * 1024):
+        super().__init__(num_threads, seed)
+        self.iterations = iterations
+        self.space = AddressSpace()
+        self.buffers = [
+            self.space.allocate(f"panel{t}", buffer_bytes)
+            for t in range(num_threads)
+        ]
+
+    def generate_phases(self) -> Iterator[Phase]:
+        n = self.num_threads
+        for it in range(self.iterations):
+            produce = [
+                AccessStream.writes_only(sweep(self.buffers[t])) for t in range(n)
+            ]
+            yield Phase(f"produce{it}", produce)
+            slice_bytes = self.buffers[0].size // n
+            exchange = []
+            for t in range(n):
+                parts = []
+                for other in range(n):
+                    if other == t:
+                        continue
+                    lo = t * slice_bytes
+                    parts.append(AccessStream.reads(
+                        sweep(self.buffers[other], lo, lo + slice_bytes)
+                    ))
+                exchange.append(concat_streams(parts))
+            yield Phase(f"transpose{it}", exchange)
+
+
+class PhaseShiftWorkload(Workload):
+    """Communication pattern that *changes* mid-run (dynamic behaviour).
+
+    First half: nearest-neighbour pairs (t ↔ t+1 for even t).  Second
+    half: the partner permutation flips to t ↔ t + n/2 (first half of the
+    threads pairs with the second half).  Any static mapping is wrong for
+    one of the halves — the test case for the paper's future-work dynamic
+    migration (Section III-B4 / VII).
+    """
+
+    name = "synthetic-phase-shift"
+    pattern_class = "dynamic"
+
+    def __init__(self, num_threads: int = 8, seed: RngLike = None,
+                 iterations_per_epoch: int = 4, buffer_bytes: int = 48 * 1024):
+        if num_threads % 2:
+            raise ValueError("PhaseShiftWorkload needs an even thread count")
+        super().__init__(num_threads, seed)
+        self.iterations_per_epoch = iterations_per_epoch
+        self.space = AddressSpace()
+        # One shared buffer per pair relationship, epoch-specific.
+        self.epoch_buffers = {}
+        for epoch, pairs in enumerate(self._epoch_pairs()):
+            for a, b in pairs:
+                self.epoch_buffers[(epoch, a, b)] = self.space.allocate(
+                    f"shift.e{epoch}.{a}-{b}", buffer_bytes
+                )
+
+    def _epoch_pairs(self):
+        n = self.num_threads
+        yield [(t, t + 1) for t in range(0, n, 2)]            # epoch 0
+        yield [(t, t + n // 2) for t in range(n // 2)]        # epoch 1
+
+    def partners(self, epoch: int):
+        """The pairing active during ``epoch`` (for test assertions)."""
+        return list(self._epoch_pairs())[epoch]
+
+    def generate_phases(self) -> Iterator[Phase]:
+        for epoch, pairs in enumerate(self._epoch_pairs()):
+            partner_of = {}
+            for a, b in pairs:
+                partner_of[a] = b
+                partner_of[b] = a
+            for it in range(self.iterations_per_epoch):
+                streams = []
+                for t in range(self.num_threads):
+                    p = partner_of[t]
+                    key = (epoch, min(t, p), max(t, p))
+                    buf = self.epoch_buffers[key]
+                    rng = self.seeds.generator("shift", epoch, it, t)
+                    streams.append(AccessStream.mixed(sweep(buf), 0.4, rng))
+                yield Phase(f"shift.e{epoch}.i{it}", streams)
+
+
+class FalseSharingWorkload(Workload):
+    """Classical false sharing: thread pairs write *different bytes of the
+    same cache lines*.
+
+    No data is logically shared, yet the MESI protocol ping-pongs the
+    lines between the writers' caches.  The paper's stance (Section
+    III-B5/IV-C) is that page-granular detection counts this as
+    communication "regardless of the offset" — deliberately, because
+    placing the false-sharers together genuinely removes the coherence
+    storm.  This workload exists to test that stance at machine level.
+    """
+
+    name = "synthetic-false-sharing"
+    pattern_class = "domain"
+
+    def __init__(self, num_threads: int = 8, seed: RngLike = None,
+                 iterations: int = 4, shared_lines: int = 256,
+                 rounds_per_iteration: int = 4):
+        if num_threads % 2:
+            raise ValueError("FalseSharingWorkload needs an even thread count")
+        super().__init__(num_threads, seed)
+        self.iterations = iterations
+        self.shared_lines = shared_lines
+        self.rounds = rounds_per_iteration
+        self.space = AddressSpace()
+        # One falsely-shared array per thread pair: even threads write the
+        # first half of every line, odd threads the second half.
+        self.arrays = [
+            self.space.allocate(f"false{k}", shared_lines * 64)
+            for k in range(num_threads // 2)
+        ]
+
+    def generate_phases(self) -> Iterator[Phase]:
+        n = self.num_threads
+        for it in range(self.iterations):
+            streams = []
+            for t in range(n):
+                region = self.arrays[t // 2]
+                offset = 0 if t % 2 == 0 else 32  # disjoint halves of lines
+                addrs = np.tile(
+                    sweep(region, start=offset, stride=64), self.rounds
+                )
+                streams.append(AccessStream.writes_only(addrs))
+            yield Phase(f"false{it}", streams)
+
+
+class PrivateWorkload(Workload):
+    """No sharing at all — the EP-style null pattern.
+
+    Ground truth: the zero matrix.
+    """
+
+    name = "synthetic-private"
+    pattern_class = "none"
+
+    def __init__(self, num_threads: int = 8, seed: RngLike = None,
+                 iterations: int = 4, private_bytes: int = 128 * 1024,
+                 random_accesses: int = 2048):
+        super().__init__(num_threads, seed)
+        self.iterations = iterations
+        self.random_accesses = random_accesses
+        self.space = AddressSpace()
+        self.slabs = [
+            self.space.allocate(f"private{t}", private_bytes)
+            for t in range(num_threads)
+        ]
+
+    def generate_phases(self) -> Iterator[Phase]:
+        for it in range(self.iterations):
+            streams = []
+            for t in range(self.num_threads):
+                rng = self.seeds.generator("ep", it, t)
+                addrs = np.concatenate([
+                    sweep(self.slabs[t]),
+                    random_touch(self.slabs[t], self.random_accesses, rng),
+                ])
+                streams.append(AccessStream.mixed(addrs, 0.3, rng))
+            yield Phase(f"mc{it}", streams)

@@ -1,0 +1,108 @@
+"""Trace persistence: save and replay workload access streams.
+
+The related work stores raw memory traces ("more than 100 gigabytes",
+Barrow-Williams et al.); our page/line-granular phase traces compress to
+megabytes as ``.npz``.  Persisting traces lets users
+
+* capture a workload once and replay it across machine/mapping
+  configurations with *identical* accesses (tighter experiments than
+  regenerating with a seed),
+* import traces produced by external tools (anything that can write the
+  simple per-phase arrays).
+
+Format (single compressed .npz):
+    meta_num_threads, meta_num_phases : int arrays (scalars)
+    phase{i}_name                     : str array (scalar)
+    phase{i}_thread{t}_addrs          : int64 array
+    phase{i}_thread{t}_writes         : bool array
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterator, List, Sequence, Union
+
+import numpy as np
+
+from repro.util.rng import RngLike
+from repro.workloads.base import AccessStream, Phase, Workload
+
+PathLike = Union[str, pathlib.Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(phases: "Workload | Sequence[Phase]", path: PathLike) -> int:
+    """Write a workload's phases to ``path`` (.npz).  Returns phase count.
+
+    Accepts a :class:`Workload` (materialized on the fly) or a phase list.
+    """
+    if isinstance(phases, Workload):
+        phases = phases.materialize()
+    else:
+        phases = list(phases)
+    if not phases:
+        raise ValueError("cannot save an empty trace")
+    num_threads = phases[0].num_threads
+    arrays = {
+        "meta_version": np.array(_FORMAT_VERSION),
+        "meta_num_threads": np.array(num_threads),
+        "meta_num_phases": np.array(len(phases)),
+    }
+    for i, phase in enumerate(phases):
+        if phase.num_threads != num_threads:
+            raise ValueError(
+                f"phase {i} has {phase.num_threads} threads, expected {num_threads}"
+            )
+        arrays[f"phase{i}_name"] = np.array(phase.name)
+        for t, stream in enumerate(phase.streams):
+            arrays[f"phase{i}_thread{t}_addrs"] = stream.addrs
+            arrays[f"phase{i}_thread{t}_writes"] = stream.writes
+    np.savez_compressed(path, **arrays)
+    return len(phases)
+
+
+def load_trace(path: PathLike) -> List[Phase]:
+    """Read phases back from an .npz written by :func:`save_trace`."""
+    with np.load(path, allow_pickle=False) as data:
+        if "meta_version" not in data:
+            raise ValueError(f"{path}: not a repro trace file")
+        version = int(data["meta_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: trace format v{version}, this build reads v{_FORMAT_VERSION}"
+            )
+        num_threads = int(data["meta_num_threads"])
+        num_phases = int(data["meta_num_phases"])
+        phases = []
+        for i in range(num_phases):
+            name = str(data[f"phase{i}_name"])
+            streams = [
+                AccessStream(
+                    data[f"phase{i}_thread{t}_addrs"],
+                    data[f"phase{i}_thread{t}_writes"],
+                )
+                for t in range(num_threads)
+            ]
+            phases.append(Phase(name, streams))
+    return phases
+
+
+class TraceWorkload(Workload):
+    """A workload replayed from a saved trace file.
+
+    The trace is loaded once at construction; iteration replays it
+    verbatim (the seed machinery is unused — a trace IS its randomness).
+    """
+
+    name = "trace"
+    pattern_class = "recorded"
+
+    def __init__(self, path: PathLike, seed: RngLike = None):
+        self._phases = load_trace(path)
+        self.path = pathlib.Path(path)
+        super().__init__(num_threads=self._phases[0].num_threads, seed=seed)
+        self.name = f"trace:{self.path.stem}"
+
+    def generate_phases(self) -> Iterator[Phase]:
+        yield from self._phases

@@ -1,0 +1,75 @@
+"""Shared fixtures: small machines and workloads that keep tests fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine.simulator import SimConfig, Simulator
+from repro.machine.system import System, SystemConfig
+from repro.machine.topology import Topology
+from repro.mem.cache import CacheConfig
+from repro.tlb.mmu import TLBManagement
+from repro.tlb.tlb import TLBConfig
+from repro.workloads.synthetic import NearestNeighborWorkload
+
+
+def small_topology() -> Topology:
+    """Harpertown shape with tiny caches (fast to churn)."""
+    return Topology(
+        cores_per_l2=2,
+        l2_per_chip=2,
+        chips=2,
+        l1_config=CacheConfig(size=1024, ways=2, line_size=64, latency=2,
+                              write_back=False, name="L1"),
+        l2_config=CacheConfig(size=8192, ways=4, line_size=64, latency=8,
+                              write_back=True, name="L2"),
+    )
+
+
+@pytest.fixture
+def topology() -> Topology:
+    return small_topology()
+
+
+@pytest.fixture
+def sw_system(topology) -> System:
+    """Software-managed-TLB machine with a small TLB."""
+    return System(
+        topology,
+        SystemConfig(
+            tlb=TLBConfig(entries=16, ways=4),
+            tlb_management=TLBManagement.SOFTWARE,
+        ),
+    )
+
+
+@pytest.fixture
+def hw_system(topology) -> System:
+    """Hardware-managed-TLB machine with a small TLB."""
+    return System(
+        topology,
+        SystemConfig(
+            tlb=TLBConfig(entries=16, ways=4),
+            tlb_management=TLBManagement.HARDWARE,
+        ),
+    )
+
+
+@pytest.fixture
+def simulator(hw_system) -> Simulator:
+    return Simulator(hw_system, SimConfig(quantum=64))
+
+
+@pytest.fixture
+def neighbor_workload() -> NearestNeighborWorkload:
+    """Tiny 8-thread nearest-neighbour workload (a few thousand accesses)."""
+    return NearestNeighborWorkload(
+        num_threads=8, seed=123, iterations=2,
+        slab_bytes=16 * 1024, halo_bytes=4 * 1024,
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(99)

@@ -1,0 +1,89 @@
+"""Tests for repro.core.accuracy — similarity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import (
+    cosine_similarity,
+    heterogeneity,
+    pattern_class_of,
+    pearson_similarity,
+)
+from repro.core.commmatrix import CommunicationMatrix
+
+
+def neighbor_matrix(n=8, w=10.0):
+    a = np.zeros((n, n))
+    for t in range(n - 1):
+        a[t, t + 1] = a[t + 1, t] = w
+    return a
+
+
+class TestPearson:
+    def test_identical_structure_is_one(self):
+        a = neighbor_matrix()
+        assert pearson_similarity(a, a * 7.5) == pytest.approx(1.0)
+
+    def test_affine_invariance(self):
+        a = neighbor_matrix()
+        assert pearson_similarity(a, a * 3 + 2) == pytest.approx(1.0)
+
+    def test_opposite_structure_negative(self):
+        a = neighbor_matrix()
+        b = a.max() - a  # inverted weights
+        np.fill_diagonal(b, 0)
+        assert pearson_similarity(a, b) < -0.9
+
+    def test_both_constant_is_one(self):
+        assert pearson_similarity(np.ones((4, 4)), np.ones((4, 4)) * 5) == 1.0
+
+    def test_one_constant_is_zero(self):
+        assert pearson_similarity(np.ones((8, 8)), neighbor_matrix()) == 0.0
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson_similarity(np.zeros((4, 4)), np.zeros((5, 5)))
+
+    def test_accepts_communication_matrix(self):
+        cm = CommunicationMatrix.from_array(neighbor_matrix())
+        assert pearson_similarity(cm, neighbor_matrix()) == pytest.approx(1.0)
+
+
+class TestCosine:
+    def test_identical_is_one(self):
+        a = neighbor_matrix()
+        assert cosine_similarity(a, a * 2) == pytest.approx(1.0)
+
+    def test_orthogonal_patterns(self):
+        a = np.zeros((4, 4))
+        a[0, 1] = a[1, 0] = 1
+        b = np.zeros((4, 4))
+        b[2, 3] = b[3, 2] = 1
+        assert cosine_similarity(a, b) == 0.0
+
+    def test_both_zero_is_one(self):
+        assert cosine_similarity(np.zeros((4, 4)), np.zeros((4, 4))) == 1.0
+
+    def test_one_zero_is_zero(self):
+        assert cosine_similarity(np.zeros((4, 4)), neighbor_matrix(4)) == 0.0
+
+
+class TestClassification:
+    def test_uniform_is_homogeneous(self):
+        assert pattern_class_of(np.ones((8, 8))) == "homogeneous"
+
+    def test_neighbor_is_structured(self):
+        assert pattern_class_of(neighbor_matrix()) == "structured"
+
+    def test_zero_matrix_is_homogeneous(self):
+        assert pattern_class_of(np.zeros((8, 8))) == "homogeneous"
+
+    def test_threshold_adjustable(self):
+        mild = np.ones((8, 8)) + neighbor_matrix(8, 0.5)
+        np.fill_diagonal(mild, 0)
+        assert pattern_class_of(mild, threshold=0.01) == "structured"
+        assert pattern_class_of(mild, threshold=10.0) == "homogeneous"
+
+    def test_heterogeneity_values(self):
+        assert heterogeneity(np.ones((8, 8))) == pytest.approx(0.0)
+        assert heterogeneity(neighbor_matrix()) > 1.0

@@ -1,0 +1,171 @@
+"""Tests for repro.core.commmatrix."""
+
+import numpy as np
+import pytest
+
+from repro.core.commmatrix import CommunicationMatrix
+
+
+class TestIncrement:
+    def test_symmetric_accumulation(self):
+        m = CommunicationMatrix(4)
+        m.increment(0, 2, 5)
+        assert m[0, 2] == 5 and m[2, 0] == 5
+        m.check_invariants()
+
+    def test_self_communication_ignored(self):
+        m = CommunicationMatrix(4)
+        m.increment(1, 1, 100)
+        assert m.total == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CommunicationMatrix(4).increment(0, 1, -1)
+
+    def test_total_counts_pairs_once(self):
+        m = CommunicationMatrix(4)
+        m.increment(0, 1, 3)
+        m.increment(2, 3, 7)
+        assert m.total == 10
+
+
+class TestConstruction:
+    def test_from_array_symmetrizes(self):
+        a = np.array([[0, 4], [2, 0]], dtype=float)
+        m = CommunicationMatrix.from_array(a)
+        assert m[0, 1] == 3.0
+        m.check_invariants()
+
+    def test_from_array_clears_diagonal(self):
+        m = CommunicationMatrix.from_array(np.ones((3, 3)))
+        assert m[0, 0] == 0.0
+
+    def test_from_array_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CommunicationMatrix.from_array(np.array([[0, -1], [-1, 0.]]))
+
+    def test_from_array_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            CommunicationMatrix.from_array(np.zeros((2, 3)))
+
+    def test_minimum_threads(self):
+        with pytest.raises(ValueError):
+            CommunicationMatrix(1)
+
+    def test_copy_is_independent(self):
+        m = CommunicationMatrix(3)
+        m.increment(0, 1)
+        c = m.copy()
+        c.increment(0, 1)
+        assert m[0, 1] == 1 and c[0, 1] == 2
+
+
+class TestCombination:
+    def test_add(self):
+        a = CommunicationMatrix(3)
+        a.increment(0, 1, 2)
+        b = CommunicationMatrix(3)
+        b.increment(0, 1, 3)
+        b.increment(1, 2, 1)
+        a.add(b)
+        assert a[0, 1] == 5 and a[1, 2] == 1
+
+    def test_add_size_mismatch(self):
+        with pytest.raises(ValueError):
+            CommunicationMatrix(3).add(CommunicationMatrix(4))
+
+    def test_scale(self):
+        m = CommunicationMatrix(3)
+        m.increment(0, 1, 4)
+        m.scale(0.5)
+        assert m[0, 1] == 2.0
+        with pytest.raises(ValueError):
+            m.scale(-1)
+
+
+class TestViews:
+    def test_matrix_is_defensive_copy(self):
+        m = CommunicationMatrix(3)
+        arr = m.matrix
+        arr[0, 1] = 99
+        assert m[0, 1] == 0
+
+    def test_normalized_peak_is_one(self):
+        m = CommunicationMatrix(3)
+        m.increment(0, 1, 4)
+        m.increment(1, 2, 2)
+        norm = m.normalized()
+        assert norm.max() == 1.0
+        assert norm[1, 2] == pytest.approx(0.5)
+
+    def test_normalized_zero_matrix(self):
+        assert CommunicationMatrix(3).normalized().max() == 0.0
+
+    def test_row_sums(self):
+        m = CommunicationMatrix(3)
+        m.increment(0, 1, 2)
+        m.increment(0, 2, 3)
+        assert list(m.row_sums()) == [5, 2, 3]
+
+    def test_top_pairs(self):
+        m = CommunicationMatrix(4)
+        m.increment(0, 1, 1)
+        m.increment(2, 3, 9)
+        m.increment(0, 3, 5)
+        assert m.top_pairs(2) == [(2, 3, 9.0), (0, 3, 5.0)]
+
+    def test_offdiagonal_length(self):
+        assert len(CommunicationMatrix(5).offdiagonal()) == 10
+
+    def test_heatmap_contains_title(self):
+        assert "X" in CommunicationMatrix(2).heatmap("X")
+
+
+class TestPersistence:
+    def test_csv_round_trip(self, tmp_path):
+        m = CommunicationMatrix(4)
+        m.increment(0, 1, 3.5)
+        m.increment(2, 3, 7)
+        path = tmp_path / "m.csv"
+        m.to_csv(path)
+        loaded = CommunicationMatrix.from_csv(path)
+        assert np.allclose(loaded.matrix, m.matrix)
+        loaded.check_invariants()
+
+    def test_csv_is_plain_text(self, tmp_path):
+        m = CommunicationMatrix(2)
+        m.increment(0, 1, 5)
+        path = tmp_path / "m.csv"
+        m.to_csv(path)
+        assert "5" in path.read_text()
+
+    def test_from_csv_validates(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0,-1\n-1,0\n")
+        with pytest.raises(ValueError):
+            CommunicationMatrix.from_csv(path)
+
+
+class TestStructureMetrics:
+    def test_homogeneous_has_zero_heterogeneity(self):
+        m = CommunicationMatrix.from_array(np.ones((4, 4)))
+        assert m.heterogeneity() == pytest.approx(0.0)
+
+    def test_neighbor_pattern_is_heterogeneous(self):
+        a = np.zeros((8, 8))
+        for t in range(7):
+            a[t, t + 1] = a[t + 1, t] = 10
+        m = CommunicationMatrix.from_array(a)
+        assert m.heterogeneity() > 1.0
+        assert m.neighbor_fraction() == pytest.approx(1.0)
+
+    def test_empty_matrix_metrics(self):
+        m = CommunicationMatrix(4)
+        assert m.heterogeneity() == 0.0
+        assert m.neighbor_fraction() == 0.0
+
+    def test_invariant_violation_detected(self):
+        m = CommunicationMatrix(3)
+        m._m[0, 1] = 5  # corrupt asymmetrically
+        with pytest.raises(AssertionError):
+            m.check_invariants()

@@ -1,0 +1,85 @@
+"""Tests for the Detector base-class protocol edges."""
+
+import pytest
+
+from repro.core.detection import Detector, DetectorConfig
+from repro.core.sm_detector import SoftwareManagedDetector
+from repro.machine.system import System
+from repro.machine.topology import harpertown
+
+
+class MinimalDetector(Detector):
+    """Smallest conforming subclass (used to test base behaviour)."""
+
+    name = "minimal"
+
+    def summary(self) -> dict:
+        return {"mechanism": "minimal"}
+
+
+class TestLifecycle:
+    def test_detach_is_idempotent(self):
+        det = MinimalDetector(8)
+        det.detach()  # never attached: no-op
+        det.attach(System(harpertown()), {c: c for c in range(8)})
+        det.detach()
+        det.detach()
+
+    def test_rebind_requires_attachment(self):
+        det = MinimalDetector(8)
+        with pytest.raises(RuntimeError, match="not attached"):
+            det.rebind({c: c for c in range(8)})
+
+    def test_rebind_validates_size(self):
+        det = MinimalDetector(8)
+        det.attach(System(harpertown()), {c: c for c in range(8)})
+        with pytest.raises(ValueError):
+            det.rebind({0: 0})
+        det.detach()
+
+    def test_thread_of(self):
+        det = MinimalDetector(4)
+        det.attach(System(harpertown()), {6: 0, 1: 1, 2: 2, 3: 3})
+        assert det.thread_of(6) == 0
+        assert det.thread_of(0) is None
+        det.detach()
+        assert det.thread_of(6) is None
+
+    def test_reset_clears_matrix_only(self):
+        det = MinimalDetector(4)
+        det.matrix.increment(0, 1, 5)
+        det.reset()
+        assert det.matrix.total == 0
+
+    def test_default_poll_is_none(self):
+        assert MinimalDetector(4).poll(1_000_000) is None
+
+
+class TestConfigDefaults:
+    def test_paper_values(self):
+        cfg = DetectorConfig()
+        assert cfg.sm_sample_threshold == 100
+        assert cfg.hm_period_cycles == 10_000_000
+        assert cfg.sm_routine_cycles == 231
+        assert cfg.hm_routine_cycles == 84_297
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DetectorConfig(sm_sample_threshold=0)
+        with pytest.raises(ValueError):
+            DetectorConfig(hm_period_cycles=0)
+
+
+class TestAttachValidation:
+    def test_placement_size_checked(self):
+        det = SoftwareManagedDetector(8)
+        with pytest.raises(ValueError):
+            det.attach(System(harpertown()), {0: 0, 1: 1})
+
+    def test_matrix_survives_detach(self):
+        system = System(harpertown())
+        det = MinimalDetector(8)
+        det.attach(system, {c: c for c in range(8)})
+        det.matrix.increment(0, 1, 3)
+        det.detach()
+        assert det.matrix[0, 1] == 3

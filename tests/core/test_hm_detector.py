@@ -1,0 +1,127 @@
+"""Tests for the hardware-managed TLB mechanism (Figure 1b semantics)."""
+
+import pytest
+
+from repro.core.detection import DetectorConfig
+from repro.core.hm_detector import HardwareManagedDetector
+from repro.machine.simulator import SimConfig, Simulator
+
+
+def attach_identity(det, system, n=8):
+    det.attach(system, {c: c for c in range(n)})
+
+
+class TestPeriod:
+    def test_no_scan_before_period(self, hw_system):
+        det = HardwareManagedDetector(8, DetectorConfig(hm_period_cycles=1000))
+        attach_identity(det, hw_system)
+        assert det.poll(999) is None
+        assert det.scans_run == 0
+
+    def test_scan_at_period(self, hw_system):
+        det = HardwareManagedDetector(8, DetectorConfig(hm_period_cycles=1000))
+        attach_identity(det, hw_system)
+        out = det.poll(1000)
+        assert out is not None
+        assert det.scans_run == 1
+
+    def test_period_rearms(self, hw_system):
+        det = HardwareManagedDetector(8, DetectorConfig(hm_period_cycles=1000))
+        attach_identity(det, hw_system)
+        det.poll(1000)
+        assert det.poll(1500) is None
+        assert det.poll(2100) is not None
+        assert det.scans_run == 2
+
+    def test_scan_cost_and_rotation(self, hw_system):
+        cfg = DetectorConfig(hm_period_cycles=10, hm_routine_cycles=84_297)
+        det = HardwareManagedDetector(8, cfg)
+        attach_identity(det, hw_system)
+        core1, cost1 = det.poll(10)
+        core2, cost2 = det.poll(30)
+        assert cost1 == cost2 == 84_297
+        assert core1 != core2  # round-robin spreading
+
+
+class TestScanMatching:
+    def test_detects_resident_overlap(self, hw_system):
+        # Manually fill two TLBs with one overlapping page.
+        hw_system.mmus[0].translate(0x100000)
+        hw_system.mmus[1].translate(0x100000)
+        hw_system.mmus[2].translate(0x900000)
+        det = HardwareManagedDetector(8, DetectorConfig(hm_period_cycles=1))
+        attach_identity(det, hw_system)
+        det.poll(10)
+        assert det.matrix[0, 1] == 1
+        assert det.matrix[0, 2] == 0
+        assert det.matches_found == 1
+
+    def test_counts_multiple_shared_pages(self, hw_system):
+        for addr in (0x100000, 0x200000, 0x300000):
+            hw_system.mmus[0].translate(addr)
+            hw_system.mmus[3].translate(addr)
+        det = HardwareManagedDetector(8, DetectorConfig(hm_period_cycles=1))
+        attach_identity(det, hw_system)
+        det.poll(10)
+        assert det.matrix[0, 3] == 3
+
+    def test_all_pairs_compared(self, hw_system):
+        # The same page in every TLB → all pairs get a match.
+        for core in range(8):
+            hw_system.mmus[core].translate(0x500000)
+        det = HardwareManagedDetector(8, DetectorConfig(hm_period_cycles=1))
+        attach_identity(det, hw_system)
+        det.poll(10)
+        n = 8 * 7 // 2
+        assert det.matches_found == n
+
+    def test_matrix_uses_thread_ids_under_remap(self, hw_system):
+        hw_system.mmus[6].translate(0x100000)
+        hw_system.mmus[1].translate(0x100000)
+        det = HardwareManagedDetector(2, DetectorConfig(hm_period_cycles=1))
+        det.attach(hw_system, {6: 0, 1: 1})  # thread 0 on core 6
+        det.poll(10)
+        assert det.matrix[0, 1] == 1
+
+    def test_repeated_scans_accumulate(self, hw_system):
+        hw_system.mmus[0].translate(0x100000)
+        hw_system.mmus[1].translate(0x100000)
+        det = HardwareManagedDetector(8, DetectorConfig(hm_period_cycles=10))
+        attach_identity(det, hw_system)
+        det.poll(10)
+        det.poll(20)
+        assert det.matrix[0, 1] == 2
+
+
+class TestEndToEnd:
+    def test_scans_happen_during_simulation(self, hw_system, neighbor_workload):
+        det = HardwareManagedDetector(8, DetectorConfig(hm_period_cycles=5_000))
+        res = Simulator(hw_system).run(neighbor_workload, detectors=[det])
+        assert det.scans_run > 0
+        assert det.matrix.total > 0
+        assert res.detection["HM"]["scans_run"] == det.scans_run
+
+    def test_longer_period_fewer_scans(self, topology, neighbor_workload):
+        from repro.machine.system import System
+        fast = HardwareManagedDetector(8, DetectorConfig(hm_period_cycles=2_000))
+        Simulator(System(topology)).run(neighbor_workload, detectors=[fast])
+        # Period longer than the whole run: no scan ever fires.
+        slow = HardwareManagedDetector(8, DetectorConfig(hm_period_cycles=10_000_000))
+        Simulator(System(topology)).run(neighbor_workload, detectors=[slow])
+        assert slow.scans_run == 0
+        assert fast.scans_run > 0
+
+    def test_reset(self, hw_system, neighbor_workload):
+        det = HardwareManagedDetector(8, DetectorConfig(hm_period_cycles=5_000))
+        Simulator(hw_system).run(neighbor_workload, detectors=[det])
+        det.reset()
+        assert det.scans_run == 0
+        assert det.matrix.total == 0
+
+    def test_summary_fields(self, hw_system, neighbor_workload):
+        det = HardwareManagedDetector(8, DetectorConfig(hm_period_cycles=5_000))
+        Simulator(hw_system).run(neighbor_workload, detectors=[det])
+        s = det.summary()
+        assert s["mechanism"] == "hardware-managed"
+        assert s["scans_run"] == det.scans_run
+        assert s["detection_cycles"] == det.scans_run * 84_297

@@ -1,0 +1,132 @@
+"""Tests for the full-trace oracle detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.oracle import OracleDetector, oracle_matrix
+from repro.workloads.base import AccessStream, Phase
+
+
+def phase(addr_lists, name="p"):
+    return Phase(name, [
+        AccessStream.reads(np.array(a, dtype=np.int64)) for a in addr_lists
+    ])
+
+
+PAGE = 4096
+
+
+class TestBasicCounting:
+    def test_disjoint_pages_no_communication(self):
+        p = phase([[0, 64], [PAGE * 10, PAGE * 10 + 64]])
+        assert oracle_matrix([p]).total == 0
+
+    def test_shared_page_min_semantics(self):
+        # Thread 0 touches the page 3 times, thread 1 five times → min = 3.
+        p = phase([[0, 64, 128], [0, 64, 128, 192, 256]])
+        m = oracle_matrix([p])
+        assert m[0, 1] == 3
+
+    def test_multiple_shared_pages_sum(self):
+        p = phase([
+            [0, PAGE, PAGE],                 # page0 ×1, page1 ×2
+            [0, 0, PAGE],                    # page0 ×2, page1 ×1
+        ])
+        assert oracle_matrix([p])[0, 1] == 1 + 1
+
+    def test_three_way_sharing_counts_all_pairs(self):
+        p = phase([[0], [0], [0]])
+        m = oracle_matrix([p])
+        assert m[0, 1] == 1 and m[0, 2] == 1 and m[1, 2] == 1
+
+    def test_accumulates_across_phases(self):
+        p = phase([[0], [0]])
+        m = oracle_matrix([p, p])
+        assert m[0, 1] == 2
+
+
+class TestWindowing:
+    def test_false_communication_suppressed_by_windows(self):
+        """Two threads touch the same page at opposite ends of a phase:
+        with one window they appear to communicate; with two they don't —
+        the paper's false-communication example (Section III-B5)."""
+        early = [0] * 10 + [PAGE * 50] * 10
+        late = [PAGE * 60] * 10 + [0] * 10
+        p = phase([early, late])
+        assert oracle_matrix([p], windows_per_phase=1)[0, 1] > 0
+        assert oracle_matrix([p], windows_per_phase=2)[0, 1] == 0
+
+    def test_true_communication_survives_windows(self):
+        p = phase([[0, 64] * 10, [0, 128] * 10])
+        assert oracle_matrix([p], windows_per_phase=4)[0, 1] > 0
+
+    def test_cross_phase_producer_consumer_counted_by_default(self):
+        """Thread 0 touches a page in phase 1, thread 1 in phase 2 — the
+        whole-execution oracle (related-work semantics) counts it; the
+        windowed oracle does not."""
+        p1 = phase([[0, 64], []], "produce")
+        p2 = phase([[], [0, 128]], "consume")
+        assert oracle_matrix([p1, p2])[0, 1] == 2
+        assert oracle_matrix([p1, p2], windows_per_phase=1)[0, 1] == 0
+
+    def test_invalid_windows(self):
+        with pytest.raises(ValueError):
+            oracle_matrix([phase([[0], [0]])], windows_per_phase=0)
+
+
+class TestPageSize:
+    def test_same_page_different_offsets_is_communication(self):
+        # The classical false-sharing stance of the paper: any access to
+        # the same page counts, regardless of offset.
+        p = phase([[0], [PAGE - 64]])
+        assert oracle_matrix([p])[0, 1] == 1
+
+    def test_page_size_parameter(self):
+        p = phase([[0], [8191]])
+        assert oracle_matrix([p], page_size=8192)[0, 1] == 1
+        assert oracle_matrix([p], page_size=4096)[0, 1] == 0
+
+
+class TestDetectorWrapper:
+    def test_eager_matrix(self):
+        det = OracleDetector([phase([[0], [0]])], num_threads=2)
+        assert det.matrix[0, 1] == 1
+
+    def test_attach_detach_are_noops(self):
+        det = OracleDetector([phase([[0], [0]])], num_threads=2)
+        det.attach(None, {})
+        det.detach()
+        assert det.matrix.total == 1
+
+    def test_thread_count_validated(self):
+        with pytest.raises(ValueError):
+            OracleDetector([phase([[0], [0]])], num_threads=4)
+
+    def test_summary(self):
+        det = OracleDetector([phase([[0], [0]])], num_threads=2,
+                             windows_per_phase=3)
+        s = det.summary()
+        assert s["windows_per_phase"] == 3
+        assert s["total_communication"] == det.matrix.total
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            oracle_matrix([])
+
+
+class TestAgainstSynthetic:
+    def test_neighbor_workload_is_tridiagonal(self, neighbor_workload):
+        m = oracle_matrix(neighbor_workload)
+        arr = m.matrix
+        for t in range(7):
+            assert arr[t, t + 1] > 0
+        # Nothing beyond distance 1.
+        for i in range(8):
+            for j in range(i + 2, 8):
+                assert arr[i, j] == 0
+
+    def test_private_workload_is_zero(self):
+        from repro.workloads.synthetic import PrivateWorkload
+        wl = PrivateWorkload(num_threads=4, seed=1, iterations=1,
+                             private_bytes=16 * 1024, random_accesses=64)
+        assert oracle_matrix(wl).total == 0

@@ -1,0 +1,113 @@
+"""Tests for repro.core.overhead — Table I complexities, Table III math."""
+
+import pytest
+
+from repro.core.overhead import (
+    OverheadReport,
+    hm_scan_comparisons,
+    overhead_report,
+    sm_search_comparisons,
+)
+from repro.tlb.tlb import TLBConfig
+
+
+class TestSMComplexity:
+    def test_linear_in_cores(self):
+        tlb = TLBConfig(entries=64, ways=4)
+        c8 = sm_search_comparisons(8, tlb)
+        c16 = sm_search_comparisons(16, tlb)
+        # Θ(P): doubling cores (almost) doubles comparisons.
+        assert c16 / c8 == pytest.approx((16 - 1) / (8 - 1))
+
+    def test_constant_in_tlb_size_when_set_associative(self):
+        small = TLBConfig(entries=64, ways=4)
+        big = TLBConfig(entries=1024, ways=4)
+        assert sm_search_comparisons(8, small) == sm_search_comparisons(8, big)
+
+    def test_fully_associative_scales_with_size(self):
+        fa = TLBConfig(entries=64, ways=64)
+        assert sm_search_comparisons(8, fa) == 7 * 64
+
+    def test_paper_configuration(self):
+        assert sm_search_comparisons(8, TLBConfig(entries=64, ways=4)) == 28
+
+
+class TestHMComplexity:
+    def test_quadratic_in_cores(self):
+        tlb = TLBConfig(entries=64, ways=4)
+        c4 = hm_scan_comparisons(4, tlb)
+        c8 = hm_scan_comparisons(8, tlb)
+        assert c8 / c4 == pytest.approx((8 * 7) / (4 * 3))
+
+    def test_linear_in_sets_when_set_associative(self):
+        tlb64 = TLBConfig(entries=64, ways=4)    # 16 sets
+        tlb128 = TLBConfig(entries=128, ways=4)  # 32 sets
+        assert hm_scan_comparisons(8, tlb128) == 2 * hm_scan_comparisons(8, tlb64)
+
+    def test_fully_associative_is_quadratic_in_size(self):
+        fa64 = TLBConfig(entries=64, ways=64)
+        fa128 = TLBConfig(entries=128, ways=128)
+        assert hm_scan_comparisons(8, fa128) == 4 * hm_scan_comparisons(8, fa64)
+
+    def test_hm_costs_more_than_sm(self):
+        tlb = TLBConfig(entries=64, ways=4)
+        assert hm_scan_comparisons(8, tlb) > 50 * sm_search_comparisons(8, tlb)
+
+
+class TestOverheadReport:
+    def test_fraction_math(self):
+        rep = OverheadReport(
+            mechanism="software-managed",
+            tlb_miss_rate=0.01,
+            sampled_fraction=0.01,
+            detection_cycles=1000,
+            machine_cycles=100_000,
+        )
+        assert rep.overhead_fraction == pytest.approx(0.01)
+        miss_pct, sampled_pct, overhead_pct = rep.as_row()
+        assert miss_pct == pytest.approx(1.0)
+        assert sampled_pct == pytest.approx(1.0)
+        assert overhead_pct == pytest.approx(1.0)
+
+    def test_zero_execution_guard(self):
+        rep = OverheadReport("x", 0, 0, 100, 0)
+        assert rep.overhead_fraction == 0.0
+
+    def test_from_detector_summary(self):
+        class FakeResult:
+            tlb_miss_rate = 0.02
+            execution_cycles = 50_000
+            core_cycles = None
+
+        summary = {
+            "mechanism": "software-managed",
+            "sampled_fraction": 0.5,
+            "detection_cycles": 500,
+        }
+        rep = overhead_report(summary, FakeResult())
+        assert rep.tlb_miss_rate == 0.02
+        assert rep.sampled_fraction == 0.5
+        assert rep.overhead_fraction == pytest.approx(0.01)
+
+    def test_hm_summary_defaults_sampled_to_one(self):
+        class FakeResult:
+            tlb_miss_rate = 0.0
+            execution_cycles = 1
+            core_cycles = None
+
+        rep = overhead_report({"mechanism": "hardware-managed",
+                               "detection_cycles": 0}, FakeResult())
+        assert rep.sampled_fraction == 1.0
+
+
+    def test_machine_cycles_from_core_list(self):
+        class FakeResult:
+            tlb_miss_rate = 0.0
+            execution_cycles = 100
+            core_cycles = [100, 100, 50, 50]
+
+        rep = overhead_report({"mechanism": "software-managed",
+                               "detection_cycles": 30,
+                               "sampled_fraction": 0.5}, FakeResult())
+        assert rep.machine_cycles == 300
+        assert rep.overhead_fraction == pytest.approx(0.1)

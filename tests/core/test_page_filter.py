@@ -1,0 +1,102 @@
+"""Tests for instruction-page filtering (paper Section III-A1).
+
+Shared read-only pages (program text, shared libraries) would register as
+uniform all-pairs "communication" — the paper explicitly restricts the
+mechanism to data accesses.  Detectors expose ``ignore_pages`` for the OS
+to exclude its text mappings.
+"""
+
+import pytest
+
+from repro.core.accuracy import pearson_similarity
+from repro.core.detection import DetectorConfig
+from repro.core.hm_detector import HardwareManagedDetector
+from repro.core.oracle import oracle_matrix
+from repro.core.sm_detector import SoftwareManagedDetector
+from repro.machine.simulator import Simulator
+from repro.machine.system import System, SystemConfig
+from repro.machine.topology import harpertown
+from repro.tlb.mmu import TLBManagement
+from repro.workloads.synthetic import NearestNeighborWorkload
+
+TOPO = harpertown()
+
+
+def workload(code_bytes):
+    return NearestNeighborWorkload(
+        num_threads=8, seed=13, iterations=3,
+        slab_bytes=64 * 1024, halo_bytes=8 * 1024,
+        code_bytes=code_bytes,
+    )
+
+
+def run_sm(wl, ignored=()):
+    system = System(TOPO, SystemConfig(tlb_management=TLBManagement.SOFTWARE))
+    det = SoftwareManagedDetector(8, DetectorConfig(sm_sample_threshold=2))
+    det.ignore_pages(ignored)
+    Simulator(system).run(wl, detectors=[det])
+    return det
+
+
+def run_hm(wl, ignored=()):
+    det = HardwareManagedDetector(8, DetectorConfig(hm_period_cycles=30_000))
+    det.ignore_pages(ignored)
+    Simulator(System(TOPO)).run(wl, detectors=[det])
+    return det
+
+
+class TestCodePagePollution:
+    def test_shared_code_pollutes_unfiltered_sm(self):
+        """Without filtering, shared text shows up as communication between
+        threads that share no data (e.g. threads 0 and 7 of a chain)."""
+        det = run_sm(workload(code_bytes=96 * 1024))
+        assert det.matrix[0, 7] > 0  # fake: only the code page is shared
+
+    def test_filter_removes_pollution_sm(self):
+        wl = workload(code_bytes=96 * 1024)
+        det = run_sm(wl, ignored=wl.code_pages())
+        assert det.matrix[0, 7] == 0
+        # Real neighbour communication is preserved.
+        assert det.matrix[0, 1] > 0
+
+    def test_filter_restores_pattern_shape(self):
+        """Code pollution adds a uniform background: Pearson shrugs it off
+        (it is shift-invariant) but the matrix *classification* flips to
+        homogeneous — which would wrongly tell the mapper there is nothing
+        to exploit.  Filtering restores the structured shape."""
+        from repro.core.accuracy import cosine_similarity, pattern_class_of
+
+        data_truth = oracle_matrix(workload(code_bytes=0))
+        wl = workload(code_bytes=96 * 1024)
+        filtered = run_sm(wl, ignored=wl.code_pages())
+        unfiltered = run_sm(workload(code_bytes=96 * 1024))
+        assert pattern_class_of(unfiltered.matrix) == "homogeneous"  # fooled
+        assert pattern_class_of(filtered.matrix) == "structured"
+        assert cosine_similarity(filtered.matrix, data_truth) > \
+               cosine_similarity(unfiltered.matrix, data_truth)
+
+    def test_filter_works_for_hm(self):
+        wl = workload(code_bytes=96 * 1024)
+        polluted = run_hm(workload(code_bytes=96 * 1024))
+        clean = run_hm(wl, ignored=wl.code_pages())
+        assert clean.matrix[0, 7] < polluted.matrix[0, 7]
+        assert clean.matrix[0, 1] > 0
+
+    def test_search_still_charged_when_filtered(self):
+        """Filtering happens after the probe — the OS pays the routine
+        regardless (it cannot know the page class before looking)."""
+        wl = workload(code_bytes=96 * 1024)
+        det = run_sm(wl, ignored=wl.code_pages())
+        assert det.detection_cycles > 0
+        assert det.searches_run > 0
+
+
+class TestIgnorePagesAPI:
+    def test_accepts_iterables_of_ints(self):
+        det = SoftwareManagedDetector(8)
+        det.ignore_pages([1, 2, 3])
+        det.ignore_pages(range(10, 12))
+        assert det.ignored_pages == {1, 2, 3, 10, 11}
+
+    def test_default_empty(self):
+        assert HardwareManagedDetector(8).ignored_pages == set()

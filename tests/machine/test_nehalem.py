@@ -1,0 +1,99 @@
+"""Tests for the Nehalem-generation machine preset."""
+
+import pytest
+
+from repro.core.detection import DetectorConfig
+from repro.core.sm_detector import SoftwareManagedDetector
+from repro.machine.simulator import Simulator
+from repro.machine.system import System, nehalem_config
+from repro.machine.topology import harpertown, nehalem
+from repro.mapping.hierarchical import hierarchical_mapping
+from repro.tlb.mmu import TLBManagement
+from repro.workloads.synthetic import NearestNeighborWorkload
+
+
+class TestTopology:
+    def test_shape(self):
+        t = nehalem()
+        assert t.num_cores == 8
+        assert t.num_l2 == 2            # one LLC per socket
+        assert t.cores_per_l2 == 4
+        assert t.chips == 2
+
+    def test_llc_geometry(self):
+        t = nehalem()
+        assert t.l2_config.size == 8 * 1024 * 1024
+        assert t.l2_config.ways == 16
+        assert t.l2_config.name == "L3"
+
+    def test_group_sizes_single_shared_level(self):
+        # Four cores per LLC and one LLC per chip: grouping stops at 4.
+        assert nehalem().group_sizes() == [4]
+
+    def test_cache_scale(self):
+        t = nehalem(cache_scale=0.5)
+        assert t.l2_config.size == 4 * 1024 * 1024
+        assert t.l2_config.size % (64 * 16) == 0
+
+    def test_distance_classes(self):
+        t = nehalem()
+        assert t.distance(0, 3) == 1.0   # same LLC
+        assert t.distance(0, 4) == 4.0   # cross socket
+        # No intermediate class: same-chip == same-LLC on this machine.
+
+
+class TestSystemConfig:
+    def test_two_level_tlb_and_numa(self):
+        s = System(nehalem(), nehalem_config())
+        assert s.l2_tlbs is not None
+        assert s.l2_tlbs[0].config.entries == 512
+        assert s.numa_model is not None
+
+    def test_pipeline_works_on_nehalem(self):
+        """Detect→map on the LLC-sharing machine: groups of four."""
+        topo = nehalem()
+        cfg = nehalem_config()
+        # SM needs a software-managed variant of the config.
+        from dataclasses import replace
+        sw_cfg = replace(cfg, tlb_management=TLBManagement.SOFTWARE)
+        wl = NearestNeighborWorkload(num_threads=8, seed=6, iterations=3,
+                                     slab_bytes=96 * 1024, halo_bytes=16 * 1024)
+        det = SoftwareManagedDetector(8, DetectorConfig(sm_sample_threshold=3))
+        Simulator(System(topo, sw_cfg)).run(wl, detectors=[det])
+        assert det.matrix.total > 0
+        mapping = hierarchical_mapping(det.matrix, topo)
+        assert sorted(mapping) == list(range(8))
+        # The chain should be split into two contiguous fours, one per LLC.
+        llc_of = [topo.l2_of_core(mapping[t]) for t in range(8)]
+        boundary_crossings = sum(
+            llc_of[t] != llc_of[t + 1] for t in range(7)
+        )
+        assert boundary_crossings == 1  # exactly one cut in the chain
+
+    def test_mapping_still_helps_on_llc_machine(self):
+        """With 4-way shared LLCs the intra-chip distinction vanishes, but
+        socket placement still matters."""
+        topo = nehalem()
+        wl = lambda: NearestNeighborWorkload(num_threads=8, seed=6,
+                                             iterations=3,
+                                             slab_bytes=96 * 1024,
+                                             halo_bytes=16 * 1024)
+        good = list(range(8))
+        bad = [0, 4, 1, 5, 2, 6, 3, 7]   # neighbours split across sockets
+        rg = Simulator(System(topo, nehalem_config())).run(wl(), mapping=good)
+        rb = Simulator(System(topo, nehalem_config())).run(wl(), mapping=bad)
+        assert rg.execution_cycles < rb.execution_cycles
+        assert rg.inter_chip_transactions < rb.inter_chip_transactions
+
+    def test_fewer_walks_than_harpertown(self):
+        """The Nehalem L2 TLB absorbs most walk traffic (needs a working
+        set past the 64-entry L1 TLB's reach but within the L2 TLB's)."""
+        wl = lambda: NearestNeighborWorkload(num_threads=8, seed=6,
+                                             iterations=2,
+                                             slab_bytes=384 * 1024,
+                                             halo_bytes=8 * 1024)
+        hp = System(harpertown())
+        Simulator(hp).run(wl())
+        ne = System(nehalem(), nehalem_config())
+        Simulator(ne).run(wl())
+        assert ne.page_table.walks < hp.page_table.walks

@@ -1,0 +1,85 @@
+"""Tests for OS-noise injection (preemptions + TLB flushes)."""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import pearson_similarity
+from repro.core.detection import DetectorConfig
+from repro.core.oracle import oracle_matrix
+from repro.core.sm_detector import SoftwareManagedDetector
+from repro.machine.simulator import NoiseConfig, SimConfig, Simulator
+from repro.machine.system import System, SystemConfig
+from repro.machine.topology import harpertown
+from repro.tlb.mmu import TLBManagement
+from repro.workloads.synthetic import NearestNeighborWorkload
+
+TOPO = harpertown()
+
+
+def wl():
+    return NearestNeighborWorkload(num_threads=8, seed=5, iterations=3,
+                                   slab_bytes=64 * 1024, halo_bytes=8 * 1024)
+
+
+class TestNoiseConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseConfig(preemption_rate=1.5)
+        with pytest.raises(ValueError):
+            NoiseConfig(preemption_cost=-1)
+
+    def test_zero_rate_is_noise_free(self):
+        res = Simulator(System(TOPO), SimConfig(
+            noise=NoiseConfig(preemption_rate=0.0)
+        )).run(wl())
+        assert res.preemptions == 0
+        quiet = Simulator(System(TOPO)).run(wl())
+        assert res.execution_cycles == quiet.execution_cycles
+
+
+class TestNoiseEffects:
+    def test_noise_slows_and_counts(self):
+        quiet = Simulator(System(TOPO)).run(wl())
+        noisy = Simulator(System(TOPO), SimConfig(
+            noise=NoiseConfig(preemption_rate=0.05, seed=1)
+        )).run(wl())
+        assert noisy.preemptions > 0
+        assert noisy.execution_cycles > quiet.execution_cycles
+
+    def test_noise_seed_reproducible(self):
+        cfg = SimConfig(noise=NoiseConfig(preemption_rate=0.05, seed=3))
+        a = Simulator(System(TOPO), cfg).run(wl())
+        b = Simulator(System(TOPO), cfg).run(wl())
+        assert a.execution_cycles == b.execution_cycles
+        assert a.preemptions == b.preemptions
+
+    def test_different_seeds_introduce_variance(self):
+        cycles = set()
+        for s in range(4):
+            res = Simulator(System(TOPO), SimConfig(
+                noise=NoiseConfig(preemption_rate=0.05, seed=s)
+            )).run(wl())
+            cycles.add(res.execution_cycles)
+        assert len(cycles) > 1
+
+    def test_tlb_flush_raises_miss_rate(self):
+        no_flush = Simulator(System(TOPO), SimConfig(
+            noise=NoiseConfig(preemption_rate=0.08, flush_tlb=False, seed=2)
+        )).run(wl())
+        flush = Simulator(System(TOPO), SimConfig(
+            noise=NoiseConfig(preemption_rate=0.08, flush_tlb=True, seed=2)
+        )).run(wl())
+        assert flush.tlb_misses > no_flush.tlb_misses
+
+
+class TestDetectionUnderNoise:
+    def test_sm_survives_noise(self):
+        """Preemption-driven TLB flushes cost SM samples but must not
+        destroy the detected structure."""
+        truth = oracle_matrix(wl())
+        system = System(TOPO, SystemConfig(tlb_management=TLBManagement.SOFTWARE))
+        det = SoftwareManagedDetector(8, DetectorConfig(sm_sample_threshold=2))
+        Simulator(system, SimConfig(
+            noise=NoiseConfig(preemption_rate=0.05, seed=4)
+        )).run(wl(), detectors=[det])
+        assert pearson_similarity(det.matrix, truth) > 0.5

@@ -1,0 +1,158 @@
+"""Tests for repro.machine.simulator — the trace-driven engine."""
+
+import numpy as np
+import pytest
+
+from repro.machine.simulator import SimConfig, Simulator
+from repro.machine.system import System
+from repro.workloads.base import AccessStream, Phase
+
+
+def phase_of(addr_lists, name="p"):
+    """Build a phase from per-thread address lists (reads only)."""
+    return Phase(name, [
+        AccessStream.reads(np.array(a, dtype=np.int64)) for a in addr_lists
+    ])
+
+
+class TestMappingValidation:
+    def test_identity_default(self, simulator, neighbor_workload):
+        res = simulator.run(neighbor_workload)
+        assert res.accesses == neighbor_workload.total_accesses()
+
+    def test_rejects_wrong_length(self, simulator):
+        phases = [phase_of([[0], [64]])]
+        with pytest.raises(ValueError, match="mapping"):
+            simulator.run(phases, mapping=[0])
+
+    def test_rejects_duplicate_cores(self, simulator):
+        phases = [phase_of([[0], [64]])]
+        with pytest.raises(ValueError, match="distinct"):
+            simulator.run(phases, mapping=[1, 1])
+
+    def test_rejects_out_of_range_cores(self, simulator):
+        phases = [phase_of([[0], [64]])]
+        with pytest.raises(ValueError, match="cores"):
+            simulator.run(phases, mapping=[0, 99])
+
+    def test_rejects_empty_workload(self, simulator):
+        with pytest.raises(ValueError, match="no phases"):
+            simulator.run([])
+
+
+class TestCycleAccounting:
+    def test_only_mapped_cores_accumulate(self, simulator):
+        res = simulator.run([phase_of([[0, 64, 128], [4096]])], mapping=[0, 5])
+        assert res.core_cycles[0] > 0
+        assert res.core_cycles[5] > 0
+        # With a single phase there is no barrier sync for idle cores.
+        assert res.core_cycles[1] == 0
+
+    def test_execution_is_max_core(self, simulator):
+        res = simulator.run([phase_of([[0], [4096]])])
+        assert res.execution_cycles == max(res.core_cycles)
+
+    def test_barrier_syncs_between_phases(self, simulator):
+        # Phase 1: thread 0 does lots of work, thread 1 idles.
+        # Phase 2: only thread 1 works.  Its clock must start from the
+        # barrier (thread 0's phase-1 time), not from its own.
+        heavy = list(range(0, 64 * 200, 64))
+        p1 = phase_of([heavy, []], "p1")
+        p2 = phase_of([[], [8192]], "p2")
+        res = simulator.run([p1, p2])
+        assert res.core_cycles[1] >= res.core_cycles[0]
+
+    def test_mapping_permutes_cores(self, simulator):
+        res = simulator.run([phase_of([[0], [4096]])], mapping=[7, 3])
+        assert res.core_cycles[7] > 0 and res.core_cycles[3] > 0
+        assert res.core_cycles[0] == 0
+
+    def test_seconds_conversion(self, simulator):
+        res = simulator.run([phase_of([[0]])])
+        freq = simulator.system.config.frequency_ghz * 1e9
+        assert res.execution_seconds == pytest.approx(res.execution_cycles / freq)
+
+
+class TestDeterminism:
+    def test_same_workload_same_result(self, topology, neighbor_workload):
+        from repro.machine.system import System as Sys
+        r1 = Simulator(Sys(topology)).run(neighbor_workload)
+        # Regenerate workload (generators are repeatable by seed).
+        from repro.workloads.synthetic import NearestNeighborWorkload
+        wl2 = NearestNeighborWorkload(num_threads=8, seed=123, iterations=2,
+                                      slab_bytes=16 * 1024, halo_bytes=4 * 1024)
+        r2 = Simulator(Sys(topology)).run(wl2)
+        assert r1.execution_cycles == r2.execution_cycles
+        assert r1.invalidations == r2.invalidations
+        assert r1.snoop_transactions == r2.snoop_transactions
+
+
+class TestDetectorIntegration:
+    class CountingDetector:
+        name = "probe"
+
+        def __init__(self):
+            self.polls = 0
+            self.attached = False
+
+        def attach(self, system, core_to_thread):
+            self.attached = True
+
+        def detach(self):
+            self.attached = False
+
+        def poll(self, now):
+            self.polls += 1
+            return None
+
+        def summary(self):
+            return {"polls": self.polls}
+
+    def test_detector_lifecycle_and_summary(self, simulator, neighbor_workload):
+        det = self.CountingDetector()
+        res = simulator.run(neighbor_workload, detectors=[det])
+        assert det.polls > 0
+        assert not det.attached  # detached after the run
+        assert res.detection["probe"] == {"polls": det.polls}
+
+    def test_detector_charge_applied(self, hw_system, neighbor_workload):
+        class Charger(self.CountingDetector):
+            def poll(self, now):
+                self.polls += 1
+                return (0, 1000)
+
+        charged = Simulator(hw_system, SimConfig(charge_detection=True)).run(
+            neighbor_workload, detectors=[Charger()]
+        )
+        free_sys = System(hw_system.topology, hw_system.config)
+        free = Simulator(free_sys, SimConfig(charge_detection=False)).run(
+            neighbor_workload, detectors=[Charger()]
+        )
+        assert charged.core_cycles[0] > free.core_cycles[0]
+
+    def test_detector_detached_on_error(self, simulator):
+        det = self.CountingDetector()
+        with pytest.raises(ValueError):
+            simulator.run([], detectors=[det])
+        # attach never happened for an empty workload; but a bad mapping
+        # after attach must still detach:
+        with pytest.raises(ValueError):
+            simulator.run([phase_of([[0], [64]])], mapping=[1, 1], detectors=[det])
+        assert not det.attached
+
+
+class TestResultFields:
+    def test_counters_populated(self, simulator, neighbor_workload):
+        res = simulator.run(neighbor_workload)
+        assert res.tlb_accesses == res.accesses
+        assert 0 < res.tlb_misses < res.tlb_accesses
+        assert res.l2_misses > 0
+        assert res.invalidations >= 0
+        assert res.intra_chip_transactions + res.inter_chip_transactions >= 0
+
+    def test_per_second_rates(self, simulator, neighbor_workload):
+        res = simulator.run(neighbor_workload)
+        assert res.invalidations_per_second == pytest.approx(
+            res.invalidations / res.execution_seconds
+        )
+        assert res.tlb_miss_rate == pytest.approx(res.tlb_misses / res.tlb_accesses)

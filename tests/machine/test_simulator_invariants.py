@@ -1,0 +1,72 @@
+"""Simulator invariants across configuration knobs.
+
+The scheduling quantum and detector presence are *observability* knobs —
+they must not change what the machine does, only when we look at it.
+"""
+
+import pytest
+
+from repro.machine.simulator import SimConfig, Simulator
+from repro.machine.system import System
+from repro.machine.topology import harpertown, multi_level
+from repro.workloads.synthetic import NearestNeighborWorkload
+
+TOPO = harpertown()
+
+
+def wl(threads=8):
+    return NearestNeighborWorkload(num_threads=threads, seed=31, iterations=2,
+                                   slab_bytes=32 * 1024, halo_bytes=8 * 1024)
+
+
+class TestQuantumInvariance:
+    @pytest.mark.parametrize("quantum", [16, 256, 4096])
+    def test_total_accesses_independent_of_quantum(self, quantum):
+        res = Simulator(System(TOPO), SimConfig(quantum=quantum)).run(wl())
+        assert res.accesses == wl().total_accesses()
+
+    def test_quantum_changes_interleaving_not_magnitude(self):
+        """Finer interleaving shifts MESI timing slightly but cannot change
+        the order of magnitude of any counter."""
+        fine = Simulator(System(TOPO), SimConfig(quantum=16)).run(wl())
+        coarse = Simulator(System(TOPO), SimConfig(quantum=4096)).run(wl())
+        for attr in ("invalidations", "snoop_transactions", "l2_misses",
+                     "execution_cycles"):
+            a = getattr(fine, attr)
+            b = getattr(coarse, attr)
+            assert b <= 3 * a + 100 and a <= 3 * b + 100, attr
+
+    def test_tlb_counters_quantum_invariant(self):
+        """TLB behaviour is per-core and cannot depend on interleaving."""
+        fine = Simulator(System(TOPO), SimConfig(quantum=16)).run(wl())
+        coarse = Simulator(System(TOPO), SimConfig(quantum=4096)).run(wl())
+        assert fine.tlb_misses == coarse.tlb_misses
+        assert fine.tlb_accesses == coarse.tlb_accesses
+
+
+class TestScaleToSixteenThreads:
+    def test_npb_kernels_run_at_sixteen_threads(self):
+        """Nothing in the workload or machine stack is 8-thread-specific."""
+        from repro.workloads.npb import make_npb_workload
+
+        topo16 = multi_level(2, 4, 2)
+        system = System(topo16)
+        for name in ("bt", "ft", "is"):
+            wl16 = make_npb_workload(name, num_threads=16, scale=0.1, seed=3)
+            res = Simulator(system).run(wl16)
+            assert res.accesses == wl16.total_accesses()
+            system.reset()
+
+    def test_mapping_pipeline_sixteen_threads(self):
+        from repro.core.detection import DetectorConfig
+        from repro.core.sm_detector import SoftwareManagedDetector
+        from repro.machine.system import SystemConfig
+        from repro.mapping.hierarchical import hierarchical_mapping
+        from repro.tlb.mmu import TLBManagement
+
+        topo16 = multi_level(2, 4, 2)
+        system = System(topo16, SystemConfig(tlb_management=TLBManagement.SOFTWARE))
+        det = SoftwareManagedDetector(16, DetectorConfig(sm_sample_threshold=2))
+        Simulator(system).run(wl(threads=16), detectors=[det])
+        mapping = hierarchical_mapping(det.matrix, topo16)
+        assert sorted(mapping) == list(range(16))

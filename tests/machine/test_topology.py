@@ -1,0 +1,101 @@
+"""Tests for repro.machine.topology."""
+
+import numpy as np
+import pytest
+
+from repro.machine.topology import Topology, harpertown, multi_level
+
+
+class TestHarpertown:
+    def test_figure3_shape(self):
+        t = harpertown()
+        assert t.num_cores == 8
+        assert t.num_l2 == 4
+        assert t.chips == 2
+        assert t.cores_per_chip == 4
+
+    def test_table2_caches(self):
+        t = harpertown()
+        assert t.l1_config.size == 32 * 1024
+        assert t.l1_config.ways == 4
+        assert t.l1_config.latency == 2
+        assert not t.l1_config.write_back
+        assert t.l2_config.size == 6 * 1024 * 1024
+        assert t.l2_config.ways == 8
+        assert t.l2_config.latency == 8
+        assert t.l2_config.write_back
+
+    def test_cache_scale(self):
+        t = harpertown(cache_scale=0.5)
+        assert t.l1_config.size == 16 * 1024
+        assert t.l2_config.size == 3 * 1024 * 1024
+        # Scaled sizes stay valid geometries.
+        assert t.l2_config.size % (t.l2_config.line_size * t.l2_config.ways) == 0
+
+    def test_cache_scale_floors_at_one_set(self):
+        t = harpertown(cache_scale=1e-9)
+        assert t.l1_config.num_sets >= 1
+
+
+class TestWiring:
+    def test_core_to_l2(self):
+        t = harpertown()
+        assert t.core_to_l2() == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_chip_of_l2(self):
+        assert harpertown().chip_of_l2() == [0, 0, 1, 1]
+
+    def test_cores_of_l2(self):
+        assert harpertown().cores_of_l2(2) == [4, 5]
+
+    def test_chip_of_core(self):
+        t = harpertown()
+        assert [t.chip_of_core(c) for c in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+
+class TestDistances:
+    def test_distance_classes(self):
+        t = harpertown()
+        assert t.distance(0, 0) == 0.0
+        assert t.distance(0, 1) == 1.0   # same L2
+        assert t.distance(0, 2) == 2.0   # same chip
+        assert t.distance(0, 4) == 4.0   # cross chip
+
+    def test_distance_matrix_matches_pointwise(self):
+        t = harpertown()
+        d = t.distance_matrix()
+        for a in range(8):
+            for b in range(8):
+                assert d[a, b] == t.distance(a, b)
+
+    def test_distance_matrix_symmetric_zero_diag(self):
+        d = harpertown().distance_matrix()
+        assert np.allclose(d, d.T)
+        assert np.all(np.diag(d) == 0)
+
+    def test_rejects_non_monotone_weights(self):
+        with pytest.raises(ValueError):
+            Topology(distance_weights=(2.0, 1.0, 4.0))
+
+
+class TestGroupSizes:
+    def test_harpertown_levels(self):
+        assert harpertown().group_sizes() == [2, 4]
+
+    def test_single_chip_has_no_chip_level(self):
+        assert multi_level(2, 2, 1).group_sizes() == [2]
+
+    def test_private_l2_topology(self):
+        t = multi_level(1, 4, 2)
+        assert t.group_sizes() == [4]
+
+    def test_flat_topology(self):
+        assert multi_level(1, 1, 1).group_sizes() == []
+
+
+class TestDescribe:
+    def test_mentions_key_facts(self):
+        text = harpertown().describe()
+        assert "8 cores" in text
+        assert "write-through" in text
+        assert "write-back" in text

@@ -1,0 +1,130 @@
+"""Tests for the baseline mappings."""
+
+import numpy as np
+import pytest
+
+from repro.machine.topology import harpertown
+from repro.mapping.baselines import (
+    brute_force_mapping,
+    greedy_mapping,
+    os_scheduler_mappings,
+    packed_mapping,
+    random_mapping,
+    round_robin_mapping,
+)
+from repro.mapping.quality import mapping_cost
+
+
+def neighbor_matrix(n=8):
+    a = np.zeros((n, n))
+    for t in range(n - 1):
+        a[t, t + 1] = a[t + 1, t] = 10
+    return a
+
+
+class TestStaticPlacements:
+    def test_packed_is_identity(self):
+        assert packed_mapping(8, harpertown()) == list(range(8))
+
+    def test_round_robin_scatters_l2s_first(self):
+        topo = harpertown()
+        rr = round_robin_mapping(8, topo)
+        # First 4 threads land on 4 distinct L2s.
+        l2s = [topo.l2_of_core(c) for c in rr[:4]]
+        assert sorted(l2s) == [0, 1, 2, 3]
+
+    def test_round_robin_partial(self):
+        topo = harpertown()
+        rr = round_robin_mapping(4, topo)
+        assert len(rr) == 4
+        assert len({topo.l2_of_core(c) for c in rr}) == 4
+
+    def test_too_many_threads(self):
+        with pytest.raises(ValueError):
+            packed_mapping(9, harpertown())
+
+
+class TestRandom:
+    def test_valid_permutation(self):
+        m = random_mapping(8, harpertown(), 3)
+        assert sorted(m) == list(range(8))
+
+    def test_seed_reproducible(self):
+        assert random_mapping(8, harpertown(), 3) == random_mapping(8, harpertown(), 3)
+
+    def test_partial_threads_distinct_cores(self):
+        m = random_mapping(5, harpertown(), 1)
+        assert len(set(m)) == 5
+
+    def test_os_ensemble(self):
+        maps = os_scheduler_mappings(8, harpertown(), runs=10, seed=7)
+        assert len(maps) == 10
+        assert len({tuple(m) for m in maps}) > 1  # genuinely varied
+        assert all(sorted(m) == list(range(8)) for m in maps)
+
+    def test_os_ensemble_reproducible(self):
+        a = os_scheduler_mappings(8, harpertown(), runs=5, seed=7)
+        b = os_scheduler_mappings(8, harpertown(), runs=5, seed=7)
+        assert a == b
+
+    def test_os_ensemble_validates_runs(self):
+        with pytest.raises(ValueError):
+            os_scheduler_mappings(8, harpertown(), runs=0)
+
+
+class TestGreedy:
+    def test_valid_permutation(self):
+        m = greedy_mapping(neighbor_matrix(), harpertown())
+        assert sorted(m) == list(range(8))
+
+    def test_pairs_heaviest_edge_first(self):
+        topo = harpertown()
+        a = np.zeros((8, 8))
+        a[2, 6] = a[6, 2] = 100  # dominant pair must share an L2
+        a += neighbor_matrix() * 0.01
+        np.fill_diagonal(a, 0)
+        m = greedy_mapping(a, topo)
+        assert topo.l2_of_core(m[2]) == topo.l2_of_core(m[6])
+
+    def test_greedy_not_better_than_optimal(self):
+        topo = harpertown()
+        dist = topo.distance_matrix()
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            a = rng.random((8, 8))
+            a = (a + a.T) / 2
+            np.fill_diagonal(a, 0)
+            greedy_cost = mapping_cost(a, greedy_mapping(a, topo), dist)
+            best_cost = mapping_cost(a, brute_force_mapping(a, topo), dist)
+            assert greedy_cost >= best_cost - 1e-9
+
+
+class TestBruteForce:
+    def test_finds_known_optimum(self):
+        topo = harpertown()
+        m = brute_force_mapping(neighbor_matrix(), topo)
+        dist = topo.distance_matrix()
+        cost = mapping_cost(neighbor_matrix(), m, dist)
+        # Optimal for the chain on Harpertown: pairs (01)(23)(45)(67),
+        # fours on chips: cost = 4 same-L2 + 2 same-chip + 1 cross-chip.
+        assert cost == pytest.approx(10 * (4 * 1 + 2 * 2 + 1 * 4))
+
+    def test_guard_rejects_large_n(self):
+        with pytest.raises(ValueError):
+            brute_force_mapping(np.zeros((10, 10)), harpertown(), max_threads=9)
+
+    def test_beats_or_ties_everything(self):
+        topo = harpertown()
+        dist = topo.distance_matrix()
+        rng = np.random.default_rng(5)
+        a = rng.random((8, 8))
+        a = (a + a.T) / 2
+        np.fill_diagonal(a, 0)
+        best = mapping_cost(a, brute_force_mapping(a, topo), dist)
+        for other in (
+            packed_mapping(8, topo),
+            round_robin_mapping(8, topo),
+            random_mapping(8, topo, 1),
+            greedy_mapping(a, topo),
+        ):
+            assert mapping_cost(a, other, dist) >= best - 1e-9

@@ -1,0 +1,158 @@
+"""Tests for the from-scratch Edmonds blossom implementation.
+
+Correctness is established three ways: brute-force enumeration on small
+graphs, comparison against networkx (an independent implementation), and
+the internal complementary-slackness verifier (`check_optimum=True`)
+running on every call in these tests.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.mapping.blossom import matching_weight, max_weight_matching
+
+
+def brute_force_best(w, require_perfect):
+    """Exhaustive maximum-weight matching by recursion."""
+    n = w.shape[0]
+
+    def best(vertices):
+        if not vertices:
+            return 0.0
+        if len(vertices) == 1:
+            return float("-inf") if require_perfect else 0.0
+        v = vertices[0]
+        rest = vertices[1:]
+        # v stays unmatched:
+        options = [] if require_perfect else [best(rest)]
+        for i, u in enumerate(rest):
+            options.append(w[v, u] + best(rest[:i] + rest[i + 1:]))
+        return max(options)
+
+    return best(list(range(n)))
+
+
+def random_symmetric(rng, n, lo=0, hi=20):
+    w = rng.integers(lo, hi, size=(n, n)).astype(float)
+    w = (w + w.T) / 2
+    np.fill_diagonal(w, 0)
+    return w
+
+
+class TestSmallExact:
+    def test_two_vertices(self):
+        pairs = max_weight_matching(np.array([[0, 5], [5, 0.]]), check_optimum=True)
+        assert pairs == [(0, 1)]
+
+    def test_four_vertices_forced_choice(self):
+        # Pairing (0,1)+(2,3) = 10+1; (0,2)+(1,3) = 6+6 = 12 wins.
+        w = np.zeros((4, 4))
+        w[0, 1] = w[1, 0] = 10
+        w[2, 3] = w[3, 2] = 1
+        w[0, 2] = w[2, 0] = 6
+        w[1, 3] = w[3, 1] = 6
+        pairs = max_weight_matching(w, check_optimum=True)
+        assert matching_weight(w, pairs) == 12.0
+
+    def test_triangle_needs_blossom_reasoning(self):
+        # Odd cycle: only one edge can be matched.
+        w = np.zeros((3, 3))
+        w[0, 1] = w[1, 0] = 5
+        w[1, 2] = w[2, 1] = 6
+        w[0, 2] = w[2, 0] = 4
+        pairs = max_weight_matching(w, max_cardinality=False, check_optimum=True)
+        assert matching_weight(w, pairs) == 6.0
+
+    def test_classic_blossom_instance(self):
+        # The known tricky case: a 5-cycle plus a pendant, where greedy
+        # matching fails and blossom shrinking is required.
+        n = 6
+        w = np.zeros((n, n))
+        edges = {(0, 1): 8, (1, 2): 9, (2, 3): 10, (3, 4): 7, (4, 0): 8,
+                 (4, 5): 6}
+        for (i, j), wt in edges.items():
+            w[i, j] = w[j, i] = wt
+        pairs = max_weight_matching(w, max_cardinality=False, check_optimum=True)
+        assert matching_weight(w, pairs) == brute_force_best(w, False)
+
+    def test_empty_and_single(self):
+        assert max_weight_matching(np.zeros((0, 0))) == []
+        assert max_weight_matching(np.zeros((1, 1))) == []
+
+
+class TestPerfectMatching:
+    @pytest.mark.parametrize("n", [2, 4, 6, 8])
+    def test_complete_graph_even_n_is_perfect(self, n, rng):
+        w = random_symmetric(rng, n)
+        pairs = max_weight_matching(w, max_cardinality=True, check_optimum=True)
+        assert len(pairs) == n // 2
+        covered = {v for p in pairs for v in p}
+        assert covered == set(range(n))
+
+    def test_zero_weights_still_perfect(self):
+        pairs = max_weight_matching(np.zeros((6, 6)), max_cardinality=True)
+        assert len(pairs) == 3
+
+    def test_perfect_matching_optimal_weight(self, rng):
+        for _ in range(20):
+            w = random_symmetric(rng, 6)
+            pairs = max_weight_matching(w, max_cardinality=True, check_optimum=True)
+            assert matching_weight(w, pairs) == pytest.approx(
+                brute_force_best(w, True)
+            )
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("trial", range(30))
+    def test_non_perfect_mode(self, trial):
+        rng = np.random.default_rng(1000 + trial)
+        n = int(rng.integers(2, 8))
+        w = random_symmetric(rng, n, lo=-5, hi=15)
+        pairs = max_weight_matching(w, max_cardinality=False, check_optimum=True)
+        assert matching_weight(w, pairs) == pytest.approx(
+            brute_force_best(w, False)
+        )
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("trial", range(40))
+    def test_fuzz_maxcardinality(self, trial):
+        nx = pytest.importorskip("networkx")
+        rng = np.random.default_rng(2000 + trial)
+        n = int(rng.integers(2, 13))
+        w = random_symmetric(rng, n)
+        pairs = max_weight_matching(w, max_cardinality=True, check_optimum=True)
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                g.add_edge(i, j, weight=w[i, j])
+        ref = nx.max_weight_matching(g, maxcardinality=True)
+        ref_weight = sum(w[i, j] for i, j in ref)
+        assert matching_weight(w, pairs) == pytest.approx(ref_weight)
+
+
+class TestInputValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            max_weight_matching(np.zeros((2, 3)))
+
+    def test_rejects_asymmetric(self):
+        w = np.zeros((3, 3))
+        w[0, 1] = 5
+        with pytest.raises(ValueError):
+            max_weight_matching(w)
+
+    def test_matching_weight_rejects_reuse(self):
+        w = np.ones((4, 4))
+        with pytest.raises(ValueError):
+            matching_weight(w, [(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            matching_weight(w, [(0, 0)])
+
+    def test_pairs_ordered(self, rng):
+        w = random_symmetric(rng, 8)
+        for i, j in max_weight_matching(w):
+            assert i < j

@@ -1,0 +1,95 @@
+"""Stress tests for the blossom matcher at larger instance sizes.
+
+The unit tests cover n ≤ 13 exhaustively; these verify the O(n³)
+implementation stays correct (vs. networkx) and tractable as instances
+grow to the sizes the hierarchical mapper would see on big machines.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.mapping.blossom import matching_weight, max_weight_matching
+
+networkx = pytest.importorskip("networkx")
+
+
+def random_symmetric(rng, n, hi=1000):
+    w = rng.integers(0, hi, size=(n, n)).astype(float)
+    w = (w + w.T) / 2
+    np.fill_diagonal(w, 0)
+    return w
+
+
+def nx_weight(w, maxcard=True):
+    g = networkx.Graph()
+    n = w.shape[0]
+    g.add_nodes_from(range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            g.add_edge(i, j, weight=w[i, j])
+    m = networkx.max_weight_matching(g, maxcardinality=maxcard)
+    return sum(w[i, j] for i, j in m)
+
+
+class TestLargeInstances:
+    @pytest.mark.parametrize("n", [16, 24, 32])
+    def test_matches_networkx(self, n):
+        rng = np.random.default_rng(n)
+        w = random_symmetric(rng, n)
+        pairs = max_weight_matching(w, max_cardinality=True, check_optimum=True)
+        assert len(pairs) == n // 2
+        assert matching_weight(w, pairs) == pytest.approx(nx_weight(w))
+
+    def test_adversarial_uniform_weights(self):
+        # All-equal weights: any perfect matching is optimal; the solver
+        # must still terminate cleanly and produce one.
+        w = np.full((20, 20), 7.0)
+        np.fill_diagonal(w, 0)
+        pairs = max_weight_matching(w, check_optimum=True)
+        assert len(pairs) == 10
+        assert matching_weight(w, pairs) == 70.0
+
+    def test_two_scale_weights(self):
+        # Strong pairs plus weak noise: the strong structure must win.
+        rng = np.random.default_rng(5)
+        n = 24
+        w = rng.random((n, n))
+        w = (w + w.T) / 2
+        for k in range(0, n, 2):
+            w[k, k + 1] = w[k + 1, k] = 1000.0
+        np.fill_diagonal(w, 0)
+        pairs = max_weight_matching(w, check_optimum=True)
+        assert set(pairs) == {(k, k + 1) for k in range(0, n, 2)}
+
+    def test_tractable_at_mapper_scale(self):
+        """One solve at n=48 (a 48-thread machine's first level) stays
+        well under a second."""
+        rng = np.random.default_rng(48)
+        w = random_symmetric(rng, 48)
+        t0 = time.perf_counter()
+        pairs = max_weight_matching(w)
+        elapsed = time.perf_counter() - t0
+        assert len(pairs) == 24
+        assert elapsed < 5.0  # generous bound for slow CI boxes
+
+
+class TestHierarchicalAtScale:
+    def test_thirty_two_thread_grouping(self):
+        from repro.machine.topology import multi_level
+        from repro.mapping.hierarchical import hierarchical_mapping
+        from repro.mapping.quality import mapping_cost
+        from repro.mapping.baselines import random_mapping
+
+        topo = multi_level(2, 8, 2)  # 32 cores
+        rng = np.random.default_rng(9)
+        # Neighbour chain on 32 threads.
+        m = np.zeros((32, 32))
+        for t in range(31):
+            m[t, t + 1] = m[t + 1, t] = 10
+        mapping = hierarchical_mapping(m, topo)
+        assert sorted(mapping) == list(range(32))
+        dist = topo.distance_matrix()
+        rand_cost = mapping_cost(m, random_mapping(32, topo, 1), dist)
+        assert mapping_cost(m, mapping, dist) < 0.6 * rand_cost

@@ -1,0 +1,96 @@
+"""Tests for the dual-recursive-bipartitioning baseline."""
+
+import numpy as np
+import pytest
+
+from repro.machine.topology import harpertown
+from repro.mapping.baselines import brute_force_mapping
+from repro.mapping.drb import bipartition, drb_mapping
+from repro.mapping.quality import mapping_cost
+
+
+def block_matrix(blocks, n=8, strong=10.0):
+    a = np.zeros((n, n))
+    for block in blocks:
+        for i in block:
+            for j in block:
+                if i != j:
+                    a[i, j] = strong
+    return a
+
+
+class TestBipartition:
+    def test_separates_obvious_clusters(self):
+        m = block_matrix([(0, 1, 2, 3), (4, 5, 6, 7)])
+        a, b = bipartition(m, list(range(8)))
+        assert sorted(a) == [0, 1, 2, 3]
+        assert sorted(b) == [4, 5, 6, 7]
+
+    def test_separates_interleaved_clusters(self):
+        m = block_matrix([(0, 2, 4, 6), (1, 3, 5, 7)])
+        a, b = bipartition(m, list(range(8)))
+        assert sorted(a) == [0, 2, 4, 6]
+        assert sorted(b) == [1, 3, 5, 7]
+
+    def test_balanced_halves(self):
+        rng = np.random.default_rng(3)
+        m = rng.random((8, 8))
+        m = (m + m.T) / 2
+        a, b = bipartition(m, list(range(8)))
+        assert len(a) == len(b) == 4
+        assert sorted(a + b) == list(range(8))
+
+    def test_two_elements(self):
+        a, b = bipartition(np.zeros((8, 8)), [3, 5])
+        assert (a, b) == ([3], [5])
+
+    def test_odd_set_rejected(self):
+        with pytest.raises(ValueError):
+            bipartition(np.zeros((8, 8)), [0, 1, 2])
+
+    def test_kl_refinement_improves_greedy_seed(self):
+        # A matrix engineered so the greedy seed is suboptimal: two strong
+        # cliques plus a decoy edge pulling one member across.
+        m = block_matrix([(0, 1, 2, 3), (4, 5, 6, 7)], strong=5)
+        m[0, 4] = m[4, 0] = 6  # decoy
+        a, b = bipartition(m, list(range(8)))
+        cut = m[np.ix_(a, b)].sum()
+        assert cut <= 6.0 + 1e-9  # only the decoy edge crosses
+
+
+class TestDRBMapping:
+    def test_valid_permutation(self):
+        rng = np.random.default_rng(1)
+        m = rng.random((8, 8))
+        m = (m + m.T) / 2
+        np.fill_diagonal(m, 0)
+        mapping = drb_mapping(m, harpertown())
+        assert sorted(mapping) == list(range(8))
+
+    def test_neighbor_chain_near_optimal(self):
+        a = np.zeros((8, 8))
+        for t in range(7):
+            a[t, t + 1] = a[t + 1, t] = 10
+        topo = harpertown()
+        dist = topo.distance_matrix()
+        drb_cost = mapping_cost(a, drb_mapping(a, topo), dist)
+        best = mapping_cost(a, brute_force_mapping(a, topo), dist)
+        assert drb_cost <= best * 1.25  # within 25% of optimal
+
+    def test_block_pattern_exactly_optimal(self):
+        m = block_matrix([(0, 1), (2, 3), (4, 5), (6, 7)])
+        topo = harpertown()
+        mapping = drb_mapping(m, topo)
+        for a, b in [(0, 1), (2, 3), (4, 5), (6, 7)]:
+            assert topo.l2_of_core(mapping[a]) == topo.l2_of_core(mapping[b])
+
+    def test_requires_threads_equal_cores(self):
+        with pytest.raises(ValueError):
+            drb_mapping(np.zeros((4, 4)), harpertown())
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(9)
+        m = rng.random((8, 8))
+        m = (m + m.T) / 2
+        np.fill_diagonal(m, 0)
+        assert drb_mapping(m) == drb_mapping(m)

@@ -1,0 +1,93 @@
+"""Tests for the mapping-quality objective."""
+
+import numpy as np
+import pytest
+
+from repro.core.commmatrix import CommunicationMatrix
+from repro.machine.topology import harpertown
+from repro.mapping.quality import (
+    communication_locality,
+    mapping_cost,
+    mapping_quality,
+    normalized_cost,
+)
+
+
+def pair_matrix():
+    a = np.zeros((8, 8))
+    a[0, 1] = a[1, 0] = 10
+    return a
+
+
+class TestMappingCost:
+    def test_single_pair_costs(self):
+        topo = harpertown()
+        dist = topo.distance_matrix()
+        a = pair_matrix()
+        assert mapping_cost(a, [0, 1, 2, 3, 4, 5, 6, 7], dist) == 10 * 1  # same L2
+        assert mapping_cost(a, [0, 2, 1, 3, 4, 5, 6, 7], dist) == 10 * 2  # same chip
+        assert mapping_cost(a, [0, 4, 1, 2, 3, 5, 6, 7], dist) == 10 * 4  # cross chip
+
+    def test_counts_each_pair_once(self):
+        topo = harpertown()
+        a = np.full((8, 8), 2.0)
+        np.fill_diagonal(a, 0)
+        cost = mapping_cost(a, list(range(8)), topo.distance_matrix())
+        manual = sum(
+            2.0 * topo.distance(i, j)
+            for i in range(8) for j in range(i + 1, 8)
+        )
+        assert cost == pytest.approx(manual)
+
+    def test_accepts_communication_matrix(self):
+        cm = CommunicationMatrix.from_array(pair_matrix())
+        topo = harpertown()
+        assert mapping_cost(cm, list(range(8)), topo.distance_matrix()) == 10
+
+    def test_rejects_non_injective(self):
+        with pytest.raises(ValueError):
+            mapping_cost(pair_matrix(), [0] * 8, harpertown().distance_matrix())
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            mapping_cost(pair_matrix(), [0, 1], harpertown().distance_matrix())
+
+
+class TestNormalizedCost:
+    def test_bounds(self):
+        topo = harpertown()
+        a = pair_matrix()
+        assert normalized_cost(a, list(range(8)), topo) == pytest.approx(0.0)
+        worst = [0, 4, 1, 2, 3, 5, 6, 7]
+        assert normalized_cost(a, worst, topo) == pytest.approx(1.0)
+
+    def test_zero_communication(self):
+        assert normalized_cost(np.zeros((8, 8)), list(range(8)), harpertown()) == 0.0
+
+
+class TestLocality:
+    def test_fractions_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((8, 8))
+        a = (a + a.T) / 2
+        np.fill_diagonal(a, 0)
+        loc = communication_locality(a, list(range(8)), harpertown())
+        assert sum(loc.values()) == pytest.approx(1.0)
+
+    def test_identity_mapping_pair_locality(self):
+        loc = communication_locality(pair_matrix(), list(range(8)), harpertown())
+        assert loc["same_l2"] == pytest.approx(1.0)
+        assert loc["cross_chip"] == 0.0
+
+    def test_empty(self):
+        loc = communication_locality(np.zeros((8, 8)), list(range(8)), harpertown())
+        assert all(v == 0.0 for v in loc.values())
+
+
+class TestQualityReport:
+    def test_fields(self):
+        q = mapping_quality(pair_matrix(), list(range(8)), harpertown())
+        assert q["cost"] == 10.0
+        assert q["normalized_cost"] == 0.0
+        assert q["same_l2"] == 1.0
+        assert set(q) >= {"cost", "normalized_cost", "same_l2", "same_chip", "cross_chip"}

@@ -1,0 +1,137 @@
+"""Tests for repro.mem.address — address arithmetic and region layout."""
+
+import numpy as np
+import pytest
+
+from repro.mem.address import (
+    AddressSpace,
+    Region,
+    line_index,
+    line_of,
+    offset_in_page,
+    page_of,
+)
+
+
+class TestAddressArithmetic:
+    def test_page_of_scalar(self):
+        assert page_of(0) == 0
+        assert page_of(4095) == 0
+        assert page_of(4096) == 1
+        assert page_of(8192 + 1) == 2
+
+    def test_page_of_vectorized(self):
+        addrs = np.array([0, 4095, 4096, 12288], dtype=np.int64)
+        assert np.array_equal(page_of(addrs), [0, 0, 1, 3])
+
+    def test_line_of(self):
+        assert line_of(63) == 0
+        assert line_of(64) == 1
+        arr = np.array([0, 64, 127, 128], dtype=np.int64)
+        assert np.array_equal(line_of(arr), [0, 1, 1, 2])
+
+    def test_offset_in_page(self):
+        assert offset_in_page(4096 + 17) == 17
+        arr = np.array([4096, 4097], dtype=np.int64)
+        assert np.array_equal(offset_in_page(arr), [0, 1])
+
+    def test_line_index_wraps_sets(self):
+        # 4 sets: line numbers map modulo 4.
+        assert line_index(0, 4) == 0
+        assert line_index(64 * 5, 4) == 1
+
+    def test_custom_page_size(self):
+        assert page_of(8192, page_size=8192) == 1
+
+
+class TestRegion:
+    def test_addr_scalar_and_bounds(self):
+        r = Region("x", base=4096, size=100)
+        assert r.addr(0) == 4096
+        assert r.addr(99) == 4195
+        with pytest.raises(IndexError):
+            r.addr(100)
+        with pytest.raises(IndexError):
+            r.addr(-1)
+
+    def test_addr_vectorized_bounds(self):
+        r = Region("x", base=4096, size=128)
+        offs = np.array([0, 64, 127], dtype=np.int64)
+        assert np.array_equal(r.addr(offs), offs + 4096)
+        with pytest.raises(IndexError):
+            r.addr(np.array([0, 128]))
+
+    def test_pages_span(self):
+        r = Region("x", base=4096, size=4097)
+        assert list(r.pages()) == [1, 2]
+
+    def test_contains(self):
+        r = Region("x", base=100, size=10)
+        assert r.contains(100) and r.contains(109)
+        assert not r.contains(110) and not r.contains(99)
+
+    def test_end(self):
+        assert Region("x", 0, 5).end == 5
+
+
+class TestAddressSpace:
+    def test_page_alignment(self):
+        sp = AddressSpace()
+        a = sp.allocate("a", 100)
+        b = sp.allocate("b", 100)
+        assert a.base % 4096 == 0
+        assert b.base % 4096 == 0
+
+    def test_guard_gap_prevents_page_sharing(self):
+        sp = AddressSpace()
+        a = sp.allocate("a", 4096)
+        b = sp.allocate("b", 4096)
+        assert set(a.pages()).isdisjoint(b.pages())
+        # Even the pages *between* are distinct: guard page in the middle.
+        assert b.base - a.end >= 4096
+
+    def test_no_guard_packs_tighter(self):
+        sp = AddressSpace()
+        a = sp.allocate("a", 4096, guard=False)
+        b = sp.allocate("b", 4096, guard=False)
+        assert b.base == a.base + 4096
+
+    def test_duplicate_name_rejected(self):
+        sp = AddressSpace()
+        sp.allocate("a", 10)
+        with pytest.raises(ValueError):
+            sp.allocate("a", 10)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace().allocate("a", 0)
+
+    def test_getitem_and_contains(self):
+        sp = AddressSpace()
+        r = sp.allocate("slab", 64)
+        assert sp["slab"] is r
+        assert "slab" in sp and "other" not in sp
+        assert len(sp) == 1
+
+    def test_region_for(self):
+        sp = AddressSpace()
+        r = sp.allocate("a", 4096)
+        assert sp.region_for(r.base + 10) is r
+        with pytest.raises(KeyError):
+            sp.region_for(r.end + 4096 * 10)
+
+    def test_base_must_be_aligned(self):
+        with pytest.raises(ValueError):
+            AddressSpace(base=100)
+
+    def test_footprint_grows(self):
+        sp = AddressSpace()
+        f0 = sp.footprint
+        sp.allocate("a", 4096)
+        assert sp.footprint > f0
+
+    def test_regions_ordered(self):
+        sp = AddressSpace()
+        sp.allocate("a", 1)
+        sp.allocate("b", 1)
+        assert list(sp.regions) == ["a", "b"]

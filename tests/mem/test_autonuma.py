@@ -1,0 +1,104 @@
+"""Tests for AutoNUMA-style page migration."""
+
+import pytest
+
+from repro.machine.simulator import Simulator
+from repro.machine.system import System, SystemConfig
+from repro.machine.topology import harpertown
+from repro.mem.numa import AutoNUMA, NUMAConfig
+from repro.workloads.synthetic import NearestNeighborWorkload
+
+
+def model(threshold=3, **kw):
+    return AutoNUMA(NUMAConfig(local_latency=100, remote_penalty=50,
+                               auto_migrate=True, migrate_threshold=threshold,
+                               migrate_latency=500, **kw))
+
+
+class TestMigrationLogic:
+    def test_page_migrates_after_threshold_remote_fetches(self):
+        numa = model(threshold=3)
+        numa.memory_latency(0, 0)          # homed on chip 0
+        assert numa.memory_latency(1, 0) == 150
+        assert numa.memory_latency(1, 0) == 150
+        # Third remote fetch triggers the migration (and pays the copy).
+        assert numa.memory_latency(1, 0) == 150 + 500
+        assert numa.home_of(0) == 1
+        assert numa.page_migrations == 1
+        # Now local for chip 1.
+        assert numa.memory_latency(1, 0) == 100
+
+    def test_local_fetches_decay_remote_claims(self):
+        numa = model(threshold=3)
+        numa.memory_latency(0, 0)
+        numa.memory_latency(1, 0)
+        numa.memory_latency(1, 0)
+        numa.memory_latency(0, 0)  # owner uses it: claim decays
+        numa.memory_latency(1, 0)  # back to 2, still below threshold
+        assert numa.page_migrations == 0
+        assert numa.home_of(0) == 0
+
+    def test_counters_reset_after_migration(self):
+        numa = model(threshold=2)
+        numa.memory_latency(0, 0)
+        numa.memory_latency(1, 0)
+        numa.memory_latency(1, 0)  # migrates to 1
+        assert numa.page_migrations == 1
+        numa.memory_latency(0, 0)
+        numa.memory_latency(0, 0)  # migrates back
+        assert numa.page_migrations == 2
+        assert numa.home_of(0) == 0
+
+    def test_independent_pages(self):
+        numa = model(threshold=2)
+        numa.memory_latency(0, 0)       # page 0
+        numa.memory_latency(0, 64)      # same page (line granularity)
+        numa.memory_latency(0, 64 * 64)  # next page
+        numa.memory_latency(1, 0)
+        numa.memory_latency(1, 0)       # migrates page 0 only
+        assert numa.home_of(0) == 1
+        assert numa.home_of(64 * 64) == 0
+
+    def test_reset_stats_keeps_migration_count(self):
+        numa = model(threshold=1)
+        numa.memory_latency(0, 0)
+        numa.memory_latency(1, 0)
+        numa.reset_stats()
+        assert numa.page_migrations == 1
+        assert numa.remote_fetches == 0
+
+
+class TestEndToEnd:
+    def test_master_init_pathology_fixed(self):
+        """Thread 0 first-touches every slab (all pages homed on chip 0);
+        AutoNUMA migrates the slabs to their workers' chips and beats
+        plain first-touch."""
+        topo = harpertown(cache_scale=0.01)  # keep DRAM traffic alive
+
+        def wl():
+            return NearestNeighborWorkload(
+                num_threads=8, seed=4, iterations=4,
+                slab_bytes=64 * 1024, halo_bytes=8 * 1024, master_init=True,
+            )
+
+        ft_sys = System(topo, SystemConfig(numa=NUMAConfig(remote_penalty=200)))
+        ft = Simulator(ft_sys).run(wl())
+        an_sys = System(topo, SystemConfig(
+            numa=NUMAConfig(remote_penalty=200, auto_migrate=True)
+        ))
+        an = Simulator(an_sys).run(wl())
+        assert an_sys.numa_model.page_migrations > 10
+        assert an_sys.numa_model.remote_fraction < ft_sys.numa_model.remote_fraction / 4
+        assert an.execution_cycles < ft.execution_cycles
+
+    def test_system_picks_autonuma_model(self):
+        s = System(harpertown(), SystemConfig(
+            numa=NUMAConfig(auto_migrate=True)
+        ))
+        assert isinstance(s.numa_model, AutoNUMA)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            NUMAConfig(migrate_threshold=0)
+        with pytest.raises(ValueError):
+            NUMAConfig(migrate_latency=0)

@@ -1,0 +1,132 @@
+"""Tests for repro.mem.cache — set-associative tag store with MESI states."""
+
+import pytest
+
+from repro.mem.cache import Cache, CacheConfig, MESIState
+
+
+def tiny_cache(ways=2, sets=4) -> Cache:
+    return Cache(CacheConfig(size=64 * ways * sets, ways=ways, line_size=64,
+                             latency=1, name="T"))
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        c = CacheConfig(size=32 * 1024, ways=4, line_size=64)
+        assert c.num_lines == 512
+        assert c.num_sets == 128
+
+    def test_harpertown_l2_non_power_of_two_sets(self):
+        c = CacheConfig(size=6 * 1024 * 1024, ways=8, line_size=64)
+        assert c.num_sets == 12288  # allowed: index is modulo
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=1000, ways=4, line_size=64)
+
+    def test_rejects_non_power_of_two_ways(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=64 * 3 * 4, ways=3, line_size=64)
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        c = tiny_cache()
+        assert c.lookup(5) == MESIState.INVALID
+        c.insert(5, MESIState.EXCLUSIVE)
+        assert c.lookup(5) == MESIState.EXCLUSIVE
+        assert c.stats.misses == 1 and c.stats.hits == 1
+
+    def test_lru_eviction_order(self):
+        c = tiny_cache(ways=2, sets=1)
+        c.insert(0, MESIState.SHARED)
+        c.insert(1, MESIState.SHARED)
+        c.lookup(0)  # refresh 0 → 1 becomes LRU
+        victim = c.insert(2, MESIState.SHARED)
+        assert victim == (1, MESIState.SHARED)
+        assert 0 in c and 2 in c and 1 not in c
+
+    def test_insert_existing_updates_in_place(self):
+        c = tiny_cache()
+        c.insert(7, MESIState.SHARED)
+        assert c.insert(7, MESIState.MODIFIED) is None
+        assert c.probe(7) == MESIState.MODIFIED
+        assert c.occupancy() == 1
+
+    def test_conflict_only_within_set(self):
+        c = tiny_cache(ways=1, sets=4)
+        c.insert(0, MESIState.SHARED)   # set 0
+        c.insert(1, MESIState.SHARED)   # set 1 — no conflict
+        assert c.occupancy() == 2
+        victim = c.insert(4, MESIState.SHARED)  # set 0 again → evicts 0
+        assert victim[0] == 0
+
+    def test_modified_eviction_counts_writeback(self):
+        c = tiny_cache(ways=1, sets=1)
+        c.insert(0, MESIState.MODIFIED)
+        c.insert(1, MESIState.SHARED)
+        assert c.stats.writebacks == 1
+        assert c.stats.evictions == 1
+
+    def test_insert_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            tiny_cache().insert(0, MESIState.INVALID)
+
+
+class TestStateManagement:
+    def test_set_state(self):
+        c = tiny_cache()
+        c.insert(3, MESIState.EXCLUSIVE)
+        c.set_state(3, MESIState.MODIFIED)
+        assert c.probe(3) == MESIState.MODIFIED
+
+    def test_set_state_missing_raises(self):
+        with pytest.raises(KeyError):
+            tiny_cache().set_state(3, MESIState.SHARED)
+
+    def test_set_state_invalid_rejected(self):
+        c = tiny_cache()
+        c.insert(3, MESIState.SHARED)
+        with pytest.raises(ValueError):
+            c.set_state(3, MESIState.INVALID)
+
+    def test_invalidate(self):
+        c = tiny_cache()
+        c.insert(9, MESIState.SHARED)
+        assert c.invalidate(9) == MESIState.SHARED
+        assert c.invalidate(9) == MESIState.INVALID
+        assert c.stats.invalidations_received == 1
+
+    def test_probe_does_not_touch_lru_or_stats(self):
+        c = tiny_cache(ways=2, sets=1)
+        c.insert(0, MESIState.SHARED)
+        c.insert(1, MESIState.SHARED)
+        hits, misses = c.stats.hits, c.stats.misses
+        c.probe(0)  # must NOT refresh 0
+        victim = c.insert(2, MESIState.SHARED)
+        assert victim[0] == 0  # 0 was still LRU despite the probe
+        assert (c.stats.hits, c.stats.misses) == (hits, misses)
+
+    def test_flush_returns_dirty_count(self):
+        c = tiny_cache()
+        c.insert(0, MESIState.MODIFIED)
+        c.insert(1, MESIState.SHARED)
+        assert c.flush() == 1
+        assert c.occupancy() == 0
+
+
+class TestInspection:
+    def test_resident_lines(self):
+        c = tiny_cache()
+        c.insert(0, MESIState.SHARED)
+        c.insert(5, MESIState.MODIFIED)
+        resident = dict(c.resident_lines())
+        assert resident == {0: MESIState.SHARED, 5: MESIState.MODIFIED}
+
+    def test_miss_rate(self):
+        c = tiny_cache()
+        c.lookup(0)
+        c.insert(0, MESIState.SHARED)
+        c.lookup(0)
+        assert c.stats.miss_rate == pytest.approx(0.5)
+        assert Cache(CacheConfig()).stats.miss_rate == 0.0

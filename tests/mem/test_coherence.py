@@ -1,0 +1,180 @@
+"""Tests for repro.mem.coherence — the MESI snooping bus.
+
+The scenarios follow the protocol table: E on a memory fill, E→S on a
+remote read, S→M upgrades with invalidation broadcast, RFO on write
+misses, and the paper's three counters (invalidations, snoops, L2 misses)
+incremented at exactly the right events.
+"""
+
+import pytest
+
+from repro.mem.cache import Cache, CacheConfig, MESIState
+from repro.mem.coherence import CoherenceBus
+from repro.mem.interconnect import Interconnect, InterconnectConfig
+
+
+def make_bus(n=4, ways=4, sets=8):
+    caches = [
+        Cache(CacheConfig(size=64 * ways * sets, ways=ways, line_size=64,
+                          latency=8, write_back=True, name="L2"), owner_id=i)
+        for i in range(n)
+    ]
+    chip_of = [i // 2 for i in range(n)]  # Harpertown: 2 L2s per chip
+    return CoherenceBus(caches, chip_of, Interconnect(InterconnectConfig()),
+                        memory_latency=200)
+
+
+class TestReadPath:
+    def test_cold_read_fills_exclusive_from_memory(self):
+        bus = make_bus()
+        latency = bus.read(0, 42)
+        assert bus.caches[0].probe(42) == MESIState.EXCLUSIVE
+        assert bus.stats.l2_misses == 1
+        assert bus.stats.memory_fetches == 1
+        assert bus.stats.snoop_transactions == 0
+        assert latency >= 200
+
+    def test_read_hit_is_cheap_and_not_a_miss(self):
+        bus = make_bus()
+        bus.read(0, 42)
+        misses = bus.stats.l2_misses
+        latency = bus.read(0, 42)
+        assert latency == 8
+        assert bus.stats.l2_misses == misses
+
+    def test_remote_read_is_snoop_and_downgrades_to_shared(self):
+        bus = make_bus()
+        bus.read(0, 42)          # cache 0: E
+        latency = bus.read(1, 42)  # served cache-to-cache
+        assert bus.stats.snoop_transactions == 1
+        assert bus.caches[0].probe(42) == MESIState.SHARED
+        assert bus.caches[1].probe(42) == MESIState.SHARED
+        # Intra-chip transfer (caches 0,1 share chip 0) beats memory.
+        assert latency < 200
+
+    def test_read_from_modified_supplier_writes_back(self):
+        bus = make_bus()
+        bus.write(0, 42)  # cache 0: M
+        wb = bus.stats.writebacks_to_memory
+        bus.read(1, 42)
+        assert bus.stats.writebacks_to_memory == wb + 1
+        assert bus.caches[0].probe(42) == MESIState.SHARED
+
+    def test_inter_chip_snoop_costs_more(self):
+        bus = make_bus()
+        bus.read(0, 42)
+        intra = bus.read(1, 42)   # same chip as 0
+        bus2 = make_bus()
+        bus2.read(0, 42)
+        inter = bus2.read(2, 42)  # other chip
+        assert inter > intra
+
+    def test_supplier_prefers_same_chip(self):
+        bus = make_bus()
+        bus.read(2, 42)  # chip 1 holds it
+        bus.read(1, 42)  # chip 0 holds it too (via snoop)
+        before = bus.interconnect.stats.inter_transactions
+        bus.read(0, 42)  # cache 0 should get it from cache 1 (same chip)
+        assert bus.interconnect.stats.inter_transactions == before
+
+
+class TestWritePath:
+    def test_write_miss_is_rfo_from_memory(self):
+        bus = make_bus()
+        latency = bus.write(0, 7)
+        assert bus.caches[0].probe(7) == MESIState.MODIFIED
+        assert bus.stats.l2_misses == 1
+        assert latency >= 200
+
+    def test_write_hit_modified_is_silent(self):
+        bus = make_bus()
+        bus.write(0, 7)
+        stats_before = (bus.stats.invalidations, bus.stats.l2_misses)
+        assert bus.write(0, 7) == 0
+        assert (bus.stats.invalidations, bus.stats.l2_misses) == stats_before
+
+    def test_write_hit_exclusive_upgrades_silently(self):
+        bus = make_bus()
+        bus.read(0, 7)  # E
+        assert bus.write(0, 7) == 0
+        assert bus.caches[0].probe(7) == MESIState.MODIFIED
+        assert bus.stats.invalidations == 0
+
+    def test_shared_write_invalidates_all_other_holders(self):
+        bus = make_bus()
+        bus.read(0, 7)
+        bus.read(1, 7)
+        bus.read(2, 7)  # three SHARED copies
+        bus.write(0, 7)
+        assert bus.stats.invalidations == 2
+        assert bus.stats.upgrades == 1
+        assert bus.caches[0].probe(7) == MESIState.MODIFIED
+        assert bus.caches[1].probe(7) == MESIState.INVALID
+        assert bus.caches[2].probe(7) == MESIState.INVALID
+
+    def test_write_miss_with_holders_is_snoop_plus_invalidation(self):
+        bus = make_bus()
+        bus.read(1, 7)
+        bus.write(0, 7)
+        assert bus.stats.snoop_transactions == 1
+        assert bus.stats.invalidations == 1
+        assert bus.caches[1].probe(7) == MESIState.INVALID
+
+    def test_invalidating_modified_holder_writes_back(self):
+        bus = make_bus()
+        bus.write(1, 7)  # cache 1: M
+        wb = bus.stats.writebacks_to_memory
+        bus.write(0, 7)  # RFO steals ownership
+        assert bus.stats.writebacks_to_memory == wb + 1
+        assert bus.caches[0].probe(7) == MESIState.MODIFIED
+
+
+class TestInvariantsAndHooks:
+    def test_single_writer_invariant_fuzz(self, rng):
+        bus = make_bus()
+        lines = [1, 2, 3]
+        for _ in range(500):
+            cache = int(rng.integers(0, 4))
+            line = int(rng.choice(lines))
+            if rng.random() < 0.4:
+                bus.write(cache, line)
+            else:
+                bus.read(cache, line)
+            for ln in lines:
+                bus.check_invariants(ln)
+
+    def test_check_invariants_catches_violation(self):
+        bus = make_bus()
+        bus.caches[0].insert(5, MESIState.MODIFIED)
+        bus.caches[1].insert(5, MESIState.SHARED)
+        with pytest.raises(AssertionError):
+            bus.check_invariants(5)
+
+    def test_invalidate_hook_fires(self):
+        bus = make_bus()
+        events = []
+        bus.add_invalidate_hook(lambda cid, line: events.append((cid, line)))
+        bus.read(1, 7)
+        bus.write(0, 7)
+        assert (1, 7) in events
+
+    def test_eviction_fires_hook_for_inclusion(self):
+        bus = make_bus(ways=1, sets=1)  # one-line caches
+        events = []
+        bus.add_invalidate_hook(lambda cid, line: events.append((cid, line)))
+        bus.read(0, 1)
+        bus.read(0, 2)  # evicts line 1
+        assert (0, 1) in events
+
+    def test_reset_stats(self):
+        bus = make_bus()
+        bus.read(0, 1)
+        bus.read(1, 1)
+        bus.reset_stats()
+        assert bus.stats.l2_misses == 0
+        assert bus.stats.snoop_transactions == 0
+        assert bus.interconnect.stats.total_transactions == 0
+
+    def test_parallel_sequence_validation(self):
+        with pytest.raises(ValueError):
+            CoherenceBus([Cache(CacheConfig())], [0, 1])

@@ -1,0 +1,141 @@
+"""Tests for repro.mem.hierarchy — L1-over-L2 wiring, inclusion, siblings."""
+
+import pytest
+
+from repro.mem.cache import CacheConfig, MESIState
+from repro.mem.hierarchy import MemoryHierarchy
+
+
+def make_hierarchy(num_cores=4, l1_sets=4, l2_sets=16):
+    return MemoryHierarchy(
+        num_cores=num_cores,
+        core_to_l2=[c // 2 for c in range(num_cores)],
+        chip_of_l2=[0] * (num_cores // 2),
+        l1_config=CacheConfig(size=64 * 2 * l1_sets, ways=2, line_size=64,
+                              latency=2, name="L1"),
+        l2_config=CacheConfig(size=64 * 4 * l2_sets, ways=4, line_size=64,
+                              latency=8, write_back=True, name="L2"),
+    )
+
+
+class TestReadPath:
+    def test_l1_hit_fast_path(self):
+        h = make_hierarchy()
+        h.access(0, 0x1000, False)  # cold: memory
+        latency = h.access(0, 0x1000, False)
+        assert latency == 2
+
+    def test_l2_hit_after_sibling_fetch(self):
+        h = make_hierarchy()
+        h.access(0, 0x1000, False)   # core 0 fills shared L2
+        r = h.access_verbose(1, 0x1000, False)
+        assert r.served_by == "l2"
+        assert r.latency == 2 + 8
+
+    def test_cross_l2_read_is_snoop(self):
+        h = make_hierarchy()
+        h.access(0, 0x1000, False)
+        r = h.access_verbose(2, 0x1000, False)  # cores 2,3 on other L2
+        assert r.served_by == "snoop"
+        assert h.stats.snoop_transactions == 1
+
+    def test_cold_read_served_by_memory(self):
+        h = make_hierarchy()
+        r = h.access_verbose(0, 0x9000, False)
+        assert r.served_by == "memory"
+        assert not r.l1_hit and not r.l2_hit
+
+
+class TestWritePath:
+    def test_write_through_reaches_l2(self):
+        h = make_hierarchy()
+        h.access(0, 0x2000, True)
+        line = 0x2000 >> 6
+        assert h.l2s[0].probe(line) == MESIState.MODIFIED
+
+    def test_sibling_l1_invalidation(self):
+        h = make_hierarchy()
+        h.access(1, 0x2000, False)   # core 1 L1 gets the line
+        assert h.l1s[1].probe(0x2000 >> 6) != MESIState.INVALID
+        h.access(0, 0x2000, True)    # sibling write (same L2)
+        assert h.l1s[1].probe(0x2000 >> 6) == MESIState.INVALID
+        assert h.l1_sibling_invalidations == 1
+
+    def test_sibling_invalidation_not_counted_without_copy(self):
+        h = make_hierarchy()
+        h.access(0, 0x2000, True)
+        assert h.l1_sibling_invalidations == 0
+
+    def test_cross_l2_write_invalidates_remote_l1_via_inclusion(self):
+        h = make_hierarchy()
+        h.access(2, 0x3000, False)  # core 2 L1 + L2#1 hold the line
+        line = 0x3000 >> 6
+        assert h.l1s[2].probe(line) != MESIState.INVALID
+        h.access(0, 0x3000, True)   # RFO from L2#0 invalidates L2#1
+        assert h.l2s[1].probe(line) == MESIState.INVALID
+        assert h.l1s[2].probe(line) == MESIState.INVALID  # inclusion
+
+    def test_write_latency_includes_l1(self):
+        h = make_hierarchy()
+        h.access(0, 0x2000, True)       # RFO (expensive)
+        lat = h.access(0, 0x2000, True)  # hit M: just L1 + silent L2
+        assert lat == 2
+
+
+class TestPingPong:
+    def test_false_sharing_ping_pong_counts(self):
+        """Two cores on different L2s alternately writing one line must
+        generate an invalidation + snoop per round trip — the MESI
+        ping-pong the paper's mapping eliminates."""
+        h = make_hierarchy()
+        for _ in range(5):
+            h.access(0, 0x4000, True)
+            h.access(2, 0x4000, True)
+        assert h.stats.invalidations >= 9   # every write after the first
+        assert h.stats.snoop_transactions >= 9
+
+    def test_same_l2_sharing_produces_no_bus_traffic(self):
+        h = make_hierarchy()
+        for _ in range(5):
+            h.access(0, 0x4000, True)
+            h.access(1, 0x4000, True)  # sibling: same L2
+        assert h.stats.invalidations == 0
+        assert h.stats.snoop_transactions == 0
+
+
+class TestConstructionAndStats:
+    def test_rejects_mismatched_wiring(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(num_cores=2, core_to_l2=[0], chip_of_l2=[0])
+        with pytest.raises(ValueError):
+            MemoryHierarchy(num_cores=2, core_to_l2=[0, 2], chip_of_l2=[0, 0])
+        with pytest.raises(ValueError):
+            MemoryHierarchy(num_cores=2, core_to_l2=[0, 0], chip_of_l2=[0, 0])
+
+    def test_rejects_line_size_mismatch(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(
+                num_cores=2, core_to_l2=[0, 0], chip_of_l2=[0],
+                l1_config=CacheConfig(line_size=32, size=1024, ways=2),
+                l2_config=CacheConfig(line_size=64, size=4096, ways=4),
+            )
+
+    def test_l1_miss_rate(self):
+        h = make_hierarchy()
+        h.access(0, 0x1000, False)
+        h.access(0, 0x1000, False)
+        assert 0 < h.l1_miss_rate() < 1
+
+    def test_reset_stats_preserves_contents(self):
+        h = make_hierarchy()
+        h.access(0, 0x1000, False)
+        h.reset_stats()
+        assert h.stats.l2_misses == 0
+        assert h.access(0, 0x1000, False) == 2  # still an L1 hit
+
+    def test_flush_all_empties(self):
+        h = make_hierarchy()
+        h.access(0, 0x1000, False)
+        h.flush_all()
+        r = h.access_verbose(0, 0x1000, False)
+        assert r.served_by == "memory"

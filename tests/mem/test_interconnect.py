@@ -1,0 +1,63 @@
+"""Tests for repro.mem.interconnect — link classes and traffic accounting."""
+
+import pytest
+
+from repro.mem.interconnect import Interconnect, InterconnectConfig, InterconnectStats
+
+
+class TestTransfer:
+    def test_intra_vs_inter_latency(self):
+        ic = Interconnect()
+        intra = ic.transfer(0, 0, 64)
+        inter = ic.transfer(0, 1, 64)
+        assert inter > intra
+
+    def test_byte_accounting(self):
+        ic = Interconnect()
+        ic.transfer(0, 0, 64)
+        ic.transfer(0, 1, 128)
+        assert ic.stats.intra_bytes == 64
+        assert ic.stats.inter_bytes == 128
+        assert ic.stats.intra_transactions == 1
+        assert ic.stats.inter_transactions == 1
+
+    def test_kind_breakdown(self):
+        ic = Interconnect()
+        ic.transfer(0, 1, 64, kind="snoop")
+        ic.transfer(0, 1, 64, kind="snoop")
+        ic.invalidate(0, 1)
+        assert ic.stats.by_kind["snoop"] == 2
+        assert ic.stats.by_kind["invalidate"] == 1
+
+    def test_invalidate_latencies(self):
+        ic = Interconnect()
+        assert ic.invalidate(0, 1) > ic.invalidate(0, 0)
+
+    def test_inter_chip_fraction(self):
+        ic = Interconnect()
+        assert ic.stats.inter_chip_fraction == 0.0
+        ic.transfer(0, 0, 64)
+        ic.transfer(0, 1, 64)
+        assert ic.stats.inter_chip_fraction == pytest.approx(0.5)
+
+    def test_reset(self):
+        ic = Interconnect()
+        ic.transfer(0, 1, 64)
+        ic.reset()
+        assert ic.stats.total_transactions == 0
+
+
+class TestConfig:
+    def test_custom_latencies_respected(self):
+        ic = Interconnect(InterconnectConfig(
+            intra_chip_latency=5, inter_chip_latency=50,
+            intra_chip_invalidate_latency=1, inter_chip_invalidate_latency=10,
+        ))
+        assert ic.transfer(0, 0, 64) == 5
+        assert ic.transfer(0, 1, 64) == 50
+        assert ic.invalidate(0, 0) == 1
+        assert ic.invalidate(0, 1) == 10
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            InterconnectConfig(intra_chip_latency=0)

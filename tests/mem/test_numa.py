@@ -1,0 +1,135 @@
+"""Tests for the NUMA memory model (first-touch homes, remote penalty)."""
+
+import pytest
+
+from repro.machine.system import System, SystemConfig, numa_variant
+from repro.machine.topology import harpertown
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.coherence import CoherenceBus
+from repro.mem.numa import FirstTouchNUMA, NUMAConfig, UniformMemory
+
+
+class TestFirstTouchNUMA:
+    def test_first_touch_homes_on_requester(self):
+        numa = FirstTouchNUMA(NUMAConfig(local_latency=100, remote_penalty=50))
+        assert numa.home_of(0) is None
+        lat = numa.memory_latency(chip=1, line=0)
+        assert lat == 100
+        assert numa.home_of(0) == 1
+
+    def test_remote_access_pays_penalty(self):
+        numa = FirstTouchNUMA(NUMAConfig(local_latency=100, remote_penalty=50))
+        numa.memory_latency(chip=0, line=0)     # homed on chip 0
+        assert numa.memory_latency(chip=1, line=0) == 150
+        assert numa.memory_latency(chip=0, line=0) == 100
+
+    def test_page_granularity(self):
+        # 4096B pages, 64B lines → 64 lines per page share a home.
+        numa = FirstTouchNUMA(NUMAConfig(), line_size=64)
+        numa.memory_latency(chip=0, line=0)
+        assert numa.home_of(63) == 0        # same page
+        assert numa.home_of(64) is None     # next page
+
+    def test_fetch_counters_and_fraction(self):
+        numa = FirstTouchNUMA(NUMAConfig())
+        numa.memory_latency(0, 0)
+        numa.memory_latency(1, 0)
+        numa.memory_latency(1, 0)
+        assert numa.local_fetches == 1
+        assert numa.remote_fetches == 2
+        assert numa.remote_fraction == pytest.approx(2 / 3)
+
+    def test_reset_preserves_homes(self):
+        numa = FirstTouchNUMA(NUMAConfig())
+        numa.memory_latency(0, 0)
+        numa.reset_stats()
+        assert numa.local_fetches == 0
+        assert numa.home_of(0) == 0
+        assert numa.homed_pages == 1
+
+    def test_uniform_memory(self):
+        uma = UniformMemory(latency=123)
+        assert uma.memory_latency(0, 0) == 123
+        assert uma.memory_latency(1, 999) == 123
+
+
+class TestBusIntegration:
+    def _bus(self, numa):
+        caches = [
+            Cache(CacheConfig(size=64 * 1 * 1, ways=1, line_size=64,
+                              write_back=True, name="L2"), owner_id=i)
+            for i in range(2)
+        ]
+        return CoherenceBus(caches, [0, 1], memory_model=numa)
+
+    def test_remote_fill_after_eviction(self):
+        """A page touched first by chip 0, later evicted everywhere, then
+        read by chip 1 from DRAM pays the remote penalty."""
+        numa = FirstTouchNUMA(NUMAConfig(local_latency=100, remote_penalty=77))
+        bus = self._bus(numa)
+        bus.read(0, 0)          # chip 0 first touch: homes page 0
+        bus.read(0, 1000)       # evicts line 0 (one-line cache)
+        lat = bus.read(1, 0)    # chip 1 fetches from DRAM: remote
+        assert lat == bus.caches[1].config.latency + 100 + 77
+        assert numa.remote_fetches == 1
+
+    def test_snoop_served_requests_skip_dram(self):
+        numa = FirstTouchNUMA(NUMAConfig())
+        bus = self._bus(numa)
+        bus.read(0, 0)
+        fetches_before = numa.local_fetches + numa.remote_fetches
+        bus.read(1, 0)  # cache-to-cache
+        assert numa.local_fetches + numa.remote_fetches == fetches_before
+
+    def test_bus_without_model_uses_scalar(self):
+        caches = [Cache(CacheConfig(size=4096, ways=4, line_size=64))]
+        bus = CoherenceBus(caches, [0], memory_latency=321)
+        assert bus.read(0, 0) == caches[0].config.latency + 321
+
+
+class TestSystemIntegration:
+    def test_numa_config_creates_model(self):
+        s = System(harpertown(), SystemConfig(numa=NUMAConfig()))
+        assert s.numa_model is not None
+        assert System(harpertown()).numa_model is None
+
+    def test_numa_variant_scales_interconnect(self):
+        base = SystemConfig()
+        cfg = numa_variant(base, interchip_factor=3.0)
+        assert cfg.numa is not None
+        assert cfg.interconnect.inter_chip_latency == \
+               base.interconnect.inter_chip_latency * 3
+        assert cfg.interconnect.intra_chip_latency == \
+               base.interconnect.intra_chip_latency
+
+    def test_reset_clears_numa_counters(self):
+        s = System(harpertown(), SystemConfig(numa=NUMAConfig()))
+        s.hierarchy.access(0, 0x1000, False)
+        s.reset()
+        assert s.numa_model.local_fetches == 0
+
+
+class TestNUMAWidensMappingGains:
+    def test_paper_conclusion(self):
+        """'Expected performance improvements in NUMA architectures are
+        higher, because of larger differences in communication latencies.'
+        Pure-pairs workload: the good mapping has zero chip-crossing
+        traffic, the bad one crosses chips for every pair."""
+        from repro.machine.simulator import Simulator
+        from repro.workloads.synthetic import PhaseShiftWorkload
+
+        topo = harpertown()
+
+        def pairs_phases():
+            wl = PhaseShiftWorkload(num_threads=8, seed=3,
+                                    iterations_per_epoch=3)
+            return [p for p in wl.phases() if ".e0." in p.name]
+
+        good = list(range(8))
+        bad = [t // 2 + 4 * (t % 2) for t in range(8)]  # pairs split chips
+        improvements = {}
+        for label, cfg in (("uma", SystemConfig()), ("numa", numa_variant())):
+            rg = Simulator(System(topo, cfg)).run(pairs_phases(), mapping=good)
+            rb = Simulator(System(topo, cfg)).run(pairs_phases(), mapping=bad)
+            improvements[label] = 1 - rg.execution_cycles / rb.execution_cycles
+        assert improvements["numa"] > improvements["uma"] + 0.05

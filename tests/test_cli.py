@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_prints_machine_model(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "8 cores" in out
+        assert "Θ(P)" in out
+        assert "6144 KiB" in out
+
+
+class TestDetect:
+    def test_sm_detection(self, capsys):
+        assert main(["detect", "bt", "--scale", "0.12",
+                     "--sample-threshold", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "BT — SM detection" in out
+        assert "mapping:" in out
+
+    def test_hm_detection(self, capsys):
+        assert main(["detect", "bt", "--scale", "0.12",
+                     "--mechanism", "hm", "--scan-period", "40000"]) == 0
+        out = capsys.readouterr().out
+        assert "HM detection" in out
+
+    def test_oracle(self, capsys):
+        assert main(["detect", "ep", "--scale", "0.12",
+                     "--mechanism", "oracle"]) == 0
+        out = capsys.readouterr().out
+        assert "oracle" in out.lower()
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["detect", "dc"])
+
+
+class TestReproduce:
+    def test_single_benchmark_to_stdout(self, capsys):
+        assert main(["reproduce", "ep", "--scale", "0.1",
+                     "--os-runs", "1", "--mapped-runs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "# Reproduction report" in out
+        assert "EP" in out
+
+    def test_output_file(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        assert main(["reproduce", "ft", "--scale", "0.1",
+                     "--os-runs", "1", "--mapped-runs", "1",
+                     "--output", str(path)]) == 0
+        assert "# Reproduction report" in path.read_text()
+        assert "report written" in capsys.readouterr().out
+
+
+class TestRecordReplay:
+    def test_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "ep.npz"
+        assert main(["record", "ep", str(path), "--scale", "0.1"]) == 0
+        assert path.exists()
+        assert main(["replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "execution cycles" in out
+
+    def test_replay_with_mapping(self, tmp_path, capsys):
+        path = tmp_path / "ep.npz"
+        main(["record", "ep", str(path), "--scale", "0.1"])
+        assert main(["replay", str(path),
+                     "--mapping", "7,6,5,4,3,2,1,0"]) == 0
+
+    def test_replay_bad_mapping_errors(self, tmp_path):
+        path = tmp_path / "ep.npz"
+        main(["record", "ep", str(path), "--scale", "0.1"])
+        with pytest.raises(ValueError):
+            main(["replay", str(path), "--mapping", "0,0,0,0,0,0,0,0"])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestAblate:
+    def test_mappers_table(self, capsys):
+        assert main(["ablate", "mappers", "--scale", "0.12"]) == 0
+        out = capsys.readouterr().out
+        assert "hierarchical" in out and "optimal" in out
+
+    def test_sweep_table(self, capsys):
+        assert main(["ablate", "l2-tlb", "--benchmark", "bt",
+                     "--scale", "0.12"]) == 0
+        out = capsys.readouterr().out
+        assert "l2_entries" in out and "accuracy" in out
+
+    def test_unknown_sweep_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["ablate", "frobnicate"])

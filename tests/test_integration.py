@@ -1,0 +1,145 @@
+"""End-to-end integration tests: the paper's whole pipeline on controlled
+workloads whose optimal mapping is known by construction.
+
+detect (SM/HM) → map (hierarchical Edmonds) → re-run → measure improvement.
+"""
+
+import pytest
+
+from repro.core.accuracy import pattern_class_of, pearson_similarity
+from repro.core.detection import DetectorConfig
+from repro.core.hm_detector import HardwareManagedDetector
+from repro.core.oracle import oracle_matrix
+from repro.core.sm_detector import SoftwareManagedDetector
+from repro.machine.simulator import Simulator
+from repro.machine.system import System, SystemConfig
+from repro.machine.topology import harpertown
+from repro.mapping.baselines import round_robin_mapping
+from repro.mapping.hierarchical import hierarchical_mapping
+from repro.mapping.quality import mapping_cost
+from repro.tlb.mmu import TLBManagement
+from repro.workloads.synthetic import (
+    AllToAllWorkload,
+    NearestNeighborWorkload,
+    PipelineWorkload,
+)
+
+TOPO = harpertown()
+
+
+def neighbor_wl(seed=42):
+    return NearestNeighborWorkload(
+        num_threads=8, seed=seed, iterations=3,
+        slab_bytes=96 * 1024, halo_bytes=16 * 1024,
+    )
+
+
+def detect_sm(workload, threshold=2):
+    system = System(TOPO, SystemConfig(tlb_management=TLBManagement.SOFTWARE))
+    det = SoftwareManagedDetector(8, DetectorConfig(sm_sample_threshold=threshold))
+    Simulator(system).run(workload, detectors=[det])
+    return det.matrix
+
+
+class TestFullPipelineNeighbor:
+    @pytest.fixture(scope="class")
+    def sm_matrix(self):
+        return detect_sm(neighbor_wl())
+
+    def test_detection_correlates_with_truth(self, sm_matrix):
+        truth = oracle_matrix(neighbor_wl())
+        assert pearson_similarity(sm_matrix, truth) > 0.7
+
+    def test_mapping_is_structurally_optimal(self, sm_matrix):
+        """Detected matrix must produce a mapping as good as mapping the
+        ground truth itself."""
+        truth = oracle_matrix(neighbor_wl())
+        dist = TOPO.distance_matrix()
+        from_detected = hierarchical_mapping(sm_matrix, TOPO)
+        from_truth = hierarchical_mapping(truth, TOPO)
+        assert mapping_cost(truth, from_detected, dist) == pytest.approx(
+            mapping_cost(truth, from_truth, dist), rel=0.15
+        )
+
+    def test_mapped_run_beats_scatter(self, sm_matrix):
+        mapping = hierarchical_mapping(sm_matrix, TOPO)
+        scatter = round_robin_mapping(8, TOPO)
+        good = Simulator(System(TOPO)).run(neighbor_wl(), mapping=mapping)
+        bad = Simulator(System(TOPO)).run(neighbor_wl(), mapping=scatter)
+        assert good.execution_cycles < bad.execution_cycles
+        assert good.invalidations < bad.invalidations
+        assert good.snoop_transactions < bad.snoop_transactions
+        assert good.inter_chip_transactions < bad.inter_chip_transactions
+
+
+class TestHMPipeline:
+    def test_hm_detects_and_maps(self):
+        wl = neighbor_wl()
+        system = System(TOPO)
+        det = HardwareManagedDetector(8, DetectorConfig(hm_period_cycles=30_000))
+        Simulator(system).run(wl, detectors=[det])
+        assert det.scans_run > 3
+        mapping = hierarchical_mapping(det.matrix, TOPO)
+        truth = oracle_matrix(neighbor_wl())
+        dist = TOPO.distance_matrix()
+        # HM may be noisier than SM but must still clearly beat scatter.
+        scatter_cost = mapping_cost(truth, round_robin_mapping(8, TOPO), dist)
+        assert mapping_cost(truth, mapping, dist) < scatter_cost
+
+
+class TestHomogeneousNoWin:
+    def test_alltoall_mapping_is_indifferent(self):
+        """The paper's negative result: homogeneous patterns gain nothing
+        from mapping."""
+        wl = AllToAllWorkload(num_threads=8, seed=3, iterations=2,
+                              buffer_bytes=32 * 1024)
+        truth = oracle_matrix(AllToAllWorkload(num_threads=8, seed=3,
+                                               iterations=2,
+                                               buffer_bytes=32 * 1024))
+        assert pattern_class_of(truth) == "homogeneous"
+        mapping = hierarchical_mapping(truth, TOPO)
+        mapped = Simulator(System(TOPO)).run(wl, mapping=mapping)
+        wl2 = AllToAllWorkload(num_threads=8, seed=3, iterations=2,
+                               buffer_bytes=32 * 1024)
+        scattered = Simulator(System(TOPO)).run(
+            wl2, mapping=round_robin_mapping(8, TOPO)
+        )
+        # Within a few percent of each other: no exploitable structure.
+        ratio = mapped.execution_cycles / scattered.execution_cycles
+        assert 0.93 < ratio < 1.07
+
+
+class TestPipelinePattern:
+    def test_chain_gets_paired_neighbouring_stages(self):
+        wl = PipelineWorkload(num_threads=8, seed=4, iterations=3,
+                              buffer_bytes=48 * 1024)
+        sm = detect_sm(wl)
+        mapping = hierarchical_mapping(sm, TOPO)
+        # Adjacent pipeline stages should overwhelmingly share L2/chip.
+        same_l2_pairs = sum(
+            TOPO.l2_of_core(mapping[t]) == TOPO.l2_of_core(mapping[t + 1])
+            for t in range(7)
+        )
+        assert same_l2_pairs >= 3  # 4 is the max possible for a chain
+
+
+class TestDetectionOverheadEndToEnd:
+    def test_sm_overhead_fraction_small_when_sampled(self):
+        from repro.core.overhead import overhead_report
+        wl = neighbor_wl()
+        system = System(TOPO, SystemConfig(tlb_management=TLBManagement.SOFTWARE))
+        det = SoftwareManagedDetector(8, DetectorConfig(sm_sample_threshold=100))
+        res = Simulator(system).run(wl, detectors=[det])
+        rep = overhead_report(det.summary(), res)
+        assert rep.overhead_fraction < 0.02  # paper: <1% for most apps
+
+    def test_detection_does_not_change_counters_materially(self):
+        """Detector presence must not perturb cache behaviour (only time)."""
+        wl = neighbor_wl()
+        plain = Simulator(System(TOPO)).run(wl)
+        wl2 = neighbor_wl()
+        system = System(TOPO)
+        det = HardwareManagedDetector(8, DetectorConfig(hm_period_cycles=30_000))
+        with_det = Simulator(system).run(wl2, detectors=[det])
+        assert with_det.invalidations == plain.invalidations
+        assert with_det.l2_misses == plain.l2_misses

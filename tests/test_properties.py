@@ -1,0 +1,346 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+Each property is an invariant the system relies on rather than an example:
+matching optimality bounds, LRU reference-model equivalence, statistical
+accumulator correctness, communication-matrix algebra, MESI safety.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.commmatrix import CommunicationMatrix
+from repro.mapping.blossom import matching_weight, max_weight_matching
+from repro.mem.cache import Cache, CacheConfig, MESIState
+from repro.tlb.tlb import TLB, TLBConfig
+from repro.util.stats import RunningStats
+
+# ---------------------------------------------------------------- matching
+
+
+@st.composite
+def symmetric_weights(draw, max_n=9):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    vals = draw(st.lists(
+        st.integers(min_value=0, max_value=50),
+        min_size=n * n, max_size=n * n,
+    ))
+    w = np.array(vals, dtype=float).reshape(n, n)
+    w = (w + w.T) / 2
+    np.fill_diagonal(w, 0)
+    return w
+
+
+class TestMatchingProperties:
+    @given(symmetric_weights())
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_on_even_complete_graphs(self, w):
+        pairs = max_weight_matching(w, max_cardinality=True, check_optimum=True)
+        n = w.shape[0]
+        covered = sorted(v for p in pairs for v in p)
+        if n % 2 == 0:
+            assert covered == list(range(n))
+        else:
+            assert len(covered) == n - 1
+
+    @given(symmetric_weights(max_n=8))
+    @settings(max_examples=30, deadline=None)
+    def test_beats_greedy(self, w):
+        """Optimal matching weight >= greedy matching weight, always."""
+        pairs = max_weight_matching(w, max_cardinality=True, check_optimum=True)
+        n = w.shape[0]
+        order = sorted(
+            ((i, j) for i in range(n) for j in range(i + 1, n)),
+            key=lambda p: w[p], reverse=True,
+        )
+        used, greedy = set(), []
+        for i, j in order:
+            if i not in used and j not in used:
+                greedy.append((i, j))
+                used.update((i, j))
+        assert matching_weight(w, pairs) >= matching_weight(w, greedy) - 1e-9
+
+    @given(symmetric_weights(max_n=8), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_scale_invariance(self, w, k):
+        """Scaling all weights preserves the optimal matching weight ratio."""
+        base = matching_weight(w, max_weight_matching(w, check_optimum=True))
+        scaled = matching_weight(
+            w * k, max_weight_matching(w * k, check_optimum=True)
+        )
+        assert scaled == pytest.approx(base * k)
+
+
+# ------------------------------------------------------------------- TLB LRU
+
+
+class ReferenceLRU:
+    """Trivially-correct per-set LRU model to check the TLB against."""
+
+    def __init__(self, sets, ways):
+        self.sets = [[] for _ in range(sets)]  # most recent at end
+        self.ways = ways
+        self.mask = sets - 1
+
+    def lookup(self, vpn):
+        s = self.sets[vpn & self.mask]
+        if vpn in s:
+            s.remove(vpn)
+            s.append(vpn)
+            return True
+        return False
+
+    def fill(self, vpn):
+        s = self.sets[vpn & self.mask]
+        if vpn in s:
+            s.remove(vpn)
+            s.append(vpn)
+            return
+        if len(s) >= self.ways:
+            s.pop(0)
+        s.append(vpn)
+
+    def resident(self):
+        return sorted(v for s in self.sets for v in s)
+
+
+class TestTLBMatchesReferenceModel:
+    @given(st.lists(st.integers(min_value=0, max_value=40), min_size=1,
+                    max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_lru_equivalence(self, vpns):
+        tlb = TLB(TLBConfig(entries=16, ways=4))
+        ref = ReferenceLRU(sets=4, ways=4)
+        for vpn in vpns:
+            hit = tlb.lookup(vpn)
+            ref_hit = ref.lookup(vpn)
+            assert hit == ref_hit
+            if not hit:
+                tlb.fill(vpn)
+                ref.fill(vpn)
+        assert sorted(tlb.resident_pages()) == ref.resident()
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_occupancy_bounded(self, vpns):
+        tlb = TLB(TLBConfig(entries=8, ways=2))
+        for vpn in vpns:
+            if not tlb.lookup(vpn):
+                tlb.fill(vpn)
+        assert tlb.occupancy() <= 8
+        for s in range(4):
+            assert len(tlb.set_entries(s)) <= 2
+
+
+class TestCacheMatchesReferenceModel:
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1,
+                    max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_lru_equivalence(self, lines):
+        cache = Cache(CacheConfig(size=64 * 2 * 4, ways=2, line_size=64))
+        ref = ReferenceLRU(sets=4, ways=2)
+        for line in lines:
+            hit = cache.lookup(line) != MESIState.INVALID
+            assert hit == ref.lookup(line)
+            if not hit:
+                cache.insert(line, MESIState.SHARED)
+                ref.fill(line)
+        assert sorted(l for l, _ in cache.resident_lines()) == ref.resident()
+
+
+class TestTwoLevelTLBMatchesReferenceModel:
+    @given(st.lists(st.integers(min_value=0, max_value=60), min_size=1,
+                    max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_two_level_walk_counts(self, vpns):
+        """MMU with an L2 TLB must walk exactly when both reference LRU
+        models miss, and end with identical residency at both levels."""
+        from repro.tlb.mmu import MMU
+        from repro.tlb.pagetable import PageTable
+
+        mmu = MMU(0, PageTable(),
+                  tlb_config=TLBConfig(entries=8, ways=2),
+                  l2_tlb_config=TLBConfig(entries=32, ways=4))
+        ref_l1 = ReferenceLRU(sets=4, ways=2)
+        ref_l2 = ReferenceLRU(sets=8, ways=4)
+        ref_walks = 0
+        for vpn in vpns:
+            cost = mmu.translate(vpn << 12)
+            if ref_l1.lookup(vpn):
+                expected = "l1"
+            elif ref_l2.lookup(vpn):
+                ref_l1.fill(vpn)
+                expected = "l2"
+            else:
+                ref_walks += 1
+                ref_l1.fill(vpn)
+                ref_l2.fill(vpn)
+                expected = "walk"
+            if expected == "l1":
+                assert cost == 0
+            elif expected == "l2":
+                assert cost == mmu.l2_tlb_latency
+            else:
+                assert cost > mmu.l2_tlb_latency
+        assert mmu.page_table.walks == ref_walks
+        assert sorted(mmu.tlb.resident_pages()) == ref_l1.resident()
+        assert sorted(mmu.l2_tlb.resident_pages()) == ref_l2.resident()
+
+
+# -------------------------------------------------------------------- stats
+
+
+class TestStatsProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=2, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_numpy(self, xs):
+        rs = RunningStats()
+        rs.extend(xs)
+        assert rs.mean == pytest.approx(np.mean(xs), rel=1e-9, abs=1e-6)
+        assert rs.std == pytest.approx(np.std(xs, ddof=1), rel=1e-6, abs=1e-6)
+
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3,
+                              allow_nan=False), min_size=2, max_size=100),
+           st.integers(min_value=1, max_value=99))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_associative(self, xs, cut):
+        cut = cut % (len(xs) - 1) + 1
+        a = RunningStats()
+        a.extend(xs[:cut])
+        b = RunningStats()
+        b.extend(xs[cut:])
+        a.merge(b)
+        whole = RunningStats()
+        whole.extend(xs)
+        assert a.n == whole.n
+        assert a.mean == pytest.approx(whole.mean, rel=1e-9, abs=1e-9)
+        assert a.variance == pytest.approx(whole.variance, rel=1e-6, abs=1e-6)
+
+
+# -------------------------------------------------- communication matrix
+
+
+@st.composite
+def increments(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    ops = draw(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=n - 1),
+        st.integers(min_value=0, max_value=n - 1),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+    ), max_size=60))
+    return n, ops
+
+
+class TestCommMatrixProperties:
+    @given(increments())
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_always_hold(self, data):
+        n, ops = data
+        m = CommunicationMatrix(n)
+        for i, j, amt in ops:
+            m.increment(i, j, amt)
+        m.check_invariants()
+        expected = sum(amt for i, j, amt in ops if i != j)
+        assert m.total == pytest.approx(expected)
+
+    @given(increments(), increments())
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.filter_too_much])
+    def test_add_commutes(self, d1, d2):
+        n1, ops1 = d1
+        n2, ops2 = d2
+        if n1 != n2:
+            return
+        a1 = CommunicationMatrix(n1)
+        b1 = CommunicationMatrix(n1)
+        for i, j, amt in ops1:
+            a1.increment(i, j, amt)
+        for i, j, amt in ops2:
+            b1.increment(i, j, amt)
+        ab = a1.copy().add(b1)
+        ba = b1.copy().add(a1)
+        assert np.allclose(ab.matrix, ba.matrix)
+
+
+# ----------------------------------------------------------------- MESI
+
+
+class TestMESIProperties:
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=3),   # cache id
+        st.integers(min_value=0, max_value=5),   # line
+        st.booleans(),                            # write?
+    ), max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_single_writer_holds_under_any_trace(self, ops):
+        from repro.mem.coherence import CoherenceBus
+        caches = [
+            Cache(CacheConfig(size=64 * 4 * 4, ways=4, line_size=64,
+                              write_back=True, name="L2"), owner_id=i)
+            for i in range(4)
+        ]
+        bus = CoherenceBus(caches, [0, 0, 1, 1])
+        for cid, line, write in ops:
+            if write:
+                bus.write(cid, line)
+            else:
+                bus.read(cid, line)
+            bus.check_invariants(line)
+
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=12),
+        st.booleans(),
+    ), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_miss_accounting_identity(self, ops):
+        """Every L2 miss is served by exactly one of {another cache,
+        memory}: l2_misses == snoop_transactions + memory_fetches."""
+        from repro.mem.coherence import CoherenceBus
+        caches = [
+            Cache(CacheConfig(size=64 * 2 * 2, ways=2, line_size=64,
+                              write_back=True, name="L2"), owner_id=i)
+            for i in range(4)
+        ]
+        bus = CoherenceBus(caches, [0, 0, 1, 1])
+        for cid, line, write in ops:
+            (bus.write if write else bus.read)(cid, line)
+        s = bus.stats
+        assert s.l2_misses == s.snoop_transactions + s.memory_fetches
+
+
+# ---------------------------------------------------------------- addresses
+
+
+class TestAddressSpaceProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=100_000), min_size=1,
+                    max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_allocations_disjoint_and_aligned(self, sizes):
+        from repro.mem.address import AddressSpace
+
+        space = AddressSpace()
+        regions = [space.allocate(f"r{i}", s) for i, s in enumerate(sizes)]
+        for r in regions:
+            assert r.base % 4096 == 0
+        for i, a in enumerate(regions):
+            for b in regions[i + 1:]:
+                assert a.end <= b.base or b.end <= a.base
+                assert set(a.pages()).isdisjoint(b.pages())
+
+    @given(st.integers(min_value=1, max_value=50_000),
+           st.lists(st.integers(min_value=0, max_value=49_999), max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_region_addressing_bounds(self, size, offsets):
+        from repro.mem.address import AddressSpace
+
+        region = AddressSpace().allocate("r", size)
+        for off in offsets:
+            if off < size:
+                addr = region.addr(off)
+                assert region.contains(addr)
+            else:
+                with pytest.raises(IndexError):
+                    region.addr(off)

@@ -1,0 +1,116 @@
+"""Tests for the two-level TLB hierarchy."""
+
+import pytest
+
+from repro.machine.system import System, SystemConfig
+from repro.machine.topology import harpertown
+from repro.tlb.mmu import MMU, TLBManagement
+from repro.tlb.pagetable import PageTable
+from repro.tlb.tlb import TLBConfig
+
+
+def two_level_mmu(**kw):
+    return MMU(
+        core_id=0,
+        page_table=PageTable(),
+        tlb_config=TLBConfig(entries=8, ways=2),
+        l2_tlb_config=TLBConfig(entries=64, ways=4),
+        l2_tlb_latency=7,
+        **kw,
+    )
+
+
+class TestTwoLevelTranslate:
+    def test_l2_hit_skips_walk(self):
+        mmu = two_level_mmu()
+        mmu.translate(0x1000)             # cold: walk, fills both levels
+        # Thrash L1 TLB set 1 with conflicting pages (vpns 1,9,17,25...).
+        for vpn in (9, 17, 25):
+            mmu.translate(vpn << 12)
+        assert not mmu.tlb.probe(1)       # evicted from L1
+        assert mmu.l2_tlb.probe(1)        # still in the bigger L2
+        cost = mmu.translate(0x1000)
+        assert cost == 7                  # l2_tlb_latency, no walk
+
+    def test_l2_hit_refills_l1(self):
+        mmu = two_level_mmu()
+        mmu.translate(0x1000)
+        for vpn in (9, 17, 25):
+            mmu.translate(vpn << 12)
+        mmu.translate(0x1000)             # L2 hit
+        assert mmu.tlb.probe(1)           # L1 refilled
+
+    def test_l2_hit_fires_no_hooks(self):
+        """The paper's point about mechanism placement: only *walk-level*
+        misses trap, so an L2-TLB hit is invisible to the SM mechanism."""
+        mmu = two_level_mmu(management=TLBManagement.SOFTWARE)
+        fired = []
+        mmu.add_miss_hook(lambda c, v: fired.append(v) or 0)
+        mmu.translate(0x1000)             # walk: hook fires
+        for vpn in (9, 17, 25):
+            mmu.translate(vpn << 12)
+        mmu.translate(0x1000)             # L2-TLB hit: no hook
+        assert fired.count(1) == 1
+
+    def test_walk_fills_both_levels(self):
+        mmu = two_level_mmu()
+        mmu.translate(0x5000)
+        assert mmu.tlb.probe(5)
+        assert mmu.l2_tlb.probe(5)
+
+    def test_shootdown_clears_both(self):
+        mmu = two_level_mmu()
+        mmu.translate(0x5000)
+        assert mmu.shootdown(5)
+        assert not mmu.tlb.probe(5)
+        assert not mmu.l2_tlb.probe(5)
+
+    def test_without_l2_unchanged(self):
+        mmu = MMU(0, PageTable(), TLBConfig(entries=8, ways=2))
+        assert mmu.l2_tlb is None
+        mmu.translate(0x1000)
+        assert mmu.translate(0x1000) == 0
+
+
+class TestSystemIntegration:
+    def test_config_wires_l2_tlbs(self):
+        cfg = SystemConfig(l2_tlb=TLBConfig(entries=512, ways=4))
+        s = System(harpertown(), cfg)
+        assert s.l2_tlbs is not None
+        assert len(s.l2_tlbs) == 8
+        assert System(harpertown()).l2_tlbs is None
+
+    def test_page_size_consistency(self):
+        with pytest.raises(ValueError, match="L1 and L2 TLBs"):
+            System(harpertown(), SystemConfig(
+                l2_tlb=TLBConfig(entries=512, ways=4, page_size=8192)
+            ))
+
+    def test_reset_flushes_l2_tlbs(self):
+        s = System(harpertown(), SystemConfig(l2_tlb=TLBConfig(entries=64, ways=4)))
+        s.mmus[0].translate(0x1000)
+        s.reset()
+        assert s.l2_tlbs[0].occupancy() == 0
+
+    def test_l2_tlb_reduces_walks(self):
+        """With a big L2 TLB, far fewer translations reach the page table
+        — the reason HM-style scanning of L1 contents sees a *shorter*
+        history than the paper's single-level model."""
+        from repro.machine.simulator import Simulator
+        from repro.workloads.synthetic import NearestNeighborWorkload
+
+        def wl():
+            return NearestNeighborWorkload(num_threads=8, seed=2, iterations=2,
+                                           slab_bytes=96 * 1024,
+                                           halo_bytes=8 * 1024)
+
+        flat = System(harpertown(), SystemConfig(tlb=TLBConfig(entries=16, ways=4)))
+        Simulator(flat).run(wl())
+        flat_walks = flat.page_table.walks
+
+        two = System(harpertown(), SystemConfig(
+            tlb=TLBConfig(entries=16, ways=4),
+            l2_tlb=TLBConfig(entries=256, ways=4),
+        ))
+        Simulator(two).run(wl())
+        assert two.page_table.walks < flat_walks / 2

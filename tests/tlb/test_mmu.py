@@ -1,0 +1,105 @@
+"""Tests for repro.tlb.mmu — translation costs, trap semantics, hooks."""
+
+import pytest
+
+from repro.tlb.mmu import MMU, TLBManagement
+from repro.tlb.pagetable import PageTable
+from repro.tlb.tlb import TLBConfig
+
+
+def make_mmu(management=TLBManagement.HARDWARE, **kw):
+    return MMU(core_id=0, page_table=PageTable(),
+               tlb_config=TLBConfig(entries=8, ways=2),
+               management=management, **kw)
+
+
+class TestTranslate:
+    def test_hit_is_free(self):
+        mmu = make_mmu()
+        mmu.translate(0x1234)
+        assert mmu.translate(0x1234) == 0
+
+    def test_miss_pays_walk(self):
+        mmu = make_mmu()
+        cost = mmu.translate(0x1234)
+        assert cost >= mmu.page_table.config.walk_latency
+
+    def test_software_managed_adds_trap_cost(self):
+        hw = make_mmu(TLBManagement.HARDWARE)
+        sw = make_mmu(TLBManagement.SOFTWARE, trap_latency=60)
+        assert sw.translate(0x1234) == hw.translate(0x1234) + 60
+
+    def test_hardware_managed_ignores_trap_latency(self):
+        mmu = MMU(0, PageTable(), TLBConfig(entries=8, ways=2),
+                  TLBManagement.HARDWARE, trap_latency=999)
+        assert mmu.trap_latency == 0
+
+    def test_same_page_different_offsets_one_miss(self):
+        mmu = make_mmu()
+        mmu.translate(0x1000)
+        assert mmu.translate(0x1FFF) == 0
+        assert mmu.stats.misses == 1
+
+    def test_vpn_of(self):
+        mmu = make_mmu()
+        assert mmu.vpn_of(0x2345) == 2
+
+
+class TestMissHooks:
+    def test_hook_cost_charged(self):
+        mmu = make_mmu()
+        mmu.add_miss_hook(lambda core, vpn: 100)
+        base = make_mmu().translate(0x1000)
+        assert mmu.translate(0x1000) == base + 100
+
+    def test_hook_receives_core_and_vpn(self):
+        mmu = make_mmu()
+        seen = []
+        mmu.add_miss_hook(lambda core, vpn: seen.append((core, vpn)) or 0)
+        mmu.translate(0x5000)
+        assert seen == [(0, 5)]
+
+    def test_hook_fires_before_fill(self):
+        """The SM mechanism probes *other* TLBs while the faulting entry is
+        still absent locally — so the hook must run pre-fill."""
+        mmu = make_mmu()
+        resident_at_hook = []
+        mmu.add_miss_hook(
+            lambda core, vpn: resident_at_hook.append(mmu.tlb.probe(vpn)) or 0
+        )
+        mmu.translate(0x7000)
+        assert resident_at_hook == [False]
+        assert mmu.tlb.probe(7)  # filled afterwards
+
+    def test_hook_not_fired_on_hit(self):
+        mmu = make_mmu()
+        calls = []
+        mmu.add_miss_hook(lambda c, v: calls.append(v) or 0)
+        mmu.translate(0x1000)
+        mmu.translate(0x1000)
+        assert len(calls) == 1
+
+    def test_multiple_hooks_accumulate(self):
+        mmu = make_mmu()
+        mmu.add_miss_hook(lambda c, v: 10)
+        mmu.add_miss_hook(lambda c, v: 5)
+        base = make_mmu().translate(0x1000)
+        assert mmu.translate(0x1000) == base + 15
+
+
+class TestShootdown:
+    def test_shootdown_forces_refetch(self):
+        mmu = make_mmu()
+        mmu.translate(0x1000)
+        assert mmu.shootdown(1)
+        assert mmu.translate(0x1000) > 0
+
+    def test_shootdown_missing_entry(self):
+        assert not make_mmu().shootdown(42)
+
+
+class TestPageSizeConsistency:
+    def test_shift_follows_tlb_page_size(self):
+        mmu = MMU(0, PageTable(), TLBConfig(page_size=8192))
+        assert mmu.vpn_of(8192) == 1
+        assert mmu.vpn_of(8191) == 0

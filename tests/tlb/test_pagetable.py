@@ -1,0 +1,71 @@
+"""Tests for repro.tlb.pagetable."""
+
+import pytest
+
+from repro.tlb.pagetable import PageTable, PageTableConfig
+
+
+class TestWalk:
+    def test_allocate_on_first_touch(self):
+        pt = PageTable()
+        pfn, cost = pt.walk(100)
+        assert pfn == 0
+        assert pt.faults == 1
+        assert cost > pt.config.walk_latency  # fault surcharge
+
+    def test_repeat_walk_stable_translation(self):
+        pt = PageTable()
+        pfn1, _ = pt.walk(100)
+        pfn2, cost = pt.walk(100)
+        assert pfn1 == pfn2
+        assert cost == pt.config.walk_latency
+        assert pt.faults == 1
+        assert pt.walks == 2
+
+    def test_distinct_pages_distinct_frames(self):
+        pt = PageTable()
+        frames = {pt.walk(vpn)[0] for vpn in range(50)}
+        assert len(frames) == 50
+
+    def test_walk_latency_scales_with_levels(self):
+        fast = PageTable(PageTableConfig(levels=1, level_latency=10))
+        slow = PageTable(PageTableConfig(levels=4, level_latency=10))
+        assert fast.walk(0)[1] == 10 + 10   # walk + fault surcharge
+        assert slow.walk(0)[1] == 40 + 10
+        assert slow.config.walk_latency == 40
+
+
+class TestManagement:
+    def test_translate_without_counters(self):
+        pt = PageTable()
+        assert pt.translate(5) is None
+        pt.walk(5)
+        walks = pt.walks
+        assert pt.translate(5) is not None
+        assert pt.walks == walks
+
+    def test_unmap(self):
+        pt = PageTable()
+        pt.walk(5)
+        assert pt.unmap(5)
+        assert not pt.unmap(5)
+        assert 5 not in pt
+
+    def test_mapped_pages(self):
+        pt = PageTable()
+        pt.walk(1)
+        pt.walk(2)
+        assert pt.mapped_pages == 2
+
+    def test_contains(self):
+        pt = PageTable()
+        pt.walk(9)
+        assert 9 in pt and 10 not in pt
+
+
+class TestConfigValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            PageTableConfig(levels=0)
+        with pytest.raises(ValueError):
+            PageTableConfig(page_size=1000)

@@ -1,0 +1,88 @@
+"""Tests for repro.util.render — text figures."""
+
+import numpy as np
+import pytest
+
+from repro.util.render import ascii_heatmap, bar_chart, format_table, shade_char
+
+
+class TestShadeChar:
+    def test_zero_is_blank(self):
+        assert shade_char(0.0, 10.0) == " "
+
+    def test_max_is_darkest(self):
+        assert shade_char(10.0, 10.0) == "@"
+
+    def test_monotone(self):
+        shades = [shade_char(v, 10.0) for v in np.linspace(0, 10, 11)]
+        ramp = " .:-=+*#%@"
+        indices = [ramp.index(c) for c in shades]
+        assert indices == sorted(indices)
+
+    def test_degenerate_vmax(self):
+        assert shade_char(5.0, 0.0) == " "
+
+    def test_clamps_above_max(self):
+        assert shade_char(99.0, 10.0) == "@"
+
+
+class TestAsciiHeatmap:
+    def test_shape_and_diagonal(self):
+        m = np.array([[0, 5], [5, 0]], dtype=float)
+        out = ascii_heatmap(m, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "·" in lines[2] and "·" in lines[3]
+        assert "@" in lines[2]
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros((2, 3)))
+
+    def test_all_zero_matrix_renders_blank(self):
+        out = ascii_heatmap(np.zeros((3, 3)))
+        assert "@" not in out
+
+    def test_custom_labels(self):
+        out = ascii_heatmap(np.zeros((2, 2)), labels=["A", "B"])
+        assert "A" in out and "B" in out
+
+
+class TestBarChart:
+    def test_values_appear(self):
+        out = bar_chart({"OS": 1.0, "SM": 0.5}, title="exec")
+        assert "exec" in out
+        assert "OS" in out and "SM" in out
+        assert "1.000" in out and "0.500" in out
+
+    def test_bar_lengths_ordered(self):
+        out = bar_chart({"big": 1.0, "small": 0.25}, width=20)
+        lines = {l.split()[0]: l.count("█") for l in out.splitlines()}
+        assert lines["big"] > lines["small"]
+
+    def test_empty(self):
+        assert bar_chart({}, title="t") == "t"
+
+    def test_negative_clamped_to_zero(self):
+        out = bar_chart({"x": -1.0})
+        assert out.splitlines()[0].count("█") == 0
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table([["a", 1.0], ["bb", 22.5]], header=["k", "v"])
+        lines = out.splitlines()
+        assert lines[0].startswith("k")
+        assert set(lines[1]) <= {"-", " "}
+        assert "22.5" in out
+
+    def test_no_header(self):
+        out = format_table([["x", "y"]])
+        assert out == "x  y"
+
+    def test_empty(self):
+        assert format_table([]) == ""
+
+    def test_float_formatting(self):
+        out = format_table([[3.14159]], float_fmt="{:.2f}")
+        assert "3.14" in out and "3.14159" not in out

@@ -1,0 +1,117 @@
+"""Tests for repro.util.stats — Welford accumulation and helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.stats import (
+    MetricSeries,
+    RunningStats,
+    confidence_interval95,
+    geometric_mean,
+    normalized,
+    percent_change,
+    summarize,
+)
+
+
+class TestRunningStats:
+    def test_matches_numpy(self, rng):
+        xs = rng.normal(10, 3, size=500)
+        rs = summarize(xs)
+        assert rs.n == 500
+        assert rs.mean == pytest.approx(np.mean(xs))
+        assert rs.std == pytest.approx(np.std(xs, ddof=1))
+        assert rs.min == pytest.approx(xs.min())
+        assert rs.max == pytest.approx(xs.max())
+
+    def test_empty(self):
+        rs = RunningStats()
+        assert rs.n == 0
+        assert rs.mean == 0.0
+        assert rs.std == 0.0
+
+    def test_single_sample_has_zero_variance(self):
+        rs = summarize([3.5])
+        assert rs.mean == 3.5
+        assert rs.variance == 0.0
+
+    def test_merge_equals_concatenation(self, rng):
+        xs = rng.normal(0, 1, 300)
+        a = summarize(xs[:120])
+        b = summarize(xs[120:])
+        a.merge(b)
+        whole = summarize(xs)
+        assert a.n == whole.n
+        assert a.mean == pytest.approx(whole.mean)
+        assert a.std == pytest.approx(whole.std)
+
+    def test_merge_with_empty_sides(self):
+        a = RunningStats()
+        b = summarize([1.0, 2.0])
+        a.merge(b)
+        assert a.mean == pytest.approx(1.5)
+        c = summarize([4.0])
+        c.merge(RunningStats())
+        assert c.mean == 4.0
+
+    def test_relative_std_is_cv(self):
+        rs = summarize([9.0, 11.0])
+        assert rs.relative_std == pytest.approx(rs.std / 10.0)
+
+    def test_relative_std_zero_mean(self):
+        assert summarize([-1.0, 1.0]).relative_std == 0.0
+
+    def test_numerical_stability_large_offset(self):
+        # Naive sum-of-squares catastrophically cancels here.
+        base = 1e9
+        xs = [base + d for d in (0.1, 0.2, 0.3, 0.4)]
+        rs = summarize(xs)
+        assert rs.std == pytest.approx(np.std(xs, ddof=1), rel=1e-6)
+
+
+class TestHelpers:
+    def test_confidence_interval_contains_mean(self):
+        lo, hi = confidence_interval95([1.0, 2.0, 3.0, 4.0])
+        assert lo < 2.5 < hi
+
+    def test_confidence_interval_degenerate(self):
+        assert confidence_interval95([5.0]) == (5.0, 5.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_normalized(self):
+        out = normalized({"OS": 2.0, "SM": 1.0}, "OS")
+        assert out == {"OS": 1.0, "SM": 0.5}
+
+    def test_normalized_zero_baseline(self):
+        out = normalized({"OS": 0.0, "SM": 3.0}, "OS")
+        assert out == {"OS": 0.0, "SM": 0.0}
+
+    def test_normalized_missing_baseline(self):
+        with pytest.raises(KeyError):
+            normalized({"SM": 1.0}, "OS")
+
+    def test_percent_change(self):
+        assert percent_change(85.0, 100.0) == pytest.approx(-15.0)
+        assert percent_change(1.0, 0.0) == 0.0
+
+
+class TestMetricSeries:
+    def test_push_and_means(self):
+        ms = MetricSeries("exec")
+        ms.push("OS", 1.0)
+        ms.push("OS", 3.0)
+        ms.push("SM", 1.5)
+        assert ms.means() == {"OS": 2.0, "SM": 1.5}
+        assert ms.relative_stds()["SM"] == 0.0
+        assert ms.relative_stds()["OS"] > 0

@@ -1,0 +1,77 @@
+"""Tests for the SVG figure renderer."""
+
+import numpy as np
+import pytest
+
+from repro.util.svgfig import grouped_bars_svg, heatmap_svg, save_svg
+
+
+def neighbor(n=4):
+    a = np.zeros((n, n))
+    for t in range(n - 1):
+        a[t, t + 1] = a[t + 1, t] = 10
+    return a
+
+
+class TestHeatmap:
+    def test_well_formed_xml(self):
+        import xml.etree.ElementTree as ET
+        svg = heatmap_svg(neighbor(), title="BT")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_cell_count(self):
+        svg = heatmap_svg(neighbor(4))
+        assert svg.count("<rect") == 16
+
+    def test_darkest_cells_are_the_hot_pairs(self):
+        svg = heatmap_svg(neighbor(4))
+        assert 'rgb(0,0,0)' in svg          # max cells are black
+        assert svg.count('rgb(0,0,0)') == 6  # 3 pairs × 2 symmetric cells
+
+    def test_title_escaped(self):
+        svg = heatmap_svg(neighbor(), title="<BT & SP>")
+        assert "&lt;BT &amp; SP&gt;" in svg
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            heatmap_svg(np.zeros((2, 3)))
+
+    def test_zero_matrix_renders_white(self):
+        svg = heatmap_svg(np.zeros((3, 3)))
+        assert "rgb(255,255,255)" in svg
+
+
+class TestGroupedBars:
+    DATA = {
+        "BT": {"OS": 1.0, "SM": 0.85, "HM": 0.86},
+        "SP": {"OS": 1.0, "SM": 0.71, "HM": 0.71},
+    }
+
+    def test_well_formed(self):
+        import xml.etree.ElementTree as ET
+        svg = grouped_bars_svg(self.DATA, title="Figure 6")
+        ET.fromstring(svg)
+
+    def test_bar_count(self):
+        svg = grouped_bars_svg(self.DATA)
+        # 2 groups × 3 series bars + 3 legend swatches.
+        assert svg.count("<rect") == 9
+
+    def test_reference_line_present(self):
+        assert "stroke-dasharray" in grouped_bars_svg(self.DATA)
+
+    def test_series_order_respected(self):
+        svg = grouped_bars_svg(self.DATA, series_order=["HM", "SM", "OS"])
+        assert svg.index(">HM<") < svg.index(">SM<") < svg.index(">OS<")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bars_svg({})
+
+
+class TestSave:
+    def test_save_svg(self, tmp_path):
+        path = tmp_path / "fig.svg"
+        save_svg(heatmap_svg(neighbor()), path)
+        assert path.read_text().startswith("<svg")

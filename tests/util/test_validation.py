@@ -1,0 +1,59 @@
+"""Tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import (
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3) == 3
+        assert check_positive("x", 0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", bad)
+
+
+class TestCheckPowerOfTwo:
+    @pytest.mark.parametrize("good", [1, 2, 4, 64, 4096])
+    def test_accepts_powers(self, good):
+        assert check_power_of_two("n", good) == good
+
+    @pytest.mark.parametrize("bad", [0, 3, 6, 12288, -4])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ValueError, match="n"):
+            check_power_of_two("n", bad)
+
+    def test_rejects_bool_and_float(self):
+        with pytest.raises(TypeError):
+            check_power_of_two("n", True)
+        with pytest.raises(TypeError):
+            check_power_of_two("n", 4.0)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("good", [0.0, 0.5, 1.0])
+    def test_accepts(self, good):
+        assert check_probability("p", good) == good
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="p"):
+            check_probability("p", bad)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("r", 1, 1, 5) == 1
+        assert check_in_range("r", 5, 1, 5) == 5
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match="r"):
+            check_in_range("r", 6, 1, 5)

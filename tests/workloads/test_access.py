@@ -1,0 +1,129 @@
+"""Tests for the access-pattern primitives."""
+
+import numpy as np
+import pytest
+
+from repro.mem.address import Region
+from repro.workloads.access import (
+    boundary_pages,
+    hotspot_touch,
+    random_touch,
+    strided_gather,
+    sweep,
+)
+
+REGION = Region("r", base=0x10000, size=64 * 1024)
+
+
+class TestSweep:
+    def test_full_region_line_stride(self):
+        a = sweep(REGION)
+        assert len(a) == REGION.size // 64
+        assert a[0] == REGION.base
+        assert a[-1] == REGION.base + REGION.size - 64
+
+    def test_subrange(self):
+        a = sweep(REGION, start=128, end=256, stride=64)
+        assert list(a) == [REGION.base + 128, REGION.base + 192]
+
+    def test_repeats(self):
+        a = sweep(REGION, end=128, repeats=3)
+        assert len(a) == 2 * 3
+        assert list(a[:2]) == list(a[2:4])
+
+    def test_bad_ranges(self):
+        with pytest.raises(ValueError):
+            sweep(REGION, start=100, end=50)
+        with pytest.raises(ValueError):
+            sweep(REGION, end=REGION.size + 1)
+        with pytest.raises(ValueError):
+            sweep(REGION, stride=0)
+        with pytest.raises(ValueError):
+            sweep(REGION, repeats=0)
+
+
+class TestStridedGather:
+    def test_wraps_around(self):
+        a = strided_gather(REGION, count=3, stride=REGION.size - 64)
+        assert a[0] == REGION.base
+        assert a[1] == REGION.base + REGION.size - 64
+        assert a[2] == REGION.base + REGION.size - 128
+
+    def test_count(self):
+        assert len(strided_gather(REGION, count=100, stride=4096)) == 100
+
+    def test_in_bounds(self):
+        a = strided_gather(REGION, count=1000, stride=12345, start=7)
+        assert (a >= REGION.base).all()
+        assert (a < REGION.end).all()
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            strided_gather(REGION, count=-1, stride=64)
+
+
+class TestRandomTouch:
+    def test_alignment_and_bounds(self, rng):
+        a = random_touch(REGION, 500, rng, align=64)
+        assert ((a - REGION.base) % 64 == 0).all()
+        assert (a >= REGION.base).all() and (a < REGION.end).all()
+
+    def test_range_restriction(self, rng):
+        a = random_touch(REGION, 200, rng, start=1024, end=2048)
+        assert (a >= REGION.base + 1024).all()
+        assert (a < REGION.base + 2048).all()
+
+    def test_covers_many_pages(self, rng):
+        a = random_touch(REGION, 2000, rng)
+        assert len(np.unique(a >> 12)) > 10
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_touch(REGION, -1, rng)
+        with pytest.raises(ValueError):
+            random_touch(REGION, 1, rng, start=10, end=5)
+        with pytest.raises(ValueError):
+            random_touch(REGION, 1, rng, start=0, end=32, align=64)
+
+
+class TestHotspotTouch:
+    def test_hot_fraction_respected(self, rng):
+        a = hotspot_touch(REGION, 4000, rng, hot_fraction=0.1, hot_probability=0.9)
+        hot_end = REGION.base + REGION.size // 10
+        frac_hot = (a < hot_end).mean()
+        assert frac_hot == pytest.approx(0.9, abs=0.03)
+
+    def test_all_hot(self, rng):
+        a = hotspot_touch(REGION, 100, rng, hot_fraction=1.0, hot_probability=0.0)
+        assert (a < REGION.end).all()
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            hotspot_touch(REGION, 10, rng, hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            hotspot_touch(REGION, 10, rng, hot_probability=1.5)
+
+
+class TestBoundaryPages:
+    def test_low_side(self):
+        a = boundary_pages(REGION, 4096, "low")
+        assert a[0] == REGION.base
+        assert a[-1] == REGION.base + 4096 - 64
+
+    def test_high_side(self):
+        a = boundary_pages(REGION, 4096, "high")
+        assert a[0] == REGION.end - 4096
+        assert a[-1] == REGION.end - 64
+
+    def test_sides_disjoint(self):
+        lo = set(boundary_pages(REGION, 4096, "low"))
+        hi = set(boundary_pages(REGION, 4096, "high"))
+        assert lo.isdisjoint(hi)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            boundary_pages(REGION, 0, "low")
+        with pytest.raises(ValueError):
+            boundary_pages(REGION, REGION.size + 1, "low")
+        with pytest.raises(ValueError):
+            boundary_pages(REGION, 64, "middle")

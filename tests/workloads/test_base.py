@@ -1,0 +1,129 @@
+"""Tests for the trace representation (AccessStream / Phase / Workload)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import (
+    AccessStream,
+    Phase,
+    Workload,
+    concat_streams,
+    interleave_streams,
+)
+
+
+class TestAccessStream:
+    def test_length_and_dtypes(self):
+        s = AccessStream(np.array([1, 2, 3]), np.array([True, False, True]))
+        assert len(s) == 3
+        assert s.addrs.dtype == np.int64
+        assert s.writes.dtype == bool
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            AccessStream(np.array([1, 2]), np.array([True]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            AccessStream(np.zeros((2, 2)), np.zeros((2, 2), dtype=bool))
+
+    def test_reads_constructor(self):
+        s = AccessStream.reads(np.array([5, 6]))
+        assert not s.writes.any()
+
+    def test_writes_constructor(self):
+        s = AccessStream.writes_only(np.array([5, 6]))
+        assert s.writes.all()
+
+    def test_mixed_fraction(self, rng):
+        s = AccessStream.mixed(np.arange(10_000), 0.3, rng)
+        assert s.writes.mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_empty(self):
+        s = AccessStream.empty()
+        assert len(s) == 0
+
+    def test_pages(self):
+        s = AccessStream.reads(np.array([0, 64, 4096, 8192 + 5]))
+        assert list(s.pages()) == [0, 1, 2]
+
+
+class TestConcatInterleave:
+    def test_concat_order(self):
+        a = AccessStream.reads(np.array([1, 2]))
+        b = AccessStream.writes_only(np.array([3]))
+        c = concat_streams([a, b])
+        assert list(c.addrs) == [1, 2, 3]
+        assert list(c.writes) == [False, False, True]
+
+    def test_concat_skips_empty(self):
+        c = concat_streams([AccessStream.empty(), AccessStream.reads(np.array([1]))])
+        assert len(c) == 1
+
+    def test_concat_all_empty(self):
+        assert len(concat_streams([])) == 0
+
+    def test_interleave_preserves_multiset(self):
+        a = AccessStream.reads(np.arange(10))
+        b = AccessStream.reads(np.arange(100, 107))
+        out = interleave_streams([a, b], block=3)
+        assert sorted(out.addrs) == sorted(list(range(10)) + list(range(100, 107)))
+
+    def test_interleave_blocks_alternate(self):
+        a = AccessStream.reads(np.zeros(6, dtype=np.int64))
+        b = AccessStream.reads(np.ones(6, dtype=np.int64))
+        out = interleave_streams([a, b], block=2)
+        # First block from one stream, second from the other.
+        assert set(out.addrs[:2]) != set(out.addrs[2:4])
+
+    def test_interleave_single_stream_passthrough(self):
+        a = AccessStream.reads(np.arange(5))
+        assert interleave_streams([a], block=2) is a
+
+
+class TestPhase:
+    def test_counts(self):
+        p = Phase("p", [AccessStream.reads(np.arange(3)),
+                        AccessStream.reads(np.arange(5))])
+        assert p.num_threads == 2
+        assert p.total_accesses == 8
+
+    def test_empty_streams_rejected(self):
+        with pytest.raises(ValueError):
+            Phase("p", [])
+
+
+class TestWorkloadProtocol:
+    class TwoPhase(Workload):
+        name = "tp"
+
+        def generate_phases(self):
+            for i in range(2):
+                yield Phase(f"p{i}", [
+                    AccessStream.reads(np.arange(4)) for _ in range(self.num_threads)
+                ])
+
+    class Broken(Workload):
+        name = "broken"
+
+        def generate_phases(self):
+            yield Phase("bad", [AccessStream.reads(np.arange(4))])  # 1 stream
+
+    def test_phases_validated(self):
+        wl = self.TwoPhase(num_threads=4, seed=0)
+        assert len(wl.materialize()) == 2
+        assert wl.total_accesses() == 2 * 4 * 4
+
+    def test_wrong_stream_count_caught(self):
+        wl = self.Broken(num_threads=4, seed=0)
+        with pytest.raises(ValueError, match="broken"):
+            list(wl.phases())
+
+    def test_minimum_threads(self):
+        with pytest.raises(ValueError):
+            self.TwoPhase(num_threads=1)
+
+    def test_seed_factory_deterministic(self):
+        w1 = self.TwoPhase(num_threads=4, seed=7)
+        w2 = self.TwoPhase(num_threads=4, seed=7)
+        assert w1.seeds.seed("x") == w2.seeds.seed("x")

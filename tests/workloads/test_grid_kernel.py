@@ -1,0 +1,104 @@
+"""Tests for the GridKernel skeleton's specific machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.oracle import oracle_matrix
+from repro.workloads.npb.common import GridKernel, GridParams, scaled_iters
+
+
+def make_kernel(**overrides):
+    params = dict(iterations=2, slab_bytes=32 * 1024, halo_bytes=8 * 1024,
+                  write_fraction=0.3)
+    params.update(overrides)
+    return GridKernel(GridParams(**params), num_threads=8, seed=5)
+
+
+class TestScaledIters:
+    def test_linear_scaling(self):
+        assert scaled_iters(10, 1.0) == 10
+        assert scaled_iters(10, 0.5) == 5
+        assert scaled_iters(10, 2.0) == 20
+
+    def test_floor_at_one(self):
+        assert scaled_iters(2, 0.01) == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scaled_iters(10, 0)
+
+
+class TestGridStructure:
+    def test_phase_layout(self):
+        names = [p.name for p in make_kernel().phases()]
+        assert names == ["grid.compute0", "grid.exchange0",
+                         "grid.compute1", "grid.exchange1"]
+
+    def test_compute_touches_only_own_slab(self):
+        wl = make_kernel()
+        phase = wl.materialize()[0]
+        for t, stream in enumerate(phase.streams):
+            slab = wl.slabs[t]
+            assert (stream.addrs >= slab.base).all()
+            assert (stream.addrs < slab.end).all()
+
+    def test_exchange_reads_neighbor_boundaries(self):
+        wl = make_kernel()
+        exchange = wl.materialize()[1]
+        # Thread 3 must touch slabs 2 and 4 (their boundary strips).
+        touched = set(exchange.streams[3].addrs.tolist())
+        assert touched & set(range(wl.slabs[2].end - wl.params.halo_bytes,
+                                   wl.slabs[2].end))
+        assert touched & set(range(wl.slabs[4].base,
+                                   wl.slabs[4].base + wl.params.halo_bytes))
+
+    def test_edge_threads_have_one_neighbor(self):
+        wl = make_kernel()
+        m = oracle_matrix(wl).matrix
+        assert m[0, 1] > 0 and m[6, 7] > 0
+        assert m[0, 2] == 0  # no distance-2 links without mirror
+
+
+class TestMirrorFraction:
+    def test_mirror_links_present_and_scaled(self):
+        wl = make_kernel(mirror_fraction=0.5, slab_bytes=64 * 1024)
+        m = oracle_matrix(wl).matrix
+        assert m[0, 7] > 0 and m[1, 6] > 0 and m[2, 5] > 0 and m[3, 4] > 0
+        # Mirror volume is a fraction of the halo volume.
+        assert m[0, 7] < m[0, 1]
+
+    def test_zero_mirror_no_distant_links(self):
+        m = oracle_matrix(make_kernel(mirror_fraction=0.0)).matrix
+        assert m[0, 7] == 0
+
+    def test_mirror_floor_is_one_line(self):
+        # Tiny fractions still read at least one 64-byte strip.
+        wl = make_kernel(mirror_fraction=1e-6, slab_bytes=64 * 1024)
+        m = oracle_matrix(wl).matrix
+        assert m[0, 7] > 0
+
+
+class TestStagger:
+    def test_staggered_windows_have_two_active_threads(self):
+        wl = make_kernel(stagger=True)
+        windows = [p for p in wl.phases() if ".w" in p.name]
+        assert len(windows) == 2 * 4  # 4 windows per iteration
+        for w in windows:
+            active = sum(1 for s in w.streams if len(s))
+            assert active <= 2
+
+    def test_stagger_preserves_total_exchange_volume(self):
+        flat = make_kernel(stagger=False)
+        stag = make_kernel(stagger=True)
+        flat_exchange = sum(
+            p.total_accesses for p in flat.phases() if "exchange" in p.name
+        )
+        stag_exchange = sum(
+            p.total_accesses for p in stag.phases() if "exchange" in p.name
+        )
+        assert flat_exchange == stag_exchange
+
+    def test_sweeps_per_iter(self):
+        single = make_kernel(sweeps_per_iter=1).materialize()[0]
+        double = make_kernel(sweeps_per_iter=2).materialize()[0]
+        assert double.total_accesses == 2 * single.total_accesses

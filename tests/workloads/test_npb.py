@@ -1,0 +1,149 @@
+"""Tests for the NPB trace kernels — each benchmark's documented structure."""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import heterogeneity, pattern_class_of
+from repro.core.oracle import oracle_matrix
+from repro.workloads.npb import NPB_BENCHMARKS, make_npb_workload
+
+TINY = dict(num_threads=8, scale=0.15, seed=42)
+
+
+@pytest.fixture(scope="module")
+def oracle_matrices():
+    """Oracle matrix per benchmark at tiny scale (computed once)."""
+    return {
+        name: oracle_matrix(make_npb_workload(name, **TINY))
+        for name in NPB_BENCHMARKS
+    }
+
+
+class TestRegistry:
+    def test_paper_benchmark_set(self):
+        assert set(NPB_BENCHMARKS) == {
+            "bt", "cg", "ep", "ft", "is", "lu", "mg", "sp", "ua"
+        }
+
+    def test_factory_case_insensitive(self):
+        assert make_npb_workload("BT", **TINY).name == "bt"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_npb_workload("dc")
+
+
+class TestGenericProperties:
+    @pytest.mark.parametrize("name", sorted(NPB_BENCHMARKS))
+    def test_generates_valid_phases(self, name):
+        wl = make_npb_workload(name, **TINY)
+        phases = wl.materialize()
+        assert len(phases) >= 1
+        for p in phases:
+            assert p.num_threads == 8
+
+    @pytest.mark.parametrize("name", sorted(NPB_BENCHMARKS))
+    def test_deterministic_by_seed(self, name):
+        w1 = make_npb_workload(name, **TINY)
+        w2 = make_npb_workload(name, **TINY)
+        p1, p2 = w1.materialize(), w2.materialize()
+        assert len(p1) == len(p2)
+        for a, b in zip(p1, p2):
+            for sa, sb in zip(a.streams, b.streams):
+                assert np.array_equal(sa.addrs, sb.addrs)
+
+    @pytest.mark.parametrize("name", sorted(NPB_BENCHMARKS))
+    def test_seed_changes_trace(self, name):
+        w1 = make_npb_workload(name, num_threads=8, scale=0.15, seed=1)
+        w2 = make_npb_workload(name, num_threads=8, scale=0.15, seed=2)
+        different = False
+        for a, b in zip(w1.materialize(), w2.materialize()):
+            for sa, sb in zip(a.streams, b.streams):
+                if len(sa) != len(sb) or not np.array_equal(sa.writes, sb.writes):
+                    different = True
+        assert different
+
+    @pytest.mark.parametrize("name", sorted(NPB_BENCHMARKS))
+    def test_scale_grows_trace(self, name):
+        small = make_npb_workload(name, num_threads=8, scale=0.15, seed=1)
+        big = make_npb_workload(name, num_threads=8, scale=1.0, seed=1)
+        assert big.total_accesses() > small.total_accesses()
+
+
+class TestPatternShapes:
+    def test_domain_benchmarks_are_structured(self, oracle_matrices):
+        for name in ("bt", "sp", "lu", "mg", "is", "ua"):
+            assert pattern_class_of(oracle_matrices[name]) == "structured", name
+
+    def test_homogeneous_benchmarks(self, oracle_matrices):
+        for name in ("ft", "cg"):
+            assert heterogeneity(oracle_matrices[name]) < 0.6, name
+
+    def test_ep_has_negligible_communication(self, oracle_matrices):
+        ep = oracle_matrices["ep"]
+        bt = oracle_matrices["bt"]
+        assert ep.total < bt.total / 15
+
+    def test_neighbor_dominance_in_grid_kernels(self, oracle_matrices):
+        for name in ("bt", "sp"):
+            assert oracle_matrices[name].neighbor_fraction() > 0.5, name
+
+    def test_lu_mirror_communication(self, oracle_matrices):
+        """LU communicates with the most distant threads (paper VI-A)."""
+        m = oracle_matrices["lu"].matrix
+        assert m[0, 7] > 0
+        assert m[1, 6] > 0
+        # And it's substantial relative to neighbour links.
+        assert m[0, 7] > 0.1 * m[0, 1]
+
+    def test_bt_has_no_distant_communication(self, oracle_matrices):
+        m = oracle_matrices["bt"].matrix
+        assert m[0, 7] == 0
+
+    def test_mg_upper_pairs_communicate_more(self, oracle_matrices):
+        """MG: pairs 4-5 and 6-7 communicate more than 0-1 and 2-3."""
+        m = oracle_matrices["mg"].matrix
+        assert m[4, 5] > m[0, 1]
+        assert m[6, 7] > m[2, 3]
+
+    def test_ua_neighbor_decay(self, oracle_matrices):
+        m = oracle_matrices["ua"].matrix
+        near = np.mean([m[t, t + 1] for t in range(7)])
+        far = np.mean([m[i, j] for i in range(8) for j in range(i + 3, 8)])
+        assert near > 3 * far
+
+    def test_ft_all_pairs_communicate(self, oracle_matrices):
+        assert oracle_matrices["ft"].offdiagonal().min() > 0
+
+
+class TestISProperties:
+    def test_high_tlb_miss_rate(self):
+        """IS must have ~10x the TLB miss rate of BT (paper Table III)."""
+        from repro.machine.simulator import Simulator
+        from repro.machine.system import System
+        from repro.machine.topology import harpertown
+
+        rates = {}
+        for name in ("is", "bt"):
+            wl = make_npb_workload(name, num_threads=8, scale=0.3, seed=3)
+            res = Simulator(System(harpertown())).run(wl)
+            rates[name] = res.tlb_miss_rate
+        assert rates["is"] > 4 * rates["bt"]
+
+    def test_staggered_exchange_phases(self):
+        wl = make_npb_workload("is", **TINY)
+        burst_phases = [p for p in wl.phases() if "burst" in p.name]
+        assert burst_phases
+        for p in burst_phases:
+            active = sum(1 for s in p.streams if len(s))
+            assert active <= 2
+
+
+class TestAddressDisjointness:
+    @pytest.mark.parametrize("name", sorted(NPB_BENCHMARKS))
+    def test_regions_never_overlap(self, name):
+        wl = make_npb_workload(name, **TINY)
+        regions = list(wl.space.regions.values())
+        for i, a in enumerate(regions):
+            for b in regions[i + 1:]:
+                assert a.end <= b.base or b.end <= a.base

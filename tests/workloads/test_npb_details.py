@@ -1,0 +1,89 @@
+"""Detail tests for individual NPB kernels' documented quirks."""
+
+import numpy as np
+import pytest
+
+from repro.core.oracle import oracle_matrix
+from repro.workloads.npb import make_npb_workload
+
+TINY = dict(num_threads=8, scale=0.15, seed=42)
+
+
+class TestEP:
+    def test_final_reduction_phase_exists(self):
+        wl = make_npb_workload("ep", **TINY)
+        phases = wl.materialize()
+        assert phases[-1].name == "ep.reduce"
+        # Every thread touches the shared result page in the reduction.
+        result_page = wl.result.base >> 12
+        for s in phases[-1].streams:
+            assert result_page in (s.addrs >> 12)
+
+    def test_all_communication_is_the_reduction(self):
+        wl = make_npb_workload("ep", **TINY)
+        body = [p for p in wl.phases() if p.name != "ep.reduce"]
+        assert oracle_matrix(body).total == 0
+
+
+class TestFT:
+    def test_inverse_pass_present(self):
+        names = [p.name for p in make_npb_workload("ft", **TINY).phases()]
+        assert names[-1] == "ft.local.inverse"
+
+    def test_transpose_slices_are_per_thread_disjoint(self):
+        wl = make_npb_workload("ft", **TINY)
+        transpose = next(p for p in wl.phases() if "transpose" in p.name)
+        # Two readers' slices of a third panel never overlap.
+        a = set(transpose.streams[0].addrs.tolist())
+        b = set(transpose.streams[1].addrs.tolist())
+        assert a.isdisjoint(b)
+
+
+class TestCG:
+    def test_gather_touches_most_segments(self):
+        wl = make_npb_workload("cg", **TINY)
+        phase = wl.materialize()[0]
+        seg_bases = [v.base for v in wl.vector]
+        touched = set()
+        addrs = phase.streams[0].addrs
+        for s, base in enumerate(seg_bases):
+            if ((addrs >= base) & (addrs < base + wl.vector[s].size)).any():
+                touched.add(s)
+        assert len(touched) >= 6  # own band + scattered remote reads
+
+    def test_neighbor_band_bias(self):
+        m = oracle_matrix(make_npb_workload("cg", **TINY)).matrix
+        near = np.mean([m[t, t + 1] for t in range(7)])
+        far = np.mean([m[i, j] for i in range(8) for j in range(i + 4, 8)])
+        assert near > far  # subtle domain traces over a homogeneous floor
+
+
+class TestMG:
+    def test_coarse_phase_only_upper_half_active(self):
+        wl = make_npb_workload("mg", **TINY)
+        coarse = next(p for p in wl.phases() if "coarse" in p.name)
+        active = [t for t, s in enumerate(coarse.streams) if len(s)]
+        assert all(t >= 4 for t in active)
+
+    def test_v_cycle_order(self):
+        names = [p.name for p in make_npb_workload("mg", **TINY).phases()]
+        assert names[0].endswith("down")
+        assert "coarse" in names[1]
+        assert names[2].endswith("up")
+
+
+class TestUA:
+    def test_adjacency_reshuffles_across_epochs(self):
+        wl = make_npb_workload("ua", num_threads=8, scale=0.5, seed=42)
+        w0 = wl._adjacency(3, epoch=0)
+        w1 = wl._adjacency(3, epoch=1)
+        assert not np.allclose(w0, w1)  # the mesh adapted
+        # But neighbour dominance persists through adaptation.
+        for w in (w0, w1):
+            assert w[2] + w[4] > w[0] + w[7]
+
+    def test_face_writes_are_write_heavy(self):
+        wl = make_npb_workload("ua", **TINY)
+        phase = wl.materialize()[0]
+        write_fraction = np.mean([s.writes.mean() for s in phase.streams])
+        assert write_fraction > 0.35

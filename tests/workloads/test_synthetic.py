@@ -1,0 +1,114 @@
+"""Tests for synthetic workloads: their oracle matrices match ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.core.oracle import oracle_matrix
+from repro.workloads.synthetic import (
+    AllToAllWorkload,
+    MasterWorkerWorkload,
+    NearestNeighborWorkload,
+    PipelineWorkload,
+    PrivateWorkload,
+)
+
+SMALL = dict(num_threads=6, seed=11)
+
+
+class TestNearestNeighbor:
+    def test_tridiagonal_ground_truth(self):
+        wl = NearestNeighborWorkload(iterations=2, slab_bytes=16 * 1024,
+                                     halo_bytes=4 * 1024, **SMALL)
+        m = oracle_matrix(wl).matrix
+        for t in range(5):
+            assert m[t, t + 1] > 0
+        for i in range(6):
+            for j in range(i + 2, 6):
+                assert m[i, j] == 0
+
+    def test_ring_adds_wraparound(self):
+        wl = NearestNeighborWorkload(iterations=1, slab_bytes=16 * 1024,
+                                     halo_bytes=4 * 1024, ring=True, **SMALL)
+        m = oracle_matrix(wl).matrix
+        assert m[0, 5] > 0
+
+    def test_phase_structure(self):
+        wl = NearestNeighborWorkload(iterations=3, **SMALL)
+        names = [p.name for p in wl.phases()]
+        assert names[0].startswith("compute")
+        assert names[1].startswith("exchange")
+        assert len(names) == 6
+
+    def test_deterministic_across_instances(self):
+        a = NearestNeighborWorkload(iterations=1, **SMALL).materialize()
+        b = NearestNeighborWorkload(iterations=1, **SMALL).materialize()
+        for pa, pb in zip(a, b):
+            for sa, sb in zip(pa.streams, pb.streams):
+                assert np.array_equal(sa.addrs, sb.addrs)
+                assert np.array_equal(sa.writes, sb.writes)
+
+
+class TestPipeline:
+    def test_superdiagonal_only(self):
+        wl = PipelineWorkload(iterations=2, buffer_bytes=8 * 1024, **SMALL)
+        m = oracle_matrix(wl).matrix
+        for t in range(5):
+            assert m[t, t + 1] > 0
+        assert m[0, 2] == 0
+        assert m[0, 5] == 0
+
+    def test_pattern_class(self):
+        assert PipelineWorkload(**SMALL).pattern_class == "pipeline"
+
+
+class TestMasterWorker:
+    def test_star_shape(self):
+        wl = MasterWorkerWorkload(iterations=2, task_bytes=8 * 1024,
+                                  private_bytes=16 * 1024, **SMALL)
+        m = oracle_matrix(wl).matrix
+        for w in range(1, 6):
+            assert m[0, w] > 0
+        # Workers never talk to each other.
+        for i in range(1, 6):
+            for j in range(i + 1, 6):
+                assert m[i, j] == 0
+
+
+class TestAllToAll:
+    def test_homogeneous(self):
+        wl = AllToAllWorkload(iterations=2, buffer_bytes=32 * 1024, **SMALL)
+        m = oracle_matrix(wl)
+        off = m.offdiagonal()
+        assert off.min() > 0
+        assert m.heterogeneity() < 0.5
+        assert wl.pattern_class == "homogeneous"
+
+
+class TestPrivate:
+    def test_zero_matrix(self):
+        wl = PrivateWorkload(iterations=2, private_bytes=16 * 1024,
+                             random_accesses=128, **SMALL)
+        assert oracle_matrix(wl).total == 0
+        assert wl.pattern_class == "none"
+
+
+class TestAllSyntheticGeneric:
+    @pytest.mark.parametrize("cls", [
+        NearestNeighborWorkload, PipelineWorkload, MasterWorkerWorkload,
+        AllToAllWorkload, PrivateWorkload,
+    ])
+    def test_streams_cover_all_threads(self, cls):
+        wl = cls(num_threads=4, seed=1)
+        for phase in wl.phases():
+            assert phase.num_threads == 4
+
+    @pytest.mark.parametrize("cls", [
+        NearestNeighborWorkload, PipelineWorkload, MasterWorkerWorkload,
+        AllToAllWorkload, PrivateWorkload,
+    ])
+    def test_addresses_positive(self, cls):
+        wl = cls(num_threads=4, seed=1)
+        for phase in wl.phases():
+            for s in phase.streams:
+                if len(s):
+                    assert (s.addrs > 0).all()

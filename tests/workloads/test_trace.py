@@ -1,0 +1,91 @@
+"""Tests for trace save/load/replay."""
+
+import numpy as np
+import pytest
+
+from repro.core.oracle import oracle_matrix
+from repro.workloads.base import AccessStream, Phase
+from repro.workloads.synthetic import NearestNeighborWorkload
+from repro.workloads.trace import TraceWorkload, load_trace, save_trace
+
+
+def small_workload():
+    return NearestNeighborWorkload(num_threads=4, seed=3, iterations=2,
+                                   slab_bytes=8 * 1024, halo_bytes=4 * 1024)
+
+
+class TestRoundTrip:
+    def test_phases_identical(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        original = small_workload().materialize()
+        assert save_trace(original, path) == len(original)
+        loaded = load_trace(path)
+        assert len(loaded) == len(original)
+        for a, b in zip(original, loaded):
+            assert a.name == b.name
+            for sa, sb in zip(a.streams, b.streams):
+                assert np.array_equal(sa.addrs, sb.addrs)
+                assert np.array_equal(sa.writes, sb.writes)
+
+    def test_workload_object_accepted(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(small_workload(), path)
+        assert len(load_trace(path)) == 4
+
+    def test_oracle_matrix_survives_round_trip(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(small_workload(), path)
+        m1 = oracle_matrix(small_workload())
+        m2 = oracle_matrix(load_trace(path))
+        assert np.allclose(m1.matrix, m2.matrix)
+
+    def test_empty_streams_preserved(self, tmp_path):
+        phases = [Phase("p", [AccessStream.empty(),
+                              AccessStream.reads(np.array([64]))])]
+        path = tmp_path / "t.npz"
+        save_trace(phases, path)
+        loaded = load_trace(path)
+        assert len(loaded[0].streams[0]) == 0
+        assert len(loaded[0].streams[1]) == 1
+
+
+class TestValidation:
+    def test_empty_trace_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_trace([], tmp_path / "t.npz")
+
+    def test_mismatched_thread_counts_rejected(self, tmp_path):
+        p1 = Phase("a", [AccessStream.empty()] * 2)
+        p2 = Phase("b", [AccessStream.empty()] * 3)
+        with pytest.raises(ValueError):
+            save_trace([p1, p2], tmp_path / "t.npz")
+
+    def test_non_trace_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, x=np.arange(3))
+        with pytest.raises(ValueError, match="not a repro trace"):
+            load_trace(path)
+
+
+class TestTraceWorkload:
+    def test_replay_through_simulator(self, tmp_path):
+        from repro.machine.simulator import Simulator
+        from repro.machine.system import System
+
+        path = tmp_path / "trace.npz"
+        save_trace(small_workload(), path)
+        wl = TraceWorkload(path)
+        assert wl.num_threads == 4
+        assert wl.name.startswith("trace:")
+        res = Simulator(System()).run(wl)
+        direct = Simulator(System()).run(small_workload())
+        assert res.execution_cycles == direct.execution_cycles
+        assert res.invalidations == direct.invalidations
+
+    def test_replay_is_repeatable(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(small_workload(), path)
+        wl = TraceWorkload(path)
+        a = wl.total_accesses()
+        b = wl.total_accesses()
+        assert a == b > 0

@@ -1,0 +1,30 @@
+# Convenience targets for the reproduction repo.
+#
+#   make test          tier-1 test suite (default/batched engine)
+#   make test-scalar   tier-1 suite forced onto the scalar reference engine
+#   make differential  scalar-vs-batched bit-identity tests
+#   make bench-engine  engine speedup smoke benchmark
+#   make ci            everything above, in order
+#   make bench         full figure/table benchmark harness
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-scalar differential bench-engine bench ci
+
+test:
+	$(PYTHON) -m pytest tests -x -q
+
+test-scalar:
+	REPRO_SIM_ENGINE=scalar $(PYTHON) -m pytest tests -x -q
+
+differential:
+	$(PYTHON) -m pytest tests/machine/test_engine_differential.py -q
+
+bench-engine:
+	$(PYTHON) -m pytest benchmarks/bench_engine_speedup.py -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+ci: test test-scalar differential bench-engine

@@ -9,6 +9,13 @@ full reproduction runs:
     REPRO_BENCH_SCALE        workload scale (default 0.4)
     REPRO_BENCH_OS_RUNS      OS-scheduler ensemble size (default 4)
     REPRO_BENCH_MAPPED_RUNS  repetitions per SM/HM mapping (default 2)
+    REPRO_BENCH_WORKERS      process-pool size for the suite (default 1)
+    REPRO_BENCH_CACHE        result cache: unset/"1" = benchmarks/out/cache,
+                             "0" = disabled, anything else = cache directory
+
+Results are deterministic functions of the configuration, so the on-disk
+cache makes a re-run with unchanged knobs nearly free; delete the cache
+directory (or set REPRO_BENCH_CACHE=0) to force fresh simulation.
 
 Rendered tables/figures are also written to ``benchmarks/out/`` so a bench
 run leaves reviewable artifacts behind.
@@ -38,11 +45,21 @@ def bench_config() -> ExperimentConfig:
     )
 
 
+def bench_cache_dir() -> "str | None":
+    raw = os.environ.get("REPRO_BENCH_CACHE", "1")
+    if raw == "0":
+        return None
+    if raw == "1":
+        return str(OUT_DIR / "cache")
+    return raw
+
+
 @pytest.fixture(scope="session")
 def suite_results():
     """One full suite run shared by all table/figure benches."""
-    runner = ExperimentRunner(bench_config())
-    return runner.run_suite(verbose=True)
+    runner = ExperimentRunner(bench_config(), cache_dir=bench_cache_dir())
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    return runner.run_suite(verbose=True, workers=workers)
 
 
 @pytest.fixture(scope="session")

@@ -37,12 +37,18 @@ class DetectorConfig:
     hm_period_cycles: int = 10_000_000
     #: Cycles of one HM scan routine (paper measurement: 84,297).
     hm_routine_cycles: int = 84_297
+    #: HM: cap on catch-up scans per poll when more than one period
+    #: elapsed between polls (barrier clock jumps, large quanta).  Keeps
+    #: the effective scan rate at 1/period without unbounded bursts.
+    hm_max_catchup_scans: int = 8
 
     def __post_init__(self) -> None:
         if self.sm_sample_threshold < 1:
             raise ValueError("sm_sample_threshold must be >= 1")
         if self.hm_period_cycles < 1:
             raise ValueError("hm_period_cycles must be >= 1")
+        if self.hm_max_catchup_scans < 1:
+            raise ValueError("hm_max_catchup_scans must be >= 1")
 
 
 class Detector(abc.ABC):

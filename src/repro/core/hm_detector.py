@@ -45,22 +45,32 @@ class HardwareManagedDetector(Detector):
         self._cores = sorted(self._core_to_thread)
 
     def poll(self, now_cycles: int) -> Optional[Tuple[int, int]]:
-        """Fire a scan if at least one period elapsed since the last one.
+        """Fire one scan per elapsed period since the last one.
 
         Mirrors the flowchart: compare ``now - period`` against the stored
-        cycle counter of the last search; if enough time has passed, store
-        the current counter and scan.  Returns the (round-robin) core the
-        OS ran the scan on and the routine cost to charge it.
+        cycle counter of the last search; fire once *per elapsed period*
+        (capped at ``hm_max_catchup_scans`` per poll) and advance the
+        stored counter in period multiples.  Advancing it to ``now``
+        instead — the old behavior — silently dropped scans whenever a
+        barrier clock jump or a large quantum spanned several periods,
+        drifting the effective scan rate below 1/period.  Returns the
+        (round-robin) core the OS ran the scans on and the total routine
+        cost to charge it.
         """
-        if now_cycles - self._last_scan < self.config.hm_period_cycles:
+        period = self.config.hm_period_cycles
+        due = (now_cycles - self._last_scan) // period
+        if due < 1:
             return None
-        self._last_scan = now_cycles
-        self._scan()
-        self.scans_run += 1
-        self.detection_cycles += self.config.hm_routine_cycles
+        fires = min(due, self.config.hm_max_catchup_scans)
+        self._last_scan += fires * period
+        for _ in range(fires):
+            self._scan()
+        self.scans_run += fires
+        cost = fires * self.config.hm_routine_cycles
+        self.detection_cycles += cost
         core = self._cores[self._scan_core_rr % len(self._cores)]
         self._scan_core_rr += 1
-        return core, self.config.hm_routine_cycles
+        return core, cost
 
     # -- the scan ---------------------------------------------------------------
 

@@ -10,6 +10,7 @@ side-by-side comparison; ``ablations`` sweeps the design choices
 DESIGN.md §5 calls out.
 """
 
+from repro.experiments.cache import ResultCache, config_key
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import BenchmarkResult, ExperimentRunner, MappingRuns
 from repro.experiments import figures, tables, paper_values, ablations, report
@@ -19,6 +20,8 @@ __all__ = [
     "ExperimentRunner",
     "BenchmarkResult",
     "MappingRuns",
+    "ResultCache",
+    "config_key",
     "figures",
     "tables",
     "paper_values",

@@ -1,0 +1,115 @@
+"""On-disk result cache for the experiment runner.
+
+A full suite run is minutes of simulation whose inputs are *pure
+configuration*: every random stream derives from ``(seed, benchmark,
+run-label)``, never from wall-clock or execution order, so a
+``BenchmarkResult`` is a deterministic function of
+``(ExperimentConfig, Topology, benchmark name)``.  That makes the suite
+memoizable: hash the canonicalized configuration, pickle the result
+under that key, and a re-run (or a figure bench re-invoked with the
+same scale) costs one file read per benchmark.
+
+Keys embed :data:`CACHE_SCHEMA`, which must be bumped whenever the
+*meaning* of a cached payload changes (new SimResult fields, protocol
+fixes, counter semantics) so stale pickles are never resurrected.
+Reads are tolerant: a missing, truncated, or unpicklable entry is a
+miss, never an error — the cache can be deleted at any time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+#: Bump when cached payloads become semantically incompatible (e.g. a
+#: SimResult field changes meaning).  Part of every key.
+CACHE_SCHEMA = 1
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-stable structure for hashing.
+
+    Dataclasses become ``{"__type__": name, **fields}`` (recursively), so
+    two configs differing in any field — or in *class* — hash apart.
+    Containers canonicalize element-wise; anything else that ``json``
+    can't serialize falls back to ``repr``, which is stable for the
+    enum/str/int knobs used in configs.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {"__type__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = _canonical(getattr(obj, f.name))
+        return out
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def config_key(*parts: Any) -> str:
+    """Deterministic hex key for a tuple of configuration objects."""
+    payload = json.dumps(
+        [CACHE_SCHEMA, [_canonical(p) for p in parts]],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+class ResultCache:
+    """Pickle-per-key cache directory with atomic writes.
+
+    Layout: ``<root>/<key>.pkl``, one file per (config, topology,
+    benchmark) triple.  Writes go through a temp file + :func:`os.replace`
+    so concurrent workers (the runner's process pool) never observe a
+    half-written entry — the worst race is two workers computing the same
+    result and one replace winning, which is harmless.
+    """
+
+    def __init__(self, root: "str | Path"):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """Cached value for ``key``, or None on any kind of miss."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            # Missing, truncated, or pickled against an old class layout:
+            # all are plain misses; the entry will be overwritten.
+            return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` atomically."""
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.pkl"))

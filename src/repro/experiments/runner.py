@@ -27,6 +27,7 @@ from repro.core.detection import DetectorConfig
 from repro.core.hm_detector import HardwareManagedDetector
 from repro.core.oracle import oracle_matrix
 from repro.core.sm_detector import SoftwareManagedDetector
+from repro.experiments.cache import ResultCache, config_key
 from repro.experiments.config import ExperimentConfig
 from repro.machine.simulator import NoiseConfig, SimConfig, SimResult, Simulator
 from repro.machine.system import System, SystemConfig
@@ -92,6 +93,7 @@ class ExperimentRunner:
         self,
         config: Optional[ExperimentConfig] = None,
         topology: Optional[Topology] = None,
+        cache_dir: "str | None" = None,
     ):
         self.config = config or ExperimentConfig()
         self.topology = topology or harpertown(cache_scale=self.config.cache_scale)
@@ -99,6 +101,10 @@ class ExperimentRunner:
             sm_sample_threshold=self.config.sm_sample_threshold,
             hm_period_cycles=self.config.hm_period_cycles,
         )
+        #: Optional on-disk memo of BenchmarkResults.  Sound because every
+        #: random stream derives from (seed, benchmark, run label) — a
+        #: result is a pure function of (config, topology, name).
+        self.cache = ResultCache(cache_dir) if cache_dir else None
 
     # -- pieces -------------------------------------------------------------------
 
@@ -169,8 +175,27 @@ class ExperimentRunner:
 
     # -- full benchmark -----------------------------------------------------------
 
+    def benchmark_key(self, name: str) -> str:
+        """Cache key for one benchmark under this runner's configuration."""
+        return config_key(self.config, self.topology, name)
+
     def run_benchmark(self, name: str) -> BenchmarkResult:
-        """Detection + mapping + the full performance ensemble for ``name``."""
+        """Detection + mapping + the full performance ensemble for ``name``.
+
+        With a ``cache_dir`` configured, a prior result for the identical
+        (config, topology, benchmark) is returned from disk instead of
+        re-simulating; fresh results are stored on the way out.
+        """
+        if self.cache is not None:
+            hit = self.cache.get(self.benchmark_key(name))
+            if isinstance(hit, BenchmarkResult):
+                return hit
+        result = self._run_benchmark_uncached(name)
+        if self.cache is not None:
+            self.cache.put(self.benchmark_key(name), result)
+        return result
+
+    def _run_benchmark_uncached(self, name: str) -> BenchmarkResult:
         t0 = time.perf_counter()
         detection = self.detect(name)
         matrices = detection["matrices"]
@@ -233,10 +258,11 @@ class ExperimentRunner:
             return out
         from concurrent.futures import ProcessPoolExecutor
 
+        cache_dir = str(self.cache.root) if self.cache is not None else None
         with ProcessPoolExecutor(max_workers=min(workers, len(names))) as pool:
             futures = {
                 name: pool.submit(_run_benchmark_task, self.config,
-                                  self.topology, name)
+                                  self.topology, name, cache_dir)
                 for name in names
             }
             for name in names:
@@ -256,7 +282,10 @@ class ExperimentRunner:
 
 
 def _run_benchmark_task(
-    config: ExperimentConfig, topology: Topology, name: str
+    config: ExperimentConfig,
+    topology: Topology,
+    name: str,
+    cache_dir: "str | None" = None,
 ) -> BenchmarkResult:
     """Process-pool entry point (must be module-level to pickle)."""
-    return ExperimentRunner(config, topology).run_benchmark(name)
+    return ExperimentRunner(config, topology, cache_dir=cache_dir).run_benchmark(name)

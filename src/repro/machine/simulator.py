@@ -14,6 +14,8 @@ the paper's measured quantity in Figure 6.
 
 from __future__ import annotations
 
+import os
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
@@ -21,6 +23,29 @@ import numpy as np
 
 from repro.machine.system import System
 from repro.workloads.base import Phase, Workload
+
+#: Valid values of :attr:`SimConfig.engine`.
+ENGINES = ("auto", "scalar", "batched")
+
+
+def resolve_engine(engine: str) -> str:
+    """Resolve an engine selector to a concrete engine name.
+
+    ``"auto"`` picks the batched fast path unless the ``REPRO_SIM_ENGINE``
+    environment variable forces one (the CI hook for running the same
+    suite under both engines without touching configs).
+    """
+    if engine == "auto":
+        forced = os.environ.get("REPRO_SIM_ENGINE", "").strip().lower()
+        if not forced:
+            return "batched"
+        if forced not in ("scalar", "batched"):
+            raise ValueError(
+                f"REPRO_SIM_ENGINE must be 'scalar' or 'batched', "
+                f"got {forced!r}"
+            )
+        return forced
+    return engine
 
 
 @dataclass(frozen=True)
@@ -40,6 +65,9 @@ class SimConfig:
             ``SimResult.phases`` (time-resolved analysis, e.g. watching
             invalidations collapse after a dynamic remap).
         noise: optional OS-noise model (random preemptions + TLB flushes).
+        engine: ``"scalar"`` (per-access reference loop), ``"batched"``
+            (vectorized-precompute fast path; bit-identical counters), or
+            ``"auto"`` (batched, overridable via ``REPRO_SIM_ENGINE``).
     """
 
     quantum: int = 256
@@ -47,6 +75,13 @@ class SimConfig:
     charge_detection: bool = True
     collect_phase_stats: bool = False
     noise: Optional[NoiseConfig] = None
+    engine: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -236,17 +271,29 @@ class Simulator:
         charge = cfg.charge_detection
         translate = [mmu.translate for mmu in system.mmus]
         access = system.hierarchy.access
+        access_batch = system.hierarchy.access_batch
+        batched = resolve_engine(cfg.engine) == "batched"
+        page_shift = system.mmus[0].page_shift
+        line_shift = system.hierarchy.line_shift
         noise = cfg.noise
-        noise_rng = (
-            np.random.default_rng(noise.seed)
-            if noise is not None and noise.preemption_rate > 0
+        noise_on = noise is not None and noise.preemption_rate > 0
+        # One independent stream per thread, one draw per own quantum:
+        # draws depend only on (thread, quantum index), never on mapping
+        # or completion order, so identical seeds stay identical under
+        # remapping (the reproducibility Table V's variance study needs).
+        noise_rngs = (
+            [
+                np.random.default_rng((noise.seed, t))
+                for t in range(len(mapping))
+            ]
+            if noise_on
             else None
         )
         preemptions = 0
 
-        def maybe_preempt(core: int) -> None:
+        def maybe_preempt(thread: int, core: int) -> None:
             nonlocal preemptions
-            if noise_rng is None or noise_rng.random() >= noise.preemption_rate:
+            if noise_rngs[thread].random() >= noise.preemption_rate:
                 return
             preemptions += 1
             core_cycles[core] += noise.preemption_cost
@@ -258,29 +305,61 @@ class Simulator:
 
         def run_phase(phase: Phase) -> int:
             done = 0
-            addrs = [s.addrs.tolist() for s in phase.streams]
-            writes = [s.writes.tolist() for s in phase.streams]
-            pos = [0] * len(addrs)
-            active = [t for t in range(len(addrs)) if len(addrs[t])]
+            streams = phase.streams
+            if batched:
+                seqs = [s.sequences(page_shift, line_shift) for s in streams]
+                lengths = [sq.length for sq in seqs]
+            else:
+                addrs = [s.addrs.tolist() for s in streams]
+                writes = [s.writes.tolist() for s in streams]
+                lengths = [len(a) for a in addrs]
+            pos = [0] * len(streams)
+            active = [t for t in range(len(streams)) if lengths[t]]
             while active:
                 for t in active[:]:
                     core = mapping[t]
-                    a = addrs[t]
-                    w = writes[t]
                     i = pos[t]
-                    end = min(i + quantum, len(a))
-                    tr = translate[core]
-                    cyc = 0
-                    while i < end:
-                        addr = a[i]
-                        cyc += base + tr(addr) + access(core, addr, w[i])
-                        i += 1
+                    n = lengths[t]
+                    end = min(i + quantum, n)
+                    if batched:
+                        # Guaranteed-hit contract: quantum boundaries can
+                        # flush/evict TLB entries (noise, migrations), so
+                        # every quantum opens with a scalar translation and
+                        # batches only the same-page run tails inside it.
+                        sq = seqs[t]
+                        vpns = sq.vpns
+                        run_starts = sq.run_starts
+                        mmu = system.mmus[core]
+                        tr_vpn = mmu.translate_vpn
+                        tr_batch = mmu.translate_batch
+                        cyc = (end - i) * base
+                        j = i
+                        k = bisect_right(run_starts, j)
+                        while j < end:
+                            nxt = run_starts[k] if k < len(run_starts) else n
+                            run_end = nxt if nxt < end else end
+                            vpn = vpns[j]
+                            cyc += tr_vpn(vpn)
+                            if run_end - j > 1:
+                                cyc += tr_batch(vpn, run_end - j - 1)
+                            j = run_end
+                            k += 1
+                        cyc += access_batch(core, sq.lines, sq.writes, i, end)
+                    else:
+                        a = addrs[t]
+                        w = writes[t]
+                        tr = translate[core]
+                        cyc = 0
+                        while i < end:
+                            addr = a[i]
+                            cyc += base + tr(addr) + access(core, addr, w[i])
+                            i += 1
                     core_cycles[core] += cyc
                     done += end - pos[t]
                     pos[t] = end
-                    if noise_rng is not None:
-                        maybe_preempt(core)
-                    if end == len(a):
+                    if noise_rngs is not None:
+                        maybe_preempt(t, core)
+                    if end == n:
                         active.remove(t)
                 if detectors:
                     now = max(core_cycles)

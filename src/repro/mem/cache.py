@@ -117,13 +117,21 @@ class Cache:
         Hot path: returns the raw int value of the :class:`MESIState` —
         ``MESIState`` is an IntEnum, so ``== MESIState.SHARED`` comparisons
         work, without paying enum construction per access.
+
+        A hit re-inserts the entry (move-to-end), maintaining the class
+        invariant that each set dict iterates in ascending-stamp order —
+        which is what lets :meth:`insert` evict ``next(iter(set))`` in
+        O(1) instead of scanning stamps.  Stamps stay authoritative (and
+        unique), so the chosen victim is identical either way.
         """
         self._clock += 1
-        entry = self._sets[line % self._num_sets].get(line)
+        s = self._sets[line % self._num_sets]
+        entry = s.pop(line, None)
         if entry is None:
             self.stats.misses += 1
             return 0  # MESIState.INVALID
         entry[1] = self._clock
+        s[line] = entry
         self.stats.hits += 1
         return entry[0]
 
@@ -146,21 +154,18 @@ class Cache:
             raise ValueError("cannot insert a line in INVALID state")
         self._clock += 1
         s = self._sets[line % self._num_sets]
-        existing = s.get(line)
+        existing = s.pop(line, None)
         if existing is not None:
             existing[0] = int(state)
             existing[1] = self._clock
+            s[line] = existing
             return None
         victim = None
         if len(s) >= self._ways:
-            # Manual LRU scan: sets have <= `ways` entries, and this beats
-            # min()+lambda by ~2x on the simulator's hottest path.
-            vline = -1
-            vstamp = self._clock + 1
-            for ln, entry in s.items():
-                if entry[1] < vstamp:
-                    vstamp = entry[1]
-                    vline = ln
+            # Move-to-end on every stamp update keeps dict iteration order
+            # == ascending-stamp order, so the LRU victim is simply the
+            # first key — no scan (see lookup()).
+            vline = next(iter(s))
             vstate = s.pop(vline)[0]
             self.stats.evictions += 1
             if vstate == MESIState.MODIFIED:

@@ -84,7 +84,19 @@ class MMU:
         pipelines).  A miss pays the table walk, the management trap if
         software-managed, and whatever the miss hooks charge.
         """
-        vpn = addr >> self._page_shift
+        return self.translate_vpn(addr >> self._page_shift)
+
+    def translate_vpn(self, vpn: int) -> int:
+        """Like :meth:`translate`, for a pre-split virtual page number.
+
+        The batched engine precomputes per-stream VPN sequences once per
+        phase and feeds them here directly, skipping the per-access shift.
+        """
+        if vpn < 0:
+            # A negative VPN would collide with the TLB's empty-way
+            # sentinel and corrupt residency probes; no valid virtual
+            # address produces one.
+            raise ValueError(f"cannot translate negative VPN {vpn}")
         if self.tlb.lookup(vpn):
             return 0
         if self.l2_tlb is not None and self.l2_tlb.lookup(vpn):
@@ -100,6 +112,23 @@ class MMU:
         if self.l2_tlb is not None:
             self.l2_tlb.fill(vpn, pfn)
         return cost
+
+    def translate_batch(self, vpn: int, count: int) -> int:
+        """Account ``count`` guaranteed L1-TLB-hit translations of ``vpn``.
+
+        Batched-engine fast path for the tail of a same-page access run:
+        the page was translated (and thus made resident) by the run's
+        first access, so every repeat is a free hit — no walk, no trap, no
+        miss hooks, no L2-TLB traffic.  Returns the cycles charged (0,
+        matching ``count`` hit calls of :meth:`translate`).
+        """
+        self.tlb.lookup_batch(vpn, count)
+        return 0
+
+    @property
+    def page_shift(self) -> int:
+        """log2(page size) — the addr→VPN shift."""
+        return self._page_shift
 
     def vpn_of(self, addr: int) -> int:
         """Virtual page number of ``addr``."""

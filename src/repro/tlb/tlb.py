@@ -121,6 +121,32 @@ class TLB:
         self.stats.misses += 1
         return False
 
+    def lookup_batch(self, vpn: int, count: int) -> None:
+        """Account ``count`` guaranteed-hit lookups of a resident ``vpn``.
+
+        Batched-engine entry point: within one scheduling quantum, every
+        repeat access to the page just translated is a certain hit (the
+        entry is MRU and nothing else touches this TLB until the quantum
+        ends), so the per-lookup loop collapses to one counter/stamp
+        update.  The final TLB state is bit-identical to ``count`` calls
+        of :meth:`lookup`.
+
+        Raises KeyError if ``vpn`` is not resident — the caller broke the
+        guaranteed-hit contract.
+        """
+        idx = vpn & self._set_mask
+        tags = self._tags[idx]
+        try:
+            way = tags.index(vpn)
+        except ValueError:
+            raise KeyError(
+                f"lookup_batch: vpn {vpn:#x} not resident in core "
+                f"{self.core_id}'s TLB"
+            ) from None
+        self._clock += count
+        self._stamp[idx][way] = self._clock
+        self.stats.hits += count
+
     def fill(self, vpn: int, pfn: int = 0) -> Optional[int]:
         """Insert a translation, evicting LRU if the set is full.
 
@@ -185,8 +211,13 @@ class TLB:
 
         This is the SM mechanism's primitive: on a miss in core A, probe the
         TLBs of all other cores for the missing page.
+
+        Negative page numbers are never resident: empty ways are tagged
+        with the ``_EMPTY`` sentinel (-1) inside ``_tags``, so an unguarded
+        membership test would report a phantom hit for ``vpn == -1`` on
+        any set with a free way.
         """
-        return vpn in self._tags[vpn & self._set_mask]
+        return vpn >= 0 and vpn in self._tags[vpn & self._set_mask]
 
     def set_entries(self, index: int) -> List[int]:
         """Resident virtual page numbers of set ``index`` (no sentinels)."""

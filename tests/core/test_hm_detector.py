@@ -38,9 +38,63 @@ class TestPeriod:
         det = HardwareManagedDetector(8, cfg)
         attach_identity(det, hw_system)
         core1, cost1 = det.poll(10)
-        core2, cost2 = det.poll(30)
+        core2, cost2 = det.poll(20)
         assert cost1 == cost2 == 84_297
         assert core1 != core2  # round-robin spreading
+
+
+class TestCatchUp:
+    """Regression: scans must not be lost across multi-period clock jumps.
+
+    The old ``poll`` advanced ``_last_scan`` to ``now_cycles``, so a
+    barrier jump spanning k periods fired one scan instead of k and the
+    effective rate drifted below 1/period.
+    """
+
+    def test_barrier_jump_fires_once_per_period(self, hw_system):
+        det = HardwareManagedDetector(8, DetectorConfig(hm_period_cycles=10))
+        attach_identity(det, hw_system)
+        det.poll(10)
+        assert det.scans_run == 1
+        # Clock jumps over 3 more full periods (e.g. a barrier sync).
+        out = det.poll(45)
+        assert out is not None
+        assert det.scans_run == 4  # old code: 2
+        # _last_scan advanced in period multiples: 40, so next fire at 50.
+        assert det.poll(49) is None
+        assert det.poll(50) is not None
+        assert det.scans_run == 5
+
+    def test_catchup_cost_charged_to_one_core(self, hw_system):
+        cfg = DetectorConfig(hm_period_cycles=10, hm_routine_cycles=100)
+        det = HardwareManagedDetector(8, cfg)
+        attach_identity(det, hw_system)
+        core, cost = det.poll(30)
+        assert cost == 300
+        assert det.detection_cycles == 300
+        assert det.scans_run == 3
+
+    def test_catchup_capped_per_poll(self, hw_system):
+        cfg = DetectorConfig(hm_period_cycles=10, hm_max_catchup_scans=4)
+        det = HardwareManagedDetector(8, cfg)
+        attach_identity(det, hw_system)
+        det.poll(1000)  # 100 periods due, capped at 4
+        assert det.scans_run == 4
+        # The deferred backlog drains on subsequent polls.
+        det.poll(1000)
+        assert det.scans_run == 8
+
+    def test_catchup_cap_validated(self):
+        with pytest.raises(ValueError):
+            DetectorConfig(hm_max_catchup_scans=0)
+
+    def test_scan_accumulates_per_catchup_fire(self, hw_system):
+        hw_system.mmus[0].translate(0x100000)
+        hw_system.mmus[1].translate(0x100000)
+        det = HardwareManagedDetector(8, DetectorConfig(hm_period_cycles=10))
+        attach_identity(det, hw_system)
+        det.poll(30)
+        assert det.matrix[0, 1] == 3
 
 
 class TestScanMatching:
@@ -49,7 +103,7 @@ class TestScanMatching:
         hw_system.mmus[0].translate(0x100000)
         hw_system.mmus[1].translate(0x100000)
         hw_system.mmus[2].translate(0x900000)
-        det = HardwareManagedDetector(8, DetectorConfig(hm_period_cycles=1))
+        det = HardwareManagedDetector(8, DetectorConfig(hm_period_cycles=10))
         attach_identity(det, hw_system)
         det.poll(10)
         assert det.matrix[0, 1] == 1
@@ -60,7 +114,7 @@ class TestScanMatching:
         for addr in (0x100000, 0x200000, 0x300000):
             hw_system.mmus[0].translate(addr)
             hw_system.mmus[3].translate(addr)
-        det = HardwareManagedDetector(8, DetectorConfig(hm_period_cycles=1))
+        det = HardwareManagedDetector(8, DetectorConfig(hm_period_cycles=10))
         attach_identity(det, hw_system)
         det.poll(10)
         assert det.matrix[0, 3] == 3
@@ -69,7 +123,7 @@ class TestScanMatching:
         # The same page in every TLB → all pairs get a match.
         for core in range(8):
             hw_system.mmus[core].translate(0x500000)
-        det = HardwareManagedDetector(8, DetectorConfig(hm_period_cycles=1))
+        det = HardwareManagedDetector(8, DetectorConfig(hm_period_cycles=10))
         attach_identity(det, hw_system)
         det.poll(10)
         n = 8 * 7 // 2
@@ -78,7 +132,7 @@ class TestScanMatching:
     def test_matrix_uses_thread_ids_under_remap(self, hw_system):
         hw_system.mmus[6].translate(0x100000)
         hw_system.mmus[1].translate(0x100000)
-        det = HardwareManagedDetector(2, DetectorConfig(hm_period_cycles=1))
+        det = HardwareManagedDetector(2, DetectorConfig(hm_period_cycles=10))
         det.attach(hw_system, {6: 0, 1: 1})  # thread 0 on core 6
         det.poll(10)
         assert det.matrix[0, 1] == 1

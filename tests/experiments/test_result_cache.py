@@ -1,0 +1,152 @@
+"""Tests for the on-disk result cache and config hashing."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.cache import CACHE_SCHEMA, ResultCache, _canonical, config_key
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import BenchmarkResult, ExperimentRunner
+from repro.machine.topology import harpertown, nehalem
+
+
+class TestCanonical:
+    def test_dataclass_includes_type_and_fields(self):
+        c = _canonical(ExperimentConfig())
+        assert c["__type__"] == "ExperimentConfig"
+        assert c["seed"] == 2012
+
+    def test_nested_dataclasses_recurse(self):
+        c = _canonical(harpertown())
+        assert c["l2_config"]["__type__"] == "CacheConfig"
+        assert c["l2_config"]["size"] == 6 * 1024 * 1024
+
+    def test_containers_and_primitives(self):
+        assert _canonical((1, [2, None], {"k": True})) == [1, [2, None], {"k": True}]
+
+    def test_unserializable_falls_back_to_repr(self):
+        class Odd:
+            def __repr__(self):
+                return "<odd>"
+
+        assert _canonical(Odd()) == "<odd>"
+
+
+class TestConfigKey:
+    def test_deterministic(self):
+        assert config_key(ExperimentConfig(), "bt") == config_key(
+            ExperimentConfig(), "bt"
+        )
+
+    def test_any_field_changes_key(self):
+        base = config_key(ExperimentConfig(), "bt")
+        assert config_key(ExperimentConfig(seed=1), "bt") != base
+        assert config_key(ExperimentConfig(scale=0.5), "bt") != base
+        assert config_key(ExperimentConfig(), "cg") != base
+
+    def test_topology_changes_key(self):
+        assert config_key(ExperimentConfig(), harpertown(), "bt") != config_key(
+            ExperimentConfig(), nehalem(), "bt"
+        )
+
+    def test_key_is_hex_and_short(self):
+        k = config_key(ExperimentConfig())
+        assert len(k) == 32
+        int(k, 16)  # must be valid hex
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", {"x": [1, 2, 3]})
+        assert cache.get("k") == {"x": [1, 2, 3]}
+        assert "k" in cache
+        assert len(cache) == 1
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ResultCache(tmp_path).get("absent") is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "bad.pkl").write_bytes(b"\x80\x05not a pickle")
+        assert cache.get("bad") is None
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", list(range(1000)))
+        path = tmp_path / "k.pkl"
+        path.write_bytes(path.read_bytes()[:10])
+        assert cache.get("k") is None
+
+    def test_overwrite(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", 1)
+        cache.put("k", 2)
+        assert cache.get("k") == 2
+
+    def test_no_temp_droppings(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(5):
+            cache.put(f"k{i}", i)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_creates_missing_root(self, tmp_path):
+        nested = tmp_path / "a" / "b"
+        ResultCache(nested).put("k", 1)
+        assert (nested / "k.pkl").exists()
+
+
+TINY = ExperimentConfig(
+    benchmarks=("ep",), scale=0.1, os_runs=1, mapped_runs=1,
+    sm_sample_threshold=4, hm_period_cycles=40_000, seed=5,
+)
+
+
+class TestRunnerIntegration:
+    def test_second_run_hits_cache(self, tmp_path):
+        runner = ExperimentRunner(TINY, cache_dir=str(tmp_path))
+        a = runner.run_benchmark("ep")
+        assert len(runner.cache) == 1
+        b = runner.run_benchmark("ep")
+        assert dataclasses.asdict(a.runs["OS"].results[0]) == \
+               dataclasses.asdict(b.runs["OS"].results[0])
+
+    def test_cached_equals_uncached(self, tmp_path):
+        cached = ExperimentRunner(TINY, cache_dir=str(tmp_path)).run_benchmark("ep")
+        fresh = ExperimentRunner(TINY).run_benchmark("ep")
+        assert cached.runs["OS"].results[0].execution_cycles == \
+               fresh.runs["OS"].results[0].execution_cycles
+        assert cached.mappings["SM"] == fresh.mappings["SM"]
+
+    def test_different_seed_different_key(self, tmp_path):
+        a = ExperimentRunner(TINY, cache_dir=str(tmp_path))
+        b = ExperimentRunner(
+            dataclasses.replace(TINY, seed=6), cache_dir=str(tmp_path))
+        assert a.benchmark_key("ep") != b.benchmark_key("ep")
+
+    def test_parallel_suite_uses_cache(self, tmp_path):
+        cfg = dataclasses.replace(TINY, benchmarks=("ep", "ft"))
+        runner = ExperimentRunner(cfg, cache_dir=str(tmp_path))
+        first = runner.run_suite(workers=2)
+        assert len(runner.cache) == 2
+        second = runner.run_suite(workers=2)
+        for name in first:
+            assert first[name].runs["OS"].results[0].execution_cycles == \
+                   second[name].runs["OS"].results[0].execution_cycles
+
+    def test_no_cache_dir_means_no_cache(self):
+        assert ExperimentRunner(TINY).cache is None
+
+    def test_garbage_cache_entry_recomputed(self, tmp_path):
+        runner = ExperimentRunner(TINY, cache_dir=str(tmp_path))
+        key = runner.benchmark_key("ep")
+        runner.cache.put(key, "not a BenchmarkResult")
+        result = runner.run_benchmark("ep")
+        assert isinstance(result, BenchmarkResult)
+        # The bad entry was replaced by the real result.
+        assert isinstance(runner.cache.get(key), BenchmarkResult)
+
+    def test_schema_constant_in_key(self):
+        # The schema version participates in hashing: this documents that
+        # bumping CACHE_SCHEMA invalidates every existing entry.
+        assert isinstance(CACHE_SCHEMA, int)

@@ -1,0 +1,189 @@
+"""Differential harness: the batched engine must be bit-identical to scalar.
+
+The batched fast path (vectorized trace precomputation + bulk TLB/cache
+processing) is a pure performance refactor — every counter the paper
+reports must match the scalar reference exactly, access for access.
+These tests run the same workload through both engines and compare the
+*entire* SimResult, including per-core cycles and per-phase breakdowns,
+across synthetic pattern classes, one NPB kernel per pattern class, and
+the feature matrix (noise, detectors, NUMA, Nehalem, remapping).
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.detection import DetectorConfig
+from repro.core.hm_detector import HardwareManagedDetector
+from repro.core.sm_detector import SoftwareManagedDetector
+from repro.machine.simulator import (
+    ENGINES,
+    NoiseConfig,
+    SimConfig,
+    Simulator,
+    resolve_engine,
+)
+from repro.machine.system import System, SystemConfig
+from repro.machine.topology import harpertown, nehalem
+from repro.mem.numa import NUMAConfig
+from repro.tlb.mmu import TLBManagement
+from repro.workloads import (
+    AllToAllWorkload,
+    FalseSharingWorkload,
+    MasterWorkerWorkload,
+    NearestNeighborWorkload,
+    PhaseShiftWorkload,
+    PipelineWorkload,
+    PrivateWorkload,
+    make_npb_workload,
+)
+
+
+def run_engine(engine, make_workload, make_system=None, mapping=None,
+               detectors=None, **cfg_kwargs):
+    """One run under ``engine`` with everything else freshly constructed."""
+    system = make_system() if make_system else System(harpertown())
+    cfg = SimConfig(engine=engine, **cfg_kwargs)
+    dets = detectors() if detectors else []
+    return Simulator(system, cfg).run(
+        make_workload(), mapping=mapping, detectors=dets
+    )
+
+
+def assert_identical(make_workload, make_system=None, mapping=None,
+                     detectors=None, **cfg_kwargs):
+    """Run scalar and batched; every SimResult field must match exactly."""
+    a = run_engine("scalar", make_workload, make_system, mapping,
+                   detectors, **cfg_kwargs)
+    b = run_engine("batched", make_workload, make_system, mapping,
+                   detectors, **cfg_kwargs)
+    da, db = dataclasses.asdict(a), dataclasses.asdict(b)
+    for field in da:
+        assert da[field] == db[field], (
+            f"engine divergence in {field!r}: scalar={da[field]!r} "
+            f"batched={db[field]!r}"
+        )
+
+
+SYNTHETIC_CLASSES = [
+    NearestNeighborWorkload,
+    PipelineWorkload,
+    MasterWorkerWorkload,
+    AllToAllWorkload,
+    PhaseShiftWorkload,
+    FalseSharingWorkload,
+    PrivateWorkload,
+]
+
+#: One NPB kernel per pattern class (domain / homogeneous / none /
+#: domain+distant), kept tiny: this is a correctness diff, not a bench.
+NPB_PER_CLASS = ["sp", "cg", "ep", "lu"]
+
+
+class TestSyntheticClasses:
+    @pytest.mark.parametrize("cls", SYNTHETIC_CLASSES,
+                             ids=lambda c: c.__name__)
+    def test_pattern_class_identical(self, cls):
+        assert_identical(lambda: cls(num_threads=8, seed=42))
+
+
+class TestNPBKernels:
+    @pytest.mark.parametrize("name", NPB_PER_CLASS)
+    def test_npb_identical(self, name):
+        assert_identical(
+            lambda: make_npb_workload(name, num_threads=8, scale=0.08, seed=7)
+        )
+
+
+class TestFeatureMatrix:
+    def make_wl(self):
+        return NearestNeighborWorkload(num_threads=8, seed=3, iterations=3)
+
+    def test_with_noise(self):
+        assert_identical(
+            self.make_wl,
+            noise=NoiseConfig(preemption_rate=0.08, seed=11),
+        )
+
+    def test_with_remapping(self):
+        assert_identical(self.make_wl, mapping=[7, 6, 5, 4, 3, 2, 1, 0])
+
+    def test_with_hm_detector(self):
+        assert_identical(
+            self.make_wl,
+            detectors=lambda: [HardwareManagedDetector(
+                8, DetectorConfig(hm_period_cycles=20_000))],
+        )
+
+    def test_with_sm_detector(self):
+        def sw_system():
+            return System(harpertown(), SystemConfig(
+                tlb_management=TLBManagement.SOFTWARE))
+
+        assert_identical(
+            self.make_wl,
+            make_system=sw_system,
+            detectors=lambda: [SoftwareManagedDetector(
+                8, DetectorConfig(sm_sample_threshold=4))],
+        )
+
+    def test_with_numa(self):
+        def numa_system():
+            return System(harpertown(), SystemConfig(
+                numa=NUMAConfig(local_latency=180, remote_penalty=120)))
+
+        assert_identical(self.make_wl, make_system=numa_system)
+
+    def test_on_nehalem(self):
+        assert_identical(
+            self.make_wl, make_system=lambda: System(nehalem()))
+
+    def test_phase_stats(self):
+        assert_identical(self.make_wl, collect_phase_stats=True)
+
+    def test_small_quantum(self):
+        assert_identical(self.make_wl, quantum=17)
+
+
+class TestPropertyRandomWorkloads:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        cls=st.sampled_from(SYNTHETIC_CLASSES),
+        num_threads=st.sampled_from([2, 4, 8]),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        quantum=st.sampled_from([64, 256, 1000]),
+    )
+    def test_random_synthetic_identical(self, cls, num_threads, seed, quantum):
+        assert_identical(
+            lambda: cls(num_threads=num_threads, seed=seed),
+            quantum=quantum,
+        )
+
+
+class TestEngineSelection:
+    def test_engines_constant(self):
+        assert ENGINES == ("auto", "scalar", "batched")
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            SimConfig(engine="turbo")
+
+    def test_auto_resolves_to_batched(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_ENGINE", raising=False)
+        assert resolve_engine("auto") == "batched"
+
+    def test_explicit_engines_pass_through(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_ENGINE", raising=False)
+        assert resolve_engine("scalar") == "scalar"
+        assert resolve_engine("batched") == "batched"
+
+    def test_env_override_wins_over_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "scalar")
+        assert resolve_engine("auto") == "scalar"
+
+    def test_env_override_invalid_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "warp")
+        with pytest.raises(ValueError):
+            resolve_engine("auto")

@@ -103,3 +103,17 @@ class TestPageSizeConsistency:
         mmu = MMU(0, PageTable(), TLBConfig(page_size=8192))
         assert mmu.vpn_of(8192) == 1
         assert mmu.vpn_of(8191) == 0
+
+
+class TestNegativeVPNGuard:
+    """Regression companion to the TLB sentinel fix: the MMU refuses
+    negative VPNs outright instead of colliding with the empty-way tag."""
+
+    def test_translate_vpn_negative_raises(self):
+        with pytest.raises(ValueError, match="negative"):
+            make_mmu().translate_vpn(-1)
+
+    def test_translate_vpn_zero_is_valid(self):
+        mmu = make_mmu()
+        assert mmu.translate_vpn(0) > 0  # cold miss pays the walk
+        assert mmu.translate_vpn(0) == 0  # now resident

@@ -141,3 +141,28 @@ class TestLifetimeBound:
         for vpn in (4, 8, 12):  # stream through set 0
             t.fill(vpn)
         assert not t.probe(0)
+
+
+class TestSentinelCollision:
+    """Regression: empty ways are tagged with the sentinel ``-1``.
+
+    The old ``probe`` compared the query VPN against raw way tags, so
+    ``probe(-1)`` on a TLB with any empty way reported a phantom hit —
+    and a detector scanning residency with out-of-range VPNs counted
+    matches between cores that share nothing.
+    """
+
+    def test_probe_negative_vpn_on_fresh_tlb_is_miss(self):
+        tlb = TLB(TLBConfig())
+        assert not tlb.probe(-1)
+
+    def test_probe_negative_vpn_on_partially_filled_set_is_miss(self):
+        tlb = TLB(TLBConfig(entries=8, ways=4))
+        tlb.fill(0, 100)  # set 0 now has one real entry, three empties
+        assert not tlb.probe(-1)
+        assert tlb.probe(0)
+
+    def test_set_entries_excludes_empty_ways(self):
+        tlb = TLB(TLBConfig(entries=8, ways=4))
+        tlb.fill(0, 100)
+        assert -1 not in tlb.set_entries(0)

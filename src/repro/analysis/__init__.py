@@ -1,0 +1,41 @@
+"""``repro.analysis`` — AST-based static analysis for the reproduction.
+
+PR 1 made the simulator's correctness story rest on two invariants that
+only *dynamic* tests guarded: bit-identical counters between the scalar
+and batched engines, and full determinism under a fixed seed.  This
+package enforces both (and a handful of hygiene properties) *statically*,
+so a violation fails ``repro lint`` before the differential harness ever
+runs.
+
+Rules carry stable ids (``RPL001``..) and register themselves with the
+framework in :mod:`repro.analysis.core`; configuration lives in
+``pyproject.toml`` under ``[tool.repro-lint]``.  See DESIGN.md
+("Static invariants") for the rationale behind each rule.
+"""
+
+from repro.analysis.core import (
+    Finding,
+    LintConfig,
+    Module,
+    Project,
+    Rule,
+    all_rules,
+    load_project,
+    register_rule,
+    run_lint,
+)
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "Module",
+    "Project",
+    "Rule",
+    "all_rules",
+    "load_project",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

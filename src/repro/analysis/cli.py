@@ -1,0 +1,102 @@
+"""``repro lint`` — run the RPL static-analysis rules.
+
+Exit status: 0 when clean, 1 when any finding survives the configured
+ignores, 2 on usage errors (unreadable config, no files matched).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.core import LintConfig, all_rules, load_project, run_lint
+from repro.analysis.reporters import render_json, render_text
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro lint`` options to ``parser`` (shared with tests)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: [tool.repro-lint] "
+        "paths, falling back to src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="PYPROJECT",
+        help="pyproject.toml to read [tool.repro-lint] from "
+        "(default: search upward from the current directory)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+
+
+def _find_pyproject(start: Path) -> Optional[Path]:
+    for directory in [start, *start.parents]:
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed ``repro lint`` invocation; returns the exit code."""
+    if args.config is not None:
+        pyproject: Optional[Path] = Path(args.config)
+        if not pyproject.is_file():
+            print(f"repro lint: config not found: {pyproject}")
+            return 2
+    else:
+        pyproject = _find_pyproject(Path.cwd())
+
+    if pyproject is not None:
+        config = LintConfig.from_pyproject(pyproject)
+        root = pyproject.parent
+    else:
+        config = LintConfig()
+        root = Path.cwd()
+
+    rules = all_rules(config)
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id}  {rule.title}")
+        return 0
+
+    paths: Sequence[str] = args.paths or config.paths
+    project = load_project(root, paths=paths, config=config)
+    if not project.modules:
+        print(f"repro lint: no python files under {list(paths)!r}")
+        return 2
+
+    findings = run_lint(project, rules)
+    render = render_json if args.format == "json" else render_text
+    print(render(findings))
+    return 1 if findings else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.analysis.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST static analysis for determinism and engine parity.",
+    )
+    add_lint_arguments(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

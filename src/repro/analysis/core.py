@@ -1,0 +1,324 @@
+"""Framework plumbing for the ``repro lint`` static analyzer.
+
+The moving parts, smallest first:
+
+* :class:`Finding` — one diagnostic: rule id, location, message.
+* :class:`Module` — one parsed source file (path + AST + source lines).
+* :class:`Project` — the set of modules under analysis plus the
+  resolved :class:`LintConfig`; rules see the whole project so
+  cross-module rules (engine parity, unused config fields) are first
+  class, not bolted on.
+* :class:`Rule` — the plugin interface.  Concrete rules subclass it,
+  decorate themselves with :func:`register_rule`, and yield findings
+  from :meth:`Rule.check`.
+
+Configuration is read from ``pyproject.toml``:
+
+.. code-block:: toml
+
+    [tool.repro-lint]
+    paths = ["src/repro"]
+    ignore = []                         # rule ids disabled everywhere
+    [tool.repro-lint.per-file-ignores]
+    "src/repro/experiments/runner.py" = ["RPL002"]
+    [tool.repro-lint.rpl003]
+    scalar-modules = ["repro/mem/cache.py"]
+
+Rule-specific tables are keyed by the lowercased rule id and handed to
+the rule verbatim (merged over its declared defaults), so new knobs
+never require framework changes.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Type
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic emitted by a rule."""
+
+    path: str  # project-relative posix path (sort key first: groups output)
+    line: int
+    col: int
+    rule: str  # e.g. "RPL001"
+    message: str
+
+    def render(self) -> str:
+        """One-line gcc-style rendering."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class Module:
+    """One parsed source file."""
+
+    path: Path  # absolute
+    rel: str  # posix path relative to the project root
+    tree: ast.Module
+    source: str
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            path=self.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+        )
+
+
+def path_matches(rel: str, pattern: str) -> bool:
+    """Match a project-relative posix path against a config pattern.
+
+    Patterns may be full relative paths, bare suffixes
+    (``repro/util/rng.py`` matches ``src/repro/util/rng.py``) or fnmatch
+    globs (``*/util/rng.py``) — whatever reads best in pyproject.
+    """
+    return (
+        rel == pattern
+        or rel.endswith("/" + pattern)
+        or fnmatch.fnmatch(rel, pattern)
+    )
+
+
+@dataclass
+class LintConfig:
+    """Resolved ``[tool.repro-lint]`` configuration."""
+
+    paths: List[str] = field(default_factory=lambda: ["src/repro"])
+    ignore: Tuple[str, ...] = ()
+    per_file_ignores: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    rule_options: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @classmethod
+    def from_pyproject(cls, pyproject: Path) -> "LintConfig":
+        """Load the ``[tool.repro-lint]`` table (missing table = defaults)."""
+        with pyproject.open("rb") as fh:
+            data = tomllib.load(fh)
+        table = data.get("tool", {}).get("repro-lint", {})
+        return cls.from_table(table)
+
+    @classmethod
+    def from_table(cls, table: Mapping[str, Any]) -> "LintConfig":
+        """Build a config from an already-parsed TOML table."""
+        cfg = cls()
+        if "paths" in table:
+            cfg.paths = [str(p) for p in table["paths"]]
+        cfg.ignore = tuple(str(r).upper() for r in table.get("ignore", ()))
+        pfi = table.get("per-file-ignores", {})
+        cfg.per_file_ignores = {
+            str(pat): tuple(str(r).upper() for r in rules)
+            for pat, rules in pfi.items()
+        }
+        cfg.rule_options = {
+            key.lower(): dict(value)
+            for key, value in table.items()
+            if isinstance(value, Mapping) and key.lower().startswith("rpl")
+        }
+        return cfg
+
+    def options_for(self, rule_id: str) -> Dict[str, Any]:
+        """Rule-specific option table (``[tool.repro-lint.rpl003]``)."""
+        return self.rule_options.get(rule_id.lower(), {})
+
+    def is_ignored(self, finding: Finding) -> bool:
+        """Whether ``finding`` is suppressed by global or per-file config."""
+        if finding.rule in self.ignore:
+            return True
+        for pattern, rules in self.per_file_ignores.items():
+            if finding.rule in rules and path_matches(finding.path, pattern):
+                return True
+        return False
+
+
+@dataclass
+class Project:
+    """Everything a rule may look at."""
+
+    root: Path
+    modules: List[Module]
+    config: LintConfig
+
+    def find_modules(self, pattern: str) -> List[Module]:
+        """Modules whose relative path matches ``pattern``."""
+        return [m for m in self.modules if path_matches(m.rel, pattern)]
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`id` / :attr:`title`, may declare option
+    defaults in :attr:`default_options`, and implement :meth:`check`.
+    """
+
+    id: str = "RPL000"
+    title: str = ""
+    default_options: Dict[str, Any] = {}
+
+    def __init__(self, options: Optional[Mapping[str, Any]] = None):
+        merged = dict(self.default_options)
+        merged.update(options or {})
+        self.options = merged
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        """Yield findings for ``project``."""
+        raise NotImplementedError
+
+    def opt(self, key: str) -> Any:
+        """Option value (config table wins over the rule default)."""
+        return self.options[key]
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add ``cls`` to the global rule registry."""
+    if cls.id in _REGISTRY and _REGISTRY[cls.id] is not cls:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules(config: Optional[LintConfig] = None) -> List[Rule]:
+    """Instantiate every registered rule with its configured options."""
+    # Importing the package triggers registration of the built-in rules.
+    import repro.analysis.rules  # noqa: F401  (import-for-side-effect)
+
+    config = config or LintConfig()
+    return [
+        _REGISTRY[rule_id](config.options_for(rule_id))
+        for rule_id in sorted(_REGISTRY)
+    ]
+
+
+def _iter_py_files(root: Path, paths: Sequence[str]) -> Iterator[Path]:
+    for spec in paths:
+        p = (root / spec).resolve() if not Path(spec).is_absolute() else Path(spec)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+def load_project(
+    root: Path,
+    paths: Optional[Sequence[str]] = None,
+    config: Optional[LintConfig] = None,
+) -> Project:
+    """Parse every ``.py`` file under ``paths`` into a :class:`Project`.
+
+    A file that fails to parse becomes a project with no module for that
+    path — syntax errors are reported by :func:`run_lint` as ``RPL000``
+    findings rather than crashing the linter.
+    """
+    root = root.resolve()
+    config = config or LintConfig()
+    modules: List[Module] = []
+    for path in _iter_py_files(root, paths or config.paths):
+        source = path.read_text(encoding="utf-8")
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            # Represent the broken file as an empty module carrying a
+            # synthetic marker the runner turns into an RPL000 finding.
+            tree = ast.Module(body=[], type_ignores=[])
+            setattr(tree, "_syntax_error", exc)
+        modules.append(Module(path=path, rel=rel, tree=tree, source=source))
+    return Project(root=root, modules=modules, config=config)
+
+
+def run_lint(project: Project, rules: Optional[Iterable[Rule]] = None) -> List[Finding]:
+    """Run ``rules`` (default: all registered) over ``project``.
+
+    Returns findings sorted by (path, line, col, rule), with config
+    ignores already applied.
+    """
+    findings: List[Finding] = []
+    for module in project.modules:
+        exc = getattr(module.tree, "_syntax_error", None)
+        if exc is not None:
+            findings.append(
+                Finding(
+                    path=module.rel,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule="RPL000",
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+    for rule in rules if rules is not None else all_rules(project.config):
+        findings.extend(rule.check(project))
+    findings = [f for f in findings if not project.config.is_ignored(f)]
+    return sorted(findings)
+
+
+# -- shared AST helpers used by several rules ---------------------------------
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Flatten ``a.b.c`` attribute chains to ``"a.b.c"`` (None if dynamic)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def counter_target(node: ast.AST, extra_counters: Sequence[str] = ()) -> Optional[str]:
+    """Name of the stats counter an augmented-assignment target denotes.
+
+    Matches ``<recv>.stats.X``, ``<name>_stats.X``, ``stats.X`` and
+    subscripted counters (``stats.per_cache_misses[i]``), plus any
+    attribute listed in ``extra_counters`` regardless of receiver.
+    Returns the counter attribute name, or None when the target is not a
+    counter.
+    """
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if not isinstance(node, ast.Attribute):
+        return None
+    attr = node.attr
+    if attr in extra_counters:
+        return attr
+    recv = node.value
+    if isinstance(recv, ast.Name):
+        recv_name = recv.id
+    elif isinstance(recv, ast.Attribute):
+        recv_name = recv.attr
+    else:
+        return None
+    if recv_name == "stats" or recv_name.endswith("_stats"):
+        return attr
+    return None
+
+
+def dataclass_fields(cls: ast.ClassDef) -> List[Tuple[str, Optional[str], bool]]:
+    """Annotated fields of a (data)class body.
+
+    Returns ``(name, annotation_source, has_default)`` triples in
+    declaration order; ClassVar annotations are skipped.
+    """
+    fields: List[Tuple[str, Optional[str], bool]] = []
+    for stmt in cls.body:
+        if not isinstance(stmt, ast.AnnAssign) or not isinstance(stmt.target, ast.Name):
+            continue
+        ann = ast.unparse(stmt.annotation)
+        if "ClassVar" in ann:
+            continue
+        fields.append((stmt.target.id, ann, stmt.value is not None))
+    return fields

@@ -1,0 +1,54 @@
+"""Render lint findings as text or JSON.
+
+The JSON shape is versioned and key-sorted so downstream tooling (and
+the snapshot test in ``tests/analysis``) can rely on byte-stable output
+for a given finding set.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List, Sequence
+
+from repro.analysis.core import Finding
+
+#: Bump when the JSON report shape changes incompatibly.
+REPORT_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """gcc-style one-line-per-finding report with a trailing summary."""
+    lines: List[str] = [f.render() for f in findings]
+    if findings:
+        by_rule = Counter(f.rule for f in findings)
+        breakdown = ", ".join(
+            f"{rule}: {count}" for rule, count in sorted(by_rule.items())
+        )
+        lines.append(
+            f"{len(findings)} finding{'s' if len(findings) != 1 else ''} "
+            f"({breakdown})"
+        )
+    else:
+        lines.append("repro-lint: clean (0 findings)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report (stable ordering, 2-space indent)."""
+    payload = {
+        "version": REPORT_VERSION,
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+        "counts": dict(sorted(Counter(f.rule for f in findings).items())),
+        "total": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

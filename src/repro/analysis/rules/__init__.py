@@ -1,0 +1,23 @@
+"""Built-in lint rules.
+
+Importing this package registers every rule with the framework
+registry; :func:`repro.analysis.core.all_rules` does that import, so
+rule modules must stay import-for-side-effect safe (no work at import
+time beyond class definition).
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (import-for-side-effect)
+    rpl001_rng,
+    rpl002_entropy,
+    rpl003_parity,
+    rpl004_config,
+    rpl005_hygiene,
+)
+
+__all__ = [
+    "rpl001_rng",
+    "rpl002_entropy",
+    "rpl003_parity",
+    "rpl004_config",
+    "rpl005_hygiene",
+]

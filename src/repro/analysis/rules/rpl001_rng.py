@@ -1,0 +1,99 @@
+"""RPL001 — all randomness must route through ``repro/util/rng.py``.
+
+Every stochastic component in the simulator derives its stream from the
+``SeedSequence`` helpers (``as_rng`` / ``derive_seed`` /
+``SeedSequenceFactory``).  A direct ``np.random.default_rng(...)`` or a
+stdlib ``random`` import anywhere else silently creates an unmanaged
+stream: reruns of "the same" experiment can then draw differently, and
+the paper's SM/HM comparison (PAPER.md §V) stops being a controlled one.
+
+Allowed constructions live only in the modules matched by the ``allow``
+option (default: ``util/rng.py`` itself).  ``np.random.Generator`` used
+as a *type annotation* is fine and not flagged — only constructor and
+legacy-API *calls* are.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.core import (
+    Finding,
+    Module,
+    Project,
+    Rule,
+    dotted_name,
+    path_matches,
+    register_rule,
+)
+
+#: numpy.random entry points that mint or reseed streams.
+_NP_RANDOM_CALLS = frozenset(
+    {
+        "default_rng",
+        "RandomState",
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "bytes",
+    }
+)
+
+
+@register_rule
+class RandomnessRoutingRule(Rule):
+    """Flag unmanaged randomness: ``random`` imports and ``np.random.*`` calls."""
+    id = "RPL001"
+    title = "randomness must route through util/rng.py"
+    default_options = {"allow": ["repro/util/rng.py"]}
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        allow: List[str] = list(self.opt("allow"))
+        for module in project.modules:
+            if any(path_matches(module.rel, pat) for pat in allow):
+                continue
+            yield from self._check_module(module)
+
+    def _check_module(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield module.finding(
+                            self.id,
+                            node,
+                            "stdlib 'random' import; use repro.util.rng "
+                            "(as_rng / derive_seed / SeedSequenceFactory)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield module.finding(
+                        self.id,
+                        node,
+                        "stdlib 'random' import; use repro.util.rng "
+                        "(as_rng / derive_seed / SeedSequenceFactory)",
+                    )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                parts = name.split(".")
+                if (
+                    len(parts) >= 3
+                    and parts[-3] in ("np", "numpy")
+                    and parts[-2] == "random"
+                    and parts[-1] in _NP_RANDOM_CALLS
+                ):
+                    yield module.finding(
+                        self.id,
+                        node,
+                        f"direct {name}(...) constructs an unmanaged RNG "
+                        "stream; derive it via repro.util.rng instead",
+                    )

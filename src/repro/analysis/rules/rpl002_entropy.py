@@ -1,0 +1,93 @@
+"""RPL002 — no wall-clock or OS-entropy inputs in simulation code.
+
+A result that depends on ``time.time()``, ``os.urandom()`` or a UUID is
+not a function of its configuration any more: the experiment cache keys
+on canonicalized configs (``experiments/cache.py``), and the paper's
+variance study (Table V) attributes run-to-run spread to the *modeled*
+OS noise, not to hidden host entropy.  Harness-side telemetry that
+legitimately measures wall time (e.g. the runner's ``wall_seconds``)
+is exempted via a per-file ignore in pyproject, never inline.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.core import Finding, Module, Project, Rule, dotted_name, register_rule
+
+#: (module, attribute) call suffixes that read wall clocks or OS entropy.
+#: A trailing "*" matches any attribute of the module.
+_BANNED_SUFFIXES: Tuple[Tuple[str, str], ...] = (
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "process_time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+    ("os", "urandom"),
+    ("os", "getrandom"),
+    ("uuid", "*"),
+    ("secrets", "*"),
+)
+
+
+@register_rule
+class EntropySourceRule(Rule):
+    """Flag wall-clock and OS-entropy reads inside the simulator."""
+    id = "RPL002"
+    title = "no wall-clock or OS-entropy calls in simulation code"
+    default_options = {"allow": []}
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        from repro.analysis.core import path_matches
+
+        allow = list(self.opt("allow"))
+        for module in project.modules:
+            if any(path_matches(module.rel, pat) for pat in allow):
+                continue
+            yield from self._check_module(module)
+
+    def _check_module(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield from self._check_import(module, node)
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                parts = name.split(".")
+                if len(parts) < 2:
+                    continue
+                mod, attr = parts[-2], parts[-1]
+                for ban_mod, ban_attr in _BANNED_SUFFIXES:
+                    if mod == ban_mod and (ban_attr == "*" or attr == ban_attr):
+                        yield module.finding(
+                            self.id,
+                            node,
+                            f"{name}(...) reads wall-clock/OS entropy; "
+                            "results must be pure functions of their "
+                            "configuration (determinism invariant)",
+                        )
+                        break
+
+    def _check_import(self, module: Module, node: ast.AST) -> Iterator[Finding]:
+        names = []
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.module in ("uuid", "secrets"):
+                names = [node.module]
+        for name in names:
+            if name in ("uuid", "secrets"):
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"'{name}' import: OS-entropy identifiers have no "
+                    "place in a deterministic simulation pipeline",
+                )

@@ -1,0 +1,82 @@
+"""RPL004 — every simulator-config field must be read somewhere.
+
+A ``SimConfig`` field that nothing reads is either dead weight or — the
+dangerous case — a knob someone *believes* changes the simulation while
+both engines silently ignore it (the config hash would still change, so
+the result cache would dutifully store distinct-but-identical entries).
+
+The check is project-wide: a field of any class named in
+``config-classes`` must appear as an attribute *read* (``<x>.field``
+with Load context) in at least one module outside the defining class
+body.  Keyword re-construction (``dataclasses.replace(cfg, field=...)``)
+does not count as a read on purpose: copying a knob around is not using
+it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.analysis.core import (
+    Finding,
+    Module,
+    Project,
+    Rule,
+    dataclass_fields,
+    register_rule,
+)
+
+
+@register_rule
+class UnusedConfigFieldRule(Rule):
+    """Flag config-dataclass fields that no module in the project reads."""
+    id = "RPL004"
+    title = "config dataclass fields must be read by the simulator"
+    default_options = {"config-classes": ["SimConfig", "NoiseConfig"]}
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        class_names: Set[str] = set(self.opt("config-classes"))
+
+        # Pass 1: find the config classes and their fields.
+        defs: List[Tuple[Module, ast.ClassDef, List[str]]] = []
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef) and node.name in class_names:
+                    fields = [name for name, _ann, _d in dataclass_fields(node)]
+                    defs.append((module, node, fields))
+
+        if not defs:
+            return
+
+        # Pass 2: collect every attribute read in the project, excluding
+        # the defining class bodies (self.field inside __post_init__ must
+        # not count as "the simulator reads it").
+        class_spans: Dict[str, List[Tuple[int, int]]] = {}
+        for module, cls, _fields in defs:
+            span = (cls.lineno, cls.end_lineno or cls.lineno)
+            class_spans.setdefault(module.rel, []).append(span)
+
+        reads: Set[str] = set()
+        for module in project.modules:
+            spans = class_spans.get(module.rel, [])
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Attribute):
+                    continue
+                if not isinstance(node.ctx, ast.Load):
+                    continue
+                line = node.lineno
+                if any(lo <= line <= hi for lo, hi in spans):
+                    continue
+                reads.add(node.attr)
+
+        for module, cls, fields in defs:
+            for field_name in fields:
+                if field_name not in reads:
+                    yield module.finding(
+                        self.id,
+                        cls,
+                        f"{cls.name}.{field_name} is never read anywhere "
+                        "under the linted tree — dead knob, or a setting "
+                        "both engines silently ignore",
+                    )

@@ -1,0 +1,96 @@
+"""RPL005 — counter/exception/default-argument hygiene.
+
+Three small checks that each guard a way determinism or engine parity
+has historically rotted in simulators:
+
+* **Float accumulation into integer counters.**  The differential
+  harness compares counters with ``==``; one ``stats.x += n / 2`` turns
+  a counter float and bit-identity into approximate identity.  Flagged:
+  ``+=`` onto a stats-like attribute whose value expression contains a
+  float literal, a ``float(...)`` call, or true division.
+* **Mutable default arguments.**  A ``def f(x, acc=[])`` default is
+  shared across calls — cross-run state that survives ``reset()`` and
+  breaks replay determinism.
+* **Bare ``except:``.**  Swallows ``KeyboardInterrupt``/``SystemExit``
+  and hides the difference between "cache miss" and "cache bug"; the
+  tolerant-read paths must name what they tolerate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.core import Finding, Module, Project, Rule, counter_target, register_rule
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict", "OrderedDict"})
+
+
+def _is_floatish(node: ast.AST) -> bool:
+    """Whether an expression statically looks float-valued."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+            return True
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+            return True
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id == "float"
+        ):
+            return True
+    return False
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+@register_rule
+class HygieneRule(Rule):
+    """Flag float-into-int counter accumulation, mutable defaults, bare except."""
+    id = "RPL005"
+    title = "counter/exception/default-argument hygiene"
+    default_options = {"extra-counters": ["l1_sibling_invalidations"]}
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        extra = tuple(self.opt("extra-counters"))
+        for module in project.modules:
+            yield from self._check_module(module, extra)
+
+    def _check_module(self, module: Module, extra: Tuple[str, ...]) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+                counter = counter_target(node.target, extra)
+                if counter is not None and _is_floatish(node.value):
+                    yield module.finding(
+                        self.id,
+                        node,
+                        f"float accumulation into integer counter "
+                        f"'{counter}' — bit-identical engine comparison "
+                        "requires integer counters",
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if _is_mutable_default(default):
+                        yield module.finding(
+                            self.id,
+                            default,
+                            f"mutable default argument in '{node.name}' — "
+                            "shared across calls, so state leaks between "
+                            "runs",
+                        )
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield module.finding(
+                    self.id,
+                    node,
+                    "bare 'except:' — name the exceptions this path "
+                    "tolerates (it also swallows KeyboardInterrupt)",
+                )

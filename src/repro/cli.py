@@ -11,14 +11,19 @@ Commands:
   trace through the simulator.
 * ``ablate`` — run one of the design-choice sweeps (sampling, HM period,
   TLB geometry, page size, L2 TLB, mapper comparison) and print the table.
+* ``lint`` — run the RPL static-analysis rules (determinism, engine
+  parity; see :mod:`repro.analysis`).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
+from repro.analysis.cli import add_lint_arguments
+from repro.analysis.cli import run as run_lint_command
 from repro.core.detection import DetectorConfig
 from repro.core.hm_detector import HardwareManagedDetector
 from repro.core.oracle import OracleDetector, oracle_matrix
@@ -79,6 +84,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mapping", type=str, default=None,
                    help="comma-separated thread->core list (default identity)")
 
+    p = sub.add_parser(
+        "lint",
+        help="run the RPL static-analysis rules (determinism, engine parity)",
+    )
+    add_lint_arguments(p)
+
     p = sub.add_parser("ablate", help="run one ablation sweep")
     p.add_argument("sweep", choices=("sm-sampling", "hm-period",
                                      "tlb-geometry", "page-size", "l2-tlb",
@@ -101,7 +112,7 @@ def _cmd_info() -> int:
     return 0
 
 
-def _cmd_detect(args) -> int:
+def _cmd_detect(args: argparse.Namespace) -> int:
     topo = harpertown()
     wl = make_npb_workload(args.benchmark, num_threads=args.threads,
                            scale=args.scale, seed=args.seed)
@@ -126,7 +137,7 @@ def _cmd_detect(args) -> int:
     return 0
 
 
-def _cmd_reproduce(args) -> int:
+def _cmd_reproduce(args: argparse.Namespace) -> int:
     benchmarks = tuple(b.lower() for b in args.benchmarks) or PAPER_BENCHMARKS
     config = ExperimentConfig(
         benchmarks=benchmarks,
@@ -148,7 +159,7 @@ def _cmd_reproduce(args) -> int:
     return 0
 
 
-def _cmd_record(args) -> int:
+def _cmd_record(args: argparse.Namespace) -> int:
     wl = make_npb_workload(args.benchmark, num_threads=args.threads,
                            scale=args.scale, seed=args.seed)
     n = save_trace(wl, args.path)
@@ -156,7 +167,7 @@ def _cmd_record(args) -> int:
     return 0
 
 
-def _cmd_replay(args) -> int:
+def _cmd_replay(args: argparse.Namespace) -> int:
     wl = TraceWorkload(args.path)
     mapping = None
     if args.mapping:
@@ -171,7 +182,7 @@ def _cmd_replay(args) -> int:
     return 0
 
 
-def _cmd_ablate(args) -> int:
+def _cmd_ablate(args: argparse.Namespace) -> int:
     from repro.experiments import ablations
     from repro.util.render import format_table
 
@@ -202,7 +213,19 @@ def _cmd_ablate(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(_build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early: not an error worth
+        # a traceback.  Detach stdout so interpreter shutdown doesn't retry
+        # the flush, and report the conventional 128+SIGPIPE code.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Route a parsed command line to its subcommand handler."""
     if args.command == "info":
         return _cmd_info()
     if args.command == "detect":
@@ -215,6 +238,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_replay(args)
     if args.command == "ablate":
         return _cmd_ablate(args)
+    if args.command == "lint":
+        return run_lint_command(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

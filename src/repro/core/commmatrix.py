@@ -8,7 +8,8 @@ deliberate Θ(N²) compromise — as a symmetric non-negative matrix whose cell
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -146,7 +147,7 @@ class CommunicationMatrix:
 
     # -- persistence ---------------------------------------------------------------
 
-    def to_csv(self, path) -> None:
+    def to_csv(self, path: Union[str, Path]) -> None:
         """Write the matrix as CSV (one row per thread, float cells).
 
         The interchange format for external analysis tools — the paper's
@@ -155,7 +156,7 @@ class CommunicationMatrix:
         np.savetxt(path, self._m, delimiter=",", fmt="%.6g")
 
     @classmethod
-    def from_csv(cls, path) -> "CommunicationMatrix":
+    def from_csv(cls, path: Union[str, Path]) -> "CommunicationMatrix":
         """Load a matrix written by :meth:`to_csv` (validated on load)."""
         return cls.from_array(np.loadtxt(path, delimiter=",", ndmin=2))
 

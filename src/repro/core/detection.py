@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from repro.core.commmatrix import CommunicationMatrix
 from repro.machine.system import System
@@ -66,9 +66,9 @@ class Detector(abc.ABC):
         #: *data* accesses are relevant — shared read-only pages such as
         #: program text would register as uniform all-pairs communication.
         #: The OS knows its text/library mappings and filters them here).
-        self.ignored_pages: set = set()
+        self.ignored_pages: Set[int] = set()
 
-    def ignore_pages(self, pages) -> None:
+    def ignore_pages(self, pages: Iterable[int]) -> None:
         """Exclude virtual page numbers from communication matching."""
         self.ignored_pages.update(int(p) for p in pages)
 

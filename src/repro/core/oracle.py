@@ -136,7 +136,7 @@ class OracleDetector(Detector):
                 f"trace has {self.matrix.num_threads} threads, expected {num_threads}"
             )
 
-    def attach(self, system, core_to_thread) -> None:  # noqa: D102 - no-op
+    def attach(self, system: object, core_to_thread: Dict[int, int]) -> None:  # noqa: D102 - no-op
         pass
 
     def detach(self) -> None:  # noqa: D102 - no-op

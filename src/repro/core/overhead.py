@@ -13,8 +13,12 @@ Two views of cost:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.tlb.tlb import TLBConfig
+
+if TYPE_CHECKING:  # import cycle guard: machine.simulator never imports core
+    from repro.machine.simulator import SimResult
 
 
 def sm_search_comparisons(
@@ -85,7 +89,7 @@ class OverheadReport:
         )
 
 
-def overhead_report(detector_summary: dict, sim_result) -> OverheadReport:
+def overhead_report(detector_summary: dict, sim_result: "SimResult") -> OverheadReport:
     """Build an :class:`OverheadReport` from a detector summary + SimResult.
 
     Works for both mechanisms: SM summaries carry ``sampled_fraction``

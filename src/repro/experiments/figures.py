@@ -113,21 +113,21 @@ def figure_svg(results: Mapping[str, BenchmarkResult], number: int) -> str:
     )
 
 
-def fig6(results):
+def fig6(results: Mapping[str, BenchmarkResult]) -> str:
     """Figure 6: normalized execution time."""
     return render_figure(results, 6)
 
 
-def fig7(results):
+def fig7(results: Mapping[str, BenchmarkResult]) -> str:
     """Figure 7: normalized invalidations."""
     return render_figure(results, 7)
 
 
-def fig8(results):
+def fig8(results: Mapping[str, BenchmarkResult]) -> str:
     """Figure 8: normalized snoop transactions."""
     return render_figure(results, 8)
 
 
-def fig9(results):
+def fig9(results: Mapping[str, BenchmarkResult]) -> str:
     """Figure 9: normalized L2 cache misses."""
     return render_figure(results, 9)

@@ -108,7 +108,7 @@ class ExperimentRunner:
 
     # -- pieces -------------------------------------------------------------------
 
-    def _workload(self, name: str, run_label: object):
+    def _workload(self, name: str, run_label: object) -> Workload:
         """Fresh workload instance with a per-run derived seed."""
         return make_npb_workload(
             name,

@@ -17,11 +17,10 @@ from __future__ import annotations
 import os
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Union
-
-import numpy as np
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.machine.system import System
+from repro.util.rng import as_rng, derive_seed
 from repro.workloads.base import Phase, Workload
 
 #: Valid values of :attr:`SimConfig.engine`.
@@ -281,9 +280,12 @@ class Simulator:
         # draws depend only on (thread, quantum index), never on mapping
         # or completion order, so identical seeds stay identical under
         # remapping (the reproducibility Table V's variance study needs).
+        # Streams derive through util/rng's stable hash (RPL001): the
+        # seed derivation is shared with every other stochastic
+        # component instead of an ad-hoc tuple-seeded generator.
         noise_rngs = (
             [
-                np.random.default_rng((noise.seed, t))
+                as_rng(derive_seed(noise.seed, "noise", t))
                 for t in range(len(mapping))
             ]
             if noise_on
@@ -375,7 +377,7 @@ class Simulator:
         phase_stats: List[PhaseStats] = []
         collect_phases = cfg.collect_phase_stats
 
-        def counters_snapshot():
+        def counters_snapshot() -> Tuple[int, int, int, int, int]:
             h = system.hierarchy
             return (
                 max(core_cycles),
@@ -385,7 +387,11 @@ class Simulator:
                 sum(t.stats.misses for t in system.tlbs),
             )
 
-        def record_phase(phase: Phase, before, accesses: int) -> None:
+        def record_phase(
+            phase: Phase,
+            before: Tuple[int, int, int, int, int],
+            accesses: int,
+        ) -> None:
             after = counters_snapshot()
             phase_stats.append(PhaseStats(
                 name=phase.name,

@@ -21,7 +21,7 @@
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -108,7 +108,7 @@ def greedy_mapping(
     """
     from repro.mapping.hierarchical import hierarchical_mapping
 
-    def greedy_matcher(weights: np.ndarray):
+    def greedy_matcher(weights: np.ndarray) -> List[Tuple[int, int]]:
         n = weights.shape[0]
         order = sorted(
             ((i, j) for i in range(n) for j in range(i + 1, n)),

@@ -23,7 +23,7 @@ optimality verifier (complementary slackness) can be enabled for tests.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -152,7 +152,7 @@ class _MatchingSolver:
 
     # -- blossom traversal ----------------------------------------------------------
 
-    def blossom_leaves(self, b: int):
+    def blossom_leaves(self, b: int) -> Iterator[int]:
         """Iterate the vertices inside (sub)blossom b."""
         if b < self.n:
             yield b

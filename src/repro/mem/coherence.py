@@ -20,7 +20,7 @@ fill — which is how bad mappings become slow.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.mem.cache import Cache, MESIState
 from repro.mem.interconnect import Interconnect
@@ -115,7 +115,9 @@ class CoherenceBus:
         for hook in self.invalidate_hooks:
             hook(cache_id, line)
 
-    def _handle_victim(self, cache_id: int, victim) -> None:
+    def _handle_victim(
+        self, cache_id: int, victim: Optional[Tuple[int, MESIState]]
+    ) -> None:
         """Account for a line evicted by an insert (and shoot down L1s)."""
         if victim is None:
             return

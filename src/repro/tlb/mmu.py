@@ -20,7 +20,7 @@ import enum
 from typing import Callable, List, Optional
 
 from repro.tlb.pagetable import PageTable
-from repro.tlb.tlb import TLB, TLBConfig
+from repro.tlb.tlb import TLB, TLBConfig, TLBStats
 
 #: Signature of a TLB-miss hook: (core_id, vpn) -> extra cycles to charge.
 MissHook = Callable[[int, int], int]
@@ -142,7 +142,7 @@ class MMU:
         return hit
 
     @property
-    def stats(self):
+    def stats(self) -> TLBStats:
         """This core's :class:`~repro.tlb.tlb.TLBStats`."""
         return self.tlb.stats
 

@@ -8,7 +8,8 @@ string assembly, no plotting stack.
 
 from __future__ import annotations
 
-from typing import List, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import List, Mapping, Optional, Sequence, Union
 from xml.sax.saxutils import escape
 
 import numpy as np
@@ -168,7 +169,7 @@ def grouped_bars_svg(
     return _svg_document(width, height, body)
 
 
-def save_svg(svg: str, path) -> None:
+def save_svg(svg: str, path: Union[str, Path]) -> None:
     """Write an SVG string to ``path``."""
     with open(path, "w") as fh:
         fh.write(svg + "\n")

@@ -9,7 +9,7 @@ patterns are realistic but noisy.
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import Iterator, List, Tuple
 
 import numpy as np
 
@@ -56,7 +56,7 @@ class NearestNeighborWorkload(Workload):
             self.space.allocate("code", code_bytes) if code_bytes else None
         )
 
-    def code_pages(self):
+    def code_pages(self) -> List[int]:
         """Virtual page numbers of the shared code region (empty if none)."""
         return list(self.code.pages()) if self.code is not None else []
 
@@ -256,12 +256,12 @@ class PhaseShiftWorkload(Workload):
                     f"shift.e{epoch}.{a}-{b}", buffer_bytes
                 )
 
-    def _epoch_pairs(self):
+    def _epoch_pairs(self) -> Iterator[List[Tuple[int, int]]]:
         n = self.num_threads
         yield [(t, t + 1) for t in range(0, n, 2)]            # epoch 0
         yield [(t, t + n // 2) for t in range(n // 2)]        # epoch 1
 
-    def partners(self, epoch: int):
+    def partners(self, epoch: int) -> List[Tuple[int, int]]:
         """The pairing active during ``epoch`` (for test assertions)."""
         return list(self._epoch_pairs())[epoch]
 

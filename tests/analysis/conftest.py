@@ -1,0 +1,31 @@
+"""Shared helpers for the static-analysis self-tests."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.core import LintConfig
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def fixture_config(**rule_options) -> LintConfig:
+    """A config scoped to the fixture directory.
+
+    ``rule_options`` maps lowercase rule ids to their option tables
+    (e.g. ``rpl003={"scalar-modules": ["rpl003_bad.py"]}``).
+    """
+    cfg = LintConfig(paths=["."])
+    cfg.rule_options = {k.lower(): dict(v) for k, v in rule_options.items()}
+    return cfg
+
+
+@pytest.fixture
+def fixtures_root() -> Path:
+    return FIXTURES
+
+
+@pytest.fixture
+def repo_root() -> Path:
+    return REPO_ROOT

@@ -1,0 +1,13 @@
+"""Fixture: RPL001 must flag direct RNG construction and stdlib random."""
+
+import random
+
+import numpy as np
+
+
+def unmanaged_stream() -> object:
+    return np.random.default_rng(7)
+
+
+def stdlib_draw() -> float:
+    return random.random()

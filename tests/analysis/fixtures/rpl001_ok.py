@@ -1,0 +1,11 @@
+"""Fixture: RPL001 must pass randomness routed through util/rng."""
+
+from repro.util.rng import SeedSequenceFactory, as_rng, derive_seed
+
+
+def managed_stream(seed: int) -> object:
+    return as_rng(derive_seed(seed, "fixture", 0))
+
+
+def managed_factory(seed: int) -> object:
+    return SeedSequenceFactory(seed).generator("thread", 1)

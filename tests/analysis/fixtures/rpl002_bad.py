@@ -1,0 +1,17 @@
+"""Fixture: RPL002 must flag wall-clock and OS-entropy reads."""
+
+import os
+import time
+import uuid
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def token() -> bytes:
+    return os.urandom(16)
+
+
+def run_id() -> str:
+    return str(uuid.uuid4())

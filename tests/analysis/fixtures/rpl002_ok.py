@@ -1,0 +1,9 @@
+"""Fixture: RPL002 must pass configuration-derived quantities."""
+
+
+def cycles_to_seconds(cycles: int, hz: int) -> float:
+    return cycles / hz
+
+
+def run_id(seed: int, benchmark: str) -> str:
+    return f"{benchmark}-{seed}"

@@ -1,0 +1,28 @@
+"""Fixture: RPL003 must flag a counter present in only one engine.
+
+``access`` (the scalar reference) bumps ``hits`` and ``snoops``;
+``access_batch`` flushes only ``hits`` — exactly the "counter added to
+one engine without the other" regression the rule exists to catch.  The
+``FixtureResult`` constructor also skips its ``snoops`` field.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FixtureResult:
+    hits: int
+    snoops: int = 0
+
+
+class FixtureHierarchy:
+    def access(self, line: int) -> None:
+        self.stats.hits += 1
+        self.stats.snoops += 1
+
+    def access_batch(self, lines: list) -> None:
+        batch_stats = self.stats
+        batch_stats.hits += len(lines)
+
+    def result(self) -> FixtureResult:
+        return FixtureResult(hits=self.stats.hits)

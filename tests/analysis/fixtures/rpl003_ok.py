@@ -1,0 +1,23 @@
+"""Fixture: RPL003 must pass engines touching the same counter set."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FixtureResult:
+    hits: int
+    snoops: int = 0
+
+
+class FixtureHierarchy:
+    def access(self, line: int) -> None:
+        self.stats.hits += 1
+        self.stats.snoops += 1
+
+    def access_batch(self, lines: list) -> None:
+        batch_stats = self.stats
+        batch_stats.hits += len(lines)
+        batch_stats.snoops += len(lines)
+
+    def result(self) -> FixtureResult:
+        return FixtureResult(hits=self.stats.hits, snoops=self.stats.snoops)

@@ -1,0 +1,13 @@
+"""Fixture: RPL004 must flag a config field nothing reads."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FixtureConfig:
+    quantum: int = 256
+    ghost_knob: bool = False
+
+
+def run(cfg: FixtureConfig) -> int:
+    return cfg.quantum * 2

@@ -1,0 +1,20 @@
+"""Fixture: RPL004 must pass when every config field is read.
+
+The read field is named ``audited_knob`` (not ``ghost_knob``) so that
+linting the whole fixture directory at once cannot mask
+``rpl004_bad.py`` — RPL004 collects attribute reads project-wide.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FixtureConfig:
+    quantum: int = 256
+    audited_knob: bool = False
+
+
+def run(cfg: FixtureConfig) -> int:
+    if cfg.audited_knob:
+        return 0
+    return cfg.quantum * 2

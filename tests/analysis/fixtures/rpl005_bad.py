@@ -1,0 +1,16 @@
+"""Fixture: RPL005 must flag float counters, mutable defaults, bare except."""
+
+
+class FixtureStats:
+    def tally(self, n: int) -> None:
+        self.stats.hits += n / 2
+
+    def collect(self, acc=[]) -> list:
+        acc.append(1)
+        return acc
+
+    def tolerant(self) -> None:
+        try:
+            self.tally(1)
+        except:
+            pass

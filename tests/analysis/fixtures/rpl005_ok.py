@@ -1,0 +1,19 @@
+"""Fixture: RPL005 must pass integer counters and named exceptions."""
+
+from typing import Optional
+
+
+class FixtureStats:
+    def tally(self, n: int) -> None:
+        self.stats.hits += n
+
+    def collect(self, acc: Optional[list] = None) -> list:
+        acc = [] if acc is None else acc
+        acc.append(1)
+        return acc
+
+    def tolerant(self) -> None:
+        try:
+            self.tally(1)
+        except (OSError, ValueError):
+            pass

@@ -1,0 +1,58 @@
+"""CLI-level tests for ``repro lint``."""
+
+import json
+
+from repro.cli import main
+
+from tests.analysis.conftest import FIXTURES, REPO_ROOT
+
+
+def run_cli(argv, capsys):
+    code = main(argv)
+    return code, capsys.readouterr().out
+
+
+class TestLintCommand:
+    def test_clean_tree_exits_zero(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        code, out = run_cli(["lint"], capsys)
+        assert code == 0
+        assert "clean" in out
+
+    def test_violation_exits_one(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        code, out = run_cli(
+            ["lint", "tests/analysis/fixtures/rpl001_bad.py"], capsys
+        )
+        assert code == 1
+        assert "RPL001" in out
+
+    def test_json_format(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        code, out = run_cli(
+            ["lint", "tests/analysis/fixtures/rpl001_bad.py",
+             "--format", "json"],
+            capsys,
+        )
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["counts"]["RPL001"] == 2
+
+    def test_list_rules(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        code, out = run_cli(["lint", "--list-rules"], capsys)
+        assert code == 0
+        for rule_id in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005"):
+            assert rule_id in out
+
+    def test_missing_config_exits_two(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        code, out = run_cli(
+            ["lint", "--config", "does/not/exist.toml"], capsys
+        )
+        assert code == 2
+
+    def test_no_files_exits_two(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        code, out = run_cli(["lint", "empty_dir_that_is_missing"], capsys)
+        assert code == 2

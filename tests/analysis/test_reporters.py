@@ -1,0 +1,80 @@
+"""Reporter tests, including the byte-stable JSON snapshot."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.core import Finding, load_project, run_lint
+from repro.analysis.reporters import render_json, render_text
+
+from tests.analysis.conftest import FIXTURES, fixture_config
+
+SNAPSHOT = Path(__file__).parent / "snapshots" / "fixtures_report.json"
+
+#: The canonical config under which the snapshot was generated: every
+#: rule active, RPL003/RPL004 pointed at their fixtures.
+SNAPSHOT_CONFIG = dict(
+    rpl003={
+        "scalar-modules": ["rpl003_bad.py"],
+        "batched-functions": ["access_batch"],
+        "extra-counters": [],
+        "sim-result-module": "rpl003_bad.py",
+        "sim-result-class": "FixtureResult",
+    },
+    rpl004={"config-classes": ["FixtureConfig"]},
+)
+
+
+def snapshot_findings():
+    project = load_project(
+        FIXTURES, paths=["."], config=fixture_config(**SNAPSHOT_CONFIG)
+    )
+    return run_lint(project)
+
+
+class TestTextReporter:
+    def test_clean_run(self):
+        assert render_text([]) == "repro-lint: clean (0 findings)"
+
+    def test_one_line_per_finding_plus_summary(self):
+        findings = [
+            Finding(path="a.py", line=3, col=0, rule="RPL001", message="m1"),
+            Finding(path="b.py", line=7, col=4, rule="RPL005", message="m2"),
+        ]
+        text = render_text(findings)
+        lines = text.splitlines()
+        assert lines[0] == "a.py:3:0: RPL001 m1"
+        assert lines[1] == "b.py:7:4: RPL005 m2"
+        assert lines[2] == "2 findings (RPL001: 1, RPL005: 1)"
+
+    def test_singular_summary(self):
+        findings = [Finding(path="a.py", line=1, col=0, rule="RPL002", message="m")]
+        assert render_text(findings).splitlines()[-1] == "1 finding (RPL002: 1)"
+
+
+class TestJsonReporter:
+    def test_shape_and_counts(self):
+        findings = snapshot_findings()
+        payload = json.loads(render_json(findings))
+        assert payload["version"] == 1
+        assert payload["total"] == len(findings)
+        assert sum(payload["counts"].values()) == payload["total"]
+        assert {f["rule"] for f in payload["findings"]} == {
+            "RPL001", "RPL002", "RPL003", "RPL004", "RPL005",
+        }
+
+    def test_snapshot(self):
+        """Byte-stable JSON for the canonical fixture run.
+
+        Regenerate deliberately (after changing rules/fixtures/reporter)
+        with::
+
+            PYTHONPATH=src:. python -c "
+            from tests.analysis.test_reporters import snapshot_findings, SNAPSHOT
+            from repro.analysis.reporters import render_json
+            SNAPSHOT.write_text(render_json(snapshot_findings()) + '\\n')"
+        """
+        rendered = render_json(snapshot_findings()) + "\n"
+        assert rendered == SNAPSHOT.read_text(), (
+            "JSON report drifted from the snapshot; inspect the diff and "
+            "regenerate if intentional (see docstring)"
+        )

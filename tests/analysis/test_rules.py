@@ -1,0 +1,151 @@
+"""Per-rule self-tests: every RPL rule fires on its violating fixture
+and stays quiet on the matching clean one."""
+
+from pathlib import Path
+
+from repro.analysis.core import LintConfig, load_project, run_lint
+
+from tests.analysis.conftest import FIXTURES, fixture_config
+
+
+def lint_fixture(filename: str, config: LintConfig) -> list:
+    project = load_project(FIXTURES, paths=[filename], config=config)
+    assert project.modules, f"fixture {filename} not found"
+    return run_lint(project)
+
+
+def rule_ids(findings) -> set:
+    return {f.rule for f in findings}
+
+
+class TestRPL001:
+    def test_flags_direct_rng_and_stdlib_random(self):
+        findings = lint_fixture("rpl001_bad.py", fixture_config())
+        assert rule_ids(findings) == {"RPL001"}
+        messages = " ".join(f.message for f in findings)
+        assert "default_rng" in messages
+        assert "random" in messages
+        assert len(findings) == 2
+
+    def test_passes_routed_randomness(self):
+        assert lint_fixture("rpl001_ok.py", fixture_config()) == []
+
+    def test_allow_list_exempts_module(self):
+        cfg = fixture_config(rpl001={"allow": ["rpl001_bad.py"]})
+        assert "RPL001" not in rule_ids(lint_fixture("rpl001_bad.py", cfg))
+
+
+class TestRPL002:
+    def test_flags_clock_entropy_and_uuid(self):
+        findings = lint_fixture("rpl002_bad.py", fixture_config())
+        assert rule_ids(findings) == {"RPL002"}
+        messages = " ".join(f.message for f in findings)
+        assert "time.time" in messages
+        assert "os.urandom" in messages
+        assert "uuid" in messages
+
+    def test_passes_config_derived_values(self):
+        assert lint_fixture("rpl002_ok.py", fixture_config()) == []
+
+
+RPL003_BAD = {
+    "scalar-modules": ["rpl003_bad.py"],
+    "batched-functions": ["access_batch"],
+    "extra-counters": [],
+    "sim-result-module": "rpl003_bad.py",
+    "sim-result-class": "FixtureResult",
+}
+RPL003_OK = dict(RPL003_BAD, **{
+    "scalar-modules": ["rpl003_ok.py"],
+    "sim-result-module": "rpl003_ok.py",
+})
+
+
+class TestRPL003:
+    def test_flags_counter_in_one_engine_only(self):
+        findings = lint_fixture("rpl003_bad.py", fixture_config(rpl003=RPL003_BAD))
+        assert rule_ids(findings) == {"RPL003"}
+        parity = [f for f in findings if "scalar engine" in f.message]
+        assert len(parity) == 1
+        assert "'snoops'" in parity[0].message
+
+    def test_flags_unwired_result_field(self):
+        findings = lint_fixture("rpl003_bad.py", fixture_config(rpl003=RPL003_BAD))
+        wiring = [f for f in findings if "populate" in f.message]
+        assert len(wiring) == 1
+        assert "'snoops'" in wiring[0].message
+
+    def test_passes_balanced_engines(self):
+        assert lint_fixture("rpl003_ok.py", fixture_config(rpl003=RPL003_OK)) == []
+
+    def test_vacuous_without_batched_function(self):
+        # Parity over a module with no access_batch: nothing to compare.
+        cfg = fixture_config(rpl003=dict(RPL003_BAD, **{
+            "scalar-modules": ["rpl004_bad.py"],
+            "sim-result-module": "rpl004_bad.py",
+        }))
+        assert lint_fixture("rpl004_bad.py", cfg) == []
+
+
+RPL004 = {"config-classes": ["FixtureConfig"]}
+
+
+class TestRPL004:
+    def test_flags_unread_field(self):
+        findings = lint_fixture("rpl004_bad.py", fixture_config(rpl004=RPL004))
+        assert rule_ids(findings) == {"RPL004"}
+        assert len(findings) == 1
+        assert "ghost_knob" in findings[0].message
+
+    def test_passes_fully_read_config(self):
+        assert lint_fixture("rpl004_ok.py", fixture_config(rpl004=RPL004)) == []
+
+    def test_read_in_sibling_module_counts(self):
+        # Project-wide reads: linting bad+ok together still flags only
+        # ghost_knob (audited_knob is read in the ok module).
+        project = load_project(
+            FIXTURES,
+            paths=["rpl004_bad.py", "rpl004_ok.py"],
+            config=fixture_config(rpl004=RPL004),
+        )
+        findings = [f for f in run_lint(project) if f.rule == "RPL004"]
+        assert ["ghost_knob" in f.message for f in findings] == [True]
+
+
+class TestRPL005:
+    def test_flags_all_three_hygiene_violations(self):
+        findings = lint_fixture("rpl005_bad.py", fixture_config())
+        assert rule_ids(findings) == {"RPL005"}
+        messages = [f.message for f in findings]
+        assert any("float accumulation" in m for m in messages)
+        assert any("mutable default" in m for m in messages)
+        assert any("bare 'except:'" in m for m in messages)
+        assert len(findings) == 3
+
+    def test_passes_clean_module(self):
+        assert lint_fixture("rpl005_ok.py", fixture_config()) == []
+
+
+class TestFrameworkBehaviour:
+    def test_syntax_error_becomes_rpl000(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        project = load_project(tmp_path, paths=["broken.py"], config=LintConfig(paths=["."]))
+        findings = run_lint(project)
+        assert [f.rule for f in findings] == ["RPL000"]
+
+    def test_global_ignore_suppresses_rule(self):
+        cfg = fixture_config()
+        cfg.ignore = ("RPL001",)
+        assert lint_fixture("rpl001_bad.py", cfg) == []
+
+    def test_per_file_ignore_suppresses_rule(self):
+        cfg = fixture_config()
+        cfg.per_file_ignores = {"rpl001_bad.py": ("RPL001",)}
+        assert lint_fixture("rpl001_bad.py", cfg) == []
+
+    def test_findings_sorted_and_stable(self):
+        cfg = fixture_config(rpl003=RPL003_BAD, rpl004=RPL004)
+        project = load_project(FIXTURES, paths=["."], config=cfg)
+        findings = run_lint(project)
+        assert findings == sorted(findings)
+        assert findings == run_lint(load_project(FIXTURES, paths=["."], config=cfg))

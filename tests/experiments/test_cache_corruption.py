@@ -1,0 +1,90 @@
+"""Corruption-tolerance regressions for the on-disk result cache.
+
+The cache contract (``experiments/cache.py``): a read NEVER raises on a
+damaged entry — missing, empty, truncated, half-written by a concurrent
+worker, or pickled against a class layout that no longer exists are all
+plain misses, and the next ``put`` repairs the entry.  The parallel
+runner leans on this: workers race on the same keys by design.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path)
+
+
+def entry_path(cache, key):
+    return cache.root / f"{key}.pkl"
+
+
+class TestZeroByteEntry:
+    def test_zero_byte_file_is_a_miss(self, cache):
+        entry_path(cache, "k").write_bytes(b"")
+        assert cache.get("k") is None
+
+    def test_zero_byte_entry_is_repaired_by_put(self, cache):
+        entry_path(cache, "k").write_bytes(b"")
+        cache.put("k", {"fixed": True})
+        assert cache.get("k") == {"fixed": True}
+
+
+class TestTruncatedPickle:
+    @pytest.mark.parametrize("keep_bytes", [1, 2, 10, 50])
+    def test_every_truncation_point_is_a_miss(self, cache, keep_bytes):
+        cache.put("k", {"payload": list(range(200))})
+        path = entry_path(cache, "k")
+        path.write_bytes(path.read_bytes()[:keep_bytes])
+        assert cache.get("k") is None
+
+    def test_truncation_never_raises_across_all_prefixes(self, cache):
+        cache.put("k", ("tuple", [1, 2.5, "s"], {"nested": None}))
+        blob = entry_path(cache, "k").read_bytes()
+        for cut in range(0, len(blob), max(1, len(blob) // 32)):
+            entry_path(cache, "k").write_bytes(blob[:cut])
+            assert cache.get("k") is None  # must not raise either
+
+
+class TestConcurrentWriterPartialFile:
+    def test_partial_tmp_file_never_shadows_entry(self, cache):
+        """A crashed writer leaves only a ``*.tmp`` dropping; reads of the
+        real key are unaffected and the dropping is not a cache entry."""
+        cache.put("k", 1)
+        (cache.root / "deadbeef.tmp").write_bytes(b"\x80\x05partial")
+        assert cache.get("k") == 1
+        assert len(cache) == 1  # *.tmp not counted
+
+    def test_interrupted_replace_leaves_valid_old_entry(self, cache):
+        """os.replace is atomic: a reader sees either the old or the new
+        payload, never a splice.  Simulate the worst interleaving — new
+        payload half-written over the entry path — and require a miss,
+        not an exception."""
+        cache.put("k", {"generation": 1})
+        new_blob = pickle.dumps({"generation": 2})
+        entry_path(cache, "k").write_bytes(new_blob[: len(new_blob) // 2])
+        assert cache.get("k") is None
+
+    def test_two_writers_last_replace_wins(self, cache):
+        cache.put("k", "worker-a")
+        cache.put("k", "worker-b")
+        assert cache.get("k") == "worker-b"
+        assert not list(cache.root.glob("*.tmp"))
+
+
+class TestWrongLayoutEntry:
+    def test_unconstructible_class_is_a_miss(self, cache):
+        """An entry pickled against a module that no longer imports
+        (schema drift between versions) is a miss, not an ImportError."""
+        # Protocol-0 GLOBAL opcode referencing a module that doesn't exist.
+        entry_path(cache, "k").write_bytes(b"cno_such_module\nCls\n.")
+        assert cache.get("k") is None
+
+    def test_directory_at_entry_path_is_a_miss(self, cache):
+        os.mkdir(entry_path(cache, "k"))
+        assert cache.get("k") is None

@@ -91,7 +91,9 @@ class TestNoiseDeterminism:
     The old engine drew preemptions from one RNG in core-iteration order,
     so remapping threads (or switching engines) reshuffled the stream and
     "the same machine noise" silently changed with the placement.  Each
-    thread now owns an independent ``default_rng((seed, thread))`` stream.
+    thread now owns an independent stream derived through
+    ``util/rng.derive_seed(seed, "noise", thread)`` (the RPL001-enforced
+    routing; no ad-hoc ``default_rng`` construction in the simulator).
     """
 
     def test_same_seed_reproducible(self):
@@ -114,7 +116,8 @@ class TestNoiseDeterminism:
     def test_streams_differ_across_threads(self):
         """Thread streams are independent: noise is not one global coin
         flipped per quantum regardless of thread."""
-        import numpy as np
-        r0 = np.random.default_rng((9, 0)).random(16)
-        r1 = np.random.default_rng((9, 1)).random(16)
+        from repro.util.rng import as_rng, derive_seed
+
+        r0 = as_rng(derive_seed(9, "noise", 0)).random(16)
+        r1 = as_rng(derive_seed(9, "noise", 1)).random(16)
         assert not np.allclose(r0, r1)

@@ -6,13 +6,15 @@
 #   make test-scalar   tier-1 suite forced onto the scalar reference engine
 #   make differential  scalar-vs-batched bit-identity tests
 #   make bench-engine  engine speedup smoke benchmark
+#   make serve-smoke   boot `repro serve`, round-trip, SIGTERM drain
+#   make bench-service mapping-service load bench (writes BENCH_service.json)
 #   make ci            lint -> mypy -> everything above, in order
 #   make bench         full figure/table benchmark harness
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint mypy test test-scalar differential bench-engine bench ci
+.PHONY: lint mypy test test-scalar differential bench-engine serve-smoke bench-service bench ci
 
 lint:
 	$(PYTHON) -m repro lint
@@ -39,7 +41,13 @@ differential:
 bench-engine:
 	$(PYTHON) -m pytest benchmarks/bench_engine_speedup.py -q
 
+serve-smoke:
+	$(PYTHON) -m repro.service.smoke
+
+bench-service:
+	$(PYTHON) benchmarks/bench_service_throughput.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-ci: lint mypy test test-scalar differential bench-engine
+ci: lint mypy test test-scalar differential bench-engine serve-smoke

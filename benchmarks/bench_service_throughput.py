@@ -1,0 +1,204 @@
+"""Load bench for the mapping service: throughput, latency, cache lift.
+
+Boots the service in-process (real sockets, real HTTP parsing, process
+pool for solves) and runs two phases:
+
+1. **Cold** — distinct 8-thread matrices, every request a fresh
+   canonical solve.  Measures end-to-end solve latency and exercises the
+   micro-batcher under unique-key load.
+2. **Warm** — one request body repeated across concurrent keep-alive
+   connections; after the first solve everything is a body-cache hit.
+   Measures steady-state throughput and tail latency.  A separate
+   single-connection pass measures *unloaded* warm latency, which is
+   what the cache-speedup ratio compares against the (equally unloaded)
+   cold latency — the concurrent numbers include queueing delay and
+   would understate the cache's effect.
+
+Acceptance floors (tunable via environment for slow shared boxes):
+
+    REPRO_BENCH_SERVICE_RPS_FLOOR      warm throughput, req/s   (default 500)
+    REPRO_BENCH_SERVICE_P99_MS         warm p99 latency, ms     (default 50)
+    REPRO_BENCH_SERVICE_SPEEDUP_FLOOR  cold/warm latency ratio  (default 10)
+
+Results are written to ``BENCH_service.json`` at the repo root (and to
+``benchmarks/out/`` when run under pytest).  Runs standalone
+(``make bench-service``) or under pytest with the bench suite.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import pathlib
+import statistics
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.service.app import MappingService, ServiceConfig
+from repro.service.client import AsyncMappingClient
+from repro.service.http import MappingServer
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_service.json"
+
+COLD_MATRICES = 64
+WARM_CONNECTIONS = 16
+WARM_REQUESTS_PER_CONN = 125  # 16 * 125 = 2000 warm requests
+THREADS = 8
+
+
+def _floor(name: str, default: float) -> float:
+    return float(os.environ.get(name, str(default)))
+
+
+def _cold_matrices(count: int) -> List[List[List[float]]]:
+    """Distinct random symmetric matrices (no two share a canonical key)."""
+    rng = np.random.default_rng(2012)
+    out = []
+    for _ in range(count):
+        a = rng.random((THREADS, THREADS)) * 100.0
+        m = (a + a.T) / 2.0
+        np.fill_diagonal(m, 0.0)
+        out.append(m.tolist())
+    return out
+
+
+def _quantile_ms(samples: List[float], q: float) -> float:
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[idx] * 1000.0
+
+
+async def _cold_phase(host: str, port: int) -> List[float]:
+    """Sequential unique-matrix requests; returns per-request seconds."""
+    latencies: List[float] = []
+    async with AsyncMappingClient(host, port) as client:
+        # One throwaway solve first: the pool's worker processes spawn
+        # lazily, and that one-time cost is not a per-request latency.
+        await client.map_matrix(np.eye(THREADS)[::-1].tolist())
+        for matrix in _cold_matrices(COLD_MATRICES):
+            t0 = time.perf_counter()
+            result = await client.map_matrix(matrix)
+            latencies.append(time.perf_counter() - t0)
+            assert result.cache_state == "miss", result.cache_state
+    return latencies
+
+
+async def _warm_sequential(host: str, port: int, matrix) -> List[float]:
+    """Unloaded warm latency: one connection, repeated identical body."""
+    latencies: List[float] = []
+    async with AsyncMappingClient(host, port) as client:
+        await client.map_matrix(matrix)  # ensure cached
+        for _ in range(200):
+            t0 = time.perf_counter()
+            result = await client.map_matrix(matrix)
+            latencies.append(time.perf_counter() - t0)
+            assert result.cache_state == "body", result.cache_state
+    return latencies
+
+
+def _warm_matrix() -> List[List[float]]:
+    return [
+        [0.0 if i == j else (100.0 if i // 2 == j // 2 else 1.0)
+         for j in range(THREADS)]
+        for i in range(THREADS)
+    ]
+
+
+async def _warm_phase(host: str, port: int) -> List[float]:
+    """Concurrent repeated-body requests; returns per-request seconds."""
+    matrix = _warm_matrix()
+
+    async def one_connection(latencies: List[float]) -> None:
+        async with AsyncMappingClient(host, port) as client:
+            for _ in range(WARM_REQUESTS_PER_CONN):
+                t0 = time.perf_counter()
+                await client.map_matrix(matrix)
+                latencies.append(time.perf_counter() - t0)
+
+    # Prime the caches so the timed region is pure warm path.
+    async with AsyncMappingClient(host, port) as client:
+        await client.map_matrix(matrix)
+    latencies: List[float] = []
+    await asyncio.gather(
+        *(one_connection(latencies) for _ in range(WARM_CONNECTIONS))
+    )
+    return latencies
+
+
+async def _run_phases() -> Dict[str, float]:
+    config = ServiceConfig(
+        port=0,
+        workers=max(2, (os.cpu_count() or 2) // 2),
+        cache_entries=4096,
+        cache_ttl=0.0,  # no expiry mid-bench
+    )
+    service = MappingService(config)
+    server = MappingServer(service)
+    host, port = await server.start()
+    try:
+        cold = await _cold_phase(host, port)
+        warm_unloaded = await _warm_sequential(host, port, _warm_matrix())
+        warm_t0 = time.perf_counter()
+        warm = await _warm_phase(host, port)
+        warm_wall = time.perf_counter() - warm_t0
+    finally:
+        server.request_shutdown()
+        await server.serve_until_shutdown()
+    hit_rate = service.metrics.cache_hit_rate
+    return {
+        "threads": THREADS,
+        "cold_requests": len(cold),
+        "cold_mean_ms": statistics.fmean(cold) * 1000.0,
+        "cold_p50_ms": _quantile_ms(cold, 0.50),
+        "cold_p99_ms": _quantile_ms(cold, 0.99),
+        "warm_requests": len(warm),
+        "warm_connections": WARM_CONNECTIONS,
+        "warm_throughput_rps": len(warm) / warm_wall,
+        "warm_mean_ms": statistics.fmean(warm) * 1000.0,
+        "warm_p50_ms": _quantile_ms(warm, 0.50),
+        "warm_p99_ms": _quantile_ms(warm, 0.99),
+        "warm_unloaded_mean_ms": statistics.fmean(warm_unloaded) * 1000.0,
+        "cache_hit_rate": hit_rate,
+        "cache_speedup": statistics.fmean(cold) / statistics.fmean(warm_unloaded),
+    }
+
+
+def run_service_bench() -> Dict[str, float]:
+    """Run both phases, assert the floors, persist BENCH_service.json."""
+    stats = asyncio.run(_run_phases())
+    rps_floor = _floor("REPRO_BENCH_SERVICE_RPS_FLOOR", 500.0)
+    p99_floor_ms = _floor("REPRO_BENCH_SERVICE_P99_MS", 50.0)
+    speedup_floor = _floor("REPRO_BENCH_SERVICE_SPEEDUP_FLOOR", 10.0)
+    assert stats["warm_throughput_rps"] >= rps_floor, (
+        f"warm throughput {stats['warm_throughput_rps']:.0f} req/s "
+        f"below the {rps_floor:.0f} req/s floor"
+    )
+    assert stats["warm_p99_ms"] < p99_floor_ms, (
+        f"warm p99 {stats['warm_p99_ms']:.2f} ms breaches the "
+        f"{p99_floor_ms:.0f} ms ceiling"
+    )
+    assert stats["cache_speedup"] >= speedup_floor, (
+        f"cache hit speedup {stats['cache_speedup']:.1f}x below the "
+        f"{speedup_floor:.0f}x floor"
+    )
+    RESULT_PATH.write_text(
+        json.dumps(stats, sort_keys=True, indent=2) + "\n"
+    )
+    return stats
+
+
+def test_service_throughput(out_dir):
+    stats = run_service_bench()
+    from conftest import save_artifact
+
+    text = "\n".join(f"{k}: {v}" for k, v in sorted(stats.items()))
+    save_artifact(out_dir, "service_throughput.txt", text)
+
+
+if __name__ == "__main__":
+    for key, value in sorted(run_service_bench().items()):
+        print(f"{key}: {value}")

@@ -12,6 +12,7 @@ from repro.analysis.rules import (  # noqa: F401  (import-for-side-effect)
     rpl003_parity,
     rpl004_config,
     rpl005_hygiene,
+    rpl006_blocking,
 )
 
 __all__ = [
@@ -20,4 +21,5 @@ __all__ = [
     "rpl003_parity",
     "rpl004_config",
     "rpl005_hygiene",
+    "rpl006_blocking",
 ]

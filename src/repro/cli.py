@@ -13,6 +13,9 @@ Commands:
   TLB geometry, page size, L2 TLB, mapper comparison) and print the table.
 * ``lint`` — run the RPL static-analysis rules (determinism, engine
   parity; see :mod:`repro.analysis`).
+* ``serve`` — run the mapping-as-a-service HTTP front end
+  (``POST /map``, ``GET /healthz``, ``GET /metrics``; see
+  :mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -89,6 +92,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the RPL static-analysis rules (determinism, engine parity)",
     )
     add_lint_arguments(p)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the mapping service (POST /map, GET /healthz, GET /metrics)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787,
+                   help="listen port (0 = ephemeral; the chosen port is printed)")
+    p.add_argument("--workers", type=int, default=max(1, (os.cpu_count() or 2) // 2),
+                   help="solver process-pool size (0 = in-process worker thread)")
+    p.add_argument("--cache-entries", type=int, default=4096,
+                   help="LRU capacity of the result caches")
+    p.add_argument("--cache-ttl", type=float, default=300.0,
+                   help="seconds a cached result stays valid (<=0 disables expiry)")
+    p.add_argument("--batch-window-ms", type=float, default=2.0,
+                   help="micro-batch coalescing window in milliseconds")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="max solves dispatched per executor call")
+    p.add_argument("--max-pending", type=int, default=256,
+                   help="in-flight solve bound before requests get 429")
 
     p = sub.add_parser("ablate", help="run one ablation sweep")
     p.add_argument("sweep", choices=("sm-sampling", "hm-period",
@@ -182,6 +205,29 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.app import ServiceConfig
+    from repro.service.http import serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_entries=args.cache_entries,
+        cache_ttl=args.cache_ttl,
+        batch_window=args.batch_window_ms / 1000.0,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+    )
+    try:
+        asyncio.run(serve(config))
+    except KeyboardInterrupt:
+        pass  # Ctrl-C before the signal handler was installed
+    return 0
+
+
 def _cmd_ablate(args: argparse.Namespace) -> int:
     from repro.experiments import ablations
     from repro.util.render import format_table
@@ -238,6 +284,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_replay(args)
     if args.command == "ablate":
         return _cmd_ablate(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "lint":
         return run_lint_command(args)
     raise AssertionError(f"unhandled command {args.command!r}")

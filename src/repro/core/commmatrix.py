@@ -14,6 +14,12 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.util.render import ascii_heatmap
+from repro.util.validation import (
+    ValidationError,
+    check_finite_array,
+    check_non_negative_array,
+    check_square_array,
+)
 
 
 class CommunicationMatrix:
@@ -21,7 +27,7 @@ class CommunicationMatrix:
 
     def __init__(self, num_threads: int):
         if num_threads < 2:
-            raise ValueError("communication needs at least 2 threads")
+            raise ValidationError("communication needs at least 2 threads")
         self.num_threads = num_threads
         self._m = np.zeros((num_threads, num_threads), dtype=np.float64)
 
@@ -29,12 +35,17 @@ class CommunicationMatrix:
 
     @classmethod
     def from_array(cls, array: np.ndarray) -> "CommunicationMatrix":
-        """Wrap an existing square array (symmetrized, diagonal cleared)."""
-        a = np.asarray(array, dtype=np.float64)
-        if a.ndim != 2 or a.shape[0] != a.shape[1]:
-            raise ValueError(f"expected square array, got shape {a.shape}")
-        if np.any(a < 0):
-            raise ValueError("communication amounts must be non-negative")
+        """Wrap an existing square array (symmetrized, diagonal cleared).
+
+        The array is validated first: non-square shapes, NaN/Inf cells
+        and negative amounts raise a typed
+        :class:`~repro.util.validation.ValidationError` (a ``ValueError``
+        subclass) instead of silently propagating garbage into detectors
+        and solvers.
+        """
+        a = check_square_array("communication matrix", array)
+        check_finite_array("communication matrix", a)
+        check_non_negative_array("communication matrix", a)
         cm = cls(a.shape[0])
         sym = (a + a.T) / 2.0
         np.fill_diagonal(sym, 0.0)
@@ -157,8 +168,19 @@ class CommunicationMatrix:
 
     @classmethod
     def from_csv(cls, path: Union[str, Path]) -> "CommunicationMatrix":
-        """Load a matrix written by :meth:`to_csv` (validated on load)."""
-        return cls.from_array(np.loadtxt(path, delimiter=",", ndmin=2))
+        """Load a matrix written by :meth:`to_csv` (validated on load).
+
+        Unparseable files and files that parse into invalid matrices
+        (NaN/Inf, negative, non-square) raise
+        :class:`~repro.util.validation.ValidationError`.
+        """
+        try:
+            raw = np.loadtxt(path, delimiter=",", ndmin=2)
+        except (ValueError, OSError) as exc:
+            if isinstance(exc, FileNotFoundError):
+                raise
+            raise ValidationError(f"cannot parse {path} as a matrix: {exc}") from exc
+        return cls.from_array(raw)
 
     def check_invariants(self) -> None:
         """Assert symmetry / zero diagonal / non-negativity (tests, debug)."""

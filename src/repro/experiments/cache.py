@@ -27,6 +27,8 @@ import tempfile
 from pathlib import Path
 from typing import Any, Optional
 
+import numpy as np
+
 #: Bump when cached payloads become semantically incompatible (e.g. a
 #: SimResult field changes meaning).  Part of every key.
 CACHE_SCHEMA = 1
@@ -50,6 +52,18 @@ def _canonical(obj: Any) -> Any:
         return {str(k): _canonical(v) for k, v in obj.items()}
     if isinstance(obj, (list, tuple)):
         return [_canonical(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        # Arrays hash by exact contents: shape + dtype + a digest of the
+        # raw bytes (C-order), so equal-valued arrays key together and a
+        # single-bit change keys apart.  Used by the mapping service to
+        # key canonical communication matrices.
+        data = np.ascontiguousarray(obj)
+        return {
+            "__ndarray__": [list(data.shape), str(data.dtype)],
+            "sha256": hashlib.sha256(data.tobytes()).hexdigest(),
+        }
+    if isinstance(obj, (np.integer, np.floating, np.bool_)):
+        return obj.item()
     if isinstance(obj, (str, int, float, bool)) or obj is None:
         return obj
     return repr(obj)

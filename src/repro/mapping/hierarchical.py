@@ -17,6 +17,7 @@ exactly the paper's formula).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -24,6 +25,11 @@ import numpy as np
 from repro.core.commmatrix import CommunicationMatrix
 from repro.machine.topology import Topology
 from repro.mapping.blossom import max_weight_matching
+from repro.util.validation import (
+    check_finite_array,
+    check_non_negative_array,
+    check_square_array,
+)
 
 MatrixLike = Union[CommunicationMatrix, np.ndarray]
 Matcher = Callable[[np.ndarray], List[Tuple[int, int]]]
@@ -155,3 +161,59 @@ def hierarchical_mapping(
     if core > topology.num_cores:
         raise RuntimeError("group layout overflowed the core set")
     return mapping
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """An immutable thread→core assignment (the solver's result type).
+
+    ``assignment[t]`` is the core of thread ``t``.  Frozen and built
+    from plain ints so the object pickles byte-identically across
+    processes — the contract the service's process-pool workers and the
+    result cache rely on.
+    """
+
+    assignment: Tuple[int, ...]
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.assignment)
+
+    def as_list(self) -> List[int]:
+        """The assignment as a plain list (JSON-friendly)."""
+        return list(self.assignment)
+
+
+def solve_mapping(
+    comm: MatrixLike,
+    topology: Optional[Topology] = None,
+    matcher: Matcher = max_weight_matching,
+) -> Mapping:
+    """Pure, picklable entrypoint: communication matrix in, mapping out.
+
+    A side-effect-free wrapper around :func:`hierarchical_mapping`
+    designed to be shipped to worker processes: it validates the input
+    (square, finite, non-negative — a
+    :class:`~repro.util.validation.ValidationError` otherwise),
+    symmetrizes it the same way :class:`CommunicationMatrix` does, and
+    returns a frozen :class:`Mapping`.
+
+    Determinism: the result is a pure function of ``(matrix bytes,
+    topology)``.  Ties are broken deterministically — the blossom solver
+    scans edges in a fixed order and :func:`group_threads` sorts merged
+    groups by smallest member — so identical matrices yield
+    byte-identical ``Mapping`` objects in every process, every time.
+    Permutation-stability across *relabeled* inputs is the job of
+    :mod:`repro.service.canonical`, which feeds this solver canonical
+    matrices.
+    """
+    if isinstance(comm, CommunicationMatrix):
+        arr = comm.matrix
+    else:
+        arr = check_square_array("communication matrix", comm)
+        check_finite_array("communication matrix", arr)
+        check_non_negative_array("communication matrix", arr)
+        arr = (arr + arr.T) / 2.0
+        np.fill_diagonal(arr, 0.0)
+    assignment = hierarchical_mapping(arr, topology, matcher)
+    return Mapping(assignment=tuple(int(c) for c in assignment))

@@ -1,0 +1,305 @@
+"""The mapping service pipeline: validate → canonicalize → cache → solve.
+
+:class:`MappingService` is transport-agnostic — it maps raw request
+bodies to ``(status, headers, body)`` triples — so the HTTP layer stays
+a thin codec and tests can drive the pipeline directly.
+
+Request pipeline for ``POST /map``:
+
+1. **Exact-body cache** — a SHA-256 of the raw bytes keys previously
+   rendered responses; repeated identical requests cost one dict lookup
+   (and are byte-identical by construction).
+2. **Parse + validate** — JSON body with a ``matrix`` (list of rows)
+   and optional ``topology`` descriptor; structural garbage (NaN/Inf,
+   negative, non-square, oversized) becomes a typed 400, never a solver
+   crash.
+3. **Canonicalize** — permutation-stable form + hash
+   (:mod:`repro.service.canonical`); all relabelings of one matrix
+   share a single solve-cache entry.
+4. **Solve-cache / micro-batcher** — misses coalesce into batched
+   process-pool solves with single-flight dedup
+   (:mod:`repro.service.batcher`); a full queue surfaces as 429.
+5. **Render** — the canonical assignment is un-permuted back to the
+   request's thread order, quality metrics are computed against the
+   request's own matrix, and the response is serialized with sorted
+   keys so identical bodies yield identical bytes across restarts and
+   across pool workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.commmatrix import CommunicationMatrix
+from repro.machine.topology import Topology
+from repro.mapping.quality import mapping_quality
+from repro.service import worker
+from repro.service.batcher import Item, MicroBatcher, Overloaded
+from repro.service.cache import LRUTTLCache
+from repro.service.canonical import canonical_form, canonical_key, unpermute
+from repro.service.metrics import ServiceMetrics
+from repro.util.validation import ValidationError
+
+#: HTTP response triple: status, extra headers, body bytes.
+Response = Tuple[int, Dict[str, str], bytes]
+
+_JSON_SEPARATORS = (",", ":")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for one service instance (all read at start-up)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    #: Process-pool size for solves; 0 = single worker thread in-process
+    #: (tests and smoke runs — no pickling, deterministic, slower).
+    workers: int = 1
+    cache_entries: int = 4096
+    cache_ttl: float = 300.0
+    #: Micro-batch window in seconds: how long a cache miss may wait for
+    #: companions before its batch dispatches.
+    batch_window: float = 0.002
+    max_batch: int = 64
+    #: Distinct keys allowed in flight before requests get 429.
+    max_pending: int = 256
+    max_body_bytes: int = 8 * 1024 * 1024
+    max_threads: int = 256
+    max_cores: int = 1024
+    #: Seconds the server waits for in-flight requests on shutdown.
+    drain_timeout: float = 10.0
+
+
+class _BadRequest(Exception):
+    """Internal: request rejected at the validation boundary."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(message)
+        self.kind = kind
+
+
+class MappingService:
+    """The detection→mapping pipeline behind the HTTP front end."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+        solve_batch_fn: Callable[..., Any] = worker.solve_batch,
+    ):
+        self.config = config or ServiceConfig()
+        self.clock = clock
+        self.metrics = ServiceMetrics()
+        self._solve_batch_fn = solve_batch_fn
+        cfg = self.config
+        self._body_cache: LRUTTLCache[bytes] = LRUTTLCache(
+            cfg.cache_entries, cfg.cache_ttl, clock
+        )
+        self._solve_cache: LRUTTLCache[Tuple[int, ...]] = LRUTTLCache(
+            cfg.cache_entries, cfg.cache_ttl, clock
+        )
+        self._batcher = MicroBatcher(
+            self._dispatch,
+            max_batch=cfg.max_batch,
+            window=cfg.batch_window,
+            max_pending=cfg.max_pending,
+        )
+        self._executor: Optional[Executor] = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Create the solver executor (idempotent)."""
+        if self._executor is not None:
+            return
+        if self.config.workers > 0:
+            self._executor = ProcessPoolExecutor(max_workers=self.config.workers)
+        else:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-solve"
+            )
+
+    async def aclose(self) -> None:
+        """Drain in-flight solves, then shut the executor down."""
+        await self._batcher.drain()
+        if self._executor is not None:
+            executor, self._executor = self._executor, None
+            executor.shutdown(wait=True)
+
+    # -- request handling --------------------------------------------------------
+
+    async def handle_map(self, body: bytes) -> Response:
+        """Full pipeline for one ``POST /map`` body."""
+        self.metrics.mappings_total += 1
+        body_key = hashlib.sha256(body).hexdigest()
+        cached = self._body_cache.get(body_key)
+        if cached is not None:
+            self.metrics.body_cache_hits_total += 1
+            return 200, {"X-Repro-Cache": "body"}, cached
+        try:
+            matrix, topology, spec = self._parse(body)
+        except _BadRequest as exc:
+            self.metrics.validation_errors_total += 1
+            return 400, {}, _error_body(exc.kind, str(exc))
+        canon, perm = canonical_form(matrix)
+        key = canonical_key(canon, spec)
+        assignment = self._solve_cache.get(key)
+        if assignment is not None:
+            self.metrics.solve_cache_hits_total += 1
+            cache_state = "solve"
+        else:
+            self.metrics.solve_cache_misses_total += 1
+            cache_state = "miss"
+            payload = (canon.tobytes(), matrix.shape[0], spec)
+            try:
+                assignment = await self._batcher.submit(key, payload)
+            except Overloaded as exc:
+                self.metrics.rejected_total += 1
+                headers = {"Retry-After": str(max(1, int(exc.retry_after)))}
+                return 429, headers, _error_body("Overloaded", str(exc))
+        mapping = unpermute(assignment, perm)
+        quality = mapping_quality(matrix, mapping, topology)
+        response = {
+            "key": key,
+            "mapping": mapping,
+            "quality": {k: float(v) for k, v in sorted(quality.items())},
+            "threads": matrix.shape[0],
+            "topology": {
+                "cores_per_l2": spec[0],
+                "l2_per_chip": spec[1],
+                "chips": spec[2],
+            },
+        }
+        rendered = json.dumps(
+            response, sort_keys=True, separators=_JSON_SEPARATORS
+        ).encode("utf-8")
+        self._body_cache.put(body_key, rendered)
+        return 200, {"X-Repro-Cache": cache_state}, rendered
+
+    def healthz(self) -> Response:
+        """Liveness: ok plus a couple of cheap internals."""
+        payload = {
+            "status": "ok",
+            "pending_solves": self._batcher.pending,
+            "solve_cache_entries": len(self._solve_cache),
+        }
+        body = json.dumps(payload, sort_keys=True, separators=_JSON_SEPARATORS)
+        return 200, {}, body.encode("utf-8")
+
+    def render_metrics(self) -> Response:
+        """The Prometheus text exposition (batcher counters folded in)."""
+        m = self.metrics
+        m.batches_total = self._batcher.batches_dispatched
+        m.solves_total = self._batcher.items_dispatched
+        m.coalesced_total = self._batcher.coalesced
+        return 200, {"Content-Type": "text/plain; charset=utf-8"}, m.render().encode("utf-8")
+
+    # -- internals ---------------------------------------------------------------
+
+    def _parse(
+        self, body: bytes
+    ) -> Tuple[np.ndarray, Topology, worker.TopoSpec]:
+        """Decode and validate a /map body; raises :class:`_BadRequest`."""
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _BadRequest("InvalidJSON", f"body is not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise _BadRequest("InvalidRequest", "body must be a JSON object")
+        unknown = set(doc) - {"matrix", "topology"}
+        if unknown:
+            raise _BadRequest(
+                "InvalidRequest", f"unknown field(s): {sorted(unknown)}"
+            )
+        if "matrix" not in doc:
+            raise _BadRequest("InvalidRequest", "missing required field 'matrix'")
+        spec = self._parse_topology(doc.get("topology"))
+        try:
+            raw = np.asarray(doc["matrix"], dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise _BadRequest(
+                "ValidationError", f"matrix is not a numeric 2-D array: {exc}"
+            ) from exc
+        n = raw.shape[0] if raw.ndim >= 1 else 0
+        if raw.ndim != 2 or raw.shape[0] != raw.shape[1]:
+            raise _BadRequest(
+                "ValidationError",
+                f"matrix must be square, got shape {tuple(raw.shape)}",
+            )
+        if n > self.config.max_threads:
+            raise _BadRequest(
+                "ValidationError",
+                f"matrix has {n} threads, limit is {self.config.max_threads}",
+            )
+        try:
+            cm = CommunicationMatrix.from_array(raw)
+        except ValidationError as exc:
+            raise _BadRequest("ValidationError", str(exc)) from exc
+        topology = worker.topology_from_spec(spec)
+        if n > topology.num_cores:
+            raise _BadRequest(
+                "ValidationError",
+                f"{n} threads will not fit on {topology.num_cores} cores "
+                "(one thread per core)",
+            )
+        return cm.matrix, topology, spec
+
+    def _parse_topology(self, doc: Any) -> worker.TopoSpec:
+        if doc is None:
+            return (2, 2, 2)  # the paper's Harpertown shape
+        if not isinstance(doc, dict):
+            raise _BadRequest("InvalidRequest", "topology must be a JSON object")
+        unknown = set(doc) - {"cores_per_l2", "l2_per_chip", "chips"}
+        if unknown:
+            raise _BadRequest(
+                "InvalidRequest", f"unknown topology field(s): {sorted(unknown)}"
+            )
+        spec: List[int] = []
+        for field in ("cores_per_l2", "l2_per_chip", "chips"):
+            value = doc.get(field, 2)  # omitted fields: Harpertown shape
+            if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+                raise _BadRequest(
+                    "ValidationError",
+                    f"topology.{field} must be a positive integer, got {value!r}",
+                )
+            spec.append(value)
+        cores = spec[0] * spec[1] * spec[2]
+        if cores > self.config.max_cores:
+            raise _BadRequest(
+                "ValidationError",
+                f"topology has {cores} cores, limit is {self.config.max_cores}",
+            )
+        return (spec[0], spec[1], spec[2])
+
+    async def _dispatch(self, items: List[Item]) -> Dict[str, Any]:
+        """Run one micro-batch on the executor; populate the solve cache."""
+        if self._executor is None:
+            await self.start()
+        batch: List[worker.SolveItem] = [
+            (key, payload[0], payload[1], payload[2]) for key, payload in items
+        ]
+        loop = asyncio.get_running_loop()
+        results = await loop.run_in_executor(
+            self._executor, self._solve_batch_fn, batch
+        )
+        out: Dict[str, Any] = {}
+        for key, assignment in results:
+            assignment = tuple(int(c) for c in assignment)
+            self._solve_cache.put(key, assignment)
+            out[key] = assignment
+        return out
+
+
+def _error_body(kind: str, message: str) -> bytes:
+    payload = {"error": {"type": kind, "message": message}}
+    return json.dumps(payload, sort_keys=True, separators=_JSON_SEPARATORS).encode(
+        "utf-8"
+    )

@@ -1,0 +1,132 @@
+"""Single-flight micro-batcher for cache-miss solves.
+
+Solves are CPU-bound (an O(n³) blossom matching per hierarchy level)
+and must never run on the event loop.  The batcher sits between the
+request handlers and the process pool:
+
+* **Single-flight** — concurrent requests for the same canonical key
+  share one future; N identical cache misses cost exactly one solve.
+* **Micro-batching** — distinct keys arriving within ``window`` seconds
+  (or until ``max_batch`` accumulate) are dispatched as *one* executor
+  call, amortizing inter-process serialization across the batch.
+* **Backpressure** — at most ``max_pending`` keys may be in flight;
+  beyond that :class:`Overloaded` is raised for the HTTP layer to turn
+  into ``429 Retry-After``.
+
+The batcher is event-loop-confined: all bookkeeping happens on the
+loop, only the dispatch awaitable (an executor call) leaves it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Set, Tuple
+
+#: One queued solve: (canonical key, opaque payload handed to dispatch).
+Item = Tuple[str, Any]
+#: Dispatch callable: a batch of items in, {key: result} out.
+Dispatch = Callable[[List[Item]], Awaitable[Dict[str, Any]]]
+
+
+class Overloaded(Exception):
+    """The pending-solve queue is full; the caller should retry later."""
+
+    def __init__(self, pending: int, retry_after: float = 1.0):
+        super().__init__(f"solve queue full ({pending} pending)")
+        self.pending = pending
+        self.retry_after = retry_after
+
+
+class MicroBatcher:
+    """Coalesce concurrent solve requests into batched dispatches."""
+
+    def __init__(
+        self,
+        dispatch: Dispatch,
+        max_batch: int = 64,
+        window: float = 0.002,
+        max_pending: int = 256,
+    ):
+        self._dispatch = dispatch
+        self.max_batch = max(1, max_batch)
+        self.window = max(0.0, window)
+        self.max_pending = max(1, max_pending)
+        self._inflight: Dict[str, "asyncio.Future[Any]"] = {}
+        self._queue: List[Item] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._tasks: Set["asyncio.Task[None]"] = set()
+        self.batches_dispatched = 0
+        self.items_dispatched = 0
+        self.coalesced = 0
+
+    @property
+    def pending(self) -> int:
+        """Keys currently queued or being solved."""
+        return len(self._inflight)
+
+    async def submit(self, key: str, payload: Any) -> Any:
+        """Result for ``key``, solving at most once per in-flight key.
+
+        Raises :class:`Overloaded` when ``max_pending`` distinct keys
+        are already in flight (joining an existing key never rejects).
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.coalesced += 1
+            return await _wait(existing)
+        if len(self._inflight) >= self.max_pending:
+            raise Overloaded(len(self._inflight))
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Any]" = loop.create_future()
+        self._inflight[key] = future
+        self._queue.append((key, payload))
+        if len(self._queue) >= self.max_batch:
+            self._flush()
+        elif self._timer is None:
+            self._timer = loop.call_later(self.window, self._flush)
+        return await _wait(future)
+
+    def _flush(self) -> None:
+        """Dispatch the queued items as one batch task."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._queue:
+            return
+        items, self._queue = self._queue, []
+        task = asyncio.get_running_loop().create_task(self._run_batch(items))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run_batch(self, items: List[Item]) -> None:
+        self.batches_dispatched += 1
+        self.items_dispatched += len(items)
+        try:
+            results = await self._dispatch(items)
+        except Exception as exc:  # noqa: BLE001 — fan the failure out to waiters
+            for key, _payload in items:
+                future = self._inflight.pop(key, None)
+                if future is not None and not future.done():
+                    future.set_exception(exc)
+            return
+        for key, _payload in items:
+            future = self._inflight.pop(key, None)
+            if future is None or future.done():
+                continue
+            if key in results:
+                future.set_result(results[key])
+            else:
+                future.set_exception(
+                    RuntimeError(f"dispatch returned no result for key {key}")
+                )
+
+    async def drain(self) -> None:
+        """Flush the queue and wait for every in-flight batch to finish."""
+        self._flush()
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+
+async def _wait(future: "asyncio.Future[Any]") -> Any:
+    """Await a shared future without cancelling it if *this* waiter dies."""
+    return await asyncio.shield(future)

@@ -1,0 +1,91 @@
+"""In-memory LRU + TTL cache for mapping results.
+
+Two instances front the service pipeline: an exact-body cache (raw
+request bytes → rendered response bytes, the hot path for repeated
+identical requests) and a canonical-solve cache (canonical matrix key →
+assignment, shared by all permutations of a matrix).
+
+The clock is injected — ``clock()`` must be a monotonic seconds counter
+— so TTL behavior is deterministic under test and the module performs
+no wall-clock reads of its own (the repo-wide RPL002 determinism rule).
+Single-threaded by design: every access happens on the event loop, so
+no locking is needed.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable, Generic, Optional, Tuple, TypeVar
+
+V = TypeVar("V")
+
+
+class LRUTTLCache(Generic[V]):
+    """Bounded mapping with least-recently-used eviction and expiry.
+
+    Args:
+        max_entries: capacity; inserting beyond it evicts the LRU entry.
+        ttl: seconds an entry stays valid; ``None`` or ``<= 0`` disables
+            expiry.
+        clock: monotonic seconds source (injected for tests).
+    """
+
+    def __init__(
+        self,
+        max_entries: int,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.ttl = ttl if ttl is not None and ttl > 0 else None
+        self._clock = clock
+        self._data: "OrderedDict[str, Tuple[V, float]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def get(self, key: str) -> Optional[V]:
+        """Value for ``key``, or None on miss/expiry (counts either way)."""
+        entry = self._data.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        value, expires = entry
+        if expires and self._clock() >= expires:
+            del self._data[key]
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: V) -> None:
+        """Insert/refresh ``key``; evicts the LRU entry when full."""
+        expires = (self._clock() + self.ttl) if self.ttl else 0.0
+        if key in self._data:
+            del self._data[key]
+        elif len(self._data) >= self.max_entries:
+            self._data.popitem(last=False)
+            self.evictions += 1
+        self._data[key] = (value, expires)
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss/eviction counters are kept)."""
+        self._data.clear()
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

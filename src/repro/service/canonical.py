@@ -1,0 +1,168 @@
+"""Permutation-stable canonicalization of communication matrices.
+
+Two clients observing the same application under different thread
+numberings send matrices that are permutations of each other:
+``B = A[π][:, π]``.  The mapping problem is equivariant — the optimal
+mapping for ``B`` is the optimal mapping for ``A`` with threads
+relabeled — so the service solves only *canonical forms* and caches by
+their hash; each request's answer is recovered by undoing the request's
+own permutation.
+
+The canonical ordering is computed in two stages:
+
+1. **Weighted color refinement** (1-dimensional Weisfeiler–Leman):
+   every thread starts with a signature derived from its row sum, then
+   each round folds in the multiset of ``(edge weight, neighbor
+   signature)`` pairs, until the partition into signature classes
+   stabilizes.
+2. **Greedy individualization**: threads are placed one at a time; each
+   unplaced thread is keyed by its weights to the already-placed
+   threads *in placement order* (heaviest-first), then by its WL
+   signature, and the lexicographically smallest key is placed next.
+   This discriminates WL-uniform but structured patterns — e.g. the
+   paper's pairwise pattern, where every thread has an identical
+   neighborhood multiset but placement immediately separates a thread's
+   partner from the rest — and unfolds the order along the heaviest
+   links out of the placed prefix, so ties between threads the prefix
+   cannot yet see are deferred until structure reaches them.
+
+Stability contract: whenever the per-step ties are genuine
+automorphisms of the placed prefix (empirically true for the
+communication patterns the paper studies: pairwise, 1-D and 2-D
+nearest-neighbour, rings, all-to-all, master–slave), every permutation
+of a matrix reaches the *same* canonical form, so all of them share one
+cache entry.  For adversarial inputs whose tied threads are not
+interchangeable, permutations may land in different cache entries — a
+cache-efficiency loss only, never a correctness loss, because each
+entry is solved from its own exact bytes.
+
+Hashing feeds :func:`repro.experiments.cache.config_key`, the same
+config-hash machinery the experiment runner's on-disk cache uses, so a
+key is a stable function of (schema, canonical bytes, topology).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.experiments.cache import config_key
+
+#: Bump when the canonicalization or response semantics change, so stale
+#: cache entries (in-memory only, but also any future shared tier) are
+#: never reused across incompatible versions.
+SERVICE_SCHEMA = 1
+
+
+_LITTLE_ENDIAN = np.little_endian
+
+
+def _weight_bytes(w: float) -> bytes:
+    """A weight as 8 bytes whose lexicographic order is *descending* numeric.
+
+    Big-endian IEEE-754 bytes order non-negative doubles numerically;
+    inverting the bits flips that, so heavier edges sort first.  Greedy
+    individualization therefore attaches each new thread to the heaviest
+    link into the placed prefix — the structurally meaningful choice
+    (e.g. a thread's pair partner, a ring neighbour).  Weights are
+    non-negative by validation.
+    """
+    raw = np.float64(w).tobytes()[::-1] if _LITTLE_ENDIAN else np.float64(w).tobytes()
+    return bytes(0xFF - b for b in raw)
+
+
+def _partition(sigs: List[bytes]) -> List[Tuple[int, ...]]:
+    """The signature classes as a canonical list of index tuples."""
+    groups: dict = {}
+    for i, s in enumerate(sigs):
+        groups.setdefault(s, []).append(i)
+    return sorted(tuple(v) for v in groups.values())
+
+
+def _refine_signatures(m: np.ndarray) -> List[bytes]:
+    """Weighted 1-WL refinement; returns one stable signature per thread."""
+    n = m.shape[0]
+    # Initial signature: the sorted multiset of the row's exact weights.
+    # (Not the row *sum* — float addition is order-sensitive, so a
+    # permuted copy could sum to a different last ULP and split the
+    # partition spuriously.)
+    sigs = []
+    for i in range(n):
+        h = hashlib.sha256(b"row\x00")
+        for item in sorted(_weight_bytes(m[i, j]) for j in range(n) if j != i):
+            h.update(item)
+        sigs.append(h.digest())
+    classes = _partition(sigs)
+    for _ in range(n):
+        nxt: List[bytes] = []
+        for i in range(n):
+            h = hashlib.sha256()
+            h.update(sigs[i])
+            neighbors = sorted(
+                _weight_bytes(m[i, j]) + sigs[j]
+                for j in range(n)
+                if j != i
+            )
+            for item in neighbors:
+                h.update(item)
+            nxt.append(h.digest())
+        nxt_classes = _partition(nxt)
+        if nxt_classes == classes:
+            return nxt
+        sigs, classes = nxt, nxt_classes
+    return sigs
+
+
+def canonical_form(matrix: np.ndarray) -> Tuple[np.ndarray, Tuple[int, ...]]:
+    """Canonical matrix and the permutation that produced it.
+
+    Returns ``(canon, perm)`` with ``canon[i, j] == matrix[perm[i],
+    perm[j]]`` — i.e. canonical slot ``i`` holds original thread
+    ``perm[i]``.  ``matrix`` must already be validated (square, finite,
+    symmetric); this function is pure and allocation-only.
+    """
+    m = np.asarray(matrix, dtype=np.float64)
+    n = m.shape[0]
+    sigs = _refine_signatures(m)
+    # Greedy individualization: a thread's key is its weights to the
+    # already-placed threads in placement order (heaviest-first byte
+    # encoding), then its WL signature.  Connectivity outranks the
+    # signature so the order unfolds along the heaviest links out of the
+    # placed prefix — the tie-relevant structure — instead of jumping to
+    # whichever disconnected WL class happens to hash lowest.  Keys stay
+    # equal-length, making the lexicographic min well defined.
+    keys: List[bytearray] = [bytearray() for _ in range(n)]
+    remaining = list(range(n))
+    order: List[int] = []
+    while remaining:
+        pick = min(remaining, key=lambda i: (bytes(keys[i]) + sigs[i], i))
+        remaining.remove(pick)
+        order.append(pick)
+        for i in remaining:
+            keys[i] += _weight_bytes(m[i, pick])
+    perm = tuple(order)
+    canon = np.ascontiguousarray(m[np.ix_(perm, perm)])
+    return canon, perm
+
+
+def canonical_key(canon: np.ndarray, topo_spec: Tuple[int, int, int]) -> str:
+    """Cache key for a canonical matrix on a given topology shape.
+
+    ``topo_spec`` is ``(cores_per_l2, l2_per_chip, chips)`` — the only
+    topology degrees of freedom the mapper reads.
+    """
+    return config_key("repro.service.map", SERVICE_SCHEMA, list(topo_spec), canon)
+
+
+def unpermute(canon_assignment: Tuple[int, ...], perm: Tuple[int, ...]) -> List[int]:
+    """Translate a canonical-order assignment back to original thread ids.
+
+    ``canon_assignment[c]`` is the core of canonical slot ``c``, which
+    holds original thread ``perm[c]``.
+    """
+    mapping = [0] * len(perm)
+    for c, core in enumerate(canon_assignment):
+        mapping[perm[c]] = int(core)
+    return mapping

@@ -1,0 +1,178 @@
+"""Stdlib asyncio client for the mapping service.
+
+One client holds one keep-alive connection (reconnecting transparently
+if the server closed it) — the shape the load harness fans out N of.
+Typed errors mirror the service's contract: :class:`ServiceOverloaded`
+carries ``Retry-After`` so callers can implement backoff, every other
+non-200 raises :class:`ServiceError` with the decoded error payload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.commmatrix import CommunicationMatrix
+
+MatrixLike = Union[CommunicationMatrix, np.ndarray, Sequence[Sequence[float]]]
+
+
+class ServiceError(Exception):
+    """Non-200 answer from the service."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]):
+        error = payload.get("error", {}) if isinstance(payload, dict) else {}
+        message = error.get("message", f"HTTP {status}")
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceOverloaded(ServiceError):
+    """429 — the solve queue is full; retry after ``retry_after`` seconds."""
+
+    def __init__(self, status: int, payload: Dict[str, Any], retry_after: float):
+        super().__init__(status, payload)
+        self.retry_after = retry_after
+
+
+class MapResult:
+    """Decoded ``POST /map`` answer."""
+
+    __slots__ = ("mapping", "quality", "key", "cache_state", "raw")
+
+    def __init__(self, payload: Dict[str, Any], cache_state: str, raw: bytes):
+        self.mapping: List[int] = list(payload["mapping"])
+        self.quality: Dict[str, float] = dict(payload["quality"])
+        self.key: str = payload["key"]
+        self.cache_state = cache_state  # "body" | "solve" | "miss"
+        self.raw = raw  # exact response bytes (determinism checks)
+
+
+class AsyncMappingClient:
+    """Keep-alive HTTP/1.1 client for one service endpoint."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def __aenter__(self) -> "AsyncMappingClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *_exc: Any) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        """Open the TCP connection (idempotent; auto-called by requests)."""
+        if self._writer is not None:
+            return
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        """Close the connection, swallowing already-reset sockets."""
+        if self._writer is not None:
+            writer, self._writer, self._reader = self._writer, None, None
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    # -- endpoints ---------------------------------------------------------------
+
+    async def map_matrix(
+        self,
+        matrix: MatrixLike,
+        topology: Optional[Dict[str, int]] = None,
+    ) -> MapResult:
+        """Request a mapping; raises typed errors on non-200."""
+        if isinstance(matrix, CommunicationMatrix):
+            rows = matrix.matrix.tolist()
+        else:
+            rows = np.asarray(matrix, dtype=float).tolist()
+        doc: Dict[str, Any] = {"matrix": rows}
+        if topology is not None:
+            doc["topology"] = topology
+        body = json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        status, headers, raw = await self.request("POST", "/map", body)
+        payload = json.loads(raw.decode("utf-8"))
+        if status == 429:
+            retry_after = float(headers.get("retry-after", "1"))
+            raise ServiceOverloaded(status, payload, retry_after)
+        if status != 200:
+            raise ServiceError(status, payload)
+        return MapResult(payload, headers.get("x-repro-cache", "miss"), raw)
+
+    async def healthz(self) -> Dict[str, Any]:
+        """GET /healthz; returns the liveness document."""
+        status, _headers, raw = await self.request("GET", "/healthz")
+        payload = json.loads(raw.decode("utf-8"))
+        if status != 200:
+            raise ServiceError(status, payload)
+        return payload
+
+    async def metrics(self) -> str:
+        """GET /metrics; returns the Prometheus-style text exposition."""
+        status, _headers, raw = await self.request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(status, json.loads(raw.decode("utf-8")))
+        return raw.decode("utf-8")
+
+    # -- wire protocol -----------------------------------------------------------
+
+    async def request(
+        self, method: str, path: str, body: bytes = b""
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One round trip; reconnects once if the kept-alive peer vanished."""
+        await self.connect()
+        try:
+            return await self._roundtrip(method, path, body)
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            await self.close()
+            await self.connect()
+            return await self._roundtrip(method, path, body)
+
+    async def _roundtrip(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        assert self._reader is not None and self._writer is not None
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        self._writer.write(head + body)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise asyncio.IncompleteReadError(partial=b"", expected=1)
+        parts = status_line.decode("latin-1").split(None, 2)
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await self._reader.readline()
+            if raw in (b"\r\n", b"\n"):
+                break
+            if not raw:
+                raise asyncio.IncompleteReadError(partial=b"", expected=1)
+            name, _sep, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        payload = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return status, headers, payload

@@ -1,0 +1,80 @@
+"""Service counters and their Prometheus-style text rendering.
+
+All counters are plain ints (the repo's counter-hygiene rule RPL005:
+bit-exact comparison needs integer counters); latency quantiles are
+derived from a bounded reservoir of recent observations and exposed as
+gauges.  The clock is injected by the owner — this module never reads
+wall time itself.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+
+class ServiceMetrics:
+    """Mutable counter set for one service instance."""
+
+    def __init__(self, latency_window: int = 2048):
+        self.requests_total = 0
+        self.mappings_total = 0
+        self.body_cache_hits_total = 0
+        self.solve_cache_hits_total = 0
+        self.solve_cache_misses_total = 0
+        self.solves_total = 0
+        self.batches_total = 0
+        self.coalesced_total = 0
+        self.rejected_total = 0
+        self.validation_errors_total = 0
+        self.http_errors_total = 0
+        self.inflight = 0
+        self._latency_ms: Deque[float] = deque(maxlen=latency_window)
+
+    def observe_latency_ms(self, value: float) -> None:
+        """Record one request latency into the quantile reservoir."""
+        self._latency_ms.append(value)
+
+    def latency_quantile_ms(self, q: float) -> float:
+        """Quantile over the recent-latency reservoir (0.0 when empty)."""
+        if not self._latency_ms:
+            return 0.0
+        ordered = sorted(self._latency_ms)
+        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[idx]
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of mapping requests answered without a fresh solve."""
+        served = self.body_cache_hits_total + self.solve_cache_hits_total
+        total = served + self.solve_cache_misses_total
+        return served / total if total else 0.0
+
+    def render(self) -> str:
+        """Prometheus text exposition of every counter and gauge."""
+        rows: List[Tuple[str, str, float]] = [
+            ("requests_total", "counter", self.requests_total),
+            ("mappings_total", "counter", self.mappings_total),
+            ("body_cache_hits_total", "counter", self.body_cache_hits_total),
+            ("solve_cache_hits_total", "counter", self.solve_cache_hits_total),
+            ("solve_cache_misses_total", "counter", self.solve_cache_misses_total),
+            ("solves_total", "counter", self.solves_total),
+            ("batches_total", "counter", self.batches_total),
+            ("coalesced_total", "counter", self.coalesced_total),
+            ("rejected_total", "counter", self.rejected_total),
+            ("validation_errors_total", "counter", self.validation_errors_total),
+            ("http_errors_total", "counter", self.http_errors_total),
+            ("inflight", "gauge", self.inflight),
+            ("cache_hit_rate", "gauge", self.cache_hit_rate),
+            ("latency_p50_ms", "gauge", self.latency_quantile_ms(0.50)),
+            ("latency_p99_ms", "gauge", self.latency_quantile_ms(0.99)),
+        ]
+        lines: List[str] = []
+        for name, kind, value in rows:
+            full = f"repro_service_{name}"
+            lines.append(f"# TYPE {full} {kind}")
+            if isinstance(value, int):
+                lines.append(f"{full} {value}")
+            else:
+                lines.append(f"{full} {value:.6f}")
+        return "\n".join(lines) + "\n"

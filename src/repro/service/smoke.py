@@ -1,0 +1,108 @@
+"""End-to-end smoke check: boot ``repro serve``, round-trip, SIGTERM.
+
+Run via ``make serve-smoke`` (wired into ``make ci``) or directly::
+
+    PYTHONPATH=src python -m repro.service.smoke
+
+Boots the real server as a subprocess on an ephemeral port, round-trips
+one mapping through the async client, checks ``/healthz`` and
+``/metrics``, then sends SIGTERM and requires a clean (exit 0) drain.
+Exit status is 0 on success — the CI contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import re
+import signal
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.service.client import AsyncMappingClient
+
+_LISTEN_RE = re.compile(r"listening on http://([0-9.]+):(\d+)")
+
+#: An 8-thread pair pattern: threads (2t, 2t+1) communicate heavily.
+_SMOKE_MATRIX: List[List[float]] = [
+    [0.0 if i == j else (100.0 if i // 2 == j // 2 else 1.0) for j in range(8)]
+    for i in range(8)
+]
+
+
+def _server_command() -> List[str]:
+    return [
+        sys.executable, "-m", "repro", "serve",
+        "--host", "127.0.0.1", "--port", "0", "--workers", "1",
+    ]
+
+
+def _server_env() -> dict:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+async def _roundtrip(port: int) -> None:
+    async with AsyncMappingClient("127.0.0.1", port) as client:
+        result = await asyncio.wait_for(client.map_matrix(_SMOKE_MATRIX), timeout=30)
+        assert sorted(result.mapping) == sorted(set(result.mapping)), (
+            f"mapping is not injective: {result.mapping}"
+        )
+        assert len(result.mapping) == 8
+        # The pair pattern must land every heavy pair on a shared L2.
+        assert result.quality["same_l2"] > 0.9, result.quality
+        again = await asyncio.wait_for(client.map_matrix(_SMOKE_MATRIX), timeout=30)
+        assert again.raw == result.raw, "identical request bodies must match bytes"
+        assert again.cache_state == "body", again.cache_state
+        health = await asyncio.wait_for(client.healthz(), timeout=10)
+        assert health["status"] == "ok", health
+        metrics = await asyncio.wait_for(client.metrics(), timeout=10)
+        assert "repro_service_requests_total" in metrics
+        assert "repro_service_body_cache_hits_total 1" in metrics, metrics
+
+
+def main(timeout: float = 60.0) -> int:
+    """Run the smoke sequence; returns a process exit code."""
+    proc = subprocess.Popen(
+        _server_command(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=_server_env(),
+        text=True,
+    )
+    port: Optional[int] = None
+    try:
+        assert proc.stdout is not None
+        line = proc.stdout.readline()
+        match = _LISTEN_RE.search(line or "")
+        if match is None:
+            proc.kill()
+            tail = (line or "") + (proc.stdout.read() or "")
+            print(f"serve-smoke: server did not announce a port:\n{tail}")
+            return 1
+        port = int(match.group(2))
+        asyncio.run(_roundtrip(port))
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=timeout)
+        if code != 0:
+            print(f"serve-smoke: server exited {code} after SIGTERM")
+            return 1
+        print(f"serve-smoke: OK (port {port}, clean SIGTERM drain)")
+        return 0
+    except Exception as exc:  # noqa: BLE001 — report, kill, fail the gate
+        print(f"serve-smoke: FAILED: {type(exc).__name__}: {exc}")
+        proc.kill()
+        return 1
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

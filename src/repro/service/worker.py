@@ -1,0 +1,48 @@
+"""The picklable solve entrypoint that runs inside pool workers.
+
+One executor call carries a whole micro-batch: matrices travel as raw
+float64 bytes (cheap to pickle, reconstructed with ``np.frombuffer``),
+topologies as their three structural integers.  Everything here must
+stay importable at module top level and free of process-local state so
+results are byte-identical no matter which worker solves them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.machine.topology import Topology
+from repro.mapping.hierarchical import solve_mapping
+
+#: (cores_per_l2, l2_per_chip, chips) — the structural topology shape.
+TopoSpec = Tuple[int, int, int]
+
+#: One batched solve request: (key, matrix bytes, n, topology shape).
+SolveItem = Tuple[str, bytes, int, TopoSpec]
+
+
+def topology_from_spec(spec: TopoSpec) -> Topology:
+    """Rebuild a structural topology (default cache geometry) from its spec."""
+    cores_per_l2, l2_per_chip, chips = spec
+    return Topology(
+        cores_per_l2=int(cores_per_l2),
+        l2_per_chip=int(l2_per_chip),
+        chips=int(chips),
+    )
+
+
+def solve_batch(items: List[SolveItem]) -> List[Tuple[str, Tuple[int, ...]]]:
+    """Solve every item; returns (key, assignment) pairs in input order.
+
+    Pure function of its arguments: no RNG, no clock, no globals — the
+    determinism contract that makes results byte-identical across pool
+    workers and across service restarts.
+    """
+    out: List[Tuple[str, Tuple[int, ...]]] = []
+    for key, raw, n, spec in items:
+        matrix = np.frombuffer(raw, dtype=np.float64).reshape(n, n)
+        mapping = solve_mapping(matrix, topology_from_spec(spec))
+        out.append((key, mapping.assignment))
+    return out

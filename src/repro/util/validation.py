@@ -4,13 +4,62 @@ Hardware-model parameters (cache geometry, TLB geometry, page sizes) have
 structural constraints — power-of-two sizes, positive counts — that are
 easy to violate silently.  These helpers fail fast with the parameter name
 in the message.
+
+Array-shaped inputs (communication matrices arriving from CSV files or
+the mapping service's HTTP boundary) get the same treatment: the
+``check_*_array`` helpers reject NaN/Inf, negative cells and non-square
+shapes with a typed :class:`ValidationError`, so callers can distinguish
+"the input is garbage" (reject the request) from a programming error.
 """
 
 from __future__ import annotations
 
 from typing import Union
 
+import numpy as np
+
 Number = Union[int, float]
+
+
+class ValidationError(ValueError):
+    """An input failed structural validation (bad shape, NaN/Inf, sign).
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    callers keep working; boundary layers (the mapping service, CSV
+    loaders) catch this type specifically to turn garbage input into a
+    clean client-facing error instead of propagating it into the solver.
+    """
+
+
+def check_square_array(name: str, array: "np.ndarray") -> "np.ndarray":
+    """Require a 2-D square float array; returns it as float64."""
+    a = np.asarray(array, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValidationError(
+            f"{name} must be a square 2-D array, got shape {a.shape}"
+        )
+    return a
+
+
+def check_finite_array(name: str, array: "np.ndarray") -> "np.ndarray":
+    """Reject NaN and ±Inf cells (they would silently poison any solve)."""
+    a = np.asarray(array, dtype=np.float64)
+    if not np.all(np.isfinite(a)):
+        bad = int(np.size(a) - np.count_nonzero(np.isfinite(a)))
+        raise ValidationError(
+            f"{name} must be finite, found {bad} NaN/Inf cell(s)"
+        )
+    return a
+
+
+def check_non_negative_array(name: str, array: "np.ndarray") -> "np.ndarray":
+    """Reject negative cells (communication amounts are magnitudes)."""
+    a = np.asarray(array, dtype=np.float64)
+    if np.any(a < 0):
+        raise ValidationError(
+            f"{name} must be non-negative, found minimum {a.min()!r}"
+        )
+    return a
 
 
 def check_positive(name: str, value: Number) -> Number:

@@ -1,0 +1,25 @@
+"""Fixture: RPL006 must flag blocking calls inside ``async def``."""
+
+import subprocess
+import time
+import urllib.request
+
+
+async def handler() -> bytes:
+    time.sleep(0.1)
+    return b"ok"
+
+
+async def launcher() -> int:
+    proc = subprocess.run(["true"], check=False)
+    return proc.returncode
+
+
+async def fetcher(url: str) -> bytes:
+    with urllib.request.urlopen(url) as response:
+        return response.read()
+
+
+async def loader(path: str) -> str:
+    with open(path) as fh:
+        return fh.read()

@@ -1,0 +1,24 @@
+"""Fixture: RPL006 must pass async code that defers blocking work."""
+
+import asyncio
+
+
+async def handler() -> bytes:
+    await asyncio.sleep(0.1)
+    return b"ok"
+
+
+async def loader(path: str) -> str:
+    def read_sync() -> str:
+        # Blocking IO inside a nested *sync* def is fine: it runs on
+        # the executor, not the event loop.
+        with open(path) as fh:
+            return fh.read()
+
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, read_sync)
+
+
+def sync_helper(path: str) -> str:
+    with open(path) as fh:
+        return fh.read()

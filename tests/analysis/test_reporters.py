@@ -21,6 +21,7 @@ SNAPSHOT_CONFIG = dict(
         "sim-result-class": "FixtureResult",
     },
     rpl004={"config-classes": ["FixtureConfig"]},
+    rpl006={"paths": ["rpl006_*.py"]},
 )
 
 
@@ -59,7 +60,7 @@ class TestJsonReporter:
         assert payload["total"] == len(findings)
         assert sum(payload["counts"].values()) == payload["total"]
         assert {f["rule"] for f in payload["findings"]} == {
-            "RPL001", "RPL002", "RPL003", "RPL004", "RPL005",
+            "RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006",
         }
 
     def test_snapshot(self):

@@ -126,6 +126,38 @@ class TestRPL005:
         assert lint_fixture("rpl005_ok.py", fixture_config()) == []
 
 
+RPL006 = {"paths": ["rpl006_*.py"]}
+
+
+class TestRPL006:
+    def test_flags_blocking_calls_in_async_defs(self):
+        findings = lint_fixture("rpl006_bad.py", fixture_config(rpl006=RPL006))
+        assert rule_ids(findings) == {"RPL006"}
+        messages = [f.message for f in findings]
+        assert any("time.sleep" in m for m in messages)
+        assert any("subprocess.run" in m for m in messages)
+        assert any("urlopen" in m for m in messages)
+        assert any("open" in m for m in messages)
+        assert len(findings) == 4
+
+    def test_passes_async_code_that_defers_blocking_work(self):
+        assert lint_fixture("rpl006_ok.py", fixture_config(rpl006=RPL006)) == []
+
+    def test_sync_defs_are_out_of_scope(self):
+        # The same blocking calls outside async defs (other fixtures are
+        # full of open()/sleep-free sync code) never fire RPL006.
+        findings = lint_fixture("rpl005_ok.py", fixture_config(rpl006={"paths": ["*.py"]}))
+        assert "RPL006" not in rule_ids(findings)
+
+    def test_default_scope_excludes_fixtures(self):
+        # Without a paths override nothing here matches repro/service/*.
+        assert lint_fixture("rpl006_bad.py", fixture_config()) == []
+
+    def test_allow_list_exempts_module(self):
+        cfg = fixture_config(rpl006=dict(RPL006, allow=["rpl006_bad.py"]))
+        assert lint_fixture("rpl006_bad.py", cfg) == []
+
+
 class TestFrameworkBehaviour:
     def test_syntax_error_becomes_rpl000(self, tmp_path):
         (tmp_path / "broken.py").write_text("def f(:\n")

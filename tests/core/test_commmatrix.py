@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.commmatrix import CommunicationMatrix
+from repro.util.validation import ValidationError
 
 
 class TestIncrement:
@@ -41,10 +42,23 @@ class TestConstruction:
         assert m[0, 0] == 0.0
 
     def test_from_array_rejects_negative(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValidationError):
             CommunicationMatrix.from_array(np.array([[0, -1], [-1, 0.]]))
 
     def test_from_array_rejects_non_square(self):
+        with pytest.raises(ValidationError):
+            CommunicationMatrix.from_array(np.zeros((2, 3)))
+
+    @pytest.mark.parametrize("poison", [np.nan, np.inf, -np.inf])
+    def test_from_array_rejects_nan_and_inf(self, poison):
+        a = np.zeros((3, 3))
+        a[0, 1] = poison
+        with pytest.raises(ValidationError):
+            CommunicationMatrix.from_array(a)
+
+    def test_typed_errors_still_catch_as_value_error(self):
+        # The service boundary catches ValidationError specifically;
+        # pre-existing callers catching ValueError must keep working.
         with pytest.raises(ValueError):
             CommunicationMatrix.from_array(np.zeros((2, 3)))
 
@@ -142,8 +156,25 @@ class TestPersistence:
     def test_from_csv_validates(self, tmp_path):
         path = tmp_path / "bad.csv"
         path.write_text("0,-1\n-1,0\n")
-        with pytest.raises(ValueError):
+        with pytest.raises(ValidationError):
             CommunicationMatrix.from_csv(path)
+
+    def test_from_csv_rejects_nan(self, tmp_path):
+        path = tmp_path / "nan.csv"
+        path.write_text("0,nan\nnan,0\n")
+        with pytest.raises(ValidationError):
+            CommunicationMatrix.from_csv(path)
+
+    def test_from_csv_rejects_non_numeric(self, tmp_path):
+        path = tmp_path / "text.csv"
+        path.write_text("0,banana\n1,0\n")
+        with pytest.raises(ValidationError):
+            CommunicationMatrix.from_csv(path)
+
+    def test_from_csv_missing_file_stays_file_not_found(self, tmp_path):
+        # "File absent" is an environment error, not input garbage.
+        with pytest.raises(FileNotFoundError):
+            CommunicationMatrix.from_csv(tmp_path / "absent.csv")
 
 
 class TestStructureMetrics:

@@ -2,6 +2,8 @@
 
 import dataclasses
 
+import numpy as np
+
 import pytest
 
 from repro.experiments.cache import CACHE_SCHEMA, ResultCache, _canonical, config_key
@@ -150,3 +152,32 @@ class TestRunnerIntegration:
         # The schema version participates in hashing: this documents that
         # bumping CACHE_SCHEMA invalidates every existing entry.
         assert isinstance(CACHE_SCHEMA, int)
+
+
+class TestNdarrayKeys:
+    """config_key over ndarrays (the mapping service's canonical keys)."""
+
+    def test_equal_arrays_key_together(self):
+        a = np.arange(16.0).reshape(4, 4)
+        assert config_key("k", a) == config_key("k", a.copy())
+
+    def test_memory_layout_is_irrelevant(self):
+        a = np.arange(16.0).reshape(4, 4)
+        fortran = np.asfortranarray(a)
+        assert not fortran.flags["C_CONTIGUOUS"]
+        assert config_key("k", a) == config_key("k", fortran)
+
+    def test_single_bit_change_keys_apart(self):
+        a = np.arange(16.0).reshape(4, 4)
+        b = a.copy()
+        b[0, 0] = np.nextafter(b[0, 0], 1.0)
+        assert config_key("k", a) != config_key("k", b)
+
+    def test_shape_and_dtype_key_apart(self):
+        flat = np.zeros(4)
+        assert config_key("k", flat) != config_key("k", flat.reshape(2, 2))
+        assert config_key("k", flat) != config_key("k", flat.astype(np.float32))
+
+    def test_numpy_scalars_match_python_scalars(self):
+        assert config_key("k", np.int64(3)) == config_key("k", 3)
+        assert config_key("k", np.float64(0.5)) == config_key("k", 0.5)

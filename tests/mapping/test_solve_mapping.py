@@ -1,0 +1,111 @@
+"""The picklable ``solve_mapping`` entrypoint: purity and determinism."""
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.commmatrix import CommunicationMatrix
+from repro.machine.topology import Topology, harpertown
+from repro.mapping.hierarchical import Mapping, solve_mapping
+from repro.util.validation import ValidationError
+
+PAIR8 = np.array([
+    [0.0 if i == j else (100.0 if i // 2 == j // 2 else 1.0) for j in range(8)]
+    for i in range(8)
+])
+
+
+def _solve_assignment(matrix_list):
+    """Top-level helper so the call itself can cross a process boundary."""
+    return solve_mapping(np.asarray(matrix_list)).assignment
+
+
+class TestMappingType:
+    def test_frozen_and_tuple_backed(self):
+        m = solve_mapping(PAIR8)
+        assert isinstance(m, Mapping)
+        assert isinstance(m.assignment, tuple)
+        assert all(type(c) is int for c in m.assignment)
+        with pytest.raises(AttributeError):
+            m.assignment = ()
+
+    def test_num_threads_and_as_list(self):
+        m = solve_mapping(PAIR8)
+        assert m.num_threads == 8
+        assert m.as_list() == list(m.assignment)
+
+    def test_pickle_round_trip_is_byte_identical(self):
+        m = solve_mapping(PAIR8)
+        assert pickle.loads(pickle.dumps(m)) == m
+        assert pickle.dumps(pickle.loads(pickle.dumps(m))) == pickle.dumps(m)
+
+
+class TestPurity:
+    def test_does_not_mutate_input(self):
+        a = PAIR8.copy()
+        solve_mapping(a)
+        assert np.array_equal(a, PAIR8)
+
+    def test_accepts_communication_matrix(self):
+        cm = CommunicationMatrix.from_array(PAIR8)
+        assert solve_mapping(cm) == solve_mapping(PAIR8)
+
+    def test_symmetrizes_like_the_matrix_class(self):
+        asym = PAIR8.copy()
+        asym[0, 1] = 120.0  # [1, 0] stays 100 -> symmetrized to 110
+        direct = solve_mapping(asym)
+        via_class = solve_mapping(CommunicationMatrix.from_array(asym))
+        assert direct == via_class
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            np.zeros((2, 3)),
+            np.array([[0.0, np.nan], [np.nan, 0.0]]),
+            np.array([[0.0, -1.0], [-1.0, 0.0]]),
+        ],
+        ids=["non-square", "nan", "negative"],
+    )
+    def test_rejects_invalid_input(self, bad):
+        with pytest.raises(ValidationError):
+            solve_mapping(bad)
+
+
+class TestDeterminism:
+    def test_repeated_solves_are_identical(self):
+        results = {solve_mapping(PAIR8).assignment for _ in range(5)}
+        assert len(results) == 1
+
+    def test_tied_matrix_is_deterministic(self):
+        # A uniform matrix ties every merge decision; tie-breaking must
+        # still be a pure function of the input.
+        uniform = np.ones((8, 8)) - np.eye(8)
+        results = {solve_mapping(uniform).assignment for _ in range(5)}
+        assert len(results) == 1
+
+    def test_explicit_topology_matches_default(self):
+        assert solve_mapping(PAIR8, harpertown()) == solve_mapping(PAIR8)
+
+    def test_flat_topology_changes_result_shape(self):
+        flat = Topology(cores_per_l2=8, l2_per_chip=1, chips=1)
+        m = solve_mapping(PAIR8, flat)
+        assert sorted(m.assignment) == list(range(8))
+
+    def test_identical_across_fresh_process_pools(self):
+        """Two pools (fresh interpreters) return byte-identical results."""
+        payload = PAIR8.tolist()
+        outputs = []
+        for _ in range(2):
+            with ProcessPoolExecutor(max_workers=1) as pool:
+                outputs.append(pool.submit(_solve_assignment, payload).result())
+        assert outputs[0] == outputs[1]
+        assert outputs[0] == solve_mapping(PAIR8).assignment
+
+    def test_pair_partners_share_l2(self):
+        topo = harpertown()
+        assignment = solve_mapping(PAIR8, topo).assignment
+        for t in range(0, 8, 2):
+            a, b = assignment[t], assignment[t + 1]
+            assert topo.l2_of_core(a) == topo.l2_of_core(b)

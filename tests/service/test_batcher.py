@@ -1,0 +1,156 @@
+"""Micro-batcher semantics: coalescing, batching, backpressure, drain."""
+
+import asyncio
+
+import pytest
+
+from repro.service.batcher import MicroBatcher, Overloaded
+
+
+class RecordingDispatch:
+    """Dispatch double: records batches, optionally gated or failing."""
+
+    def __init__(self, gate: "asyncio.Event | None" = None, fail: bool = False):
+        self.batches = []
+        self.gate = gate
+        self.fail = fail
+
+    async def __call__(self, items):
+        self.batches.append(list(items))
+        if self.gate is not None:
+            await self.gate.wait()
+        if self.fail:
+            raise RuntimeError("solver exploded")
+        return {key: f"solved:{key}" for key, _payload in items}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSingleFlight:
+    def test_concurrent_same_key_costs_one_solve(self):
+        async def scenario():
+            dispatch = RecordingDispatch()
+            batcher = MicroBatcher(dispatch, window=0.01)
+            results = await asyncio.gather(
+                *(batcher.submit("k", i) for i in range(16))
+            )
+            return dispatch, batcher, results
+
+        dispatch, batcher, results = run(scenario())
+        assert results == ["solved:k"] * 16
+        assert len(dispatch.batches) == 1
+        assert len(dispatch.batches[0]) == 1
+        assert batcher.coalesced == 15
+        assert batcher.items_dispatched == 1
+
+    def test_waiter_cancellation_does_not_poison_others(self):
+        async def scenario():
+            gate = asyncio.Event()
+            dispatch = RecordingDispatch(gate=gate)
+            batcher = MicroBatcher(dispatch, window=0.0)
+            first = asyncio.ensure_future(batcher.submit("k", 0))
+            await asyncio.sleep(0.01)  # batch dispatched, parked on gate
+            second = asyncio.ensure_future(batcher.submit("k", 1))
+            await asyncio.sleep(0.01)
+            first.cancel()
+            gate.set()
+            return await second
+
+        assert run(scenario()) == "solved:k"
+
+
+class TestBatching:
+    def test_distinct_keys_in_window_form_one_batch(self):
+        async def scenario():
+            dispatch = RecordingDispatch()
+            batcher = MicroBatcher(dispatch, window=0.02, max_batch=64)
+            results = await asyncio.gather(
+                *(batcher.submit(f"k{i}", i) for i in range(8))
+            )
+            return dispatch, results
+
+        dispatch, results = run(scenario())
+        assert results == [f"solved:k{i}" for i in range(8)]
+        assert len(dispatch.batches) == 1
+        assert len(dispatch.batches[0]) == 8
+
+    def test_max_batch_flushes_early(self):
+        async def scenario():
+            dispatch = RecordingDispatch()
+            batcher = MicroBatcher(dispatch, window=10.0, max_batch=4)
+            await asyncio.gather(*(batcher.submit(f"k{i}", i) for i in range(8)))
+            return dispatch
+
+        dispatch = run(scenario())
+        # A 10s window would stall forever; max_batch must cut it.
+        assert len(dispatch.batches) == 2
+        assert all(len(b) == 4 for b in dispatch.batches)
+
+
+class TestBackpressure:
+    def test_overloaded_beyond_max_pending(self):
+        async def scenario():
+            gate = asyncio.Event()
+            dispatch = RecordingDispatch(gate=gate)
+            batcher = MicroBatcher(dispatch, window=0.0, max_pending=2)
+            first = asyncio.ensure_future(batcher.submit("k1", 0))
+            second = asyncio.ensure_future(batcher.submit("k2", 0))
+            await asyncio.sleep(0.01)
+            assert batcher.pending == 2
+            with pytest.raises(Overloaded) as exc_info:
+                await batcher.submit("k3", 0)
+            # Joining an in-flight key never rejects.
+            third = asyncio.ensure_future(batcher.submit("k1", 0))
+            await asyncio.sleep(0)
+            gate.set()
+            results = await asyncio.gather(first, second, third)
+            return exc_info.value, results
+
+        overloaded, results = run(scenario())
+        assert overloaded.pending == 2
+        assert overloaded.retry_after > 0
+        assert results == ["solved:k1", "solved:k2", "solved:k1"]
+
+
+class TestFailure:
+    def test_dispatch_error_reaches_every_waiter(self):
+        async def scenario():
+            dispatch = RecordingDispatch(fail=True)
+            batcher = MicroBatcher(dispatch, window=0.0)
+            results = await asyncio.gather(
+                batcher.submit("k", 0),
+                batcher.submit("k", 1),
+                return_exceptions=True,
+            )
+            return batcher, results
+
+        batcher, results = run(scenario())
+        assert all(isinstance(r, RuntimeError) for r in results)
+        assert batcher.pending == 0  # failed keys are not stuck in flight
+
+    def test_missing_result_is_an_error(self):
+        async def scenario():
+            async def dispatch(items):
+                return {}  # dispatch "forgot" the key
+
+            batcher = MicroBatcher(dispatch, window=0.0)
+            with pytest.raises(RuntimeError, match="no result"):
+                await batcher.submit("k", 0)
+
+        run(scenario())
+
+
+class TestDrain:
+    def test_drain_flushes_and_waits(self):
+        async def scenario():
+            dispatch = RecordingDispatch()
+            batcher = MicroBatcher(dispatch, window=10.0)
+            waiter = asyncio.ensure_future(batcher.submit("k", 0))
+            await asyncio.sleep(0.01)  # queued, timer far in the future
+            await batcher.drain()
+            assert waiter.done()
+            return await waiter
+
+        assert run(scenario()) == "solved:k"

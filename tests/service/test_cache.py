@@ -1,0 +1,95 @@
+"""LRU + TTL cache semantics under an injected clock."""
+
+import pytest
+
+from repro.service.cache import LRUTTLCache
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestBasics:
+    def test_put_get(self):
+        cache = LRUTTLCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            LRUTTLCache(0)
+
+    def test_contains_and_len(self):
+        cache = LRUTTLCache(2)
+        cache.put("a", 1)
+        assert "a" in cache
+        assert "b" not in cache
+        assert len(cache) == 1
+
+    def test_hit_rate(self):
+        cache = LRUTTLCache(2)
+        assert cache.hit_rate == 0.0
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.hit_rate == pytest.approx(0.5)
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        cache = LRUTTLCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # touch: b becomes LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_overwrite_does_not_evict(self):
+        cache = LRUTTLCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert cache.get("b") == 2
+        assert cache.get("a") == 10
+        assert cache.evictions == 0
+
+
+class TestTTL:
+    def test_entry_expires(self):
+        clock = FakeClock()
+        cache = LRUTTLCache(4, ttl=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(9.999)
+        assert cache.get("a") == 1
+        clock.advance(0.001)
+        assert cache.get("a") is None
+        assert cache.expirations == 1
+
+    def test_put_refreshes_ttl(self):
+        clock = FakeClock()
+        cache = LRUTTLCache(4, ttl=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(8)
+        cache.put("a", 2)
+        clock.advance(8)
+        assert cache.get("a") == 2
+
+    @pytest.mark.parametrize("ttl", [None, 0, -1])
+    def test_non_positive_ttl_disables_expiry(self, ttl):
+        clock = FakeClock()
+        cache = LRUTTLCache(4, ttl=ttl, clock=clock)
+        cache.put("a", 1)
+        clock.advance(1e9)
+        assert cache.get("a") == 1

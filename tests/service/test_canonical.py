@@ -1,0 +1,174 @@
+"""Permutation stability and correctness of the canonical form."""
+
+import numpy as np
+import pytest
+
+from repro.service.canonical import (
+    SERVICE_SCHEMA,
+    canonical_form,
+    canonical_key,
+    unpermute,
+)
+
+
+def pair_pattern(n: int) -> np.ndarray:
+    return np.array([
+        [0.0 if i == j else (100.0 if i // 2 == j // 2 else 1.0) for j in range(n)]
+        for i in range(n)
+    ])
+
+
+def ring_pattern(n: int) -> np.ndarray:
+    m = np.zeros((n, n))
+    for i in range(n):
+        m[i, (i + 1) % n] = m[(i + 1) % n, i] = 50.0
+    return m
+
+
+def chain_pattern(n: int) -> np.ndarray:
+    m = np.zeros((n, n))
+    for i in range(n - 1):
+        m[i, i + 1] = m[i + 1, i] = 50.0
+    return m
+
+
+def all_to_all(n: int) -> np.ndarray:
+    m = np.full((n, n), 10.0)
+    np.fill_diagonal(m, 0.0)
+    return m
+
+
+def master_slave(n: int) -> np.ndarray:
+    m = np.zeros((n, n))
+    m[0, 1:] = m[1:, 0] = 30.0
+    return m
+
+
+def random_pattern(n: int) -> np.ndarray:
+    rng = np.random.default_rng(2012)
+    a = rng.random((n, n)) * 100
+    m = (a + a.T) / 2.0
+    np.fill_diagonal(m, 0.0)
+    return m
+
+
+def grid2d(side: int) -> np.ndarray:
+    n = side * side
+    m = np.zeros((n, n))
+    for i in range(n):
+        r, c = divmod(i, side)
+        if c + 1 < side:
+            m[i, i + 1] = m[i + 1, i] = 40.0
+        if r + 1 < side:
+            m[i, i + side] = m[i + side, i] = 40.0
+    return m
+
+
+PATTERNS = [
+    pair_pattern(8),
+    pair_pattern(16),
+    ring_pattern(8),
+    ring_pattern(16),
+    chain_pattern(8),
+    all_to_all(8),
+    master_slave(8),
+    random_pattern(8),
+    random_pattern(16),
+    grid2d(3),
+    grid2d(4),
+]
+
+
+class TestCanonicalForm:
+    def test_perm_reconstructs_input(self):
+        m = random_pattern(8)
+        canon, perm = canonical_form(m)
+        n = m.shape[0]
+        for i in range(n):
+            for j in range(n):
+                assert canon[i, j] == m[perm[i], perm[j]]
+
+    def test_identity_on_canonical_input(self):
+        m = random_pattern(8)
+        canon, _ = canonical_form(m)
+        canon2, perm2 = canonical_form(canon)
+        assert np.array_equal(canon, canon2)
+        # Canonicalizing twice is a fixed point up to automorphism; for
+        # a random matrix the automorphism group is trivial.
+        assert perm2 == tuple(range(8))
+
+    @pytest.mark.parametrize("m", PATTERNS, ids=lambda m: f"n{m.shape[0]}")
+    def test_permutation_stability(self, m):
+        """Every relabeling of one pattern reaches one canonical key."""
+        rng = np.random.default_rng(7)
+        key0 = canonical_key(canonical_form(m)[0], (2, 2, 2))
+        n = m.shape[0]
+        for _ in range(20):
+            p = rng.permutation(n)
+            permuted = m[np.ix_(p, p)]
+            key = canonical_key(canonical_form(permuted)[0], (2, 2, 2))
+            assert key == key0
+
+    def test_float_summation_order_does_not_split_keys(self):
+        # Row sums of a permuted copy can differ in the last ULP; the
+        # signature must be built from exact per-edge bytes instead.
+        m = random_pattern(16)
+        p = np.random.default_rng(1).permutation(16)
+        permuted = m[np.ix_(p, p)]
+        assert not np.array_equal(m, permuted)
+        k1 = canonical_key(canonical_form(m)[0], (2, 2, 2))
+        k2 = canonical_key(canonical_form(permuted)[0], (2, 2, 2))
+        assert k1 == k2
+
+    def test_different_matrices_key_apart(self):
+        k1 = canonical_key(canonical_form(pair_pattern(8))[0], (2, 2, 2))
+        k2 = canonical_key(canonical_form(ring_pattern(8))[0], (2, 2, 2))
+        assert k1 != k2
+
+    def test_single_weight_change_keys_apart(self):
+        m = random_pattern(8)
+        m2 = m.copy()
+        m2[0, 1] = m2[1, 0] = m2[0, 1] + 1.0
+        assert canonical_key(canonical_form(m)[0], (2, 2, 2)) != canonical_key(
+            canonical_form(m2)[0], (2, 2, 2)
+        )
+
+    def test_topology_is_part_of_the_key(self):
+        canon, _ = canonical_form(pair_pattern(8))
+        assert canonical_key(canon, (2, 2, 2)) != canonical_key(canon, (4, 2, 1))
+
+    def test_schema_is_part_of_the_key(self):
+        canon, _ = canonical_form(pair_pattern(8))
+        key = canonical_key(canon, (2, 2, 2))
+        assert key  # derived through config_key, so schema bumps rekey
+        assert isinstance(SERVICE_SCHEMA, int)
+
+
+class TestUnpermute:
+    def test_round_trip(self):
+        m = random_pattern(8)
+        _canon, perm = canonical_form(m)
+        assignment = tuple(range(8))  # canonical slot c -> core c
+        mapping = unpermute(assignment, perm)
+        for c, core in enumerate(assignment):
+            assert mapping[perm[c]] == core
+
+    def test_equivalent_quality_across_permutations(self):
+        """Permuted requests reuse the canonical solve losslessly."""
+        from repro.machine.topology import harpertown
+        from repro.mapping.hierarchical import solve_mapping
+        from repro.mapping.quality import mapping_quality
+
+        topo = harpertown()
+        m = pair_pattern(8)
+        canon, perm = canonical_form(m)
+        solved = solve_mapping(canon, topo).assignment
+        base_quality = mapping_quality(m, unpermute(solved, perm), topo)
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            p = rng.permutation(8)
+            permuted = m[np.ix_(p, p)]
+            canon2, perm2 = canonical_form(permuted)
+            assert np.array_equal(canon, canon2)
+            quality = mapping_quality(permuted, unpermute(solved, perm2), topo)
+            assert quality == base_quality

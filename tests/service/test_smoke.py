@@ -1,0 +1,12 @@
+"""The serve-smoke CI gate, run in-process as a test.
+
+Boots the real ``repro serve`` subprocess on an ephemeral port, round
+trips a mapping, and requires a clean SIGTERM drain — the same sequence
+``make serve-smoke`` runs.
+"""
+
+from repro.service import smoke
+
+
+def test_smoke_sequence_round_trips_and_drains():
+    assert smoke.main(timeout=60) == 0

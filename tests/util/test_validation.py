@@ -1,12 +1,17 @@
 """Tests for repro.util.validation."""
 
+import numpy as np
 import pytest
 
 from repro.util.validation import (
+    ValidationError,
+    check_finite_array,
     check_in_range,
+    check_non_negative_array,
     check_positive,
     check_power_of_two,
     check_probability,
+    check_square_array,
 )
 
 
@@ -57,3 +62,41 @@ class TestCheckInRange:
     def test_rejects_outside(self):
         with pytest.raises(ValueError, match="r"):
             check_in_range("r", 6, 1, 5)
+
+
+class TestArrayCheckers:
+    def test_square_accepts_and_casts(self):
+        out = check_square_array("m", [[0, 1], [1, 0]])
+        assert out.dtype == np.float64
+        assert out.shape == (2, 2)
+
+    @pytest.mark.parametrize(
+        "bad", [np.zeros((2, 3)), np.zeros(4), np.zeros((2, 2, 2))],
+        ids=["rectangular", "1d", "3d"],
+    )
+    def test_square_rejects_wrong_shapes(self, bad):
+        with pytest.raises(ValidationError, match="m"):
+            check_square_array("m", bad)
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_finite_rejects_nan_and_inf(self, bad):
+        a = np.zeros((2, 2))
+        a[0, 1] = bad
+        with pytest.raises(ValidationError, match="m"):
+            check_finite_array("m", a)
+
+    def test_finite_accepts_finite(self):
+        a = np.full((2, 2), 1e308)
+        assert check_finite_array("m", a) is not None
+
+    def test_non_negative_rejects_negative(self):
+        with pytest.raises(ValidationError, match="m"):
+            check_non_negative_array("m", np.array([[0.0, -0.5], [-0.5, 0.0]]))
+
+    def test_non_negative_accepts_zero(self):
+        assert check_non_negative_array("m", np.zeros((2, 2))) is not None
+
+    def test_validation_error_is_a_value_error(self):
+        # Boundary layers catch ValidationError; legacy callers catching
+        # ValueError must keep working.
+        assert issubclass(ValidationError, ValueError)

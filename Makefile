@@ -8,13 +8,15 @@
 #   make bench-engine  engine speedup smoke benchmark
 #   make serve-smoke   boot `repro serve`, round-trip, SIGTERM drain
 #   make bench-service mapping-service load bench (writes BENCH_service.json)
+#   make test-chaos    fault-injection chaos harness (fixed replay seeds)
+#   make cov           coverage gate over service+faults (skipped if no pytest-cov)
 #   make ci            lint -> mypy -> everything above, in order
 #   make bench         full figure/table benchmark harness
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint mypy test test-scalar differential bench-engine serve-smoke bench-service bench ci
+.PHONY: lint mypy test test-scalar differential bench-engine serve-smoke bench-service test-chaos cov bench ci
 
 lint:
 	$(PYTHON) -m repro lint
@@ -47,7 +49,24 @@ serve-smoke:
 bench-service:
 	$(PYTHON) benchmarks/bench_service_throughput.py
 
+# The chaos harness replays its fixed seeds (tests/faults/test_chaos_service.py
+# CHAOS_SEEDS) plus the hand-written fault scenarios against the live stack.
+test-chaos:
+	$(PYTHON) -m pytest tests/faults -q
+
+# Coverage floor over the resilience-critical packages.  pytest-cov is not
+# vendored in this environment; the target degrades to a notice (same
+# pattern as the mypy gate) rather than failing ci on a missing tool.
+cov:
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		$(PYTHON) -m pytest tests/service tests/faults -q \
+			--cov=repro.service --cov=repro.faults \
+			--cov-report=term-missing --cov-fail-under=85; \
+	else \
+		echo "pytest-cov not installed; skipping coverage gate (floor: 85% over repro.service + repro.faults)"; \
+	fi
+
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-ci: lint mypy test test-scalar differential bench-engine serve-smoke
+ci: lint mypy test test-scalar differential bench-engine serve-smoke test-chaos cov

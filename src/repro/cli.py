@@ -112,6 +112,11 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="max solves dispatched per executor call")
     p.add_argument("--max-pending", type=int, default=256,
                    help="in-flight solve bound before requests get 429")
+    p.add_argument("--solve-deadline", type=float, default=30.0,
+                   help="per-batch solve deadline in seconds (0 disables)")
+    p.add_argument("--fault-plan", type=str, default=None, metavar="PLAN.json",
+                   help="activate a serialized fault-injection plan "
+                        "(chaos smoke testing; see repro.faults)")
 
     p = sub.add_parser("ablate", help="run one ablation sweep")
     p.add_argument("sweep", choices=("sm-sampling", "hm-period",
@@ -211,6 +216,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.app import ServiceConfig
     from repro.service.http import serve
 
+    if args.fault_plan:
+        from repro.faults.injector import PLAN_ENV_VAR, activate
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan.load(args.fault_plan)
+        activate(plan)
+        # Pool workers (fork or spawn) find the plan through the
+        # environment on their first instrumented call.
+        os.environ[PLAN_ENV_VAR] = args.fault_plan
+        print(f"fault plan active: {len(plan.events)} event(s) "
+              f"(seed {plan.seed}) from {args.fault_plan}", flush=True)
+
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -220,6 +237,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_window=args.batch_window_ms / 1000.0,
         max_batch=args.max_batch,
         max_pending=args.max_pending,
+        solve_deadline=args.solve_deadline,
     )
     try:
         asyncio.run(serve(config))

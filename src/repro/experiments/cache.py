@@ -13,7 +13,11 @@ Keys embed :data:`CACHE_SCHEMA`, which must be bumped whenever the
 *meaning* of a cached payload changes (new SimResult fields, protocol
 fixes, counter semantics) so stale pickles are never resurrected.
 Reads are tolerant: a missing, truncated, or unpicklable entry is a
-miss, never an error — the cache can be deleted at any time.
+miss, never an error — the cache can be deleted at any time.  Corrupt
+entries are additionally *quarantined*: the damaged file is moved to
+``<root>/quarantine/`` (evidence for a post-mortem) instead of being
+silently overwritten in place, and ``ResultCache.quarantined`` counts
+how many times that happened.
 """
 
 from __future__ import annotations
@@ -89,31 +93,65 @@ class ResultCache:
     result and one replace winning, which is harmless.
     """
 
+    #: Subdirectory collecting corrupt entries moved out of the way.
+    QUARANTINE_DIR = "quarantine"
+
     def __init__(self, root: "str | Path"):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Corrupt entries moved to the quarantine directory so far.
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
 
     def get(self, key: str) -> Optional[Any]:
-        """Cached value for ``key``, or None on any kind of miss."""
+        """Cached value for ``key``, or None on any kind of miss.
+
+        A *corrupt* entry (present on disk but unreadable: truncated,
+        bit-flipped, pickled against a vanished class layout) is moved
+        to the quarantine directory rather than crashing the runner or
+        lingering to fail again — the next ``put`` writes a fresh file.
+        """
         path = self._path(key)
         try:
             with path.open("rb") as fh:
                 return pickle.load(fh)
+        except FileNotFoundError:
+            return None  # plain miss: nothing was ever stored
         except (OSError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError):
-            # Missing, truncated, or pickled against an old class layout:
-            # all are plain misses; the entry will be overwritten.
+                AttributeError, ImportError, IndexError):
+            # The file exists but cannot be trusted; quarantine it.
+            # (IndexError: pickle's frame decoder raises it on some
+            # truncations instead of UnpicklingError.)
+            self._quarantine(path)
             return None
+
+    def _quarantine(self, path: Path) -> None:
+        """Best-effort move of a damaged entry into the quarantine dir."""
+        qdir = self.root / self.QUARANTINE_DIR
+        try:
+            qdir.mkdir(exist_ok=True)
+            os.replace(path, qdir / path.name)
+            self.quarantined += 1
+        except OSError:
+            # Quarantining is bookkeeping; never let it fail a read.
+            # (A concurrent worker may already have moved the file.)
+            pass
 
     def put(self, key: str, value: Any) -> None:
         """Store ``value`` under ``key`` atomically."""
+        from repro.faults.injector import get_injector
+        from repro.faults.plan import SITE_CACHE_PUT
+
+        data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        # Chaos site: a scheduled `corrupt` event damages the serialized
+        # bytes before they reach disk, exercising the quarantine path.
+        data = get_injector().corrupt_bytes(SITE_CACHE_PUT, data)
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(data)
             os.replace(tmp, self._path(key))
         except BaseException:
             try:

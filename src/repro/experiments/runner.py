@@ -105,6 +105,8 @@ class ExperimentRunner:
         #: random stream derives from (seed, benchmark, run label) — a
         #: result is a pure function of (config, topology, name).
         self.cache = ResultCache(cache_dir) if cache_dir else None
+        #: Process pools rebuilt after a worker death (suite-level retry).
+        self.pool_rebuilds = 0
 
     # -- pieces -------------------------------------------------------------------
 
@@ -257,18 +259,41 @@ class ExperimentRunner:
                     self._progress(out[name])
             return out
         from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
 
         cache_dir = str(self.cache.root) if self.cache is not None else None
-        with ProcessPoolExecutor(max_workers=min(workers, len(names))) as pool:
-            futures = {
-                name: pool.submit(_run_benchmark_task, self.config,
-                                  self.topology, name, cache_dir)
-                for name in names
-            }
-            for name in names:
-                out[name] = futures[name].result()
-                if verbose:  # pragma: no cover - console convenience
-                    self._progress(out[name])
+        # Worker-death tolerance: a BrokenProcessPool poisons every
+        # future in the pool, so the unfinished benchmarks are requeued
+        # once on a fresh pool (results are pure functions of config, so
+        # a rerun is byte-identical); a second pool death is fatal.
+        pending = names
+        retried = False
+        while pending:
+            failed: List[str] = []
+            broken: Optional[BaseException] = None
+            with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+                futures = {
+                    name: pool.submit(_run_benchmark_task, self.config,
+                                      self.topology, name, cache_dir)
+                    for name in pending
+                }
+                for name in pending:
+                    try:
+                        out[name] = futures[name].result()
+                    except BrokenProcessPool as exc:
+                        broken = exc
+                        failed.append(name)
+                        continue
+                    if verbose:  # pragma: no cover - console convenience
+                        self._progress(out[name])
+            if not failed:
+                break
+            if retried:
+                assert broken is not None
+                raise broken
+            retried = True
+            self.pool_rebuilds += 1
+            pending = failed
         return out
 
     @staticmethod
@@ -287,5 +312,14 @@ def _run_benchmark_task(
     name: str,
     cache_dir: "str | None" = None,
 ) -> BenchmarkResult:
-    """Process-pool entry point (must be module-level to pickle)."""
+    """Process-pool entry point (must be module-level to pickle).
+
+    The fault site lets chaos tests kill a pool worker deterministically
+    (a `hard` crash event with a latch file fires exactly once across
+    the forked children) and prove the suite-level requeue path.
+    """
+    from repro.faults.injector import get_injector
+    from repro.faults.plan import SITE_RUNNER_BENCHMARK
+
+    get_injector().fire(SITE_RUNNER_BENCHMARK)
     return ExperimentRunner(config, topology, cache_dir=cache_dir).run_benchmark(name)

@@ -1,0 +1,57 @@
+"""Deterministic fault injection for the mapping service and runner.
+
+``repro.faults`` schedules failures — worker crashes, hung solves,
+slow paths, corrupted cache entries, connection resets — by *site name
+and invocation count*, seeded through :mod:`repro.util.rng` and never
+by wall clock.  The chaos harness in ``tests/faults`` drives the real
+service loop under these plans and asserts that, once retries settle,
+responses are byte-identical to a fault-free run.
+"""
+
+from repro.faults.injector import (
+    FaultError,
+    FaultInjector,
+    InjectedCrash,
+    InjectedReset,
+    NullInjector,
+    PLAN_ENV_VAR,
+    activate,
+    activated,
+    deactivate,
+    get_injector,
+)
+from repro.faults.plan import (
+    KINDS,
+    SERVICE_SITES,
+    SITE_CACHE_PUT,
+    SITE_HTTP_RESPONSE,
+    SITE_RUNNER_BENCHMARK,
+    SITE_WORKER_SOLVE,
+    TRANSIENT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    random_plan,
+)
+
+__all__ = [
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedReset",
+    "KINDS",
+    "NullInjector",
+    "PLAN_ENV_VAR",
+    "SERVICE_SITES",
+    "SITE_CACHE_PUT",
+    "SITE_HTTP_RESPONSE",
+    "SITE_RUNNER_BENCHMARK",
+    "SITE_WORKER_SOLVE",
+    "TRANSIENT_KINDS",
+    "activate",
+    "activated",
+    "deactivate",
+    "get_injector",
+    "random_plan",
+]

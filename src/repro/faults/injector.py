@@ -1,0 +1,220 @@
+"""Runtime fault injection: counting sites, applying scheduled events.
+
+Instrumented code calls :func:`get_injector` and fires a named site;
+with no plan active the call is a near-free no-op, so the hooks stay
+compiled into the hot paths permanently.  With a plan active, the
+injector counts invocations per site and applies the matching event:
+
+* ``crash`` — raise :class:`InjectedCrash` (or ``os._exit`` when the
+  event is *hard*, turning a pool worker's death into a genuine
+  ``BrokenProcessPool`` upstream).
+* ``hang`` / ``slow`` — sleep ``event.seconds`` (``fire`` blocks the
+  calling thread, ``afire`` awaits ``asyncio.sleep`` so the event loop
+  keeps serving other connections).
+* ``reset`` — raise :class:`InjectedReset`; the HTTP layer translates
+  it into an abrupt transport abort (half-closed connection).
+* ``corrupt`` — returned to the caller, who applies it to the payload
+  it owns (see :meth:`FaultInjector.corrupt_bytes`).
+
+Activation is process-global (``activate`` / ``deactivate`` / the
+``activated`` context manager) and, for child processes that cannot
+inherit Python state, environment-driven: ``REPRO_FAULT_PLAN=<path>``
+loads a serialized plan on first use — how ``repro serve --fault-plan``
+reaches spawned pool workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.util.rng import derive_seed
+
+#: Environment variable holding a path to a serialized plan (JSON).
+PLAN_ENV_VAR = "REPRO_FAULT_PLAN"
+
+
+class FaultError(RuntimeError):
+    """Base class for injected failures; carries the site and kind."""
+
+    def __init__(self, site: str, invocation: int, kind: str):
+        super().__init__(f"injected {kind} at {site}#{invocation}")
+        self.site = site
+        self.invocation = invocation
+        self.kind = kind
+
+
+class InjectedCrash(FaultError):
+    """A simulated worker death (soft form of a pool-worker crash)."""
+
+    def __init__(self, site: str, invocation: int):
+        super().__init__(site, invocation, "crash")
+
+
+class InjectedReset(FaultError):
+    """A simulated connection reset; the transport should be aborted."""
+
+    def __init__(self, site: str, invocation: int):
+        super().__init__(site, invocation, "reset")
+
+
+class FaultInjector:
+    """Applies one :class:`FaultPlan`; counts per-site invocations."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._counts: Dict[str, int] = {}
+        self._fired: Dict[Tuple[str, str], int] = {}
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def invocations(self, site: str) -> int:
+        """How many times ``site`` has fired so far in this process."""
+        return self._counts.get(site, 0)
+
+    def fired_total(self) -> int:
+        """Total events applied so far (the /metrics fault counter)."""
+        return sum(self._fired.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        """Deterministic {"site:kind": fired} map for test assertions."""
+        return {f"{site}:{kind}": n for (site, kind), n in sorted(self._fired.items())}
+
+    def _advance(self, site: str) -> Optional[FaultEvent]:
+        n = self._counts.get(site, 0) + 1
+        self._counts[site] = n
+        for event in self.plan.events:
+            if event.site == site and event.matches(n) and self._claim(event):
+                self._fired[(site, event.kind)] = (
+                    self._fired.get((site, event.kind), 0) + 1
+                )
+                return event
+        return None
+
+    @staticmethod
+    def _claim(event: FaultEvent) -> bool:
+        """Latch arbitration: at most one firing across processes."""
+        if event.latch is None:
+            return True
+        try:
+            fd = os.open(event.latch, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    # -- firing ------------------------------------------------------------------
+
+    def fire(self, site: str) -> Optional[FaultEvent]:
+        """Visit ``site`` from synchronous code; apply any matching event.
+
+        Returns the event for kinds the caller must apply itself
+        (``corrupt``) or that already completed (``slow``/``hang``);
+        raises for ``crash``/``reset``; returns None when nothing fired.
+        """
+        event = self._advance(site)
+        if event is None:
+            return None
+        if event.kind in ("slow", "hang"):
+            time.sleep(event.seconds)
+            return event
+        return self._raise_or_exit(event)
+
+    async def afire(self, site: str) -> Optional[FaultEvent]:
+        """Async twin of :meth:`fire`: sleeps without blocking the loop."""
+        event = self._advance(site)
+        if event is None:
+            return None
+        if event.kind in ("slow", "hang"):
+            await asyncio.sleep(event.seconds)
+            return event
+        return self._raise_or_exit(event)
+
+    def _raise_or_exit(self, event: FaultEvent) -> Optional[FaultEvent]:
+        invocation = self._counts[event.site]
+        if event.kind == "crash":
+            if event.hard:
+                os._exit(17)  # a pool worker dying for real
+            raise InjectedCrash(event.site, invocation)
+        if event.kind == "reset":
+            raise InjectedReset(event.site, invocation)
+        return event  # corrupt: the caller owns the payload
+
+    def corrupt_bytes(self, site: str, data: bytes) -> bytes:
+        """Visit ``site``; on a ``corrupt`` event, damage ``data``.
+
+        The damage is deterministic — the first byte is inverted (which
+        breaks any pickle/JSON framing) plus one seed-derived interior
+        byte — so two runs of the same plan corrupt identically.
+        """
+        event = self.fire(site)
+        if event is None or event.kind != "corrupt" or not data:
+            return data
+        invocation = self._counts[site]
+        buf = bytearray(data)
+        buf[0] ^= 0xFF
+        pos = derive_seed(self.plan.seed, site, invocation) % len(buf)
+        buf[pos] ^= 0xA5
+        return bytes(buf)
+
+
+class NullInjector(FaultInjector):
+    """The inactive injector: every hook is a constant-time no-op."""
+
+    def __init__(self) -> None:
+        super().__init__(FaultPlan())
+
+    def fire(self, site: str) -> Optional[FaultEvent]:
+        return None
+
+    async def afire(self, site: str) -> Optional[FaultEvent]:
+        return None
+
+    def corrupt_bytes(self, site: str, data: bytes) -> bytes:
+        return data
+
+
+_NULL = NullInjector()
+_active: Optional[FaultInjector] = None
+
+
+def activate(plan: FaultPlan) -> FaultInjector:
+    """Install ``plan`` process-globally; returns the live injector."""
+    global _active
+    _active = FaultInjector(plan)
+    return _active
+
+
+def deactivate() -> None:
+    """Remove any active injector (hooks revert to no-ops)."""
+    global _active
+    _active = None
+
+
+@contextmanager
+def activated(plan: FaultPlan) -> Iterator[FaultInjector]:
+    """Scope an active plan to a ``with`` block (chaos-test helper)."""
+    injector = activate(plan)
+    try:
+        yield injector
+    finally:
+        deactivate()
+
+
+def get_injector() -> FaultInjector:
+    """The active injector, the env-configured one, or the no-op.
+
+    The environment probe runs whenever no injector is active, so pool
+    workers started with ``REPRO_FAULT_PLAN`` set (fork *or* spawn)
+    pick the plan up on their first instrumented call.
+    """
+    if _active is not None:
+        return _active
+    path = os.environ.get(PLAN_ENV_VAR)
+    if path:
+        return activate(FaultPlan.load(path))
+    return _NULL

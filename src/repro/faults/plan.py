@@ -1,0 +1,209 @@
+"""Declarative fault plans: *what* goes wrong, *where*, and *when*.
+
+A :class:`FaultPlan` is a frozen list of :class:`FaultEvent` records,
+each keyed by an instrumentation-site name and a 1-based invocation
+count at that site — never by wall clock.  Two executions that visit
+the sites in the same order therefore observe the same faults, which is
+the determinism contract the chaos harness (``tests/faults``) asserts:
+same plan + same request sequence → same outcomes, same fault counters.
+
+Plans round-trip through JSON (``to_json`` / ``from_json``) so a
+failing chaos run is replayable from nothing but its printed seed or
+its serialized plan (``repro serve --fault-plan plan.json``).  Random
+plans derive every choice from :func:`repro.util.rng.derive_seed`, the
+repo-wide seeded-randomness rule (RPL001/RPL002).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Tuple
+
+from repro.util.rng import as_rng, derive_seed
+
+#: Every fault kind the injector understands.
+KINDS: Tuple[str, ...] = ("crash", "hang", "slow", "corrupt", "reset")
+
+#: Kinds the service recovers from by construction (requeue / deadline /
+#: quarantine / client retry) — the hypothesis chaos property only
+#: injects these and then demands byte-identical settled responses.
+TRANSIENT_KINDS: Tuple[str, ...] = ("crash", "hang", "slow", "reset")
+
+#: Instrumentation sites threaded through the hot paths.
+SITE_WORKER_SOLVE = "service.worker.solve_batch"
+SITE_HTTP_RESPONSE = "service.http.response"
+SITE_CACHE_PUT = "experiments.cache.put"
+SITE_RUNNER_BENCHMARK = "experiments.runner.benchmark"
+
+SERVICE_SITES: Tuple[str, ...] = (SITE_WORKER_SOLVE, SITE_HTTP_RESPONSE)
+
+#: Which transient kinds make sense where: a worker can crash, hang or
+#: run slow; a connection can be reset or dribble slowly.  Random plans
+#: draw per-site from these pools so every generated event is one the
+#: stack is *supposed* to recover from at that site.
+SERVICE_SITE_KINDS: dict = {
+    SITE_WORKER_SOLVE: ("crash", "hang", "slow"),
+    SITE_HTTP_RESPONSE: ("reset", "slow"),
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault at one site.
+
+    Args:
+        site: instrumentation-site name (see the ``SITE_*`` constants).
+        invocation: 1-based invocation count at which the fault fires.
+        kind: one of :data:`KINDS`.
+        count: number of consecutive invocations affected (default 1).
+        seconds: sleep duration for ``slow``/``hang`` kinds.
+        hard: ``crash`` only — die via ``os._exit`` instead of raising,
+            so a real process-pool worker produces a genuine
+            ``BrokenProcessPool`` in its parent.
+        latch: optional file path making the event fire at most once
+            *across processes* (first creator of the file wins) — how a
+            pool-worker crash stays a one-shot under forked children
+            whose per-process counters all start at zero.
+    """
+
+    site: str
+    invocation: int
+    kind: str
+    count: int = 1
+    seconds: float = 0.0
+    hard: bool = False
+    latch: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}, expected one of {KINDS}")
+        if self.invocation < 1:
+            raise ValueError(f"invocation is 1-based, got {self.invocation}")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+
+    def matches(self, invocation: int) -> bool:
+        """True when the ``invocation``-th visit to the site is affected."""
+        return self.invocation <= invocation < self.invocation + self.count
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, serializable schedule of fault events.
+
+    ``seed`` anchors every derived choice (corruption byte positions,
+    random-plan generation), so the plan object alone reproduces a
+    chaos run bit-for-bit.
+    """
+
+    seed: int = 0
+    events: Tuple[FaultEvent, ...] = ()
+    #: Free-form provenance note carried through serialization.
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def for_site(self, site: str) -> Tuple[FaultEvent, ...]:
+        """Events scheduled at ``site``, in declaration order."""
+        return tuple(ev for ev in self.events if ev.site == site)
+
+    def transient_only(self) -> bool:
+        """True when every event is a kind the stack recovers from."""
+        return all(ev.kind in TRANSIENT_KINDS for ev in self.events)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Stable JSON form (sorted keys — byte-identical round trips)."""
+        doc = {
+            "seed": self.seed,
+            "note": self.note,
+            "events": [asdict(ev) for ev in self.events],
+        }
+        return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Inverse of :meth:`to_json`; validates every event."""
+        doc = json.loads(text)
+        if not isinstance(doc, dict):
+            raise ValueError("fault plan must be a JSON object")
+        unknown = set(doc) - {"seed", "note", "events"}
+        if unknown:
+            raise ValueError(f"unknown fault-plan field(s): {sorted(unknown)}")
+        raw_events = doc.get("events", [])
+        if not isinstance(raw_events, list):
+            raise ValueError("fault-plan 'events' must be a list")
+        events = tuple(FaultEvent(**ev) for ev in raw_events)
+        return cls(seed=int(doc.get("seed", 0)), events=events,
+                   note=str(doc.get("note", "")))
+
+    def save(self, path: "str | Path") -> None:
+        """Write the JSON form to ``path``."""
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "FaultPlan":
+        """Read a plan previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def random_plan(
+    seed: int,
+    sites: Sequence[str] = SERVICE_SITES,
+    kinds: Sequence[str] = TRANSIENT_KINDS,
+    site_kinds: "Optional[dict]" = None,
+    max_events: int = 4,
+    max_invocation: int = 6,
+    max_seconds: float = 0.05,
+    hang_seconds: float = 0.4,
+) -> FaultPlan:
+    """A deterministic random plan: pure function of its arguments.
+
+    Hypothesis-driven chaos tests print only ``seed``; rebuilding the
+    plan from that seed reproduces the identical event schedule, which
+    is what makes a failing random chaos run replayable.
+
+    ``site_kinds`` (default :data:`SERVICE_SITE_KINDS`) restricts the
+    kind pool per site; sites absent from the map fall back to
+    ``kinds``.
+    """
+    if not sites:
+        raise ValueError("random_plan needs at least one site")
+    if not kinds:
+        raise ValueError("random_plan needs at least one kind")
+    if site_kinds is None:
+        site_kinds = SERVICE_SITE_KINDS
+    rng = as_rng(derive_seed(seed, "fault-plan"))
+    n_events = int(rng.integers(1, max_events + 1))
+    events = []
+    for _ in range(n_events):
+        site = str(sites[int(rng.integers(len(sites)))])
+        pool = tuple(site_kinds.get(site, kinds))
+        kind = str(pool[int(rng.integers(len(pool)))])
+        seconds = 0.0
+        if kind == "slow":
+            seconds = float(rng.uniform(0.0, max_seconds))
+        elif kind == "hang":
+            # Long enough to trip a sub-second batch deadline, short
+            # enough that an abandoned executor thread still exits
+            # promptly at interpreter shutdown.
+            seconds = hang_seconds
+        events.append(
+            FaultEvent(
+                site=site,
+                invocation=1 + int(rng.integers(max_invocation)),
+                kind=kind,
+                seconds=seconds,
+            )
+        )
+    return FaultPlan(seed=seed, events=tuple(events),
+                     note=f"random_plan(seed={seed})")

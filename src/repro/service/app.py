@@ -31,18 +31,33 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
+import math
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.commmatrix import CommunicationMatrix
+from repro.faults.injector import InjectedCrash, get_injector
 from repro.machine.topology import Topology
 from repro.mapping.quality import mapping_quality
 from repro.service import worker
-from repro.service.batcher import Item, MicroBatcher, Overloaded
+from repro.service.batcher import (
+    CircuitBreaker,
+    CircuitOpen,
+    DeadlineExceeded,
+    Item,
+    MicroBatcher,
+    Overloaded,
+    WorkerCrashed,
+)
 from repro.service.cache import LRUTTLCache
 from repro.service.canonical import canonical_form, canonical_key, unpermute
 from repro.service.metrics import ServiceMetrics
@@ -76,6 +91,17 @@ class ServiceConfig:
     max_cores: int = 1024
     #: Seconds the server waits for in-flight requests on shutdown.
     drain_timeout: float = 10.0
+    #: Per-batch solve deadline in seconds (0 disables).  A batch that
+    #: overruns is abandoned, the pool is rebuilt, and the batch is
+    #: requeued — a hung worker must never wedge the whole service.
+    solve_deadline: float = 30.0
+    #: How many times a crashed/timed-out batch is requeued before its
+    #: waiters see the failure (503 + Retry-After).
+    requeue_limit: int = 1
+    #: Consecutive dispatch failures that open the circuit breaker.
+    breaker_threshold: int = 3
+    #: Seconds the breaker stays open before admitting a probe.
+    breaker_reset: float = 1.0
 
 
 class _BadRequest(Exception):
@@ -106,11 +132,20 @@ class MappingService:
         self._solve_cache: LRUTTLCache[Tuple[int, ...]] = LRUTTLCache(
             cfg.cache_entries, cfg.cache_ttl, clock
         )
+        self.breaker = CircuitBreaker(
+            threshold=cfg.breaker_threshold,
+            reset_after=cfg.breaker_reset,
+            clock=clock,
+        )
         self._batcher = MicroBatcher(
             self._dispatch,
             max_batch=cfg.max_batch,
             window=cfg.batch_window,
             max_pending=cfg.max_pending,
+            deadline=cfg.solve_deadline,
+            breaker=self.breaker,
+            recover=self._recover_pool,
+            requeue_limit=cfg.requeue_limit,
         )
         self._executor: Optional[Executor] = None
 
@@ -133,6 +168,24 @@ class MappingService:
         if self._executor is not None:
             executor, self._executor = self._executor, None
             executor.shutdown(wait=True)
+
+    async def _recover_pool(self, exc: BaseException) -> None:
+        """Replace a crashed or wedged executor with a fresh one.
+
+        ``shutdown(wait=False)`` abandons any hung worker rather than
+        joining it — with a process pool the stuck process lingers until
+        its solve finishes, which is the documented cost of a ``hang``
+        fault (DESIGN.md §11).
+        """
+        if isinstance(exc, DeadlineExceeded):
+            self.metrics.solve_deadline_total += 1
+        else:
+            self.metrics.worker_crashes_total += 1
+        self.metrics.pool_rebuilds_total += 1
+        if self._executor is not None:
+            executor, self._executor = self._executor, None
+            executor.shutdown(wait=False, cancel_futures=True)
+        await self.start()
 
     # -- request handling --------------------------------------------------------
 
@@ -165,6 +218,18 @@ class MappingService:
                 self.metrics.rejected_total += 1
                 headers = {"Retry-After": str(max(1, int(exc.retry_after)))}
                 return 429, headers, _error_body("Overloaded", str(exc))
+            except CircuitOpen as exc:
+                self.metrics.shed_total += 1
+                headers = {"Retry-After": str(max(1, math.ceil(exc.retry_after)))}
+                return 503, headers, _error_body("CircuitOpen", str(exc))
+            except (WorkerCrashed, DeadlineExceeded) as exc:
+                # Requeues exhausted: fail the request cleanly and
+                # retryably — the pool has already been rebuilt, so a
+                # client honoring Retry-After will succeed next attempt.
+                self.metrics.solve_failures_total += 1
+                return 503, {"Retry-After": "1"}, _error_body(
+                    "Unavailable", str(exc)
+                )
         mapping = unpermute(assignment, perm)
         quality = mapping_quality(matrix, mapping, topology)
         response = {
@@ -200,6 +265,10 @@ class MappingService:
         m.batches_total = self._batcher.batches_dispatched
         m.solves_total = self._batcher.items_dispatched
         m.coalesced_total = self._batcher.coalesced
+        m.batch_requeues_total = self._batcher.requeues
+        m.breaker_open_total = self.breaker.opened_total
+        m.breaker_state = self.breaker.state_code
+        m.faults_injected_total = get_injector().fired_total()
         return 200, {"Content-Type": "text/plain; charset=utf-8"}, m.render().encode("utf-8")
 
     # -- internals ---------------------------------------------------------------
@@ -280,16 +349,25 @@ class MappingService:
         return (spec[0], spec[1], spec[2])
 
     async def _dispatch(self, items: List[Item]) -> Dict[str, Any]:
-        """Run one micro-batch on the executor; populate the solve cache."""
+        """Run one micro-batch on the executor; populate the solve cache.
+
+        Executor death — a real ``BrokenProcessPool`` or an injected
+        crash from a chaos plan — is normalized to
+        :class:`WorkerCrashed` so the batcher's rebuild-and-requeue
+        path treats both identically.
+        """
         if self._executor is None:
             await self.start()
         batch: List[worker.SolveItem] = [
             (key, payload[0], payload[1], payload[2]) for key, payload in items
         ]
         loop = asyncio.get_running_loop()
-        results = await loop.run_in_executor(
-            self._executor, self._solve_batch_fn, batch
-        )
+        try:
+            results = await loop.run_in_executor(
+                self._executor, self._solve_batch_fn, batch
+            )
+        except (BrokenExecutor, InjectedCrash) as exc:
+            raise WorkerCrashed(f"{type(exc).__name__}: {exc}") from exc
         out: Dict[str, Any] = {}
         for key, assignment in results:
             assignment = tuple(int(c) for c in assignment)

@@ -13,6 +13,24 @@ request handlers and the process pool:
   beyond that :class:`Overloaded` is raised for the HTTP layer to turn
   into ``429 Retry-After``.
 
+Fault tolerance (chaos-tested in ``tests/faults``):
+
+* **Deadline** — a dispatch that overruns ``deadline`` seconds is
+  abandoned (:class:`DeadlineExceeded`); a hung worker must never wedge
+  the whole service.
+* **Requeue** — a crashed (:class:`WorkerCrashed`) or timed-out batch
+  is re-dispatched up to ``requeue_limit`` times after the ``recover``
+  hook (the owner's pool rebuild) runs; past the limit every waiter
+  sees the failure.  Deterministic *batch* errors — a bad payload
+  raising inside the solver — are not requeued: retrying a pure
+  function on the same input cannot change the answer.
+* **Circuit breaker** — consecutive dispatch failures open the
+  :class:`CircuitBreaker`; while open, *new* keys are shed instantly
+  with :class:`CircuitOpen` (the HTTP layer's 503 + Retry-After)
+  instead of piling onto a broken pool.  After ``reset_after`` seconds
+  one probe batch is admitted (half-open): success closes the breaker,
+  failure reopens it.
+
 The batcher is event-loop-confined: all bookkeeping happens on the
 loop, only the dispatch awaitable (an executor call) leaves it.
 """
@@ -20,12 +38,15 @@ loop, only the dispatch awaitable (an executor call) leaves it.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Any, Awaitable, Callable, Dict, List, Optional, Set, Tuple
 
 #: One queued solve: (canonical key, opaque payload handed to dispatch).
 Item = Tuple[str, Any]
 #: Dispatch callable: a batch of items in, {key: result} out.
 Dispatch = Callable[[List[Item]], Awaitable[Dict[str, Any]]]
+#: Recovery hook: called with the failure before a requeue is attempted.
+Recover = Callable[[BaseException], Awaitable[None]]
 
 
 class Overloaded(Exception):
@@ -37,6 +58,101 @@ class Overloaded(Exception):
         self.retry_after = retry_after
 
 
+class WorkerCrashed(Exception):
+    """The executor died mid-batch (real ``BrokenProcessPool`` or an
+    injected crash); the batch is a candidate for one requeue on the
+    rebuilt pool."""
+
+
+class DeadlineExceeded(Exception):
+    """A dispatch overran the per-batch solve deadline and was abandoned."""
+
+    def __init__(self, deadline: float, keys: List[str]):
+        super().__init__(
+            f"batch of {len(keys)} item(s) overran the {deadline:.3f}s "
+            "solve deadline"
+        )
+        self.deadline = deadline
+        self.keys = keys
+
+
+class CircuitOpen(Exception):
+    """The breaker is open: load is shed without touching the pool."""
+
+    def __init__(self, retry_after: float):
+        super().__init__(
+            f"circuit breaker open; retry in {retry_after:.3f}s"
+        )
+        self.retry_after = retry_after
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with an injected monotonic clock.
+
+    States: *closed* (normal), *open* (shedding until ``reset_after``
+    elapses), *half-open* (one probe admitted).  The clock is injected
+    — the breaker never reads wall time itself — so tests drive state
+    transitions deterministically.
+    """
+
+    CLOSED = "closed"
+    HALF_OPEN = "half-open"
+    OPEN = "open"
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        reset_after: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.threshold = max(1, threshold)
+        self.reset_after = max(0.0, reset_after)
+        self.clock = clock
+        self.state = self.CLOSED
+        #: Consecutive failures observed while closed.
+        self.failures = 0
+        #: Times the breaker tripped open (a /metrics counter).
+        self.opened_total = 0
+        self._opened_at = 0.0
+
+    @property
+    def state_code(self) -> int:
+        """Numeric gauge form: 0 closed, 1 half-open, 2 open."""
+        return {self.CLOSED: 0, self.HALF_OPEN: 1, self.OPEN: 2}[self.state]
+
+    def allow(self) -> bool:
+        """May a new dispatch proceed right now?  (Open → maybe probe.)"""
+        if self.state == self.OPEN:
+            if self.clock() - self._opened_at >= self.reset_after:
+                self.state = self.HALF_OPEN
+                return True
+            return False
+        return True
+
+    def retry_after(self) -> float:
+        """Seconds until the open breaker will admit a probe (0 if not open)."""
+        if self.state != self.OPEN:
+            return 0.0
+        return max(0.0, self.reset_after - (self.clock() - self._opened_at))
+
+    def record_success(self) -> None:
+        """A dispatch completed: close fully and forget failures."""
+        self.state = self.CLOSED
+        self.failures = 0
+
+    def record_failure(self) -> None:
+        """A dispatch failed terminally: count it; trip when warranted."""
+        self.failures += 1
+        if self.state == self.HALF_OPEN or self.failures >= self.threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = self.OPEN
+        self.opened_total += 1
+        self._opened_at = self.clock()
+        self.failures = 0
+
+
 class MicroBatcher:
     """Coalesce concurrent solve requests into batched dispatches."""
 
@@ -46,11 +162,20 @@ class MicroBatcher:
         max_batch: int = 64,
         window: float = 0.002,
         max_pending: int = 256,
+        deadline: float = 0.0,
+        breaker: Optional[CircuitBreaker] = None,
+        recover: Optional[Recover] = None,
+        requeue_limit: int = 1,
     ):
         self._dispatch = dispatch
         self.max_batch = max(1, max_batch)
         self.window = max(0.0, window)
         self.max_pending = max(1, max_pending)
+        #: Per-batch dispatch deadline in seconds (0 disables).
+        self.deadline = max(0.0, deadline)
+        self.breaker = breaker
+        self._recover = recover
+        self.requeue_limit = max(0, requeue_limit)
         self._inflight: Dict[str, "asyncio.Future[Any]"] = {}
         self._queue: List[Item] = []
         self._timer: Optional[asyncio.TimerHandle] = None
@@ -58,6 +183,10 @@ class MicroBatcher:
         self.batches_dispatched = 0
         self.items_dispatched = 0
         self.coalesced = 0
+        #: Batches re-dispatched after a crash/deadline (a /metrics counter).
+        self.requeues = 0
+        #: Dispatches abandoned at the deadline (a /metrics counter).
+        self.deadline_timeouts = 0
 
     @property
     def pending(self) -> int:
@@ -67,13 +196,16 @@ class MicroBatcher:
     async def submit(self, key: str, payload: Any) -> Any:
         """Result for ``key``, solving at most once per in-flight key.
 
-        Raises :class:`Overloaded` when ``max_pending`` distinct keys
-        are already in flight (joining an existing key never rejects).
+        Raises :class:`CircuitOpen` while the breaker sheds load and
+        :class:`Overloaded` when ``max_pending`` distinct keys are
+        already in flight (joining an existing key never rejects).
         """
         existing = self._inflight.get(key)
         if existing is not None:
             self.coalesced += 1
             return await _wait(existing)
+        if self.breaker is not None and not self.breaker.allow():
+            raise CircuitOpen(self.breaker.retry_after())
         if len(self._inflight) >= self.max_pending:
             raise Overloaded(len(self._inflight))
         loop = asyncio.get_running_loop()
@@ -98,17 +230,53 @@ class MicroBatcher:
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
 
+    async def _dispatch_once(self, items: List[Item]) -> Dict[str, Any]:
+        """One dispatch attempt, bounded by the solve deadline."""
+        if self.deadline > 0:
+            try:
+                return await asyncio.wait_for(
+                    self._dispatch(items), timeout=self.deadline
+                )
+            except asyncio.TimeoutError:
+                self.deadline_timeouts += 1
+                raise DeadlineExceeded(
+                    self.deadline, [key for key, _payload in items]
+                ) from None
+        return await self._dispatch(items)
+
     async def _run_batch(self, items: List[Item]) -> None:
         self.batches_dispatched += 1
         self.items_dispatched += len(items)
-        try:
-            results = await self._dispatch(items)
-        except Exception as exc:  # noqa: BLE001 — fan the failure out to waiters
-            for key, _payload in items:
-                future = self._inflight.pop(key, None)
-                if future is not None and not future.done():
-                    future.set_exception(exc)
-            return
+        requeues_left = self.requeue_limit
+        while True:
+            try:
+                results = await self._dispatch_once(items)
+                break
+            except (WorkerCrashed, DeadlineExceeded) as exc:
+                # Pool-health failures.  Recovery (the owner's pool
+                # rebuild) runs even when no requeue remains: the NEXT
+                # batch must not inherit a wedged executor.
+                if self._recover is not None:
+                    try:
+                        await self._recover(exc)
+                    except Exception as rexc:  # noqa: BLE001 — surfaced to waiters
+                        self._fail(items, rexc)
+                        self._record_failure()
+                        return
+                if requeues_left > 0:
+                    requeues_left -= 1
+                    self.requeues += 1
+                    continue
+                self._fail(items, exc)
+                self._record_failure()
+                return
+            except Exception as exc:  # noqa: BLE001 — fan the failure out to waiters
+                # Deterministic batch errors (bad payloads) say nothing
+                # about pool health, so they bypass the breaker.
+                self._fail(items, exc)
+                return
+        if self.breaker is not None:
+            self.breaker.record_success()
         for key, _payload in items:
             future = self._inflight.pop(key, None)
             if future is None or future.done():
@@ -119,6 +287,17 @@ class MicroBatcher:
                 future.set_exception(
                     RuntimeError(f"dispatch returned no result for key {key}")
                 )
+
+    def _fail(self, items: List[Item], exc: BaseException) -> None:
+        """Fan one terminal failure out to every waiter in the batch."""
+        for key, _payload in items:
+            future = self._inflight.pop(key, None)
+            if future is not None and not future.done():
+                future.set_exception(exc)
+
+    def _record_failure(self) -> None:
+        if self.breaker is not None:
+            self.breaker.record_failure()
 
     async def drain(self) -> None:
         """Flush the queue and wait for every in-flight batch to finish."""

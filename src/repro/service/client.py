@@ -3,21 +3,41 @@
 One client holds one keep-alive connection (reconnecting transparently
 if the server closed it) — the shape the load harness fans out N of.
 Typed errors mirror the service's contract: :class:`ServiceOverloaded`
-carries ``Retry-After`` so callers can implement backoff, every other
-non-200 raises :class:`ServiceError` with the decoded error payload.
+(429) and :class:`ServiceUnavailable` (503) carry ``Retry-After`` so
+callers can implement backoff; every other non-200 raises
+:class:`ServiceError` with the decoded error payload.
+
+:meth:`AsyncMappingClient.map_matrix_retrying` layers a
+:class:`RetryPolicy` on top: capped exponential backoff with *seeded*
+jitter (`derive_seed` — two runs of one chaos plan back off
+identically), honoring the server's ``Retry-After``, with a bounded
+connection-reset budget.  Error classification is deliberate: resets,
+broken pipes, truncated responses and 429/503 are **retryable**;
+``ConnectionRefusedError`` (nothing is listening — the ECONNREFUSED
+startup loop) and every other ``OSError`` are **fatal** and surface
+immediately instead of being swallowed by a broad ``except OSError``.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.commmatrix import CommunicationMatrix
+from repro.util.rng import as_rng, derive_seed
 
 MatrixLike = Union[CommunicationMatrix, np.ndarray, Sequence[Sequence[float]]]
+
+#: Connection-level failures worth one more attempt on a fresh socket.
+RETRYABLE_CONNECTION_ERRORS = (
+    ConnectionResetError,
+    BrokenPipeError,
+    asyncio.IncompleteReadError,
+)
 
 
 class ServiceError(Exception):
@@ -37,6 +57,58 @@ class ServiceOverloaded(ServiceError):
     def __init__(self, status: int, payload: Dict[str, Any], retry_after: float):
         super().__init__(status, payload)
         self.retry_after = retry_after
+
+
+class ServiceUnavailable(ServiceError):
+    """503 — breaker open or solve requeues exhausted; retryable."""
+
+    def __init__(self, status: int, payload: Dict[str, Any], retry_after: float):
+        super().__init__(status, payload)
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs for :meth:`AsyncMappingClient.map_matrix_retrying`.
+
+    Delay for attempt *k* (0-based) is
+    ``min(max_delay, base_delay * 2**k) * (1 + jitter * u_k)`` with
+    ``u_k`` drawn from a stream seeded via ``derive_seed(seed,
+    "client-retry")`` — deterministic, so chaos runs replay exactly.
+    A server-supplied ``Retry-After`` raises the delay to at least that
+    value.  ``reset_budget`` bounds how many connection-level failures
+    (resets, broken pipes, truncated responses) are absorbed across the
+    whole call; refused connections are fatal unless ``retry_refused``.
+    """
+
+    max_attempts: int = 6
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+    reset_budget: int = 4
+    retry_refused: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be non-negative")
+
+
+def is_retryable(exc: BaseException, policy: Optional[RetryPolicy] = None) -> bool:
+    """Would :meth:`map_matrix_retrying` retry after ``exc``?
+
+    The classification boundary: transient transport/backpressure
+    failures are retryable; refused connections (by default) and any
+    other ``OSError`` — permissions, unreachable networks, bad file
+    descriptors — are not.
+    """
+    if isinstance(exc, (ServiceOverloaded, ServiceUnavailable)):
+        return True
+    if isinstance(exc, ConnectionRefusedError):
+        return bool(policy and policy.retry_refused)
+    return isinstance(exc, RETRYABLE_CONNECTION_ERRORS)
 
 
 class MapResult:
@@ -60,6 +132,10 @@ class AsyncMappingClient:
         self.port = port
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
+        #: Backoff retries taken by :meth:`map_matrix_retrying`.
+        self.retries = 0
+        #: Connection-level failures absorbed by the reset budget.
+        self.resets_retried = 0
 
     async def __aenter__(self) -> "AsyncMappingClient":
         await self.connect()
@@ -77,13 +153,18 @@ class AsyncMappingClient:
         )
 
     async def close(self) -> None:
-        """Close the connection, swallowing already-reset sockets."""
+        """Close the connection, swallowing already-dead sockets.
+
+        Only *connection-state* errors are swallowed (the peer is gone,
+        which is exactly what close wants); any other ``OSError`` is a
+        real programming/environment fault and propagates.
+        """
         if self._writer is not None:
             writer, self._writer, self._reader = self._writer, None, None
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, OSError):
+            except (ConnectionError, TimeoutError):
                 pass
 
     # -- endpoints ---------------------------------------------------------------
@@ -107,9 +188,64 @@ class AsyncMappingClient:
         if status == 429:
             retry_after = float(headers.get("retry-after", "1"))
             raise ServiceOverloaded(status, payload, retry_after)
+        if status == 503:
+            retry_after = float(headers.get("retry-after", "1"))
+            raise ServiceUnavailable(status, payload, retry_after)
         if status != 200:
             raise ServiceError(status, payload)
         return MapResult(payload, headers.get("x-repro-cache", "miss"), raw)
+
+    async def map_matrix_retrying(
+        self,
+        matrix: MatrixLike,
+        topology: Optional[Dict[str, int]] = None,
+        policy: Optional[RetryPolicy] = None,
+        sleep: Optional[Callable[[float], Awaitable[None]]] = None,
+    ) -> MapResult:
+        """``map_matrix`` with capped, seeded exponential backoff.
+
+        Retries 429/503 (honoring ``Retry-After``) and connection-level
+        failures within ``policy.reset_budget``; fatal errors — refused
+        connections, other ``OSError``, 4xx/5xx without retry semantics
+        — propagate immediately.  ``sleep`` is injectable so tests run
+        without real delays.
+        """
+        policy = policy or RetryPolicy()
+        do_sleep = sleep if sleep is not None else asyncio.sleep
+        rng = as_rng(derive_seed(policy.seed, "client-retry"))
+        resets_left = policy.reset_budget
+        last_error: BaseException = RuntimeError("retry loop did not run")
+        for attempt in range(policy.max_attempts):
+            try:
+                return await self.map_matrix(matrix, topology)
+            except (ServiceOverloaded, ServiceUnavailable) as exc:
+                last_error = exc
+                delay = max(self._backoff(policy, attempt, rng), exc.retry_after)
+            except ConnectionRefusedError as exc:
+                if not policy.retry_refused:
+                    raise  # nothing is listening: fatal, never a silent loop
+                last_error = exc
+                delay = self._backoff(policy, attempt, rng)
+            except RETRYABLE_CONNECTION_ERRORS as exc:
+                await self.close()
+                if resets_left <= 0:
+                    raise
+                resets_left -= 1
+                self.resets_retried += 1
+                last_error = exc
+                delay = self._backoff(policy, attempt, rng)
+            if attempt + 1 >= policy.max_attempts:
+                break
+            self.retries += 1
+            await do_sleep(delay)
+        raise last_error
+
+    @staticmethod
+    def _backoff(
+        policy: RetryPolicy, attempt: int, rng: "np.random.Generator"
+    ) -> float:
+        base = min(policy.max_delay, policy.base_delay * (2.0 ** attempt))
+        return base * (1.0 + policy.jitter * float(rng.random()))
 
     async def healthz(self) -> Dict[str, Any]:
         """GET /healthz; returns the liveness document."""

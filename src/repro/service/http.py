@@ -23,6 +23,8 @@ import asyncio
 import signal
 from typing import Dict, Optional, Tuple
 
+from repro.faults.injector import InjectedReset, get_injector
+from repro.faults.plan import SITE_HTTP_RESPONSE
 from repro.service.app import MappingService, Response, ServiceConfig, _error_body
 
 _REASONS = {
@@ -34,6 +36,7 @@ _REASONS = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 _MAX_HEADERS = 100
@@ -183,6 +186,17 @@ class MappingServer:
                     not self._closing
                     and request.headers.get("connection", "").lower() != "close"
                 )
+                # Chaos site: a scheduled `reset` here drops the fully
+                # computed response on the floor and aborts the socket —
+                # the half-closed-connection failure mode clients must
+                # survive via their retry budget.  `slow` delays the
+                # write without blocking the loop.
+                try:
+                    await get_injector().afire(SITE_HTTP_RESPONSE)
+                except InjectedReset:
+                    self.service.metrics.connection_resets_total += 1
+                    writer.transport.abort()
+                    break
                 await self._write_response(writer, response, keep_alive=keep_alive)
                 if not keep_alive:
                     break

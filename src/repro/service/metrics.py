@@ -28,6 +28,18 @@ class ServiceMetrics:
         self.rejected_total = 0
         self.validation_errors_total = 0
         self.http_errors_total = 0
+        # Fault-tolerance counters (chaos-tested; all invocation-driven
+        # and therefore identical across reruns of one fault plan).
+        self.faults_injected_total = 0
+        self.worker_crashes_total = 0
+        self.pool_rebuilds_total = 0
+        self.batch_requeues_total = 0
+        self.solve_deadline_total = 0
+        self.breaker_open_total = 0
+        self.breaker_state = 0  # 0 closed, 1 half-open, 2 open
+        self.shed_total = 0
+        self.solve_failures_total = 0
+        self.connection_resets_total = 0
         self.inflight = 0
         self._latency_ms: Deque[float] = deque(maxlen=latency_window)
 
@@ -64,6 +76,16 @@ class ServiceMetrics:
             ("rejected_total", "counter", self.rejected_total),
             ("validation_errors_total", "counter", self.validation_errors_total),
             ("http_errors_total", "counter", self.http_errors_total),
+            ("faults_injected_total", "counter", self.faults_injected_total),
+            ("worker_crashes_total", "counter", self.worker_crashes_total),
+            ("pool_rebuilds_total", "counter", self.pool_rebuilds_total),
+            ("batch_requeues_total", "counter", self.batch_requeues_total),
+            ("solve_deadline_total", "counter", self.solve_deadline_total),
+            ("breaker_open_total", "counter", self.breaker_open_total),
+            ("breaker_state", "gauge", self.breaker_state),
+            ("shed_total", "counter", self.shed_total),
+            ("solve_failures_total", "counter", self.solve_failures_total),
+            ("connection_resets_total", "counter", self.connection_resets_total),
             ("inflight", "gauge", self.inflight),
             ("cache_hit_rate", "gauge", self.cache_hit_rate),
             ("latency_p50_ms", "gauge", self.latency_quantile_ms(0.50)),

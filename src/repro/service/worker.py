@@ -13,8 +13,11 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.faults.injector import get_injector
+from repro.faults.plan import SITE_WORKER_SOLVE
 from repro.machine.topology import Topology
 from repro.mapping.hierarchical import solve_mapping
+from repro.util.validation import ValidationError
 
 #: (cores_per_l2, l2_per_chip, chips) — the structural topology shape.
 TopoSpec = Tuple[int, int, int]
@@ -38,10 +41,23 @@ def solve_batch(items: List[SolveItem]) -> List[Tuple[str, Tuple[int, ...]]]:
 
     Pure function of its arguments: no RNG, no clock, no globals — the
     determinism contract that makes results byte-identical across pool
-    workers and across service restarts.
+    workers and across service restarts.  (The fault site below is the
+    one sanctioned exception: an *activated* chaos plan may crash, hang
+    or slow this call, keyed by invocation count, never by clock.)
+
+    A matrix buffer whose length disagrees with its claimed ``n`` is
+    rejected with a typed :class:`ValidationError` naming the key and
+    both sizes — not the bare numpy reshape error it used to surface.
     """
+    get_injector().fire(SITE_WORKER_SOLVE)
     out: List[Tuple[str, Tuple[int, ...]]] = []
     for key, raw, n, spec in items:
+        expected = n * n * np.dtype(np.float64).itemsize
+        if n < 1 or len(raw) != expected:
+            raise ValidationError(
+                f"solve item {key}: matrix buffer is {len(raw)} bytes, "
+                f"expected {expected} for n={n} float64 threads"
+            )
         matrix = np.frombuffer(raw, dtype=np.float64).reshape(n, n)
         mapping = solve_mapping(matrix, topology_from_spec(spec))
         out.append((key, mapping.assignment))

@@ -1,0 +1,42 @@
+"""Property-based chaos: random transient plans must settle cleanly.
+
+Hypothesis draws plan seeds; each seed expands (purely, via
+``derive_seed``) into a transient-only fault schedule that is round-
+tripped through its JSON form — the replay artifact — before being run
+against the live service stack.  The property is the tentpole contract:
+
+    for every transient-only plan, once retries settle, the client
+    observes responses byte-identical to a fault-free run.
+
+A failing example prints its seed via ``note``; replaying it is
+``run_chaos(random_plan(seed))`` — no shrunk blob required.
+"""
+
+from hypothesis import HealthCheck, given, note, settings
+from hypothesis import strategies as st
+
+from repro.faults.plan import FaultPlan, random_plan
+from tests.faults.harness import assert_settled_identical, baseline, run_chaos
+
+# Each example boots a real server and may sleep through backoff waits;
+# hypothesis's per-example deadline and too-slow heuristics don't apply.
+CHAOS_SETTINGS = settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,  # CI stability; seeds themselves provide the spread
+)
+
+
+@CHAOS_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_transient_plans_settle_byte_identical(seed):
+    plan = random_plan(seed, max_events=3)
+    note(f"replay with: run_chaos(random_plan({seed}, max_events=3))")
+    note(f"plan: {plan.to_json()}")
+    assert plan.transient_only()
+    # The replay artifact must be lossless: run the *deserialized* plan.
+    replayed = FaultPlan.from_json(plan.to_json())
+    assert replayed == plan
+    run = run_chaos(replayed)
+    assert_settled_identical(run, baseline())

@@ -1,0 +1,211 @@
+"""Scripted chaos scenarios against the live service stack.
+
+Each test activates one hand-written :class:`FaultPlan`, replays the
+fixed request script through real sockets (see ``harness``), and pins
+down both halves of the resilience contract:
+
+* **liveness** — every request settles to a response byte-identical to
+  the fault-free run, and
+* **accounting** — the /metrics fault counters record *exactly* the
+  recovery work that the plan forced, so reverting any recovery path
+  (the requeue, the rebuild, the deadline, the client retry) flips an
+  assertion here rather than silently degrading.
+"""
+
+import pytest
+
+from repro.faults.plan import (
+    SITE_HTTP_RESPONSE,
+    SITE_WORKER_SOLVE,
+    FaultEvent,
+    FaultPlan,
+    random_plan,
+)
+from tests.faults.harness import (
+    assert_settled_identical,
+    baseline,
+    chaos_config,
+    chaos_policy,
+    run_chaos,
+)
+
+#: The fixed replay seeds for `make test-chaos` (see Makefile).
+CHAOS_SEEDS = (11, 23, 42)
+
+
+class TestFaultFree:
+    def test_empty_plan_is_a_noop(self):
+        run = run_chaos(FaultPlan())
+        assert_settled_identical(run)
+        assert run.fault_counters == {name: 0 for name in run.fault_counters}
+        assert run.client_retries == 0 and run.client_resets == 0
+        assert run.injector_snapshot == {}
+
+
+class TestWorkerCrash:
+    def test_crash_is_requeued_invisibly_to_the_client(self):
+        """One injected worker death: the batcher rebuilds the pool and
+        requeues the batch, so the *client* never sees a failure.  This
+        is the regression tripwire for the requeue path — without it the
+        crash would surface as a 503 and client_retries would be > 0."""
+        plan = FaultPlan(seed=11, events=(
+            FaultEvent(site=SITE_WORKER_SOLVE, invocation=1, kind="crash"),
+        ))
+        run = run_chaos(plan)
+        assert_settled_identical(run)
+        c = run.fault_counters
+        assert c["worker_crashes_total"] == 1
+        assert c["pool_rebuilds_total"] == 1
+        assert c["batch_requeues_total"] == 1
+        assert c["solve_failures_total"] == 0
+        assert c["shed_total"] == 0
+        assert run.client_retries == 0  # recovery stayed server-side
+
+    def test_consecutive_crashes_fail_cleanly_then_client_recovers(self):
+        """Two crashes back to back exhaust the single requeue: the
+        request fails *cleanly* (503 + Retry-After, pool already
+        rebuilt) and the retrying client settles it on a later
+        attempt — the final bodies still match the fault-free run."""
+        plan = FaultPlan(seed=12, events=(
+            FaultEvent(site=SITE_WORKER_SOLVE, invocation=1, kind="crash",
+                       count=2),
+        ))
+        run = run_chaos(plan)
+        assert_settled_identical(run)
+        c = run.fault_counters
+        assert c["worker_crashes_total"] == 2
+        assert c["batch_requeues_total"] == 1  # the one allowed requeue
+        assert c["solve_failures_total"] == 1  # then the clean 503
+        assert run.client_retries >= 1  # the client finished the job
+
+
+class TestHungWorker:
+    def test_deadline_abandons_hang_and_requeues(self):
+        """A worker that sleeps past the solve deadline is abandoned:
+        the pool is rebuilt and the batch re-dispatched, all within the
+        one client attempt."""
+        plan = FaultPlan(seed=13, events=(
+            FaultEvent(site=SITE_WORKER_SOLVE, invocation=1, kind="hang",
+                       seconds=0.6),
+        ))
+        run = run_chaos(plan, config=chaos_config(solve_deadline=0.15))
+        assert_settled_identical(run)
+        c = run.fault_counters
+        assert c["solve_deadline_total"] == 1
+        assert c["pool_rebuilds_total"] == 1
+        assert c["batch_requeues_total"] == 1
+        assert c["worker_crashes_total"] == 0  # hang ≠ crash in accounting
+        assert run.client_retries == 0
+
+    def test_slow_worker_within_deadline_is_not_a_fault_path(self):
+        plan = FaultPlan(seed=14, events=(
+            FaultEvent(site=SITE_WORKER_SOLVE, invocation=1, kind="slow",
+                       seconds=0.02),
+        ))
+        run = run_chaos(plan)
+        assert_settled_identical(run)
+        c = run.fault_counters
+        assert c["faults_injected_total"] == 1  # it did fire...
+        assert c["pool_rebuilds_total"] == 0  # ...but forced no recovery
+
+
+class TestConnectionReset:
+    def test_reset_responses_are_resent_byte_identically(self):
+        """The server aborts two sockets mid-response; the client's
+        reconnect logic replays the requests and — thanks to the body
+        cache — receives the exact bytes the aborted responses held."""
+        plan = FaultPlan(seed=15, events=(
+            FaultEvent(site=SITE_HTTP_RESPONSE, invocation=1, kind="reset"),
+            FaultEvent(site=SITE_HTTP_RESPONSE, invocation=4, kind="reset"),
+        ))
+        run = run_chaos(plan)
+        assert_settled_identical(run)
+        assert run.fault_counters["connection_resets_total"] == 2
+
+    def test_slow_response_write_changes_nothing(self):
+        plan = FaultPlan(seed=16, events=(
+            FaultEvent(site=SITE_HTTP_RESPONSE, invocation=2, kind="slow",
+                       seconds=0.03),
+        ))
+        run = run_chaos(plan)
+        assert_settled_identical(run)
+
+
+class TestCircuitBreaker:
+    def breaker_plan(self):
+        # Enough consecutive crashes that with requeue_limit=0 and
+        # breaker_threshold=1 every attempt fails and the breaker opens.
+        return FaultPlan(seed=17, events=(
+            FaultEvent(site=SITE_WORKER_SOLVE, invocation=1, kind="crash",
+                       count=99),
+        ))
+
+    def test_open_breaker_sheds_with_retry_after(self):
+        """With a long reset window the breaker opens on the first
+        failure and every later attempt is shed as a 503 without ever
+        touching the (still broken) worker path."""
+        run = run_chaos(
+            self.breaker_plan(),
+            policy=chaos_policy(seed=17, max_attempts=4),
+            config=chaos_config(
+                requeue_limit=0, breaker_threshold=1, breaker_reset=30.0
+            ),
+        )
+        assert not run.ok()
+        assert "ServiceUnavailable" in run.errors[0]
+        c = run.fault_counters
+        assert c["breaker_open_total"] == 1
+        assert c["shed_total"] >= 1  # later attempts never reached the pool
+        # Shed attempts fire no worker fault: crashes stay bounded by the
+        # attempts that actually dispatched.
+        assert c["worker_crashes_total"] < 4 * len(run.bodies)
+
+    def test_breaker_half_opens_and_service_recovers(self):
+        """A short reset window: the breaker admits a probe after the
+        faults run out, closes on its success, and the remaining script
+        settles byte-identically."""
+        plan = FaultPlan(seed=18, events=(
+            FaultEvent(site=SITE_WORKER_SOLVE, invocation=1, kind="crash",
+                       count=4),
+        ))
+        run = run_chaos(
+            plan,
+            config=chaos_config(
+                requeue_limit=0, breaker_threshold=2, breaker_reset=0.05
+            ),
+        )
+        assert_settled_identical(run)
+        c = run.fault_counters
+        assert c["breaker_open_total"] >= 1
+        assert c["worker_crashes_total"] == 4
+        assert run.client_retries >= 1
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_same_plan_twice_is_bit_identical(self, seed):
+        """The headline determinism contract: rerunning one plan yields
+        identical bodies, identical errors, and identical fault
+        counters — fault firing is keyed by invocation counts alone."""
+        plan = random_plan(seed)
+        first = run_chaos(plan)
+        second = run_chaos(plan)
+        assert first.bodies == second.bodies
+        assert first.errors == second.errors
+        assert first.fault_counters == second.fault_counters
+        assert first.injector_snapshot == second.injector_snapshot
+        assert first.client_retries == second.client_retries
+        assert first.client_resets == second.client_resets
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_fixed_seeds_settle_to_fault_free_bytes(self, seed):
+        """`make test-chaos` pins these seeds: every generated transient
+        plan must settle byte-identically to the fault-free run."""
+        plan = random_plan(seed)
+        assert plan.transient_only()
+        run = run_chaos(plan)
+        assert_settled_identical(run)
+
+    def test_baseline_itself_is_reproducible(self):
+        again = run_chaos(FaultPlan())
+        assert again.bodies == baseline().bodies

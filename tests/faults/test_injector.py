@@ -1,0 +1,183 @@
+"""Unit tests for the fault injector: counting, firing, activation."""
+
+import asyncio
+
+import pytest
+
+from repro.faults.injector import (
+    PLAN_ENV_VAR,
+    FaultInjector,
+    InjectedCrash,
+    InjectedReset,
+    NullInjector,
+    activate,
+    activated,
+    deactivate,
+    get_injector,
+)
+from repro.faults.plan import FaultEvent, FaultPlan
+
+
+def plan_of(*events: FaultEvent, seed: int = 3) -> FaultPlan:
+    return FaultPlan(seed=seed, events=events)
+
+
+class TestInactiveDefault:
+    def test_no_plan_means_noop_injector(self, monkeypatch):
+        monkeypatch.delenv(PLAN_ENV_VAR, raising=False)
+        deactivate()
+        inj = get_injector()
+        assert isinstance(inj, NullInjector)
+        assert inj.fire("anything") is None
+        assert inj.corrupt_bytes("anything", b"data") == b"data"
+        assert inj.fired_total() == 0
+
+    def test_activated_scopes_the_plan(self, monkeypatch):
+        monkeypatch.delenv(PLAN_ENV_VAR, raising=False)
+        plan = plan_of(FaultEvent(site="s", invocation=1, kind="crash"))
+        with activated(plan) as inj:
+            assert get_injector() is inj
+        assert isinstance(get_injector(), NullInjector)
+
+
+class TestCounting:
+    def test_event_fires_on_its_invocation_only(self):
+        inj = FaultInjector(plan_of(
+            FaultEvent(site="s", invocation=2, kind="crash"),
+        ))
+        assert inj.fire("s") is None  # invocation 1: clean
+        with pytest.raises(InjectedCrash) as excinfo:
+            inj.fire("s")  # invocation 2: boom
+        assert excinfo.value.site == "s"
+        assert excinfo.value.invocation == 2
+        assert inj.fire("s") is None  # invocation 3: clean again
+        assert inj.invocations("s") == 3
+        assert inj.fired_total() == 1
+
+    def test_count_spans_consecutive_invocations(self):
+        inj = FaultInjector(plan_of(
+            FaultEvent(site="s", invocation=1, kind="crash", count=2),
+        ))
+        for _ in range(2):
+            with pytest.raises(InjectedCrash):
+                inj.fire("s")
+        assert inj.fire("s") is None
+        assert inj.fired_total() == 2
+
+    def test_sites_count_independently(self):
+        inj = FaultInjector(plan_of(
+            FaultEvent(site="a", invocation=1, kind="crash"),
+        ))
+        assert inj.fire("b") is None
+        with pytest.raises(InjectedCrash):
+            inj.fire("a")
+
+    def test_snapshot_is_deterministic(self):
+        inj = FaultInjector(plan_of(
+            FaultEvent(site="s", invocation=1, kind="slow", seconds=0.0),
+            FaultEvent(site="s", invocation=2, kind="crash"),
+        ))
+        inj.fire("s")
+        with pytest.raises(InjectedCrash):
+            inj.fire("s")
+        assert inj.snapshot() == {"s:crash": 1, "s:slow": 1}
+
+
+class TestKinds:
+    def test_slow_returns_the_event(self):
+        inj = FaultInjector(plan_of(
+            FaultEvent(site="s", invocation=1, kind="slow", seconds=0.0),
+        ))
+        event = inj.fire("s")
+        assert event is not None and event.kind == "slow"
+
+    def test_reset_raises(self):
+        inj = FaultInjector(plan_of(
+            FaultEvent(site="s", invocation=1, kind="reset"),
+        ))
+        with pytest.raises(InjectedReset):
+            inj.fire("s")
+
+    def test_afire_async_twin(self):
+        inj = FaultInjector(plan_of(
+            FaultEvent(site="s", invocation=1, kind="hang", seconds=0.0),
+            FaultEvent(site="s", invocation=2, kind="reset"),
+        ))
+
+        async def scenario():
+            event = await inj.afire("s")
+            assert event is not None and event.kind == "hang"
+            with pytest.raises(InjectedReset):
+                await inj.afire("s")
+
+        asyncio.run(scenario())
+
+
+class TestCorruptBytes:
+    def plan(self):
+        return plan_of(
+            FaultEvent(site="s", invocation=1, kind="corrupt"), seed=9
+        )
+
+    def test_corruption_is_deterministic(self):
+        data = bytes(range(64))
+        one = FaultInjector(self.plan()).corrupt_bytes("s", data)
+        two = FaultInjector(self.plan()).corrupt_bytes("s", data)
+        assert one == two
+        assert one != data
+        assert len(one) == len(data)
+        assert one[0] == data[0] ^ 0xFF  # framing byte always inverted
+
+    def test_non_matching_invocation_passes_through(self):
+        inj = FaultInjector(self.plan())
+        inj.corrupt_bytes("s", b"victim")  # invocation 1: corrupted
+        assert inj.corrupt_bytes("s", b"clean") == b"clean"
+
+    def test_empty_payload_is_untouched(self):
+        assert FaultInjector(self.plan()).corrupt_bytes("s", b"") == b""
+
+
+class TestLatch:
+    def test_latch_fires_at_most_once_across_injectors(self, tmp_path):
+        """Two injectors with fresh counters stand in for two forked
+        pool workers; the latch file arbitrates a single firing."""
+        latch = str(tmp_path / "latch")
+        mk = lambda: FaultInjector(plan_of(
+            FaultEvent(site="s", invocation=1, kind="crash", latch=latch),
+        ))
+        first, second = mk(), mk()
+        with pytest.raises(InjectedCrash):
+            first.fire("s")
+        assert second.fire("s") is None  # latch already claimed
+        assert second.fired_total() == 0
+
+
+class TestEnvActivation:
+    def test_env_var_loads_plan_in_fresh_process_state(self, tmp_path, monkeypatch):
+        plan = plan_of(FaultEvent(site="s", invocation=1, kind="reset"))
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        deactivate()
+        monkeypatch.setenv(PLAN_ENV_VAR, str(path))
+        try:
+            inj = get_injector()
+            assert inj.plan == plan
+            with pytest.raises(InjectedReset):
+                inj.fire("s")
+            # Once activated, later calls keep the same counting injector.
+            assert get_injector() is inj
+        finally:
+            deactivate()
+
+    def test_explicit_activation_wins_over_env(self, tmp_path, monkeypatch):
+        envplan = plan_of(FaultEvent(site="s", invocation=1, kind="crash"))
+        path = tmp_path / "plan.json"
+        envplan.save(path)
+        monkeypatch.setenv(PLAN_ENV_VAR, str(path))
+        direct = FaultPlan(seed=1)
+        try:
+            inj = activate(direct)
+            assert get_injector() is inj
+            assert inj.plan == direct
+        finally:
+            deactivate()

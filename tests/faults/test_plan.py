@@ -1,0 +1,140 @@
+"""Unit tests for fault plans: validation, serialization, generation."""
+
+import json
+
+import pytest
+
+from repro.faults.plan import (
+    KINDS,
+    SERVICE_SITE_KINDS,
+    SERVICE_SITES,
+    SITE_HTTP_RESPONSE,
+    SITE_WORKER_SOLVE,
+    TRANSIENT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    random_plan,
+)
+
+
+class TestFaultEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(site="s", invocation=1, kind="explode")
+
+    def test_rejects_zero_invocation(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultEvent(site="s", invocation=0, kind="crash")
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError, match="count"):
+            FaultEvent(site="s", invocation=1, kind="crash", count=0)
+
+    def test_rejects_negative_seconds(self):
+        with pytest.raises(ValueError, match="seconds"):
+            FaultEvent(site="s", invocation=1, kind="slow", seconds=-0.1)
+
+    def test_matches_covers_count_consecutive_invocations(self):
+        ev = FaultEvent(site="s", invocation=3, kind="crash", count=2)
+        assert [ev.matches(n) for n in range(1, 7)] == [
+            False, False, True, True, False, False,
+        ]
+
+    def test_every_kind_constructs(self):
+        for kind in KINDS:
+            FaultEvent(site="s", invocation=1, kind=kind)
+
+
+class TestFaultPlan:
+    def plan(self):
+        return FaultPlan(
+            seed=42,
+            events=(
+                FaultEvent(site=SITE_WORKER_SOLVE, invocation=1, kind="crash"),
+                FaultEvent(site=SITE_HTTP_RESPONSE, invocation=2, kind="reset"),
+                FaultEvent(site="x", invocation=1, kind="slow", seconds=0.01),
+            ),
+            note="unit",
+        )
+
+    def test_truthiness_tracks_events(self):
+        assert not FaultPlan()
+        assert self.plan()
+
+    def test_for_site_filters_in_order(self):
+        events = self.plan().for_site(SITE_WORKER_SOLVE)
+        assert len(events) == 1 and events[0].kind == "crash"
+
+    def test_transient_only(self):
+        assert self.plan().transient_only()
+        corrupting = FaultPlan(events=(
+            FaultEvent(site="s", invocation=1, kind="corrupt"),
+        ))
+        assert not corrupting.transient_only()
+        assert set(TRANSIENT_KINDS) == set(KINDS) - {"corrupt"}
+
+    def test_json_round_trip_is_byte_stable(self):
+        plan = self.plan()
+        text = plan.to_json()
+        again = FaultPlan.from_json(text)
+        assert again == plan
+        assert again.to_json() == text  # stable bytes, stable keys
+
+    def test_from_json_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown fault-plan field"):
+            FaultPlan.from_json('{"seed": 1, "surprise": true}')
+
+    def test_from_json_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            FaultPlan.from_json("[1, 2]")
+
+    def test_from_json_rejects_non_list_events(self):
+        with pytest.raises(ValueError, match="must be a list"):
+            FaultPlan.from_json('{"events": {"site": "s"}}')
+
+    def test_from_json_validates_events(self):
+        doc = json.dumps({"events": [{"site": "s", "invocation": 0,
+                                      "kind": "crash"}]})
+        with pytest.raises(ValueError, match="1-based"):
+            FaultPlan.from_json(doc)
+
+    def test_save_load_round_trip(self, tmp_path):
+        plan = self.plan()
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+
+class TestRandomPlan:
+    def test_pure_function_of_seed(self):
+        assert random_plan(7) == random_plan(7)
+        assert random_plan(7).to_json() == random_plan(7).to_json()
+
+    def test_seeds_differ(self):
+        plans = {random_plan(s).to_json() for s in range(20)}
+        assert len(plans) > 1
+
+    def test_events_respect_bounds(self):
+        for seed in range(50):
+            plan = random_plan(seed, max_events=3, max_invocation=5)
+            assert 1 <= len(plan.events) <= 3
+            for ev in plan.events:
+                assert 1 <= ev.invocation <= 5
+                assert ev.site in SERVICE_SITES
+                assert ev.kind in TRANSIENT_KINDS
+
+    def test_site_kind_pools_respected(self):
+        """A crash only makes sense where a worker runs; a reset only
+        where a connection exists — the default pools enforce that."""
+        for seed in range(120):
+            for ev in random_plan(seed).events:
+                assert ev.kind in SERVICE_SITE_KINDS[ev.site]
+
+    def test_generated_plans_are_transient_only(self):
+        assert all(random_plan(s).transient_only() for s in range(50))
+
+    def test_rejects_empty_inputs(self):
+        with pytest.raises(ValueError, match="site"):
+            random_plan(1, sites=())
+        with pytest.raises(ValueError, match="kind"):
+            random_plan(1, kinds=())

@@ -4,7 +4,14 @@ import asyncio
 
 import pytest
 
-from repro.service.batcher import MicroBatcher, Overloaded
+from repro.service.batcher import (
+    CircuitBreaker,
+    CircuitOpen,
+    DeadlineExceeded,
+    MicroBatcher,
+    Overloaded,
+    WorkerCrashed,
+)
 
 
 class RecordingDispatch:
@@ -154,3 +161,192 @@ class TestDrain:
             return await waiter
 
         assert run(scenario()) == "solved:k"
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class CrashingDispatch:
+    """Raises WorkerCrashed for the first ``crashes`` calls, then solves."""
+
+    def __init__(self, crashes):
+        self.crashes = crashes
+        self.calls = 0
+
+    async def __call__(self, items):
+        self.calls += 1
+        if self.calls <= self.crashes:
+            raise WorkerCrashed(f"boom #{self.calls}")
+        return {key: f"solved:{key}" for key, _payload in items}
+
+
+class TestRequeue:
+    def test_one_crash_is_requeued_after_recovery(self):
+        async def scenario():
+            dispatch = CrashingDispatch(crashes=1)
+            recoveries = []
+
+            async def recover(exc):
+                recoveries.append(exc)
+
+            batcher = MicroBatcher(dispatch, window=0.0, recover=recover,
+                                   requeue_limit=1)
+            result = await batcher.submit("k", 0)
+            return dispatch, recoveries, batcher, result
+
+        dispatch, recoveries, batcher, result = run(scenario())
+        assert result == "solved:k"
+        assert dispatch.calls == 2
+        assert batcher.requeues == 1
+        assert len(recoveries) == 1 and isinstance(recoveries[0], WorkerCrashed)
+
+    def test_requeues_exhausted_fail_every_waiter(self):
+        async def scenario():
+            dispatch = CrashingDispatch(crashes=99)
+            batcher = MicroBatcher(dispatch, window=0.0, requeue_limit=1)
+            with pytest.raises(WorkerCrashed):
+                await batcher.submit("k", 0)
+            return dispatch, batcher
+
+        dispatch, batcher = run(scenario())
+        assert dispatch.calls == 2  # original + the single requeue
+        assert batcher.requeues == 1
+        assert batcher.pending == 0
+
+    def test_recovery_runs_even_when_no_requeue_remains(self):
+        """The next batch must not inherit a wedged executor: recovery
+        happens on every pool-health failure, requeue or not."""
+        async def scenario():
+            dispatch = CrashingDispatch(crashes=1)
+            recoveries = []
+
+            async def recover(exc):
+                recoveries.append(exc)
+
+            batcher = MicroBatcher(dispatch, window=0.0, recover=recover,
+                                   requeue_limit=0)
+            with pytest.raises(WorkerCrashed):
+                await batcher.submit("k", 0)
+            return recoveries
+
+        assert len(run(scenario())) == 1
+
+    def test_deterministic_errors_are_not_requeued(self):
+        """A bad payload raising inside the solver is a pure function of
+        its input: retrying cannot help and must not happen."""
+        async def scenario():
+            dispatch = RecordingDispatch(fail=True)
+            batcher = MicroBatcher(dispatch, window=0.0, requeue_limit=3)
+            with pytest.raises(RuntimeError, match="solver exploded"):
+                await batcher.submit("k", 0)
+            return dispatch, batcher
+
+        dispatch, batcher = run(scenario())
+        assert len(dispatch.batches) == 1  # exactly one attempt
+        assert batcher.requeues == 0
+
+
+class TestDeadline:
+    def test_overrunning_dispatch_is_abandoned(self):
+        async def scenario():
+            gate = asyncio.Event()  # never set: the dispatch hangs
+            dispatch = RecordingDispatch(gate=gate)
+            batcher = MicroBatcher(dispatch, window=0.0, deadline=0.05,
+                                   requeue_limit=0)
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                await batcher.submit("k", 0)
+            return batcher, excinfo.value
+
+        batcher, exc = run(scenario())
+        assert exc.keys == ["k"]
+        assert batcher.deadline_timeouts == 1
+
+    def test_zero_deadline_means_unbounded(self):
+        async def scenario():
+            dispatch = RecordingDispatch()
+            batcher = MicroBatcher(dispatch, window=0.0, deadline=0.0)
+            return await batcher.submit("k", 0)
+
+        assert run(scenario()) == "solved:k"
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, reset_after=1.0, clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        assert breaker.opened_total == 1
+        assert 0.0 < breaker.retry_after() <= 1.0
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED  # streak broken
+
+    def test_half_open_probe_then_close_or_reopen(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, reset_after=1.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()  # the probe is admitted
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_failure()  # probe failed: snap back open
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opened_total == 2
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.state_code == 0
+
+    def test_open_breaker_sheds_new_keys_but_not_joins(self):
+        async def scenario():
+            gate = asyncio.Event()
+            dispatch = RecordingDispatch(gate=gate)
+            clock = FakeClock()
+            breaker = CircuitBreaker(threshold=1, reset_after=10.0, clock=clock)
+            batcher = MicroBatcher(dispatch, window=10.0, breaker=breaker,
+                                   requeue_limit=0)
+            waiter = asyncio.ensure_future(batcher.submit("k", 0))
+            await asyncio.sleep(0.01)  # "k" is queued and in flight
+            breaker.record_failure()  # force the breaker open
+            with pytest.raises(CircuitOpen) as excinfo:
+                await batcher.submit("fresh", 1)
+            assert excinfo.value.retry_after > 0
+            join = asyncio.ensure_future(batcher.submit("k", 0))
+            await asyncio.sleep(0.01)
+            assert not join.done()  # joined the in-flight key, not shed
+            gate.set()
+            await batcher.drain()
+            return await waiter, await join
+
+        assert run(scenario()) == ("solved:k", "solved:k")
+
+    def test_successful_dispatch_closes_the_breaker(self):
+        async def scenario():
+            dispatch = CrashingDispatch(crashes=1)
+            clock = FakeClock()
+            breaker = CircuitBreaker(threshold=5, clock=clock)
+            batcher = MicroBatcher(dispatch, window=0.0, breaker=breaker,
+                                   requeue_limit=1)
+            await batcher.submit("k", 0)  # crash → requeue → success
+            return breaker
+
+        breaker = run(scenario())
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.failures == 0  # the requeued success wiped the slate

@@ -1,0 +1,190 @@
+"""Client retry policy: classification, backoff, budgets.
+
+The regression at the heart of this file: the client used to swallow
+*every* ``OSError`` around connection handling, so ``ECONNREFUSED`` —
+nothing is listening; retrying cannot help — looped silently instead of
+failing fast.  Classification is now explicit: 429/503 and transient
+transport failures (reset, broken pipe, truncated response) retry;
+refused connections and all other ``OSError`` surface immediately.
+"""
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.service.client import (
+    AsyncMappingClient,
+    RetryPolicy,
+    ServiceOverloaded,
+    ServiceUnavailable,
+    is_retryable,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class ScriptedClient(AsyncMappingClient):
+    """A client whose ``map_matrix`` plays back a scripted sequence of
+    exceptions / results, recording calls and closes."""
+
+    def __init__(self, script):
+        super().__init__("127.0.0.1", 1)
+        self.script = list(script)
+        self.calls = 0
+        self.closes = 0
+
+    async def map_matrix(self, matrix, topology=None):
+        self.calls += 1
+        action = self.script.pop(0)
+        if isinstance(action, BaseException):
+            raise action
+        return action
+
+    async def close(self):
+        self.closes += 1
+        await super().close()
+
+
+def reset_error():
+    return ConnectionResetError("peer reset")
+
+
+def overloaded(retry_after=0.0):
+    return ServiceOverloaded(429, {"error": {"message": "queue full"}}, retry_after)
+
+
+def unavailable(retry_after=0.0):
+    return ServiceUnavailable(503, {"error": {"message": "breaker open"}}, retry_after)
+
+
+async def retrying(client, policy, delays=None):
+    async def record(delay):
+        if delays is not None:
+            delays.append(delay)
+
+    return await client.map_matrix_retrying([[0.0]], policy=policy, sleep=record)
+
+
+class TestRefusedIsFatal:
+    def test_connection_refused_raises_immediately(self):
+        client = ScriptedClient([ConnectionRefusedError("ECONNREFUSED")])
+        delays = []
+        with pytest.raises(ConnectionRefusedError):
+            run(retrying(client, RetryPolicy(), delays))
+        assert client.calls == 1  # no silent loop
+        assert delays == []
+        assert client.retries == 0
+
+    def test_real_socket_econnrefused_propagates(self):
+        """Against a real closed port: the old broad ``except OSError``
+        would have classified this as retryable; it must surface."""
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens on `port` now
+
+        async def scenario():
+            client = AsyncMappingClient("127.0.0.1", port)
+            try:
+                await client.map_matrix_retrying([[0.0]], policy=RetryPolicy())
+            finally:
+                await client.close()
+
+        with pytest.raises(ConnectionRefusedError):
+            run(scenario())
+
+    def test_opt_in_retry_refused(self):
+        client = ScriptedClient([ConnectionRefusedError(), "ok"])
+        delays = []
+        result = run(retrying(
+            client, RetryPolicy(retry_refused=True), delays
+        ))
+        assert result == "ok"
+        assert len(delays) == 1
+
+
+class TestBackpressureRetries:
+    def test_retry_after_is_honored(self):
+        client = ScriptedClient([overloaded(retry_after=0.7), "ok"])
+        delays = []
+        assert run(retrying(client, RetryPolicy(base_delay=0.01), delays)) == "ok"
+        assert delays[0] >= 0.7  # server's wait request is a floor
+        assert client.retries == 1
+
+    def test_unavailable_503_is_retryable(self):
+        client = ScriptedClient([unavailable(), unavailable(), "ok"])
+        assert run(retrying(client, RetryPolicy(base_delay=0.0))) == "ok"
+        assert client.calls == 3
+
+    def test_attempts_exhausted_raises_last_error(self):
+        client = ScriptedClient([unavailable(), unavailable(), unavailable()])
+        with pytest.raises(ServiceUnavailable):
+            run(retrying(client, RetryPolicy(max_attempts=3, base_delay=0.0)))
+        assert client.calls == 3
+        assert client.retries == 2  # no sleep after the final attempt
+
+    def test_backoff_is_seeded_and_deterministic(self):
+        def delays_for(seed):
+            client = ScriptedClient([overloaded(), overloaded(), overloaded(), "ok"])
+            delays = []
+            run(retrying(client, RetryPolicy(seed=seed, jitter=0.5), delays))
+            return delays
+
+        assert delays_for(7) == delays_for(7)  # same seed: same jitter
+        assert delays_for(7) != delays_for(8)
+
+    def test_backoff_grows_and_caps(self):
+        client = ScriptedClient([overloaded()] * 5 + ["ok"])
+        delays = []
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=0.05, max_delay=0.2, jitter=0.1, seed=1
+        )
+        run(retrying(client, policy, delays))
+        assert delays[0] < delays[1] < delays[2]  # exponential start
+        assert all(d <= 0.2 * 1.1 for d in delays)  # capped (plus jitter)
+
+
+class TestResetBudget:
+    def test_resets_absorbed_within_budget(self):
+        client = ScriptedClient([reset_error(), reset_error(), "ok"])
+        assert run(retrying(client, RetryPolicy(reset_budget=2, base_delay=0.0))) == "ok"
+        assert client.resets_retried == 2
+        assert client.closes >= 2  # each reset discards the connection
+
+    def test_budget_exhaustion_surfaces_the_reset(self):
+        client = ScriptedClient([reset_error()] * 3)
+        with pytest.raises(ConnectionResetError):
+            run(retrying(client, RetryPolicy(reset_budget=2, base_delay=0.0)))
+        assert client.resets_retried == 2
+
+    def test_truncated_response_counts_against_budget(self):
+        client = ScriptedClient([
+            asyncio.IncompleteReadError(partial=b"", expected=1), "ok",
+        ])
+        assert run(retrying(client, RetryPolicy(base_delay=0.0))) == "ok"
+        assert client.resets_retried == 1
+
+
+class TestClassification:
+    def test_is_retryable_boundary(self):
+        assert is_retryable(overloaded())
+        assert is_retryable(unavailable())
+        assert is_retryable(ConnectionResetError())
+        assert is_retryable(BrokenPipeError())
+        assert is_retryable(asyncio.IncompleteReadError(partial=b"", expected=1))
+        assert not is_retryable(ConnectionRefusedError())
+        assert is_retryable(
+            ConnectionRefusedError(), RetryPolicy(retry_refused=True)
+        )
+        assert not is_retryable(PermissionError())  # other OSErrors: fatal
+        assert not is_retryable(OSError("bad fd"))
+        assert not is_retryable(ValueError("not transport at all"))
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            RetryPolicy(base_delay=-1.0)

@@ -437,3 +437,73 @@ class TestGracefulShutdown:
 
         server, _client = run(scenario())
         assert len(server._conns) == 0
+
+
+class TestDrainDuringPoolRebuild:
+    """SIGTERM while the solve pool is being rebuilt (chaos satellite):
+    every accepted request must still be *answered* — completed once the
+    rebuilt pool finishes the requeued batch, or failed cleanly with a
+    retryable 503 — never dropped on the floor."""
+
+    def _drain_scenario(self, plan, **config_overrides):
+        from repro.faults.injector import activated
+
+        async def scenario():
+            with activated(plan):
+                cfg = ServiceConfig(
+                    port=0, workers=0, batch_window=0.0, **config_overrides
+                )
+                service = MappingService(cfg)
+                server = MappingServer(service)
+                host, port = await server.start()
+                client = AsyncMappingClient(host, port)
+                await client.connect()
+                request = asyncio.ensure_future(client.map_matrix(PAIR8))
+                while service.metrics.inflight < 1:
+                    await asyncio.sleep(0.001)
+                # The worker is now hung inside the injected fault; the
+                # drain that follows must ride through the deadline trip
+                # and the pool rebuild it triggers.
+                shutdown = asyncio.ensure_future(server.serve_until_shutdown())
+                server.request_shutdown()
+                await asyncio.sleep(0.02)
+                assert not shutdown.done()  # draining, not dropping
+                try:
+                    outcome = await request
+                except Exception as exc:  # noqa: BLE001 — returned for assertions
+                    outcome = exc
+                await shutdown
+                await client.close()
+                return service, outcome
+
+        return run(scenario())
+
+    def test_request_completes_through_rebuild_during_drain(self):
+        from repro.faults.plan import SITE_WORKER_SOLVE, FaultEvent, FaultPlan
+
+        plan = FaultPlan(seed=31, events=(
+            FaultEvent(site=SITE_WORKER_SOLVE, invocation=1, kind="hang",
+                       seconds=0.4),
+        ))
+        service, result = self._drain_scenario(plan, solve_deadline=0.1)
+        assert sorted(result.mapping) == list(range(8))
+        assert service.metrics.pool_rebuilds_total == 1
+        assert service.metrics.solve_deadline_total == 1
+
+    def test_request_fails_cleanly_when_rebuilds_exhaust_during_drain(self):
+        from repro.faults.plan import SITE_WORKER_SOLVE, FaultEvent, FaultPlan
+        from repro.service.client import ServiceUnavailable
+
+        # Both the original dispatch and its one requeue hang: the
+        # request must be *answered* with a retryable 503 mid-drain.
+        plan = FaultPlan(seed=32, events=(
+            FaultEvent(site=SITE_WORKER_SOLVE, invocation=1, kind="hang",
+                       count=2, seconds=0.4),
+        ))
+        service, outcome = self._drain_scenario(
+            plan, solve_deadline=0.1, requeue_limit=1
+        )
+        assert isinstance(outcome, ServiceUnavailable)
+        assert outcome.retry_after >= 1.0
+        assert service.metrics.solve_failures_total == 1
+        assert service.metrics.pool_rebuilds_total == 2

@@ -1,0 +1,62 @@
+"""The solve entrypoint's payload-size guard (typed, not a numpy error)."""
+
+import numpy as np
+import pytest
+
+from repro.service.worker import solve_batch
+from repro.util.validation import ValidationError
+
+PAIR4 = np.array([
+    [0.0, 9.0, 1.0, 1.0],
+    [9.0, 0.0, 1.0, 1.0],
+    [1.0, 1.0, 0.0, 9.0],
+    [1.0, 1.0, 9.0, 0.0],
+])
+
+
+def item(matrix: np.ndarray, n: int, key: str = "k"):
+    return (key, np.ascontiguousarray(matrix, dtype=np.float64).tobytes(), n,
+            (2, 1, 2))
+
+
+class TestValidBuffers:
+    def test_well_formed_item_solves(self):
+        results = solve_batch([item(PAIR4, 4)])
+        assert len(results) == 1
+        key, assignment = results[0]
+        assert key == "k"
+        assert sorted(assignment) == [0, 1, 2, 3]
+
+    def test_batch_preserves_input_order(self):
+        results = solve_batch([item(PAIR4, 4, "a"), item(PAIR4, 4, "b")])
+        assert [key for key, _ in results] == ["a", "b"]
+
+
+class TestRejectedBuffers:
+    def test_short_buffer_raises_typed_error_naming_both_sizes(self):
+        bad = ("k", PAIR4.tobytes()[:-8], 4, (2, 1, 2))
+        with pytest.raises(ValidationError, match="120 bytes") as excinfo:
+            solve_batch([bad])
+        assert "128" in str(excinfo.value)  # the expected size, n*n*8
+        assert "k" in str(excinfo.value)  # names the offending key
+
+    def test_oversized_buffer_is_rejected_not_truncated(self):
+        bad = ("k", PAIR4.tobytes() + b"\x00" * 8, 4, (2, 1, 2))
+        with pytest.raises(ValidationError):
+            solve_batch([bad])
+
+    def test_mismatched_n_is_rejected(self):
+        # Buffer holds a 4x4 matrix but claims n=3: must not reshape a
+        # prefix and silently solve the wrong problem.
+        with pytest.raises(ValidationError):
+            solve_batch([("k", PAIR4.tobytes(), 3, (2, 1, 2))])
+
+    def test_nonpositive_n_is_rejected(self):
+        with pytest.raises(ValidationError):
+            solve_batch([("k", b"", 0, (2, 1, 2))])
+
+    def test_error_is_a_value_error(self):
+        """Typed for callers, but still a ValueError so generic handlers
+        (the batcher's deterministic-error path) treat it as one."""
+        with pytest.raises(ValueError):
+            solve_batch([("k", b"xx", 1, (2, 1, 2))])

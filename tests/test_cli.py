@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import main
+from repro.cli import _build_parser, main
 
 
 class TestInfo:
@@ -103,3 +103,24 @@ class TestAblate:
     def test_unknown_sweep_rejected(self):
         with pytest.raises(SystemExit):
             main(["ablate", "frobnicate"])
+
+
+class TestServeArgs:
+    """The `serve` argument surface.  The loop itself is exercised by the
+    serve-smoke gate; these stop at parsing and fault-plan loading."""
+
+    def test_fault_plan_and_deadline_are_parsed(self):
+        args = _build_parser().parse_args(
+            ["serve", "--fault-plan", "plan.json", "--solve-deadline", "0.5"])
+        assert args.command == "serve"
+        assert args.fault_plan == "plan.json"
+        assert args.solve_deadline == 0.5
+
+    def test_fault_plan_defaults_off(self):
+        args = _build_parser().parse_args(["serve"])
+        assert args.fault_plan is None
+        assert args.solve_deadline == 30.0
+
+    def test_missing_fault_plan_file_fails_before_binding(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["serve", "--fault-plan", str(tmp_path / "absent.json")])

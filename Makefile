@@ -9,6 +9,7 @@
 #   make serve-smoke   boot `repro serve`, round-trip, SIGTERM drain
 #   make bench-service mapping-service load bench (writes BENCH_service.json)
 #   make test-chaos    fault-injection chaos harness (fixed replay seeds)
+#   make trace-smoke   `repro trace` twice per clock domain, byte-compare
 #   make cov           coverage gate over service+faults (skipped if no pytest-cov)
 #   make ci            lint -> mypy -> everything above, in order
 #   make bench         full figure/table benchmark harness
@@ -16,7 +17,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint mypy test test-scalar differential bench-engine serve-smoke bench-service test-chaos cov bench ci
+.PHONY: lint mypy test test-scalar differential bench-engine serve-smoke bench-service test-chaos trace-smoke cov bench ci
 
 lint:
 	$(PYTHON) -m repro lint
@@ -54,6 +55,19 @@ bench-service:
 test-chaos:
 	$(PYTHON) -m pytest tests/faults -q
 
+# Determinism gate for the tracing layer: the same `repro trace` command
+# must produce byte-identical Chrome-trace JSON on consecutive runs, in
+# both clock domains (cycle-timed simulation, wall-timed service request).
+trace-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(PYTHON) -m repro trace cg --scale 0.2 --output "$$tmp/sim-1.json" && \
+	$(PYTHON) -m repro trace cg --scale 0.2 --output "$$tmp/sim-2.json" && \
+	cmp "$$tmp/sim-1.json" "$$tmp/sim-2.json" && \
+	$(PYTHON) -m repro trace serve-request --output "$$tmp/svc-1.json" && \
+	$(PYTHON) -m repro trace serve-request --output "$$tmp/svc-2.json" && \
+	cmp "$$tmp/svc-1.json" "$$tmp/svc-2.json" && \
+	echo "trace-smoke: both clock domains byte-identical"
+
 # Coverage floor over the resilience-critical packages.  pytest-cov is not
 # vendored in this environment; the target degrades to a notice (same
 # pattern as the mypy gate) rather than failing ci on a missing tool.
@@ -69,4 +83,4 @@ cov:
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-ci: lint mypy test test-scalar differential bench-engine serve-smoke test-chaos cov
+ci: lint mypy test test-scalar differential bench-engine serve-smoke test-chaos trace-smoke cov

@@ -7,6 +7,7 @@ suite run and checks the four headline claims reproduce in direction.
 from conftest import save_artifact
 
 from repro.experiments.report import generate_report, headline_comparison
+from repro.obs.metrics import global_registry
 
 
 def test_generate_report(benchmark, suite_results, out_dir):
@@ -18,3 +19,11 @@ def test_generate_report(benchmark, suite_results, out_dir):
     for key, row in headlines.items():
         # Every headline reduction reproduces in direction (ours > 0).
         assert row["measured"] > 0.05, (key, row)
+
+
+def test_metrics_registry_snapshot(suite_results, out_dir):
+    # The suite run above populated the process-global registry via the
+    # runner; persist its exposition text next to the report.
+    text = global_registry().render()
+    assert "repro_runner_benchmarks_total" in text
+    save_artifact(out_dir, "metrics_registry.txt", text)

@@ -14,6 +14,11 @@ pool for solves) and runs two phases:
    cold latency — the concurrent numbers include queueing delay and
    would understate the cache's effect.
 
+A final pass repeats the unloaded warm sequence against two fresh
+in-process services, one with the span ring enabled and one with
+``trace_ring=0``, and reports ``trace_overhead_pct`` alongside the
+throughput columns.
+
 Acceptance floors (tunable via environment for slow shared boxes):
 
     REPRO_BENCH_SERVICE_RPS_FLOOR      warm throughput, req/s   (default 500)
@@ -37,6 +42,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.obs.metrics import nearest_rank_index
 from repro.service.app import MappingService, ServiceConfig
 from repro.service.client import AsyncMappingClient
 from repro.service.http import MappingServer
@@ -68,8 +74,7 @@ def _cold_matrices(count: int) -> List[List[List[float]]]:
 
 def _quantile_ms(samples: List[float], q: float) -> float:
     ordered = sorted(samples)
-    idx = min(len(ordered) - 1, int(q * len(ordered)))
-    return ordered[idx] * 1000.0
+    return ordered[nearest_rank_index(q, len(ordered))] * 1000.0
 
 
 async def _cold_phase(host: str, port: int) -> List[float]:
@@ -129,6 +134,31 @@ async def _warm_phase(host: str, port: int) -> List[float]:
     return latencies
 
 
+async def _traced_vs_untraced() -> Dict[str, float]:
+    """Unloaded warm latency with the span ring on vs off.
+
+    Both passes use in-process solves (``workers=0``) so the comparison
+    isolates the tracing hooks instead of process-pool scheduling noise.
+    """
+    samples: Dict[str, float] = {}
+    for label, ring in (("traced", 2048), ("untraced", 0)):
+        service = MappingService(
+            ServiceConfig(port=0, workers=0, cache_ttl=0.0, trace_ring=ring)
+        )
+        server = MappingServer(service)
+        host, port = await server.start()
+        try:
+            lat = await _warm_sequential(host, port, _warm_matrix())
+        finally:
+            server.request_shutdown()
+            await server.serve_until_shutdown()
+        samples[f"warm_{label}_mean_ms"] = statistics.fmean(lat) * 1000.0
+    samples["trace_overhead_pct"] = 100.0 * (
+        samples["warm_traced_mean_ms"] / samples["warm_untraced_mean_ms"] - 1.0
+    )
+    return samples
+
+
 async def _run_phases() -> Dict[str, float]:
     config = ServiceConfig(
         port=0,
@@ -149,7 +179,9 @@ async def _run_phases() -> Dict[str, float]:
         server.request_shutdown()
         await server.serve_until_shutdown()
     hit_rate = service.metrics.cache_hit_rate
+    trace_cols = await _traced_vs_untraced()
     return {
+        **trace_cols,
         "threads": THREADS,
         "cold_requests": len(cold),
         "cold_mean_ms": statistics.fmean(cold) * 1000.0,

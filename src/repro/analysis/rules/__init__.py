@@ -13,6 +13,7 @@ from repro.analysis.rules import (  # noqa: F401  (import-for-side-effect)
     rpl004_config,
     rpl005_hygiene,
     rpl006_blocking,
+    rpl007_obs_clock,
 )
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "rpl004_config",
     "rpl005_hygiene",
     "rpl006_blocking",
+    "rpl007_obs_clock",
 ]

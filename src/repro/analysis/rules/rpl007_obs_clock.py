@@ -1,0 +1,150 @@
+"""RPL007 — observability timestamps come from injected clocks only.
+
+The tracing layer (``repro.obs``) promises byte-identical exports: when
+no wall clock is injected, span timestamps come from a deterministic
+step counter, and cycle timestamps come from the simulation's own
+counters.  One ``time.monotonic`` smuggled into a tracer or metric call
+silently breaks ``repro trace``'s determinism contract — the export
+still validates, it just stops being reproducible, which is the worst
+kind of regression to notice late.
+
+RPL002 only flags *calls*; a wall-clock *reference* handed in as a
+clock argument (``Tracer(wall_clock=time.monotonic)``) sails past it.
+This rule closes that gap with two arms:
+
+* **obs-scoped modules** (``paths``, default ``repro/obs/*``): any
+  wall-clock attribute reference at all is flagged — the obs layer
+  itself performs zero wall reads; every clock it uses is injected.
+* **project-wide**: a wall-clock reference (or call) passed as an
+  argument to an observability API call (``apis``: tracer/metric
+  constructors and observation methods) is flagged wherever it occurs.
+
+Legitimate wall-clock consumers (the service's latency accounting, the
+runner's telemetry) inject their clock once at construction time, which
+neither arm matches.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.core import (
+    Finding,
+    Module,
+    Project,
+    Rule,
+    dotted_name,
+    path_matches,
+    register_rule,
+)
+
+#: Modules whose attributes below denote wall-clock readers.
+_WALL_MODULES: Tuple[str, ...] = ("time", "datetime", "date")
+
+#: Attribute names that read a wall clock or calendar date.
+_WALL_ATTRS = frozenset({
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+    "now",
+    "utcnow",
+    "today",
+})
+
+
+def _wall_reference(node: ast.AST) -> Optional[str]:
+    """Dotted name of a wall-clock attribute reference, else None."""
+    if not isinstance(node, ast.Attribute):
+        return None
+    name = dotted_name(node)
+    if name is None:
+        return None
+    parts = name.split(".")
+    if len(parts) >= 2 and parts[-2] in _WALL_MODULES and parts[-1] in _WALL_ATTRS:
+        return name
+    return None
+
+
+def _wall_argument(node: ast.AST) -> Optional[str]:
+    """Wall-clock reference used as an argument value (ref or call)."""
+    direct = _wall_reference(node)
+    if direct is not None:
+        return direct
+    if isinstance(node, ast.Call):
+        return _wall_reference(node.func)
+    return None
+
+
+@register_rule
+class ObsClockRule(Rule):
+    """Flag wall-clock sources at observability call sites."""
+    id = "RPL007"
+    title = "obs timestamps must come from injected clocks"
+    default_options = {
+        "paths": ["repro/obs/*"],
+        "apis": [
+            "Tracer",
+            "MetricsRegistry",
+            "Histogram",
+            "begin",
+            "end",
+            "event",
+            "observe",
+            "observe_latency_ms",
+            "timer",
+        ],
+        "allow": [],
+    }
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        paths = list(self.opt("paths"))
+        allow = list(self.opt("allow"))
+        apis = set(self.opt("apis"))
+        for module in project.modules:
+            if any(path_matches(module.rel, pat) for pat in allow):
+                continue
+            if any(path_matches(module.rel, pat) for pat in paths):
+                yield from self._check_obs_module(module)
+            else:
+                yield from self._check_call_sites(module, apis)
+
+    def _check_obs_module(self, module: Module) -> Iterator[Finding]:
+        """Arm one: no wall-clock references anywhere in obs code."""
+        for node in ast.walk(module.tree):
+            name = _wall_reference(node)
+            if name is not None:
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"{name} referenced inside the observability layer; "
+                    "obs code never reads wall clocks — clocks are "
+                    "injected (deterministic-trace invariant)",
+                )
+
+    def _check_call_sites(self, module: Module, apis: set) -> Iterator[Finding]:
+        """Arm two: no wall-clock values handed to obs API calls."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn_name = dotted_name(node.func)
+            if fn_name is None or fn_name.split(".")[-1] not in apis:
+                continue
+            values = list(node.args) + [kw.value for kw in node.keywords]
+            for value in values:
+                name = _wall_argument(value)
+                if name is not None:
+                    yield module.finding(
+                        self.id,
+                        value,
+                        f"{name} passed to obs API "
+                        f"'{fn_name.split('.')[-1]}'; span/metric "
+                        "timestamps must come from the injected clock "
+                        "or cycle counter, never a wall read at the "
+                        "call site",
+                    )

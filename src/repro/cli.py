@@ -16,6 +16,9 @@ Commands:
 * ``serve`` — run the mapping-as-a-service HTTP front end
   (``POST /map``, ``GET /healthz``, ``GET /metrics``; see
   :mod:`repro.service`).
+* ``trace`` — record a deterministic Chrome-trace JSON (Perfetto /
+  ``chrome://tracing`` loadable) of one traced pipeline run; see
+  :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -117,6 +120,24 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-plan", type=str, default=None, metavar="PLAN.json",
                    help="activate a serialized fault-injection plan "
                         "(chaos smoke testing; see repro.faults)")
+
+    p = sub.add_parser(
+        "trace",
+        help="record a deterministic Chrome trace of one pipeline run",
+    )
+    p.add_argument(
+        "target",
+        choices=sorted(PAPER_BENCHMARKS)
+        + sorted(_TRACE_ALIASES)
+        + ["serve-request"],
+        help="NPB kernel, bench_* alias, or 'serve-request'",
+    )
+    p.add_argument("--output", type=str, default=None,
+                   help="trace file path (default: <target>.trace.json)")
+    p.add_argument("--mechanism", choices=("sm", "hm"), default="sm")
+    p.add_argument("--scale", type=float, default=0.3)
+    p.add_argument("--seed", type=int, default=2012)
+    p.add_argument("--threads", type=int, default=8)
 
     p = sub.add_parser("ablate", help="run one ablation sweep")
     p.add_argument("sweep", choices=("sm-sampling", "hm-period",
@@ -246,6 +267,93 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Representative NPB kernels behind the ``bench_*`` trace aliases: the
+#: same workload each benchmark script exercises most heavily, so its
+#: trace shows the span structure that bench's numbers come from.
+_TRACE_ALIASES = {
+    "bench_engine_speedup": "bt",
+    "bench_fig4_sm_patterns": "cg",
+    "bench_fig5_hm_patterns": "cg",
+    "bench_fig6_exec_time": "sp",
+    "bench_fig7_invalidations": "sp",
+    "bench_fig8_snoops": "sp",
+    "bench_fig9_l2_misses": "sp",
+}
+
+
+def _trace_benchmark(kernel: str, args: argparse.Namespace) -> None:
+    """Run one detection + mapping pass with tracing active."""
+    topo = harpertown()
+    wl = make_npb_workload(kernel, num_threads=args.threads,
+                           scale=args.scale, seed=args.seed)
+    cfg = DetectorConfig()
+    if args.mechanism == "sm":
+        det = SoftwareManagedDetector(args.threads, cfg)
+        system = System(topo, SystemConfig(tlb_management=TLBManagement.SOFTWARE))
+    else:
+        det = HardwareManagedDetector(args.threads, cfg)
+        system = System(topo)
+    Simulator(system).run(wl, detectors=[det])
+    hierarchical_mapping(det.matrix, topo)
+
+
+def _trace_serve_request() -> None:
+    """Drive one in-process ``POST /map`` through a traced service."""
+    import asyncio
+    import json
+
+    from repro.service.app import MappingService, ServiceConfig
+
+    n = 8
+    matrix = [[0.0] * n for _ in range(n)]
+    for t in range(0, n, 2):  # neighbor-pair pattern: a known-good solve
+        matrix[t][t + 1] = matrix[t + 1][t] = 100.0
+    body = json.dumps({"matrix": matrix}, sort_keys=True).encode("utf-8")
+
+    async def run() -> None:
+        # In-process worker thread (workers=0): the whole request —
+        # batcher, dispatch, worker solve — lands in one trace.
+        service = MappingService(ServiceConfig(workers=0, batch_window=0.0))
+        await service.start()
+        try:
+            status, _headers, _payload = await service.handle_map(body)
+            if status != 200:
+                raise RuntimeError(f"serve-request trace got HTTP {status}")
+        finally:
+            await service.aclose()
+
+    asyncio.run(run())
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.export import (
+        chrome_trace,
+        render_chrome_json,
+        validate_chrome_trace,
+    )
+    from repro.obs.trace import Tracer, tracing
+
+    target = args.target
+    # No injected wall clock: the tracer's deterministic step counter
+    # makes the export byte-identical across runs (the trace-smoke gate).
+    tracer = Tracer(trace_id=target)
+    with tracing(tracer):
+        if target == "serve-request":
+            clock = "wall"
+            _trace_serve_request()
+        else:
+            clock = "cycles"
+            _trace_benchmark(_TRACE_ALIASES.get(target, target), args)
+    doc = chrome_trace(tracer.snapshot(), trace_id=target, clock=clock)
+    events = validate_chrome_trace(doc)
+    text = render_chrome_json(doc)
+    out_path = args.output or f"{target}.trace.json"
+    with open(out_path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"{events} trace event(s) ({clock} clock) written to {out_path}")
+    return 0
+
+
 def _cmd_ablate(args: argparse.Namespace) -> int:
     from repro.experiments import ablations
     from repro.util.render import format_table
@@ -302,6 +410,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_replay(args)
     if args.command == "ablate":
         return _cmd_ablate(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "lint":

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.core.detection import Detector, DetectorConfig
+from repro.obs.trace import NULL_TRACER, get_tracer
 
 
 class HardwareManagedDetector(Detector):
@@ -34,12 +35,15 @@ class HardwareManagedDetector(Detector):
         self.detection_cycles = 0
         self._last_scan = 0
         self._scan_core_rr = 0
+        self._tracer = NULL_TRACER
 
     def _on_attach(self) -> None:
         self._tlbs = self._system.tlbs
         self._cores = sorted(self._core_to_thread)
         self._last_scan = 0
         self._scan_core_rr = 0
+        # Cached once per run; poll() runs once per scheduling round.
+        self._tracer = get_tracer()
 
     def _on_rebind(self) -> None:
         self._cores = sorted(self._core_to_thread)
@@ -63,6 +67,7 @@ class HardwareManagedDetector(Detector):
             return None
         fires = min(due, self.config.hm_max_catchup_scans)
         self._last_scan += fires * period
+        found_before = self.matches_found
         for _ in range(fires):
             self._scan()
         self.scans_run += fires
@@ -70,6 +75,18 @@ class HardwareManagedDetector(Detector):
         self.detection_cycles += cost
         core = self._cores[self._scan_core_rr % len(self._cores)]
         self._scan_core_rr += 1
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.event(
+                "hm.scan",
+                cat="detector.hm",
+                cycles=now_cycles,
+                args={
+                    "core": core,
+                    "scans": fires,
+                    "matches": self.matches_found - found_before,
+                },
+            )
         return core, cost
 
     # -- the scan ---------------------------------------------------------------

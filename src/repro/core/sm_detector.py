@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.core.detection import Detector, DetectorConfig
+from repro.obs.trace import NULL_TRACER, get_tracer
 
 
 class SoftwareManagedDetector(Detector):
@@ -38,10 +39,14 @@ class SoftwareManagedDetector(Detector):
         self.searches_run = 0
         self.matches_found = 0
         self.detection_cycles = 0
+        self._tracer = NULL_TRACER
 
     def _on_attach(self) -> None:
         self._counters = {core: 0 for core in self._core_to_thread}
         self._tlbs = self._system.tlbs
+        # Cached once per run: the miss hook is the simulator's hottest
+        # detector path and must not re-probe the tracer per miss.
+        self._tracer = get_tracer()
         for mmu in self._system.mmus:
             mmu.add_miss_hook(self._on_miss)
 
@@ -72,17 +77,33 @@ class SoftwareManagedDetector(Detector):
         self._counters[core_id] = 0
         self.searches_run += 1
         self.detection_cycles += self.config.sm_routine_cycles
+        tracer = self._tracer
         if vpn in self.ignored_pages:
             # Text/library page: the search still ran (the OS only knows
             # after inspecting the address), but matches are not counted.
+            if tracer.enabled:
+                tracer.event(
+                    "sm.scan",
+                    cat="detector.sm",
+                    cycles=self.detection_cycles,
+                    args={"core": core_id, "matches": 0, "ignored": True},
+                )
             return self.config.sm_routine_cycles
         matrix = self.matrix
+        found_before = self.matches_found
         for other_core, other_thread in self._core_to_thread.items():
             if other_core == core_id:
                 continue
             if self._tlbs[other_core].probe(vpn):
                 self.matches_found += 1
                 matrix.increment(me, other_thread)
+        if tracer.enabled:
+            tracer.event(
+                "sm.scan",
+                cat="detector.sm",
+                cycles=self.detection_cycles,
+                args={"core": core_id, "matches": self.matches_found - found_before},
+            )
         return self.config.sm_routine_cycles
 
     # -- reporting ------------------------------------------------------------------

@@ -18,6 +18,7 @@ Per benchmark:
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -34,6 +35,9 @@ from repro.machine.system import System, SystemConfig
 from repro.machine.topology import Topology, harpertown
 from repro.mapping.baselines import random_mapping
 from repro.mapping.hierarchical import hierarchical_mapping
+from repro.obs.context import TRACE_ENV_VAR, clear_context, install_context
+from repro.obs.metrics import global_registry
+from repro.obs.trace import get_tracer
 from repro.tlb.mmu import TLBManagement
 from repro.util.rng import derive_seed
 from repro.workloads.npb import make_npb_workload
@@ -134,28 +138,44 @@ class ExperimentRunner:
         stats: Dict[str, dict] = {}
         results: Dict[str, SimResult] = {}
 
-        wl = self._workload(name, "detect")
-        sm = SoftwareManagedDetector(n, self.detector_config)
-        res_sm = Simulator(self._system(TLBManagement.SOFTWARE)).run(
-            wl, detectors=[sm]
+        tracer = get_tracer()
+        span = (
+            tracer.begin(f"detect:{name}", cat="runner", args={"threads": n})
+            if tracer.enabled
+            else None
         )
-        matrices["SM"] = sm.matrix
-        stats["SM"] = sm.summary()
-        results["SM"] = res_sm
+        try:
+            wl = self._workload(name, "detect")
+            sm = SoftwareManagedDetector(n, self.detector_config)
+            res_sm = Simulator(self._system(TLBManagement.SOFTWARE)).run(
+                wl, detectors=[sm]
+            )
+            matrices["SM"] = sm.matrix
+            stats["SM"] = sm.summary()
+            results["SM"] = res_sm
 
-        wl = self._workload(name, "detect")
-        hm = HardwareManagedDetector(n, self.detector_config)
-        res_hm = Simulator(self._system(TLBManagement.HARDWARE)).run(
-            wl, detectors=[hm]
-        )
-        matrices["HM"] = hm.matrix
-        stats["HM"] = hm.summary()
-        results["HM"] = res_hm
+            wl = self._workload(name, "detect")
+            hm = HardwareManagedDetector(n, self.detector_config)
+            res_hm = Simulator(self._system(TLBManagement.HARDWARE)).run(
+                wl, detectors=[hm]
+            )
+            matrices["HM"] = hm.matrix
+            stats["HM"] = hm.summary()
+            results["HM"] = res_hm
 
-        wl = self._workload(name, "detect")
-        matrices["oracle"] = oracle_matrix(
-            wl, windows_per_phase=self.config.detection_windows
-        )
+            wl = self._workload(name, "detect")
+            matrices["oracle"] = oracle_matrix(
+                wl, windows_per_phase=self.config.detection_windows
+            )
+        finally:
+            if span is not None:
+                tracer.end(
+                    span,
+                    args={
+                        "sm_searches": sm.searches_run if "SM" in stats else 0,
+                        "hm_scans": hm.scans_run if "HM" in stats else 0,
+                    },
+                )
         return {"matrices": matrices, "stats": stats, "results": results}
 
     def performance_run(self, name: str, mapping: Sequence[int], run_label: object) -> SimResult:
@@ -188,11 +208,22 @@ class ExperimentRunner:
         (config, topology, benchmark) is returned from disk instead of
         re-simulating; fresh results are stored on the way out.
         """
+        reg = global_registry()
+        reg.counter("runner_benchmarks_total").inc()
         if self.cache is not None:
             hit = self.cache.get(self.benchmark_key(name))
             if isinstance(hit, BenchmarkResult):
+                reg.counter("runner_cache_hits_total").inc()
                 return hit
-        result = self._run_benchmark_uncached(name)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            result = self._run_benchmark_uncached(name)
+        else:
+            span = tracer.begin(f"benchmark:{name}", cat="runner")
+            try:
+                result = self._run_benchmark_uncached(name)
+            finally:
+                tracer.end(span)
         if self.cache is not None:
             self.cache.put(self.benchmark_key(name), result)
         return result
@@ -262,38 +293,51 @@ class ExperimentRunner:
         from concurrent.futures.process import BrokenProcessPool
 
         cache_dir = str(self.cache.root) if self.cache is not None else None
+        # Trace-context propagation: children inherit the parent's trace
+        # id via the environment (same trick as REPRO_FAULT_PLAN), so a
+        # traced suite run links worker-side spans to this process.
+        tracer = get_tracer()
+        ctx_installed = False
+        if tracer.enabled and not os.environ.get(TRACE_ENV_VAR):
+            install_context(tracer.child_context())
+            ctx_installed = True
         # Worker-death tolerance: a BrokenProcessPool poisons every
         # future in the pool, so the unfinished benchmarks are requeued
         # once on a fresh pool (results are pure functions of config, so
         # a rerun is byte-identical); a second pool death is fatal.
         pending = names
         retried = False
-        while pending:
-            failed: List[str] = []
-            broken: Optional[BaseException] = None
-            with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-                futures = {
-                    name: pool.submit(_run_benchmark_task, self.config,
-                                      self.topology, name, cache_dir)
-                    for name in pending
-                }
-                for name in pending:
-                    try:
-                        out[name] = futures[name].result()
-                    except BrokenProcessPool as exc:
-                        broken = exc
-                        failed.append(name)
-                        continue
-                    if verbose:  # pragma: no cover - console convenience
-                        self._progress(out[name])
-            if not failed:
-                break
-            if retried:
-                assert broken is not None
-                raise broken
-            retried = True
-            self.pool_rebuilds += 1
-            pending = failed
+        try:
+            while pending:
+                failed: List[str] = []
+                broken: Optional[BaseException] = None
+                with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+                    futures = {
+                        name: pool.submit(_run_benchmark_task, self.config,
+                                          self.topology, name, cache_dir)
+                        for name in pending
+                    }
+                    for name in pending:
+                        try:
+                            out[name] = futures[name].result()
+                        except BrokenProcessPool as exc:
+                            broken = exc
+                            failed.append(name)
+                            continue
+                        if verbose:  # pragma: no cover - console convenience
+                            self._progress(out[name])
+                if not failed:
+                    break
+                if retried:
+                    assert broken is not None
+                    raise broken
+                retried = True
+                self.pool_rebuilds += 1
+                global_registry().counter("runner_pool_rebuilds_total").inc()
+                pending = failed
+        finally:
+            if ctx_installed:
+                clear_context()
         return out
 
     @staticmethod

@@ -183,9 +183,23 @@ _active: Optional[FaultInjector] = None
 
 
 def activate(plan: FaultPlan) -> FaultInjector:
-    """Install ``plan`` process-globally; returns the live injector."""
+    """Install ``plan`` process-globally; returns the live injector.
+
+    Registers the injector's fired-event count into the unified
+    observability registry (``repro_faults_injected_total``) so the
+    faults layer shares the same exposition path as the simulator and
+    runner.  The callback reads whichever injector is active at render
+    time, so repeated activate/deactivate cycles stay accurate.
+    """
     global _active
     _active = FaultInjector(plan)
+    # Local import: the injector is imported by nearly every layer, and
+    # registration is only needed once a plan actually activates.
+    from repro.obs.metrics import global_registry
+
+    global_registry().callback_gauge(
+        "faults_injected_total", lambda: get_injector().fired_total()
+    )
     return _active
 
 

@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.machine.system import System
+from repro.obs.metrics import global_registry
+from repro.obs.trace import Span, get_tracer
 from repro.util.rng import as_rng, derive_seed
 from repro.workloads.base import Phase, Workload
 
@@ -239,16 +241,53 @@ class Simulator:
         core_to_thread = {core: t for t, core in enumerate(mapping)}
         for det in detectors:
             det.attach(system, core_to_thread)
+        tracer = get_tracer()
+        engine = resolve_engine(self.config.engine)
+        root = (
+            tracer.begin(
+                "simulate",
+                cat="sim",
+                args={"threads": num_threads, "engine": engine},
+            )
+            if tracer.enabled
+            else None
+        )
         try:
             result = self._run_phases(
                 first, phases, mapping, detectors, migration_controller
             )
+        except BaseException:
+            if root is not None:
+                tracer.end(root, args={"error": True})
+            raise
         finally:
             for det in detectors:
                 det.detach()
+        if root is not None:
+            tracer.end(
+                root,
+                cycles=result.execution_cycles,
+                args={
+                    "accesses": result.accesses,
+                    "tlb_misses": result.tlb_misses,
+                    "invalidations": result.invalidations,
+                },
+            )
+        self._publish_run_metrics(engine, result)
         for det in detectors:
             result.detection[getattr(det, "name", type(det).__name__)] = det.summary()
         return result
+
+    @staticmethod
+    def _publish_run_metrics(engine: str, result: "SimResult") -> None:
+        """Fold one run's aggregates into the process-wide registry."""
+        reg = global_registry()
+        labels = {"engine": engine}
+        reg.counter("sim_runs_total", labels).inc()
+        reg.counter("sim_accesses_total", labels).inc(result.accesses)
+        reg.counter("sim_cycles_total", labels).inc(result.execution_cycles)
+        reg.counter("sim_tlb_misses_total", labels).inc(result.tlb_misses)
+        reg.counter("sim_preemptions_total", labels).inc(result.preemptions)
 
     # -- core loop -------------------------------------------------------------
 
@@ -376,6 +415,11 @@ class Simulator:
         threads_migrated = 0
         phase_stats: List[PhaseStats] = []
         collect_phases = cfg.collect_phase_stats
+        tracer = get_tracer()
+        traced = tracer.enabled
+        # Tracing needs the same before/after counter snapshots the
+        # phase-stats path takes; enable them for either consumer.
+        want_snapshots = collect_phases or traced
 
         def counters_snapshot() -> Tuple[int, int, int, int, int]:
             h = system.hierarchy
@@ -428,14 +472,44 @@ class Simulator:
             mapping[:] = new_mapping
             migrations += 1
             threads_migrated += len(moved)
+            if traced:
+                tracer.event(
+                    "migration",
+                    cat="sim.migration",
+                    cycles=max(core_cycles),
+                    args={"phase": phase_index, "moved": len(moved)},
+                )
             core_to_thread = {core: t for t, core in enumerate(mapping)}
             for det in detectors:
                 det.rebind(core_to_thread)
 
+        def trace_phase(
+            before: Tuple[int, int, int, int, int], span: Span, done: int
+        ) -> None:
+            after = counters_snapshot()
+            tracer.end(
+                span,
+                cycles=after[0],
+                args={
+                    "accesses": done,
+                    "invalidations": after[1] - before[1],
+                    "snoops": after[2] - before[2],
+                    "l2_misses": after[3] - before[3],
+                    "tlb_misses": after[4] - before[4],
+                },
+            )
+
         phase_index = 0
-        before = counters_snapshot() if collect_phases else None
+        before = counters_snapshot() if want_snapshots else None
+        pspan = (
+            tracer.begin(f"phase:{first.name}", cat="sim.phase", cycles=before[0])
+            if traced
+            else None
+        )
         done = run_phase(first)
         total_accesses += done
+        if pspan is not None:
+            trace_phase(before, pspan, done)
         if collect_phases:
             record_phase(first, before, done)
         handle_migration(phase_index)
@@ -445,9 +519,16 @@ class Simulator:
             sync = max(core_cycles)
             for c in range(num_cores):
                 core_cycles[c] = sync
-            before = counters_snapshot() if collect_phases else None
+            before = counters_snapshot() if want_snapshots else None
+            pspan = (
+                tracer.begin(f"phase:{phase.name}", cat="sim.phase", cycles=before[0])
+                if traced
+                else None
+            )
             done = run_phase(phase)
             total_accesses += done
+            if pspan is not None:
+                trace_phase(before, pspan, done)
             if collect_phases:
                 record_phase(phase, before, done)
             handle_migration(phase_index)

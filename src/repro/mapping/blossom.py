@@ -27,6 +27,8 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.trace import get_tracer
+
 #: Sentinel "no vertex / no edge".
 _NONE = -1
 
@@ -63,7 +65,17 @@ def max_weight_matching(
         for i in range(n)
         for j in range(i + 1, n)
     ]
-    mate = _MatchingSolver(n, edges, max_cardinality, check_optimum).solve()
+    tracer = get_tracer()
+    if not tracer.enabled:
+        mate = _MatchingSolver(n, edges, max_cardinality, check_optimum).solve()
+    else:
+        span = tracer.begin(
+            "blossom.match", cat="mapping", args={"vertices": n, "edges": len(edges)}
+        )
+        try:
+            mate = _MatchingSolver(n, edges, max_cardinality, check_optimum).solve()
+        finally:
+            tracer.end(span)
     pairs = []
     for v in range(n):
         u = mate[v]

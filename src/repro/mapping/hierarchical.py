@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.commmatrix import CommunicationMatrix
 from repro.machine.topology import Topology
 from repro.mapping.blossom import max_weight_matching
+from repro.obs.trace import get_tracer
 from repro.util.validation import (
     check_finite_array,
     check_non_negative_array,
@@ -64,11 +65,19 @@ def _merge_once(
     if len(work) % 2 == 1:
         work.append([_DUMMY])
     g = len(work)
+    tracer = get_tracer()
+    span = (
+        tracer.begin("blossom.round", cat="mapping", args={"groups": g})
+        if tracer.enabled
+        else None
+    )
     h = np.zeros((g, g), dtype=float)
     for i in range(g):
         for j in range(i + 1, g):
             h[i, j] = h[j, i] = _group_affinity(m, work[i], work[j])
     pairs = matcher(h)
+    if span is not None:
+        tracer.end(span, args={"pairs": len(pairs)})
     if 2 * len(pairs) != g:
         raise RuntimeError(
             f"matcher returned {len(pairs)} pairs for {g} groups "
@@ -215,5 +224,17 @@ def solve_mapping(
         check_non_negative_array("communication matrix", arr)
         arr = (arr + arr.T) / 2.0
         np.fill_diagonal(arr, 0.0)
-    assignment = hierarchical_mapping(arr, topology, matcher)
+    tracer = get_tracer()
+    if not tracer.enabled:
+        assignment = hierarchical_mapping(arr, topology, matcher)
+    else:
+        # Observational only: spans never alter the solve, keeping the
+        # pure/picklable byte-identical-result contract intact.
+        span = tracer.begin(
+            "solve_mapping", cat="mapping", args={"threads": int(arr.shape[0])}
+        )
+        try:
+            assignment = hierarchical_mapping(arr, topology, matcher)
+        finally:
+            tracer.end(span)
     return Mapping(assignment=tuple(int(c) for c in assignment))

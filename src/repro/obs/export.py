@@ -1,0 +1,139 @@
+"""Trace export: Chrome ``trace_event`` JSON and compact JSONL.
+
+The Chrome format (loadable in Perfetto / ``chrome://tracing``) uses
+"X" complete events for spans and "i" instant events, with timestamps
+in microseconds.  We map one of the two span clocks onto the ``ts``
+axis (``clock="cycles"`` for simulation traces — bit-exact — or
+``clock="wall"`` for service traces) and keep the *other* clock plus
+span/parent ids inside ``args`` so no information is lost.
+
+Rendering is canonical JSON (sorted keys, no whitespace) so a trace
+taken with the deterministic step clock is byte-identical across runs —
+the property ``repro trace`` and ``make trace-smoke`` assert.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.obs.trace import Span
+
+#: Known ``ph`` phases emitted by :func:`chrome_trace`.
+_PHASES = {"X", "i", "M"}
+
+
+def _event(span: Span, clock: str) -> Dict[str, Any]:
+    if clock == "cycles":
+        t0: Any = span.t0_cycles
+        t1: Any = span.t1_cycles
+        other = {"w0": span.t0_wall, "w1": span.t1_wall}
+    else:
+        t0 = span.t0_wall
+        t1 = span.t1_wall
+        other = {"c0": span.t0_cycles, "c1": span.t1_cycles}
+    args: Dict[str, Any] = {"span_id": span.span_id, "parent_id": span.parent_id}
+    args.update(other)
+    args.update(span.args)
+    event: Dict[str, Any] = {
+        "name": span.name,
+        "cat": span.cat or "repro",
+        "pid": 1,
+        "tid": 1,
+        "ts": t0,
+        "args": args,
+    }
+    if span.kind == "event":
+        event["ph"] = "i"
+        event["s"] = "t"
+    else:
+        event["ph"] = "X"
+        event["dur"] = t1 - t0
+    return event
+
+
+def chrome_trace(
+    spans: Sequence[Span],
+    trace_id: str,
+    clock: str = "cycles",
+) -> Dict[str, Any]:
+    """Chrome ``trace_event`` document for ``spans``.
+
+    ``clock`` selects which span clock drives the ``ts`` axis:
+    ``"cycles"`` (simulated time, deterministic) or ``"wall"``.
+    """
+    if clock not in ("cycles", "wall"):
+        raise ValueError(f"clock must be 'cycles' or 'wall', got {clock!r}")
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": f"repro:{trace_id}"},
+        }
+    ]
+    events.extend(_event(span, clock) for span in spans)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": trace_id, "clock": clock},
+    }
+
+
+def render_chrome_json(doc: Dict[str, Any]) -> str:
+    """Canonical (byte-stable) JSON text for a Chrome trace document."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def render_jsonl(spans: Sequence[Span], trace_id: str) -> str:
+    """Compact JSONL: one ``{"trace": ..., ...span record}`` per line."""
+    lines = []
+    for span in spans:
+        record = {"trace": trace_id}
+        record.update(span.to_record())
+        lines.append(json.dumps(record, sort_keys=True, separators=(",", ":")))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def validate_chrome_trace(doc: Any) -> int:
+    """Schema-check a Chrome trace document; return its event count.
+
+    Raises :class:`ValueError` on the first structural violation.  This
+    is the check ``make trace-smoke`` and the determinism tests run on
+    every export — deliberately strict about the fields Perfetto's
+    legacy JSON importer requires.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty list")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where} is not an object")
+        ph = event.get("ph")
+        if ph not in _PHASES:
+            raise ValueError(f"{where} has unknown phase {ph!r}")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            raise ValueError(f"{where} needs a non-empty string name")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                raise ValueError(f"{where} needs an int {field}")
+        if "args" in event and not isinstance(event["args"], dict):
+            raise ValueError(f"{where} args must be an object")
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if isinstance(ts, bool) or not isinstance(ts, (int, float)):
+            raise ValueError(f"{where} needs a numeric ts")
+        if ph == "X":
+            dur = event.get("dur")
+            if isinstance(dur, bool) or not isinstance(dur, (int, float)):
+                raise ValueError(f"{where} (complete event) needs a numeric dur")
+            if dur < 0:
+                raise ValueError(f"{where} has negative duration {dur}")
+        if ph == "i" and event.get("s") not in ("t", "p", "g"):
+            raise ValueError(f"{where} (instant event) needs scope s in t/p/g")
+    return len(events)

@@ -1,0 +1,267 @@
+"""Unified metrics registry: counters, gauges, histograms, one renderer.
+
+Replaces the hand-rolled per-subsystem metric rendering with a single
+registry that the simulator, experiment runner, faults layer, and
+mapping service all publish into.  Invariants:
+
+* **Int counters** (RPL005) — :class:`Counter` rejects non-integral
+  values; floats belong in gauges/histograms.
+* **No clocks** — the registry stores values only; anything time-shaped
+  is observed by the caller with *its* injected clock and pushed in.
+* **Deterministic rendering** — families render in registration order,
+  series in creation order, ints bare and floats as ``%.6f``, so two
+  runs with identical counter values produce byte-identical exposition
+  text (the PR-4 chaos harness depends on this).
+
+:func:`global_registry` is the process-wide "one source of truth" that
+``bench_report.py`` snapshots; the service keeps its own registry (one
+per :class:`~repro.service.app.MappingService`) so concurrent service
+instances in tests do not share counters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from collections import deque
+
+#: Label set: sorted tuple of (key, value) pairs.
+Labels = Tuple[Tuple[str, str], ...]
+
+
+def nearest_rank_index(q: float, n: int) -> int:
+    """Nearest-rank quantile index: ``ceil(q*n) - 1`` clamped to [0, n).
+
+    This is the standard nearest-rank definition; the old
+    ``int(q * n)`` truncation was biased (p50 of 2 samples picked the
+    *upper* sample, p99 of 100 picked index 99 instead of 98).
+    """
+    if n <= 0:
+        raise ValueError("quantile of an empty series")
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {q}")
+    return min(n - 1, max(0, math.ceil(q * n) - 1))
+
+
+def _labels_key(labels: Optional[Dict[str, str]]) -> Labels:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonic-by-convention integer counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (an int) to the counter."""
+        if not isinstance(amount, int) or isinstance(amount, bool):
+            raise TypeError(f"counter {self.name} takes int increments, got {amount!r}")
+        self._value += amount
+
+    def set(self, value: int) -> None:
+        """Overwrite the count (used when folding external int counters)."""
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise TypeError(f"counter {self.name} takes int values, got {value!r}")
+        self._value = value
+
+
+class Gauge:
+    """Point-in-time numeric value (int or float)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value: Any = 0
+
+    @property
+    def value(self) -> Any:
+        """Current gauge value."""
+        return self._value
+
+    def set(self, value: Any) -> None:
+        """Overwrite the gauge."""
+        self._value = value
+
+
+class CallbackGauge:
+    """Gauge whose value is computed on read (derived metrics)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, fn: Callable[[], Any]):
+        self.name = name
+        self._fn = fn
+
+    @property
+    def value(self) -> Any:
+        """Evaluate the callback."""
+        return self._fn()
+
+
+class Histogram:
+    """Bounded sliding-window reservoir with nearest-rank quantiles.
+
+    Not rendered in exposition text (quantiles are exported as derived
+    gauges by the owner); the reservoir itself is the source of truth.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, window: int = 2048):
+        self.name = name
+        self._values: Deque[float] = deque(maxlen=max(1, window))
+        self._observed = 0
+
+    @property
+    def count(self) -> int:
+        """Total observations (including ones evicted from the window)."""
+        return self._observed
+
+    @property
+    def value(self) -> int:
+        """Alias for :attr:`count` (registry uniformity)."""
+        return self._observed
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._values.append(float(value))
+        self._observed += 1
+
+    def quantile(self, q: float, default: float = 0.0) -> float:
+        """Nearest-rank quantile over the current window."""
+        if not self._values:
+            return default
+        ordered = sorted(self._values)
+        return ordered[nearest_rank_index(q, len(ordered))]
+
+
+class MetricsRegistry:
+    """Named metric families with deterministic rendering."""
+
+    def __init__(self, prefix: str = ""):
+        #: Prepended to every family name in :meth:`render`.
+        self.prefix = prefix
+        self._order: List[str] = []
+        self._kinds: Dict[str, str] = {}
+        self._series: Dict[str, "Dict[Labels, Any]"] = {}
+
+    def _family(self, name: str, kind: str) -> Dict[Labels, Any]:
+        known = self._kinds.get(name)
+        if known is None:
+            self._order.append(name)
+            self._kinds[name] = kind
+            self._series[name] = {}
+        elif known != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {known}, not {kind}"
+            )
+        return self._series[name]
+
+    def counter(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Counter:
+        """Get or create the counter series ``name{labels}``."""
+        family = self._family(name, "counter")
+        key = _labels_key(labels)
+        metric = family.get(key)
+        if metric is None:
+            metric = family[key] = Counter(name)
+        return metric
+
+    def gauge(self, name: str, labels: Optional[Dict[str, str]] = None) -> Gauge:
+        """Get or create the gauge series ``name{labels}``."""
+        family = self._family(name, "gauge")
+        key = _labels_key(labels)
+        metric = family.get(key)
+        if metric is None:
+            metric = family[key] = Gauge(name)
+        return metric
+
+    def callback_gauge(
+        self,
+        name: str,
+        fn: Callable[[], Any],
+        labels: Optional[Dict[str, str]] = None,
+    ) -> CallbackGauge:
+        """Register (or replace) a derived gauge computed on read."""
+        family = self._family(name, "gauge")
+        metric = CallbackGauge(name, fn)
+        family[_labels_key(labels)] = metric
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        window: int = 2048,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> Histogram:
+        """Get or create the histogram series ``name{labels}``."""
+        family = self._family(name, "histogram")
+        key = _labels_key(labels)
+        metric = family.get(key)
+        if metric is None:
+            metric = family[key] = Histogram(name, window=window)
+        return metric
+
+    def families(self) -> Sequence[str]:
+        """Family names in registration order."""
+        return tuple(self._order)
+
+    def render(self) -> str:
+        """Prometheus-style exposition text.
+
+        Histograms are skipped (their quantiles are surfaced as derived
+        gauges by the owner); ints render bare, floats as ``%.6f`` —
+        the exact pre-registry ``ServiceMetrics.render`` format.
+        """
+        lines: List[str] = []
+        for name in self._order:
+            kind = self._kinds[name]
+            if kind == "histogram":
+                continue
+            full = f"{self.prefix}{name}"
+            lines.append(f"# TYPE {full} {kind}")
+            for key, metric in self._series[name].items():
+                value = metric.value
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise TypeError(
+                        f"metric {name!r} rendered a non-numeric value {value!r}"
+                    )
+                text = str(value) if isinstance(value, int) else f"{value:.6f}"
+                if key:
+                    label_text = ",".join(f'{k}="{v}"' for k, v in key)
+                    lines.append(f"{full}{{{label_text}}} {text}")
+                else:
+                    lines.append(f"{full} {text}")
+        return "\n".join(lines) + "\n"
+
+
+_global: Optional[MetricsRegistry] = None
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide registry (prefix ``repro_``), created lazily."""
+    global _global
+    if _global is None:
+        _global = MetricsRegistry(prefix="repro_")
+    return _global
+
+
+def reset_global_registry() -> MetricsRegistry:
+    """Replace the process-wide registry with a fresh one (tests)."""
+    global _global
+    _global = MetricsRegistry(prefix="repro_")
+    return _global

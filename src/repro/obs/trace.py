@@ -1,0 +1,369 @@
+"""Deterministic nested spans with dual clocks.
+
+Every span carries **two** time axes:
+
+* **cycles** — simulated cycle time handed in explicitly by the caller
+  (the engine's counters), bit-exact and seed-stable.  Sites outside the
+  simulation (service, runner) pass 0 and rely on the wall track.
+* **wall** — an *injected* monotonic clock.  This module performs zero
+  wall-time reads of its own (RPL002/RPL007): when no clock is injected
+  the tracer falls back to a deterministic internal step counter, which
+  is what makes ``repro trace`` exports byte-identical across runs.
+
+Span ids are sequential small ints, parentage is explicit (``parent=``)
+or taken from an opt-in nesting stack (``nest=True``, the default) that
+synchronous pipelines use for free; async call sites pass ``nest=False``
+and thread parents by hand because interleaved requests would corrupt a
+shared stack.
+
+The module-global tracer follows the fault injector's pattern exactly:
+:func:`activate_tracing` / :func:`deactivate_tracing` / :func:`tracing`
+manage a process-global tracer, and :func:`get_tracer` lazily adopts a
+:class:`~repro.obs.context.TraceContext` from the environment so process
+pool children join the parent's trace without any plumbing through the
+executor call.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
+
+from repro.obs.context import TRACE_ENV_VAR, TraceContext
+
+#: Sentinel distinguishing "no parent passed" from "explicitly parentless".
+_UNSET = object()
+
+Args = Dict[str, Any]
+
+
+class Span:
+    """One timed (or instant) region of work on both clocks."""
+
+    __slots__ = (
+        "name",
+        "cat",
+        "span_id",
+        "parent_id",
+        "kind",
+        "t0_cycles",
+        "t1_cycles",
+        "t0_wall",
+        "t1_wall",
+        "args",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        cat: str,
+        span_id: int,
+        parent_id: int,
+        kind: str,
+        t0_cycles: int,
+        t0_wall: float,
+    ):
+        self.name = name
+        self.cat = cat
+        self.span_id = span_id
+        self.parent_id = parent_id
+        #: ``"span"`` (has duration) or ``"event"`` (instant).
+        self.kind = kind
+        self.t0_cycles = t0_cycles
+        self.t1_cycles = t0_cycles
+        self.t0_wall = t0_wall
+        self.t1_wall = t0_wall
+        self.args: Args = {}
+
+    def to_record(self) -> Dict[str, Any]:
+        """Compact JSONL record (one line per completed span)."""
+        return {
+            "name": self.name,
+            "cat": self.cat,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "kind": self.kind,
+            "c0": self.t0_cycles,
+            "c1": self.t1_cycles,
+            "w0": self.t0_wall,
+            "w1": self.t1_wall,
+            "args": self.args,
+        }
+
+
+class Tracer:
+    """Span factory with a bounded completed-span ring buffer."""
+
+    #: Fast-path flag: call sites guard instrumentation on this.
+    enabled = True
+
+    def __init__(
+        self,
+        trace_id: str = "trace",
+        wall_clock: Optional[Callable[[], float]] = None,
+        capacity: int = 65536,
+        default_parent: Optional[int] = None,
+        sink: Optional["JsonlSink"] = None,
+    ):
+        self.trace_id = trace_id
+        self._wall = wall_clock
+        #: Deterministic fallback clock: one tick per timestamp taken.
+        self._steps = 0
+        self._next_id = 1
+        self.default_parent = 0 if default_parent is None else default_parent
+        self._stack: List[int] = []
+        self._ring: Deque[Span] = deque(maxlen=max(1, capacity))
+        self._sink = sink
+        #: Spans started (ended or not) — the hook-count for overhead math.
+        self.started_total = 0
+
+    def _now_wall(self) -> float:
+        if self._wall is not None:
+            return float(self._wall())
+        self._steps += 1
+        return float(self._steps)
+
+    def begin(
+        self,
+        name: str,
+        cat: str = "",
+        cycles: int = 0,
+        parent: Any = _UNSET,
+        args: Optional[Args] = None,
+        nest: bool = True,
+    ) -> Span:
+        """Open a span; close it with :meth:`end`.
+
+        ``parent`` defaults to the top of the nesting stack (then
+        :attr:`default_parent`); pass ``parent=None`` for an explicit
+        root or an int span id for manual linkage.  ``nest=False`` keeps
+        the span off the stack (required at async call sites).
+        """
+        if parent is _UNSET:
+            pid = self._stack[-1] if self._stack else self.default_parent
+        elif parent is None:
+            pid = 0
+        else:
+            pid = int(parent)
+        span = Span(
+            name,
+            cat,
+            self._next_id,
+            pid,
+            "span",
+            int(cycles),
+            self._now_wall(),
+        )
+        self._next_id += 1
+        self.started_total += 1
+        if args:
+            span.args.update(args)
+        if nest:
+            self._stack.append(span.span_id)
+        return span
+
+    def end(
+        self,
+        span: Span,
+        cycles: Optional[int] = None,
+        args: Optional[Args] = None,
+    ) -> None:
+        """Close ``span``, record end timestamps, commit it to the ring."""
+        span.t1_cycles = span.t0_cycles if cycles is None else int(cycles)
+        span.t1_wall = self._now_wall()
+        if args:
+            span.args.update(args)
+        if self._stack and self._stack[-1] == span.span_id:
+            self._stack.pop()
+        self._commit(span)
+
+    def event(
+        self,
+        name: str,
+        cat: str = "",
+        cycles: int = 0,
+        parent: Any = _UNSET,
+        args: Optional[Args] = None,
+    ) -> Span:
+        """Record an instant event (committed immediately)."""
+        span = self.begin(name, cat, cycles=cycles, parent=parent, args=args, nest=False)
+        span.kind = "event"
+        span.t1_cycles = span.t0_cycles
+        span.t1_wall = span.t0_wall
+        self._commit(span)
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        cat: str = "",
+        cycles: int = 0,
+        parent: Any = _UNSET,
+        args: Optional[Args] = None,
+    ) -> Iterator[Span]:
+        """Context-manager sugar over :meth:`begin` / :meth:`end`."""
+        s = self.begin(name, cat, cycles=cycles, parent=parent, args=args)
+        try:
+            yield s
+        finally:
+            self.end(s, cycles=cycles if cycles else None)
+
+    def _commit(self, span: Span) -> None:
+        self._ring.append(span)
+        if self._sink is not None:
+            self._sink.write(span)
+
+    def child_context(
+        self,
+        parent: Optional[Span] = None,
+        export_dir: Optional[str] = None,
+    ) -> TraceContext:
+        """A :class:`TraceContext` linking children under ``parent``."""
+        pid = parent.span_id if parent is not None else self.default_parent
+        return TraceContext(
+            trace_id=self.trace_id, parent_span_id=pid, export_dir=export_dir
+        )
+
+    def snapshot(self) -> List[Span]:
+        """Completed spans, oldest first (bounded by the ring capacity)."""
+        return list(self._ring)
+
+    def clear(self) -> None:
+        """Drop completed spans (ids and clocks keep advancing)."""
+        self._ring.clear()
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: every hook is a constant-time no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(trace_id="null", capacity=1)
+        self._null_span = Span("", "", 0, 0, "span", 0, 0.0)
+
+    def begin(
+        self,
+        name: str,
+        cat: str = "",
+        cycles: int = 0,
+        parent: Any = _UNSET,
+        args: Optional[Args] = None,
+        nest: bool = True,
+    ) -> Span:
+        """Return the shared dummy span without recording anything."""
+        return self._null_span
+
+    def end(
+        self,
+        span: Span,
+        cycles: Optional[int] = None,
+        args: Optional[Args] = None,
+    ) -> None:
+        """Discard the span."""
+
+    def event(
+        self,
+        name: str,
+        cat: str = "",
+        cycles: int = 0,
+        parent: Any = _UNSET,
+        args: Optional[Args] = None,
+    ) -> Span:
+        """Discard the event."""
+        return self._null_span
+
+    def snapshot(self) -> List[Span]:
+        """Always empty."""
+        return []
+
+
+#: Shared disabled tracer handed out while tracing is inactive.
+NULL_TRACER = NullTracer()
+
+_active: Optional[Tracer] = None
+
+
+class JsonlSink:
+    """Append-only JSONL span stream (one file per writing process)."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def write(self, span: Span) -> None:
+        """Append one compact JSON line for ``span``."""
+        line = json.dumps(
+            span.to_record(), sort_keys=True, separators=(",", ":")
+        )
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+
+
+def activate_tracing(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-global tracer."""
+    global _active
+    _active = tracer
+    return tracer
+
+
+def deactivate_tracing() -> None:
+    """Remove the process-global tracer (hooks go back to the no-op)."""
+    global _active
+    _active = None
+
+
+@contextmanager
+def tracing(tracer: Tracer) -> Iterator[Tracer]:
+    """Scoped :func:`activate_tracing` / :func:`deactivate_tracing`."""
+    global _active
+    previous = _active
+    activate_tracing(tracer)
+    try:
+        yield tracer
+    finally:
+        _active = previous
+
+
+def tracer_from_context(ctx: TraceContext) -> Tracer:
+    """Build a child tracer joining the trace described by ``ctx``.
+
+    The child uses the deterministic step clock (children never get an
+    injected wall clock across a process boundary) and streams spans to
+    ``<export_dir>/worker-<pid>.jsonl`` when an export dir is set.
+    """
+    sink = None
+    if ctx.export_dir:
+        sink = JsonlSink(
+            os.path.join(ctx.export_dir, f"worker-{os.getpid()}.jsonl")
+        )
+    return Tracer(
+        trace_id=ctx.trace_id,
+        default_parent=ctx.parent_span_id or None,
+        sink=sink,
+    )
+
+
+def get_tracer() -> Tracer:
+    """The active tracer, adopting any environment trace context.
+
+    Mirrors ``repro.faults.injector.get_injector``: if no tracer was
+    activated in-process but :data:`TRACE_ENV_VAR` is set (a pool child
+    spawned inside a traced parent), a child tracer is built from it and
+    activated.  Otherwise the shared :data:`NULL_TRACER` is returned.
+    """
+    if _active is not None:
+        return _active
+    raw = os.environ.get(TRACE_ENV_VAR)
+    if raw:
+        return activate_tracing(tracer_from_context(TraceContext.from_json(raw)))
+    return NULL_TRACER
+
+
+def _reset_for_tests() -> None:
+    """Deactivate tracing and scrub the environment (test hygiene)."""
+    deactivate_tracing()
+    os.environ.pop(TRACE_ENV_VAR, None)

@@ -39,7 +39,7 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -58,6 +58,9 @@ from repro.service.batcher import (
     Overloaded,
     WorkerCrashed,
 )
+from repro.obs.context import context_from_env
+from repro.obs.export import chrome_trace, render_chrome_json
+from repro.obs.trace import NULL_TRACER, Tracer, get_tracer
 from repro.service.cache import LRUTTLCache
 from repro.service.canonical import canonical_form, canonical_key, unpermute
 from repro.service.metrics import ServiceMetrics
@@ -102,6 +105,8 @@ class ServiceConfig:
     breaker_threshold: int = 3
     #: Seconds the breaker stays open before admitting a probe.
     breaker_reset: float = 1.0
+    #: Completed spans kept for ``GET /trace`` (0 disables tracing).
+    trace_ring: int = 2048
 
 
 class _BadRequest(Exception):
@@ -126,6 +131,21 @@ class MappingService:
         self.metrics = ServiceMetrics()
         self._solve_batch_fn = solve_batch_fn
         cfg = self.config
+        # Tracing: adopt a process-global tracer (``repro trace
+        # serve-request``), else keep a private ring sized by the config;
+        # the injected service clock drives the wall track.
+        active_tracer = get_tracer()
+        if active_tracer.enabled:
+            self.tracer: Tracer = active_tracer
+        elif cfg.trace_ring > 0:
+            self.tracer = Tracer(
+                trace_id="service", wall_clock=clock, capacity=cfg.trace_ring
+            )
+        else:
+            self.tracer = NULL_TRACER
+        #: Static context from REPRO_TRACE_CONTEXT, propagated to pool
+        #: workers via an in-band batch header (fresh parent per batch).
+        self._trace_child_ctx = context_from_env()
         self._body_cache: LRUTTLCache[bytes] = LRUTTLCache(
             cfg.cache_entries, cfg.cache_ttl, clock
         )
@@ -146,6 +166,7 @@ class MappingService:
             breaker=self.breaker,
             recover=self._recover_pool,
             requeue_limit=cfg.requeue_limit,
+            tracer=self.tracer,
         )
         self._executor: Optional[Executor] = None
 
@@ -190,7 +211,34 @@ class MappingService:
     # -- request handling --------------------------------------------------------
 
     async def handle_map(self, body: bytes) -> Response:
-        """Full pipeline for one ``POST /map`` body."""
+        """Full pipeline for one ``POST /map`` body (traced when enabled)."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            return await self._handle_map(body)
+        # nest=False: concurrent requests interleave on the loop, so a
+        # shared nesting stack would mis-parent spans across requests.
+        span = tracer.begin(
+            "request:/map",
+            cat="service.request",
+            args={"bytes": len(body)},
+            nest=False,
+        )
+        try:
+            status, headers, payload = await self._handle_map(body)
+        except BaseException:
+            tracer.end(span, args={"error": True})
+            raise
+        tracer.end(
+            span,
+            args={
+                "status": status,
+                "cache": headers.get("X-Repro-Cache", "none"),
+            },
+        )
+        return status, headers, payload
+
+    async def _handle_map(self, body: bytes) -> Response:
+        """The untraced pipeline body behind :meth:`handle_map`."""
         self.metrics.mappings_total += 1
         body_key = hashlib.sha256(body).hexdigest()
         cached = self._body_cache.get(body_key)
@@ -270,6 +318,14 @@ class MappingService:
         m.breaker_state = self.breaker.state_code
         m.faults_injected_total = get_injector().fired_total()
         return 200, {"Content-Type": "text/plain; charset=utf-8"}, m.render().encode("utf-8")
+
+    def render_trace(self) -> Response:
+        """``GET /trace``: Chrome-trace JSON of the span ring buffer."""
+        doc = chrome_trace(
+            self.tracer.snapshot(), trace_id=self.tracer.trace_id, clock="wall"
+        )
+        body = render_chrome_json(doc).encode("utf-8")
+        return 200, {"Content-Type": "application/json; charset=utf-8"}, body
 
     # -- internals ---------------------------------------------------------------
 
@@ -358,21 +414,43 @@ class MappingService:
         """
         if self._executor is None:
             await self.start()
+        tracer = self.tracer
+        span = (
+            tracer.begin(
+                "solve.batch",
+                cat="service.batch",
+                args={"items": len(items)},
+                nest=False,
+            )
+            if tracer.enabled
+            else None
+        )
         batch: List[worker.SolveItem] = [
             (key, payload[0], payload[1], payload[2]) for key, payload in items
         ]
+        if self._trace_child_ctx is not None:
+            # In-band header: the environment already named the trace;
+            # the header adds this batch's parent span for exact linkage.
+            ctx = self._trace_child_ctx
+            if span is not None:
+                ctx = replace(ctx, parent_span_id=span.span_id)
+            batch.insert(0, worker.trace_header(ctx))
         loop = asyncio.get_running_loop()
         try:
             results = await loop.run_in_executor(
                 self._executor, self._solve_batch_fn, batch
             )
         except (BrokenExecutor, InjectedCrash) as exc:
+            if span is not None:
+                tracer.end(span, args={"error": type(exc).__name__})
             raise WorkerCrashed(f"{type(exc).__name__}: {exc}") from exc
         out: Dict[str, Any] = {}
         for key, assignment in results:
             assignment = tuple(int(c) for c in assignment)
             self._solve_cache.put(key, assignment)
             out[key] = assignment
+        if span is not None:
+            tracer.end(span, args={"solved": len(out)})
         return out
 
 

@@ -41,6 +41,8 @@ import asyncio
 import time
 from typing import Any, Awaitable, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.obs.trace import Tracer
+
 #: One queued solve: (canonical key, opaque payload handed to dispatch).
 Item = Tuple[str, Any]
 #: Dispatch callable: a batch of items in, {key: result} out.
@@ -166,8 +168,11 @@ class MicroBatcher:
         breaker: Optional[CircuitBreaker] = None,
         recover: Optional[Recover] = None,
         requeue_limit: int = 1,
+        tracer: Optional[Tracer] = None,
     ):
         self._dispatch = dispatch
+        #: Optional injected tracer; one span per batch run when enabled.
+        self._tracer = tracer
         self.max_batch = max(1, max_batch)
         self.window = max(0.0, window)
         self.max_pending = max(1, max_pending)
@@ -245,6 +250,21 @@ class MicroBatcher:
         return await self._dispatch(items)
 
     async def _run_batch(self, items: List[Item]) -> None:
+        tracer = self._tracer
+        if tracer is None or not tracer.enabled:
+            await self._run_batch_inner(items)
+            return
+        span = tracer.begin(
+            "batch.run", cat="service.batch", args={"items": len(items)}, nest=False
+        )
+        requeues_before = self.requeues
+        try:
+            await self._run_batch_inner(items)
+        finally:
+            tracer.end(span, args={"requeues": self.requeues - requeues_before})
+
+    async def _run_batch_inner(self, items: List[Item]) -> None:
+        """The dispatch/requeue loop behind :meth:`_run_batch`."""
         self.batches_dispatched += 1
         self.items_dispatched += len(items)
         requeues_left = self.requeue_limit

@@ -10,6 +10,7 @@ Endpoints:
 * ``POST /map`` — communication matrix in, hierarchical mapping out.
 * ``GET /healthz`` — liveness plus queue/cache gauges.
 * ``GET /metrics`` — Prometheus text exposition.
+* ``GET /trace`` — Chrome-trace JSON of the service span ring buffer.
 
 Shutdown contract (SIGTERM/SIGINT): stop accepting, close idle
 connections, wait up to ``drain_timeout`` for busy requests to finish
@@ -272,6 +273,12 @@ class MappingServer:
                     "MethodNotAllowed", "/metrics accepts GET only"
                 )
             return self.service.render_metrics()
+        if request.path == "/trace":
+            if request.method != "GET":
+                return 405, {"Allow": "GET"}, _error_body(
+                    "MethodNotAllowed", "/trace accepts GET only"
+                )
+            return self.service.render_trace()
         return 404, {}, _error_body("NotFound", f"no route for {request.path}")
 
     async def _write_response(

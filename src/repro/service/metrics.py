@@ -1,59 +1,149 @@
-"""Service counters and their Prometheus-style text rendering.
+"""Service counters, backed by the unified observability registry.
 
 All counters are plain ints (the repo's counter-hygiene rule RPL005:
 bit-exact comparison needs integer counters); latency quantiles are
-derived from a bounded reservoir of recent observations and exposed as
-gauges.  The clock is injected by the owner — this module never reads
-wall time itself.
+derived from a bounded histogram reservoir and exposed as gauges.  The
+clock is injected by the owner — this module never reads wall time
+itself.
+
+Since PR 5 the storage and rendering live in
+:class:`repro.obs.metrics.MetricsRegistry`; :class:`ServiceMetrics` is
+a thin facade that keeps the historical attribute API
+(``metrics.requests_total += 1``) working via descriptors while the
+registry renders the *byte-identical* exposition text the PR-4 chaos
+harness pins (same row order, same ``repro_service_`` prefix, ints
+bare, floats ``%.6f``).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, List, Tuple
+from typing import Any, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class _MetricAttr:
+    """Descriptor exposing a registry series as a plain numeric attribute.
+
+    Reads return the current value (so ``+=`` and comparisons keep
+    working); writes store through the underlying metric, which enforces
+    the int-counter rule for counter-kind series.
+    """
+
+    def __init__(self, name: str, kind: str):
+        self.name = name
+        self.kind = kind
+
+    def __get__(self, obj: Any, owner: Any = None) -> Any:
+        if obj is None:
+            return self
+        return obj._series[self.name].value
+
+    def __set__(self, obj: Any, value: Any) -> None:
+        obj._series[self.name].set(value)
+
+
+#: (name, kind) rows in historical render order — the chaos harness
+#: parses this exact sequence, so registration order must not change.
+_ROWS: Tuple[Tuple[str, str], ...] = (
+    ("requests_total", "counter"),
+    ("mappings_total", "counter"),
+    ("body_cache_hits_total", "counter"),
+    ("solve_cache_hits_total", "counter"),
+    ("solve_cache_misses_total", "counter"),
+    ("solves_total", "counter"),
+    ("batches_total", "counter"),
+    ("coalesced_total", "counter"),
+    ("rejected_total", "counter"),
+    ("validation_errors_total", "counter"),
+    ("http_errors_total", "counter"),
+    # Fault-tolerance counters (chaos-tested; all invocation-driven
+    # and therefore identical across reruns of one fault plan).
+    ("faults_injected_total", "counter"),
+    ("worker_crashes_total", "counter"),
+    ("pool_rebuilds_total", "counter"),
+    ("batch_requeues_total", "counter"),
+    ("solve_deadline_total", "counter"),
+    ("breaker_open_total", "counter"),
+    ("breaker_state", "gauge"),  # 0 closed, 1 half-open, 2 open
+    ("shed_total", "counter"),
+    ("solve_failures_total", "counter"),
+    ("connection_resets_total", "counter"),
+    ("inflight", "gauge"),
+)
 
 
 class ServiceMetrics:
     """Mutable counter set for one service instance."""
 
-    def __init__(self, latency_window: int = 2048):
-        self.requests_total = 0
-        self.mappings_total = 0
-        self.body_cache_hits_total = 0
-        self.solve_cache_hits_total = 0
-        self.solve_cache_misses_total = 0
-        self.solves_total = 0
-        self.batches_total = 0
-        self.coalesced_total = 0
-        self.rejected_total = 0
-        self.validation_errors_total = 0
-        self.http_errors_total = 0
-        # Fault-tolerance counters (chaos-tested; all invocation-driven
-        # and therefore identical across reruns of one fault plan).
-        self.faults_injected_total = 0
-        self.worker_crashes_total = 0
-        self.pool_rebuilds_total = 0
-        self.batch_requeues_total = 0
-        self.solve_deadline_total = 0
-        self.breaker_open_total = 0
-        self.breaker_state = 0  # 0 closed, 1 half-open, 2 open
-        self.shed_total = 0
-        self.solve_failures_total = 0
-        self.connection_resets_total = 0
-        self.inflight = 0
-        self._latency_ms: Deque[float] = deque(maxlen=latency_window)
+    requests_total = _MetricAttr("requests_total", "counter")
+    mappings_total = _MetricAttr("mappings_total", "counter")
+    body_cache_hits_total = _MetricAttr("body_cache_hits_total", "counter")
+    solve_cache_hits_total = _MetricAttr("solve_cache_hits_total", "counter")
+    solve_cache_misses_total = _MetricAttr("solve_cache_misses_total", "counter")
+    solves_total = _MetricAttr("solves_total", "counter")
+    batches_total = _MetricAttr("batches_total", "counter")
+    coalesced_total = _MetricAttr("coalesced_total", "counter")
+    rejected_total = _MetricAttr("rejected_total", "counter")
+    validation_errors_total = _MetricAttr("validation_errors_total", "counter")
+    http_errors_total = _MetricAttr("http_errors_total", "counter")
+    faults_injected_total = _MetricAttr("faults_injected_total", "counter")
+    worker_crashes_total = _MetricAttr("worker_crashes_total", "counter")
+    pool_rebuilds_total = _MetricAttr("pool_rebuilds_total", "counter")
+    batch_requeues_total = _MetricAttr("batch_requeues_total", "counter")
+    solve_deadline_total = _MetricAttr("solve_deadline_total", "counter")
+    breaker_open_total = _MetricAttr("breaker_open_total", "counter")
+    breaker_state = _MetricAttr("breaker_state", "gauge")
+    shed_total = _MetricAttr("shed_total", "counter")
+    solve_failures_total = _MetricAttr("solve_failures_total", "counter")
+    connection_resets_total = _MetricAttr("connection_resets_total", "counter")
+    inflight = _MetricAttr("inflight", "gauge")
+
+    def __init__(
+        self,
+        latency_window: int = 2048,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        #: The backing registry; per-instance by default so concurrent
+        #: service instances in tests never share counters.
+        self.registry = (
+            registry
+            if registry is not None
+            else MetricsRegistry(prefix="repro_service_")
+        )
+        self._series = {
+            name: (
+                self.registry.counter(name)
+                if kind == "counter"
+                else self.registry.gauge(name)
+            )
+            for name, kind in _ROWS
+        }
+        self._latency_ms = self.registry.histogram(
+            "latency_ms", window=latency_window
+        )
+        # Derived gauges render after the plain rows, preserving the
+        # historical tail: cache_hit_rate, latency_p50_ms, latency_p99_ms.
+        self.registry.callback_gauge("cache_hit_rate", lambda: self.cache_hit_rate)
+        self.registry.callback_gauge(
+            "latency_p50_ms", lambda: self.latency_quantile_ms(0.50)
+        )
+        self.registry.callback_gauge(
+            "latency_p99_ms", lambda: self.latency_quantile_ms(0.99)
+        )
 
     def observe_latency_ms(self, value: float) -> None:
         """Record one request latency into the quantile reservoir."""
-        self._latency_ms.append(value)
+        self._latency_ms.observe(value)
 
     def latency_quantile_ms(self, q: float) -> float:
-        """Quantile over the recent-latency reservoir (0.0 when empty)."""
-        if not self._latency_ms:
-            return 0.0
-        ordered = sorted(self._latency_ms)
-        idx = min(len(ordered) - 1, int(q * len(ordered)))
-        return ordered[idx]
+        """Nearest-rank quantile over the recent-latency reservoir.
+
+        0.0 when empty.  Uses ``ceil(q*n)-1`` — the historical
+        ``int(q*n)`` index was biased high by one rank (p50 of two
+        samples returned the upper one).
+        """
+        return self._latency_ms.quantile(q, default=0.0)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -64,39 +154,4 @@ class ServiceMetrics:
 
     def render(self) -> str:
         """Prometheus text exposition of every counter and gauge."""
-        rows: List[Tuple[str, str, float]] = [
-            ("requests_total", "counter", self.requests_total),
-            ("mappings_total", "counter", self.mappings_total),
-            ("body_cache_hits_total", "counter", self.body_cache_hits_total),
-            ("solve_cache_hits_total", "counter", self.solve_cache_hits_total),
-            ("solve_cache_misses_total", "counter", self.solve_cache_misses_total),
-            ("solves_total", "counter", self.solves_total),
-            ("batches_total", "counter", self.batches_total),
-            ("coalesced_total", "counter", self.coalesced_total),
-            ("rejected_total", "counter", self.rejected_total),
-            ("validation_errors_total", "counter", self.validation_errors_total),
-            ("http_errors_total", "counter", self.http_errors_total),
-            ("faults_injected_total", "counter", self.faults_injected_total),
-            ("worker_crashes_total", "counter", self.worker_crashes_total),
-            ("pool_rebuilds_total", "counter", self.pool_rebuilds_total),
-            ("batch_requeues_total", "counter", self.batch_requeues_total),
-            ("solve_deadline_total", "counter", self.solve_deadline_total),
-            ("breaker_open_total", "counter", self.breaker_open_total),
-            ("breaker_state", "gauge", self.breaker_state),
-            ("shed_total", "counter", self.shed_total),
-            ("solve_failures_total", "counter", self.solve_failures_total),
-            ("connection_resets_total", "counter", self.connection_resets_total),
-            ("inflight", "gauge", self.inflight),
-            ("cache_hit_rate", "gauge", self.cache_hit_rate),
-            ("latency_p50_ms", "gauge", self.latency_quantile_ms(0.50)),
-            ("latency_p99_ms", "gauge", self.latency_quantile_ms(0.99)),
-        ]
-        lines: List[str] = []
-        for name, kind, value in rows:
-            full = f"repro_service_{name}"
-            lines.append(f"# TYPE {full} {kind}")
-            if isinstance(value, int):
-                lines.append(f"{full} {value}")
-            else:
-                lines.append(f"{full} {value:.6f}")
-        return "\n".join(lines) + "\n"
+        return self.registry.render()

@@ -1,0 +1,17 @@
+"""Fixture: RPL007 must flag wall-clock sources at obs call sites.
+
+Both violations are attribute *references*, not calls, so RPL002 (which
+flags calls only) stays quiet and the snapshot isolates RPL007.
+"""
+
+import time
+
+
+def build_tracer(Tracer):
+    # A wall clock injected here defeats deterministic trace exports.
+    return Tracer(trace_id="t", wall_clock=time.monotonic)
+
+
+def stamp(histogram):
+    # A wall-clock reader handed to a metric observation site.
+    histogram.observe(time.perf_counter)

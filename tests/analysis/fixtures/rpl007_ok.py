@@ -1,0 +1,15 @@
+"""Clean fixture for RPL007: clocks are injected, never read in place."""
+
+
+def build_tracer(Tracer, clock):
+    return Tracer(trace_id="t", wall_clock=clock)
+
+
+def record_phase(tracer, cycles):
+    span = tracer.begin("phase", cycles=cycles)
+    tracer.end(span, cycles=cycles)
+    return span
+
+
+def observe(histogram, elapsed_ms):
+    histogram.observe(elapsed_ms)

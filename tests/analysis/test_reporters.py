@@ -22,6 +22,7 @@ SNAPSHOT_CONFIG = dict(
     },
     rpl004={"config-classes": ["FixtureConfig"]},
     rpl006={"paths": ["rpl006_*.py"]},
+    rpl007={"paths": ["rpl007_*.py"]},
 )
 
 
@@ -61,6 +62,7 @@ class TestJsonReporter:
         assert sum(payload["counts"].values()) == payload["total"]
         assert {f["rule"] for f in payload["findings"]} == {
             "RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006",
+            "RPL007",
         }
 
     def test_snapshot(self):

@@ -158,6 +158,43 @@ class TestRPL006:
         assert lint_fixture("rpl006_bad.py", cfg) == []
 
 
+RPL007 = {"paths": ["rpl007_*.py"]}
+
+
+class TestRPL007:
+    def test_flags_wall_clock_references_in_obs_modules(self):
+        findings = lint_fixture("rpl007_bad.py", fixture_config(rpl007=RPL007))
+        assert rule_ids(findings) == {"RPL007"}
+        assert len(findings) == 2
+        messages = " ".join(f.message for f in findings)
+        assert "time.monotonic" in messages
+        assert "time.perf_counter" in messages
+
+    def test_flags_wall_clock_args_at_obs_api_calls_project_wide(self):
+        # Default obs paths do not match the fixture, so the project-wide
+        # call-site arm is what fires here.
+        findings = lint_fixture("rpl007_bad.py", fixture_config())
+        assert rule_ids(findings) == {"RPL007"}
+        assert len(findings) == 2
+        messages = " ".join(f.message for f in findings)
+        assert "'Tracer'" in messages
+        assert "'observe'" in messages
+
+    def test_references_not_calls_keep_rpl002_quiet(self):
+        # The fixture's violations are attribute references; RPL002 only
+        # flags calls, so RPL007 is the sole rule that sees them.
+        findings = lint_fixture("rpl007_bad.py", fixture_config(rpl007=RPL007))
+        assert "RPL002" not in rule_ids(findings)
+
+    def test_passes_injected_clocks(self):
+        assert lint_fixture("rpl007_ok.py", fixture_config(rpl007=RPL007)) == []
+        assert lint_fixture("rpl007_ok.py", fixture_config()) == []
+
+    def test_allow_list_exempts_module(self):
+        cfg = fixture_config(rpl007=dict(RPL007, allow=["rpl007_bad.py"]))
+        assert lint_fixture("rpl007_bad.py", cfg) == []
+
+
 class TestFrameworkBehaviour:
     def test_syntax_error_becomes_rpl000(self, tmp_path):
         (tmp_path / "broken.py").write_text("def f(:\n")

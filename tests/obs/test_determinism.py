@@ -1,0 +1,56 @@
+"""Trace exports must be byte-identical across runs (the trace-smoke gate)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.export import validate_chrome_trace
+from repro.obs.trace import _reset_for_tests
+
+
+@pytest.fixture(autouse=True)
+def clean_global_tracer():
+    _reset_for_tests()
+    yield
+    _reset_for_tests()
+
+
+def run_trace(tmp_path, target, run, extra=()):
+    out = tmp_path / f"{target}-{run}.json"
+    rc = main(["trace", target, "--output", str(out), *extra])
+    assert rc == 0
+    return out.read_bytes()
+
+
+class TestCliTraceDeterminism:
+    def test_benchmark_trace_is_byte_identical(self, tmp_path):
+        extra = ("--scale", "0.2")
+        first = run_trace(tmp_path, "cg", 1, extra)
+        second = run_trace(tmp_path, "cg", 2, extra)
+        assert first == second
+
+    def test_benchmark_trace_passes_schema_check(self, tmp_path):
+        raw = run_trace(tmp_path, "cg", 1, ("--scale", "0.2"))
+        doc = json.loads(raw)
+        assert validate_chrome_trace(doc) >= 2
+        assert doc["otherData"]["clock"] == "cycles"
+
+    def test_bench_alias_resolves(self, tmp_path):
+        raw = run_trace(
+            tmp_path, "bench_fig6_exec_time", 1, ("--scale", "0.15")
+        )
+        doc = json.loads(raw)
+        assert doc["otherData"]["trace_id"] == "bench_fig6_exec_time"
+        cats = {e.get("cat") for e in doc["traceEvents"]}
+        assert "sim.phase" in cats and "mapping" in cats
+
+    def test_serve_request_trace_is_byte_identical(self, tmp_path):
+        first = run_trace(tmp_path, "serve-request", 1)
+        second = run_trace(tmp_path, "serve-request", 2)
+        assert first == second
+        doc = json.loads(first)
+        assert validate_chrome_trace(doc) >= 4
+        assert doc["otherData"]["clock"] == "wall"
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {"request:/map", "solve.batch", "worker.solve_batch"} <= names

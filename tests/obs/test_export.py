@@ -1,0 +1,107 @@
+"""Chrome-trace/JSONL export structure, validation, and stability."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    render_chrome_json,
+    render_jsonl,
+    validate_chrome_trace,
+)
+from repro.obs.trace import Tracer
+
+
+def sample_spans():
+    tr = Tracer()
+    root = tr.begin("root", cat="sim", cycles=0)
+    tr.event("mark", cycles=5, args={"core": 2})
+    tr.end(root, cycles=100, args={"accesses": 7})
+    return tr.snapshot()
+
+
+class TestChromeTrace:
+    def test_metadata_event_leads(self):
+        doc = chrome_trace(sample_spans(), trace_id="t1")
+        first = doc["traceEvents"][0]
+        assert first["ph"] == "M"
+        assert first["args"]["name"] == "repro:t1"
+        assert doc["otherData"] == {"trace_id": "t1", "clock": "cycles"}
+
+    def test_cycles_clock_drives_ts_and_keeps_wall_in_args(self):
+        doc = chrome_trace(sample_spans(), trace_id="t")
+        events = {e["name"]: e for e in doc["traceEvents"][1:]}
+        root = events["root"]
+        assert root["ph"] == "X"
+        assert (root["ts"], root["dur"]) == (0, 100)
+        assert {"w0", "w1", "span_id", "parent_id"} <= set(root["args"])
+        assert root["args"]["accesses"] == 7
+
+    def test_wall_clock_swaps_axes(self):
+        doc = chrome_trace(sample_spans(), trace_id="t", clock="wall")
+        root = {e["name"]: e for e in doc["traceEvents"][1:]}["root"]
+        assert root["ts"] == 1.0  # first step-clock tick
+        assert root["args"]["c1"] == 100
+
+    def test_instant_events_get_thread_scope(self):
+        doc = chrome_trace(sample_spans(), trace_id="t")
+        mark = {e["name"]: e for e in doc["traceEvents"][1:]}["mark"]
+        assert (mark["ph"], mark["s"]) == ("i", "t")
+        assert mark["args"]["core"] == 2
+
+    def test_empty_cat_defaults_to_repro(self):
+        tr = Tracer()
+        tr.end(tr.begin("x"))
+        doc = chrome_trace(tr.snapshot(), trace_id="t")
+        assert doc["traceEvents"][1]["cat"] == "repro"
+
+    def test_unknown_clock_rejected(self):
+        with pytest.raises(ValueError, match="clock"):
+            chrome_trace([], trace_id="t", clock="tai")
+
+
+class TestRendering:
+    def test_render_is_canonical_and_stable(self):
+        doc = chrome_trace(sample_spans(), trace_id="t")
+        text = render_chrome_json(doc)
+        assert text == render_chrome_json(json.loads(text))
+        assert text.endswith("\n")
+        assert ": " not in text and ", " not in text  # compact separators
+
+    def test_jsonl_one_line_per_span(self):
+        text = render_jsonl(sample_spans(), trace_id="t")
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["trace"] == "t" for line in lines)
+
+    def test_jsonl_empty(self):
+        assert render_jsonl([], trace_id="t") == ""
+
+
+class TestValidator:
+    def test_accepts_generated_trace(self):
+        doc = chrome_trace(sample_spans(), trace_id="t")
+        assert validate_chrome_trace(doc) == 3
+
+    @pytest.mark.parametrize(
+        "mutate, match",
+        [
+            (lambda d: d.update(traceEvents=[]), "non-empty"),
+            (lambda d: d["traceEvents"][1].update(ph="Z"), "phase"),
+            (lambda d: d["traceEvents"][1].update(name=""), "name"),
+            (lambda d: d["traceEvents"][1].update(pid="one"), "pid"),
+            (lambda d: d["traceEvents"][2].update(dur=-4), "duration"),
+            (lambda d: d["traceEvents"][1].pop("s"), "scope"),
+            (lambda d: d["traceEvents"][1].update(args=[1]), "args"),
+        ],
+    )
+    def test_rejects_structural_garbage(self, mutate, match):
+        doc = chrome_trace(sample_spans(), trace_id="t")
+        mutate(doc)
+        with pytest.raises(ValueError, match=match):
+            validate_chrome_trace(doc)
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([1, 2])

@@ -1,0 +1,139 @@
+"""Metrics registry unit tests: int discipline, quantiles, rendering."""
+
+import pytest
+
+from repro.obs.metrics import (
+    CallbackGauge,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    nearest_rank_index,
+    reset_global_registry,
+)
+
+
+class TestNearestRank:
+    def test_pins_the_standard_definition(self):
+        # ceil(q*n)-1, clamped: the biased int(q*n) gave 99 and 1 here.
+        assert nearest_rank_index(0.99, 100) == 98
+        assert nearest_rank_index(0.50, 2) == 0
+        assert nearest_rank_index(1.0, 10) == 9
+        assert nearest_rank_index(0.001, 10) == 0
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError):
+            nearest_rank_index(0.5, 0)
+        with pytest.raises(ValueError):
+            nearest_rank_index(0.0, 5)
+        with pytest.raises(ValueError):
+            nearest_rank_index(1.5, 5)
+
+
+class TestCounter:
+    def test_int_only(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(TypeError):
+            c.inc(1.5)
+        with pytest.raises(TypeError):
+            c.inc(True)
+        with pytest.raises(TypeError):
+            c.set(2.0)
+
+    def test_set_overwrites(self):
+        c = Counter("hits")
+        c.set(41)
+        assert c.value == 41
+
+
+class TestGauges:
+    def test_gauge_holds_any_numeric(self):
+        g = Gauge("depth")
+        g.set(2.5)
+        assert g.value == 2.5
+
+    def test_callback_gauge_computes_on_read(self):
+        box = {"v": 1}
+        g = CallbackGauge("live", lambda: box["v"])
+        assert g.value == 1
+        box["v"] = 9
+        assert g.value == 9
+
+
+class TestHistogram:
+    def test_quantiles_are_nearest_rank_exact(self):
+        h = Histogram("lat", window=256)
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.quantile(0.50) == 50.0
+        assert h.quantile(0.90) == 90.0
+        assert h.quantile(0.99) == 99.0  # int(q*n) truncation said 100.0
+        assert h.quantile(1.0) == 100.0
+
+    def test_window_evicts_but_count_is_total(self):
+        h = Histogram("lat", window=4)
+        for v in [1.0, 2.0, 3.0, 4.0, 100.0]:
+            h.observe(v)
+        assert h.count == 5
+        assert h.quantile(1.0) == 100.0
+        assert h.quantile(0.25) == 2.0  # window is [2,3,4,100]
+
+    def test_empty_default(self):
+        assert Histogram("lat").quantile(0.5, default=-1.0) == -1.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_series(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.counter("a", {"k": "x"}) is not reg.counter("a", {"k": "y"})
+
+    def test_kind_conflict_is_an_error(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("a")
+
+    def test_render_format_and_order(self):
+        reg = MetricsRegistry(prefix="repro_")
+        reg.counter("runs").inc(3)
+        reg.gauge("ratio").set(0.5)
+        reg.counter("runs", {"engine": "batched"}).inc(2)
+        reg.histogram("lat").observe(1.0)  # histograms never render
+        assert reg.render() == (
+            "# TYPE repro_runs counter\n"
+            "repro_runs 3\n"
+            'repro_runs{engine="batched"} 2\n'
+            "# TYPE repro_ratio gauge\n"
+            "repro_ratio 0.500000\n"
+        )
+
+    def test_render_rejects_non_numeric_values(self):
+        reg = MetricsRegistry()
+        reg.gauge("bad").set("oops")
+        with pytest.raises(TypeError):
+            reg.render()
+
+    def test_callback_gauge_replaces(self):
+        reg = MetricsRegistry()
+        reg.callback_gauge("live", lambda: 1)
+        reg.callback_gauge("live", lambda: 2)
+        assert reg.render() == "# TYPE live gauge\nlive 2\n"
+
+
+class TestGlobalRegistry:
+    def test_lazy_singleton_with_repro_prefix(self):
+        reg = reset_global_registry()
+        assert global_registry() is reg
+        assert reg.prefix == "repro_"
+
+    def test_reset_replaces(self):
+        reg = reset_global_registry()
+        reg.counter("x").inc()
+        fresh = reset_global_registry()
+        assert fresh is not reg
+        assert global_registry().counter("x").value == 0

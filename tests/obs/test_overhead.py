@@ -1,0 +1,62 @@
+"""Disabled-tracing overhead guard: hooks must stay under 2% of runtime.
+
+Comparing two wall-clock timings of the same simulation is noisy; the
+guard instead bounds the *worst case*: even if every instrumentation
+hook of a traced run paid the full null-tracer begin/end cost (the real
+disabled path pays only an ``enabled`` attribute check), the total must
+stay below 2% of the measured untraced runtime.
+"""
+
+import time
+
+from repro.core.detection import DetectorConfig
+from repro.core.sm_detector import SoftwareManagedDetector
+from repro.machine.simulator import Simulator
+from repro.machine.system import System, SystemConfig
+from repro.machine.topology import harpertown
+from repro.obs.trace import NULL_TRACER, Tracer, tracing
+from repro.tlb.mmu import TLBManagement
+from repro.workloads.npb import make_npb_workload
+
+
+def build_run():
+    wl = make_npb_workload("sp", num_threads=8, scale=0.25, seed=2012)
+    det = SoftwareManagedDetector(8, DetectorConfig())
+    system = System(
+        harpertown(), SystemConfig(tlb_management=TLBManagement.SOFTWARE)
+    )
+    return wl, det, system
+
+
+def null_pair_cost(iterations=100_000):
+    start = time.perf_counter()
+    for _ in range(iterations):
+        span = NULL_TRACER.begin("probe", cycles=1)
+        NULL_TRACER.end(span, cycles=2)
+    return (time.perf_counter() - start) / iterations
+
+
+def test_null_tracer_hooks_are_constant_time():
+    # A null begin/end pair must stay microsecond-scale: any accidental
+    # allocation or dict work in the no-op path shows up here first.
+    assert null_pair_cost(20_000) < 10e-6
+
+
+def test_disabled_overhead_below_two_percent_of_sim_runtime():
+    wl, det, system = build_run()
+    start = time.perf_counter()
+    Simulator(system).run(wl, detectors=[det])
+    untraced_seconds = time.perf_counter() - start
+
+    wl, det, system = build_run()
+    tracer = Tracer(trace_id="overhead", capacity=1_000_000)
+    with tracing(tracer):
+        Simulator(system).run(wl, detectors=[det])
+    hooks = tracer.started_total
+    assert hooks > 0, "instrumentation produced no spans at all"
+
+    worst_case = hooks * null_pair_cost()
+    assert worst_case <= 0.02 * untraced_seconds, (
+        f"{hooks} hooks x null cost = {worst_case:.6f}s exceeds 2% of "
+        f"the {untraced_seconds:.6f}s untraced run"
+    )

@@ -1,0 +1,185 @@
+"""Tracer unit tests: nesting, dual clocks, ring, activation, env."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.context import TRACE_ENV_VAR, TraceContext
+from repro.obs.trace import (
+    NULL_TRACER,
+    JsonlSink,
+    NullTracer,
+    Tracer,
+    _reset_for_tests,
+    activate_tracing,
+    deactivate_tracing,
+    get_tracer,
+    tracer_from_context,
+    tracing,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_global_tracer():
+    _reset_for_tests()
+    yield
+    _reset_for_tests()
+
+
+class TestNesting:
+    def test_stack_parents_nested_spans(self):
+        tr = Tracer()
+        root = tr.begin("root")
+        child = tr.begin("child")
+        tr.event("mark")
+        tr.end(child)
+        tr.end(root)
+        got = [(s.name, s.parent_id) for s in tr.snapshot()]
+        assert ("root", 0) in got
+        assert ("child", root.span_id) in got
+        assert ("mark", child.span_id) in got
+
+    def test_nest_false_stays_off_the_stack(self):
+        tr = Tracer()
+        outer = tr.begin("outer")
+        loose = tr.begin("loose", nest=False, parent=None)
+        inner = tr.begin("inner")  # parents to outer, not loose
+        assert loose.parent_id == 0
+        assert inner.parent_id == outer.span_id
+        tr.end(inner)
+        tr.end(loose)
+        tr.end(outer)
+
+    def test_explicit_parent_and_default_parent(self):
+        tr = Tracer(default_parent=7)
+        a = tr.begin("a", nest=False)
+        b = tr.begin("b", parent=42, nest=False)
+        assert a.parent_id == 7
+        assert b.parent_id == 42
+
+    def test_span_context_manager(self):
+        tr = Tracer()
+        with tr.span("work", cycles=10) as s:
+            assert s.name == "work"
+        assert tr.snapshot()[0].t0_cycles == 10
+
+
+class TestClocks:
+    def test_injected_wall_clock_is_used(self):
+        ticks = iter([1.5, 2.5])
+        tr = Tracer(wall_clock=lambda: next(ticks))
+        s = tr.begin("x")
+        tr.end(s)
+        assert (s.t0_wall, s.t1_wall) == (1.5, 2.5)
+
+    def test_step_clock_fallback_is_deterministic(self):
+        def run():
+            tr = Tracer()
+            a = tr.begin("a")
+            b = tr.begin("b")
+            tr.end(b)
+            tr.end(a)
+            return [(s.t0_wall, s.t1_wall) for s in tr.snapshot()]
+
+        assert run() == run()
+        assert run() == [(2.0, 3.0), (1.0, 4.0)]
+
+    def test_cycle_timestamps_are_explicit(self):
+        tr = Tracer()
+        s = tr.begin("x", cycles=100)
+        tr.end(s, cycles=250)
+        assert (s.t0_cycles, s.t1_cycles) == (100, 250)
+        e = tr.event("mark", cycles=40)
+        assert (e.t0_cycles, e.t1_cycles) == (40, 40)
+
+    def test_end_without_cycles_keeps_start(self):
+        tr = Tracer()
+        s = tr.begin("x", cycles=9)
+        tr.end(s)
+        assert s.t1_cycles == 9
+
+
+class TestRing:
+    def test_capacity_bounds_completed_spans(self):
+        tr = Tracer(capacity=3)
+        for i in range(5):
+            tr.end(tr.begin(f"s{i}", nest=False))
+        assert [s.name for s in tr.snapshot()] == ["s2", "s3", "s4"]
+
+    def test_clear_keeps_ids_advancing(self):
+        tr = Tracer()
+        tr.end(tr.begin("a", nest=False))
+        tr.clear()
+        s = tr.begin("b", nest=False)
+        assert tr.snapshot() == []
+        assert s.span_id == 2
+
+
+class TestNullTracer:
+    def test_null_tracer_records_nothing(self):
+        tr = NullTracer()
+        s = tr.begin("x", cycles=5)
+        tr.end(s, cycles=9)
+        tr.event("y")
+        assert tr.snapshot() == []
+        assert not tr.enabled
+
+    def test_shared_instance_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert get_tracer() is NULL_TRACER
+
+
+class TestActivation:
+    def test_activate_and_deactivate(self):
+        tr = Tracer()
+        assert activate_tracing(tr) is tr
+        assert get_tracer() is tr
+        deactivate_tracing()
+        assert get_tracer() is NULL_TRACER
+
+    def test_tracing_context_restores_previous(self):
+        outer = activate_tracing(Tracer(trace_id="outer"))
+        with tracing(Tracer(trace_id="inner")) as inner:
+            assert get_tracer() is inner
+        assert get_tracer() is outer
+
+    def test_env_context_is_adopted(self, monkeypatch):
+        ctx = TraceContext(trace_id="envtrace", parent_span_id=3)
+        monkeypatch.setenv(TRACE_ENV_VAR, ctx.to_json())
+        tr = get_tracer()
+        assert tr.enabled
+        assert tr.trace_id == "envtrace"
+        assert tr.begin("x", nest=False).parent_id == 3
+
+
+class TestChildContext:
+    def test_child_context_links_parent_span(self):
+        tr = Tracer(trace_id="t")
+        s = tr.begin("root")
+        ctx = tr.child_context(parent=s, export_dir="/tmp/x")
+        assert ctx == TraceContext("t", s.span_id, "/tmp/x")
+        tr.end(s)
+
+    def test_tracer_from_context_sets_default_parent(self):
+        child = tracer_from_context(TraceContext("t", parent_span_id=9))
+        assert child.begin("w", nest=False).parent_id == 9
+
+
+class TestJsonlSink:
+    def test_sink_streams_completed_spans(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tr = Tracer(sink=JsonlSink(str(path)))
+        tr.end(tr.begin("a", cycles=1, nest=False), cycles=2)
+        tr.event("b")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["name"] for r in records] == ["a", "b"]
+        assert records[0]["c1"] == 2
+        assert records[1]["kind"] == "event"
+
+    def test_worker_sink_path_includes_pid(self, tmp_path):
+        ctx = TraceContext("t", 1, export_dir=str(tmp_path))
+        tr = tracer_from_context(ctx)
+        tr.end(tr.begin("w", nest=False))
+        expected = tmp_path / f"worker-{os.getpid()}.jsonl"
+        assert expected.exists()

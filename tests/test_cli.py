@@ -124,3 +124,28 @@ class TestServeArgs:
     def test_missing_fault_plan_file_fails_before_binding(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             main(["serve", "--fault-plan", str(tmp_path / "absent.json")])
+
+
+class TestTrace:
+    """The `trace` subcommand; byte-level determinism is pinned in
+    tests/obs/test_determinism.py — these cover the CLI surface."""
+
+    def test_hm_mechanism_and_default_output_name(self, capsys, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "cg", "--mechanism", "hm",
+                     "--scale", "0.12"]) == 0
+        out = capsys.readouterr().out
+        assert "trace event(s)" in out and "cycles clock" in out
+        assert (tmp_path / "cg.trace.json").exists()
+
+    def test_serve_request_target(self, capsys, tmp_path):
+        out_path = tmp_path / "svc.json"
+        assert main(["trace", "serve-request", "--output",
+                     str(out_path)]) == 0
+        assert "wall clock" in capsys.readouterr().out
+        assert out_path.exists()
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "frobnicate"])

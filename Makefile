@@ -8,6 +8,7 @@
 #   make bench-engine  engine speedup smoke benchmark
 #   make serve-smoke   boot `repro serve`, round-trip, SIGTERM drain
 #   make bench-service mapping-service load bench (writes BENCH_service.json)
+#   make remap-smoke   online-remapping gate: adaptive beats static, deterministic
 #   make test-chaos    fault-injection chaos harness (fixed replay seeds)
 #   make trace-smoke   `repro trace` twice per clock domain, byte-compare
 #   make cov           coverage gate over service+faults (skipped if no pytest-cov)
@@ -17,7 +18,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint mypy test test-scalar differential bench-engine serve-smoke bench-service test-chaos trace-smoke cov bench ci
+.PHONY: lint mypy test test-scalar differential bench-engine serve-smoke bench-service remap-smoke test-chaos trace-smoke cov bench ci
 
 lint:
 	$(PYTHON) -m repro lint
@@ -49,6 +50,12 @@ serve-smoke:
 
 bench-service:
 	$(PYTHON) benchmarks/bench_service_throughput.py
+
+# Online-remapping determinism + win gate: a small repartitioned splice
+# where the live controller must beat the static mapping, with the
+# decision log byte-identical across two runs.
+remap-smoke:
+	$(PYTHON) benchmarks/remap_smoke.py
 
 # The chaos harness replays its fixed seeds (tests/faults/test_chaos_service.py
 # CHAOS_SEEDS) plus the hand-written fault scenarios against the live stack.
@@ -83,4 +90,4 @@ cov:
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-ci: lint mypy test test-scalar differential bench-engine serve-smoke test-chaos trace-smoke cov
+ci: lint mypy test test-scalar differential bench-engine serve-smoke remap-smoke test-chaos trace-smoke cov

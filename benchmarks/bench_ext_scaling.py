@@ -53,7 +53,7 @@ def test_routine_scaling(benchmark, out_dir):
             sm_sys = warmed_system(topo, TLBManagement.SOFTWARE)
             sm = SoftwareManagedDetector(p, DetectorConfig(sm_sample_threshold=1))
             sm.attach(sm_sys, placement)
-            sm_t = time_routine(sm._on_miss, 0, 4)
+            sm_t = time_routine(sm._on_miss, 0, 4, 0)
             sm.detach()
             hm_sys = warmed_system(topo)
             hm = HardwareManagedDetector(p, DetectorConfig())

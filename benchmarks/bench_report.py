@@ -2,12 +2,22 @@
 
 Renders the Markdown report (the basis of EXPERIMENTS.md) from the shared
 suite run and checks the four headline claims reproduce in direction.
+Also folds the online-remapping study (``BENCH_remap.json``, written by
+``bench_ext_dynamic_migration.py`` earlier in the collection order) into
+a Markdown summary artifact.
 """
 
+import json
+import pathlib
+
+import pytest
 from conftest import save_artifact
 
 from repro.experiments.report import generate_report, headline_comparison
 from repro.obs.metrics import global_registry
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+REMAP_RESULT_PATH = REPO_ROOT / "BENCH_remap.json"
 
 
 def test_generate_report(benchmark, suite_results, out_dir):
@@ -19,6 +29,45 @@ def test_generate_report(benchmark, suite_results, out_dir):
     for key, row in headlines.items():
         # Every headline reduction reproduces in direction (ours > 0).
         assert row["measured"] > 0.05, (key, row)
+
+
+def test_remap_study_summary(out_dir):
+    # bench_ext_dynamic_migration.py collates before this module, so in a
+    # full `make bench` run the artifact is fresh; standalone runs may
+    # not have it.
+    if not REMAP_RESULT_PATH.exists():
+        pytest.skip("BENCH_remap.json not present (run the remap study first)")
+    doc = json.loads(REMAP_RESULT_PATH.read_text())
+
+    lines = [
+        "# Online remapping: adaptive vs static",
+        "",
+        f"Adaptive wins on {doc['adaptive_wins']} of "
+        f"{len(doc['splices'])} phase-shifting splices "
+        f"(scale {doc['config']['scale']}, "
+        f"seeds {doc['config']['seeds']}).",
+        "",
+        "| scenario | static | adaptive | oracle | delta | migrations |",
+        "|---|---:|---:|---:|---:|---:|",
+    ]
+    for r in doc["splices"]:
+        lines.append(
+            f"| {r['workload']} s{r['seed']} | {r['static_cycles']} "
+            f"| {r['adaptive_cycles']} | {r['oracle_cycles']} "
+            f"| {r['adaptive_delta_cycles']} | {r['migrations']} |"
+        )
+    for r in doc["stable"]:
+        lines.append(
+            f"| {r['workload']} (stable) s{r['seed']} "
+            f"| {r['static_cycles']} | {r['adaptive_cycles']} | - "
+            f"| {r['static_cycles'] - r['adaptive_cycles']} "
+            f"| {r['migrations']} |"
+        )
+    save_artifact(out_dir, "remap_study.md", "\n".join(lines) + "\n")
+
+    assert doc["adaptive_wins"] >= 1
+    for r in doc["stable"]:
+        assert r["migrations"] == 0, r
 
 
 def test_metrics_registry_snapshot(suite_results, out_dir):

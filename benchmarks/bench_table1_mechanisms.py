@@ -33,7 +33,7 @@ def test_sm_search_routine(benchmark):
     system = warmed_system(TLBManagement.SOFTWARE)
     det = SoftwareManagedDetector(8, DetectorConfig(sm_sample_threshold=1))
     det.attach(system, {c: c for c in range(8)})
-    benchmark(det._on_miss, 0, 4)
+    benchmark(det._on_miss, 0, 4, 0)
     det.detach()
     assert det.searches_run > 0
 

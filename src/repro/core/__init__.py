@@ -21,6 +21,7 @@ from repro.core.hm_detector import HardwareManagedDetector
 from repro.core.oracle import OracleDetector, oracle_matrix
 from repro.core.history import CommunicationHistory, pattern_drift
 from repro.core.dynamic import MigrationController
+from repro.core.streaming import DecayedCommMatrix, SlidingWindowCommMatrix
 from repro.core.accuracy import (
     cosine_similarity,
     heterogeneity,
@@ -45,6 +46,8 @@ __all__ = [
     "CommunicationHistory",
     "pattern_drift",
     "MigrationController",
+    "DecayedCommMatrix",
+    "SlidingWindowCommMatrix",
     "cosine_similarity",
     "heterogeneity",
     "pattern_class_of",

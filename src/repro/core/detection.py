@@ -16,10 +16,15 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.commmatrix import CommunicationMatrix
 from repro.machine.system import System
+
+#: Signature of a detection-event sink: (thread_i, thread_j, amount,
+#: now_cycles).  Sinks observe the same increments the cumulative matrix
+#: receives, but time-stamped — the feed for streaming/windowed views.
+EventSink = Callable[[int, int, float, int], None]
 
 
 @dataclass(frozen=True)
@@ -67,6 +72,23 @@ class Detector(abc.ABC):
         #: program text would register as uniform all-pairs communication.
         #: The OS knows its text/library mappings and filters them here).
         self.ignored_pages: Set[int] = set()
+        self._sinks: List[EventSink] = []
+
+    def add_sink(self, sink: EventSink) -> None:
+        """Register a time-stamped consumer of detection increments.
+
+        Sinks receive ``(thread_i, thread_j, amount, now_cycles)`` for
+        every increment applied to :attr:`matrix` — the feed for
+        streaming/windowed communication views.  Registration order is
+        the delivery order (determinism).
+        """
+        self._sinks.append(sink)
+
+    def _emit(self, ti: int, tj: int, amount: float, now_cycles: int) -> None:
+        """Record an increment in the matrix and fan it out to sinks."""
+        self.matrix.increment(ti, tj, amount)
+        for sink in self._sinks:
+            sink(ti, tj, amount, now_cycles)
 
     def ignore_pages(self, pages: Iterable[int]) -> None:
         """Exclude virtual page numbers from communication matching."""
@@ -122,12 +144,15 @@ class Detector(abc.ABC):
 
     # -- simulator interface --------------------------------------------------------
 
-    def poll(self, now_cycles: int) -> Optional[Tuple[int, int]]:
+    def poll(self, now_cycles: int) -> Optional[List[Tuple[int, int]]]:
         """Called at every scheduling round with the current global clock.
 
-        Return ``(core_id, cost_cycles)`` to charge a detection routine to a
-        core, or None.  The default mechanism is event-driven and needs no
-        polling.
+        Return a list of ``(core_id, cost_cycles)`` charges — one per
+        detection routine run this poll — or None.  Returning a list lets
+        a mechanism that ran several catch-up routines (HM after a barrier
+        clock jump) spread their cost over distinct cores instead of
+        billing one core for the whole burst.  The default mechanism is
+        event-driven and needs no polling.
         """
         return None
 

@@ -48,18 +48,23 @@ class HardwareManagedDetector(Detector):
     def _on_rebind(self) -> None:
         self._cores = sorted(self._core_to_thread)
 
-    def poll(self, now_cycles: int) -> Optional[Tuple[int, int]]:
+    def poll(self, now_cycles: int) -> Optional[List[Tuple[int, int]]]:
         """Fire one scan per elapsed period since the last one.
 
         Mirrors the flowchart: compare ``now - period`` against the stored
         cycle counter of the last search; fire once *per elapsed period*
         (capped at ``hm_max_catchup_scans`` per poll) and advance the
         stored counter in period multiples.  Advancing it to ``now``
-        instead — the old behavior — silently dropped scans whenever a
-        barrier clock jump or a large quantum spanned several periods,
-        drifting the effective scan rate below 1/period.  Returns the
-        (round-robin) core the OS ran the scans on and the total routine
-        cost to charge it.
+        instead silently dropped scans whenever a barrier clock jump or a
+        large quantum spanned several periods, drifting the effective
+        scan rate below 1/period.
+
+        Returns one ``(core, hm_routine_cycles)`` charge per scan fired,
+        with the round-robin cursor advanced per scan — a catch-up burst
+        spreads its cost over distinct cores, just as the OS would rotate
+        the scan duty across timer ticks.  (An earlier version billed the
+        whole burst to a single core and advanced the cursor once per
+        poll, skewing per-core overhead under barrier clock jumps.)
         """
         period = self.config.hm_period_cycles
         due = (now_cycles - self._last_scan) // period
@@ -69,12 +74,14 @@ class HardwareManagedDetector(Detector):
         self._last_scan += fires * period
         found_before = self.matches_found
         for _ in range(fires):
-            self._scan()
+            self._scan(now_cycles)
         self.scans_run += fires
-        cost = fires * self.config.hm_routine_cycles
-        self.detection_cycles += cost
-        core = self._cores[self._scan_core_rr % len(self._cores)]
-        self._scan_core_rr += 1
+        self.detection_cycles += fires * self.config.hm_routine_cycles
+        charges: List[Tuple[int, int]] = []
+        for _ in range(fires):
+            core = self._cores[self._scan_core_rr % len(self._cores)]
+            self._scan_core_rr += 1
+            charges.append((core, self.config.hm_routine_cycles))
         tracer = self._tracer
         if tracer.enabled:
             tracer.event(
@@ -82,20 +89,19 @@ class HardwareManagedDetector(Detector):
                 cat="detector.hm",
                 cycles=now_cycles,
                 args={
-                    "core": core,
+                    "cores": [c for c, _ in charges],
                     "scans": fires,
                     "matches": self.matches_found - found_before,
                 },
             )
-        return core, cost
+        return charges
 
     # -- the scan ---------------------------------------------------------------
 
-    def _scan(self) -> None:
+    def _scan(self, now_cycles: int = 0) -> None:
         """Compare every pair of TLBs set-by-set for matching entries."""
         cores = self._cores
         tlbs = self._tlbs
-        matrix = self.matrix
         c2t = self._core_to_thread
         ignored = self.ignored_pages
         num_sets = tlbs[cores[0]].config.num_sets
@@ -124,7 +130,7 @@ class HardwareManagedDetector(Detector):
                             matches += 1
                 if matches:
                     self.matches_found += matches
-                    matrix.increment(thread_a, thread_b, matches)
+                    self._emit(thread_a, thread_b, float(matches), now_cycles)
 
     # -- reporting ------------------------------------------------------------------
 

@@ -63,8 +63,17 @@ class SoftwareManagedDetector(Detector):
 
     # -- the trap-handler hook ---------------------------------------------------
 
-    def _on_miss(self, core_id: int, vpn: int) -> int:
-        """TLB-miss hook; returns cycles to charge to the faulting core."""
+    def _on_miss(self, core_id: int, vpn: int, now_cycles: int) -> int:
+        """TLB-miss hook; returns cycles to charge to the faulting core.
+
+        ``now_cycles`` is the faulting core's simulated clock (threaded
+        through the MMU at quantum resolution) — the timestamp stamped on
+        ``sm.scan`` trace events and fanned out to streaming sinks.  An
+        earlier version stamped events with ``self.detection_cycles``
+        (the detector's *cumulative overhead counter*), which made events
+        sort by overhead-so-far rather than by time in Chrome-trace
+        exports.
+        """
         me = self._core_to_thread.get(core_id)
         if me is None:
             return 0  # miss on a core not running an application thread
@@ -85,23 +94,22 @@ class SoftwareManagedDetector(Detector):
                 tracer.event(
                     "sm.scan",
                     cat="detector.sm",
-                    cycles=self.detection_cycles,
+                    cycles=now_cycles,
                     args={"core": core_id, "matches": 0, "ignored": True},
                 )
             return self.config.sm_routine_cycles
-        matrix = self.matrix
         found_before = self.matches_found
         for other_core, other_thread in self._core_to_thread.items():
             if other_core == core_id:
                 continue
             if self._tlbs[other_core].probe(vpn):
                 self.matches_found += 1
-                matrix.increment(me, other_thread)
+                self._emit(me, other_thread, 1.0, now_cycles)
         if tracer.enabled:
             tracer.event(
                 "sm.scan",
                 cat="detector.sm",
-                cycles=self.detection_cycles,
+                cycles=now_cycles,
                 args={"core": core_id, "matches": self.matches_found - found_before},
             )
         return self.config.sm_routine_cycles

@@ -1,0 +1,222 @@
+"""Streaming views of the communication matrix.
+
+The cumulative :class:`~repro.core.commmatrix.CommunicationMatrix` that a
+detector accumulates answers "who ever communicated"; online remapping
+needs "who is communicating *now*".  This module provides two incremental
+estimators of the current pattern, fed directly from detection events
+(register them as detector sinks — the :meth:`record` signature matches
+:data:`~repro.core.detection.EventSink` exactly):
+
+* :class:`DecayedCommMatrix` — exponentially-decayed counts with a
+  half-life in cycles.  O(1) state, smooth forgetting; an event's weight
+  halves every ``half_life_cycles``.
+* :class:`SlidingWindowCommMatrix` — a ring of time buckets covering the
+  last ``window_cycles``; events older than the window vanish entirely.
+  Sharper phase-boundary response, slightly more state.
+
+Both are **byte-deterministic**: state evolves only from the event
+sequence (pair, amount, timestamp) through a fixed order of float64
+operations, so identical event streams produce bit-identical
+:meth:`state_bytes` — the property the online-remap determinism tests pin.
+Decay/expiry are *lazy* (applied on access relative to the newest event
+seen), so feeding the same events always lands in the same state no
+matter how calls interleave with quiet periods.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+import numpy as np
+
+from repro.core.commmatrix import CommunicationMatrix
+
+
+class DecayedCommMatrix:
+    """Exponentially-decayed pairwise communication counts.
+
+    Args:
+        num_threads: matrix dimension.
+        half_life_cycles: cycles after which an event's weight has
+            halved.  Smaller = more reactive, noisier.
+    """
+
+    def __init__(self, num_threads: int, half_life_cycles: int = 1_000_000):
+        if num_threads < 2:
+            raise ValueError("communication needs at least 2 threads")
+        if half_life_cycles < 1:
+            raise ValueError("half_life_cycles must be >= 1")
+        self.num_threads = num_threads
+        self.half_life_cycles = half_life_cycles
+        self._m = np.zeros((num_threads, num_threads), dtype=np.float64)
+        self._now = 0
+        self.events_recorded = 0
+
+    def record(self, i: int, j: int, amount: float, now_cycles: int) -> None:
+        """Fold one detection event into the decayed state.
+
+        Matches the detector ``EventSink`` signature, so an instance's
+        bound ``record`` can be registered via ``detector.add_sink``.
+        """
+        if i == j:
+            return
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        self.advance(now_cycles)
+        self._m[i, j] += amount
+        self._m[j, i] += amount
+        self.events_recorded += 1
+
+    def advance(self, now_cycles: int) -> None:
+        """Decay state up to ``now_cycles`` (monotone; earlier = no-op)."""
+        if now_cycles <= self._now:
+            return
+        factor = 0.5 ** ((now_cycles - self._now) / self.half_life_cycles)
+        self._m *= factor
+        self._now = now_cycles
+
+    def current(self) -> CommunicationMatrix:
+        """The decayed pattern as a plain communication matrix (a copy)."""
+        return CommunicationMatrix.from_array(self._m)
+
+    @property
+    def now_cycles(self) -> int:
+        """Timestamp the state is decayed to (newest event seen)."""
+        return self._now
+
+    @property
+    def total(self) -> float:
+        """Decayed total communication (each pair once)."""
+        return float(self._m.sum() / 2.0)
+
+    def state_bytes(self) -> bytes:
+        """Canonical serialization of the full estimator state.
+
+        Byte-identical across runs for identical event sequences — the
+        determinism contract the streaming tests hash.
+        """
+        header = struct.pack("<qqq", self.num_threads, self.half_life_cycles, self._now)
+        return header + np.ascontiguousarray(self._m).tobytes()
+
+    def reset(self) -> None:
+        """Zero the state (keeps geometry and half-life)."""
+        self._m[:] = 0.0
+        self._now = 0
+        self.events_recorded = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DecayedCommMatrix(threads={self.num_threads}, "
+            f"half_life={self.half_life_cycles}, now={self._now})"
+        )
+
+
+class SlidingWindowCommMatrix:
+    """Pairwise counts over the trailing ``window_cycles``, bucketized.
+
+    The window is a ring of ``num_buckets`` equal time slices; an event
+    lands in the bucket covering its timestamp and disappears once the
+    window slides past that bucket.  ``current()`` sums live buckets
+    oldest-first (fixed order — float64 summation order is part of the
+    determinism contract).
+
+    Args:
+        num_threads: matrix dimension.
+        window_cycles: width of the trailing window.
+        num_buckets: time resolution of expiry (window/num_buckets per
+            bucket).
+    """
+
+    def __init__(
+        self,
+        num_threads: int,
+        window_cycles: int = 2_000_000,
+        num_buckets: int = 8,
+    ):
+        if num_threads < 2:
+            raise ValueError("communication needs at least 2 threads")
+        if num_buckets < 1:
+            raise ValueError("num_buckets must be >= 1")
+        if window_cycles < num_buckets:
+            raise ValueError("window_cycles must be >= num_buckets")
+        self.num_threads = num_threads
+        self.window_cycles = window_cycles
+        self.num_buckets = num_buckets
+        self.bucket_cycles = window_cycles // num_buckets
+        self._buckets: List[np.ndarray] = [
+            np.zeros((num_threads, num_threads), dtype=np.float64)
+            for _ in range(num_buckets)
+        ]
+        #: Absolute index (now // bucket_cycles) of the newest bucket.
+        self._head = 0
+        self.events_recorded = 0
+
+    def record(self, i: int, j: int, amount: float, now_cycles: int) -> None:
+        """Fold one detection event into its time bucket (sink-compatible)."""
+        if i == j:
+            return
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        self.advance(now_cycles)
+        b = self._buckets[self._head % self.num_buckets]
+        b[i, j] += amount
+        b[j, i] += amount
+        self.events_recorded += 1
+
+    def advance(self, now_cycles: int) -> None:
+        """Slide the window forward, clearing buckets that fell off."""
+        idx = now_cycles // self.bucket_cycles
+        if idx <= self._head:
+            return
+        steps = min(idx - self._head, self.num_buckets)
+        for k in range(1, steps + 1):
+            self._buckets[(self._head + k) % self.num_buckets][:] = 0.0
+        self._head = idx
+
+    def current(self) -> CommunicationMatrix:
+        """Sum of live buckets, oldest-first, as a communication matrix."""
+        acc = np.zeros((self.num_threads, self.num_threads), dtype=np.float64)
+        for k in range(self.num_buckets - 1, -1, -1):
+            acc += self._buckets[(self._head - k) % self.num_buckets]
+        return CommunicationMatrix.from_array(acc)
+
+    @property
+    def now_cycles(self) -> int:
+        """Start-of-head-bucket timestamp the window is advanced to."""
+        return self._head * self.bucket_cycles
+
+    @property
+    def total(self) -> float:
+        """Windowed total communication (each pair once)."""
+        return float(sum(b.sum() for b in self._buckets) / 2.0)
+
+    def state_bytes(self) -> bytes:
+        """Canonical serialization of ring state (determinism contract)."""
+        header = struct.pack(
+            "<qqqq",
+            self.num_threads,
+            self.window_cycles,
+            self.num_buckets,
+            self._head,
+        )
+        body = b"".join(
+            np.ascontiguousarray(
+                self._buckets[(self._head - k) % self.num_buckets]
+            ).tobytes()
+            for k in range(self.num_buckets - 1, -1, -1)
+        )
+        return header + body
+
+    def reset(self) -> None:
+        """Zero every bucket (keeps geometry)."""
+        for b in self._buckets:
+            b[:] = 0.0
+        self._head = 0
+        self.events_recorded = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SlidingWindowCommMatrix(threads={self.num_threads}, "
+            f"window={self.window_cycles}, buckets={self.num_buckets})"
+        )

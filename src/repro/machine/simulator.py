@@ -212,7 +212,11 @@ class Simulator:
                 every barrier; a returned mapping is applied before the
                 next phase, each moved thread paying the controller's
                 ``migration_cost_cycles`` on its new core, and attached
-                detectors are rebound to the new placement.
+                detectors are rebound to the new placement.  Controllers
+                that also expose ``on_tick(now_cycles)`` and a positive
+                ``tick_interval_cycles`` are additionally consulted
+                mid-phase, between scheduling rounds, at that cadence —
+                live remapping rather than barrier-granularity.
         """
         system = self.system
         phases = workload.phases() if isinstance(workload, Workload) else iter(workload)
@@ -344,7 +348,25 @@ class Simulator:
                 if mmu.l2_tlb is not None:
                     mmu.l2_tlb.flush()
 
+        # Mid-phase remapping: a controller exposing ``on_tick`` with a
+        # positive ``tick_interval_cycles`` is consulted *inside* phases,
+        # not just at barriers.  Measurement motivates this: by the first
+        # barrier after a pattern shift the new working set is warm, and
+        # a migration's physical refetch storm exceeds any remaining
+        # placement benefit — only a remap during the first phase of the
+        # new pattern, while caches are still cold, can win.
+        tick_interval = int(
+            getattr(migration_controller, "tick_interval_cycles", 0) or 0
+        )
+        on_tick = (
+            migration_controller.on_tick
+            if tick_interval > 0 and hasattr(migration_controller, "on_tick")
+            else None
+        )
+        next_tick = tick_interval
+
         def run_phase(phase: Phase) -> int:
+            nonlocal next_tick
             done = 0
             streams = phase.streams
             if batched:
@@ -362,6 +384,11 @@ class Simulator:
                     i = pos[t]
                     n = lengths[t]
                     end = min(i + quantum, n)
+                    # Quantum-start clock refresh: miss hooks (SM detection)
+                    # receive this as the access timestamp, so trace events
+                    # and streaming sinks are stamped with simulated time at
+                    # quantum resolution.
+                    system.mmus[core].now_cycles = core_cycles[core]
                     if batched:
                         # Guaranteed-hit contract: quantum boundaries can
                         # flush/evict TLB entries (noise, migrations), so
@@ -407,8 +434,18 @@ class Simulator:
                     for det in detectors:
                         polled = det.poll(now)
                         if polled is not None and charge:
-                            core_id, cost = polled
-                            core_cycles[core_id] += cost
+                            # One (core, cost) charge per routine the
+                            # detector ran this poll — catch-up bursts
+                            # spread over distinct cores.
+                            for core_id, cost in polled:
+                                core_cycles[core_id] += cost
+                if on_tick is not None:
+                    now = max(core_cycles)
+                    if now >= next_tick:
+                        next_tick = now + tick_interval
+                        proposed = on_tick(now)
+                        if proposed is not None:
+                            apply_mapping(list(proposed))
             return done
 
         migrations = 0
@@ -447,16 +484,14 @@ class Simulator:
                 tlb_misses=after[4] - before[4],
             ))
 
-        def handle_migration(phase_index: int) -> None:
+        def apply_mapping(new_mapping: List[int], phase_index: int = -1) -> None:
+            """Validate and apply a controller-requested remap.
+
+            Shared by the barrier hook and the mid-phase tick path
+            (``phase_index`` is -1 for ticks — the remap lands between
+            scheduling rounds, not at a barrier).
+            """
             nonlocal migrations, threads_migrated
-            if migration_controller is None:
-                return
-            new_mapping = migration_controller.on_phase_end(
-                phase_index, max(core_cycles)
-            )
-            if new_mapping is None:
-                return
-            new_mapping = list(new_mapping)
             if sorted(set(new_mapping)) != sorted(new_mapping) or len(
                 new_mapping
             ) != len(mapping):
@@ -469,6 +504,18 @@ class Simulator:
             cost = int(getattr(migration_controller, "migration_cost_cycles", 0))
             for t in moved:
                 core_cycles[new_mapping[t]] += cost
+            if getattr(migration_controller, "warmup_flush", False):
+                # Charge the warm-up penalty *physically*, not just as a
+                # lump of cycles: a migrated thread arrives at a core whose
+                # TLBs hold the previous tenant's translations.  Flushing
+                # the destination's TLB levels forces the re-walk storm the
+                # cost model prices, so mispriced models show up as cycle
+                # discrepancies in the adaptive-vs-static study.
+                for t in moved:
+                    mmu = system.mmus[new_mapping[t]]
+                    mmu.tlb.flush()
+                    if mmu.l2_tlb is not None:
+                        mmu.l2_tlb.flush()
             mapping[:] = new_mapping
             migrations += 1
             threads_migrated += len(moved)
@@ -482,6 +529,16 @@ class Simulator:
             core_to_thread = {core: t for t, core in enumerate(mapping)}
             for det in detectors:
                 det.rebind(core_to_thread)
+
+        def handle_migration(phase_index: int) -> None:
+            if migration_controller is None:
+                return
+            new_mapping = migration_controller.on_phase_end(
+                phase_index, max(core_cycles)
+            )
+            if new_mapping is None:
+                return
+            apply_mapping(list(new_mapping), phase_index)
 
         def trace_phase(
             before: Tuple[int, int, int, int, int], span: Span, done: int

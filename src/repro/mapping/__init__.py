@@ -19,6 +19,12 @@ from repro.mapping.baselines import (
     round_robin_mapping,
 )
 from repro.mapping.drb import drb_mapping
+from repro.mapping.online import (
+    MigrationCostModel,
+    OnlineRemapController,
+    OnlineRemapPolicy,
+    RemapDecision,
+)
 from repro.mapping.quality import mapping_cost, mapping_quality, normalized_cost
 
 __all__ = [
@@ -33,6 +39,10 @@ __all__ = [
     "random_mapping",
     "round_robin_mapping",
     "drb_mapping",
+    "MigrationCostModel",
+    "OnlineRemapController",
+    "OnlineRemapPolicy",
+    "RemapDecision",
     "mapping_cost",
     "mapping_quality",
     "normalized_cost",

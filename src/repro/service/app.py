@@ -24,6 +24,17 @@ Request pipeline for ``POST /map``:
    request's own matrix, and the response is serialized with sorted
    keys so identical bodies yield identical bytes across restarts and
    across pool workers.
+
+``POST /map/delta`` is the online-remapping companion: instead of
+re-sending the full matrix, a client references a prior response's
+``key`` (every solved canonical matrix is retained in a keyed cache),
+ships only the *changed* communication (decay factor + sparse updates),
+and gets back a remap-or-hold verdict from the same hysteresis policy
+the simulator's :class:`~repro.mapping.online.OnlineRemapController`
+uses.  The delta path reuses the whole pipeline — body cache, canonical
+form, solve cache, micro-batcher, circuit breaker and the chaos fault
+sites all behave identically — so a delta solve is exactly as cheap,
+cached and fault-tolerant as a full one.
 """
 
 from __future__ import annotations
@@ -45,8 +56,10 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.commmatrix import CommunicationMatrix
+from repro.core.history import pattern_drift
 from repro.faults.injector import InjectedCrash, get_injector
 from repro.machine.topology import Topology
+from repro.mapping.online import OnlineRemapPolicy
 from repro.mapping.quality import mapping_quality
 from repro.service import worker
 from repro.service.batcher import (
@@ -152,6 +165,13 @@ class MappingService:
         self._solve_cache: LRUTTLCache[Tuple[int, ...]] = LRUTTLCache(
             cfg.cache_entries, cfg.cache_ttl, clock
         )
+        #: Canonical matrices by canonical key, so ``/map/delta`` can
+        #: reconstruct a base matrix from a prior response's ``key``
+        #: without the client re-sending it.  Entries are
+        #: ``(canon_bytes, n, topo_spec)``.
+        self._matrix_cache: LRUTTLCache[
+            Tuple[bytes, int, worker.TopoSpec]
+        ] = LRUTTLCache(cfg.cache_entries, cfg.cache_ttl, clock)
         self.breaker = CircuitBreaker(
             threshold=cfg.breaker_threshold,
             reset_after=cfg.breaker_reset,
@@ -252,39 +272,173 @@ class MappingService:
             return 400, {}, _error_body(exc.kind, str(exc))
         canon, perm = canonical_form(matrix)
         key = canonical_key(canon, spec)
-        assignment = self._solve_cache.get(key)
-        if assignment is not None:
-            self.metrics.solve_cache_hits_total += 1
-            cache_state = "solve"
-        else:
-            self.metrics.solve_cache_misses_total += 1
-            cache_state = "miss"
-            payload = (canon.tobytes(), matrix.shape[0], spec)
-            try:
-                assignment = await self._batcher.submit(key, payload)
-            except Overloaded as exc:
-                self.metrics.rejected_total += 1
-                headers = {"Retry-After": str(max(1, int(exc.retry_after)))}
-                return 429, headers, _error_body("Overloaded", str(exc))
-            except CircuitOpen as exc:
-                self.metrics.shed_total += 1
-                headers = {"Retry-After": str(max(1, math.ceil(exc.retry_after)))}
-                return 503, headers, _error_body("CircuitOpen", str(exc))
-            except (WorkerCrashed, DeadlineExceeded) as exc:
-                # Requeues exhausted: fail the request cleanly and
-                # retryably — the pool has already been rebuilt, so a
-                # client honoring Retry-After will succeed next attempt.
-                self.metrics.solve_failures_total += 1
-                return 503, {"Retry-After": "1"}, _error_body(
-                    "Unavailable", str(exc)
-                )
+        # Retain the canonical matrix so later /map/delta requests can
+        # reference this solve by key instead of re-sending the matrix.
+        self._matrix_cache.put(key, (canon.tobytes(), matrix.shape[0], spec))
+        assignment, cache_state, error = await self._solve_canonical(
+            key, canon, matrix.shape[0], spec
+        )
+        if error is not None:
+            return error
         mapping = unpermute(assignment, perm)
         quality = mapping_quality(matrix, mapping, topology)
         response = {
             "key": key,
             "mapping": mapping,
+            # The request-order → canonical-slot permutation: /map/delta
+            # callers echo it so sparse updates (in their own thread
+            # numbering) can be applied to the cached canonical matrix.
+            "perm": list(perm),
             "quality": {k: float(v) for k, v in sorted(quality.items())},
             "threads": matrix.shape[0],
+            "topology": {
+                "cores_per_l2": spec[0],
+                "l2_per_chip": spec[1],
+                "chips": spec[2],
+            },
+        }
+        rendered = json.dumps(
+            response, sort_keys=True, separators=_JSON_SEPARATORS
+        ).encode("utf-8")
+        self._body_cache.put(body_key, rendered)
+        return 200, {"X-Repro-Cache": cache_state}, rendered
+
+    async def _solve_canonical(
+        self, key: str, canon: np.ndarray, n: int, spec: worker.TopoSpec
+    ) -> Tuple[Optional[Tuple[int, ...]], str, Optional[Response]]:
+        """Solve-cache / micro-batcher step shared by /map and /map/delta.
+
+        Returns ``(assignment, cache_state, error_response)``; exactly
+        one of ``assignment`` / ``error_response`` is not None, so both
+        endpoints surface overload, breaker trips and solve failures
+        identically.
+        """
+        assignment = self._solve_cache.get(key)
+        if assignment is not None:
+            self.metrics.solve_cache_hits_total += 1
+            return assignment, "solve", None
+        self.metrics.solve_cache_misses_total += 1
+        payload = (canon.tobytes(), n, spec)
+        try:
+            assignment = await self._batcher.submit(key, payload)
+        except Overloaded as exc:
+            self.metrics.rejected_total += 1
+            headers = {"Retry-After": str(max(1, int(exc.retry_after)))}
+            return None, "miss", (429, headers, _error_body("Overloaded", str(exc)))
+        except CircuitOpen as exc:
+            self.metrics.shed_total += 1
+            headers = {"Retry-After": str(max(1, math.ceil(exc.retry_after)))}
+            return None, "miss", (503, headers, _error_body("CircuitOpen", str(exc)))
+        except (WorkerCrashed, DeadlineExceeded) as exc:
+            # Requeues exhausted: fail the request cleanly and
+            # retryably — the pool has already been rebuilt, so a
+            # client honoring Retry-After will succeed next attempt.
+            self.metrics.solve_failures_total += 1
+            return None, "miss", (
+                503, {"Retry-After": "1"}, _error_body("Unavailable", str(exc))
+            )
+        return assignment, "miss", None
+
+    async def handle_delta(self, body: bytes) -> Response:
+        """Full pipeline for one ``POST /map/delta`` body (traced)."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            return await self._handle_delta(body)
+        span = tracer.begin(
+            "request:/map/delta",
+            cat="service.request",
+            args={"bytes": len(body)},
+            nest=False,
+        )
+        try:
+            status, headers, payload = await self._handle_delta(body)
+        except BaseException:
+            tracer.end(span, args={"error": True})
+            raise
+        tracer.end(
+            span,
+            args={
+                "status": status,
+                "cache": headers.get("X-Repro-Cache", "none"),
+            },
+        )
+        return status, headers, payload
+
+    async def _handle_delta(self, body: bytes) -> Response:
+        """The untraced pipeline body behind :meth:`handle_delta`.
+
+        1. exact-body cache (namespaced apart from /map bodies);
+        2. parse + validate the delta document;
+        3. look the base matrix up by canonical key (404 when expired
+           or never solved here);
+        4. rebuild the client-order matrix, apply decay + updates;
+        5. run the :class:`OnlineRemapPolicy` pre-gates — a held
+           decision skips the solve entirely;
+        6. otherwise canonicalize the updated matrix and solve through
+           the shared cache/batcher path;
+        7. render the remap-or-hold verdict (byte-deterministic).
+        """
+        self.metrics.delta_requests_total += 1
+        body_key = hashlib.sha256(b"delta\x00" + body).hexdigest()
+        cached = self._body_cache.get(body_key)
+        if cached is not None:
+            self.metrics.body_cache_hits_total += 1
+            return 200, {"X-Repro-Cache": "body"}, cached
+        try:
+            doc = self._parse_delta(body)
+        except _BadRequest as exc:
+            self.metrics.validation_errors_total += 1
+            return 400, {}, _error_body(exc.kind, str(exc))
+        base_key = doc["base_key"]
+        entry = self._matrix_cache.get(base_key)
+        if entry is None:
+            self.metrics.delta_unknown_base_total += 1
+            return 404, {}, _error_body(
+                "UnknownBaseKey",
+                f"base_key {base_key!r} is not in the canonical-matrix "
+                "cache (expired or never solved here); POST the full "
+                "matrix to /map first",
+            )
+        canon_bytes, n, spec = entry
+        canon = np.frombuffer(canon_bytes, dtype=np.float64).reshape(n, n)
+        try:
+            base_cm, window_cm, policy, current_mapping = self._build_delta(
+                doc, canon, n, spec
+            )
+        except _BadRequest as exc:
+            self.metrics.validation_errors_total += 1
+            return 400, {}, _error_body(exc.kind, str(exc))
+        drift = pattern_drift(window_cm, base_cm)
+        # The updated matrix is retained under its own key either way,
+        # so clients can chain deltas off this response's ``key``.
+        canon2, perm2 = canonical_form(window_cm.matrix)
+        key2 = canonical_key(canon2, spec)
+        self._matrix_cache.put(key2, (canon2.tobytes(), n, spec))
+        cache_state = "none"
+        decision = policy.pre_gate(window_cm, 0, drift)
+        if decision is None:
+            assignment, cache_state, error = await self._solve_canonical(
+                key2, canon2, n, spec
+            )
+            if error is not None:
+                return error
+            proposed = unpermute(assignment, perm2)
+            decision = policy.judge(
+                window_cm, current_mapping, proposed, 0, drift
+            )
+        if decision.remap:
+            self.metrics.delta_remaps_total += 1
+            applied = list(decision.mapping)
+        else:
+            self.metrics.delta_holds_total += 1
+            applied = list(current_mapping)
+        response = {
+            "base_key": base_key,
+            "key": key2,
+            "perm": list(perm2),
+            "decision": decision.to_record(),
+            "mapping": applied,
+            "threads": n,
             "topology": {
                 "cores_per_l2": spec[0],
                 "l2_per_chip": spec[1],
@@ -403,6 +557,158 @@ class MappingService:
                 f"topology has {cores} cores, limit is {self.config.max_cores}",
             )
         return (spec[0], spec[1], spec[2])
+
+    _DELTA_FIELDS = {
+        "base_key", "perm", "updates", "decay", "current_mapping", "hysteresis",
+    }
+    #: Hysteresis knobs a delta request may override.  ``cooldown_cycles``
+    #: is deliberately absent: the service is clockless, so thrash
+    #: damping between calls is the caller's job (it has the cycle clock).
+    _HYSTERESIS_FIELDS = {
+        "min_improvement",
+        "drift_threshold",
+        "min_window_communication",
+        "gain_cycles_per_cost_unit",
+    }
+
+    def _parse_delta(self, body: bytes) -> Dict[str, Any]:
+        """Decode a /map/delta body; shape/type checks that need no base."""
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _BadRequest("InvalidJSON", f"body is not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise _BadRequest("InvalidRequest", "body must be a JSON object")
+        unknown = set(doc) - self._DELTA_FIELDS
+        if unknown:
+            raise _BadRequest(
+                "InvalidRequest", f"unknown field(s): {sorted(unknown)}"
+            )
+        for field in ("base_key", "perm", "updates", "current_mapping"):
+            if field not in doc:
+                raise _BadRequest(
+                    "InvalidRequest", f"missing required field {field!r}"
+                )
+        if not isinstance(doc["base_key"], str):
+            raise _BadRequest("ValidationError", "base_key must be a string")
+        for field in ("perm", "updates", "current_mapping"):
+            if not isinstance(doc[field], list):
+                raise _BadRequest("ValidationError", f"{field} must be a list")
+        decay = doc.get("decay", 1.0)
+        if (
+            isinstance(decay, bool)
+            or not isinstance(decay, (int, float))
+            or not math.isfinite(decay)
+            or not 0.0 <= decay <= 1.0
+        ):
+            raise _BadRequest(
+                "ValidationError", f"decay must be a number in [0, 1], got {decay!r}"
+            )
+        doc["decay"] = float(decay)
+        hysteresis = doc.get("hysteresis", {})
+        if not isinstance(hysteresis, dict):
+            raise _BadRequest("ValidationError", "hysteresis must be a JSON object")
+        unknown = set(hysteresis) - self._HYSTERESIS_FIELDS
+        if unknown:
+            raise _BadRequest(
+                "InvalidRequest",
+                f"unknown hysteresis field(s): {sorted(unknown)}",
+            )
+        for name, value in hysteresis.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise _BadRequest(
+                    "ValidationError",
+                    f"hysteresis.{name} must be a number, got {value!r}",
+                )
+        doc["hysteresis"] = {k: float(v) for k, v in hysteresis.items()}
+        return doc
+
+    def _build_delta(
+        self,
+        doc: Dict[str, Any],
+        canon: np.ndarray,
+        n: int,
+        spec: worker.TopoSpec,
+    ) -> Tuple[CommunicationMatrix, CommunicationMatrix, OnlineRemapPolicy, List[int]]:
+        """Validate against the base and materialize the updated window.
+
+        Returns ``(base, window, policy, current_mapping)``, everything
+        in the *client's* thread order.
+        """
+        perm = doc["perm"]
+        if len(perm) != n or any(
+            isinstance(p, bool) or not isinstance(p, int) for p in perm
+        ) or sorted(perm) != list(range(n)):
+            raise _BadRequest(
+                "ValidationError",
+                f"perm must be a permutation of 0..{n - 1} "
+                "(echo the /map response's 'perm')",
+            )
+        # canon[c] holds client thread perm[c]; invert to read the base
+        # matrix back out in client order.
+        inv = [0] * n
+        for slot, thread in enumerate(perm):
+            inv[thread] = slot
+        base = np.ascontiguousarray(canon[np.ix_(inv, inv)])
+        updated = base * doc["decay"]
+        for idx, update in enumerate(doc["updates"]):
+            if not isinstance(update, list) or len(update) != 3:
+                raise _BadRequest(
+                    "ValidationError",
+                    f"updates[{idx}] must be an [i, j, amount] triple",
+                )
+            i, j, amount = update
+            for endpoint in (i, j):
+                if (
+                    isinstance(endpoint, bool)
+                    or not isinstance(endpoint, int)
+                    or not 0 <= endpoint < n
+                ):
+                    raise _BadRequest(
+                        "ValidationError",
+                        f"updates[{idx}] thread ids must be in 0..{n - 1}",
+                    )
+            if i == j:
+                raise _BadRequest(
+                    "ValidationError",
+                    f"updates[{idx}] is self-communication ({i}, {j})",
+                )
+            if (
+                isinstance(amount, bool)
+                or not isinstance(amount, (int, float))
+                or not math.isfinite(amount)
+                or amount < 0
+            ):
+                raise _BadRequest(
+                    "ValidationError",
+                    f"updates[{idx}] amount must be a non-negative finite "
+                    f"number, got {amount!r}",
+                )
+            updated[i, j] += amount
+            updated[j, i] += amount
+        try:
+            base_cm = CommunicationMatrix.from_array(base)
+            window_cm = CommunicationMatrix.from_array(updated)
+        except ValidationError as exc:
+            raise _BadRequest("ValidationError", str(exc)) from exc
+        topology = worker.topology_from_spec(spec)
+        current_mapping = doc["current_mapping"]
+        if len(current_mapping) != n or any(
+            isinstance(c, bool)
+            or not isinstance(c, int)
+            or not 0 <= c < topology.num_cores
+            for c in current_mapping
+        ):
+            raise _BadRequest(
+                "ValidationError",
+                f"current_mapping must list {n} core ids in "
+                f"0..{topology.num_cores - 1}",
+            )
+        try:
+            policy = OnlineRemapPolicy(topology, **doc["hysteresis"])
+        except ValueError as exc:
+            raise _BadRequest("ValidationError", str(exc)) from exc
+        return base_cm, window_cm, policy, list(current_mapping)
 
     async def _dispatch(self, items: List[Item]) -> Dict[str, Any]:
         """Run one micro-batch on the executor; populate the solve cache.

@@ -42,7 +42,10 @@ class LRUTTLCache(Generic[V]):
         self.max_entries = max_entries
         self.ttl = ttl if ttl is not None and ttl > 0 else None
         self._clock = clock
-        self._data: "OrderedDict[str, Tuple[V, float]]" = OrderedDict()
+        # Entry expiry is ``None`` when TTL is disabled — an Optional
+        # sentinel rather than 0.0, so an expiry computed as exactly 0.0
+        # under an injected test clock still expires.
+        self._data: "OrderedDict[str, Tuple[V, Optional[float]]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -55,7 +58,7 @@ class LRUTTLCache(Generic[V]):
             self.misses += 1
             return None
         value, expires = entry
-        if expires and self._clock() >= expires:
+        if expires is not None and self._clock() >= expires:
             del self._data[key]
             self.expirations += 1
             self.misses += 1
@@ -66,7 +69,7 @@ class LRUTTLCache(Generic[V]):
 
     def put(self, key: str, value: V) -> None:
         """Insert/refresh ``key``; evicts the LRU entry when full."""
-        expires = (self._clock() + self.ttl) if self.ttl else 0.0
+        expires = (self._clock() + self.ttl) if self.ttl is not None else None
         if key in self._data:
             del self._data[key]
         elif len(self._data) >= self.max_entries:
@@ -78,8 +81,24 @@ class LRUTTLCache(Generic[V]):
         """Drop every entry (hit/miss/eviction counters are kept)."""
         self._data.clear()
 
+    def peek(self, key: str) -> Optional[V]:
+        """Value for ``key`` without touching counters or LRU recency.
+
+        Expired entries read as absent but are left for :meth:`get` (or
+        eviction) to reap, keeping the expiration counter accurate.
+        """
+        entry = self._data.get(key)
+        if entry is None:
+            return None
+        value, expires = entry
+        if expires is not None and self._clock() >= expires:
+            return None
+        return value
+
     def __contains__(self, key: str) -> bool:
-        return self.get(key) is not None
+        # Membership is a side-effect-free probe: delegating to ``get``
+        # would mutate hit/miss counters and LRU order.
+        return self.peek(key) is not None
 
     def __len__(self) -> int:
         return len(self._data)

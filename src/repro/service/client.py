@@ -114,14 +114,42 @@ def is_retryable(exc: BaseException, policy: Optional[RetryPolicy] = None) -> bo
 class MapResult:
     """Decoded ``POST /map`` answer."""
 
-    __slots__ = ("mapping", "quality", "key", "cache_state", "raw")
+    __slots__ = ("mapping", "quality", "key", "perm", "cache_state", "raw")
 
     def __init__(self, payload: Dict[str, Any], cache_state: str, raw: bytes):
         self.mapping: List[int] = list(payload["mapping"])
         self.quality: Dict[str, float] = dict(payload["quality"])
         self.key: str = payload["key"]
+        #: Request-order → canonical-slot permutation; echo it (with
+        #: ``key``) when sending deltas via :meth:`map_delta`.
+        self.perm: List[int] = list(payload.get("perm", []))
         self.cache_state = cache_state  # "body" | "solve" | "miss"
         self.raw = raw  # exact response bytes (determinism checks)
+
+
+class DeltaResult:
+    """Decoded ``POST /map/delta`` answer: a remap-or-hold verdict."""
+
+    __slots__ = (
+        "base_key", "key", "perm", "remap", "reason", "drift",
+        "mapping", "decision", "cache_state", "raw",
+    )
+
+    def __init__(self, payload: Dict[str, Any], cache_state: str, raw: bytes):
+        self.base_key: str = payload["base_key"]
+        #: Canonical key of the *updated* matrix — chain further deltas
+        #: off this one.
+        self.key: str = payload["key"]
+        self.perm: List[int] = list(payload["perm"])
+        self.decision: Dict[str, Any] = dict(payload["decision"])
+        self.remap: bool = bool(self.decision["remap"])
+        self.reason: str = self.decision["reason"]
+        self.drift = self.decision.get("drift")
+        #: The mapping to run under from here: the new placement when
+        #: ``remap``, the echoed current one when holding.
+        self.mapping: List[int] = list(payload["mapping"])
+        self.cache_state = cache_state  # "body" | "solve" | "miss" | "none"
+        self.raw = raw
 
 
 class AsyncMappingClient:
@@ -184,6 +212,46 @@ class AsyncMappingClient:
             doc["topology"] = topology
         body = json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
         status, headers, raw = await self.request("POST", "/map", body)
+        payload = self._check(status, headers, raw)
+        return MapResult(payload, headers.get("x-repro-cache", "miss"), raw)
+
+    async def map_delta(
+        self,
+        base_key: str,
+        perm: Sequence[int],
+        updates: Sequence[Sequence[Union[int, float]]],
+        current_mapping: Sequence[int],
+        decay: float = 1.0,
+        hysteresis: Optional[Dict[str, float]] = None,
+    ) -> DeltaResult:
+        """Ask for a remap-or-hold verdict on a sparse matrix delta.
+
+        ``base_key`` and ``perm`` come from a prior :class:`MapResult`
+        (or :class:`DeltaResult` when chaining); ``updates`` is a list
+        of ``(i, j, amount)`` communication increments in this client's
+        own thread numbering, applied after scaling the base matrix by
+        ``decay``.  Raises :class:`ServiceError` with status 404 when
+        the base key has expired server-side — re-POST the full matrix.
+        """
+        doc: Dict[str, Any] = {
+            "base_key": base_key,
+            "perm": list(perm),
+            "updates": [list(u) for u in updates],
+            "current_mapping": list(current_mapping),
+            "decay": decay,
+        }
+        if hysteresis is not None:
+            doc["hysteresis"] = dict(hysteresis)
+        body = json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        status, headers, raw = await self.request("POST", "/map/delta", body)
+        payload = self._check(status, headers, raw)
+        return DeltaResult(payload, headers.get("x-repro-cache", "none"), raw)
+
+    @staticmethod
+    def _check(
+        status: int, headers: Dict[str, str], raw: bytes
+    ) -> Dict[str, Any]:
+        """Decode a mapping-endpoint answer; raise typed errors on non-200."""
         payload = json.loads(raw.decode("utf-8"))
         if status == 429:
             retry_after = float(headers.get("retry-after", "1"))
@@ -193,7 +261,7 @@ class AsyncMappingClient:
             raise ServiceUnavailable(status, payload, retry_after)
         if status != 200:
             raise ServiceError(status, payload)
-        return MapResult(payload, headers.get("x-repro-cache", "miss"), raw)
+        return payload
 
     async def map_matrix_retrying(
         self,
@@ -210,6 +278,42 @@ class AsyncMappingClient:
         — propagate immediately.  ``sleep`` is injectable so tests run
         without real delays.
         """
+        return await self._retrying(
+            lambda: self.map_matrix(matrix, topology), policy, sleep
+        )
+
+    async def map_delta_retrying(
+        self,
+        base_key: str,
+        perm: Sequence[int],
+        updates: Sequence[Sequence[Union[int, float]]],
+        current_mapping: Sequence[int],
+        decay: float = 1.0,
+        hysteresis: Optional[Dict[str, float]] = None,
+        policy: Optional[RetryPolicy] = None,
+        sleep: Optional[Callable[[float], Awaitable[None]]] = None,
+    ) -> DeltaResult:
+        """``map_delta`` under the same retry classification as /map.
+
+        A 404 (expired base key) is *not* retryable — it surfaces as a
+        plain :class:`ServiceError` so the caller re-POSTs the full
+        matrix instead of spinning.
+        """
+        return await self._retrying(
+            lambda: self.map_delta(
+                base_key, perm, updates, current_mapping, decay, hysteresis
+            ),
+            policy,
+            sleep,
+        )
+
+    async def _retrying(
+        self,
+        call: Callable[[], Awaitable[Any]],
+        policy: Optional[RetryPolicy],
+        sleep: Optional[Callable[[float], Awaitable[None]]],
+    ) -> Any:
+        """The shared backoff loop behind both ``*_retrying`` methods."""
         policy = policy or RetryPolicy()
         do_sleep = sleep if sleep is not None else asyncio.sleep
         rng = as_rng(derive_seed(policy.seed, "client-retry"))
@@ -217,7 +321,7 @@ class AsyncMappingClient:
         last_error: BaseException = RuntimeError("retry loop did not run")
         for attempt in range(policy.max_attempts):
             try:
-                return await self.map_matrix(matrix, topology)
+                return await call()
             except (ServiceOverloaded, ServiceUnavailable) as exc:
                 last_error = exc
                 delay = max(self._backoff(policy, attempt, rng), exc.retry_after)

@@ -8,6 +8,8 @@ a client closes or the server drains.
 Endpoints:
 
 * ``POST /map`` — communication matrix in, hierarchical mapping out.
+* ``POST /map/delta`` — sparse matrix delta against a prior ``key`` in,
+  remap-or-hold verdict out.
 * ``GET /healthz`` — liveness plus queue/cache gauges.
 * ``GET /metrics`` — Prometheus text exposition.
 * ``GET /trace`` — Chrome-trace JSON of the service span ring buffer.
@@ -261,6 +263,12 @@ class MappingServer:
                     "MethodNotAllowed", "/map accepts POST only"
                 )
             return await self.service.handle_map(request.body)
+        if request.path == "/map/delta":
+            if request.method != "POST":
+                return 405, {"Allow": "POST"}, _error_body(
+                    "MethodNotAllowed", "/map/delta accepts POST only"
+                )
+            return await self.service.handle_delta(request.body)
         if request.path == "/healthz":
             if request.method != "GET":
                 return 405, {"Allow": "GET"}, _error_body(

@@ -57,6 +57,12 @@ _ROWS: Tuple[Tuple[str, str], ...] = (
     ("rejected_total", "counter"),
     ("validation_errors_total", "counter"),
     ("http_errors_total", "counter"),
+    # Delta-endpoint counters (POST /map/delta): request volume, unknown
+    # base keys, and the remap-or-hold verdict split.
+    ("delta_requests_total", "counter"),
+    ("delta_unknown_base_total", "counter"),
+    ("delta_remaps_total", "counter"),
+    ("delta_holds_total", "counter"),
     # Fault-tolerance counters (chaos-tested; all invocation-driven
     # and therefore identical across reruns of one fault plan).
     ("faults_injected_total", "counter"),
@@ -87,6 +93,10 @@ class ServiceMetrics:
     rejected_total = _MetricAttr("rejected_total", "counter")
     validation_errors_total = _MetricAttr("validation_errors_total", "counter")
     http_errors_total = _MetricAttr("http_errors_total", "counter")
+    delta_requests_total = _MetricAttr("delta_requests_total", "counter")
+    delta_unknown_base_total = _MetricAttr("delta_unknown_base_total", "counter")
+    delta_remaps_total = _MetricAttr("delta_remaps_total", "counter")
+    delta_holds_total = _MetricAttr("delta_holds_total", "counter")
     faults_injected_total = _MetricAttr("faults_injected_total", "counter")
     worker_crashes_total = _MetricAttr("worker_crashes_total", "counter")
     pool_rebuilds_total = _MetricAttr("pool_rebuilds_total", "counter")

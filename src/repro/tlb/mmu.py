@@ -22,8 +22,13 @@ from typing import Callable, List, Optional
 from repro.tlb.pagetable import PageTable
 from repro.tlb.tlb import TLB, TLBConfig, TLBStats
 
-#: Signature of a TLB-miss hook: (core_id, vpn) -> extra cycles to charge.
-MissHook = Callable[[int, int], int]
+#: Signature of a TLB-miss hook: (core_id, vpn, now_cycles) -> extra
+#: cycles to charge.  ``now_cycles`` is the core's simulated clock as of
+#: the access that missed (quantum-start resolution — the simulator
+#: refreshes :attr:`MMU.now_cycles` at every scheduling quantum), so
+#: hooks can stamp trace events and feed time-windowed consumers without
+#: reaching back into the simulator.
+MissHook = Callable[[int, int, int], int]
 
 
 class TLBManagement(enum.Enum):
@@ -71,6 +76,10 @@ class MMU:
         self.management = management
         self.trap_latency = trap_latency if management is TLBManagement.SOFTWARE else 0
         self.miss_hooks: List[MissHook] = []
+        #: Simulated clock of the owning core, refreshed by the simulator
+        #: at quantum granularity; passed to miss hooks as the access
+        #: timestamp.  Stays 0 for MMUs driven outside a simulator.
+        self.now_cycles: int = 0
         self._page_shift = self.tlb.config.page_size.bit_length() - 1
 
     def add_miss_hook(self, hook: MissHook) -> None:
@@ -107,7 +116,7 @@ class MMU:
         pfn, walk_cost = self.page_table.walk(vpn)
         cost = walk_cost + self.trap_latency
         for hook in self.miss_hooks:
-            cost += hook(self.core_id, vpn)
+            cost += hook(self.core_id, vpn, self.now_cycles)
         self.tlb.fill(vpn, pfn)
         if self.l2_tlb is not None:
             self.l2_tlb.fill(vpn, pfn)

@@ -18,8 +18,11 @@ from repro.workloads.synthetic import (
     PrivateWorkload,
 )
 from repro.workloads.npb import NPB_BENCHMARKS, make_npb_workload
+from repro.workloads.composite import CompositeWorkload, make_splice
 
 __all__ = [
+    "CompositeWorkload",
+    "make_splice",
     "AccessStream",
     "Phase",
     "Workload",

@@ -1,0 +1,184 @@
+"""Phase-shifting composite workloads: splices of existing kernels.
+
+The paper's benchmarks keep one communication pattern for their whole
+run, which is exactly why its one-shot mapping works.  Online remapping
+needs the opposite: applications whose pattern *changes* mid-run.  A
+:class:`CompositeWorkload` builds one by splicing full kernels end to
+end — e.g. ``LU → FT → IS`` runs a domain-decomposition pattern, then a
+homogeneous all-to-all, then an irregular one, with a barrier between
+segments.  A static mapping can fit at most one segment; an adaptive
+policy should win on the others.
+
+Each segment's addresses are rebased into a disjoint slice of the
+virtual address space (segment ``k`` shifted by ``k << rebase_shift``):
+every kernel allocates its arrays from the same simulated base address,
+and without the rebase, segment k+1's pages would alias segment k's,
+fabricating sharing across the splice boundary that neither application
+actually has.
+
+``shared_space=True`` deliberately skips the rebase: every segment is
+the *same* kernel instance re-run over the *same* data, with thread
+roles permuted between segments.  That models a mid-run data
+repartitioning (e.g. an adaptive-mesh rebalance): the arrays persist,
+only ownership moves.  It is also the scenario where online remapping
+physically pays — the handed-off working set stays warm in the old
+owners' caches, so a remap that follows the data restores locality a
+static placement has permanently lost.  With rebased (disjoint)
+segments, every boundary is a cold restart: by the time any detector
+can see the new pattern, the new working set is warm and a migration's
+refetch storm exceeds the remaining placement benefit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.util.rng import as_rng, derive_seed
+from repro.workloads.base import AccessStream, Phase, Workload
+from repro.workloads.npb import make_npb_workload
+
+
+class CompositeWorkload(Workload):
+    """Several workloads spliced end to end as one phase-shifting run.
+
+    Args:
+        segments: the component workloads, executed in order.  All must
+            agree on ``num_threads``.
+        name: label (defaults to "a+b+c" from the segment names).
+        rebase_shift: log2 of the per-segment address-space slice; each
+            segment's addresses are offset by ``index << rebase_shift``
+            to keep slices disjoint.
+        permutations: optional per-segment thread relabelings —
+            ``permutations[k][t]`` is the thread that executes segment
+            ``k``'s role ``t`` (None = identity).  This models mid-run
+            data repartitioning: the same kernel re-run under a permuted
+            decomposition has the *same* pattern over *different* thread
+            pairs, so a placement fit to the first segment is scattered
+            for the second — the sharpest possible case for online
+            remapping, since no static mapping fits both.
+        shared_space: skip the per-segment address rebase — segments
+            alias the same data.  Only meaningful when the segments
+            really are reruns of one kernel instance (a repartitioning,
+            not a different application); combine with ``permutations``.
+    """
+
+    pattern_class = "phase-shifting"
+
+    def __init__(
+        self,
+        segments: Sequence[Workload],
+        name: Optional[str] = None,
+        rebase_shift: int = 40,
+        permutations: Optional[Sequence[Optional[Sequence[int]]]] = None,
+        shared_space: bool = False,
+    ):
+        if not segments:
+            raise ValueError("a composite needs at least one segment")
+        threads = {seg.num_threads for seg in segments}
+        if len(threads) != 1:
+            raise ValueError(
+                f"segments disagree on thread count: {sorted(threads)}"
+            )
+        if rebase_shift < 30:
+            raise ValueError(
+                "rebase_shift must be >= 30 (segment slices must dwarf "
+                "any kernel's footprint)"
+            )
+        if shared_space and len({seg.name for seg in segments}) != 1:
+            raise ValueError(
+                "shared_space splices must rerun one kernel (got "
+                f"{sorted({seg.name for seg in segments})}); different "
+                "applications do not share data"
+            )
+        super().__init__(num_threads=segments[0].num_threads)
+        self.segments: List[Workload] = list(segments)
+        self.name = name or "+".join(seg.name for seg in segments)
+        self.rebase_shift = rebase_shift
+        self.shared_space = shared_space
+        n = self.num_threads
+        if permutations is None:
+            permutations = [None] * len(self.segments)
+        if len(permutations) != len(self.segments):
+            raise ValueError(
+                f"{len(permutations)} permutations for "
+                f"{len(self.segments)} segments"
+            )
+        self.permutations: List[Optional[List[int]]] = []
+        for perm in permutations:
+            if perm is None:
+                self.permutations.append(None)
+                continue
+            perm = list(perm)
+            if sorted(perm) != list(range(n)):
+                raise ValueError(
+                    f"not a permutation of 0..{n - 1}: {perm}"
+                )
+            self.permutations.append(perm)
+
+    def generate_phases(self) -> Iterator[Phase]:
+        for index, segment in enumerate(self.segments):
+            offset = 0 if self.shared_space else index << self.rebase_shift
+            perm = self.permutations[index]
+            for phase in segment.phases():
+                rebased = [
+                    AccessStream(stream.addrs + offset, stream.writes)
+                    for stream in phase.streams
+                ]
+                if perm is not None:
+                    relabeled = [rebased[0]] * len(rebased)
+                    for role, thread in enumerate(perm):
+                        relabeled[thread] = rebased[role]
+                    rebased = relabeled
+                yield Phase(f"{segment.name}.{phase.name}", rebased)
+
+
+def make_splice(
+    names: Sequence[str],
+    num_threads: int = 8,
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    repartition: bool = False,
+    shared_space: bool = False,
+) -> CompositeWorkload:
+    """Splice NPB kernels by name: ``make_splice(["lu", "ft", "is"])``.
+
+    Each segment gets an independent seed derived from ``seed`` and its
+    position, so splices are fully deterministic yet segments don't
+    share random streams.
+
+    With ``repartition=True`` every segment after the first also gets a
+    seed-derived thread permutation (a mid-run data repartitioning): the
+    communication structure survives but lands on different thread
+    pairs, so no single static placement fits the whole run.
+
+    With ``shared_space=True`` (requires every name to be the same
+    kernel) the segments are identically-seeded reruns over one address
+    space — the repartitioning moves ownership of *persistent* data,
+    the scenario where a live remap can follow the data and win.
+    """
+    if not names:
+        raise ValueError("a splice needs at least one kernel name")
+    base = 0 if seed is None else seed
+    segments = [
+        make_npb_workload(
+            name,
+            num_threads=num_threads,
+            scale=scale,
+            seed=(
+                # One data layout shared by every rerun vs. independent
+                # per-segment streams for disjoint splices.
+                derive_seed(base, "splice", 0, name.lower())
+                if shared_space
+                else derive_seed(base, "splice", index, name.lower())
+            ),
+        )
+        for index, name in enumerate(names)
+    ]
+    permutations: List[Optional[List[int]]] = [None] * len(segments)
+    if repartition:
+        for index in range(1, len(segments)):
+            rng = as_rng(derive_seed(base, "splice-perm", index))
+            permutations[index] = rng.permutation(num_threads).tolist()
+    return CompositeWorkload(
+        segments, permutations=permutations, shared_space=shared_space
+    )

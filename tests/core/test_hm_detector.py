@@ -37,8 +37,8 @@ class TestPeriod:
         cfg = DetectorConfig(hm_period_cycles=10, hm_routine_cycles=84_297)
         det = HardwareManagedDetector(8, cfg)
         attach_identity(det, hw_system)
-        core1, cost1 = det.poll(10)
-        core2, cost2 = det.poll(20)
+        [(core1, cost1)] = det.poll(10)
+        [(core2, cost2)] = det.poll(20)
         assert cost1 == cost2 == 84_297
         assert core1 != core2  # round-robin spreading
 
@@ -65,14 +65,21 @@ class TestCatchUp:
         assert det.poll(50) is not None
         assert det.scans_run == 5
 
-    def test_catchup_cost_charged_to_one_core(self, hw_system):
+    def test_catchup_cost_distributed_round_robin(self, hw_system):
+        """Regression: a 3-scan catch-up burst used to bill one core 300
+        cycles and advance the rotation cursor once; it must charge one
+        scan's cost to each of three *distinct* round-robin cores."""
         cfg = DetectorConfig(hm_period_cycles=10, hm_routine_cycles=100)
         det = HardwareManagedDetector(8, cfg)
         attach_identity(det, hw_system)
-        core, cost = det.poll(30)
-        assert cost == 300
+        charges = det.poll(30)
+        assert [cost for _, cost in charges] == [100, 100, 100]
+        assert [core for core, _ in charges] == [0, 1, 2]  # distinct cores
         assert det.detection_cycles == 300
         assert det.scans_run == 3
+        # The cursor advanced per scan, so the next poll lands on core 3.
+        [(next_core, _)] = det.poll(40)
+        assert next_core == 3
 
     def test_catchup_capped_per_poll(self, hw_system):
         cfg = DetectorConfig(hm_period_cycles=10, hm_max_catchup_scans=4)

@@ -127,6 +127,49 @@ class TestLifecycle:
         assert 0 < s["sampled_fraction"] <= 1
 
 
+class TestTraceTimestamps:
+    """Regression: ``sm.scan`` events must be stamped with the simulated
+    clock, not the detector's cumulative overhead counter.
+
+    The old code used ``cycles=self.detection_cycles``, so events sorted
+    by overhead-so-far in Chrome-trace exports — two scans a million
+    cycles apart rendered a few hundred cycles apart.
+    """
+
+    def test_events_stamped_with_simulated_clock(self, sw_system):
+        from repro.obs.trace import Tracer, tracing
+
+        cfg = DetectorConfig(sm_sample_threshold=1, sm_routine_cycles=231)
+        det = SoftwareManagedDetector(8, cfg)
+        with tracing(Tracer(trace_id="sm-stamp")) as tr:
+            det.attach(sw_system, {c: c for c in range(8)})
+            stamps = (10_000, 2_000_000, 2_000_500)
+            for now, addr in zip(stamps, (0x1000, 0x2000, 0x3000)):
+                sw_system.mmus[0].now_cycles = now
+                sw_system.mmus[0].translate(addr)
+            det.detach()
+            events = [s for s in tr.snapshot() if s.name == "sm.scan"]
+        assert [e.t0_cycles for e in events] == list(stamps)
+        # The old stamping would have produced 231, 462, 693 here (the
+        # cumulative routine overhead), inverting trace-sort order
+        # relative to real time whenever the clock jumps.
+        assert det.detection_cycles == 3 * 231
+
+    def test_simulator_refreshes_clock_per_quantum(self, sw_system, neighbor_workload):
+        from repro.obs.trace import Tracer, tracing
+
+        det = SoftwareManagedDetector(8, DetectorConfig(sm_sample_threshold=1))
+        with tracing(Tracer(trace_id="sm-sim", capacity=1 << 18)) as tr:
+            res = Simulator(sw_system).run(neighbor_workload, detectors=[det])
+            stamps = [s.t0_cycles for s in tr.snapshot() if s.name == "sm.scan"]
+        assert stamps, "expected sm.scan events during the run"
+        # Stamps advance with the run instead of tracking detection
+        # overhead: the last scans carry late-run clocks, far beyond the
+        # detector's own cycle counter divided across events.
+        assert max(stamps) <= res.execution_cycles
+        assert max(stamps) > min(stamps)
+
+
 class TestCostModel:
     def test_search_cost_charged_to_faulting_core(self, sw_system):
         cfg = DetectorConfig(sm_sample_threshold=1, sm_routine_cycles=231)

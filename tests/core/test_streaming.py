@@ -1,0 +1,134 @@
+"""Tests for the streaming communication-matrix views."""
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import DecayedCommMatrix, SlidingWindowCommMatrix
+
+
+def feed(view, events):
+    for i, j, amount, now in events:
+        view.record(i, j, amount, now)
+
+
+EVENTS = [
+    (0, 1, 1.0, 10_000),
+    (2, 3, 2.0, 40_000),
+    (0, 1, 1.0, 900_000),
+    (4, 5, 3.0, 1_200_000),
+    (1, 0, 1.0, 1_250_000),
+]
+
+
+class TestDecayedCommMatrix:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecayedCommMatrix(1)
+        with pytest.raises(ValueError):
+            DecayedCommMatrix(4, half_life_cycles=0)
+        view = DecayedCommMatrix(4)
+        with pytest.raises(ValueError):
+            view.record(0, 1, -1.0, 10)
+
+    def test_self_communication_ignored(self):
+        view = DecayedCommMatrix(4)
+        view.record(2, 2, 5.0, 100)
+        assert view.total == 0.0
+        assert view.events_recorded == 0
+
+    def test_event_weight_halves_per_half_life(self):
+        view = DecayedCommMatrix(4, half_life_cycles=1_000)
+        view.record(0, 1, 8.0, 0)
+        view.advance(2_000)
+        assert view.current().matrix[0, 1] == pytest.approx(2.0)
+
+    def test_advance_is_monotone(self):
+        view = DecayedCommMatrix(4, half_life_cycles=1_000)
+        view.record(0, 1, 4.0, 5_000)
+        before = view.state_bytes()
+        view.advance(1_000)  # earlier timestamp: no-op
+        assert view.state_bytes() == before
+
+    def test_state_bytes_identical_across_runs(self):
+        a, b = DecayedCommMatrix(8, 250_000), DecayedCommMatrix(8, 250_000)
+        feed(a, EVENTS)
+        feed(b, EVENTS)
+        assert a.state_bytes() == b.state_bytes()
+
+    def test_state_bytes_sensitive_to_history(self):
+        a, b = DecayedCommMatrix(8, 250_000), DecayedCommMatrix(8, 250_000)
+        feed(a, EVENTS)
+        feed(b, EVENTS[:-1])
+        assert a.state_bytes() != b.state_bytes()
+
+    def test_thread_permutation_commutes_with_decay(self):
+        # Relabeling threads then streaming == streaming then relabeling:
+        # decay treats every pair identically.
+        perm = [3, 0, 2, 5, 1, 7, 4, 6]
+        plain = DecayedCommMatrix(8, 250_000)
+        relabeled = DecayedCommMatrix(8, 250_000)
+        feed(plain, EVENTS)
+        feed(relabeled, [(perm[i], perm[j], a, t) for i, j, a, t in EVENTS])
+        m = plain.current().matrix
+        expected = np.zeros_like(m)
+        for i in range(8):
+            for j in range(8):
+                expected[perm[i], perm[j]] = m[i, j]
+        np.testing.assert_allclose(relabeled.current().matrix, expected)
+
+    def test_reset_restores_empty_state(self):
+        view = DecayedCommMatrix(8, 250_000)
+        feed(view, EVENTS)
+        view.reset()
+        assert view.state_bytes() == DecayedCommMatrix(8, 250_000).state_bytes()
+
+
+class TestSlidingWindowCommMatrix:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowCommMatrix(1)
+        with pytest.raises(ValueError):
+            SlidingWindowCommMatrix(4, num_buckets=0)
+        with pytest.raises(ValueError):
+            SlidingWindowCommMatrix(4, window_cycles=2, num_buckets=4)
+
+    def test_events_expire_after_window(self):
+        view = SlidingWindowCommMatrix(4, window_cycles=1_000, num_buckets=4)
+        view.record(0, 1, 5.0, 0)
+        view.advance(900)
+        assert view.total == 5.0
+        view.advance(2_000)
+        assert view.total == 0.0
+
+    def test_window_keeps_recent_drops_old(self):
+        view = SlidingWindowCommMatrix(4, window_cycles=1_000, num_buckets=4)
+        view.record(0, 1, 1.0, 0)
+        view.record(2, 3, 1.0, 950)
+        view.advance(1_100)  # first bucket fell off, second still live
+        m = view.current().matrix
+        assert m[0, 1] == 0.0
+        assert m[2, 3] == 1.0
+
+    def test_state_bytes_identical_across_runs(self):
+        mk = lambda: SlidingWindowCommMatrix(8, 400_000, 4)
+        a, b = mk(), mk()
+        feed(a, EVENTS)
+        feed(b, EVENTS)
+        assert a.state_bytes() == b.state_bytes()
+
+    def test_current_equals_sum_of_live_events(self):
+        view = SlidingWindowCommMatrix(8, 2_000_000, 8)
+        feed(view, EVENTS)
+        m = view.current().matrix
+        assert m[0, 1] == pytest.approx(3.0)  # symmetric pair summed
+        assert m[4, 5] == pytest.approx(3.0)
+        assert view.total == pytest.approx(8.0)
+
+    def test_sink_signature_matches_detector_contract(self):
+        # record(i, j, amount, now_cycles) is exactly EventSink.
+        from repro.core.detection import EventSink  # noqa: F401
+
+        view = SlidingWindowCommMatrix(4)
+        sink = view.record
+        sink(0, 1, 1.0, 123)
+        assert view.events_recorded == 1

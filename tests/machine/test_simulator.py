@@ -119,7 +119,7 @@ class TestDetectorIntegration:
         class Charger(self.CountingDetector):
             def poll(self, now):
                 self.polls += 1
-                return (0, 1000)
+                return [(0, 1000)]
 
         charged = Simulator(hw_system, SimConfig(charge_detection=True)).run(
             neighbor_workload, detectors=[Charger()]

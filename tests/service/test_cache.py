@@ -93,3 +93,61 @@ class TestTTL:
         cache.put("a", 1)
         clock.advance(1e9)
         assert cache.get("a") == 1
+
+    def test_expiry_at_exactly_zero_expires(self):
+        """Regression: the no-expiry sentinel used to be the falsy 0.0,
+        so an entry whose expiry computed to exactly 0.0 (negative test
+        clock + TTL) was treated as immortal."""
+        clock = FakeClock()
+        clock.now = -10.0
+        cache = LRUTTLCache(4, ttl=10.0, clock=clock)
+        cache.put("a", 1)  # expires at -10.0 + 10.0 == 0.0
+        clock.now = -0.5
+        assert cache.get("a") == 1
+        clock.now = 0.0
+        assert cache.get("a") is None
+        assert cache.expirations == 1
+
+
+class TestPeek:
+    """``in`` / ``peek`` are side-effect-free probes.
+
+    Regression: ``__contains__`` used to delegate to ``get``, so a
+    membership check inflated hit/miss counters and refreshed LRU
+    recency — observability probes perturbed eviction order.
+    """
+
+    def test_contains_does_not_touch_counters(self):
+        cache = LRUTTLCache(4)
+        cache.put("a", 1)
+        assert "a" in cache
+        assert "b" not in cache
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.hit_rate == 0.0
+
+    def test_contains_does_not_refresh_lru(self):
+        cache = LRUTTLCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert "a" in cache  # must NOT make "a" most-recently-used
+        cache.put("c", 3)    # evicts the true LRU: "a"
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+
+    def test_peek_returns_value_without_counting(self):
+        cache = LRUTTLCache(4)
+        cache.put("a", 1)
+        assert cache.peek("a") == 1
+        assert cache.peek("b") is None
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_peek_respects_expiry_but_does_not_reap(self):
+        clock = FakeClock()
+        cache = LRUTTLCache(4, ttl=5.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(6.0)
+        assert cache.peek("a") is None  # reads as absent...
+        assert cache.expirations == 0   # ...but reaping is left to get
+        assert len(cache) == 1
+        assert cache.get("a") is None
+        assert cache.expirations == 1

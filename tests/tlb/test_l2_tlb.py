@@ -45,7 +45,7 @@ class TestTwoLevelTranslate:
         misses trap, so an L2-TLB hit is invisible to the SM mechanism."""
         mmu = two_level_mmu(management=TLBManagement.SOFTWARE)
         fired = []
-        mmu.add_miss_hook(lambda c, v: fired.append(v) or 0)
+        mmu.add_miss_hook(lambda c, v, now: fired.append(v) or 0)
         mmu.translate(0x1000)             # walk: hook fires
         for vpn in (9, 17, 25):
             mmu.translate(vpn << 12)

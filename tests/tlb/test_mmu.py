@@ -48,16 +48,28 @@ class TestTranslate:
 class TestMissHooks:
     def test_hook_cost_charged(self):
         mmu = make_mmu()
-        mmu.add_miss_hook(lambda core, vpn: 100)
+        mmu.add_miss_hook(lambda core, vpn, now: 100)
         base = make_mmu().translate(0x1000)
         assert mmu.translate(0x1000) == base + 100
 
-    def test_hook_receives_core_and_vpn(self):
+    def test_hook_receives_core_vpn_and_clock(self):
         mmu = make_mmu()
         seen = []
-        mmu.add_miss_hook(lambda core, vpn: seen.append((core, vpn)) or 0)
+        mmu.add_miss_hook(lambda core, vpn, now: seen.append((core, vpn, now)) or 0)
         mmu.translate(0x5000)
-        assert seen == [(0, 5)]
+        assert seen == [(0, 5, 0)]
+
+    def test_hook_sees_refreshed_clock(self):
+        """The simulator refreshes ``now_cycles`` per scheduling quantum;
+        hooks must observe the refreshed value, not a stale capture."""
+        mmu = make_mmu()
+        stamps = []
+        mmu.add_miss_hook(lambda core, vpn, now: stamps.append(now) or 0)
+        mmu.now_cycles = 1_234
+        mmu.translate(0x5000)
+        mmu.now_cycles = 9_876
+        mmu.translate(0x6000)
+        assert stamps == [1_234, 9_876]
 
     def test_hook_fires_before_fill(self):
         """The SM mechanism probes *other* TLBs while the faulting entry is
@@ -65,7 +77,7 @@ class TestMissHooks:
         mmu = make_mmu()
         resident_at_hook = []
         mmu.add_miss_hook(
-            lambda core, vpn: resident_at_hook.append(mmu.tlb.probe(vpn)) or 0
+            lambda core, vpn, now: resident_at_hook.append(mmu.tlb.probe(vpn)) or 0
         )
         mmu.translate(0x7000)
         assert resident_at_hook == [False]
@@ -74,15 +86,15 @@ class TestMissHooks:
     def test_hook_not_fired_on_hit(self):
         mmu = make_mmu()
         calls = []
-        mmu.add_miss_hook(lambda c, v: calls.append(v) or 0)
+        mmu.add_miss_hook(lambda c, v, now: calls.append(v) or 0)
         mmu.translate(0x1000)
         mmu.translate(0x1000)
         assert len(calls) == 1
 
     def test_multiple_hooks_accumulate(self):
         mmu = make_mmu()
-        mmu.add_miss_hook(lambda c, v: 10)
-        mmu.add_miss_hook(lambda c, v: 5)
+        mmu.add_miss_hook(lambda c, v, now: 10)
+        mmu.add_miss_hook(lambda c, v, now: 5)
         base = make_mmu().translate(0x1000)
         assert mmu.translate(0x1000) == base + 15
 

@@ -1,0 +1,133 @@
+"""Tests for phase-shifting composite workloads (kernel splices)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.composite import CompositeWorkload, make_splice
+from repro.workloads.npb import make_npb_workload
+
+
+def seg(name, seed=1):
+    return make_npb_workload(name, num_threads=8, scale=0.15, seed=seed)
+
+
+class TestConstruction:
+    def test_needs_segments(self):
+        with pytest.raises(ValueError, match="at least one segment"):
+            CompositeWorkload([])
+
+    def test_thread_counts_must_agree(self):
+        a = make_npb_workload("lu", num_threads=8, scale=0.15, seed=1)
+        b = make_npb_workload("ft", num_threads=4, scale=0.15, seed=1)
+        with pytest.raises(ValueError, match="disagree on thread count"):
+            CompositeWorkload([a, b])
+
+    def test_rebase_shift_floor(self):
+        with pytest.raises(ValueError, match="rebase_shift"):
+            CompositeWorkload([seg("lu")], rebase_shift=20)
+
+    def test_default_name_joins_segments(self):
+        comp = CompositeWorkload([seg("lu"), seg("ft")])
+        assert comp.name == "lu+ft"
+
+    def test_invalid_permutation_rejected(self):
+        with pytest.raises(ValueError, match="not a permutation"):
+            CompositeWorkload([seg("lu")], permutations=[[0, 0, 2, 3, 4, 5, 6, 7]])
+
+    def test_permutation_count_must_match(self):
+        with pytest.raises(ValueError, match="permutations"):
+            CompositeWorkload([seg("lu"), seg("ft")], permutations=[None])
+
+    def test_shared_space_requires_one_kernel(self):
+        with pytest.raises(ValueError, match="shared_space"):
+            CompositeWorkload([seg("lu"), seg("ft")], shared_space=True)
+
+
+class TestAddressRebase:
+    def test_segments_occupy_disjoint_va_slices(self):
+        comp = CompositeWorkload([seg("lu"), seg("ft")])
+        phases = list(comp.phases())
+        lu_phases = [p for p in phases if p.name.startswith("lu.")]
+        ft_phases = [p for p in phases if p.name.startswith("ft.")]
+        lu_pages = {
+            int(a) >> 12
+            for p in lu_phases for s in p.streams for a in s.addrs
+        }
+        ft_pages = {
+            int(a) >> 12
+            for p in ft_phases for s in p.streams for a in s.addrs
+        }
+        assert lu_pages and ft_pages
+        assert not (lu_pages & ft_pages)
+
+    def test_shared_space_reuses_the_same_pages(self):
+        comp = make_splice(
+            ["ua", "ua"], num_threads=8, scale=0.15, seed=3,
+            shared_space=True,
+        )
+        phases = list(comp.phases())
+        half = len(phases) // 2
+        first = {
+            int(a) >> 12
+            for p in phases[:half] for s in p.streams for a in s.addrs
+        }
+        second = {
+            int(a) >> 12
+            for p in phases[half:] for s in p.streams for a in s.addrs
+        }
+        assert first == second
+
+    def test_phase_names_prefixed_by_segment(self):
+        comp = CompositeWorkload([seg("lu"), seg("ft")])
+        names = [p.name for p in comp.phases()]
+        assert names[0].startswith("lu.")
+        assert names[-1].startswith("ft.")
+
+
+class TestPermutation:
+    def test_permutation_relabels_streams(self):
+        base = CompositeWorkload([seg("ua")])
+        perm = [3, 0, 2, 5, 1, 7, 4, 6]
+        permuted = CompositeWorkload([seg("ua")], permutations=[perm])
+        for p_base, p_perm in zip(base.phases(), permuted.phases()):
+            for role, thread in enumerate(perm):
+                np.testing.assert_array_equal(
+                    p_perm.streams[thread].addrs, p_base.streams[role].addrs
+                )
+
+    def test_repartition_permutes_later_segments_only(self):
+        comp = make_splice(
+            ["ua", "ua"], num_threads=8, scale=0.15, seed=3, repartition=True
+        )
+        assert comp.permutations[0] is None
+        assert sorted(comp.permutations[1]) == list(range(8))
+        assert comp.permutations[1] != list(range(8))
+
+
+class TestDeterminism:
+    def test_same_seed_same_streams(self):
+        def mk():
+            return make_splice(
+                ["ua", "ua"], num_threads=8, scale=0.15, seed=9,
+                repartition=True, shared_space=True,
+            )
+
+        a, b = list(mk().phases()), list(mk().phases())
+        assert len(a) == len(b)
+        for pa, pb in zip(a, b):
+            assert pa.name == pb.name
+            for sa, sb in zip(pa.streams, pb.streams):
+                np.testing.assert_array_equal(sa.addrs, sb.addrs)
+                np.testing.assert_array_equal(sa.writes, sb.writes)
+
+    def test_different_seed_different_permutation(self):
+        perms = {
+            tuple(
+                make_splice(
+                    ["ua", "ua"], num_threads=8, scale=0.15, seed=s,
+                    repartition=True,
+                ).permutations[1]
+            )
+            for s in range(6)
+        }
+        assert len(perms) > 1

@@ -1,6 +1,8 @@
 # Convenience targets for the reproduction repo.
 #
-#   make lint          repro-lint static analysis over src/repro (RPL rules)
+#   make lint          repro-lint static analysis, incremental (RPL rules;
+#                      REPRO_LINT_NO_CACHE=1 forces a cold run)
+#   make lint-full     repro-lint with the incremental cache disabled
 #   make mypy          strict typing gate (skipped gracefully if mypy absent)
 #   make test          tier-1 test suite (default/batched engine)
 #   make test-scalar   tier-1 suite forced onto the scalar reference engine
@@ -18,10 +20,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint mypy test test-scalar differential bench-engine serve-smoke bench-service remap-smoke test-chaos trace-smoke cov bench ci
+.PHONY: lint lint-full mypy test test-scalar differential bench-engine serve-smoke bench-service remap-smoke test-chaos trace-smoke cov bench ci
 
+# Incremental by default: warm re-runs only re-analyze changed files
+# (cache: .repro-lint-cache/, safe to delete).  Honors REPRO_LINT_NO_CACHE=1.
 lint:
 	$(PYTHON) -m repro lint
+
+lint-full:
+	$(PYTHON) -m repro lint --no-cache
 
 # mypy is configured in pyproject.toml ([tool.mypy], tiered strictness) but
 # is not vendored in this environment; the target degrades to a no-op with a
@@ -90,4 +97,4 @@ cov:
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-ci: lint mypy test test-scalar differential bench-engine serve-smoke remap-smoke test-chaos trace-smoke cov
+ci: lint lint-full mypy test test-scalar differential bench-engine serve-smoke remap-smoke test-chaos trace-smoke cov

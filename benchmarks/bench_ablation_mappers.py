@@ -12,6 +12,7 @@ from conftest import bench_config, save_artifact
 from repro.experiments.ablations import mapper_comparison
 from repro.mapping.blossom import max_weight_matching
 from repro.util.render import format_table
+from repro.util.rng import as_rng
 
 import numpy as np
 
@@ -44,7 +45,7 @@ def test_mapper_comparison(benchmark, out_dir):
 def test_blossom_matching_speed(benchmark):
     """Raw Edmonds solve time on a dense 32-vertex instance (the matcher
     is re-run at every hierarchy level; it must stay interactive)."""
-    rng = np.random.default_rng(0)
+    rng = as_rng(0)
     w = rng.random((32, 32)) * 100
     w = (w + w.T) / 2
     np.fill_diagonal(w, 0)

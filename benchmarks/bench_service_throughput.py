@@ -45,6 +45,7 @@ import numpy as np
 from repro.obs.metrics import nearest_rank_index
 from repro.service.app import MappingService, ServiceConfig
 from repro.service.client import AsyncMappingClient
+from repro.util.rng import as_rng
 from repro.service.http import MappingServer
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
@@ -62,7 +63,7 @@ def _floor(name: str, default: float) -> float:
 
 def _cold_matrices(count: int) -> List[List[List[float]]]:
     """Distinct random symmetric matrices (no two share a canonical key)."""
-    rng = np.random.default_rng(2012)
+    rng = as_rng(2012)
     out = []
     for _ in range(count):
         a = rng.random((THREADS, THREADS)) * 100.0

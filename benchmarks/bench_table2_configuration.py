@@ -12,12 +12,13 @@ from conftest import save_artifact
 from repro.experiments.tables import table2
 from repro.machine.system import System
 from repro.machine.topology import harpertown
+from repro.util.rng import as_rng
 
 
 def test_hierarchy_access_throughput(benchmark):
     """Throughput of the L1→L2→bus access path on a mixed access stream."""
     system = System(harpertown())
-    rng = np.random.default_rng(0)
+    rng = as_rng(0)
     addrs = (rng.integers(0, 4096, size=2048) * 64).tolist()
     writes = (rng.random(2048) < 0.3).tolist()
     access = system.hierarchy.access
@@ -35,7 +36,7 @@ def test_hierarchy_access_throughput(benchmark):
 def test_tlb_translate_throughput(benchmark):
     """Throughput of the MMU translate path (TLB hit-dominated)."""
     system = System(harpertown())
-    rng = np.random.default_rng(1)
+    rng = as_rng(1)
     addrs = (rng.integers(0, 32, size=2048) << 12).tolist()
     translate = system.mmus[0].translate
 

@@ -2,16 +2,23 @@
 
 Exit status: 0 when clean, 1 when any finding survives the configured
 ignores, 2 on usage errors (unreadable config, no files matched).
+
+Runs are incremental by default: per-file content hashes are cached
+under ``.repro-lint-cache/`` at the project root, so a warm re-run only
+re-analyzes files whose content (or rule configuration) changed.  Pass
+``--no-cache`` or set ``REPRO_LINT_NO_CACHE=1`` to force a cold
+full-tree analysis; the cache directory can be deleted at any time.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.analysis.core import LintConfig, all_rules, load_project, run_lint
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -21,11 +28,11 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         nargs="*",
         metavar="PATH",
         help="files or directories to lint (default: [tool.repro-lint] "
-        "paths, falling back to src/repro)",
+        "paths plus tier directories, falling back to src/repro)",
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -35,6 +42,11 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="PYPROJECT",
         help="pyproject.toml to read [tool.repro-lint] from "
         "(default: search upward from the current directory)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental cache (also: REPRO_LINT_NO_CACHE=1)",
     )
     parser.add_argument(
         "--list-rules",
@@ -74,15 +86,32 @@ def run(args: argparse.Namespace) -> int:
             print(f"{rule.id}  {rule.title}")
         return 0
 
-    paths: Sequence[str] = args.paths or config.paths
-    project = load_project(root, paths=paths, config=config)
+    # No explicit paths → config-driven discovery (primary paths + tier
+    # directories, exclude patterns honored).  Explicit paths are always
+    # loaded verbatim.
+    explicit: Optional[List[str]] = list(args.paths) or None
+    project = load_project(root, paths=explicit, config=config)
     if not project.modules:
-        print(f"repro lint: no python files under {list(paths)!r}")
+        shown = explicit if explicit is not None else config.paths
+        print(f"repro lint: no python files under {shown!r}")
         return 2
 
-    findings = run_lint(project, rules)
-    render = render_json if args.format == "json" else render_text
-    print(render(findings))
+    no_cache = getattr(args, "no_cache", False) or bool(
+        os.environ.get("REPRO_LINT_NO_CACHE")
+    )
+    if no_cache:
+        findings = run_lint(project, rules)
+    else:
+        from repro.analysis.incremental import run_lint_incremental
+
+        findings, _stats = run_lint_incremental(project, rules)
+
+    if args.format == "json":
+        print(render_json(findings))
+    elif args.format == "sarif":
+        print(render_sarif(findings, rules))
+    else:
+        print(render_text(findings))
     return 1 if findings else 0
 
 

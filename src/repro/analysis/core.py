@@ -33,10 +33,11 @@ from __future__ import annotations
 
 import ast
 import fnmatch
+import re
 import tomllib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Type
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Type
 
 
 @dataclass(frozen=True, order=True)
@@ -96,6 +97,14 @@ class LintConfig:
     ignore: Tuple[str, ...] = ()
     per_file_ignores: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
     rule_options: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Files never loaded at all (fixture corpora full of seeded
+    #: violations, generated code).  fnmatch patterns on relative paths.
+    exclude: Tuple[str, ...] = ()
+    #: Tiered coverage: directory → the only rule ids enforced beneath
+    #: it.  Tier directories are loaded in addition to ``paths`` but are
+    #: *secondary*: program-scoped rules (symbol table, call graph,
+    #: config-field reads) see only the primary modules.
+    tiers: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
 
     @classmethod
     def from_pyproject(cls, pyproject: Path) -> "LintConfig":
@@ -112,15 +121,22 @@ class LintConfig:
         if "paths" in table:
             cfg.paths = [str(p) for p in table["paths"]]
         cfg.ignore = tuple(str(r).upper() for r in table.get("ignore", ()))
+        cfg.exclude = tuple(str(p) for p in table.get("exclude", ()))
         pfi = table.get("per-file-ignores", {})
         cfg.per_file_ignores = {
             str(pat): tuple(str(r).upper() for r in rules)
             for pat, rules in pfi.items()
         }
+        cfg.tiers = {
+            str(directory).rstrip("/"): tuple(str(r).upper() for r in rules)
+            for directory, rules in table.get("tiers", {}).items()
+        }
         cfg.rule_options = {
             key.lower(): dict(value)
             for key, value in table.items()
-            if isinstance(value, Mapping) and key.lower().startswith("rpl")
+            if isinstance(value, Mapping)
+            and key.lower().startswith("rpl")
+            and key.lower() != "tiers"
         }
         return cfg
 
@@ -128,9 +144,23 @@ class LintConfig:
         """Rule-specific option table (``[tool.repro-lint.rpl003]``)."""
         return self.rule_options.get(rule_id.lower(), {})
 
+    def is_excluded(self, rel: str) -> bool:
+        """Whether a relative path is excluded from loading entirely."""
+        return any(path_matches(rel, pattern) for pattern in self.exclude)
+
+    def tier_rules_for(self, rel: str) -> Optional[Tuple[str, ...]]:
+        """Rule ids enforced for ``rel`` under a tier, or None (all rules)."""
+        for directory, rules in self.tiers.items():
+            if rel == directory or rel.startswith(directory + "/"):
+                return rules
+        return None
+
     def is_ignored(self, finding: Finding) -> bool:
         """Whether ``finding`` is suppressed by global or per-file config."""
         if finding.rule in self.ignore:
+            return True
+        tier = self.tier_rules_for(finding.path)
+        if tier is not None and finding.rule not in (*tier, "RPL000", "RPL100"):
             return True
         for pattern, rules in self.per_file_ignores.items():
             if finding.rule in rules and path_matches(finding.path, pattern):
@@ -145,10 +175,36 @@ class Project:
     root: Path
     modules: List[Module]
     config: LintConfig
+    _program: Optional[Any] = field(default=None, repr=False, compare=False)
 
     def find_modules(self, pattern: str) -> List[Module]:
         """Modules whose relative path matches ``pattern``."""
         return [m for m in self.modules if path_matches(m.rel, pattern)]
+
+    @property
+    def primary_modules(self) -> List[Module]:
+        """Modules under the full rule set (tier directories excluded).
+
+        Program-scoped rules build their symbol table / call graph /
+        config-read census over these only: a config field read in a
+        *test* must not count as wired, and test helpers must not join
+        the production call graph.
+        """
+        return [
+            m for m in self.modules if self.config.tier_rules_for(m.rel) is None
+        ]
+
+    def program(self) -> Any:
+        """The lazily-built :class:`~repro.analysis.program.ProgramIndex`.
+
+        Built once over :attr:`primary_modules` and shared by every
+        program-scoped rule in this run.
+        """
+        if self._program is None:
+            from repro.analysis.program import ProgramIndex
+
+            self._program = ProgramIndex.build(self.primary_modules)
+        return self._program
 
 
 class Rule:
@@ -156,10 +212,17 @@ class Rule:
 
     Subclasses set :attr:`id` / :attr:`title`, may declare option
     defaults in :attr:`default_options`, and implement :meth:`check`.
+    :attr:`scope` drives the incremental cache: a ``"file"`` rule's
+    findings for a module depend only on that module's content, so they
+    are cached per file; a ``"program"`` rule reads cross-module state
+    (symbol table, call graph, dataclass field reads) and re-runs
+    whenever *any* primary module changes.
     """
 
     id: str = "RPL000"
     title: str = ""
+    #: "file" or "program" — see the class docstring.
+    scope: str = "file"
     default_options: Dict[str, Any] = {}
 
     def __init__(self, options: Optional[Mapping[str, Any]] = None):
@@ -215,19 +278,32 @@ def load_project(
 ) -> Project:
     """Parse every ``.py`` file under ``paths`` into a :class:`Project`.
 
-    A file that fails to parse becomes a project with no module for that
-    path — syntax errors are reported by :func:`run_lint` as ``RPL000``
-    findings rather than crashing the linter.
+    When ``paths`` is not given, the configured primary paths *and* the
+    tier directories are loaded; ``exclude`` patterns are honored either
+    way.  A file that fails to parse becomes a project with a marker
+    module for that path — syntax errors are reported by
+    :func:`run_lint` as ``RPL000`` findings rather than crashing the
+    linter.
     """
     root = root.resolve()
     config = config or LintConfig()
+    # ``exclude`` governs config-driven discovery only: a path the user
+    # names explicitly (CLI argument, test harness) is always loaded.
+    discovered = paths is None
+    specs = list(paths) if paths is not None else [*config.paths, *config.tiers]
     modules: List[Module] = []
-    for path in _iter_py_files(root, paths or config.paths):
-        source = path.read_text(encoding="utf-8")
+    seen: Set[Path] = set()
+    for path in _iter_py_files(root, specs):
+        if path in seen:
+            continue
+        seen.add(path)
         try:
             rel = path.relative_to(root).as_posix()
         except ValueError:
             rel = path.as_posix()
+        if discovered and config.is_excluded(rel):
+            continue
+        source = path.read_text(encoding="utf-8")
         try:
             tree = ast.parse(source, filename=str(path))
         except SyntaxError as exc:
@@ -239,14 +315,93 @@ def load_project(
     return Project(root=root, modules=modules, config=config)
 
 
-def run_lint(project: Project, rules: Optional[Iterable[Rule]] = None) -> List[Finding]:
-    """Run ``rules`` (default: all registered) over ``project``.
+# -- inline suppressions ------------------------------------------------------
+#
+# ``# repro-lint: ignore[RPL101] -- <why>`` on the offending line
+# silences that rule there.  The justification is mandatory and the
+# mechanism is restricted to the whole-program RPL1xx family: per-file
+# rules keep the pyproject-only model (every exemption reviewed in one
+# place), while flow findings — whose precise location can shift with
+# refactors — may be acknowledged at the site, but never silently.
+# A malformed suppression is itself a finding (RPL100), so a bare
+# ``ignore[...]`` can never reduce the finding count.
 
-    Returns findings sorted by (path, line, col, rule), with config
-    ignores already applied.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9_,\s]*)\]"
+    r"(?:\s*--\s*(?P<reason>.*\S))?"
+)
+
+
+def scan_suppressions(
+    module: Module,
+) -> Tuple[Dict[int, Set[str]], List[Finding]]:
+    """Parse inline suppressions from one module's source.
+
+    Returns ``(line → suppressed rule ids, hygiene findings)``.  A
+    suppression with no ``-- reason``, an empty rule list, or a rule id
+    outside the RPL1xx family yields an RPL100 finding and suppresses
+    nothing.
     """
+    by_line: Dict[int, Set[str]] = {}
     findings: List[Finding] = []
-    for module in project.modules:
+    for lineno, line in enumerate(module.source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = {r.strip().upper() for r in match.group(1).split(",") if r.strip()}
+        reason = match.group("reason")
+
+        def hygiene(message: str) -> Finding:
+            return Finding(
+                path=module.rel,
+                line=lineno,
+                col=match.start(),
+                rule="RPL100",
+                message=message,
+            )
+
+        if not rules:
+            findings.append(hygiene("inline suppression names no rule ids"))
+            continue
+        bad = sorted(r for r in rules if not re.fullmatch(r"RPL1\d\d", r))
+        if bad:
+            findings.append(
+                hygiene(
+                    f"inline suppression may only name RPL1xx rules, got "
+                    f"{', '.join(bad)}; per-file exemptions for other rules "
+                    "belong in [tool.repro-lint.per-file-ignores] with a "
+                    "comment"
+                )
+            )
+            continue
+        if not reason:
+            findings.append(
+                hygiene(
+                    "inline suppression without a justification — write "
+                    "'# repro-lint: ignore[%s] -- <why this flow is safe>'"
+                    % ",".join(sorted(rules))
+                )
+            )
+            continue
+        by_line.setdefault(lineno, set()).update(rules)
+    return by_line, findings
+
+
+def collect_findings(
+    project: Project, rules: Optional[Iterable[Rule]] = None
+) -> List[Finding]:
+    """Raw rule output for ``project`` (no ignores or suppressions yet)."""
+    findings: List[Finding] = []
+    findings.extend(syntax_findings(project.modules))
+    for rule in rules if rules is not None else all_rules(project.config):
+        findings.extend(rule.check(project))
+    return findings
+
+
+def syntax_findings(modules: Iterable[Module]) -> List[Finding]:
+    """RPL000 findings for modules that failed to parse."""
+    findings: List[Finding] = []
+    for module in modules:
         exc = getattr(module.tree, "_syntax_error", None)
         if exc is not None:
             findings.append(
@@ -258,10 +413,39 @@ def run_lint(project: Project, rules: Optional[Iterable[Rule]] = None) -> List[F
                     message=f"syntax error: {exc.msg}",
                 )
             )
-    for rule in rules if rules is not None else all_rules(project.config):
-        findings.extend(rule.check(project))
-    findings = [f for f in findings if not project.config.is_ignored(f)]
-    return sorted(findings)
+    return findings
+
+
+def finalize_findings(project: Project, findings: List[Finding]) -> List[Finding]:
+    """Apply inline suppressions, tier filters and config ignores; sort."""
+    suppressions: Dict[str, Dict[int, Set[str]]] = {}
+    for module in project.modules:
+        by_line, hygiene = scan_suppressions(module)
+        suppressions[module.rel] = by_line
+        findings = findings + hygiene
+
+    def suppressed(finding: Finding) -> bool:
+        if finding.rule in ("RPL000", "RPL100"):
+            return False
+        return finding.rule in suppressions.get(finding.path, {}).get(
+            finding.line, ()
+        )
+
+    findings = [
+        f
+        for f in findings
+        if not suppressed(f) and not project.config.is_ignored(f)
+    ]
+    return sorted(set(findings))
+
+
+def run_lint(project: Project, rules: Optional[Iterable[Rule]] = None) -> List[Finding]:
+    """Run ``rules`` (default: all registered) over ``project``.
+
+    Returns findings sorted by (path, line, col, rule), with inline
+    suppressions, tier filters and config ignores already applied.
+    """
+    return finalize_findings(project, collect_findings(project, rules))
 
 
 # -- shared AST helpers used by several rules ---------------------------------

@@ -1,0 +1,485 @@
+"""Interprocedural taint analysis over the program index.
+
+The determinism contract (DESIGN.md §11) says simulation results are
+pure functions of their configuration.  RPL002 enforces the *call
+sites* — no ``time.time()`` inside ``src/repro`` — but a value can be
+laundered: a helper reads the clock, returns it, and the caller hands
+it to ``core/`` as an innocent-looking float.  This module tracks those
+flows.
+
+The analysis is a classic summary-based forward taint propagation:
+
+* **Labels.**  An expression's taint is a set of labels: ``SOURCE``
+  (derives from a wall-clock/OS-entropy read) and ``P<i>`` (derives
+  from the enclosing function's i-th parameter).
+* **Summaries.**  Each function gets ``(returns_source,
+  param_flows)``: whether its return value carries ``SOURCE`` taint of
+  its own, and which parameter positions flow into the return value.
+  Summaries are computed to a fixpoint over the call graph, so a chain
+  of helpers any depth long propagates.
+* **Actual taints.**  A second fixpoint pushes concrete ``SOURCE``
+  taint through call sites: if ``f`` passes a tainted argument into
+  ``g``'s parameter ``j``, that parameter is *actually* tainted in
+  every analysis of ``g``, transitively.  Each actually-tainted
+  parameter remembers one witness call site for diagnostics.
+
+Conservative choices (documented, deliberate):
+
+* Unresolved calls (numpy, stdlib, methods on arbitrary objects)
+  propagate the union of their argument and receiver taints — tainted
+  data stays tainted through ``str()``/``round()``/method chains.
+* Branches join by set union; loops run their body twice so
+  loop-carried variables propagate.
+* Attribute state is tracked per-function (``self.x = tainted`` taints
+  later ``self.x`` reads in the *same* function only).  Cross-method
+  attribute flows are out of scope — and the injected-clock pattern
+  (``self.clock = time.monotonic``, a function *reference*, never a
+  call result) is deliberately not a source.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.core import dotted_name
+from repro.analysis.program import FunctionInfo, ProgramIndex
+
+#: Taint label carried by values derived from an entropy/clock read.
+SOURCE = "SOURCE"
+
+#: (module, attribute) call suffixes treated as taint sources by
+#: default — the RPL002 ban list: wall clocks, OS entropy, UUIDs.
+DEFAULT_SOURCES: Tuple[Tuple[str, str], ...] = (
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "process_time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+    ("os", "urandom"),
+    ("os", "getrandom"),
+    ("uuid", "*"),
+    ("secrets", "*"),
+)
+
+
+def source_matcher(
+    suffixes: Tuple[Tuple[str, str], ...] = DEFAULT_SOURCES
+) -> Callable[[Optional[str]], bool]:
+    """Predicate: does a dotted call name read a taint source?"""
+
+    def match(dotted: Optional[str]) -> bool:
+        if dotted is None:
+            return False
+        parts = dotted.split(".")
+        if len(parts) < 2:
+            return False
+        mod, attr = parts[-2], parts[-1]
+        return any(
+            mod == s_mod and (s_attr == "*" or attr == s_attr)
+            for s_mod, s_attr in suffixes
+        )
+
+    return match
+
+
+@dataclass(frozen=True)
+class Summary:
+    """What a function's return value may carry."""
+
+    returns_source: bool = False
+    param_flows: FrozenSet[int] = frozenset()
+
+
+@dataclass
+class CallEvent:
+    """One call observed during an analysis pass."""
+
+    node: ast.Call
+    dotted: Optional[str]
+    callee: Optional[str]  # resolved qualname or None
+    result_labels: FrozenSet[str]
+    arg_labels: List[FrozenSet[str]]  # positional args, receiver excluded
+
+
+@dataclass
+class FunctionAnalysis:
+    """Result of one intraprocedural pass."""
+
+    return_labels: Set[str] = field(default_factory=set)
+    calls: List[CallEvent] = field(default_factory=list)
+
+
+@dataclass
+class Witness:
+    """Why a parameter is actually tainted: the offending call site."""
+
+    caller: str
+    node: ast.Call
+
+
+class TaintEngine:
+    """Summary-based interprocedural taint over a :class:`ProgramIndex`."""
+
+    #: Fixpoint iteration cap; taint sets only grow, so convergence is
+    #: guaranteed — the cap is a defensive bound, not a tuning knob.
+    MAX_ITERATIONS = 50
+
+    def __init__(
+        self,
+        index: ProgramIndex,
+        is_source: Optional[Callable[[Optional[str]], bool]] = None,
+    ):
+        self.index = index
+        self.is_source = is_source or source_matcher()
+        self.summaries: Dict[str, Summary] = {}
+        #: qualname → per-parameter actual SOURCE taint.
+        self.actual_taints: Dict[str, List[bool]] = {}
+        #: (qualname, param index) → witness call site.
+        self.witnesses: Dict[Tuple[str, int], Witness] = {}
+        self._solved = False
+
+    # -- public API --------------------------------------------------------------
+
+    def solve(self) -> None:
+        """Run both fixpoints (idempotent)."""
+        if self._solved:
+            return
+        self._solve_summaries()
+        self._solve_actual_taints()
+        self._solved = True
+
+    def analyze(self, qualname: str) -> FunctionAnalysis:
+        """Final concrete pass over one function (call events recorded).
+
+        Parameters carry ``SOURCE`` where the actual-taint fixpoint
+        proved a tainted value reaches them from some call site.
+        """
+        self.solve()
+        info = self.index.functions[qualname]
+        return self._run(info, self._concrete_param_labels(info))
+
+    def summary(self, qualname: str) -> Summary:
+        """The solved :class:`Summary` for ``qualname`` (empty if unknown)."""
+        self.solve()
+        return self.summaries.get(qualname, Summary())
+
+    def param_witness(self, qualname: str, position: int) -> Optional[Witness]:
+        """The call site that tainted ``qualname``'s ``position``-th param."""
+        return self.witnesses.get((qualname, position))
+
+    # -- fixpoints ---------------------------------------------------------------
+
+    def _solve_summaries(self) -> None:
+        self.summaries = {q: Summary() for q in self.index.functions}
+        for _ in range(self.MAX_ITERATIONS):
+            changed = False
+            for qual, info in self.index.functions.items():
+                labels = {
+                    name: frozenset({f"P{i}"})
+                    for i, name in enumerate(info.params)
+                }
+                result = self._run(info, labels)
+                flows = frozenset(
+                    i
+                    for i in range(len(info.params))
+                    if f"P{i}" in result.return_labels
+                )
+                summary = Summary(SOURCE in result.return_labels, flows)
+                if summary != self.summaries[qual]:
+                    self.summaries[qual] = summary
+                    changed = True
+            if not changed:
+                return
+
+    def _solve_actual_taints(self) -> None:
+        self.actual_taints = {
+            q: [False] * len(info.params)
+            for q, info in self.index.functions.items()
+        }
+        for _ in range(self.MAX_ITERATIONS):
+            changed = False
+            for qual, info in self.index.functions.items():
+                result = self._run(info, self._concrete_param_labels(info))
+                for event in result.calls:
+                    if event.callee not in self.actual_taints:
+                        continue
+                    callee_info = self.index.functions[event.callee]
+                    offset = self._receiver_offset(callee_info, event.dotted)
+                    for pos, labels in enumerate(event.arg_labels):
+                        target = pos + offset
+                        if SOURCE not in labels:
+                            continue
+                        if target >= len(self.actual_taints[event.callee]):
+                            continue
+                        if not self.actual_taints[event.callee][target]:
+                            self.actual_taints[event.callee][target] = True
+                            self.witnesses[(event.callee, target)] = Witness(
+                                qual, event.node
+                            )
+                            changed = True
+            if not changed:
+                return
+
+    def _concrete_param_labels(
+        self, info: FunctionInfo
+    ) -> Dict[str, FrozenSet[str]]:
+        taints = self.actual_taints.get(info.qualname, [])
+        return {
+            name: frozenset({SOURCE}) if i < len(taints) and taints[i] else frozenset()
+            for i, name in enumerate(info.params)
+        }
+
+    @staticmethod
+    def _receiver_offset(callee: FunctionInfo, dotted: Optional[str]) -> int:
+        """Positional offset mapping call args onto callee params.
+
+        ``obj.method(a)`` binds ``a`` to parameter 1 (``self`` is 0);
+        a plain function call binds positionally from 0.
+        """
+        if callee.is_method and dotted is not None and "." in dotted:
+            return 1
+        return 0
+
+    # -- intraprocedural pass ----------------------------------------------------
+
+    def _run(
+        self, info: FunctionInfo, param_labels: Dict[str, FrozenSet[str]]
+    ) -> FunctionAnalysis:
+        walker = _Walker(self, info, param_labels)
+        walker.run()
+        return walker.result
+
+
+class _Walker:
+    """One forward pass over a function body with a taint environment."""
+
+    def __init__(
+        self,
+        engine: TaintEngine,
+        info: FunctionInfo,
+        param_labels: Dict[str, FrozenSet[str]],
+    ):
+        self.engine = engine
+        self.info = info
+        self.mod = _module_of(engine.index, info)
+        self.env: Dict[str, FrozenSet[str]] = dict(param_labels)
+        self.result = FunctionAnalysis()
+
+    def run(self) -> None:
+        self._block(self.info.node.body)
+
+    # -- statements --------------------------------------------------------------
+
+    def _block(self, stmts: List[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested defs are separate functions (or out of scope)
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.result.return_labels |= self._labels(stmt.value)
+            return
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            self._assign(stmt)
+            return
+        if isinstance(stmt, ast.If):
+            self._labels(stmt.test)
+            self._branch([stmt.body, stmt.orelse])
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_labels = self._labels(stmt.iter)
+            self._bind_target(stmt.target, iter_labels)
+            # Two passes propagate loop-carried taint; union with the
+            # zero-iteration env happens implicitly (env only grows).
+            for _ in range(2):
+                self._block(stmt.body)
+                self._bind_target(stmt.target, self._labels(stmt.iter))
+            self._block(stmt.orelse)
+            return
+        if isinstance(stmt, ast.While):
+            self._labels(stmt.test)
+            for _ in range(2):
+                self._block(stmt.body)
+            self._block(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                labels = self._labels(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, labels)
+            self._block(stmt.body)
+            return
+        if isinstance(stmt, ast.Try):
+            self._block(stmt.body)
+            for handler in stmt.handlers:
+                self._block(handler.body)
+            self._block(stmt.orelse)
+            self._block(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._labels(stmt.value)
+            return
+        # Everything else (raise, assert, pass, del, global, import…):
+        # evaluate child expressions for their call events.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._labels(child)
+
+    def _branch(self, blocks: List[List[ast.stmt]]) -> None:
+        """Run alternative blocks from one starting env; union results."""
+        start = dict(self.env)
+        merged: Dict[str, FrozenSet[str]] = dict(start)
+        for block in blocks:
+            self.env = dict(start)
+            self._block(block)
+            for name, labels in self.env.items():
+                merged[name] = merged.get(name, frozenset()) | labels
+        self.env = merged
+
+    def _assign(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            labels = self._labels(stmt.value)
+            for target in stmt.targets:
+                self._bind_target(target, labels)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is None:
+                return
+            self._bind_target(stmt.target, self._labels(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            labels = self._labels(stmt.value)
+            key = self._target_key(stmt.target)
+            if key is not None:
+                self.env[key] = self.env.get(key, frozenset()) | labels
+
+    def _bind_target(self, target: ast.expr, labels: FrozenSet[str]) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, labels)
+            return
+        if isinstance(target, ast.Starred):
+            self._bind_target(target.value, labels)
+            return
+        key = self._target_key(target)
+        if key is not None:
+            self.env[key] = labels
+        elif isinstance(target, ast.Subscript):
+            # d[k] = tainted taints the container binding.
+            base = self._target_key(target.value)
+            if base is not None:
+                self.env[base] = self.env.get(base, frozenset()) | labels
+
+    @staticmethod
+    def _target_key(target: ast.expr) -> Optional[str]:
+        if isinstance(target, ast.Name):
+            return target.id
+        if isinstance(target, ast.Attribute):
+            dotted = dotted_name(target)
+            if dotted is not None and dotted.startswith("self."):
+                return dotted
+        return None
+
+    # -- expressions -------------------------------------------------------------
+
+    def _labels(self, node: ast.expr) -> FrozenSet[str]:
+        if isinstance(node, ast.Constant):
+            return frozenset()
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, frozenset())
+        if isinstance(node, ast.Attribute):
+            dotted = dotted_name(node)
+            if dotted is not None and dotted in self.env:
+                return self.env[dotted]
+            return self._labels(node.value)
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.Await):
+            return self._labels(node.value)
+        if isinstance(node, ast.Lambda):
+            return frozenset()
+        if isinstance(node, ast.NamedExpr):
+            labels = self._labels(node.value)
+            self._bind_target(node.target, labels)
+            return labels
+        # Generic join: BinOp, BoolOp, Compare, Subscript, JoinedStr,
+        # comprehensions, Tuple/List/Set/Dict literals, Starred, IfExp…
+        labels: FrozenSet[str] = frozenset()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                labels |= self._labels(child)
+            elif isinstance(child, ast.comprehension):
+                iter_labels = self._labels(child.iter)
+                self._bind_target(child.target, iter_labels)
+                labels |= iter_labels
+                for cond in child.ifs:
+                    labels |= self._labels(cond)
+            elif isinstance(child, ast.keyword):
+                labels |= self._labels(child.value)
+        return labels
+
+    def _call(self, node: ast.Call) -> FrozenSet[str]:
+        engine = self.engine
+        dotted = dotted_name(node.func)
+        callee = engine.index.resolve(self.mod, dotted, cls=self.info.cls)
+        arg_labels = [self._labels(arg) for arg in node.args]
+        kw_labels = {
+            kw.arg: self._labels(kw.value) for kw in node.keywords
+        }  # ``None`` key = **kwargs
+        func_labels = (
+            self._labels(node.func)
+            if not isinstance(node.func, (ast.Name,))
+            else frozenset()
+        )
+
+        result: FrozenSet[str]
+        if engine.is_source(dotted):
+            result = frozenset({SOURCE})
+        elif callee is not None and callee in engine.summaries:
+            info = engine.index.functions[callee]
+            summary = engine.summaries[callee]
+            result = frozenset({SOURCE}) if summary.returns_source else frozenset()
+            offset = TaintEngine._receiver_offset(info, dotted)
+            params = info.params
+            for flow in summary.param_flows:
+                # Positional binding…
+                pos = flow - offset
+                if 0 <= pos < len(arg_labels):
+                    result |= arg_labels[pos]
+                # …or keyword binding by parameter name.
+                if flow < len(params):
+                    result |= kw_labels.get(params[flow], frozenset())
+            if 0 in summary.param_flows and offset == 1:
+                result |= func_labels  # receiver (self) flows to return
+        elif callee is not None and callee in engine.index.classes:
+            # Known constructor without an indexed __init__ summary:
+            # the instance conservatively carries its argument taints.
+            result = frozenset().union(*arg_labels, *kw_labels.values()) if (
+                arg_labels or kw_labels
+            ) else frozenset()
+        else:
+            # Unresolved call: conservative union of receiver + args.
+            result = func_labels
+            for labels in arg_labels:
+                result |= labels
+            for labels in kw_labels.values():
+                result |= labels
+
+        self.result.calls.append(
+            CallEvent(node, dotted, callee, result, [frozenset(a) for a in arg_labels])
+        )
+        return result
+
+
+def _module_of(index: ProgramIndex, info: FunctionInfo) -> str:
+    from repro.analysis.program import module_name_for
+
+    return module_name_for(info.module.rel)

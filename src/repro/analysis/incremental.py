@@ -1,0 +1,216 @@
+"""Incremental driver for ``repro lint``: re-analyze only what changed.
+
+The full-tree run pays two taint fixpoints and a call-graph build; on a
+warm tree that is all wasted work, because lint findings are a pure
+function of the inputs the cache keys capture:
+
+* a **file-scoped** rule's findings for a module depend only on that
+  module's source and the rule configuration, so they are cached per
+  ``(relative path, content hash, rules fingerprint)``;
+* a **program-scoped** rule reads cross-module state (symbol table,
+  call graph, config-field census), so its findings are cached under a
+  single bucket keyed by *every* primary module's ``(path, hash)`` pair
+  — touching any primary file re-runs exactly the program rules, and
+  touching a tier file (tests, benchmarks) re-runs only that file's
+  file-scoped rules.
+
+Inline suppressions, tier filters, config ignores and syntax findings
+are always computed fresh: they are cheap, and keeping them out of the
+cached payloads means a stale cache can never resurrect a suppressed
+finding or lose a hygiene one.
+
+The cache itself follows the ``experiments/cache.py`` contract: one
+JSON file per key under ``.repro-lint-cache/``, atomic writes, and a
+read that treats missing, truncated, corrupt, or wrong-shape entries as
+plain misses — the directory can be deleted at any time.  A stored
+entry records the relative path it was computed for; a key collision
+that crosses files (astronomically unlikely, trivially cheap to guard)
+is rejected and re-analyzed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    Rule,
+    all_rules,
+    finalize_findings,
+    syntax_findings,
+)
+from repro.experiments.cache import config_key
+
+#: Bump when cached finding payloads become semantically incompatible
+#: (rule renames, new finding fields, changed program-bucket shape).
+LINT_CACHE_SCHEMA = 1
+
+#: Default cache directory name, created under the project root.
+CACHE_DIR_NAME = ".repro-lint-cache"
+
+
+class LintCache:
+    """JSON-per-key cache directory with atomic writes and tolerant reads."""
+
+    def __init__(self, root: "str | Path"):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Stored payload for ``key``; None on any kind of miss.
+
+        A corrupt entry (truncated write, bit flip, hand-edited file,
+        non-dict payload) is a miss — the follow-up ``put`` repairs it.
+        """
+        try:
+            with self._path(key).open("r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError, UnicodeDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store ``payload`` under ``key`` atomically (tmp + rename)."""
+        data = json.dumps(payload, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(data)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+@dataclass
+class IncrementalStats:
+    """What the incremental run actually did (asserted by the tests)."""
+
+    file_hits: int = 0
+    file_misses: int = 0
+    program_hit: bool = False
+    #: Relative paths whose file-scoped rules were re-executed.
+    reanalyzed: List[str] = field(default_factory=list)
+
+
+def source_hash(source: str) -> str:
+    """Content hash a module's findings are keyed under."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def rules_fingerprint(rules: Iterable[Rule]) -> str:
+    """Key component covering the rule set and its resolved options.
+
+    Any change to which rules run, their scope, or their configured
+    options (pyproject edits included, since options are resolved before
+    instantiation) lands here and invalidates every entry.
+    """
+    return config_key(
+        "repro-lint-rules",
+        LINT_CACHE_SCHEMA,
+        [
+            [rule.id, rule.scope, sorted((k, repr(v)) for k, v in rule.options.items())]
+            for rule in sorted(rules, key=lambda r: r.id)
+        ],
+    )
+
+
+def _encode(findings: Iterable[Finding]) -> List[Dict[str, Any]]:
+    return [
+        {"path": f.path, "line": f.line, "col": f.col, "rule": f.rule, "message": f.message}
+        for f in sorted(findings)
+    ]
+
+
+def _decode(payload: Any) -> Optional[List[Finding]]:
+    """Findings from a cached payload, or None when the shape is wrong."""
+    if not isinstance(payload, list):
+        return None
+    findings = []
+    for item in payload:
+        try:
+            findings.append(
+                Finding(
+                    path=str(item["path"]),
+                    line=int(item["line"]),
+                    col=int(item["col"]),
+                    rule=str(item["rule"]),
+                    message=str(item["message"]),
+                )
+            )
+        except (TypeError, KeyError, ValueError):
+            return None
+    return findings
+
+
+def run_lint_incremental(
+    project: Project,
+    rules: Optional[Iterable[Rule]] = None,
+    cache: Optional[LintCache] = None,
+) -> Tuple[List[Finding], IncrementalStats]:
+    """:func:`~repro.analysis.core.run_lint`, memoized per content hash.
+
+    Returns ``(findings, stats)`` where ``findings`` is byte-identical
+    to a cold :func:`run_lint` over the same project and ``stats``
+    reports the hit/miss split.
+    """
+    rule_list = list(rules) if rules is not None else all_rules(project.config)
+    cache = cache if cache is not None else LintCache(project.root / CACHE_DIR_NAME)
+    file_rules = [r for r in rule_list if r.scope != "program"]
+    program_rules = [r for r in rule_list if r.scope == "program"]
+    fingerprint = rules_fingerprint(rule_list)
+    stats = IncrementalStats()
+    findings: List[Finding] = list(syntax_findings(project.modules))
+    hashes = {m.rel: source_hash(m.source) for m in project.modules}
+
+    for module in project.modules:
+        key = config_key("lint-file", module.rel, hashes[module.rel], fingerprint)
+        cached = cache.get(key)
+        decoded = _decode(cached.get("findings")) if cached else None
+        if decoded is not None and cached.get("rel") == module.rel:
+            stats.file_hits += 1
+            findings.extend(decoded)
+            continue
+        stats.file_misses += 1
+        stats.reanalyzed.append(module.rel)
+        sub = Project(root=project.root, modules=[module], config=project.config)
+        fresh: List[Finding] = []
+        for rule in file_rules:
+            fresh.extend(rule.check(sub))
+        cache.put(key, {"rel": module.rel, "findings": _encode(fresh)})
+        findings.extend(fresh)
+
+    # Program-scoped rules see only the primary modules (tier files are
+    # invisible to the call graph / census), so the bucket is keyed by
+    # exactly those hashes: touching a test never rebuilds the fixpoints.
+    program_key = config_key(
+        "lint-program",
+        fingerprint,
+        sorted((m.rel, hashes[m.rel]) for m in project.primary_modules),
+    )
+    cached = cache.get(program_key)
+    decoded = _decode(cached.get("findings")) if cached else None
+    if decoded is not None and cached.get("scope") == "program":
+        stats.program_hit = True
+        findings.extend(decoded)
+    else:
+        fresh = []
+        for rule in program_rules:
+            fresh.extend(rule.check(project))
+        cache.put(program_key, {"scope": "program", "findings": _encode(fresh)})
+        findings.extend(fresh)
+
+    return finalize_findings(project, findings), stats

@@ -1,0 +1,275 @@
+"""Whole-program view for the lint rules: symbol table + call graph.
+
+The per-file rules (RPL001–RPL007) see one AST at a time; the RPL1xx
+family reasons about *flows* — a wall-clock value laundered through a
+helper, a seed derived in one module and consumed in another, a
+function shipped into a process pool.  That needs three things the
+per-file view cannot provide:
+
+* a **module namespace** per file: what each local name resolves to,
+  accounting for ``import``/``from … import`` aliases and local
+  ``def``/``class`` statements;
+* a **function table** keyed by stable qualified names
+  (``repro.service.app.MappingService._dispatch``), mapping back to the
+  defining module and AST node;
+* a **call graph** over those qualified names, resolved statically
+  (dotted names through the namespace, ``self.method`` within a class),
+  with unresolved dynamic calls recorded as such rather than guessed.
+
+The index is deliberately *syntactic*: no imports are executed, no
+types inferred.  Calls through arbitrary objects (``policy.pre_gate``)
+stay unresolved — the dataflow layer treats them conservatively — while
+the flows the determinism rules care about (module functions, class
+methods via ``self``/``cls``) resolve exactly.
+
+Built lazily once per :class:`~repro.analysis.core.Project` via
+``Project.program()`` and shared by every program-scoped rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import Module, dotted_name
+
+
+def module_name_for(rel: str) -> str:
+    """Importable dotted module name for a project-relative path.
+
+    ``src/repro/util/rng.py`` → ``repro.util.rng``; a package
+    ``__init__.py`` names the package itself; files outside ``src/``
+    (fixtures, benchmarks) name by their own path so they stay unique.
+    """
+    name = rel[:-3] if rel.endswith(".py") else rel
+    if name.startswith("src/"):
+        name = name[len("src/"):]
+    if name.endswith("/__init__"):
+        name = name[: -len("/__init__")]
+    return name.replace("/", ".")
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method known to the program index."""
+
+    qualname: str  # e.g. "repro.service.app.MappingService._dispatch"
+    module: Module
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    cls: Optional[str] = None  # enclosing class name, if a method
+
+    @property
+    def params(self) -> List[str]:
+        """Positional parameter names, ``self``/``cls`` included."""
+        a = self.node.args
+        return [p.arg for p in (*a.posonlyargs, *a.args)]
+
+    @property
+    def is_method(self) -> bool:
+        return self.cls is not None
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a known function."""
+
+    caller: str  # qualname of the enclosing function
+    node: ast.Call
+    #: Resolved callee qualname, or None when the call is dynamic.
+    callee: Optional[str]
+    #: The raw dotted spelling at the call site ("np.random.default_rng"),
+    #: None for calls through subscripts/calls/etc.
+    dotted: Optional[str]
+
+
+@dataclass
+class ProgramIndex:
+    """Symbol table, function table and call graph for one project."""
+
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ast.ClassDef] = field(default_factory=dict)
+    #: Per-module namespace: local name → qualified target.
+    namespaces: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: Module dotted name → Module.
+    modules: Dict[str, Module] = field(default_factory=dict)
+    #: Caller qualname → call sites in body order.
+    call_sites: Dict[str, List[CallSite]] = field(default_factory=dict)
+    #: Callee qualname → caller qualnames (reverse edges, resolved only).
+    callers_of: Dict[str, Set[str]] = field(default_factory=dict)
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def build(cls, modules: List[Module]) -> "ProgramIndex":
+        index = cls()
+        for module in modules:
+            index._index_module(module)
+        for module in modules:
+            index._resolve_imports(module)
+        for module in modules:
+            index._collect_calls(module)
+        return index
+
+    def _index_module(self, module: Module) -> None:
+        mod = module_name_for(module.rel)
+        self.modules[mod] = module
+        ns: Dict[str, str] = {}
+        self.namespaces[mod] = ns
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{mod}.{stmt.name}"
+                self.functions[qual] = FunctionInfo(qual, module, stmt)
+                ns[stmt.name] = qual
+            elif isinstance(stmt, ast.ClassDef):
+                qual = f"{mod}.{stmt.name}"
+                self.classes[qual] = stmt
+                ns[stmt.name] = qual
+                for item in stmt.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        mqual = f"{qual}.{item.name}"
+                        self.functions[mqual] = FunctionInfo(
+                            mqual, module, item, cls=stmt.name
+                        )
+
+    def _resolve_imports(self, module: Module) -> None:
+        """Fill the namespace with import aliases (after all defs exist)."""
+        ns = self.namespaces[module_name_for(module.rel)]
+        for stmt in ast.walk(module.tree):
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    # ``import a.b`` binds ``a``; ``import a.b as c``
+                    # binds ``c`` to the full dotted module.
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    ns.setdefault(bound, target)
+            elif isinstance(stmt, ast.ImportFrom) and stmt.module and stmt.level == 0:
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    ns.setdefault(bound, f"{stmt.module}.{alias.name}")
+
+    def _collect_calls(self, module: Module) -> None:
+        mod = module_name_for(module.rel)
+        for info in self.functions.values():
+            if info.module is not module:
+                continue
+            sites: List[CallSite] = []
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = dotted_name(node.func)
+                callee = self.resolve(mod, dotted, cls=info.cls)
+                sites.append(CallSite(info.qualname, node, callee, dotted))
+                if callee is not None:
+                    self.callers_of.setdefault(callee, set()).add(info.qualname)
+            self.call_sites[info.qualname] = sites
+
+    # -- queries -----------------------------------------------------------------
+
+    def resolve(
+        self, mod: str, dotted: Optional[str], cls: Optional[str] = None
+    ) -> Optional[str]:
+        """Resolve a dotted name used in module ``mod`` to a qualname.
+
+        ``self.f``/``cls.f`` resolve within the enclosing class ``cls``;
+        other names resolve through the module namespace, then through
+        one level of attribute access on a resolved class or module
+        (``worker.solve_batch`` → ``repro.service.worker.solve_batch``).
+        Returns the qualname only when it names a *known* function or
+        class; unknown targets (numpy, stdlib) return None.
+        """
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        head, rest = parts[0], parts[1:]
+        if head in ("self", "cls") and cls is not None:
+            candidate = f"{mod}.{cls}." + ".".join(rest) if rest else None
+            if candidate and (candidate in self.functions or candidate in self.classes):
+                return candidate
+            return None
+        ns = self.namespaces.get(mod, {})
+        target = ns.get(head)
+        if target is None:
+            # A fully-qualified spelling of a known module also resolves
+            # (fixtures referring to each other by module name).
+            target = head if head in self.modules else None
+            if target is None:
+                return None
+        qual = ".".join([target, *rest]) if rest else target
+        if qual in self.functions or qual in self.classes:
+            return qual
+        # ``import repro.service.worker as worker`` + ``worker.solve_batch``
+        # lands here with qual already full; a *re-exported* name
+        # (``from repro.service import worker``) resolves through the
+        # imported module's own namespace one step.
+        if rest and target in self.namespaces:
+            hop = self.namespaces[target].get(rest[0])
+            if hop is not None:
+                qual = ".".join([hop, *rest[1:]])
+                if qual in self.functions or qual in self.classes:
+                    return qual
+        return None
+
+    def resolve_call(self, module: Module, call: ast.Call, cls: Optional[str] = None) -> Optional[str]:
+        """Resolve one call node appearing in ``module``."""
+        return self.resolve(module_name_for(module.rel), dotted_name(call.func), cls=cls)
+
+    def callees(self, qualname: str) -> Iterator[str]:
+        """Resolved callee qualnames of ``qualname`` (with repeats removed)."""
+        seen: Set[str] = set()
+        for site in self.call_sites.get(qualname, ()):
+            if site.callee is not None and site.callee not in seen:
+                seen.add(site.callee)
+                yield site.callee
+
+    def callers(self, qualname: str) -> Set[str]:
+        """Qualnames whose bodies contain a resolved call to ``qualname``."""
+        return self.callers_of.get(qualname, set())
+
+    def function_for_node(
+        self, module: Module, node: ast.AST
+    ) -> Optional[FunctionInfo]:
+        """The function whose body contains ``node`` (by line span)."""
+        best: Optional[FunctionInfo] = None
+        line = getattr(node, "lineno", None)
+        if line is None:
+            return None
+        for info in self.functions.values():
+            if info.module is not module:
+                continue
+            end = getattr(info.node, "end_lineno", info.node.lineno)
+            if info.node.lineno <= line <= end:
+                if best is None or info.node.lineno >= best.node.lineno:
+                    best = info
+        return best
+
+    def transitive_closure(
+        self, roots: List[str], limit: int = 2000
+    ) -> List[str]:
+        """Qualnames reachable from ``roots`` through resolved calls.
+
+        Breadth-first, deterministic order, bounded by ``limit`` as a
+        runaway guard (the bound is far above any real closure here).
+        """
+        seen: Set[str] = set()
+        order: List[str] = []
+        frontier = [r for r in roots if r in self.functions]
+        while frontier and len(order) < limit:
+            nxt: List[str] = []
+            for qual in frontier:
+                if qual in seen:
+                    continue
+                seen.add(qual)
+                order.append(qual)
+                for callee in self.callees(qual):
+                    target = callee
+                    if target in self.classes:
+                        # Calling a class runs its __init__ when known.
+                        init = f"{target}.__init__"
+                        target = init if init in self.functions else target
+                    if target in self.functions and target not in seen:
+                        nxt.append(target)
+            frontier = nxt
+        return order

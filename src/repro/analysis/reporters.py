@@ -9,9 +9,9 @@ from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
-from repro.analysis.core import Finding
+from repro.analysis.core import Finding, Rule
 
 #: Bump when the JSON report shape changes incompatibly.
 REPORT_VERSION = 1
@@ -50,5 +50,59 @@ def render_json(findings: Sequence[Finding]) -> str:
         ],
         "counts": dict(sorted(Counter(f.rule for f in findings).items())),
         "total": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+#: SARIF spec version emitted by :func:`render_sarif`.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def render_sarif(
+    findings: Sequence[Finding], rules: Optional[Sequence[Rule]] = None
+) -> str:
+    """Minimal SARIF 2.1.0 log, one run, stable key order.
+
+    ``rules`` (when given) populates ``tool.driver.rules`` so SARIF
+    viewers can show rule titles; findings referencing unlisted rules
+    (RPL000 syntax markers, RPL100 hygiene) still carry their id.  SARIF
+    columns are 1-based, so ``startColumn`` is the finding's 0-based
+    ``col`` plus one.
+    """
+    descriptors = [
+        {"id": rule.id, "shortDescription": {"text": rule.title}}
+        for rule in sorted(rules or (), key=lambda r: r.id)
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {"startLine": f.line, "startColumn": f.col + 1},
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -14,6 +14,10 @@ from repro.analysis.rules import (  # noqa: F401  (import-for-side-effect)
     rpl005_hygiene,
     rpl006_blocking,
     rpl007_obs_clock,
+    rpl101_taint,
+    rpl102_atomicity,
+    rpl103_seed_lineage,
+    rpl104_purity,
 )
 
 __all__ = [
@@ -24,4 +28,8 @@ __all__ = [
     "rpl005_hygiene",
     "rpl006_blocking",
     "rpl007_obs_clock",
+    "rpl101_taint",
+    "rpl102_atomicity",
+    "rpl103_seed_lineage",
+    "rpl104_purity",
 ]

@@ -80,6 +80,7 @@ class EngineParityRule(Rule):
     and every int field of the result dataclass to be wired at construction."""
     id = "RPL003"
     title = "scalar and batched engines must touch the same counter set"
+    scope = "program"
     default_options = {
         "scalar-modules": [
             "repro/mem/cache.py",

@@ -33,6 +33,7 @@ class UnusedConfigFieldRule(Rule):
     """Flag config-dataclass fields that no module in the project reads."""
     id = "RPL004"
     title = "config dataclass fields must be read by the simulator"
+    scope = "program"
     default_options = {"config-classes": ["SimConfig", "NoiseConfig"]}
 
     def check(self, project: Project) -> Iterator[Finding]:
@@ -40,7 +41,7 @@ class UnusedConfigFieldRule(Rule):
 
         # Pass 1: find the config classes and their fields.
         defs: List[Tuple[Module, ast.ClassDef, List[str]]] = []
-        for module in project.modules:
+        for module in project.primary_modules:
             for node in ast.walk(module.tree):
                 if isinstance(node, ast.ClassDef) and node.name in class_names:
                     fields = [name for name, _ann, _d in dataclass_fields(node)]
@@ -57,8 +58,11 @@ class UnusedConfigFieldRule(Rule):
             span = (cls.lineno, cls.end_lineno or cls.lineno)
             class_spans.setdefault(module.rel, []).append(span)
 
+        # Primary modules only: a field read *only in a test* is not
+        # wired into the simulator — it is precisely the dead knob this
+        # rule exists to catch.
         reads: Set[str] = set()
-        for module in project.modules:
+        for module in project.primary_modules:
             spans = class_spans.get(module.rel, [])
             for node in ast.walk(module.tree):
                 if not isinstance(node, ast.Attribute):

@@ -85,7 +85,7 @@ class BlockingAsyncRule(Rule):
     """Flag event-loop-blocking calls in ``async def`` service code."""
     id = "RPL006"
     title = "no blocking calls inside async service code"
-    default_options = {"paths": ["repro/service/*"], "allow": []}
+    default_options = {"paths": ["*repro/service/*"], "allow": []}
 
     def check(self, project: Project) -> Iterator[Finding]:
         paths = list(self.opt("paths"))

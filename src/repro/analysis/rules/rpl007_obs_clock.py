@@ -87,7 +87,7 @@ class ObsClockRule(Rule):
     id = "RPL007"
     title = "obs timestamps must come from injected clocks"
     default_options = {
-        "paths": ["repro/obs/*"],
+        "paths": ["*repro/obs/*"],
         "apis": [
             "Tracer",
             "MetricsRegistry",

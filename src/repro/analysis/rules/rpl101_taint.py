@@ -1,0 +1,100 @@
+"""RPL101 — no wall-clock/OS-entropy *flows* into the deterministic core.
+
+RPL002 bans the call sites (`time.time()` inside ``src/repro``), but a
+value can be laundered: a helper outside the protected packages reads
+the clock, returns it, and a caller hands the float to ``core/`` or
+``mapping/`` as an innocent argument.  This rule runs the
+interprocedural taint engine (:mod:`repro.analysis.dataflow`) over the
+whole-program index and reports the two ways entropy can *enter* a
+protected package:
+
+* a call inside a protected module whose resolved callee's summary says
+  the return value derives from a clock/entropy read (the laundering
+  helper), and
+* a call site anywhere in the program that passes a tainted argument
+  into a function *defined in* a protected module (the actual-taint
+  fixpoint's witness).
+
+Direct reads inside protected code are RPL002's findings and are not
+duplicated here.  The injected-clock pattern — storing
+``time.monotonic`` itself, a function reference, never a call result —
+is deliberately not a source, so the sanctioned ``clock=``-injection
+sites stay clean.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.analysis.core import Finding, Project, Rule, path_matches, register_rule
+
+
+@register_rule
+class EntropyTaintRule(Rule):
+    """Flag entropy-tainted values flowing into protected packages."""
+
+    id = "RPL101"
+    title = "no wall-clock/OS-entropy dataflow into core/machine/mapping/obs"
+    scope = "program"
+    default_options = {
+        # Packages whose inputs must be entropy-free.  Matched with the
+        # same semantics as per-file-ignores patterns.
+        "protected": [
+            "*repro/core/*",
+            "*repro/machine/*",
+            "*repro/mapping/*",
+            "*repro/obs/*",
+        ],
+    }
+
+    def _is_protected(self, rel: str) -> bool:
+        return any(path_matches(rel, pat) for pat in self.opt("protected"))
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        from repro.analysis.dataflow import SOURCE, TaintEngine
+
+        index = project.program()
+        engine = TaintEngine(index)
+        engine.solve()
+
+        # Arm 1: laundering helpers called from inside a protected module.
+        for qual, info in index.functions.items():
+            if not self._is_protected(info.module.rel):
+                continue
+            analysis = engine.analyze(qual)
+            for event in analysis.calls:
+                if engine.is_source(event.dotted):
+                    continue  # direct read: RPL002's finding, not ours
+                if event.callee is None:
+                    continue
+                if engine.summary(event.callee).returns_source:
+                    yield info.module.finding(
+                        self.id,
+                        event.node,
+                        f"call to {event.dotted or event.callee} returns a "
+                        "wall-clock/OS-entropy-derived value inside "
+                        f"{qual}; protected packages must be pure "
+                        "functions of their configuration",
+                    )
+
+        # Arm 2: tainted arguments crossing into a protected function.
+        for qual, taints in sorted(engine.actual_taints.items()):
+            info = index.functions[qual]
+            if not self._is_protected(info.module.rel):
+                continue
+            params = info.params
+            for position, tainted in enumerate(taints):
+                if not tainted:
+                    continue
+                witness = engine.param_witness(qual, position)
+                if witness is None:
+                    continue
+                caller = index.functions[witness.caller]
+                param = params[position] if position < len(params) else f"#{position}"
+                yield caller.module.finding(
+                    self.id,
+                    witness.node,
+                    "argument carries wall-clock/OS-entropy taint into "
+                    f"{qual} (parameter {param!r}); derive the value from "
+                    "configuration or the injected clock instead",
+                )

@@ -1,0 +1,306 @@
+"""RPL102 — check-then-act on shared state must not span an ``await``.
+
+The mapping service is single-threaded asyncio: there are no data
+races, but every ``await`` is a scheduling point where *other* request
+handlers run and mutate the shared ``self`` state — the canonical
+cache, the circuit breaker, the executor handle, the delta base-store.
+A guard tested *before* a suspension point says nothing about the state
+*after* it:
+
+.. code-block:: python
+
+    if self._executor is None:
+        await self.start()               # <- another task may aclose()
+    await loop.run_in_executor(self._executor, ...)   # may be None again
+
+This rule linearizes every ``async def`` in the configured paths and
+runs a small event machine per ``self.<attr>``:
+
+* testing ``self.x`` (in an ``if``/``while``/``assert`` condition)
+  makes it *fresh*;
+* a local derived from ``self.x`` and then tested also makes it fresh
+  — but only when the derivation happened after the last ``await``
+  (testing a pre-suspension snapshot is exactly the TOCTOU bug);
+* any ``await`` turns every fresh attribute *stale*;
+* using or writing ``self.x`` while stale is a finding.  Re-testing,
+  or re-reading into a new local and testing that, clears it.
+
+Branch bodies are flattened in source order — an ``await`` on *any*
+path between check and act is treated as intervening.  That is the
+conservative reading this bug class needs; genuinely-safe flows are
+acknowledged with an inline ``# repro-lint: ignore[RPL102] -- <why>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import (
+    Finding,
+    Module,
+    Project,
+    Rule,
+    path_matches,
+    register_rule,
+)
+
+# Event kinds emitted by the linearizer.
+_TEST = "test"  # self.x appears in a condition
+_TEST_LOCAL = "test-local"  # a local name appears in a condition
+_USE = "use"  # self.x read outside a condition
+_WRITE = "write"  # self.x = ...
+_DERIVE = "derive"  # local = <expr reading self.x>
+_AWAIT = "await"  # suspension point
+
+
+@dataclass
+class _Event:
+    kind: str
+    node: ast.AST
+    attr: Optional[str] = None  # self.<attr> involved, if any
+    local: Optional[str] = None  # local name involved, if any
+    attrs: Tuple[str, ...] = ()  # for derive: every attr read by the rhs
+
+
+@dataclass
+class _Linearizer:
+    """Flatten an async function body into an event stream, source order."""
+
+    events: List[_Event] = field(default_factory=list)
+
+    def block(self, stmts: List[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.stmt(stmt)
+
+    def stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested defs run later, under their own analysis
+        if isinstance(stmt, (ast.If, ast.While)):
+            self.expr(stmt.test, testing=True)
+            self.block(stmt.body)
+            self.block(stmt.orelse)
+            return
+        if isinstance(stmt, ast.Assert):
+            self.expr(stmt.test, testing=True)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.expr(stmt.iter, testing=False)
+            if isinstance(stmt, ast.AsyncFor):
+                self.events.append(_Event(_AWAIT, stmt))
+            self.block(stmt.body)
+            self.block(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.expr(item.context_expr, testing=False)
+            if isinstance(stmt, ast.AsyncWith):
+                self.events.append(_Event(_AWAIT, stmt))
+            self.block(stmt.body)
+            return
+        if isinstance(stmt, ast.Try):
+            self.block(stmt.body)
+            for handler in stmt.handlers:
+                self.block(handler.body)
+            self.block(stmt.orelse)
+            self.block(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._value_events(stmt.value)
+            attrs = tuple(sorted(_self_attrs(stmt.value)))
+            for target in stmt.targets:
+                self._bind(target, stmt, attrs)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._value_events(stmt.value)
+                self._bind(stmt.target, stmt, tuple(sorted(_self_attrs(stmt.value))))
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self.expr(stmt.value, testing=False)
+            attr = _self_attr(stmt.target)
+            if attr is not None:
+                self.events.append(_Event(_USE, stmt.target, attr=attr))
+                self.events.append(_Event(_WRITE, stmt.target, attr=attr))
+            return
+        # Expr, Return, Raise, Delete, Global, Pass…: evaluate children.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self.expr(child, testing=False)
+
+    def _value_events(self, value: ast.expr) -> None:
+        """Events for an assignment's right-hand side.
+
+        A *bare* ``self.x`` read being snapshotted into a local (or a
+        tuple of such reads — the swap idiom) is a re-read, not an act
+        relying on a stale guard, so it emits no USE; the DERIVE the
+        caller records carries the attribute instead.  Anything deeper
+        (``self.x`` nested in a call's arguments) still counts as a use.
+        """
+        if _self_attr(value) is not None:
+            return
+        if isinstance(value, ast.Tuple):
+            for element in value.elts:
+                if _self_attr(element) is None:
+                    self.expr(element, testing=False)
+            return
+        self.expr(value, testing=False)
+
+    def _bind(self, target: ast.expr, stmt: ast.stmt, attrs: Tuple[str, ...]) -> None:
+        attr = _self_attr(target)
+        if attr is not None:
+            self.events.append(_Event(_WRITE, target, attr=attr))
+        elif isinstance(target, ast.Name):
+            self.events.append(_Event(_DERIVE, stmt, local=target.id, attrs=attrs))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, stmt, attrs)
+        elif isinstance(target, ast.Attribute):
+            # writes through a self attribute (self.x.y = …) touch x
+            base = _self_attr(target.value)
+            if base is not None:
+                self.events.append(_Event(_USE, target, attr=base))
+        elif isinstance(target, ast.Subscript):
+            # a subscript store (self.x[k] = …) acts on x's contents
+            base = _self_attr(target.value)
+            if base is not None:
+                self.events.append(_Event(_USE, target, attr=base))
+
+    def expr(self, node: ast.expr, testing: bool) -> None:
+        """Emit events for one expression, evaluation order (awaits last)."""
+        if isinstance(node, ast.Await):
+            self.expr(node.value, testing=False)
+            self.events.append(_Event(_AWAIT, node))
+            return
+        if isinstance(node, ast.Attribute):
+            attr = _self_attr(node)
+            if attr is None:
+                # a deeper chain (self.x.y): events come from the base
+                self.expr(node.value, testing=testing)
+                return
+            kind = _TEST if testing else _USE
+            self.events.append(_Event(kind, node, attr=attr))
+            return
+        if isinstance(node, ast.Name):
+            if testing:
+                self.events.append(_Event(_TEST_LOCAL, node, local=node.id))
+            return
+        if isinstance(node, (ast.Lambda,)):
+            return  # deferred body; not executed here
+        if isinstance(node, ast.NamedExpr):
+            self.expr(node.value, testing=testing)
+            if isinstance(node.target, ast.Name):
+                self.events.append(
+                    _Event(
+                        _DERIVE,
+                        node,
+                        local=node.target.id,
+                        attrs=tuple(sorted(_self_attrs(node.value))),
+                    )
+                )
+                if testing:
+                    self.events.append(
+                        _Event(_TEST_LOCAL, node.target, local=node.target.id)
+                    )
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.expr(child, testing=testing)
+            elif isinstance(child, ast.keyword):
+                self.expr(child.value, testing=testing)
+            elif isinstance(child, ast.comprehension):
+                self.expr(child.iter, testing=False)
+                for cond in child.ifs:
+                    self.expr(cond, testing=False)
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.x`` (exactly one level) → ``"x"``; anything else → None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _self_attrs(node: ast.expr) -> Set[str]:
+    """Every first-level ``self.<attr>`` read anywhere under ``node``."""
+    attrs: Set[str] = set()
+    for sub in ast.walk(node):
+        attr = _self_attr(sub)
+        if attr is not None:
+            attrs.add(attr)
+    return attrs
+
+
+@register_rule
+class AsyncAtomicityRule(Rule):
+    """Flag read-check-write of ``self`` state spanning an ``await``."""
+
+    id = "RPL102"
+    title = "check-then-act on shared state must not span an await"
+    default_options = {"paths": ["*repro/service/*"]}
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        patterns = list(self.opt("paths"))
+        for module in project.modules:
+            if not any(path_matches(module.rel, pat) for pat in patterns):
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.AsyncFunctionDef):
+                    yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: Module, fn: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        linearizer = _Linearizer()
+        linearizer.block(fn.body)
+
+        epoch = 0  # bumped at every await
+        # attr → (state, line of the establishing test); state is
+        # "fresh" (tested since the last await) or "stale".
+        guarded: Dict[str, Tuple[str, int]] = {}
+        # local → (attrs it derives from, epoch of derivation)
+        derives: Dict[str, Tuple[Tuple[str, ...], int]] = {}
+
+        for event in linearizer.events:
+            if event.kind == _AWAIT:
+                epoch += 1
+                for attr, (state, line) in list(guarded.items()):
+                    if state == "fresh":
+                        guarded[attr] = ("stale", line)
+            elif event.kind == _TEST and event.attr is not None:
+                guarded[event.attr] = ("fresh", getattr(event.node, "lineno", 0))
+            elif event.kind == _DERIVE and event.local is not None:
+                derives[event.local] = (event.attrs, epoch)
+            elif event.kind == _TEST_LOCAL and event.local is not None:
+                attrs, derived_epoch = derives.get(event.local, ((), -1))
+                line = getattr(event.node, "lineno", 0)
+                for attr in attrs:
+                    if derived_epoch == epoch:
+                        guarded[attr] = ("fresh", line)
+                    else:
+                        # testing a pre-await snapshot: the guard exists
+                        # but proves nothing about the current state
+                        guarded[attr] = ("stale", line)
+            elif event.kind in (_USE, _WRITE) and event.attr is not None:
+                state, line = guarded.get(event.attr, ("", 0))
+                if state == "stale":
+                    verb = "written" if event.kind == _WRITE else "used"
+                    yield module.finding(
+                        self.id,
+                        event.node,
+                        f"self.{event.attr} was checked (line {line}) and "
+                        f"is {verb} after an intervening 'await' without "
+                        "re-validation; another task may have changed it — "
+                        "re-check it, or snapshot it into a local after "
+                        "the last await and test that",
+                    )
+                    # report each stale guard once; a re-check resets it
+                    guarded.pop(event.attr, None)
+                elif event.kind == _WRITE:
+                    # an unconditional write re-establishes the state
+                    guarded.pop(event.attr, None)

@@ -1,0 +1,148 @@
+"""RPL103 — RNG seeds must trace back to ``util/rng.derive_seed``.
+
+RPL001 forces every generator construction through ``as_rng`` /
+``SeedSequenceFactory``; this rule checks what is *fed* to them.  Ad-hoc
+seed material — ``hash(name)``, ``seed + worker_id``, a value of unknown
+provenance — silently correlates or collides streams that the paper's
+variance study (Table V) assumes are independent.  The blessed
+derivation is exactly one function: ``derive_seed(base, *labels)``
+(and its :class:`SeedSequenceFactory` wrappers ``seed``/``spawn``/
+``generator``), which the taint engine propagates through any depth of
+helper functions.
+
+A seed argument is accepted when any of these hold:
+
+* its value carries *blessed* taint (derives from a ``derive_seed`` /
+  factory call, possibly through helpers — the interprocedural part);
+* it is a literal constant (pinned seeds in entry points) or ``None``
+  (the library default);
+* it is a bare name or attribute that *names a seed or rng by
+  convention* — ``seed``, ``cfg.seed``, ``base_seed``, ``rng`` — i.e. a
+  conduit parameter or config field whose lineage is the caller's
+  responsibility at *its* construction site.
+
+Everything else — arithmetic on seeds, ``hash()``, ``len()``, time- or
+id-derived material — is a finding at the construction call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    Rule,
+    dotted_name,
+    path_matches,
+    register_rule,
+)
+
+#: Call-name suffixes whose results are blessed seed material.
+_BLESSED_CALL_SUFFIXES = ("derive_seed", "seed", "spawn", "generator")
+
+#: Name suffixes that mark a conduit variable/field as seed material.
+_SEED_NAMES = ("seed", "rng")
+
+
+def _blessed_source(dotted: Optional[str]) -> bool:
+    """Taint-source predicate handed to the engine: blessed derivations."""
+    if dotted is None:
+        return False
+    last = dotted.split(".")[-1]
+    return last in _BLESSED_CALL_SUFFIXES
+
+
+def _conventional_seed_name(node: ast.expr) -> bool:
+    """Bare ``seed``/``cfg.seed``/``base_seed``/``rng`` style spellings."""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return False
+    name = name.lower().lstrip("_")
+    return any(name == s or name.endswith("_" + s) for s in _SEED_NAMES)
+
+
+@register_rule
+class SeedLineageRule(Rule):
+    """Flag RNG constructions whose seed does not trace to derive_seed."""
+
+    id = "RPL103"
+    title = "RNG seeds must trace back to util/rng.derive_seed"
+    scope = "program"
+    default_options = {
+        # Construction entry points whose first (or ``seed=``) argument
+        # is checked.  Matched by dotted-name suffix.
+        "constructors": ["as_rng", "SeedSequenceFactory", "default_rng", "RandomState"],
+        # Modules exempt from the check (the plumbing itself).
+        "allow": ["repro/util/rng.py"],
+    }
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        from repro.analysis.dataflow import SOURCE, TaintEngine
+
+        index = project.program()
+        engine = TaintEngine(index, is_source=_blessed_source)
+        engine.solve()
+        constructors = tuple(self.opt("constructors"))
+        allow = list(self.opt("allow"))
+
+        for qual, info in sorted(index.functions.items()):
+            if any(path_matches(info.module.rel, pat) for pat in allow):
+                continue
+            # Cheap syntactic prefilter before paying for an analysis pass.
+            if not any(
+                self._constructor_name(node, constructors) is not None
+                for node in ast.walk(info.node)
+                if isinstance(node, ast.Call)
+            ):
+                continue
+            analysis = engine.analyze(qual)
+            for event in analysis.calls:
+                name = self._constructor_name(event.node, constructors)
+                if name is None:
+                    continue
+                seed_expr, labels = self._seed_argument(event)
+                if seed_expr is None:
+                    continue  # no seed argument: library default, fine
+                if SOURCE in labels:
+                    continue  # traced to derive_seed (possibly via helpers)
+                if isinstance(seed_expr, ast.Constant):
+                    continue  # pinned literal / None
+                if _conventional_seed_name(seed_expr):
+                    continue  # conduit parameter or config seed field
+                yield info.module.finding(
+                    self.id,
+                    event.node,
+                    f"seed argument of {name}(...) does not trace back to "
+                    "util/rng.derive_seed (nor is it a pinned literal or a "
+                    "declared seed field); derive child seeds with "
+                    "derive_seed(base, *labels) instead of ad-hoc material",
+                )
+
+    @staticmethod
+    def _constructor_name(node: ast.Call, constructors: tuple) -> Optional[str]:
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return None
+        last = dotted.split(".")[-1]
+        return dotted if last in constructors else None
+
+    @staticmethod
+    def _seed_argument(event) -> "tuple[Optional[ast.expr], frozenset]":
+        """The seed expression and its taint labels, or ``(None, ∅)``."""
+        node = event.node
+        if node.args:
+            labels = event.arg_labels[0] if event.arg_labels else frozenset()
+            return node.args[0], labels
+        for kw in node.keywords:
+            if kw.arg in ("seed", "base_seed"):
+                # keyword labels are not recorded on the event; fall back
+                # to the syntactic checks plus a direct blessed-call test.
+                dotted = dotted_name(kw.value.func) if isinstance(kw.value, ast.Call) else None
+                labels = frozenset({"SOURCE"}) if _blessed_source(dotted) else frozenset()
+                return kw.value, labels
+        return None, frozenset()

@@ -1,0 +1,170 @@
+"""RPL104 — callables shipped into process pools must be pure.
+
+The byte-identical solve contract (DESIGN.md §11) survives a
+``ProcessPoolExecutor`` hop only because the worker entry point is a
+frozen, picklable, module-level function whose behaviour depends on its
+arguments alone.  A lambda will not pickle; a bound method drags its
+instance across the fork; a worker that mutates module globals computes
+different answers depending on which pool process it lands in and what
+ran there before.
+
+The rule finds pool submission sites — ``loop.run_in_executor(ex, fn,
+…)`` and ``pool.submit(fn, …)`` where the receiver names an
+executor/pool — and checks the submitted callable:
+
+* a lambda or locally-defined closure is rejected outright;
+* a dynamically-bound callable (``self._solve_batch_fn``) cannot be
+  verified statically and is a finding — bind a module-level function,
+  or acknowledge the injection seam with a justified inline ignore;
+* a resolvable module-level function is checked transitively over the
+  call graph: ``global``/``nonlocal`` statements and ``self``-state
+  writes anywhere in its closure are impurities.  Process-local
+  accessor singletons that are *designed* to be per-process (fault
+  injector, tracer, metrics registry) are exempted via the
+  ``allow-calls`` option — the closure walk does not descend into them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import Finding, Project, Rule, dotted_name, register_rule
+
+#: Receiver-name fragments that mark a ``.submit`` call as a pool hop.
+_POOL_RECEIVER_HINTS = ("pool", "executor")
+
+
+def _submission(call: ast.Call) -> Optional[Tuple[str, int]]:
+    """``(description, index of the callable argument)`` for pool hops.
+
+    ``loop.run_in_executor(executor, fn, *args)`` → index 1;
+    ``<pool-ish>.submit(fn, *args)`` → index 0.  ``.submit`` on
+    receivers that do not name a pool/executor (the request
+    micro-batcher) is not a process hop and is skipped.
+    """
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    if parts[-1] == "run_in_executor":
+        # A literal None executor is the event loop's default *thread*
+        # pool: same process, so purity and picklability do not apply.
+        if call.args and isinstance(call.args[0], ast.Constant) and call.args[0].value is None:
+            return None
+        return dotted, 1
+    if parts[-1] == "submit" and len(parts) >= 2:
+        receiver = parts[-2].lower()
+        if any(hint in receiver for hint in _POOL_RECEIVER_HINTS):
+            return dotted, 0
+    return None
+
+
+@register_rule
+class ProcessPurityRule(Rule):
+    """Flag impure or unverifiable callables crossing the process boundary."""
+
+    id = "RPL104"
+    title = "process-pool workers must be pure module-level functions"
+    scope = "program"
+    default_options = {
+        # Callee-name suffixes the purity walk treats as opaque-but-safe:
+        # accessors for deliberately process-local singletons.
+        "allow-calls": [],
+    }
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        index = project.program()
+        allow = tuple(self.opt("allow-calls"))
+        for qual, sites in sorted(index.call_sites.items()):
+            info = index.functions[qual]
+            for site in sites:
+                sub = _submission(site.node)
+                if sub is None:
+                    continue
+                described, fn_index = sub
+                if fn_index >= len(site.node.args):
+                    continue
+                fn_expr = site.node.args[fn_index]
+                yield from self._check_callable(
+                    project, index, info, site.node, described, fn_expr, allow
+                )
+
+    def _check_callable(
+        self, project, index, info, call, described, fn_expr, allow
+    ) -> Iterator[Finding]:
+        module = info.module
+        if isinstance(fn_expr, ast.Lambda):
+            yield module.finding(
+                self.id,
+                fn_expr,
+                f"lambda submitted to {described}(...); pool workers must "
+                "be module-level functions (lambdas do not pickle and "
+                "capture ambient state)",
+            )
+            return
+        dotted = dotted_name(fn_expr)
+        if dotted is None:
+            return  # expression call results etc.: out of scope
+        target = index.resolve(
+            _module_name(index, module), dotted, cls=info.cls
+        )
+        if target is None:
+            if dotted.startswith("self.") or "." not in dotted:
+                yield module.finding(
+                    self.id,
+                    fn_expr,
+                    f"{dotted} submitted to {described}(...) cannot be "
+                    "purity-checked statically (dynamically-bound "
+                    "callable); bind a module-level worker function, or "
+                    "acknowledge the injection seam with "
+                    "'# repro-lint: ignore[RPL104] -- <why>'",
+                )
+            return  # external library callable: nothing to verify
+        for offender, reason, node in self._impurities(index, target, allow):
+            yield module.finding(
+                self.id,
+                call,
+                f"{dotted} submitted to {described}(...) is not "
+                f"cross-process pure: {offender} {reason}",
+            )
+
+    def _impurities(
+        self, index, root: str, allow: Tuple[str, ...]
+    ) -> Iterator[Tuple[str, str, ast.AST]]:
+        """Walk the call-graph closure of ``root`` looking for impurity."""
+        seen: Set[str] = set()
+        frontier: List[str] = [root]
+        while frontier:
+            qual = frontier.pop(0)
+            if qual in seen or qual not in index.functions:
+                continue
+            seen.add(qual)
+            info = index.functions[qual]
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Global):
+                    yield qual, (
+                        "mutates module globals "
+                        f"('global {', '.join(node.names)}'), so results "
+                        "depend on which pool process runs the task"
+                    ), node
+                elif isinstance(node, ast.Nonlocal):
+                    yield qual, "captures and mutates enclosing scope", node
+            for site in index.call_sites.get(qual, ()):
+                callee = site.callee
+                if callee is None:
+                    continue
+                if any(callee.split(".")[-1] == a or callee.endswith(a) for a in allow):
+                    continue  # sanctioned process-local accessor
+                target = callee
+                if target in index.classes:
+                    init = f"{target}.__init__"
+                    target = init if init in index.functions else target
+                if target in index.functions and target not in seen:
+                    frontier.append(target)
+
+
+def _module_name(index, module) -> str:
+    from repro.analysis.program import module_name_for
+
+    return module_name_for(module.rel)

@@ -300,7 +300,12 @@ class MappingService:
         rendered = json.dumps(
             response, sort_keys=True, separators=_JSON_SEPARATORS
         ).encode("utf-8")
-        self._body_cache.put(body_key, rendered)
+        # The miss observed before the solve's awaits is stale by now: a
+        # concurrent request for the same body may have rendered and
+        # cached already.  Re-check side-effect-free so the first writer
+        # wins and its TTL window is not silently restarted.
+        if self._body_cache.peek(body_key) is None:
+            self._body_cache.put(body_key, rendered)
         return 200, {"X-Repro-Cache": cache_state}, rendered
 
     async def _solve_canonical(
@@ -448,7 +453,10 @@ class MappingService:
         rendered = json.dumps(
             response, sort_keys=True, separators=_JSON_SEPARATORS
         ).encode("utf-8")
-        self._body_cache.put(body_key, rendered)
+        # Same stale-miss window as /map: only the first writer for this
+        # body key populates the cache after the solve's awaits.
+        if self._body_cache.peek(body_key) is None:
+            self._body_cache.put(body_key, rendered)
         return 200, {"X-Repro-Cache": cache_state}, rendered
 
     def healthz(self) -> Response:
@@ -720,6 +728,14 @@ class MappingService:
         """
         if self._executor is None:
             await self.start()
+        # start()'s awaits are scheduling points: a concurrent aclose()
+        # may have torn the pool down again.  Snapshot after the last
+        # await and act on the snapshot — run_in_executor(None, ...)
+        # would silently fall back to the default thread pool and break
+        # process isolation.
+        executor = self._executor
+        if executor is None:
+            raise WorkerCrashed("executor closed while dispatching batch")
         tracer = self.tracer
         span = (
             tracer.begin(
@@ -744,7 +760,9 @@ class MappingService:
         loop = asyncio.get_running_loop()
         try:
             results = await loop.run_in_executor(
-                self._executor, self._solve_batch_fn, batch
+                executor,
+                self._solve_batch_fn,  # repro-lint: ignore[RPL104] -- injection seam: defaults to worker.solve_batch (purity-checked); tests swap in crash/latency doubles
+                batch,
             )
         except (BrokenExecutor, InjectedCrash) as exc:
             if span is not None:

@@ -237,15 +237,16 @@ class MicroBatcher:
 
     async def _dispatch_once(self, items: List[Item]) -> Dict[str, Any]:
         """One dispatch attempt, bounded by the solve deadline."""
-        if self.deadline > 0:
+        deadline = self.deadline
+        if deadline > 0:
             try:
                 return await asyncio.wait_for(
-                    self._dispatch(items), timeout=self.deadline
+                    self._dispatch(items), timeout=deadline
                 )
             except asyncio.TimeoutError:
                 self.deadline_timeouts += 1
                 raise DeadlineExceeded(
-                    self.deadline, [key for key, _payload in items]
+                    deadline, [key for key, _payload in items]
                 ) from None
         return await self._dispatch(items)
 

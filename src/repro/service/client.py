@@ -176,9 +176,13 @@ class AsyncMappingClient:
         """Open the TCP connection (idempotent; auto-called by requests)."""
         if self._writer is not None:
             return
-        self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port
-        )
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        if self._writer is not None:
+            # A concurrent connect() won the race while open_connection
+            # was in flight; keep its socket and drop ours.
+            writer.close()
+            return
+        self._reader, self._writer = reader, writer
 
     async def close(self) -> None:
         """Close the connection, swallowing already-dead sockets.
@@ -387,7 +391,13 @@ class AsyncMappingClient:
     async def _roundtrip(
         self, method: str, path: str, body: bytes
     ) -> Tuple[int, Dict[str, str], bytes]:
-        assert self._reader is not None and self._writer is not None
+        # Snapshot the stream pair: a concurrent close() may null the
+        # attributes at any drain/readline suspension point, and a
+        # half-finished exchange must keep talking to *its* socket (the
+        # closed one surfaces as IncompleteReadError → retry path)
+        # rather than crash on a None attribute.
+        reader, writer = self._reader, self._writer
+        assert reader is not None and writer is not None
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
@@ -395,16 +405,16 @@ class AsyncMappingClient:
             f"Content-Length: {len(body)}\r\n"
             f"\r\n"
         ).encode("latin-1")
-        self._writer.write(head + body)
-        await self._writer.drain()
-        status_line = await self._reader.readline()
+        writer.write(head + body)
+        await writer.drain()
+        status_line = await reader.readline()
         if not status_line:
             raise asyncio.IncompleteReadError(partial=b"", expected=1)
         parts = status_line.decode("latin-1").split(None, 2)
         status = int(parts[1])
         headers: Dict[str, str] = {}
         while True:
-            raw = await self._reader.readline()
+            raw = await reader.readline()
             if raw in (b"\r\n", b"\n"):
                 break
             if not raw:
@@ -412,7 +422,7 @@ class AsyncMappingClient:
             name, _sep, value = raw.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0"))
-        payload = await self._reader.readexactly(length) if length else b""
+        payload = await reader.readexactly(length) if length else b""
         if headers.get("connection", "").lower() == "close":
             await self.close()
         return status, headers, payload

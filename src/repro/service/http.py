@@ -111,10 +111,13 @@ class MappingServer:
     async def shutdown(self) -> None:
         """Graceful drain: finish busy requests, then stop the pipeline."""
         self._closing = True
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        # Swap the handle out *before* awaiting so a concurrent
+        # shutdown() (signal + explicit call) can't double-drain: the
+        # second caller sees None and skips straight to the conn sweep.
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
         # Idle keep-alive connections are parked in readline(); closing
         # them delivers EOF and their handlers exit.  Busy ones finish
         # their current response first.
@@ -186,7 +189,7 @@ class MappingServer:
                 elapsed_ms = (self.service.clock() - started) * 1000.0
                 self.service.metrics.observe_latency_ms(elapsed_ms)
                 keep_alive = (
-                    not self._closing
+                    not self._closing  # repro-lint: ignore[RPL102] -- deliberate fresh re-read: the decision wants the *current* drain state, it does not rely on the loop-top guard
                     and request.headers.get("connection", "").lower() != "close"
                 )
                 # Chaos site: a scheduled `reset` here drops the fully

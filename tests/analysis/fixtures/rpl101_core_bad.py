@@ -1,0 +1,21 @@
+"""Fixture: a 'protected' module that ingests laundered entropy.
+
+Linted with ``rpl101.protected = ["*rpl101_core_*.py"]``; there are no
+direct clock reads here (RPL002 stays quiet), but RPL101 must flag both
+entry points.
+"""
+
+import rpl101_helper
+
+
+def simulate(steps: int) -> float:
+    # Seeded violation (arm 1): the helper's return value derives from
+    # time.time() two calls away.
+    noise = rpl101_helper.jitter()
+    return steps * noise
+
+
+def consume(value: float) -> float:
+    # Tainted via rpl101_helper.drive(); the finding anchors at that
+    # call site (arm 2), not here.
+    return value * 2.0

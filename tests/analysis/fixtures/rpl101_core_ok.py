@@ -1,0 +1,20 @@
+"""Fixture: a 'protected' module that stays entropy-free.
+
+The injected-clock idiom (storing ``time.monotonic`` itself, a function
+*reference*, never a call result) and plain config-derived math must
+not fire RPL101.
+"""
+
+import time
+
+import rpl101_helper
+
+
+class Telemetry:
+    def __init__(self, clock=time.monotonic):
+        # Reference, not a read: sanctioned injection seam.
+        self._clock = clock
+
+
+def simulate(steps: int, scale: float) -> float:
+    return rpl101_helper.pure_offset(steps * scale)

@@ -1,0 +1,35 @@
+"""Fixture: un-protected helpers that read and launder the wall clock.
+
+Support module for the RPL101 corpus — the violations live in the
+*flows* between this module and ``rpl101_core_bad.py``: a direct read
+here is RPL002's finding; RPL101 fires where the laundered value
+crosses into the protected module.
+"""
+
+import time
+
+import rpl101_core_bad
+
+
+def now_seconds() -> float:
+    return time.time()
+
+
+def launder(value: float) -> float:
+    # Arithmetic keeps the taint: the result still derives from a clock.
+    return value * 0.5 + 1.0
+
+
+def jitter() -> float:
+    # Transitive: SOURCE flows through two helper frames.
+    return launder(now_seconds())
+
+
+def drive() -> float:
+    # Seeded violation (arm 2): hands a clock-derived argument into a
+    # function defined in the protected module.
+    return rpl101_core_bad.consume(launder(now_seconds()))
+
+
+def pure_offset(base: float) -> float:
+    return base + 2.0

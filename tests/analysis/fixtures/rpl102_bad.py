@@ -1,0 +1,62 @@
+"""Fixture: check-then-act across ``await`` (RPL102 must flag all three).
+
+Each method mirrors a pattern found (and fixed) in the real service:
+the lazy-start executor race, the render-then-cache lost update, and
+acting on a pre-suspension snapshot.
+"""
+
+import asyncio
+
+
+class Service:
+    def __init__(self) -> None:
+        self._executor = None
+        self._cache = Cache()
+
+    async def start(self) -> None:
+        await asyncio.sleep(0)
+        self._executor = object()
+
+    async def _compute(self, key: str) -> bytes:
+        await asyncio.sleep(0)
+        return key.encode()
+
+    async def dispatch(self, batch: list):
+        # Seeded violation 1: the None-check precedes start()'s awaits;
+        # a concurrent close() can null the executor again.
+        if self._executor is None:
+            await self.start()
+        return self._executor.run(batch)
+
+    async def render(self, key: str) -> bytes:
+        # Seeded violation 2: the miss observed before the await is
+        # stale by the time of the put (double render, TTL restart).
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        body = await self._compute(key)
+        self._cache.put(key, body)
+        return body
+
+    async def refresh(self, key: str) -> bytes:
+        # Seeded violation 3: testing a pre-await snapshot proves
+        # nothing about the cache's current contents.
+        snapshot = self._cache.get(key)
+        body = await self._compute(key)
+        if snapshot is None:
+            self._cache.put(key, body)
+        return body
+
+
+class Cache:
+    def __init__(self) -> None:
+        self._data = {}
+
+    def get(self, key: str):
+        return self._data.get(key)
+
+    def put(self, key: str, value: bytes) -> None:
+        self._data[key] = value
+
+    def peek(self, key: str):
+        return self._data.get(key)

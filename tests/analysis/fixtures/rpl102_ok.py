@@ -1,0 +1,61 @@
+"""Fixture: the sanctioned re-validation shapes (RPL102 must stay quiet).
+
+Same business logic as ``rpl102_bad.py``, written the atomic way:
+snapshot-after-await-and-test, re-check before acting, swap before
+awaiting.
+"""
+
+import asyncio
+
+
+class Service:
+    def __init__(self) -> None:
+        self._executor = None
+        self._cache = Cache()
+
+    async def start(self) -> None:
+        await asyncio.sleep(0)
+        self._executor = object()
+
+    async def _compute(self, key: str) -> bytes:
+        await asyncio.sleep(0)
+        return key.encode()
+
+    async def dispatch(self, batch: list):
+        if self._executor is None:
+            await self.start()
+        # Snapshot after the last await; act on the snapshot.
+        executor = self._executor
+        if executor is None:
+            raise RuntimeError("executor closed while dispatching")
+        return executor.run(batch)
+
+    async def render(self, key: str) -> bytes:
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        body = await self._compute(key)
+        # Re-check (side-effect-free) so the first writer wins.
+        if self._cache.peek(key) is None:
+            self._cache.put(key, body)
+        return body
+
+    async def close(self) -> None:
+        # Swap before awaiting: a second close() sees None and returns.
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            await asyncio.sleep(0)
+
+
+class Cache:
+    def __init__(self) -> None:
+        self._data = {}
+
+    def get(self, key: str):
+        return self._data.get(key)
+
+    def put(self, key: str, value: bytes) -> None:
+        self._data[key] = value
+
+    def peek(self, key: str):
+        return self._data.get(key)

@@ -1,0 +1,26 @@
+"""Fixture: RNG constructors fed ad-hoc seed material (RPL103 flags all three).
+
+Seeds that are hashed, arithmetically mangled, or derived from data-set
+shape cannot be traced back to ``derive_seed`` — exactly the lineage
+breaks the rule exists to catch.
+"""
+
+from repro.util.rng import SeedSequenceFactory, as_rng
+
+
+def from_hash(name: str):
+    # Seeded violation 1: hash() is salted per-process; the seed is not
+    # reproducible, let alone derived.
+    return as_rng(hash(name))
+
+
+def from_arithmetic(seed: int):
+    # Seeded violation 2: ad-hoc mangling forks the seed universe
+    # instead of going through derive_seed(seed, label).
+    return as_rng(seed * 2 + 1)
+
+
+def from_shape(items: list):
+    # Seeded violation 3: data-dependent seeding couples the stream to
+    # the workload size.
+    return SeedSequenceFactory(len(items))

@@ -1,0 +1,43 @@
+"""Fixture: blessed seed lineages (RPL103 must stay quiet).
+
+Every constructor call here either traces to ``derive_seed`` (directly
+or through a local helper), forwards a conventionally-named seed, or
+uses a literal.
+"""
+
+from repro.util.rng import SeedSequenceFactory, as_rng, derive_seed
+
+
+def direct(seed: int, label: str):
+    return as_rng(derive_seed(seed, label))
+
+
+def make_seed(base: int, label: str) -> int:
+    return derive_seed(base, "fixture", label)
+
+
+def transitive(seed: int):
+    # Lineage flows through the local helper's summary.
+    return as_rng(make_seed(seed, "transitive"))
+
+
+def from_config(cfg):
+    # Conventional name: cfg.seed is trusted to have been derived upstream.
+    return as_rng(cfg.seed)
+
+
+def forwarded(seed: int):
+    return SeedSequenceFactory(seed)
+
+
+def literal():
+    return as_rng(12345)
+
+
+def default():
+    return as_rng()
+
+
+def via_factory(factory: SeedSequenceFactory, label: str):
+    # factory.seed() is itself a blessed derivation.
+    return as_rng(factory.seed(label))

@@ -1,0 +1,46 @@
+"""Fixture: impure callables shipped to worker processes (RPL104 flags all four).
+
+Module globals mutated inside a ProcessPool worker only change the
+*child's* interpreter; lambdas and dynamically-bound attributes cannot
+be vetted (or, for real process pools, pickled) at all.
+"""
+
+_counter = 0
+
+
+def bump_counter(step: int) -> int:
+    # Mutates parent-process state that the child never sees.
+    global _counter
+    _counter += step
+    return _counter
+
+
+def record(value: int) -> int:
+    return bump_counter(value)
+
+
+def solve(pool, items: list):
+    futures = []
+    for item in items:
+        # Seeded violation 1: directly impure worker.
+        futures.append(pool.submit(bump_counter, item))
+    return futures
+
+
+def solve_indirect(pool, items: list):
+    # Seeded violation 2: impurity two calls down (record -> bump_counter).
+    return [pool.submit(record, item) for item in items]
+
+
+def solve_inline(pool, items: list):
+    # Seeded violation 3: lambdas are never accepted.
+    return [pool.submit(lambda x: x + 1, item) for item in items]
+
+
+class Runner:
+    def __init__(self, fn):
+        self._fn = fn
+
+    def run(self, executor, payload):
+        # Seeded violation 4: dynamically-bound callable, unverifiable.
+        return executor.submit(self._fn, payload)

@@ -1,0 +1,39 @@
+"""Fixture: pool-safe workers (RPL104 must stay quiet).
+
+``scale`` is transparently pure; ``solve_with_context`` relies on the
+``get_context`` accessor, which the fixture config whitelists via
+``allow-calls`` as a sanctioned per-process singleton.
+"""
+
+_context = None
+
+
+def get_context():
+    # Per-process lazy singleton: mutation is deliberate and local to
+    # whichever process runs it. Whitelisted via rpl104.allow-calls.
+    global _context
+    if _context is None:
+        _context = {"ready": True}
+    return _context
+
+
+def scale(value: float) -> float:
+    return value * 2.0
+
+
+def with_context(value: float) -> float:
+    ctx = get_context()
+    return value if ctx["ready"] else 0.0
+
+
+def solve(pool, items: list):
+    return [pool.submit(scale, item) for item in items]
+
+
+def solve_with_context(pool, items: list):
+    return [pool.submit(with_context, item) for item in items]
+
+
+def local_submit(batcher, items: list):
+    # Receiver is not a pool/executor: same-process submission API.
+    return [batcher.submit(lambda x: x, item) for item in items]

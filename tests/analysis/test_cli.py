@@ -45,6 +45,33 @@ class TestLintCommand:
         for rule_id in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005"):
             assert rule_id in out
 
+    def test_sarif_format(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        code, out = run_cli(
+            ["lint", "tests/analysis/fixtures/rpl001_bad.py",
+             "--format", "sarif"],
+            capsys,
+        )
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["version"] == "2.1.0"
+        results = payload["runs"][0]["results"]
+        assert {r["ruleId"] for r in results} == {"RPL001"}
+        uri = results[0]["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+        assert uri == "tests/analysis/fixtures/rpl001_bad.py"
+
+    def test_no_cache_flag_and_env_give_same_answer(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.chdir(REPO_ROOT)
+        target = "tests/analysis/fixtures/rpl001_bad.py"
+        _, cold = run_cli(["lint", target, "--no-cache"], capsys)
+        monkeypatch.setenv("REPRO_LINT_NO_CACHE", "1")
+        _, env_cold = run_cli(["lint", target], capsys)
+        monkeypatch.delenv("REPRO_LINT_NO_CACHE")
+        _, warm = run_cli(["lint", target], capsys)
+        assert cold == env_cold == warm
+
     def test_missing_config_exits_two(self, capsys, monkeypatch):
         monkeypatch.chdir(REPO_ROOT)
         code, out = run_cli(

@@ -1,0 +1,201 @@
+"""Incremental-lint contract: warm runs hit the cache, damaged caches
+never change the answer.
+
+Mirrors ``tests/experiments/test_cache_corruption.py``: a corrupt,
+stale, truncated, or cross-file-collided entry is a *miss* that falls
+back to full re-analysis — byte-identical findings, never an exception.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.core import LintConfig, all_rules, load_project, run_lint
+from repro.analysis.incremental import (
+    CACHE_DIR_NAME,
+    LintCache,
+    run_lint_incremental,
+)
+
+
+def write_tree(root) -> None:
+    pkg = root / "pkg"
+    pkg.mkdir()
+    # File-scoped finding: RPL001 on stdlib random.
+    (pkg / "a.py").write_text(
+        "import random\n\ndef f():\n    return random.random()\n"
+    )
+    # Program-scoped finding: RPL004 ghost field (no reads anywhere).
+    (pkg / "b.py").write_text(
+        "from dataclasses import dataclass\n\n\n"
+        "@dataclass\nclass Cfg:\n    ghost: int = 0\n"
+    )
+    (pkg / "c.py").write_text("def g(x):\n    return x + 1\n")
+    tier = root / "tier"
+    tier.mkdir()
+    (tier / "t.py").write_text(
+        "import random\n\ndef h():\n    return random.random()\n"
+    )
+
+
+def make_config() -> LintConfig:
+    cfg = LintConfig(paths=["pkg"])
+    cfg.tiers = {"tier": ("RPL001",)}
+    cfg.rule_options = {"rpl004": {"config-classes": ["Cfg"]}}
+    return cfg
+
+
+@pytest.fixture
+def tree(tmp_path):
+    write_tree(tmp_path)
+    return tmp_path
+
+
+def lint_once(root, cache=None):
+    project = load_project(root, paths=None, config=make_config())
+    return run_lint_incremental(project, cache=cache)
+
+
+class TestWarmCache:
+    def test_cold_run_matches_run_lint_exactly(self, tree):
+        findings, stats = lint_once(tree)
+        project = load_project(tree, paths=None, config=make_config())
+        assert findings == run_lint(project)
+        assert {f.rule for f in findings} == {"RPL001", "RPL004"}
+        assert stats.file_misses == 4 and stats.file_hits == 0
+        assert stats.program_hit is False
+
+    def test_warm_run_reanalyzes_nothing(self, tree):
+        first, _ = lint_once(tree)
+        second, stats = lint_once(tree)
+        assert second == first
+        assert stats.file_hits == 4 and stats.file_misses == 0
+        assert stats.program_hit is True
+        assert stats.reanalyzed == []
+
+    def test_touching_one_primary_file_reanalyzes_only_it(self, tree):
+        lint_once(tree)
+        (tree / "pkg" / "c.py").write_text("def g(x):\n    return x + 2\n")
+        findings, stats = lint_once(tree)
+        assert stats.reanalyzed == ["pkg/c.py"]
+        assert stats.file_hits == 3
+        # A primary file changed, so the program bucket re-runs...
+        assert stats.program_hit is False
+        # ...to the same verdicts.
+        assert {f.rule for f in findings} == {"RPL001", "RPL004"}
+
+    def test_touching_a_tier_file_keeps_the_program_bucket_warm(self, tree):
+        lint_once(tree)
+        (tree / "tier" / "t.py").write_text("def h():\n    return 3\n")
+        _findings, stats = lint_once(tree)
+        assert stats.reanalyzed == ["tier/t.py"]
+        assert stats.program_hit is True
+
+    def test_changed_rule_options_invalidate_everything(self, tree):
+        lint_once(tree)
+        cfg = make_config()
+        cfg.rule_options["rpl004"] = {"config-classes": ["Other"]}
+        project = load_project(tree, paths=None, config=cfg)
+        findings, stats = run_lint_incremental(project)
+        assert stats.file_hits == 0 and stats.file_misses == 4
+        assert "RPL004" not in {f.rule for f in findings}
+
+
+def cache_entries(root):
+    return sorted((root / CACHE_DIR_NAME).glob("*.json"))
+
+
+class TestCorruptCache:
+    def test_truncated_entries_fall_back_to_full_reanalysis(self, tree):
+        first, _ = lint_once(tree)
+        for path in cache_entries(tree):
+            path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+        findings, stats = lint_once(tree)
+        assert findings == first
+        assert stats.file_hits == 0 and stats.file_misses == 4
+        assert stats.program_hit is False
+
+    def test_zero_byte_entries_are_misses(self, tree):
+        first, _ = lint_once(tree)
+        for path in cache_entries(tree):
+            path.write_bytes(b"")
+        findings, stats = lint_once(tree)
+        assert findings == first
+        assert stats.file_misses == 4
+
+    def test_wrong_shape_payloads_are_misses(self, tree):
+        first, _ = lint_once(tree)
+        for path in cache_entries(tree):
+            path.write_text(json.dumps([1, 2, 3]))
+        findings, _ = lint_once(tree)
+        assert findings == first
+
+    def test_mangled_finding_records_are_misses(self, tree):
+        first, _ = lint_once(tree)
+        for path in cache_entries(tree):
+            payload = json.loads(path.read_text())
+            payload["findings"] = [{"not": "a finding"}]
+            path.write_text(json.dumps(payload))
+        findings, stats = lint_once(tree)
+        assert findings == first
+        assert stats.file_hits == 0
+
+    def test_cross_file_key_collision_is_rejected(self, tree):
+        """An entry whose stored ``rel`` disagrees with the file being
+        linted (hash collision, hand-copied cache dir) must re-analyze,
+        not serve another file's findings."""
+        first, _ = lint_once(tree)
+        for path in cache_entries(tree):
+            payload = json.loads(path.read_text())
+            if "rel" in payload:
+                payload["rel"] = "somewhere/else.py"
+                path.write_text(json.dumps(payload))
+        findings, stats = lint_once(tree)
+        assert findings == first
+        assert stats.file_hits == 0 and stats.file_misses == 4
+
+    def test_repaired_after_corruption(self, tree):
+        lint_once(tree)
+        for path in cache_entries(tree):
+            path.write_bytes(b"\x00garbage")
+        lint_once(tree)
+        _findings, stats = lint_once(tree)
+        assert stats.file_hits == 4 and stats.program_hit is True
+
+
+class TestCacheObject:
+    def test_explicit_cache_location(self, tree, tmp_path_factory):
+        elsewhere = tmp_path_factory.mktemp("lint-cache")
+        cache = LintCache(elsewhere)
+        _findings, stats = lint_once(tree, cache=cache)
+        assert stats.file_misses == 4
+        assert list(elsewhere.glob("*.json"))
+        assert not (tree / CACHE_DIR_NAME).exists()
+        _findings, stats = lint_once(tree, cache=cache)
+        assert stats.file_hits == 4
+
+    def test_suppressions_always_fresh(self, tree):
+        """Adding a justified suppression changes the file hash, but the
+        point is stronger: suppression scanning happens outside the
+        cached payloads, so cached findings never bypass it."""
+        first, _ = lint_once(tree)
+        assert any(f.rule == "RPL001" for f in first)
+        # Cached RPL001 finding for tier/t.py is still subject to the
+        # tier filter and config ignores at finalize time.
+        cfg = make_config()
+        cfg.ignore = ("RPL001",)
+        project = load_project(tree, paths=None, config=cfg)
+        findings, _stats = run_lint_incremental(project)
+        assert all(f.rule != "RPL001" for f in findings)
+
+
+class TestRuleScopes:
+    def test_program_rules_are_marked(self):
+        scopes = {r.id: r.scope for r in all_rules()}
+        assert scopes["RPL003"] == "program"
+        assert scopes["RPL004"] == "program"
+        assert scopes["RPL101"] == "program"
+        assert scopes["RPL103"] == "program"
+        assert scopes["RPL104"] == "program"
+        assert scopes["RPL001"] == "file"
+        assert scopes["RPL102"] == "file"

@@ -1,17 +1,18 @@
-"""Reporter tests, including the byte-stable JSON snapshot."""
+"""Reporter tests, including the byte-stable JSON and SARIF snapshots."""
 
 import json
 from pathlib import Path
 
-from repro.analysis.core import Finding, load_project, run_lint
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.core import Finding, all_rules, load_project, run_lint
+from repro.analysis.reporters import render_json, render_sarif, render_text
 
 from tests.analysis.conftest import FIXTURES, fixture_config
 
 SNAPSHOT = Path(__file__).parent / "snapshots" / "fixtures_report.json"
+SARIF_SNAPSHOT = Path(__file__).parent / "snapshots" / "fixtures_report.sarif"
 
-#: The canonical config under which the snapshot was generated: every
-#: rule active, RPL003/RPL004 pointed at their fixtures.
+#: The canonical config under which the snapshots were generated: every
+#: rule active, the scoped rules pointed at their fixtures.
 SNAPSHOT_CONFIG = dict(
     rpl003={
         "scalar-modules": ["rpl003_bad.py"],
@@ -23,6 +24,9 @@ SNAPSHOT_CONFIG = dict(
     rpl004={"config-classes": ["FixtureConfig"]},
     rpl006={"paths": ["rpl006_*.py"]},
     rpl007={"paths": ["rpl007_*.py"]},
+    rpl101={"protected": ["*rpl101_core_*.py"]},
+    rpl102={"paths": ["rpl102_*.py"]},
+    rpl104={"allow-calls": ["get_context"]},
 )
 
 
@@ -62,7 +66,7 @@ class TestJsonReporter:
         assert sum(payload["counts"].values()) == payload["total"]
         assert {f["rule"] for f in payload["findings"]} == {
             "RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006",
-            "RPL007",
+            "RPL007", "RPL101", "RPL102", "RPL103", "RPL104",
         }
 
     def test_snapshot(self):
@@ -79,5 +83,45 @@ class TestJsonReporter:
         rendered = render_json(snapshot_findings()) + "\n"
         assert rendered == SNAPSHOT.read_text(), (
             "JSON report drifted from the snapshot; inspect the diff and "
+            "regenerate if intentional (see docstring)"
+        )
+
+
+class TestSarifReporter:
+    def test_shape(self):
+        findings = snapshot_findings()
+        payload = json.loads(render_sarif(findings, all_rules()))
+        assert payload["version"] == "2.1.0"
+        (run,) = payload["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        assert {"RPL001", "RPL101", "RPL104"} <= set(rule_ids)
+        assert len(run["results"]) == len(findings)
+        first = run["results"][0]
+        loc = first["locations"][0]["physicalLocation"]
+        assert loc["region"]["startLine"] == findings[0].line
+        # SARIF columns are 1-based; Finding.col is 0-based.
+        assert loc["region"]["startColumn"] == findings[0].col + 1
+
+    def test_rules_section_is_optional(self):
+        payload = json.loads(render_sarif([]))
+        assert payload["runs"][0]["tool"]["driver"]["rules"] == []
+        assert payload["runs"][0]["results"] == []
+
+    def test_snapshot(self):
+        """Byte-stable SARIF for the canonical fixture run.
+
+        Regenerate deliberately with::
+
+            PYTHONPATH=src:. python -c "
+            from tests.analysis.test_reporters import snapshot_findings, SARIF_SNAPSHOT
+            from repro.analysis.core import all_rules
+            from repro.analysis.reporters import render_sarif
+            SARIF_SNAPSHOT.write_text(render_sarif(snapshot_findings(), all_rules()) + '\\n')"
+        """
+        rendered = render_sarif(snapshot_findings(), all_rules()) + "\n"
+        assert rendered == SARIF_SNAPSHOT.read_text(), (
+            "SARIF report drifted from the snapshot; inspect the diff and "
             "regenerate if intentional (see docstring)"
         )

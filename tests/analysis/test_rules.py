@@ -195,6 +195,139 @@ class TestRPL007:
         assert lint_fixture("rpl007_bad.py", cfg) == []
 
 
+RPL101 = {"protected": ["*rpl101_core_*.py"]}
+
+
+def lint_fixtures(filenames, config) -> list:
+    project = load_project(FIXTURES, paths=list(filenames), config=config)
+    assert len(project.modules) == len(filenames)
+    return run_lint(project)
+
+
+class TestRPL101:
+    def test_flags_transitive_entropy_inside_protected_module(self):
+        findings = lint_fixtures(
+            ["rpl101_helper.py", "rpl101_core_bad.py"],
+            fixture_config(rpl101=RPL101),
+        )
+        taint = [f for f in findings if f.rule == "RPL101"]
+        arm1 = [f for f in taint if f.path.endswith("rpl101_core_bad.py")]
+        assert len(arm1) == 1
+        assert "jitter" in arm1[0].message
+        assert "wall-clock" in arm1[0].message
+
+    def test_flags_tainted_argument_crossing_into_protected_module(self):
+        findings = lint_fixtures(
+            ["rpl101_helper.py", "rpl101_core_bad.py"],
+            fixture_config(rpl101=RPL101),
+        )
+        taint = [f for f in findings if f.rule == "RPL101"]
+        arm2 = [f for f in taint if f.path.endswith("rpl101_helper.py")]
+        assert len(arm2) == 1
+        assert "consume" in arm2[0].message
+        assert len(taint) == 2
+
+    def test_direct_reads_are_left_to_rpl002(self):
+        # The helper's time.time() call is RPL002's finding; RPL101 must
+        # not double-report inside un-protected modules.
+        findings = lint_fixtures(
+            ["rpl101_helper.py", "rpl101_core_bad.py"],
+            fixture_config(rpl101=RPL101),
+        )
+        rpl002 = [f for f in findings if f.rule == "RPL002"]
+        assert len(rpl002) == 1
+        assert rpl002[0].path.endswith("rpl101_helper.py")
+
+    def test_passes_injected_clock_and_pure_math(self):
+        findings = lint_fixtures(
+            ["rpl101_helper.py", "rpl101_core_ok.py"],
+            fixture_config(rpl101=RPL101),
+        )
+        assert "RPL101" not in rule_ids(findings)
+
+    def test_default_scope_excludes_fixtures(self):
+        findings = lint_fixtures(
+            ["rpl101_helper.py", "rpl101_core_bad.py"], fixture_config()
+        )
+        assert "RPL101" not in rule_ids(findings)
+
+
+RPL102 = {"paths": ["rpl102_*.py"]}
+
+
+class TestRPL102:
+    def test_flags_all_three_check_then_act_shapes(self):
+        findings = lint_fixture("rpl102_bad.py", fixture_config(rpl102=RPL102))
+        assert rule_ids(findings) == {"RPL102"}
+        assert len(findings) == 3
+        messages = " ".join(f.message for f in findings)
+        assert "_executor" in messages
+        assert "re-validation" in messages
+
+    def test_findings_name_the_guard_line(self):
+        findings = lint_fixture("rpl102_bad.py", fixture_config(rpl102=RPL102))
+        assert all("checked (line " in f.message for f in findings)
+
+    def test_passes_revalidated_equivalents(self):
+        assert lint_fixture("rpl102_ok.py", fixture_config(rpl102=RPL102)) == []
+
+    def test_default_scope_excludes_fixtures(self):
+        assert lint_fixture("rpl102_bad.py", fixture_config()) == []
+
+
+class TestRPL103:
+    def test_flags_hash_arithmetic_and_shape_seeds(self):
+        findings = lint_fixture("rpl103_bad.py", fixture_config())
+        assert rule_ids(findings) == {"RPL103"}
+        assert len(findings) == 3
+        messages = " ".join(f.message for f in findings)
+        assert "as_rng" in messages
+        assert "SeedSequenceFactory" in messages
+
+    def test_passes_blessed_lineages(self):
+        assert lint_fixture("rpl103_ok.py", fixture_config()) == []
+
+    def test_allow_list_exempts_module(self):
+        cfg = fixture_config(rpl103={"allow": ["rpl103_bad.py"]})
+        assert lint_fixture("rpl103_bad.py", cfg) == []
+
+    def test_constructor_list_is_configurable(self):
+        # Shrinking the constructor list to a name the fixture never
+        # uses makes the rule vacuous.
+        cfg = fixture_config(rpl103={"constructors": ["make_generator"]})
+        assert lint_fixture("rpl103_bad.py", cfg) == []
+
+
+RPL104_OK = {"allow-calls": ["get_context"]}
+
+
+class TestRPL104:
+    def test_flags_all_four_impure_submissions(self):
+        findings = lint_fixture("rpl104_bad.py", fixture_config())
+        assert rule_ids(findings) == {"RPL104"}
+        assert len(findings) == 4
+
+    def test_reports_the_offending_global(self):
+        findings = lint_fixture("rpl104_bad.py", fixture_config())
+        messages = " ".join(f.message for f in findings)
+        assert "_counter" in messages
+        assert "lambda" in messages
+
+    def test_dynamic_callables_suggest_suppression(self):
+        findings = lint_fixture("rpl104_bad.py", fixture_config())
+        dynamic = [f for f in findings if "purity-checked statically" in f.message]
+        assert len(dynamic) == 1
+
+    def test_passes_pure_and_whitelisted_workers(self):
+        assert lint_fixture("rpl104_ok.py", fixture_config(rpl104=RPL104_OK)) == []
+
+    def test_per_process_singleton_fires_without_allowance(self):
+        findings = lint_fixture("rpl104_ok.py", fixture_config())
+        assert rule_ids(findings) == {"RPL104"}
+        assert len(findings) == 1
+        assert "_context" in findings[0].message
+
+
 class TestFrameworkBehaviour:
     def test_syntax_error_becomes_rpl000(self, tmp_path):
         (tmp_path / "broken.py").write_text("def f(:\n")

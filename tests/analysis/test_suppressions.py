@@ -1,0 +1,131 @@
+"""Inline-suppression contract: ``# repro-lint: ignore[RPL1xx] -- why``.
+
+Justified suppressions silence exactly the named whole-program rules on
+that line; anything malformed — bare, empty, or naming a per-file rule —
+is itself an RPL100 finding and silences nothing, so a suppression can
+never *reduce* the finding count without a reviewable justification.
+"""
+
+import textwrap
+
+from repro.analysis import cli
+from repro.analysis.core import LintConfig, load_project, run_lint
+
+RPL102_OPTS = {"rpl102": {"paths": ["*.py"]}}
+
+
+def write_service(tmp_path, use_line: str) -> None:
+    (tmp_path / "svc.py").write_text(textwrap.dedent(f"""\
+        import asyncio
+
+
+        class S:
+            def __init__(self):
+                self._x = None
+
+            async def start(self):
+                await asyncio.sleep(0)
+                self._x = object()
+
+            async def go(self):
+                if self._x is None:
+                    await self.start()
+                {use_line}
+        """))
+
+
+def lint(tmp_path) -> list:
+    cfg = LintConfig(paths=["."])
+    cfg.rule_options = dict(RPL102_OPTS)
+    return run_lint(load_project(tmp_path, paths=["svc.py"], config=cfg))
+
+
+class TestJustifiedSuppression:
+    def test_silences_the_named_rule_on_that_line(self, tmp_path):
+        write_service(
+            tmp_path,
+            "return self._x.run()  "
+            "# repro-lint: ignore[RPL102] -- single-task harness: no interleaving",
+        )
+        assert lint(tmp_path) == []
+
+    def test_other_lines_still_fire(self, tmp_path):
+        write_service(tmp_path, "return self._x.run()")
+        findings = lint(tmp_path)
+        assert [f.rule for f in findings] == ["RPL102"]
+
+
+class TestMalformedSuppression:
+    def test_bare_ignore_is_a_finding_and_suppresses_nothing(self, tmp_path):
+        write_service(
+            tmp_path, "return self._x.run()  # repro-lint: ignore[RPL102]"
+        )
+        findings = lint(tmp_path)
+        assert sorted(f.rule for f in findings) == ["RPL100", "RPL102"]
+        hygiene = [f for f in findings if f.rule == "RPL100"]
+        assert "justification" in hygiene[0].message
+
+    def test_empty_rule_list_is_a_finding(self, tmp_path):
+        write_service(
+            tmp_path, "return self._x.run()  # repro-lint: ignore[] -- why not"
+        )
+        findings = lint(tmp_path)
+        assert sorted(f.rule for f in findings) == ["RPL100", "RPL102"]
+
+    def test_per_file_rules_cannot_be_suppressed_inline(self, tmp_path):
+        (tmp_path / "svc.py").write_text(
+            "import random\n\n"
+            "def f():\n"
+            "    return random.random()  "
+            "# repro-lint: ignore[RPL001] -- trust me\n"
+        )
+        findings = lint(tmp_path)
+        assert sorted(f.rule for f in findings) == ["RPL001", "RPL100"]
+        hygiene = [f for f in findings if f.rule == "RPL100"]
+        assert "per-file-ignores" in hygiene[0].message
+
+    def test_hygiene_findings_cannot_suppress_themselves(self, tmp_path):
+        # A justified ignore[RPL100] on a line that *also* carries a bare
+        # ignore elsewhere cannot silence RPL100: the framework never
+        # suppresses RPL000/RPL100.
+        write_service(
+            tmp_path,
+            "return self._x.run()  # repro-lint: ignore[RPL100] -- meta",
+        )
+        findings = lint(tmp_path)
+        # The RPL102 finding survives (only RPL100 was named) and no
+        # RPL100 is emitted (the suppression itself is well-formed).
+        assert [f.rule for f in findings] == ["RPL102"]
+
+
+class TestCliGate:
+    def test_unjustified_ignore_fails_the_lint_run(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro-lint]\npaths = [\".\"]\n"
+            "[tool.repro-lint.rpl102]\npaths = [\"*.py\"]\n"
+        )
+        write_service(
+            tmp_path, "return self._x.run()  # repro-lint: ignore[RPL102]"
+        )
+        code = cli.main(
+            ["--config", str(tmp_path / "pyproject.toml"), "--no-cache"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RPL100" in out and "RPL102" in out
+
+    def test_justified_ignore_passes(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro-lint]\npaths = [\".\"]\n"
+            "[tool.repro-lint.rpl102]\npaths = [\"*.py\"]\n"
+        )
+        write_service(
+            tmp_path,
+            "return self._x.run()  "
+            "# repro-lint: ignore[RPL102] -- single-task harness: no interleaving",
+        )
+        code = cli.main(
+            ["--config", str(tmp_path / "pyproject.toml"), "--no-cache"]
+        )
+        assert code == 0
+        assert "clean" in capsys.readouterr().out

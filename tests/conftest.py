@@ -11,6 +11,7 @@ from repro.machine.topology import Topology
 from repro.mem.cache import CacheConfig
 from repro.tlb.mmu import TLBManagement
 from repro.tlb.tlb import TLBConfig
+from repro.util.rng import as_rng
 from repro.workloads.synthetic import NearestNeighborWorkload
 
 
@@ -72,4 +73,4 @@ def neighbor_workload() -> NearestNeighborWorkload:
 
 @pytest.fixture
 def rng() -> np.random.Generator:
-    return np.random.default_rng(99)
+    return as_rng(99)

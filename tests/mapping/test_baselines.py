@@ -13,6 +13,7 @@ from repro.mapping.baselines import (
     round_robin_mapping,
 )
 from repro.mapping.quality import mapping_cost
+from repro.util.rng import as_rng
 
 
 def neighbor_matrix(n=8):
@@ -89,7 +90,7 @@ class TestGreedy:
     def test_greedy_not_better_than_optimal(self):
         topo = harpertown()
         dist = topo.distance_matrix()
-        rng = np.random.default_rng(2)
+        rng = as_rng(2)
         for _ in range(5):
             a = rng.random((8, 8))
             a = (a + a.T) / 2
@@ -116,7 +117,7 @@ class TestBruteForce:
     def test_beats_or_ties_everything(self):
         topo = harpertown()
         dist = topo.distance_matrix()
-        rng = np.random.default_rng(5)
+        rng = as_rng(5)
         a = rng.random((8, 8))
         a = (a + a.T) / 2
         np.fill_diagonal(a, 0)

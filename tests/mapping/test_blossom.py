@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from repro.mapping.blossom import matching_weight, max_weight_matching
+from repro.util.rng import as_rng
 
 
 def brute_force_best(w, require_perfect):
@@ -107,7 +108,7 @@ class TestPerfectMatching:
 class TestAgainstBruteForce:
     @pytest.mark.parametrize("trial", range(30))
     def test_non_perfect_mode(self, trial):
-        rng = np.random.default_rng(1000 + trial)
+        rng = as_rng(1000 + trial)
         n = int(rng.integers(2, 8))
         w = random_symmetric(rng, n, lo=-5, hi=15)
         pairs = max_weight_matching(w, max_cardinality=False, check_optimum=True)
@@ -120,7 +121,7 @@ class TestAgainstNetworkx:
     @pytest.mark.parametrize("trial", range(40))
     def test_fuzz_maxcardinality(self, trial):
         nx = pytest.importorskip("networkx")
-        rng = np.random.default_rng(2000 + trial)
+        rng = as_rng(2000 + trial)
         n = int(rng.integers(2, 13))
         w = random_symmetric(rng, n)
         pairs = max_weight_matching(w, max_cardinality=True, check_optimum=True)

@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 
 from repro.mapping.blossom import matching_weight, max_weight_matching
+from repro.util.rng import as_rng
 
 networkx = pytest.importorskip("networkx")
 
@@ -36,7 +37,7 @@ def nx_weight(w, maxcard=True):
 class TestLargeInstances:
     @pytest.mark.parametrize("n", [16, 24, 32])
     def test_matches_networkx(self, n):
-        rng = np.random.default_rng(n)
+        rng = as_rng(n)
         w = random_symmetric(rng, n)
         pairs = max_weight_matching(w, max_cardinality=True, check_optimum=True)
         assert len(pairs) == n // 2
@@ -53,7 +54,7 @@ class TestLargeInstances:
 
     def test_two_scale_weights(self):
         # Strong pairs plus weak noise: the strong structure must win.
-        rng = np.random.default_rng(5)
+        rng = as_rng(5)
         n = 24
         w = rng.random((n, n))
         w = (w + w.T) / 2
@@ -66,7 +67,7 @@ class TestLargeInstances:
     def test_tractable_at_mapper_scale(self):
         """One solve at n=48 (a 48-thread machine's first level) stays
         well under a second."""
-        rng = np.random.default_rng(48)
+        rng = as_rng(48)
         w = random_symmetric(rng, 48)
         t0 = time.perf_counter()
         pairs = max_weight_matching(w)
@@ -83,7 +84,7 @@ class TestHierarchicalAtScale:
         from repro.mapping.baselines import random_mapping
 
         topo = multi_level(2, 8, 2)  # 32 cores
-        rng = np.random.default_rng(9)
+        rng = as_rng(9)
         # Neighbour chain on 32 threads.
         m = np.zeros((32, 32))
         for t in range(31):

@@ -7,6 +7,7 @@ from repro.machine.topology import harpertown
 from repro.mapping.baselines import brute_force_mapping
 from repro.mapping.drb import bipartition, drb_mapping
 from repro.mapping.quality import mapping_cost
+from repro.util.rng import as_rng
 
 
 def block_matrix(blocks, n=8, strong=10.0):
@@ -33,7 +34,7 @@ class TestBipartition:
         assert sorted(b) == [1, 3, 5, 7]
 
     def test_balanced_halves(self):
-        rng = np.random.default_rng(3)
+        rng = as_rng(3)
         m = rng.random((8, 8))
         m = (m + m.T) / 2
         a, b = bipartition(m, list(range(8)))
@@ -60,7 +61,7 @@ class TestBipartition:
 
 class TestDRBMapping:
     def test_valid_permutation(self):
-        rng = np.random.default_rng(1)
+        rng = as_rng(1)
         m = rng.random((8, 8))
         m = (m + m.T) / 2
         np.fill_diagonal(m, 0)
@@ -89,7 +90,7 @@ class TestDRBMapping:
             drb_mapping(np.zeros((4, 4)), harpertown())
 
     def test_deterministic(self):
-        rng = np.random.default_rng(9)
+        rng = as_rng(9)
         m = rng.random((8, 8))
         m = (m + m.T) / 2
         np.fill_diagonal(m, 0)

@@ -6,6 +6,7 @@ import pytest
 from repro.machine.topology import Topology, harpertown, multi_level
 from repro.mapping.hierarchical import group_threads, hierarchical_mapping
 from repro.mapping.quality import mapping_cost
+from repro.util.rng import as_rng
 
 
 def block_matrix(blocks, n=8, strong=10.0, weak=0.0):
@@ -52,7 +53,7 @@ class TestGroupThreads:
         """Our generalized group affinity must equal the paper's
         H[(x,y),(z,k)] = M[x,z]+M[x,k]+M[y,z]+M[y,k] for pairs."""
         from repro.mapping.hierarchical import _group_affinity
-        rng = np.random.default_rng(0)
+        rng = as_rng(0)
         m = rng.random((8, 8))
         m = (m + m.T) / 2
         np.fill_diagonal(m, 0)
@@ -94,7 +95,7 @@ class TestHierarchicalMapping:
         )
 
     def test_mapping_is_permutation(self):
-        rng = np.random.default_rng(4)
+        rng = as_rng(4)
         a = rng.random((8, 8))
         a = (a + a.T) / 2
         np.fill_diagonal(a, 0)
@@ -131,7 +132,7 @@ class TestHierarchicalMapping:
         assert topo.l2_of_core(mapping[0]) == topo.l2_of_core(mapping[1])
 
     def test_deterministic(self):
-        rng = np.random.default_rng(11)
+        rng = as_rng(11)
         a = rng.random((8, 8))
         a = (a + a.T) / 2
         np.fill_diagonal(a, 0)

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.commmatrix import CommunicationMatrix
 from repro.machine.topology import harpertown
+from repro.util.rng import as_rng
 from repro.mapping.quality import (
     communication_locality,
     mapping_cost,
@@ -67,7 +68,7 @@ class TestNormalizedCost:
 
 class TestLocality:
     def test_fractions_sum_to_one(self):
-        rng = np.random.default_rng(0)
+        rng = as_rng(0)
         a = rng.random((8, 8))
         a = (a + a.T) / 2
         np.fill_diagonal(a, 0)

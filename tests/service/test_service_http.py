@@ -21,6 +21,7 @@ from repro.service.client import (
     ServiceOverloaded,
 )
 from repro.service.http import MappingServer
+from repro.util.rng import as_rng
 
 PAIR8 = [
     [0.0 if i == j else (100.0 if i // 2 == j // 2 else 1.0) for j in range(8)]
@@ -108,7 +109,7 @@ class TestMapEndpoint:
             async with serving(solver=solver) as (_svc, _srv, host, port):
                 async with AsyncMappingClient(host, port) as client:
                     base = await client.map_matrix(PAIR8)
-                    p = np.random.default_rng(5).permutation(8)
+                    p = as_rng(5).permutation(8)
                     permuted = np.asarray(PAIR8)[np.ix_(p, p)]
                     other = await client.map_matrix(permuted)
                     return solver, base, other

@@ -9,7 +9,10 @@
 #   make differential  scalar-vs-batched bit-identity tests
 #   make bench-engine  engine speedup smoke benchmark
 #   make serve-smoke   boot `repro serve`, round-trip, SIGTERM drain
+#   make cluster-smoke boot `repro route` (2 shards), kill one mid-load,
+#                      require byte-identical settled responses + clean drain
 #   make bench-service mapping-service load bench (writes BENCH_service.json)
+#   make bench-cluster sharded-cluster load bench (writes BENCH_cluster.json)
 #   make remap-smoke   online-remapping gate: adaptive beats static, deterministic
 #   make test-chaos    fault-injection chaos harness (fixed replay seeds)
 #   make trace-smoke   `repro trace` twice per clock domain, byte-compare
@@ -20,7 +23,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint lint-full mypy test test-scalar differential bench-engine serve-smoke bench-service remap-smoke test-chaos trace-smoke cov bench ci
+.PHONY: lint lint-full mypy test test-scalar differential bench-engine serve-smoke cluster-smoke bench-service bench-cluster remap-smoke test-chaos trace-smoke cov bench ci
 
 # Incremental by default: warm re-runs only re-analyze changed files
 # (cache: .repro-lint-cache/, safe to delete).  Honors REPRO_LINT_NO_CACHE=1.
@@ -55,8 +58,18 @@ bench-engine:
 serve-smoke:
 	$(PYTHON) -m repro.service.smoke
 
+# Chaos gate for the sharded cluster: a 2-shard router boots, a fault
+# plan kills the forward target mid-sequence, and the settled response
+# must be byte-identical to the pre-kill one (replication keeps the
+# sibling warm); the dead shard restarts with the replica store replayed.
+cluster-smoke:
+	$(PYTHON) -m repro.cluster.smoke
+
 bench-service:
 	$(PYTHON) benchmarks/bench_service_throughput.py
+
+bench-cluster:
+	$(PYTHON) benchmarks/bench_cluster_throughput.py
 
 # Online-remapping determinism + win gate: a small repartitioned splice
 # where the live controller must beat the static mapping, with the
@@ -97,4 +110,4 @@ cov:
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-ci: lint lint-full mypy test test-scalar differential bench-engine serve-smoke remap-smoke test-chaos trace-smoke cov
+ci: lint lint-full mypy test test-scalar differential bench-engine serve-smoke cluster-smoke remap-smoke test-chaos trace-smoke cov

@@ -1,0 +1,79 @@
+"""Shared schema + helpers for the service and cluster load benches.
+
+``BENCH_service.json`` and ``BENCH_cluster.json`` carry the same
+envelope so downstream tooling can diff them without special-casing:
+
+* ``schema`` — envelope version (:data:`BENCH_SCHEMA`);
+* ``kind`` — ``"service"`` or ``"cluster"``;
+* ``host_cpus`` — honest parallelism budget of the box that produced the
+  numbers.  Multi-shard rows recorded on a 1-CPU host *cannot* show CPU
+  scaling; publishing the budget keeps such rows interpretable instead
+  of quietly misleading;
+* ``routers`` / ``shards`` — topology that served the load (the plain
+  single-process service bench is ``routers=0, shards=1``).
+
+Latency/throughput helpers live here too so both benches aggregate
+identically (same nearest-rank quantile, same matrix generators).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.obs.metrics import nearest_rank_index
+from repro.util.rng import as_rng, derive_seed
+
+#: Envelope version shared by BENCH_service.json and BENCH_cluster.json.
+BENCH_SCHEMA = 1
+
+
+def bench_doc(
+    kind: str, routers: int, shards: int, stats: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Wrap bench columns in the shared envelope (stats keys win last)."""
+    doc: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "kind": kind,
+        "host_cpus": os.cpu_count() or 1,
+        "routers": routers,
+        "shards": shards,
+    }
+    doc.update(stats)
+    return doc
+
+
+def env_floor(name: str, default: float) -> float:
+    """A numeric acceptance floor, overridable via the environment."""
+    return float(os.environ.get(name, str(default)))
+
+
+def quantile_ms(samples: List[float], q: float) -> float:
+    """Nearest-rank quantile of per-request seconds, in milliseconds."""
+    ordered = sorted(samples)
+    return ordered[nearest_rank_index(q, len(ordered))] * 1000.0
+
+
+def pair_matrix(threads: int = 8) -> List[List[float]]:
+    """The warm-path body: heavy (2t, 2t+1) pairs, light elsewhere."""
+    return [
+        [0.0 if i == j else (100.0 if i // 2 == j // 2 else 1.0)
+         for j in range(threads)]
+        for i in range(threads)
+    ]
+
+
+def distinct_matrices(
+    count: int, threads: int = 8, seed: int = 2012
+) -> List[List[List[float]]]:
+    """Distinct random symmetric matrices (no two share a canonical key)."""
+    rng = as_rng(derive_seed(seed, "bench-cold-matrices"))
+    out = []
+    for _ in range(count):
+        a = rng.random((threads, threads)) * 100.0
+        m = (a + a.T) / 2.0
+        np.fill_diagonal(m, 0.0)
+        out.append(m.tolist())
+    return out

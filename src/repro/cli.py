@@ -16,6 +16,9 @@ Commands:
 * ``serve`` — run the mapping-as-a-service HTTP front end
   (``POST /map``, ``GET /healthz``, ``GET /metrics``; see
   :mod:`repro.service`).
+* ``route`` — run a sharded cluster: a consistent-hash router
+  supervising N ``serve`` shard subprocesses, with cross-shard cache
+  replication and per-tenant quotas (see :mod:`repro.cluster`).
 * ``trace`` — record a deterministic Chrome-trace JSON (Perfetto /
   ``chrome://tracing`` loadable) of one traced pipeline run; see
   :mod:`repro.obs`.
@@ -117,9 +120,41 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="in-flight solve bound before requests get 429")
     p.add_argument("--solve-deadline", type=float, default=30.0,
                    help="per-batch solve deadline in seconds (0 disables)")
+    p.add_argument("--trace-sample-every", type=int, default=1,
+                   help="keep 1-in-N request spans (deterministic sampling; "
+                        "1 records everything)")
     p.add_argument("--fault-plan", type=str, default=None, metavar="PLAN.json",
                    help="activate a serialized fault-injection plan "
                         "(chaos smoke testing; see repro.faults)")
+
+    p = sub.add_parser(
+        "route",
+        help="run a sharded cluster (consistent-hash router over N shards)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8797,
+                   help="router listen port (0 = ephemeral; printed at boot)")
+    p.add_argument("--shards", type=int, default=2,
+                   help="shard subprocesses to spawn (each a `repro serve`)")
+    p.add_argument("--vnodes", type=int, default=64,
+                   help="virtual nodes per shard on the hash ring")
+    p.add_argument("--workers-per-shard", type=int, default=1,
+                   help="solver pool size per shard (0 = in-process thread)")
+    p.add_argument("--cache-entries", type=int, default=4096,
+                   help="LRU capacity of each shard's result caches")
+    p.add_argument("--cache-ttl", type=float, default=300.0,
+                   help="seconds a cached result stays valid (<=0 disables expiry)")
+    p.add_argument("--quota-rate", type=float, default=0.0,
+                   help="per-tenant admission rate in req/s (<=0 disables quotas)")
+    p.add_argument("--quota-burst", type=float, default=0.0,
+                   help="token-bucket depth (0 = one second's worth of tokens)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed anchoring the replication fan-out order")
+    p.add_argument("--no-restart", action="store_true",
+                   help="do not restart shards that die (chaos experiments)")
+    p.add_argument("--fault-plan", type=str, default=None, metavar="PLAN.json",
+                   help="activate a serialized fault-injection plan "
+                        "(router-side sites; see repro.faults)")
 
     p = sub.add_parser(
         "trace",
@@ -259,9 +294,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_pending=args.max_pending,
         solve_deadline=args.solve_deadline,
+        trace_sample_every=args.trace_sample_every,
     )
     try:
         asyncio.run(serve(config))
+    except KeyboardInterrupt:
+        pass  # Ctrl-C before the signal handler was installed
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.cluster.router import RouterConfig, route_serve
+
+    if args.fault_plan:
+        from repro.faults.injector import PLAN_ENV_VAR, activate
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan.load(args.fault_plan)
+        activate(plan)
+        # The router keeps the plan out of the shard environment: the
+        # cluster chaos contract injects at router sites (e.g. kill the
+        # forward target) while the shards themselves run clean.
+        os.environ.pop(PLAN_ENV_VAR, None)
+        print(f"fault plan active: {len(plan.events)} event(s) "
+              f"(seed {plan.seed}) from {args.fault_plan}", flush=True)
+
+    config = RouterConfig(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        vnodes=args.vnodes,
+        workers_per_shard=args.workers_per_shard,
+        cache_entries=args.cache_entries,
+        cache_ttl=args.cache_ttl,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        seed=args.seed,
+        restart_dead_shards=not args.no_restart,
+    )
+    try:
+        asyncio.run(route_serve(config))
     except KeyboardInterrupt:
         pass  # Ctrl-C before the signal handler was installed
     return 0
@@ -414,6 +488,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_trace(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "route":
+        return _cmd_route(args)
     if args.command == "lint":
         return run_lint_command(args)
     raise AssertionError(f"unhandled command {args.command!r}")

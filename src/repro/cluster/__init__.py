@@ -1,0 +1,46 @@
+"""Horizontally sharded deployment of the mapping service.
+
+One stdlib asyncio front **router** (``repro route``) terminates client
+HTTP, supervises N shard subprocesses (each the existing ``repro
+serve`` app on its own port), and forwards ``/map`` and ``/map/delta``
+by consistent-hashing the *canonical-matrix cache key* onto a hash
+ring with virtual nodes — so permutation-equivalent requests and delta
+sessions land on the shard that already holds the warm cache and base
+matrix.
+
+Layers on top of the per-shard resilience stack (circuit breaker,
+bounded-queue 429 shedding, fault-injection recovery):
+
+* **Push-based cache replication** — a cold solve observed on any
+  shard is fanned out by the router to every sibling over the shards'
+  loopback ``POST /cache/push`` endpoint, and retained in a
+  router-side :class:`~repro.cluster.replica.ReplicaStore`, so one
+  solve is a warm hit cluster-wide and a dead shard loses no cached
+  work (the store is replayed into its replacement).
+* **Per-tenant admission quotas** — token buckets keyed on the
+  ``X-Tenant`` header (429 + ``Retry-After`` on exhaustion), with
+  per-tenant counters on the cluster-level ``/metrics``, which also
+  aggregates every shard's counter registry.
+* **Degraded-mode health** — shard death re-routes via the ring and is
+  visible on ``/healthz`` until the supervisor's restart + cache
+  replay completes.
+
+Modules: :mod:`~repro.cluster.ring` (consistent hashing),
+:mod:`~repro.cluster.quota` (token buckets),
+:mod:`~repro.cluster.replica` (replication payloads + store),
+:mod:`~repro.cluster.shards` (subprocess / in-process supervisors),
+:mod:`~repro.cluster.router` (the front-end app + HTTP server),
+:mod:`~repro.cluster.smoke` (the ``make cluster-smoke`` CI gate).
+"""
+
+from repro.cluster.ring import HashRing
+from repro.cluster.quota import TenantQuotas, TokenBucket
+from repro.cluster.replica import ReplicaEntry, ReplicaStore
+
+__all__ = [
+    "HashRing",
+    "TenantQuotas",
+    "TokenBucket",
+    "ReplicaEntry",
+    "ReplicaStore",
+]

@@ -1,0 +1,123 @@
+"""Per-tenant admission quotas: token buckets with an injected clock.
+
+The router keys a :class:`TokenBucket` on each distinct ``X-Tenant``
+header value (absent → ``"anonymous"``).  A bucket refills continuously
+at ``rate`` tokens per second up to ``burst``; a request that cannot
+afford its cost is throttled with the exact seconds-until-affordable,
+which the router surfaces as ``429`` + ``Retry-After``.
+
+Like every time-shaped component in this repo the clock is *injected*
+(``time.monotonic`` as an uncalled default argument) — the module never
+reads wall time itself, so quota behavior is deterministic under the
+test suite's fake clocks (RPL002).
+
+The tenant table is bounded: beyond ``max_tenants`` distinct tenants the
+least-recently-seen bucket is dropped (it re-admits at full burst on
+return — the cheap, safe failure mode for an admission control that must
+never itself become a memory leak under tenant-id churn).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import OrderedDict
+from typing import Callable, Tuple
+
+#: Tenant bucket for requests that carry no ``X-Tenant`` header.
+DEFAULT_TENANT = "anonymous"
+
+
+class TokenBucket:
+    """One tenant's continuously-refilling admission budget."""
+
+    __slots__ = ("rate", "burst", "_tokens", "_stamp", "_clock")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0 or not math.isfinite(rate):
+            raise ValueError(f"rate must be a positive finite number, got {rate!r}")
+        if burst < 1 or not math.isfinite(burst):
+            raise ValueError(f"burst must be >= 1, got {burst!r}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._clock = clock
+        self._stamp = clock()
+
+    def admit(self, cost: float = 1.0) -> Tuple[bool, float]:
+        """Try to spend ``cost`` tokens.
+
+        Returns ``(True, 0.0)`` on admission, else ``(False,
+        retry_after_seconds)`` where the delay is exactly how long the
+        bucket needs to refill enough for this cost.
+        """
+        now = self._clock()
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._stamp = now
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return True, 0.0
+        return False, (cost - self._tokens) / self.rate
+
+
+class TenantQuotas:
+    """Bounded map of tenant id → :class:`TokenBucket`.
+
+    ``rate <= 0`` disables quotas entirely (every request admitted) —
+    the default for benches and tests that are not exercising admission
+    control.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float = 0.0,
+        clock: Callable[[], float] = time.monotonic,
+        max_tenants: int = 1024,
+    ):
+        if max_tenants < 1:
+            raise ValueError(f"max_tenants must be >= 1, got {max_tenants}")
+        self.enabled = rate > 0
+        self.rate = float(rate)
+        #: Unset/zero burst defaults to one second's worth of tokens
+        #: (but at least 1, so a tiny rate still admits single requests).
+        self.burst = float(burst) if burst > 0 else max(1.0, self.rate)
+        self.max_tenants = max_tenants
+        self._clock = clock
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        #: Tenants dropped by the LRU bound (monitoring honesty: a drop
+        #: resets that tenant's budget to full burst).
+        self.evictions = 0
+
+    def admit(self, tenant: str, cost: float = 1.0) -> Tuple[bool, float]:
+        """Admission verdict for one request from ``tenant``.
+
+        Returns ``(admitted, retry_after_seconds)``; always admits when
+        quotas are disabled.
+        """
+        if not self.enabled:
+            return True, 0.0
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, self._clock)
+            self._buckets[tenant] = bucket
+            if len(self._buckets) > self.max_tenants:
+                self._buckets.popitem(last=False)
+                self.evictions += 1
+        else:
+            self._buckets.move_to_end(tenant)
+        return bucket.admit(cost)
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def tenants(self) -> Tuple[str, ...]:
+        """Currently-tracked tenant ids, least-recently-seen first."""
+        return tuple(self._buckets)

@@ -36,8 +36,18 @@ SITE_WORKER_SOLVE = "service.worker.solve_batch"
 SITE_HTTP_RESPONSE = "service.http.response"
 SITE_CACHE_PUT = "experiments.cache.put"
 SITE_RUNNER_BENCHMARK = "experiments.runner.benchmark"
+#: Cluster router, fired once per shard-forward attempt.  A ``crash``
+#: here means "the shard this request was just routed to dies now": the
+#: router kills the target shard process and re-routes via the ring —
+#: the shard-death chaos scenario `make cluster-smoke` pins.
+SITE_CLUSTER_FORWARD = "cluster.router.forward"
 
 SERVICE_SITES: Tuple[str, ...] = (SITE_WORKER_SOLVE, SITE_HTTP_RESPONSE)
+
+#: Sites the cluster chaos scenarios draw from (kept separate from
+#: :data:`SERVICE_SITES` so the single-service chaos seeds keep
+#: generating byte-identical plans).
+CLUSTER_SITES: Tuple[str, ...] = (SITE_CLUSTER_FORWARD,)
 
 #: Which transient kinds make sense where: a worker can crash, hang or
 #: run slow; a connection can be reset or dribble slowly.  Random plans
@@ -46,6 +56,9 @@ SERVICE_SITES: Tuple[str, ...] = (SITE_WORKER_SOLVE, SITE_HTTP_RESPONSE)
 SERVICE_SITE_KINDS: dict = {
     SITE_WORKER_SOLVE: ("crash", "hang", "slow"),
     SITE_HTTP_RESPONSE: ("reset", "slow"),
+    # A forward can kill its target shard (crash) or dawdle (slow);
+    # reset/hang belong to the layers below.
+    SITE_CLUSTER_FORWARD: ("crash", "slow"),
 }
 
 

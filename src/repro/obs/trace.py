@@ -16,6 +16,17 @@ synchronous pipelines use for free; async call sites pass ``nest=False``
 and thread parents by hand because interleaved requests would corrupt a
 shared stack.
 
+Hot paths can keep their instrumentation always-on and pay (almost)
+nothing for it via **deterministic sampling**: ``sample_every=N`` keeps
+1-in-N spans, chosen by a seeded counter phase
+(:func:`repro.util.rng.derive_seed` — no entropy, no clock, RPL007
+clean), so two runs of one workload sample the *same* spans.  A
+sampled-out ``begin`` returns a shared pre-allocated skip span — no
+allocation, no timestamp, no ring traffic — and ``end`` recognizes it
+by identity; :attr:`Tracer.sampled_out_total` keeps the export honest
+about what was dropped (:attr:`Tracer.started_total` counts only
+recorded spans).
+
 The module-global tracer follows the fault injector's pattern exactly:
 :func:`activate_tracing` / :func:`deactivate_tracing` / :func:`tracing`
 manage a process-global tracer, and :func:`get_tracer` lazily adopts a
@@ -33,6 +44,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
 
 from repro.obs.context import TRACE_ENV_VAR, TraceContext
+from repro.util.rng import derive_seed
 
 #: Sentinel distinguishing "no parent passed" from "explicitly parentless".
 _UNSET = object()
@@ -100,6 +112,23 @@ class Tracer:
     #: Fast-path flag: call sites guard instrumentation on this.
     enabled = True
 
+    __slots__ = (
+        "trace_id",
+        "_wall",
+        "_steps",
+        "_next_id",
+        "default_parent",
+        "_stack",
+        "_ring",
+        "_sink",
+        "started_total",
+        "sample_every",
+        "sampled_out_total",
+        "_sample_phase",
+        "_sample_seen",
+        "_skip_span",
+    )
+
     def __init__(
         self,
         trace_id: str = "trace",
@@ -107,6 +136,8 @@ class Tracer:
         capacity: int = 65536,
         default_parent: Optional[int] = None,
         sink: Optional["JsonlSink"] = None,
+        sample_every: int = 1,
+        sample_seed: int = 0,
     ):
         self.trace_id = trace_id
         self._wall = wall_clock
@@ -117,8 +148,22 @@ class Tracer:
         self._stack: List[int] = []
         self._ring: Deque[Span] = deque(maxlen=max(1, capacity))
         self._sink = sink
-        #: Spans started (ended or not) — the hook-count for overhead math.
+        #: Recorded spans started (ended or not) — the hook-count for
+        #: overhead math; sampled-out begins do not count here.
         self.started_total = 0
+        #: Keep 1-in-N spans (1 = keep everything).
+        self.sample_every = max(1, int(sample_every))
+        #: Begins dropped by the sampler (export honesty counter).
+        self.sampled_out_total = 0
+        # The kept residue class is a pure function of (seed, trace_id),
+        # so one workload samples identically across runs/processes.
+        self._sample_phase = (
+            derive_seed(sample_seed, trace_id, "span-sample") % self.sample_every
+        )
+        self._sample_seen = 0
+        #: Shared skip span handed out for sampled-out begins; ``end``
+        #: and ``event`` recognize it by identity and never mutate it.
+        self._skip_span = Span("", "", 0, 0, "span", 0, 0.0)
 
     def _now_wall(self) -> float:
         if self._wall is not None:
@@ -141,7 +186,18 @@ class Tracer:
         :attr:`default_parent`); pass ``parent=None`` for an explicit
         root or an int span id for manual linkage.  ``nest=False`` keeps
         the span off the stack (required at async call sites).
+
+        With ``sample_every=N > 1``, N-1 of every N begins return the
+        shared skip span without recording anything; sampled-out spans
+        are never pushed on the nesting stack, so surviving children
+        attach to their nearest *recorded* ancestor.
         """
+        if self.sample_every > 1:
+            seen = self._sample_seen
+            self._sample_seen = seen + 1
+            if seen % self.sample_every != self._sample_phase:
+                self.sampled_out_total += 1
+                return self._skip_span
         if parent is _UNSET:
             pid = self._stack[-1] if self._stack else self.default_parent
         elif parent is None:
@@ -172,6 +228,8 @@ class Tracer:
         args: Optional[Args] = None,
     ) -> None:
         """Close ``span``, record end timestamps, commit it to the ring."""
+        if span is self._skip_span:
+            return
         span.t1_cycles = span.t0_cycles if cycles is None else int(cycles)
         span.t1_wall = self._now_wall()
         if args:
@@ -190,6 +248,8 @@ class Tracer:
     ) -> Span:
         """Record an instant event (committed immediately)."""
         span = self.begin(name, cat, cycles=cycles, parent=parent, args=args, nest=False)
+        if span is self._skip_span:
+            return span
         span.kind = "event"
         span.t1_cycles = span.t0_cycles
         span.t1_wall = span.t0_wall
@@ -241,6 +301,8 @@ class NullTracer(Tracer):
     """Disabled tracer: every hook is a constant-time no-op."""
 
     enabled = False
+
+    __slots__ = ("_null_span",)
 
     def __init__(self) -> None:
         super().__init__(trace_id="null", capacity=1)

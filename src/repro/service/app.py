@@ -120,6 +120,10 @@ class ServiceConfig:
     breaker_reset: float = 1.0
     #: Completed spans kept for ``GET /trace`` (0 disables tracing).
     trace_ring: int = 2048
+    #: Keep 1-in-N request spans (1 = record every span).  Sampling is
+    #: deterministic — seeded counter phase, not randomness — so the
+    #: kept subset is identical across runs of one request sequence.
+    trace_sample_every: int = 1
 
 
 class _BadRequest(Exception):
@@ -152,7 +156,10 @@ class MappingService:
             self.tracer: Tracer = active_tracer
         elif cfg.trace_ring > 0:
             self.tracer = Tracer(
-                trace_id="service", wall_clock=clock, capacity=cfg.trace_ring
+                trace_id="service",
+                wall_clock=clock,
+                capacity=cfg.trace_ring,
+                sample_every=cfg.trace_sample_every,
             )
         else:
             self.tracer = NULL_TRACER
@@ -458,6 +465,74 @@ class MappingService:
         if self._body_cache.peek(body_key) is None:
             self._body_cache.put(body_key, rendered)
         return 200, {"X-Repro-Cache": cache_state}, rendered
+
+    async def handle_cache_push(self, body: bytes) -> Response:
+        """Apply a cluster replication push (``POST /cache/push``).
+
+        The router fans a sibling shard's cold solve out as
+        :class:`~repro.cluster.replica.ReplicaEntry` documents; applying
+        one populates both the solve cache (warm ``/map``) and the
+        canonical-matrix cache (serviceable ``/map/delta`` base), so one
+        solve anywhere is a warm hit everywhere.  Each entry's key is
+        recomputed from its canonical bytes before acceptance — a
+        corrupted or mis-keyed push is rejected rather than poisoning
+        the caches.
+        """
+        # Local import: the wire codec lives with the cluster subsystem
+        # that owns the protocol; the base service stays importable and
+        # fully functional without the router ever being loaded.
+        from repro.cluster.replica import parse_push
+
+        try:
+            entries = parse_push(body)
+        except ValueError as exc:
+            self.metrics.validation_errors_total += 1
+            return 400, {}, _error_body("InvalidReplication", str(exc))
+        applied = 0
+        duplicate = 0
+        for entry in entries:
+            if entry.n > self.config.max_threads:
+                self.metrics.validation_errors_total += 1
+                return 400, {}, _error_body(
+                    "ValidationError",
+                    f"replica entry has {entry.n} threads, limit is "
+                    f"{self.config.max_threads}",
+                )
+            cores = entry.spec[0] * entry.spec[1] * entry.spec[2]
+            if cores > self.config.max_cores or entry.n > cores:
+                self.metrics.validation_errors_total += 1
+                return 400, {}, _error_body(
+                    "ValidationError",
+                    f"replica entry maps {entry.n} threads onto {cores} cores",
+                )
+            canon_bytes = bytes.fromhex(entry.canon_hex)
+            canon = np.frombuffer(canon_bytes, dtype=np.float64).reshape(
+                entry.n, entry.n
+            )
+            if canonical_key(canon, entry.spec) != entry.key:
+                self.metrics.validation_errors_total += 1
+                return 400, {}, _error_body(
+                    "InvalidReplication",
+                    f"replica entry key {entry.key!r} does not match its "
+                    "canonical bytes",
+                )
+            assignment = tuple(int(c) for c in entry.assignment)
+            if (
+                self._solve_cache.peek(entry.key) == assignment
+                and self._matrix_cache.peek(entry.key) is not None
+            ):
+                duplicate += 1
+                continue
+            self._solve_cache.put(entry.key, assignment)
+            self._matrix_cache.put(entry.key, (canon_bytes, entry.n, entry.spec))
+            applied += 1
+        self.metrics.replication_applied_total += applied
+        self.metrics.replication_duplicate_total += duplicate
+        payload = {"applied": applied, "duplicate": duplicate}
+        rendered = json.dumps(
+            payload, sort_keys=True, separators=_JSON_SEPARATORS
+        ).encode("utf-8")
+        return 200, {}, rendered
 
     def healthz(self) -> Response:
         """Liveness: ok plus a couple of cheap internals."""

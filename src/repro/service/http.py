@@ -10,6 +10,8 @@ Endpoints:
 * ``POST /map`` — communication matrix in, hierarchical mapping out.
 * ``POST /map/delta`` — sparse matrix delta against a prior ``key`` in,
   remap-or-hold verdict out.
+* ``POST /cache/push`` — cluster replication: sibling shards' solves in
+  (see :mod:`repro.cluster.replica`), caches warmed.
 * ``GET /healthz`` — liveness plus queue/cache gauges.
 * ``GET /metrics`` — Prometheus text exposition.
 * ``GET /trace`` — Chrome-trace JSON of the service span ring buffer.
@@ -272,6 +274,12 @@ class MappingServer:
                     "MethodNotAllowed", "/map/delta accepts POST only"
                 )
             return await self.service.handle_delta(request.body)
+        if request.path == "/cache/push":
+            if request.method != "POST":
+                return 405, {"Allow": "POST"}, _error_body(
+                    "MethodNotAllowed", "/cache/push accepts POST only"
+                )
+            return await self.service.handle_cache_push(request.body)
         if request.path == "/healthz":
             if request.method != "GET":
                 return 405, {"Allow": "GET"}, _error_body(

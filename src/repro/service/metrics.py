@@ -76,6 +76,11 @@ _ROWS: Tuple[Tuple[str, str], ...] = (
     ("solve_failures_total", "counter"),
     ("connection_resets_total", "counter"),
     ("inflight", "gauge"),
+    # Cluster replication (POST /cache/push): entries applied into the
+    # local caches vs. already-known duplicates.  Appended after the
+    # historical rows so the chaos harness's pinned prefix is unchanged.
+    ("replication_applied_total", "counter"),
+    ("replication_duplicate_total", "counter"),
 )
 
 
@@ -108,6 +113,10 @@ class ServiceMetrics:
     solve_failures_total = _MetricAttr("solve_failures_total", "counter")
     connection_resets_total = _MetricAttr("connection_resets_total", "counter")
     inflight = _MetricAttr("inflight", "gauge")
+    replication_applied_total = _MetricAttr("replication_applied_total", "counter")
+    replication_duplicate_total = _MetricAttr(
+        "replication_duplicate_total", "counter"
+    )
 
     def __init__(
         self,

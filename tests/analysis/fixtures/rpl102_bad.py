@@ -1,8 +1,9 @@
-"""Fixture: check-then-act across ``await`` (RPL102 must flag all three).
+"""Fixture: check-then-act across ``await`` (RPL102 must flag all five).
 
-Each method mirrors a pattern found (and fixed) in the real service:
-the lazy-start executor race, the render-then-cache lost update, and
-acting on a pre-suspension snapshot.
+Each method mirrors a pattern found (and fixed) in the real service or
+cluster router: the lazy-start executor race, the render-then-cache
+lost update, acting on a pre-suspension snapshot, the shard-death
+double-restart, and the stale-pool hand-back.
 """
 
 import asyncio
@@ -46,6 +47,33 @@ class Service:
         if snapshot is None:
             self._cache.put(key, body)
         return body
+
+
+class Router:
+    """Cluster-router-shaped races (both must be flagged)."""
+
+    def __init__(self) -> None:
+        self._down = set()
+        self._pools = {}
+
+    async def _restart(self, shard_id: str) -> None:
+        await asyncio.sleep(0)
+
+    async def mark_dead(self, shard_id: str) -> None:
+        # Seeded violation 4: membership test before the restart's
+        # awaits; a concurrent failure observer adds the shard first
+        # and two restarts race for one shard id.
+        if shard_id not in self._down:
+            await self._restart(shard_id)
+            self._down.add(shard_id)
+
+    async def hand_back(self, shard_id: str, client) -> None:
+        # Seeded violation 5: the pool looked up before the await may
+        # belong to a dead incarnation by release time.
+        pool = self._pools.get(shard_id)
+        await asyncio.sleep(0)
+        if pool is not None:
+            self._pools[shard_id] = client
 
 
 class Cache:

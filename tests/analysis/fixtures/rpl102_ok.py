@@ -47,6 +47,31 @@ class Service:
             await asyncio.sleep(0)
 
 
+class Router:
+    """The same cluster shapes written atomically (RPL102 quiet)."""
+
+    def __init__(self) -> None:
+        self._down = set()
+        self._pools = {}
+
+    async def _restart(self, shard_id: str) -> None:
+        await asyncio.sleep(0)
+
+    async def mark_dead(self, shard_id: str) -> None:
+        # Claim the shard synchronously; only the claimant restarts.
+        if shard_id in self._down:
+            return
+        self._down.add(shard_id)
+        await self._restart(shard_id)
+
+    async def hand_back(self, shard_id: str, client) -> None:
+        await asyncio.sleep(0)
+        # Snapshot after the last await: release to the live pool only.
+        pool = self._pools.get(shard_id)
+        if pool is not None:
+            self._pools[shard_id] = client
+
+
 class Cache:
     def __init__(self) -> None:
         self._data = {}

@@ -1,4 +1,4 @@
-"""Fixture: impure callables shipped to worker processes (RPL104 flags all four).
+"""Fixture: impure callables shipped to worker processes (RPL104 flags all five).
 
 Module globals mutated inside a ProcessPool worker only change the
 *child's* interpreter; lambdas and dynamically-bound attributes cannot
@@ -44,3 +44,20 @@ class Runner:
     def run(self, executor, payload):
         # Seeded violation 4: dynamically-bound callable, unverifiable.
         return executor.submit(self._fn, payload)
+
+
+_replica_seq = 0
+
+
+def push_replica(entry) -> int:
+    # Journals the push in the parent's sequence counter; a pool
+    # child's increment is lost.
+    global _replica_seq
+    _replica_seq += 1
+    return _replica_seq
+
+
+def replicate(pool, entries: list):
+    # Seeded violation 5: cluster-shaped — fanning replication out
+    # through a process pool with a worker that journals in the parent.
+    return [pool.submit(push_replica, entry) for entry in entries]

@@ -37,3 +37,13 @@ def solve_with_context(pool, items: list):
 def local_submit(batcher, items: list):
     # Receiver is not a pool/executor: same-process submission API.
     return [batcher.submit(lambda x: x, item) for item in items]
+
+
+def encode_replica(entry) -> bytes:
+    return repr(entry).encode("utf-8")
+
+
+def replicate(pool, entries: list):
+    # Cluster-shaped but pure: the worker only transforms its argument;
+    # journaling happens in the parent when the futures resolve.
+    return [pool.submit(encode_replica, entry) for entry in entries]

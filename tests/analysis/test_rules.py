@@ -256,13 +256,16 @@ RPL102 = {"paths": ["rpl102_*.py"]}
 
 
 class TestRPL102:
-    def test_flags_all_three_check_then_act_shapes(self):
+    def test_flags_all_five_check_then_act_shapes(self):
         findings = lint_fixture("rpl102_bad.py", fixture_config(rpl102=RPL102))
         assert rule_ids(findings) == {"RPL102"}
-        assert len(findings) == 3
+        assert len(findings) == 5
         messages = " ".join(f.message for f in findings)
         assert "_executor" in messages
         assert "re-validation" in messages
+        # The cluster-router shapes: shard-death claim and pool hand-back.
+        assert "_down" in messages
+        assert "_pools" in messages
 
     def test_findings_name_the_guard_line(self):
         findings = lint_fixture("rpl102_bad.py", fixture_config(rpl102=RPL102))
@@ -302,10 +305,10 @@ RPL104_OK = {"allow-calls": ["get_context"]}
 
 
 class TestRPL104:
-    def test_flags_all_four_impure_submissions(self):
+    def test_flags_all_five_impure_submissions(self):
         findings = lint_fixture("rpl104_bad.py", fixture_config())
         assert rule_ids(findings) == {"RPL104"}
-        assert len(findings) == 4
+        assert len(findings) == 5
 
     def test_reports_the_offending_global(self):
         findings = lint_fixture("rpl104_bad.py", fixture_config())

@@ -1,0 +1,101 @@
+"""Tenant admission quotas under a fake clock: exact budgets, LRU bound."""
+
+import pytest
+
+from repro.cluster.quota import DEFAULT_TENANT, TenantQuotas, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_exact_retry_after(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.admit() == (True, 0.0)
+        assert bucket.admit() == (True, 0.0)
+        admitted, retry = bucket.admit()
+        assert not admitted
+        assert retry == pytest.approx(1.0), "empty bucket at 1 rps: wait 1s"
+
+    def test_refill_admits_after_the_promised_delay(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.admit()[0]
+        admitted, retry = bucket.admit()
+        assert not admitted and retry == pytest.approx(0.5)
+        clock.advance(retry)
+        assert bucket.admit() == (True, 0.0)
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3.0, clock=clock)
+        clock.advance(1_000.0)
+        grabbed = sum(1 for _ in range(10) if bucket.admit()[0])
+        assert grabbed == 3, "an idle tenant must not bank beyond burst"
+
+    def test_validation(self):
+        for rate, burst in ((0.0, 1.0), (-1.0, 1.0), (float("nan"), 1.0),
+                            (1.0, 0.5), (1.0, float("inf"))):
+            with pytest.raises(ValueError):
+                TokenBucket(rate=rate, burst=burst)
+
+
+class TestTenantQuotas:
+    def test_disabled_quotas_admit_everything(self):
+        quotas = TenantQuotas(rate=0.0, clock=FakeClock())
+        assert not quotas.enabled
+        for _ in range(100):
+            assert quotas.admit(DEFAULT_TENANT) == (True, 0.0)
+        assert len(quotas) == 0, "disabled quotas must not grow state"
+
+    def test_tenants_are_isolated(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(rate=1.0, burst=1.0, clock=clock)
+        assert quotas.admit("alpha")[0]
+        assert not quotas.admit("alpha")[0]
+        assert quotas.admit("beta")[0], "alpha's debt must not throttle beta"
+
+    def test_default_burst_is_one_second_of_rate(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(rate=5.0, clock=clock)
+        assert quotas.burst == 5.0
+        tiny = TenantQuotas(rate=0.25, clock=clock)
+        assert tiny.burst == 1.0, "tiny rates still admit single requests"
+
+    def test_lru_eviction_resets_to_full_burst(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(
+            rate=1.0, burst=1.0, clock=clock, max_tenants=2
+        )
+        assert quotas.admit("a")[0]
+        assert quotas.admit("b")[0]
+        assert quotas.admit("c")[0]  # evicts "a", the least recent
+        assert quotas.evictions == 1
+        assert quotas.tenants() == ("b", "c")
+        # "a" returns with a *fresh* bucket: admitted despite having
+        # spent its budget before eviction (the documented failure mode).
+        assert quotas.admit("a")[0]
+
+    def test_touch_refreshes_recency(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(
+            rate=10.0, burst=10.0, clock=clock, max_tenants=2
+        )
+        quotas.admit("a")
+        quotas.admit("b")
+        quotas.admit("a")  # a is now the most recent
+        quotas.admit("c")
+        assert quotas.tenants() == ("a", "c")
+
+    def test_max_tenants_validation(self):
+        with pytest.raises(ValueError):
+            TenantQuotas(rate=1.0, max_tenants=0)

@@ -1,0 +1,122 @@
+"""Consistent-hash ring: determinism, bounded remap, failover chains."""
+
+import pytest
+
+from repro.cluster.ring import HashRing
+
+
+def make_ring(shard_ids, vnodes=64):
+    ring = HashRing(vnodes=vnodes)
+    for shard_id in shard_ids:
+        ring.add(shard_id)
+    return ring
+
+
+def owners(ring, keys):
+    return {key: ring.lookup(key) for key in keys}
+
+
+KEYS = [f"canon-{i:04d}" for i in range(1000)]
+
+
+class TestMembership:
+    def test_vnodes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+    def test_add_and_remove_are_idempotent(self):
+        ring = make_ring(["a", "b"])
+        assert ring.version == 2
+        ring.add("a")
+        assert ring.version == 2, "re-adding a member must not bump version"
+        ring.remove("missing")
+        assert ring.version == 2
+        ring.remove("a")
+        assert ring.version == 3
+        assert ring.shards == ("b",)
+        assert "a" not in ring and "b" in ring
+        assert len(ring) == 1
+
+    def test_empty_ring_refuses_lookup(self):
+        ring = HashRing()
+        with pytest.raises(LookupError):
+            ring.lookup("anything")
+        assert ring.lookup_chain("anything") == []
+
+
+class TestDeterminism:
+    def test_same_membership_routes_identically(self):
+        # Two independently-built rings (different insertion order) must
+        # agree on every key — the property that lets a restarted router
+        # or a smart bench client route like the live router.
+        a = make_ring(["shard-0", "shard-1", "shard-2"])
+        b = make_ring(["shard-2", "shard-0", "shard-1"])
+        assert owners(a, KEYS) == owners(b, KEYS)
+
+    def test_keys_spread_over_all_shards(self):
+        ring = make_ring([f"shard-{i}" for i in range(4)])
+        hit = set(owners(ring, KEYS).values())
+        assert hit == set(ring.shards), f"some shard owns nothing: {hit}"
+
+
+class TestBoundedRemap:
+    def test_adding_a_shard_only_steals(self):
+        # Structural exactness: every key that changes owner moves *to*
+        # the new shard; nothing shuffles between survivors.  Volume:
+        # ~K/N keys move; assert well under twice the expectation so the
+        # test stays deterministic-friendly across vnode counts.
+        ring = make_ring(["shard-0", "shard-1", "shard-2"], vnodes=128)
+        before = owners(ring, KEYS)
+        ring.add("shard-3")
+        after = owners(ring, KEYS)
+        moved = [k for k in KEYS if before[k] != after[k]]
+        assert moved, "a new shard must take over some keys"
+        assert all(after[k] == "shard-3" for k in moved)
+        expected = len(KEYS) / len(ring)
+        assert len(moved) < 2 * expected, (
+            f"{len(moved)} keys remapped; expected about {expected:.0f}"
+        )
+
+    def test_removing_a_shard_only_releases(self):
+        # Mirror property: every key that changes owner was on the
+        # removed shard; keys on survivors do not move at all.
+        ring = make_ring(["shard-0", "shard-1", "shard-2", "shard-3"],
+                         vnodes=128)
+        before = owners(ring, KEYS)
+        ring.remove("shard-1")
+        after = owners(ring, KEYS)
+        moved = [k for k in KEYS if before[k] != after[k]]
+        assert moved, "the removed shard must have owned some keys"
+        assert all(before[k] == "shard-1" for k in moved)
+        assert all(after[k] != "shard-1" for k in KEYS)
+
+    def test_remove_then_readd_restores_routing(self):
+        ring = make_ring(["shard-0", "shard-1", "shard-2"])
+        before = owners(ring, KEYS)
+        ring.remove("shard-1")
+        ring.add("shard-1")
+        assert owners(ring, KEYS) == before
+        assert ring.version == 5  # 3 adds + remove + re-add
+
+
+class TestFailoverChain:
+    def test_chain_head_is_the_owner(self):
+        ring = make_ring([f"shard-{i}" for i in range(4)])
+        for key in KEYS[:50]:
+            assert ring.lookup_chain(key)[0] == ring.lookup(key)
+
+    def test_chain_covers_every_shard_once(self):
+        ring = make_ring([f"shard-{i}" for i in range(4)])
+        for key in KEYS[:50]:
+            chain = ring.lookup_chain(key)
+            assert sorted(chain) == sorted(ring.shards)
+
+    def test_chain_predicts_failover_owner(self):
+        # The router retries a dead owner through the chain; the chain's
+        # second entry must be exactly who a ring *without* the owner
+        # would route to, so failover and membership-change agree.
+        ring = make_ring([f"shard-{i}" for i in range(4)])
+        for key in KEYS[:100]:
+            chain = ring.lookup_chain(key)
+            survivor = make_ring(s for s in ring.shards if s != chain[0])
+            assert survivor.lookup(key) == chain[1]

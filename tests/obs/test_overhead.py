@@ -1,10 +1,13 @@
-"""Disabled-tracing overhead guard: hooks must stay under 2% of runtime.
+"""Disabled-tracing overhead guard: hooks must stay under 1% of runtime.
 
 Comparing two wall-clock timings of the same simulation is noisy; the
 guard instead bounds the *worst case*: even if every instrumentation
 hook of a traced run paid the full null-tracer begin/end cost (the real
 disabled path pays only an ``enabled`` attribute check), the total must
-stay below 2% of the measured untraced runtime.
+stay below 1% of the measured untraced runtime.  A second guard bounds
+the *sampled-out* path the same way: with ``sample_every=N`` the common
+case is a counter bump plus an identity return, and it must stay within
+the same budget as the null path.
 """
 
 import time
@@ -36,13 +39,33 @@ def null_pair_cost(iterations=100_000):
     return (time.perf_counter() - start) / iterations
 
 
+def sampled_pair_cost(iterations=100_000):
+    # sample_every much larger than iterations: every begin/end pair
+    # below takes the sampled-out fast path (skip span, no allocation).
+    tracer = Tracer(trace_id="sampled-cost", sample_every=1_000_000)
+    start = time.perf_counter()
+    for _ in range(iterations):
+        span = tracer.begin("probe", cycles=1)
+        tracer.end(span, cycles=2)
+    elapsed = time.perf_counter() - start
+    assert tracer.started_total <= 1, "cost probe must measure the skip path"
+    return elapsed / iterations
+
+
 def test_null_tracer_hooks_are_constant_time():
     # A null begin/end pair must stay microsecond-scale: any accidental
     # allocation or dict work in the no-op path shows up here first.
     assert null_pair_cost(20_000) < 10e-6
 
 
-def test_disabled_overhead_below_two_percent_of_sim_runtime():
+def test_sampled_out_hooks_are_constant_time():
+    # The sampled-out path is the *enabled* hot path under sample_every>1:
+    # a counter bump and an identity return, no Span allocation, no
+    # timestamp, no ring append.  Same budget as the null path.
+    assert sampled_pair_cost(20_000) < 10e-6
+
+
+def test_disabled_overhead_below_one_percent_of_sim_runtime():
     wl, det, system = build_run()
     start = time.perf_counter()
     Simulator(system).run(wl, detectors=[det])
@@ -56,7 +79,36 @@ def test_disabled_overhead_below_two_percent_of_sim_runtime():
     assert hooks > 0, "instrumentation produced no spans at all"
 
     worst_case = hooks * null_pair_cost()
-    assert worst_case <= 0.02 * untraced_seconds, (
-        f"{hooks} hooks x null cost = {worst_case:.6f}s exceeds 2% of "
+    assert worst_case <= 0.01 * untraced_seconds, (
+        f"{hooks} hooks x null cost = {worst_case:.6f}s exceeds 1% of "
         f"the {untraced_seconds:.6f}s untraced run"
+    )
+
+
+def test_sampled_overhead_below_one_percent_of_sim_runtime():
+    # With 1-in-16 sampling active the traced run's hook population
+    # splits into recorded spans (full cost ~ null pair as the bound
+    # proxy) and sampled-out begins (skip-path cost); the combined
+    # worst case must also clear the 1% budget.
+    wl, det, system = build_run()
+    start = time.perf_counter()
+    Simulator(system).run(wl, detectors=[det])
+    untraced_seconds = time.perf_counter() - start
+
+    wl, det, system = build_run()
+    tracer = Tracer(trace_id="overhead", capacity=1_000_000, sample_every=16)
+    with tracing(tracer):
+        Simulator(system).run(wl, detectors=[det])
+    recorded = tracer.started_total
+    dropped = tracer.sampled_out_total
+    assert recorded > 0 and dropped > 0
+    # 1-in-16 must actually thin the stream (ratio is approximate only
+    # because nested begins interleave with the phase).
+    assert recorded < (recorded + dropped) / 8
+
+    worst_case = recorded * null_pair_cost() + dropped * sampled_pair_cost()
+    assert worst_case <= 0.01 * untraced_seconds, (
+        f"{recorded} recorded + {dropped} sampled-out hooks = "
+        f"{worst_case:.6f}s exceeds 1% of the {untraced_seconds:.6f}s "
+        "untraced run"
     )

@@ -8,6 +8,7 @@
 #   make test-scalar   tier-1 suite forced onto the scalar reference engine
 #   make differential  scalar-vs-batched bit-identity tests
 #   make bench-engine  engine speedup smoke benchmark
+#   make spec-smoke    declarative-spec gate: cold run, warm run all-hits
 #   make serve-smoke   boot `repro serve`, round-trip, SIGTERM drain
 #   make cluster-smoke boot `repro route` (2 shards), kill one mid-load,
 #                      require byte-identical settled responses + clean drain
@@ -23,7 +24,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint lint-full mypy test test-scalar differential bench-engine serve-smoke cluster-smoke bench-service bench-cluster remap-smoke test-chaos trace-smoke cov bench ci
+.PHONY: lint lint-full mypy test test-scalar differential bench-engine spec-smoke serve-smoke cluster-smoke bench-service bench-cluster remap-smoke test-chaos trace-smoke cov bench ci
 
 # Incremental by default: warm re-runs only re-analyze changed files
 # (cache: .repro-lint-cache/, safe to delete).  Honors REPRO_LINT_NO_CACHE=1.
@@ -57,6 +58,12 @@ bench-engine:
 
 serve-smoke:
 	$(PYTHON) -m repro.service.smoke
+
+# Declarative-spec gate: run the sampling-ablation spec cold then warm
+# into a fresh cache; the warm pass must be all cache hits with
+# byte-identical artifacts (spec loading, grid runner, memoization).
+spec-smoke:
+	$(PYTHON) -m repro.experiments.spec_smoke
 
 # Chaos gate for the sharded cluster: a 2-shard router boots, a fault
 # plan kills the forward target mid-sequence, and the settled response
@@ -110,4 +117,4 @@ cov:
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-ci: lint lint-full mypy test test-scalar differential bench-engine serve-smoke cluster-smoke remap-smoke test-chaos trace-smoke cov
+ci: lint lint-full mypy test test-scalar differential bench-engine spec-smoke serve-smoke cluster-smoke remap-smoke test-chaos trace-smoke cov

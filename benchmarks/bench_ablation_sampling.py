@@ -1,38 +1,26 @@
 """Ablation — SM sampling threshold (DESIGN.md §5.1).
 
-Sweeps the paper's n (search every n-th TLB miss) and renders the
-accuracy-vs-overhead trade-off curve.  The expected shape: overhead falls
-~linearly with n while accuracy degrades slowly — which is why the paper
-can afford n=100 at full scale.
+Driven by ``benchmarks/specs/ablation_sampling.toml``: sweeps the paper's
+n (search every n-th TLB miss) and renders the accuracy-vs-overhead
+trade-off curve.  The expected shape: overhead falls ~linearly with n
+while accuracy degrades slowly — which is why the paper can afford n=100
+at full scale.
 """
 
-from conftest import bench_config, save_artifact
-
-from repro.experiments.ablations import sm_sampling_sweep
-from repro.util.render import format_table
+from conftest import run_bench_spec, save_artifact, spec_params
 
 
 def test_sm_sampling_sweep(benchmark, out_dir):
-    cfg = bench_config()
-    scale = min(cfg.scale, 0.4)
-
-    def run():
-        return sm_sampling_sweep(
-            "sp", thresholds=(1, 4, 16, 64, 256), scale=scale, seed=cfg.seed
-        )
-
-    records = benchmark.pedantic(run, rounds=1, iterations=1)
-    rows = [
-        [int(r["threshold"]), f"{r['accuracy']:.3f}",
-         f"{100 * r['overhead']:.3f}%", int(r["searches"])]
-        for r in records
-    ]
-    text = format_table(
-        rows, header=["n (sample 1/n misses)", "accuracy (Pearson)",
-                      "overhead", "searches"]
+    params = {"scale": min(spec_params()["scale"], 0.4)}
+    run = benchmark.pedantic(
+        run_bench_spec, args=("ablation_sampling",),
+        kwargs={"params": params, "out_dir": out_dir},
+        rounds=1, iterations=1,
     )
-    save_artifact(out_dir, "ablation_sm_sampling.txt", text)
+    save_artifact(out_dir, "ablation_sm_sampling.txt",
+                  run.artifacts["ablation_sm_sampling.txt"])
 
+    records = run.results
     # Overhead decreases monotonically with n.
     overheads = [r["overhead"] for r in records]
     assert all(a >= b for a, b in zip(overheads, overheads[1:]))

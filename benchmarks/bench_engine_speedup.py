@@ -1,7 +1,9 @@
 """Smoke benchmark: the batched engine vs the scalar reference.
 
-Runs the heaviest Figure-6 kernel (SP at the bench scale) through both
-engines on identical, pre-materialized traces and asserts two things:
+Driven by ``benchmarks/specs/engine_speedup.toml`` (the ``engine``
+pipeline).  Runs the heaviest Figure-6 kernel (SP at the bench scale)
+through both engines on identical, pre-materialized traces and asserts
+two things:
 
 1. **Bit-identity** — every paper counter (execution cycles, per-core
    cycles, invalidations, snoops, L2 misses, TLB misses, ...) matches
@@ -20,33 +22,9 @@ pytest with the rest of the bench suite.
 
 from __future__ import annotations
 
-import dataclasses
 import os
-import time
 
-from conftest import save_artifact
-from repro.machine.simulator import SimConfig, Simulator
-from repro.machine.system import System
-from repro.machine.topology import harpertown
-from repro.workloads.npb import make_npb_workload
-
-#: Counters that must match bit-for-bit between engines.
-COMPARED_FIELDS = (
-    "execution_cycles",
-    "core_cycles",
-    "accesses",
-    "invalidations",
-    "snoop_transactions",
-    "l2_misses",
-    "memory_fetches",
-    "l1_sibling_invalidations",
-    "tlb_accesses",
-    "tlb_misses",
-    "inter_chip_transactions",
-    "intra_chip_transactions",
-)
-
-KERNEL = "sp"
+from conftest import run_bench_spec, save_artifact
 
 
 def _bench_scale() -> float:
@@ -57,55 +35,12 @@ def _speedup_floor() -> float:
     return float(os.environ.get("REPRO_BENCH_SPEEDUP_FLOOR", "2.0"))
 
 
-def _workload():
-    return make_npb_workload(KERNEL, num_threads=8, scale=_bench_scale(),
-                             seed=2012)
-
-
-def _timed_run(engine: str, repeats: int = 2):
-    """Best-of-``repeats`` wall time plus the (identical) result.
-
-    The workload is constructed outside the timed region and its phase
-    list materialized once, so both engines are timed on pure simulation
-    of the same trace — generation cost is excluded.
-    """
-    wl = _workload()
-    wl.phases()  # materialize/cache trace generation outside the timer
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        sim = Simulator(System(harpertown()), SimConfig(engine=engine))
-        t0 = time.perf_counter()
-        result = sim.run(wl)
-        best = min(best, time.perf_counter() - t0)
-    return best, result
-
-
 def run_speedup_smoke() -> dict:
-    """Run both engines; return timings and assert identity + floor."""
-    t_scalar, r_scalar = _timed_run("scalar")
-    t_batched, r_batched = _timed_run("batched")
-    a = dataclasses.asdict(r_scalar)
-    b = dataclasses.asdict(r_batched)
-    for field in COMPARED_FIELDS:
-        assert a[field] == b[field], (
-            f"engine divergence in {field}: scalar={a[field]!r} "
-            f"batched={b[field]!r}"
-        )
-    speedup = t_scalar / t_batched if t_batched else float("inf")
-    floor = _speedup_floor()
-    assert speedup >= floor, (
-        f"batched engine only {speedup:.2f}x faster than scalar "
-        f"(floor {floor}x) — fast path regressed"
-    )
-    return {
-        "kernel": KERNEL,
-        "scale": _bench_scale(),
-        "accesses": a["accesses"],
-        "scalar_seconds": t_scalar,
-        "batched_seconds": t_batched,
-        "speedup": speedup,
-    }
+    """Run both engines; the pipeline asserts identity + floor."""
+    run = run_bench_spec("engine_speedup", params={
+        "scale": _bench_scale(), "speedup_floor": _speedup_floor(),
+    })
+    return run.results
 
 
 def test_engine_speedup_smoke(out_dir):

@@ -1,55 +1,42 @@
 """Extension — Table V's variance, reproduced physically.
 
-The paper attributes the OS scheduler's large execution-time standard
-deviations to its arbitrary placements, and the mapped runs' small ones
-to placement stability.  With the OS-noise model switched on (random
+Driven by ``benchmarks/specs/ext_noise_variance.toml``.  The paper
+attributes the OS scheduler's large execution-time standard deviations
+to its arbitrary placements, and the mapped runs' small ones to
+placement stability.  With the OS-noise model switched on (random
 preemptions + TLB flushes on every run), our ensembles carry *both*
 variance sources, and the paper's signature emerges: the OS rows' spread
 dominates because placement variance stacks on top of the noise floor
 that is all the mapped runs have.
 """
 
-from conftest import bench_config, save_artifact
+from conftest import run_bench_spec, save_artifact, spec_params
 
-from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import ExperimentRunner
-from repro.util.render import format_table
 from repro.util.stats import summarize
 
 
 def test_noise_variance(benchmark, out_dir):
-    base = bench_config()
-    config = ExperimentConfig(
-        benchmarks=("bt", "sp", "mg"),
-        scale=min(base.scale, 0.25),
-        os_runs=5,
-        mapped_runs=5,
-        sm_sample_threshold=4,
-        hm_period_cycles=80_000,
-        seed=base.seed,
-        noise_rate=0.02,
+    # Ensemble sizes (5/5) and the noise rate are pinned by the spec;
+    # only the workload scale tracks the bench environment.
+    params = {"scale": min(spec_params()["scale"], 0.25)}
+    run = benchmark.pedantic(
+        run_bench_spec, args=("ext_noise_variance",),
+        kwargs={"params": params, "out_dir": out_dir},
+        rounds=1, iterations=1,
     )
+    save_artifact(out_dir, "ext_noise_variance.txt",
+                  run.artifacts["ext_noise_variance.txt"])
 
-    def run():
-        return ExperimentRunner(config).run_suite()
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
-    rows = []
     spreads = {}
-    for name, r in results.items():
-        row = [name.upper()]
+    for name, r in run.results.items():
         for policy in ("OS", "SM", "HM"):
             cv = summarize(r.runs[policy].metric("execution_cycles")).relative_std
             spreads[(name, policy)] = cv
-            row.append(f"{100 * cv:.2f}%")
-        rows.append(row)
-    text = format_table(rows, header=["bench", "OS std", "SM std", "HM std"])
-    save_artifact(out_dir, "ext_noise_variance.txt", text)
 
     # Aggregate: OS spread dominates the mapped policies' (Table V shape).
-    os_total = sum(spreads[(n, "OS")] for n in results)
-    sm_total = sum(spreads[(n, "SM")] for n in results)
-    hm_total = sum(spreads[(n, "HM")] for n in results)
+    os_total = sum(spreads[(n, "OS")] for n in run.results)
+    sm_total = sum(spreads[(n, "SM")] for n in run.results)
+    hm_total = sum(spreads[(n, "HM")] for n in run.results)
     assert os_total > sm_total
     assert os_total > hm_total
     # And the mapped runs are NOT variance-free (the noise is real).

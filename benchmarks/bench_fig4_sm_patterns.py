@@ -1,30 +1,30 @@
 """Figure 4 — communication patterns detected by the SM mechanism.
 
-Renders one heatmap per NPB benchmark and checks the qualitative claims
-the paper reads off this figure: domain-decomposition benchmarks show
-neighbour-dominant matrices, LU additionally shows distant (mirror)
-communication, MG's upper thread pairs stand out, and the homogeneous
+Driven by the declarative spec ``benchmarks/specs/fig4_sm_patterns.toml``
+(one heatmap per NPB benchmark, text + SVG); this script only runs the
+spec and checks the qualitative claims the paper reads off the figure:
+domain-decomposition benchmarks show neighbour-dominant matrices, LU
+additionally shows distant (mirror) communication, and the homogeneous
 benchmarks show no structure that the mapper could exploit.
 """
 
-from conftest import save_artifact
+from conftest import run_bench_spec, save_artifact, spec_params
 
 from repro.core.accuracy import pattern_class_of, pearson_similarity
-from repro.experiments.figures import fig4
 
 
-def test_render_fig4(benchmark, suite_results, out_dir):
-    maps = benchmark(fig4, suite_results)
-    save_artifact(out_dir, "fig4_sm_patterns.txt", "\n\n".join(
-        maps[name] for name in sorted(maps)
-    ))
-    from repro.experiments.figures import heatmap_svgs
-    for name, svg in heatmap_svgs(suite_results, "SM").items():
-        (out_dir / f"fig4_{name}.svg").write_text(svg + "\n")
+def test_render_fig4(benchmark, out_dir):
+    run = benchmark.pedantic(
+        run_bench_spec, args=("fig4_sm_patterns",),
+        kwargs={"params": spec_params(), "out_dir": out_dir},
+        rounds=1, iterations=1,
+    )
+    save_artifact(out_dir, "fig4_sm_patterns.txt",
+                  run.artifacts["fig4_sm_patterns.txt"])
 
     # Qualitative checks, per Section VI-A.
-    sm = {name: r.detected["SM"] for name, r in suite_results.items()}
-    oracle = {name: r.detected["oracle"] for name, r in suite_results.items()}
+    sm = {name: r.detected["SM"] for name, r in run.results.items()}
+    oracle = {name: r.detected["oracle"] for name, r in run.results.items()}
 
     # Domain benchmarks: detected matrices correlate with ground truth.
     for name in ("bt", "sp", "ua"):

@@ -1,23 +1,28 @@
 """Figure 6 — execution time normalized to the OS scheduler.
 
-Shape targets (paper Section VI-B): every benchmark runs at least as fast
-under the detected mappings as under the OS scheduler; SP shows the
-largest improvement (paper: −15.3%); the homogeneous benchmarks (CG, EP,
-FT) show essentially none.
+Driven by ``benchmarks/specs/fig6_exec_time.toml``; the spec shares its
+protocol cells with fig4's through the on-disk cache.  Shape targets
+(paper Section VI-B): every benchmark runs at least as fast under the
+detected mappings as under the OS scheduler; SP shows the largest
+improvement (paper: −15.3%); the homogeneous benchmarks (CG, EP, FT)
+show essentially none.
 """
 
-from conftest import save_artifact
+from conftest import run_bench_spec, save_artifact, spec_params
 
-from repro.experiments.figures import fig6, figure_data
+from repro.experiments.figures import figure_data
 
 
-def test_render_fig6(benchmark, suite_results, out_dir):
-    text = benchmark(fig6, suite_results)
-    save_artifact(out_dir, "fig6_exec_time.txt", text)
-    from repro.experiments.figures import figure_svg
-    (out_dir / "fig6_exec_time.svg").write_text(figure_svg(suite_results, 6) + "\n")
+def test_render_fig6(benchmark, out_dir):
+    run = benchmark.pedantic(
+        run_bench_spec, args=("fig6_exec_time",),
+        kwargs={"params": spec_params(), "out_dir": out_dir},
+        rounds=1, iterations=1,
+    )
+    save_artifact(out_dir, "fig6_exec_time.txt",
+                  run.artifacts["fig6_exec_time.txt"])
 
-    data = figure_data(suite_results, 6)
+    data = figure_data(run.results, 6)
 
     # Nobody loses to the OS scheduler (beyond noise).
     for name, row in data.items():

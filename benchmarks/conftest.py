@@ -54,6 +54,36 @@ def bench_cache_dir() -> "str | None":
     return raw
 
 
+#: Declarative experiment specs the ported benches execute (see
+#: EXPERIMENTS.md "Declarative experiment specs").
+SPEC_DIR = pathlib.Path(__file__).parent / "specs"
+
+
+def spec_params() -> dict:
+    """Runtime overrides from the bench environment (scale, ensembles)."""
+    return {
+        "scale": float(os.environ.get("REPRO_BENCH_SCALE", "0.4")),
+        "os_runs": int(os.environ.get("REPRO_BENCH_OS_RUNS", "4")),
+        "mapped_runs": int(os.environ.get("REPRO_BENCH_MAPPED_RUNS", "2")),
+    }
+
+
+def run_bench_spec(name: str, params: "dict | None" = None,
+                   out_dir: "pathlib.Path | None" = None):
+    """Load ``benchmarks/specs/<name>.toml`` and execute it.
+
+    Specs that agree on a cell's configuration (e.g. fig4 and fig6, or a
+    spec and the legacy ``suite_results`` fixture) share results through
+    the on-disk cache, so a bench session simulates each cell once.
+    """
+    from repro.experiments.specs import load_spec, run_spec
+
+    spec = load_spec(SPEC_DIR / f"{name}.toml")
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    return run_spec(spec, params=params, workers=workers,
+                    cache_dir=bench_cache_dir(), out_dir=out_dir)
+
+
 @pytest.fixture(scope="session")
 def suite_results():
     """One full suite run shared by all table/figure benches."""

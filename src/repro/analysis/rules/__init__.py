@@ -14,6 +14,7 @@ from repro.analysis.rules import (  # noqa: F401  (import-for-side-effect)
     rpl005_hygiene,
     rpl006_blocking,
     rpl007_obs_clock,
+    rpl008_specs,
     rpl101_taint,
     rpl102_atomicity,
     rpl103_seed_lineage,
@@ -28,6 +29,7 @@ __all__ = [
     "rpl005_hygiene",
     "rpl006_blocking",
     "rpl007_obs_clock",
+    "rpl008_specs",
     "rpl101_taint",
     "rpl102_atomicity",
     "rpl103_seed_lineage",

@@ -11,6 +11,10 @@ Commands:
   trace through the simulator.
 * ``ablate`` — run one of the design-choice sweeps (sampling, HM period,
   TLB geometry, page size, L2 TLB, mapper comparison) and print the table.
+* ``run-spec`` — execute a declarative experiment spec
+  (``benchmarks/specs/*.toml``) through the memoizing grid runner and
+  print or write its rendered artifacts (see
+  :mod:`repro.experiments.specs`).
 * ``lint`` — run the RPL static-analysis rules (determinism, engine
   parity; see :mod:`repro.analysis`).
 * ``serve`` — run the mapping-as-a-service HTTP front end
@@ -173,6 +177,26 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.3)
     p.add_argument("--seed", type=int, default=2012)
     p.add_argument("--threads", type=int, default=8)
+
+    p = sub.add_parser(
+        "run-spec",
+        help="execute a declarative experiment spec (benchmarks/specs/)",
+    )
+    p.add_argument("spec",
+                   help="spec TOML path, or a bare spec name resolved "
+                        "against benchmarks/specs/")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool size for grid cells (default 1)")
+    p.add_argument("--cache", type=str, default=None, metavar="DIR",
+                   help="result-cache directory (memoizes cells)")
+    p.add_argument("--cache-bytes", type=int, default=None, metavar="N",
+                   help="LRU byte budget for the cache (default unbounded)")
+    p.add_argument("--out", type=str, default=None, metavar="DIR",
+                   help="write rendered artifacts here instead of stdout")
+    p.add_argument("--set", action="append", default=[], dest="params",
+                   metavar="KEY=VALUE",
+                   help="runtime param layered over the spec's overrides "
+                        "(repeatable), e.g. --set scale=0.1")
 
     p = sub.add_parser("ablate", help="run one ablation sweep")
     p.add_argument("sweep", choices=("sm-sampling", "hm-period",
@@ -457,6 +481,54 @@ def _cmd_ablate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_spec_param(text: str) -> tuple:
+    """``KEY=VALUE`` with int/float coercion (strings pass through)."""
+    key, sep, value = text.partition("=")
+    if not sep or not key:
+        raise SystemExit(f"--set expects KEY=VALUE, got {text!r}")
+    for cast in (int, float):
+        try:
+            return key, cast(value)
+        except ValueError:
+            continue
+    return key, value
+
+
+def _cmd_run_spec(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.experiments.specs import load_spec, run_spec
+    from repro.util.validation import ValidationError
+
+    path = pathlib.Path(args.spec)
+    if not path.exists() and path.suffix != ".toml":
+        path = pathlib.Path("benchmarks") / "specs" / f"{args.spec}.toml"
+    if not path.exists():
+        print(f"repro run-spec: no such spec: {args.spec}", file=sys.stderr)
+        return 2
+    params = dict(_parse_spec_param(item) for item in args.params)
+    try:
+        run = run_spec(
+            load_spec(path), params=params, workers=args.workers,
+            cache_dir=args.cache, cache_bytes=args.cache_bytes,
+            out_dir=args.out,
+        )
+    except ValidationError as exc:
+        print(f"repro run-spec: {exc}", file=sys.stderr)
+        return 2
+    if args.out is None:
+        for name in sorted(run.artifacts):
+            if name.endswith(".txt"):
+                print(run.artifacts[name])
+                print()
+    else:
+        for name in sorted(run.artifacts):
+            print(f"wrote {pathlib.Path(args.out) / name}")
+    print(f"{run.spec.name}: {len(run.rows)} cells, "
+          f"{run.cache_hits} cached, {run.cache_misses} simulated")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     try:
@@ -484,6 +556,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_replay(args)
     if args.command == "ablate":
         return _cmd_ablate(args)
+    if args.command == "run-spec":
+        return _cmd_run_spec(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "serve":

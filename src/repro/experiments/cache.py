@@ -91,16 +91,30 @@ class ResultCache:
     so concurrent workers (the runner's process pool) never observe a
     half-written entry — the worst race is two workers computing the same
     result and one replace winning, which is harmless.
+
+    With ``max_bytes`` set, the directory is additionally an LRU with a
+    byte budget: every hit refreshes the entry's mtime, and every write
+    evicts least-recently-used ``.pkl`` files until the directory fits —
+    so a long spec sweep cannot grow the on-disk cache unboundedly.  The
+    budget is best-effort (the just-written entry always survives, even
+    alone over budget) and eviction races between concurrent workers are
+    harmless: losing an entry is just a future miss.
     """
 
     #: Subdirectory collecting corrupt entries moved out of the way.
     QUARANTINE_DIR = "quarantine"
 
-    def __init__(self, root: "str | Path"):
+    def __init__(self, root: "str | Path", max_bytes: Optional[int] = None):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: LRU byte budget for the ``.pkl`` entries (None = unbounded).
+        self.max_bytes = max_bytes
         #: Corrupt entries moved to the quarantine directory so far.
         self.quarantined = 0
+        #: Entries evicted to stay under ``max_bytes`` so far.
+        self.evicted = 0
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
@@ -116,7 +130,15 @@ class ResultCache:
         path = self._path(key)
         try:
             with path.open("rb") as fh:
-                return pickle.load(fh)
+                value = pickle.load(fh)
+            if self.max_bytes is not None:
+                # LRU recency: a hit makes the entry newest, so eviction
+                # (sorted by mtime) reaps the cold tail first.
+                try:
+                    os.utime(path)
+                except OSError:
+                    pass  # a concurrent eviction already removed it
+            return value
         except FileNotFoundError:
             return None  # plain miss: nothing was ever stored
         except (OSError, pickle.UnpicklingError, EOFError,
@@ -159,6 +181,42 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self.max_bytes is not None:
+            self._enforce_budget(keep=self._path(key))
+
+    def _enforce_budget(self, keep: Path) -> None:
+        """Evict oldest-mtime entries until the directory fits ``max_bytes``.
+
+        ``keep`` (the entry just written) is never evicted — the budget
+        bounds *growth*, it must not turn the current put into a no-op.
+        Quarantined files are outside the budget: they are evidence, not
+        cache, and are bounded by the corruption count, not the sweep.
+        """
+        entries = []
+        total = 0
+        for path in self.root.glob("*.pkl"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue  # raced with another worker's eviction
+            total += st.st_size
+            if path != keep:
+                entries.append((st.st_mtime, path, st.st_size))
+        entries.sort()
+        assert self.max_bytes is not None
+        for _, path, size in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            self.evicted += 1
+
+    def total_bytes(self) -> int:
+        """Bytes currently held by ``.pkl`` entries (quarantine excluded)."""
+        return sum(p.stat().st_size for p in self.root.glob("*.pkl"))
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()

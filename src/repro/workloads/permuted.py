@@ -1,0 +1,52 @@
+"""Thread-label permutation of an existing workload.
+
+The paper's detection-and-mapping protocol must be equivariant under
+thread relabeling: which integer names a thread is an artifact of the
+runtime, not of the application's communication structure.
+:class:`PermutedWorkload` makes that property executable — thread ``i``
+of the permuted workload runs the access stream of thread ``perm[i]`` of
+the base workload, phase by phase, with addresses untouched.
+
+Composing the placement accordingly (thread ``i`` on the core the base
+run gave ``perm[i]``) yields a *physically identical* simulation, so
+every counter matches exactly and the detected communication matrix is
+the exact relabeling ``M'[i, j] == M[perm[i], perm[j]]``.  The
+metamorphic suite (``tests/experiments/test_metamorphic.py``) holds the
+protocol to that equality.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.workloads.base import Phase, Workload
+
+
+def check_permutation(perm: Sequence[int], num_threads: int) -> List[int]:
+    """Validate that ``perm`` is a permutation of range(num_threads)."""
+    p = [int(x) for x in perm]
+    if sorted(p) != list(range(num_threads)):
+        raise ValueError(
+            f"perm {perm!r} is not a permutation of range({num_threads})")
+    return p
+
+
+class PermutedWorkload(Workload):
+    """``base`` with its thread labels permuted: ``i`` runs ``perm[i]``."""
+
+    pattern_class = "irregular"
+
+    def __init__(self, base: Workload, perm: Sequence[int]):
+        super().__init__(base.num_threads, seed=0)
+        self.base = base
+        self.perm = check_permutation(perm, base.num_threads)
+        self.name = f"{base.name}-perm"
+        self.pattern_class = base.pattern_class
+
+    def generate_phases(self) -> Iterator[Phase]:
+        for phase in self.base.phases():
+            yield Phase(
+                name=phase.name,
+                streams=[phase.streams[self.perm[i]]
+                         for i in range(self.num_threads)],
+            )

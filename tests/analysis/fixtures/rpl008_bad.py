@@ -1,0 +1,25 @@
+"""Fixture: RPL008 must flag hand-rolled config sweeps in bench scripts."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_suite
+from repro.machine.simulator import SimConfig, Simulator
+
+
+def sweep_scales(scales):
+    results = []
+    for scale in scales:
+        config = ExperimentConfig(scale=scale)
+        results.append(run_suite(config))
+    return results
+
+
+def sweep_thresholds(thresholds):
+    results = []
+    while thresholds:
+        n = thresholds.pop()
+        results.append(Simulator(SimConfig(sm_sample_threshold=n)))
+    return results
+
+
+def sweep_comprehension(seeds):
+    return [SimConfig(seed=seed) for seed in seeds]

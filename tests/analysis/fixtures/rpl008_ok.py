@@ -1,0 +1,31 @@
+"""Fixture: RPL008 must pass spec-driven benches and non-sweep loops."""
+
+from repro.experiments.specs import load_spec, run_spec
+from repro.machine.simulator import SimConfig, Simulator
+
+
+def run_from_spec(path, params):
+    # The blessed path: the grid lives in the spec, not in a loop here.
+    return run_spec(load_spec(path), params=params)
+
+
+def single_cell():
+    # One config outside any loop is not a sweep.
+    return Simulator(SimConfig(quantum=64))
+
+
+def render_rows(results):
+    # Loops over *results* are fine; only config construction sweeps.
+    rows = []
+    for name, result in sorted(results.items()):
+        rows.append(f"{name} {result}")
+    return rows
+
+
+def make_runners(points):
+    for point in points:
+        # A helper *defined* in a loop body does not run per iteration.
+        def runner():
+            return Simulator(SimConfig(quantum=point))
+
+        yield runner

@@ -24,6 +24,7 @@ SNAPSHOT_CONFIG = dict(
     rpl004={"config-classes": ["FixtureConfig"]},
     rpl006={"paths": ["rpl006_*.py"]},
     rpl007={"paths": ["rpl007_*.py"]},
+    rpl008={"paths": ["rpl008_*.py"]},
     rpl101={"protected": ["*rpl101_core_*.py"]},
     rpl102={"paths": ["rpl102_*.py"]},
     rpl104={"allow-calls": ["get_context"]},
@@ -66,7 +67,7 @@ class TestJsonReporter:
         assert sum(payload["counts"].values()) == payload["total"]
         assert {f["rule"] for f in payload["findings"]} == {
             "RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006",
-            "RPL007", "RPL101", "RPL102", "RPL103", "RPL104",
+            "RPL007", "RPL008", "RPL101", "RPL102", "RPL103", "RPL104",
         }
 
     def test_snapshot(self):

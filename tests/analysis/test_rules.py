@@ -195,6 +195,45 @@ class TestRPL007:
         assert lint_fixture("rpl007_bad.py", cfg) == []
 
 
+RPL008 = {"paths": ["rpl008_*.py"]}
+
+
+class TestRPL008:
+    def test_flags_hand_rolled_sweeps(self):
+        findings = lint_fixture("rpl008_bad.py", fixture_config(rpl008=RPL008))
+        assert rule_ids(findings) == {"RPL008"}
+        # for-loop (ExperimentConfig + run_suite), while-loop
+        # (Simulator + SimConfig), comprehension (SimConfig).
+        assert len(findings) == 5
+        messages = " ".join(f.message for f in findings)
+        for name in ("ExperimentConfig", "run_suite", "Simulator", "SimConfig"):
+            assert name in messages
+        assert "port this bench" in messages
+
+    def test_passes_spec_driven_bench(self):
+        assert lint_fixture("rpl008_ok.py", fixture_config(rpl008=RPL008)) == []
+
+    def test_allow_list_exempts_unported_script(self):
+        cfg = fixture_config(rpl008=dict(RPL008, allow=["rpl008_bad.py"]))
+        assert lint_fixture("rpl008_bad.py", cfg) == []
+
+    def test_existing_spec_overrides_allow_list(self):
+        # Once a spec with the matching stem exists, the allowlist no
+        # longer shields the hand-rolled loop: it is a regression.
+        cfg = fixture_config(rpl008=dict(
+            RPL008, allow=["rpl008_bad.py"], specs=["rpl008_bad"]))
+        findings = lint_fixture("rpl008_bad.py", cfg)
+        assert rule_ids(findings) == {"RPL008"}
+        assert len(findings) == 5
+        assert all("'rpl008_bad.toml' exists" in f.message for f in findings)
+        assert all("run_bench_spec" in f.message for f in findings)
+
+    def test_default_paths_do_not_match_fixture(self):
+        # The shipped default scopes the rule to benchmarks/bench_*.py;
+        # the fixture only fires when tests point the rule at it.
+        assert lint_fixture("rpl008_bad.py", fixture_config()) == []
+
+
 RPL101 = {"protected": ["*rpl101_core_*.py"]}
 
 

@@ -1,0 +1,166 @@
+"""Metamorphic harness: the paper's core invariants over synthesized scenarios.
+
+Each invariant runs on scenarios drawn from the seed-stable synthesizer
+(:mod:`repro.experiments.synth`), and each has a *non-vacuity* twin: the
+same checker fed a deliberately broken transform must raise.  A checker
+that cannot fail proves nothing; these twins are what make the passing
+runs evidence.
+
+Invariants:
+
+* thread-label permutation — oracle communication matrix and its
+  canonical form are fixed exactly; the protocol's mapping outcome and
+  mapped execution cycles are fixed within measured engine bands;
+* detection noise stability — TLB-flushing preemptions during detection
+  must not degrade the mapping (normalized cost on the clean matrix);
+* reuse-distance oracle — an analytical per-set LRU model brackets the
+  simulated L2 miss counter from both sides.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detection import DetectorConfig
+from repro.experiments.synth import (
+    ReuseBounds,
+    ScenarioSynthesizer,
+    _performance_run,
+    build_topology,
+    build_workload,
+    check_noise_stability,
+    check_permutation_invariance,
+    check_reuse_distance,
+    detect_matrix,
+    detector_config,
+    reuse_distance_bounds,
+)
+from repro.mapping.hierarchical import hierarchical_mapping
+
+SYNTH = ScenarioSynthesizer(seed=2012)
+POOL = SYNTH.sample(40)
+
+
+def pick(family: str, max_scale: float = 0.15):
+    """First synthesized scenario of a family under the scale cap —
+    deterministic because the synthesizer is seed-stable."""
+    for sc in POOL:
+        if sc.family == family and sc.scale <= max_scale:
+            return sc
+    raise LookupError(f"no {family} scenario under scale {max_scale}")
+
+
+def rotation(n: int):
+    return list(range(1, n)) + [0]
+
+
+class TestPermutationInvariance:
+    def test_structured_workload(self):
+        sc = pick("pipeline")
+        wl = build_workload(sc)
+        topo = build_topology(sc)
+        out = check_permutation_invariance(
+            wl, topo, rotation(sc.num_threads), detector_config(sc))
+        # The pulled-back mapping is not merely within tolerance: on a
+        # clean pipeline it is cost-identical to the base mapping.
+        assert out["pull_cost"] == pytest.approx(out["base_cost"])
+
+    def test_npb_kernel(self):
+        sc = pick("npb", max_scale=0.2)
+        wl = build_workload(sc)
+        topo = build_topology(sc)
+        check_permutation_invariance(
+            wl, topo, rotation(sc.num_threads), detector_config(sc))
+
+    def test_non_trivial_permutation(self):
+        sc = pick("nearest_neighbor")
+        wl = build_workload(sc)
+        topo = build_topology(sc)
+        n = sc.num_threads
+        perm = list(reversed(range(n)))
+        check_permutation_invariance(wl, topo, perm, detector_config(sc))
+
+    def test_relabel_transform_is_essential(self):
+        # Non-vacuity: comparing the permuted oracle against the
+        # *unrelabeled* base matrix is the broken transform — it must
+        # fail on a structured workload, or the checker compares nothing.
+        sc = pick("pipeline")
+        wl = build_workload(sc)
+        topo = build_topology(sc)
+        with pytest.raises(AssertionError, match="broken transform"):
+            check_permutation_invariance(
+                wl, topo, rotation(sc.num_threads), detector_config(sc),
+                relabel=False)
+
+    def test_rejects_non_permutation(self):
+        sc = pick("pipeline")
+        wl = build_workload(sc)
+        topo = build_topology(sc)
+        with pytest.raises(ValueError, match="not a permutation"):
+            check_permutation_invariance(
+                wl, topo, [0] * sc.num_threads, detector_config(sc))
+
+
+class TestNoiseStability:
+    def test_structured_workloads(self):
+        for family in ("pipeline", "nearest_neighbor"):
+            sc = pick(family)
+            wl = build_workload(sc)
+            topo = build_topology(sc)
+            out = check_noise_stability(
+                wl, topo, noise_rate=0.02, noise_seed=sc.seed)
+            # On clean structure the mapping is not merely cost-stable:
+            # the L2 grouping itself survives the noise.
+            assert out["noisy_profile"] == out["clean_profile"]
+
+    def test_corrupted_matrix_fails(self):
+        # Non-vacuity: rolling the detected matrix (a symmetric,
+        # zero-diagonal corruption — structurally a plausible matrix)
+        # rewires the heavy pairs and must blow the cost envelope.
+        sc = pick("pipeline")
+        wl = build_workload(sc)
+        topo = build_topology(sc)
+        with pytest.raises(AssertionError, match="normalized"):
+            check_noise_stability(wl, topo, corrupt=True)
+
+
+class TestReuseDistanceOracle:
+    def _bounds_and_run(self, sc):
+        wl = build_workload(sc)
+        topo = build_topology(sc)
+        matrix, _ = detect_matrix(wl, topo, "SM", detector_config(sc))
+        mapping = hierarchical_mapping(matrix, topo)
+        result = _performance_run(build_workload(sc), topo, mapping)
+        bounds = reuse_distance_bounds(wl, topo, mapping=mapping)
+        return bounds, result
+
+    @pytest.mark.parametrize("family", ["nearest_neighbor", "all_to_all"])
+    def test_band_brackets_simulated_misses(self, family):
+        sc = pick(family)
+        bounds, result = self._bounds_and_run(sc)
+        out = check_reuse_distance(result, bounds)
+        assert out["lo"] <= out["l2_misses"] <= out["hi"]
+        # The lower bound is the sound part: first touch of a line in an
+        # L2 domain is always a counted miss, so this holds exactly.
+        assert bounds.cold_misses <= result.l2_misses
+
+    def test_identity_mapping_band(self):
+        sc = pick("pipeline")
+        wl = build_workload(sc)
+        topo = build_topology(sc)
+        result = _performance_run(build_workload(sc), topo,
+                                  list(range(sc.num_threads)))
+        bounds = reuse_distance_bounds(wl, topo)
+        check_reuse_distance(result, bounds)
+        assert bounds.domains >= 1
+
+    def test_cold_only_model_fails(self):
+        # Non-vacuity: a capacity-blind oracle (model = cold misses only)
+        # must fall outside the band on a capacity-pressured scenario.
+        sc = pick("nearest_neighbor")
+        bounds, result = self._bounds_and_run(sc)
+        broken = ReuseBounds(cold_misses=bounds.cold_misses,
+                             model_misses=bounds.cold_misses,
+                             domains=bounds.domains)
+        with pytest.raises(AssertionError, match="outside the reuse-distance"):
+            check_reuse_distance(result, broken)

@@ -1,6 +1,8 @@
 """Tests for the on-disk result cache and config hashing."""
 
 import dataclasses
+import os
+import pickle
 
 import numpy as np
 
@@ -96,6 +98,91 @@ class TestResultCache:
         nested = tmp_path / "a" / "b"
         ResultCache(nested).put("k", 1)
         assert (nested / "k.pkl").exists()
+
+
+class TestByteBudget:
+    """The LRU byte budget: bounded growth, newest-first survival."""
+
+    @staticmethod
+    def _age(cache, key, stamp):
+        # Pin mtimes explicitly: sub-microsecond put sequences would
+        # otherwise tie, and LRU order must be deterministic under test.
+        os.utime(cache._path(key), times=(stamp, stamp))
+
+    def test_rejects_nonpositive_budget(self, tmp_path):
+        for bad in (0, -5):
+            with pytest.raises(ValueError, match="max_bytes"):
+                ResultCache(tmp_path, max_bytes=bad)
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(20):
+            cache.put(f"k{i}", b"x" * 1024)
+        assert len(cache) == 20
+        assert cache.evicted == 0
+
+    def test_evicts_oldest_first(self, tmp_path):
+        entry = len(pickle.dumps(b"x" * 1024))
+        cache = ResultCache(tmp_path, max_bytes=3 * entry)
+        for i, key in enumerate(("a", "b", "c")):
+            cache.put(key, b"x" * 1024)
+            self._age(cache, key, 1000 + i)
+        cache.put("d", b"x" * 1024)
+        assert cache.get("a") is None  # oldest went
+        assert all(cache.get(k) is not None for k in ("b", "c", "d"))
+        assert cache.evicted == 1
+
+    def test_total_stays_under_budget(self, tmp_path):
+        entry = len(pickle.dumps(b"x" * 1024))
+        budget = 4 * entry
+        cache = ResultCache(tmp_path, max_bytes=budget)
+        for i in range(12):
+            cache.put(f"k{i}", b"x" * 1024)
+            self._age(cache, f"k{i}", 1000 + i)
+        assert cache.total_bytes() <= budget
+        assert len(cache) == 4
+        assert cache.evicted == 8
+
+    def test_just_written_entry_survives_even_alone_over_budget(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=16)
+        cache.put("big", b"x" * 4096)
+        assert cache.get("big") == b"x" * 4096
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        entry = len(pickle.dumps(b"x" * 1024))
+        cache = ResultCache(tmp_path, max_bytes=2 * entry)
+        cache.put("a", b"x" * 1024)
+        self._age(cache, "a", 1000)
+        cache.put("b", b"x" * 1024)
+        self._age(cache, "b", 1001)
+        assert cache.get("a") is not None  # touch: "a" becomes newest
+        cache.put("c", b"x" * 1024)
+        assert cache.get("b") is None  # "b" is now the cold tail
+        assert cache.get("a") is not None
+
+    def test_quarantine_outside_the_budget(self, tmp_path):
+        entry = len(pickle.dumps(b"x" * 1024))
+        cache = ResultCache(tmp_path, max_bytes=2 * entry)
+        (tmp_path / "bad.pkl").write_bytes(b"\x80\x05junk" * 500)
+        assert cache.get("bad") is None  # quarantined, not deleted
+        assert cache.quarantined == 1
+        cache.put("a", b"x" * 1024)
+        self._age(cache, "a", 1000)
+        cache.put("b", b"x" * 1024)
+        # Both fit: the quarantined bytes don't count against the budget.
+        assert cache.get("a") is not None
+        assert cache.get("b") is not None
+        assert cache.total_bytes() <= 2 * entry
+
+    def test_eviction_not_triggered_by_reads(self, tmp_path):
+        entry = len(pickle.dumps(b"x" * 1024))
+        cache = ResultCache(tmp_path, max_bytes=1 * entry)
+        cache.put("big", b"x" * 1024)
+        (tmp_path / "stray.pkl").write_bytes(pickle.dumps(b"y" * 4096))
+        # Over budget via an out-of-band write: reads must not reap.
+        assert cache.get("big") is not None
+        assert cache.get("stray") is not None
+        assert len(cache) == 2
 
 
 TINY = ExperimentConfig(

@@ -1,0 +1,178 @@
+"""Differential goldens: spec runs are byte-identical to the legacy paths.
+
+Each ported spec under ``benchmarks/specs/`` is executed through
+:func:`repro.experiments.specs.run_spec` and compared — as rendered
+bytes, not parsed approximations — against an inline transcription of
+the legacy bench it replaced (the exact code the old ``benchmarks/``
+scripts ran, at a CI-sized scale).  This is the acceptance gate for the
+declarative platform: a spec that drifts from its legacy output by one
+byte fails here.
+
+The legacy and spec sides share one on-disk result cache, which also
+proves the memoization contract: identical configs produce identical
+cache keys, so the second side of each comparison is warm.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import fig4, fig6, figure_svg, heatmap_svgs
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.specs import (
+    ENGINE_COMPARED_FIELDS,
+    load_spec,
+    run_spec,
+)
+from repro.experiments.tables import table1
+from repro.util.render import format_table
+from repro.util.stats import summarize
+
+SPEC_DIR = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "specs"
+
+#: CI-sized knobs, far below the bench defaults but identical on both
+#: sides of every comparison.
+SCALE = 0.1
+OS_RUNS = 2
+MAPPED_RUNS = 1
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory) -> str:
+    return str(tmp_path_factory.mktemp("spec-differential-cache"))
+
+
+@pytest.fixture(scope="module")
+def suite(cache_dir):
+    """The legacy side for fig4/fig6: one ExperimentRunner suite, exactly
+    as ``benchmarks/conftest.py`` used to drive it."""
+    config = ExperimentConfig(
+        scale=SCALE, os_runs=OS_RUNS, mapped_runs=MAPPED_RUNS,
+        sm_sample_threshold=6, hm_period_cycles=80_000, seed=2012,
+    )
+    return ExperimentRunner(config, cache_dir=cache_dir).run_suite()
+
+
+def _run(name: str, cache_dir: str, params=None):
+    """Run a ported spec with CI-sized ensembles layered over it.
+
+    ``params`` (when given) is passed through verbatim — specs that pin
+    their own ensemble sizes (the noise spec) must NOT have the CI
+    defaults layered over them, since runtime params win over overrides.
+    """
+    spec = load_spec(SPEC_DIR / f"{name}.toml")
+    if params is None:
+        params = {"scale": SCALE, "os_runs": OS_RUNS,
+                  "mapped_runs": MAPPED_RUNS}
+    return run_spec(spec, params=params, cache_dir=cache_dir)
+
+
+class TestProtocolSpecs:
+    def test_fig4_bytes_match_legacy(self, suite, cache_dir):
+        run = _run("fig4_sm_patterns", cache_dir)
+        # The suite fixture already simulated every cell into the shared
+        # cache; the spec side must have found all of them.
+        assert run.cache_misses == 0
+        assert run.cache_hits == len(run.results)
+
+        maps = fig4(suite)
+        legacy_text = "\n\n".join(maps[name] for name in sorted(maps))
+        assert run.artifacts["fig4_sm_patterns.txt"] == legacy_text
+        for name, svg in heatmap_svgs(suite, "SM").items():
+            assert run.artifacts[f"fig4_{name}.svg"] == svg
+
+    def test_fig6_bytes_match_legacy(self, suite, cache_dir):
+        run = _run("fig6_exec_time", cache_dir)
+        assert run.cache_misses == 0
+        assert run.artifacts["fig6_exec_time.txt"] == fig6(suite)
+        assert run.artifacts["fig6_exec_time.svg"] == figure_svg(suite, 6)
+
+    def test_artifacts_written_with_trailing_newline(self, suite, cache_dir,
+                                                     tmp_path):
+        out = tmp_path / "out"
+        run = run_spec(load_spec(SPEC_DIR / "fig6_exec_time.toml"),
+                       params={"scale": SCALE, "os_runs": OS_RUNS,
+                               "mapped_runs": MAPPED_RUNS},
+                       cache_dir=cache_dir, out_dir=out)
+        on_disk = (out / "fig6_exec_time.txt").read_text()
+        assert on_disk == run.artifacts["fig6_exec_time.txt"] + "\n"
+
+
+class TestStaticSpecs:
+    def test_table1_bytes_match_legacy(self, cache_dir):
+        run = _run("table1_mechanisms", cache_dir)
+        assert run.artifacts["table1_mechanisms.txt"] == table1()
+
+
+class TestAblationSpec:
+    def test_records_and_bytes_match_legacy(self, cache_dir):
+        from repro.experiments.ablations import sm_sampling_sweep
+
+        run = _run("ablation_sampling", cache_dir)
+        thresholds = run.spec.sweep["thresholds"]
+        legacy = sm_sampling_sweep("sp", thresholds=thresholds,
+                                   scale=SCALE, seed=2012)
+        assert legacy == run.results
+
+        rows = [
+            [int(r["threshold"]), f"{r['accuracy']:.3f}",
+             f"{100 * r['overhead']:.3f}%", int(r["searches"])]
+            for r in legacy
+        ]
+        legacy_text = format_table(
+            rows, header=["n (sample 1/n misses)", "accuracy (Pearson)",
+                          "overhead", "searches"])
+        assert run.artifacts["ablation_sm_sampling.txt"] == legacy_text
+
+    def test_rerun_is_fully_cached(self, cache_dir):
+        run = _run("ablation_sampling", cache_dir)
+        assert run.cache_misses == 0
+        assert run.cache_hits == len(run.spec.sweep["thresholds"])
+
+
+class TestNoiseVarianceSpec:
+    SCALE = 0.08
+
+    def test_bytes_match_legacy(self, cache_dir):
+        run = _run("ext_noise_variance", cache_dir,
+                   params={"scale": self.SCALE})
+        config = ExperimentConfig(
+            benchmarks=("bt", "sp", "mg"), scale=self.SCALE,
+            os_runs=5, mapped_runs=5, sm_sample_threshold=4,
+            hm_period_cycles=80_000, seed=2012, noise_rate=0.02,
+        )
+        results = ExperimentRunner(config, cache_dir=cache_dir).run_suite()
+        rows = []
+        for name, r in results.items():
+            row = [name.upper()]
+            for policy in ("OS", "SM", "HM"):
+                cv = summarize(
+                    r.runs[policy].metric("execution_cycles")).relative_std
+                row.append(f"{100 * cv:.2f}%")
+            rows.append(row)
+        legacy_text = format_table(
+            rows, header=["bench", "OS std", "SM std", "HM std"])
+        assert run.artifacts["ext_noise_variance.txt"] == legacy_text
+
+
+class TestEngineSpec:
+    def test_rows_match_scalar_reference(self, cache_dir):
+        import dataclasses
+
+        from repro.machine.simulator import SimConfig, Simulator
+        from repro.machine.system import System
+        from repro.machine.topology import harpertown
+        from repro.workloads.npb import make_npb_workload
+
+        run = _run("engine_speedup", cache_dir,
+                   params={"scale": 0.12, "speedup_floor": 0.0,
+                           "engine_repeats": 1})
+        wl = make_npb_workload("sp", num_threads=8, scale=0.12, seed=2012)
+        reference = Simulator(System(harpertown()),
+                              SimConfig(engine="scalar")).run(wl)
+        a = dataclasses.asdict(reference)
+        assert run.rows == [f"sp {f}={a[f]}" for f in ENGINE_COMPARED_FIELDS]
+        assert run.results["speedup"] > 0

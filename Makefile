@@ -17,6 +17,7 @@
 #   make remap-smoke   online-remapping gate: adaptive beats static, deterministic
 #   make test-chaos    fault-injection chaos harness (fixed replay seeds)
 #   make trace-smoke   `repro trace` twice per clock domain, byte-compare
+#   make perf-gate     regression-ledger gate: BENCH_*.json vs BENCH_HISTORY.jsonl
 #   make cov           coverage gate over service+faults (skipped if no pytest-cov)
 #   make ci            lint -> mypy -> everything above, in order
 #   make bench         full figure/table benchmark harness
@@ -24,7 +25,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint lint-full mypy test test-scalar differential bench-engine spec-smoke serve-smoke cluster-smoke bench-service bench-cluster remap-smoke test-chaos trace-smoke cov bench ci
+.PHONY: lint lint-full mypy test test-scalar differential bench-engine spec-smoke serve-smoke cluster-smoke bench-service bench-cluster remap-smoke test-chaos trace-smoke perf-gate cov bench ci
 
 # Incremental by default: warm re-runs only re-analyze changed files
 # (cache: .repro-lint-cache/, safe to delete).  Honors REPRO_LINT_NO_CACHE=1.
@@ -102,6 +103,17 @@ trace-smoke:
 	cmp "$$tmp/svc-1.json" "$$tmp/svc-2.json" && \
 	echo "trace-smoke: both clock domains byte-identical"
 
+# Performance-regression gate: compare the checked-in BENCH_*.json docs
+# against the recent same-kind window of the append-only ledger
+# (BENCH_HISTORY.jsonl).  Bench writers append on every run, so the
+# ledger accumulates a same-host baseline; the gate fails only on
+# beyond-band regressions, never on improvements.
+perf-gate:
+	$(PYTHON) -m repro obs regress --history BENCH_HISTORY.jsonl \
+		--candidate BENCH_service.json \
+		--candidate BENCH_cluster.json \
+		--candidate BENCH_remap.json
+
 # Coverage floor over the resilience-critical packages.  pytest-cov is not
 # vendored in this environment; the target degrades to a notice (same
 # pattern as the mypy gate) rather than failing ci on a missing tool.
@@ -117,4 +129,4 @@ cov:
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-ci: lint lint-full mypy test test-scalar differential bench-engine spec-smoke serve-smoke cluster-smoke remap-smoke test-chaos trace-smoke cov
+ci: lint lint-full mypy test test-scalar differential bench-engine spec-smoke serve-smoke cluster-smoke remap-smoke test-chaos trace-smoke perf-gate cov

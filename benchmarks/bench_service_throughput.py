@@ -47,7 +47,7 @@ from typing import Any, Dict, List
 
 import numpy as np
 
-from cluster_common import bench_doc
+from cluster_common import bench_doc, ledger_append
 from repro.obs.metrics import nearest_rank_index
 from repro.service.app import MappingService, ServiceConfig
 from repro.service.client import AsyncMappingClient
@@ -158,7 +158,7 @@ async def _loaded_warm(host: str, port: int, matrix) -> List[float]:
     return latencies
 
 
-async def _traced_vs_untraced() -> Dict[str, float]:
+async def _traced_vs_untraced() -> Dict[str, Any]:
     """Loaded warm latency with the span ring on vs off.
 
     Both passes use in-process solves (``workers=0``) so the comparison
@@ -166,8 +166,13 @@ async def _traced_vs_untraced() -> Dict[str, float]:
     and both run the same concurrent connection pattern so the hooks
     are measured where they actually fire: under load, with the event
     loop busy, not hidden inside idle socket turnaround.
+
+    The traced pass additionally exports its span ring and decomposes
+    request latency into per-stage milliseconds
+    (:mod:`repro.obs.attribution`), published as ``attribution_*``
+    columns next to the overhead number they explain.
     """
-    samples: Dict[str, float] = {}
+    samples: Dict[str, Any] = {}
     for label, ring in (("traced", 2048), ("untraced", 0)):
         service = MappingService(
             ServiceConfig(port=0, workers=0, cache_ttl=0.0, trace_ring=ring)
@@ -180,6 +185,20 @@ async def _traced_vs_untraced() -> Dict[str, float]:
             server.request_shutdown()
             await server.serve_until_shutdown()
         samples[f"loaded_{label}_mean_ms"] = statistics.fmean(lat) * 1000.0
+        if ring:
+            from repro.obs.attribution import attribute_trace
+
+            _status, _headers, raw = service.render_trace()
+            attribution = attribute_trace(json.loads(raw.decode("utf-8")))
+            for point in ("p50", "p99"):
+                samples[f"attribution_{point}_total_ms"] = (
+                    attribution[point]["total_ms"]
+                )
+                samples[f"attribution_{point}_stage_ms"] = {
+                    stage.replace(".", "_"): value
+                    for stage, value in attribution[point]["stage_ms"].items()
+                }
+            samples["attribution_requests"] = attribution["requests"]
     samples["trace_overhead_pct"] = 100.0 * (
         samples["loaded_traced_mean_ms"] / samples["loaded_untraced_mean_ms"]
         - 1.0
@@ -187,7 +206,7 @@ async def _traced_vs_untraced() -> Dict[str, float]:
     return samples
 
 
-async def _run_phases() -> Dict[str, float]:
+async def _run_phases() -> Dict[str, Any]:
     config = ServiceConfig(
         port=0,
         workers=max(2, (os.cpu_count() or 2) // 2),
@@ -250,6 +269,7 @@ def run_service_bench() -> Dict[str, Any]:
     RESULT_PATH.write_text(
         json.dumps(stats, sort_keys=True, indent=2) + "\n"
     )
+    ledger_append(stats, history=str(REPO_ROOT / "BENCH_HISTORY.jsonl"))
     return stats
 
 

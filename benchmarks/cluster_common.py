@@ -45,6 +45,21 @@ def bench_doc(
     return doc
 
 
+def ledger_append(
+    doc: Dict[str, Any], history: str = "BENCH_HISTORY.jsonl"
+) -> Dict[str, Any]:
+    """Append one bench envelope to the performance-regression ledger.
+
+    Every bench writer calls this right after writing its ``BENCH_*.json``
+    so ``make perf-gate`` (``repro obs regress``) has a same-host history
+    to compare against.  Validation happens on append: a malformed
+    envelope fails the bench run that produced it, not a later CI gate.
+    """
+    from repro.obs.ledger import append_entry
+
+    return append_entry(history, doc)
+
+
 def env_floor(name: str, default: float) -> float:
     """A numeric acceptance floor, overridable via the environment."""
     return float(os.environ.get(name, str(default)))

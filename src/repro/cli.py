@@ -127,6 +127,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-sample-every", type=int, default=1,
                    help="keep 1-in-N request spans (deterministic sampling; "
                         "1 records everything)")
+    p.add_argument("--trace-step-clock", action="store_true",
+                   help="trace on the deterministic step clock instead of "
+                        "the monotonic clock (byte-identical GET /trace "
+                        "exports; timestamps stop being seconds)")
     p.add_argument("--fault-plan", type=str, default=None, metavar="PLAN.json",
                    help="activate a serialized fault-injection plan "
                         "(chaos smoke testing; see repro.faults)")
@@ -156,6 +160,12 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="seed anchoring the replication fan-out order")
     p.add_argument("--no-restart", action="store_true",
                    help="do not restart shards that die (chaos experiments)")
+    p.add_argument("--trace-sample-every", type=int, default=1,
+                   help="keep 1-in-N spans on the router and every shard "
+                        "(deterministic sampling; 1 records everything)")
+    p.add_argument("--trace-step-clock", action="store_true",
+                   help="router and shards trace on the deterministic step "
+                        "clock (byte-identical stitched GET /trace exports)")
     p.add_argument("--fault-plan", type=str, default=None, metavar="PLAN.json",
                    help="activate a serialized fault-injection plan "
                         "(router-side sites; see repro.faults)")
@@ -206,6 +216,47 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="NPB kernel (default: each sweep's canonical one)")
     p.add_argument("--scale", type=float, default=0.3)
     p.add_argument("--seed", type=int, default=2012)
+
+    p = sub.add_parser(
+        "obs",
+        help="observability tooling: latency attribution, perf ledger",
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    q = obs_sub.add_parser(
+        "attribution",
+        help="decompose per-request latency into stage time from a trace",
+    )
+    q.add_argument("trace",
+                   help="Chrome-trace JSON path (a GET /trace export or "
+                        "`repro trace` output)")
+    q.add_argument("--json", action="store_true",
+                   help="emit the attribution document as JSON")
+
+    q = obs_sub.add_parser(
+        "append",
+        help="append bench result documents to the performance ledger",
+    )
+    q.add_argument("docs", nargs="+", metavar="BENCH.json",
+                   help="bench documents to append, in order")
+    q.add_argument("--history", default="BENCH_HISTORY.jsonl",
+                   help="ledger path (default: BENCH_HISTORY.jsonl)")
+
+    q = obs_sub.add_parser(
+        "regress",
+        help="flag candidate bench docs that regressed vs ledger history",
+    )
+    q.add_argument("--history", default="BENCH_HISTORY.jsonl",
+                   help="ledger path (default: BENCH_HISTORY.jsonl)")
+    q.add_argument("--candidate", action="append", required=True,
+                   dest="candidates", metavar="BENCH.json",
+                   help="candidate bench document (repeatable)")
+    q.add_argument("--window", type=int, default=5,
+                   help="ledger entries of the same kind in the baseline")
+    q.add_argument("--tolerance", type=float, default=0.5,
+                   help="relative tolerance band (0.5 = +-50%%)")
+    q.add_argument("--json", action="store_true",
+                   help="emit the regression reports as JSON")
     return parser
 
 
@@ -319,6 +370,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         solve_deadline=args.solve_deadline,
         trace_sample_every=args.trace_sample_every,
+        trace_step_clock=args.trace_step_clock,
     )
     try:
         asyncio.run(serve(config))
@@ -357,6 +409,8 @@ def _cmd_route(args: argparse.Namespace) -> int:
         quota_burst=args.quota_burst,
         seed=args.seed,
         restart_dead_shards=not args.no_restart,
+        trace_sample_every=args.trace_sample_every,
+        trace_step_clock=args.trace_step_clock,
     )
     try:
         asyncio.run(route_serve(config))
@@ -450,6 +504,60 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         fh.write(text)
     print(f"{events} trace event(s) ({clock} clock) written to {out_path}")
     return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    if args.obs_command == "attribution":
+        from repro.obs.attribution import attribute_trace, render_attribution
+        from repro.obs.export import validate_chrome_trace
+
+        with open(args.trace, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        validate_chrome_trace(doc)
+        result = attribute_trace(doc)
+        if args.json:
+            print(json.dumps(result, sort_keys=True, separators=(",", ":")))
+        else:
+            print(render_attribution(result))
+        return 0
+
+    if args.obs_command == "append":
+        from repro.obs.ledger import append_entry
+
+        for path in args.docs:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+            entry = append_entry(args.history, doc)
+            print(f"appended {path} as {entry['kind']} seq {entry['seq']} "
+                  f"({len(entry['metrics'])} metrics) to {args.history}")
+        return 0
+
+    if args.obs_command == "regress":
+        from repro.obs.ledger import (
+            read_history,
+            regress,
+            render_regress_report,
+        )
+
+        history = read_history(args.history)
+        reports = []
+        for path in args.candidates:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+            reports.append(
+                regress(history, doc, window=args.window,
+                        tolerance=args.tolerance)
+            )
+        if args.json:
+            print(json.dumps(reports, sort_keys=True, separators=(",", ":")))
+        else:
+            for report in reports:
+                print(render_regress_report(report))
+        return 0 if all(r["ok"] for r in reports) else 1
+
+    raise AssertionError(f"unhandled obs command {args.obs_command!r}")
 
 
 def _cmd_ablate(args: argparse.Namespace) -> int:
@@ -564,6 +672,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_serve(args)
     if args.command == "route":
         return _cmd_route(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "lint":
         return run_lint_command(args)
     raise AssertionError(f"unhandled command {args.command!r}")

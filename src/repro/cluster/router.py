@@ -66,7 +66,11 @@ from repro.cluster.shards import (
 )
 from repro.faults.injector import InjectedCrash, get_injector
 from repro.faults.plan import SITE_CLUSTER_FORWARD
+from repro.obs.context import TRACE_HEADER, TraceContext
+from repro.obs.export import chrome_trace, render_chrome_json
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.stitch import stitch_cluster_trace
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.service.app import Response, _error_body
 from repro.service.cache import LRUTTLCache
 from repro.service.canonical import canonical_form, canonical_key
@@ -123,6 +127,14 @@ class RouterConfig:
     #: Automatically restart shards that die (replaying the replica
     #: store into the replacement); disable for kill-only tests.
     restart_dead_shards: bool = True
+    #: Router span-ring capacity (0 disables router tracing).
+    trace_ring: int = 65536
+    #: Deterministic 1-in-N span sampling (1 keeps everything).
+    trace_sample_every: int = 1
+    #: Use the tracer's deterministic step clock instead of the injected
+    #: monotonic clock — trades real latencies for byte-identical
+    #: ``GET /trace`` exports; forwarded to every spawned shard.
+    trace_step_clock: bool = False
 
 
 #: ``repro_cluster_`` families in render order.
@@ -145,6 +157,15 @@ _ROUTER_ROWS: Tuple[Tuple[str, str], ...] = (
     ("connection_resets_total", "counter"),
     ("shards_up", "gauge"),
     ("inflight", "gauge"),
+    # Tracing counters (PR 10): spans recorded / sampled out by the
+    # router's own tracer plus its per-stage breakdown.  Appended after
+    # the historical rows so pinned row prefixes are unchanged.
+    ("trace_spans_total", "counter"),
+    ("trace_sampled_out_total", "counter"),
+    ("trace_stage_route_total", "counter"),
+    ("trace_stage_ring_lookup_total", "counter"),
+    ("trace_stage_forward_total", "counter"),
+    ("trace_stage_replicate_total", "counter"),
 )
 
 #: Distinct tenant label values tracked before folding into ``~other``
@@ -175,6 +196,16 @@ class RouterMetrics:
     connection_resets_total = _MetricAttr("connection_resets_total", "counter")
     shards_up = _MetricAttr("shards_up", "gauge")
     inflight = _MetricAttr("inflight", "gauge")
+    trace_spans_total = _MetricAttr("trace_spans_total", "counter")
+    trace_sampled_out_total = _MetricAttr("trace_sampled_out_total", "counter")
+    trace_stage_route_total = _MetricAttr("trace_stage_route_total", "counter")
+    trace_stage_ring_lookup_total = _MetricAttr(
+        "trace_stage_ring_lookup_total", "counter"
+    )
+    trace_stage_forward_total = _MetricAttr("trace_stage_forward_total", "counter")
+    trace_stage_replicate_total = _MetricAttr(
+        "trace_stage_replicate_total", "counter"
+    )
 
     def __init__(self, latency_window: int = 2048):
         self.registry = MetricsRegistry(prefix="repro_cluster_")
@@ -283,6 +314,19 @@ class ClusterRouter:
         self.clock = clock
         cfg = self.config
         self.metrics = RouterMetrics()
+        #: Router-side span ring; ``trace_step_clock`` swaps the injected
+        #: monotonic clock for the deterministic step counter so two runs
+        #: of one plan export byte-identical stitched traces.
+        self.tracer: Tracer
+        if cfg.trace_ring > 0:
+            self.tracer = Tracer(
+                trace_id="router",
+                wall_clock=None if cfg.trace_step_clock else clock,
+                capacity=cfg.trace_ring,
+                sample_every=cfg.trace_sample_every,
+            )
+        else:
+            self.tracer = NULL_TRACER
         self.ring = HashRing(vnodes=cfg.vnodes)
         self.quotas = TenantQuotas(
             rate=cfg.quota_rate,
@@ -298,6 +342,8 @@ class ClusterRouter:
             cache_entries=cfg.cache_entries,
             cache_ttl=cfg.cache_ttl,
             clock=clock,
+            trace_sample_every=cfg.trace_sample_every,
+            trace_step_clock=cfg.trace_step_clock,
         )
         self._endpoints: Dict[str, Tuple[str, int]] = {}
         self._pools: Dict[str, _ShardClientPool] = {}
@@ -347,13 +393,18 @@ class ClusterRouter:
         return pool
 
     async def _shard_request(
-        self, shard_id: str, method: str, path: str, body: bytes = b""
+        self,
+        shard_id: str,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, str], bytes]:
         """One pooled round trip to ``shard_id``; dead clients are dropped."""
         pool = self._pool(shard_id)
         client = pool.acquire()
         try:
-            result = await client.request(method, path, body)
+            result = await client.request(method, path, body, headers=headers)
         except BaseException:
             await client.close()
             raise
@@ -495,7 +546,7 @@ class ClusterRouter:
         return key
 
     async def _forward(
-        self, path: str, body: bytes, route_key: str
+        self, path: str, body: bytes, route_key: str, parent: int = 0
     ) -> Tuple[Optional[int], Dict[str, str], bytes, Optional[str]]:
         """Send ``body`` to the ring's preferred live shard, failing over.
 
@@ -503,7 +554,12 @@ class ClusterRouter:
         no shard could be reached.  An injected crash at
         :data:`SITE_CLUSTER_FORWARD` kills the *target* shard before the
         forward, exercising the death→re-route path deterministically.
+
+        Each attempt gets its own ``forward`` span under ``parent``; the
+        span's id travels to the shard in the ``X-Repro-Trace`` header so
+        the shard's request subtree can be stitched back under it.
         """
+        tracer = self.tracer
         injector = get_injector()
         attempt = 0
         for shard_id in self.ring.lookup_chain(route_key):
@@ -518,13 +574,28 @@ class ClusterRouter:
                 self.metrics.shard_kills_total += 1
                 await self._shard_died(shard_id, kill=True)
                 continue
+            span = tracer.begin(
+                "forward",
+                cat="cluster.stage",
+                parent=parent,
+                args={"shard": shard_id, "attempt": attempt},
+                nest=False,
+            )
+            trace_headers: Optional[Dict[str, str]] = None
+            if span.span_id > 0:
+                ctx = TraceContext(
+                    trace_id=tracer.trace_id, parent_span_id=span.span_id
+                )
+                trace_headers = {TRACE_HEADER: ctx.to_header()}
             try:
                 status, headers, raw = await self._shard_request(
-                    shard_id, "POST", path, body
+                    shard_id, "POST", path, body, headers=trace_headers
                 )
             except _SHARD_DEAD_ERRORS:
+                tracer.end(span, args={"status": 0})
                 await self._shard_died(shard_id, kill=False)
                 continue
+            tracer.end(span, args={"status": status})
             self.metrics.routed_total += 1
             return status, headers, raw, shard_id
         self.metrics.unroutable_total += 1
@@ -562,35 +633,88 @@ class ClusterRouter:
 
     async def handle_map(self, body: bytes, tenant: str = DEFAULT_TENANT) -> Response:
         """Route one ``POST /map`` body through the cluster."""
-        throttled = self._admit(tenant)
-        if throttled is not None:
-            return throttled
-        route = self._map_route_info(body)
-        status, headers, raw, shard_id = await self._forward("/map", body, route.key)
-        if status is None or shard_id is None:
-            return 503, {"Retry-After": "1"}, _error_body(
-                "NoShardsAvailable", "every shard is down or restarting"
+        tracer = self.tracer
+        span = tracer.begin(
+            "route",
+            cat="cluster.request",
+            args={"path": "/map", "bytes": len(body)},
+            nest=False,
+        )
+        status_code = 0
+        try:
+            throttled = self._admit(tenant)
+            if throttled is not None:
+                status_code = throttled[0]
+                return throttled
+            lspan = tracer.begin(
+                "ring.lookup",
+                cat="cluster.stage",
+                parent=span.span_id,
+                nest=False,
             )
-        if status == 200 and headers.get("x-repro-cache") == "miss":
-            await self._publish(route, raw, shard_id)
-        return status, self._proxy_headers(headers, shard_id), raw
+            route = self._map_route_info(body)
+            tracer.end(lspan, args={"key_kind": route.key.partition(":")[0]})
+            status, headers, raw, shard_id = await self._forward(
+                "/map", body, route.key, parent=span.span_id
+            )
+            if status is None or shard_id is None:
+                status_code = 503
+                return 503, {"Retry-After": "1"}, _error_body(
+                    "NoShardsAvailable", "every shard is down or restarting"
+                )
+            status_code = status
+            if status == 200 and headers.get("x-repro-cache") == "miss":
+                rspan = tracer.begin(
+                    "replicate",
+                    cat="cluster.stage",
+                    parent=span.span_id,
+                    nest=False,
+                )
+                try:
+                    await self._publish(route, raw, shard_id)
+                finally:
+                    tracer.end(rspan)
+            return status, self._proxy_headers(headers, shard_id), raw
+        finally:
+            tracer.end(span, args={"status": status_code})
 
     async def handle_delta(
         self, body: bytes, tenant: str = DEFAULT_TENANT
     ) -> Response:
         """Route one ``POST /map/delta`` body by its base key."""
-        throttled = self._admit(tenant)
-        if throttled is not None:
-            return throttled
-        route_key = self._delta_route_key(body)
-        status, headers, raw, shard_id = await self._forward(
-            "/map/delta", body, route_key
+        tracer = self.tracer
+        span = tracer.begin(
+            "route",
+            cat="cluster.request",
+            args={"path": "/map/delta", "bytes": len(body)},
+            nest=False,
         )
-        if status is None or shard_id is None:
-            return 503, {"Retry-After": "1"}, _error_body(
-                "NoShardsAvailable", "every shard is down or restarting"
+        status_code = 0
+        try:
+            throttled = self._admit(tenant)
+            if throttled is not None:
+                status_code = throttled[0]
+                return throttled
+            lspan = tracer.begin(
+                "ring.lookup",
+                cat="cluster.stage",
+                parent=span.span_id,
+                nest=False,
             )
-        return status, self._proxy_headers(headers, shard_id), raw
+            route_key = self._delta_route_key(body)
+            tracer.end(lspan, args={"key_kind": route_key.partition(":")[0]})
+            status, headers, raw, shard_id = await self._forward(
+                "/map/delta", body, route_key, parent=span.span_id
+            )
+            if status is None or shard_id is None:
+                status_code = 503
+                return 503, {"Retry-After": "1"}, _error_body(
+                    "NoShardsAvailable", "every shard is down or restarting"
+                )
+            status_code = status
+            return status, self._proxy_headers(headers, shard_id), raw
+        finally:
+            tracer.end(span, args={"status": status_code})
 
     async def _publish(self, route: _RouteInfo, raw: bytes, solver: str) -> None:
         """Retain a cold solve and fan it out to every sibling shard."""
@@ -706,6 +830,14 @@ class ClusterRouter:
         """
         self.metrics.shards_up = len(self._endpoints) - len(self._down)
         self.metrics.faults_injected_total = get_injector().fired_total()
+        tracer = self.tracer
+        stages = tracer.stage_counts
+        self.metrics.trace_spans_total = tracer.started_total
+        self.metrics.trace_sampled_out_total = tracer.sampled_out_total
+        self.metrics.trace_stage_route_total = stages.get("route", 0)
+        self.metrics.trace_stage_ring_lookup_total = stages.get("ring.lookup", 0)
+        self.metrics.trace_stage_forward_total = stages.get("forward", 0)
+        self.metrics.trace_stage_replicate_total = stages.get("replicate", 0)
         order: List[str] = []
         kinds: Dict[str, str] = {}
         sums: Dict[str, int] = {}
@@ -732,6 +864,38 @@ class ClusterRouter:
         return 200, {"Content-Type": "text/plain; charset=utf-8"}, text.encode(
             "utf-8"
         )
+
+    async def render_trace(self) -> Response:
+        """Cluster ``GET /trace``: every live shard's ring stitched under
+        the router's, one Chrome-trace document (see
+        :mod:`repro.obs.stitch`).  Down shards are skipped — the merge
+        covers whatever the cluster can currently answer for."""
+        router_doc = chrome_trace(
+            self.tracer.snapshot(),
+            trace_id=self.tracer.trace_id,
+            clock=self.tracer.clock,
+        )
+        shard_docs: Dict[str, Dict[str, Any]] = {}
+        for shard_id in self.ring.shards:
+            if shard_id in self._down:
+                continue
+            try:
+                status, _, raw = await self._shard_request(
+                    shard_id, "GET", "/trace"
+                )
+            except _SHARD_DEAD_ERRORS:
+                await self._shard_died(shard_id, kill=False)
+                continue
+            if status != 200:
+                continue
+            try:
+                doc = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                continue
+            shard_docs[shard_id] = doc
+        merged = stitch_cluster_trace(router_doc, shard_docs)
+        body = render_chrome_json(merged).encode("utf-8")
+        return 200, {"Content-Type": "application/json; charset=utf-8"}, body
 
     @staticmethod
     def _fold_exposition(
@@ -794,6 +958,8 @@ class RouterServer(MappingServer):
             return await router.render_metrics()
         if request.path == "/ring":
             return router.render_ring()
+        if request.path == "/trace":
+            return await router.render_trace()
         return 404, {}, _error_body("NotFound", f"no route for {request.path}")
 
 

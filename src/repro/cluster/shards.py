@@ -87,6 +87,8 @@ class SubprocessShardSupervisor(ShardSupervisor):
         boot_timeout: float = 30.0,
         python: Optional[str] = None,
         clock: Callable[[], float] = time.monotonic,
+        trace_sample_every: int = 1,
+        trace_step_clock: bool = False,
     ):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -96,6 +98,10 @@ class SubprocessShardSupervisor(ShardSupervisor):
         self.cache_entries = cache_entries
         self.cache_ttl = cache_ttl
         self.boot_timeout = boot_timeout
+        #: Tracing knobs forwarded onto each shard's ``repro serve``
+        #: command line so the whole cluster shares one trace posture.
+        self.trace_sample_every = trace_sample_every
+        self.trace_step_clock = trace_step_clock
         self.python = python or sys.executable
         self.shard_ids: Tuple[str, ...] = tuple(
             f"shard-{i}" for i in range(shards)
@@ -106,14 +112,18 @@ class SubprocessShardSupervisor(ShardSupervisor):
     # -- blocking internals (always called off-loop) -----------------------------
 
     def _command(self) -> List[str]:
-        return [
+        command = [
             self.python, "-m", "repro", "serve",
             "--host", self.host,
             "--port", "0",
             "--workers", str(self.workers_per_shard),
             "--cache-entries", str(self.cache_entries),
             "--cache-ttl", str(self.cache_ttl),
+            "--trace-sample-every", str(self.trace_sample_every),
         ]
+        if self.trace_step_clock:
+            command.append("--trace-step-clock")
+        return command
 
     def _env(self) -> Dict[str, str]:
         env = dict(os.environ)

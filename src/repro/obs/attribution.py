@@ -1,0 +1,205 @@
+"""Per-request latency attribution over Chrome trace documents.
+
+Takes a trace document — a standalone service trace or a stitched
+cluster trace (:mod:`repro.obs.stitch`) — and decomposes each request's
+end-to-end duration into per-stage *self time*: the part of a span's
+duration not covered by its children, attributed to that span's stage
+(:mod:`repro.obs.stages`).  Self time uses the *union* of child
+intervals clipped to the parent, not their sum, so overlapping siblings
+(the batcher's ``batch.run`` wrapper temporally contains the
+``solve.batch`` dispatch it drives) are never double-subtracted.  The
+invariant that makes the output trustworthy: for every request, the
+stage milliseconds sum *exactly* to the request's measured duration —
+there is no residual bucket that silently absorbs accounting errors,
+only the honest ``other`` stage for spans outside the taxonomy.
+
+Aggregation reports mean plus nearest-rank p50/p99 — each percentile is
+one *actual* request's breakdown (the request at that rank by total
+duration), so its stages also sum exactly to its total.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.stages import OTHER_STAGE, REQUEST_ROOT_NAMES, STAGES, stage_of
+
+#: Stage columns in reporting order: taxonomy order, then the residual.
+REPORT_STAGES: Tuple[str, ...] = STAGES + (OTHER_STAGE,)
+
+
+def _covered(parent_t0: float, parent_t1: float, kids: List[Dict[str, Any]]) -> float:
+    """Length of the union of child intervals clipped to the parent."""
+    intervals = []
+    for kid in kids:
+        lo = max(parent_t0, kid["t0"])
+        hi = min(parent_t1, kid["t1"])
+        if hi > lo:
+            intervals.append((lo, hi))
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    total = 0.0
+    cur_lo, cur_hi = intervals[0]
+    for lo, hi in intervals[1:]:
+        if lo > cur_hi:
+            total += cur_hi - cur_lo
+            cur_lo, cur_hi = lo, hi
+        else:
+            cur_hi = max(cur_hi, hi)
+    return total + (cur_hi - cur_lo)
+
+
+def _spans_of(doc: Dict[str, Any]) -> List[Dict[str, Any]]:
+    spans = []
+    for event in doc.get("traceEvents", ()):
+        if event.get("ph") != "X":
+            continue
+        args = event.get("args", {})
+        span_id = args.get("span_id")
+        if not isinstance(span_id, int) or isinstance(span_id, bool) or span_id <= 0:
+            continue
+        t0 = float(event.get("ts", 0.0))
+        spans.append(
+            {
+                "id": span_id,
+                "parent": args.get("parent_id", 0),
+                "name": event.get("name", ""),
+                "t0": t0,
+                "t1": t0 + float(event.get("dur", 0.0)),
+            }
+        )
+    return spans
+
+
+def attribute_requests(doc: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One attribution record per request root found in ``doc``.
+
+    A request root is a span named in
+    :data:`repro.obs.stages.REQUEST_ROOT_NAMES` whose parent is not
+    itself present in the document — the router's ``route`` span in a
+    stitched trace (where shard ``request:/...`` spans hang under
+    ``forward``), or the service request span in a standalone trace.
+    Each record carries ``total`` and a ``stages`` dict whose values sum
+    exactly to ``total``.
+    """
+    spans = _spans_of(doc)
+    by_id = {span["id"]: span for span in spans}
+    children: Dict[int, List[Dict[str, Any]]] = {}
+    for span in spans:
+        parent = span["parent"]
+        if isinstance(parent, int) and parent in by_id:
+            children.setdefault(parent, []).append(span)
+
+    records = []
+    for root in spans:
+        if root["name"] not in REQUEST_ROOT_NAMES:
+            continue
+        if isinstance(root["parent"], int) and root["parent"] in by_id:
+            continue
+        stages: Dict[str, float] = {}
+        stack = [root]
+        while stack:
+            span = stack.pop()
+            kids = children.get(span["id"], [])
+            self_time = (span["t1"] - span["t0"]) - _covered(
+                span["t0"], span["t1"], kids
+            )
+            stage = stage_of(span["name"]) or OTHER_STAGE
+            stages[stage] = stages.get(stage, 0.0) + self_time
+            stack.extend(kids)
+        records.append(
+            {
+                "span_id": root["id"],
+                "name": root["name"],
+                "total": root["t1"] - root["t0"],
+                "stages": stages,
+            }
+        )
+    records.sort(key=lambda r: (r["total"], r["span_id"]))
+    return records
+
+
+def _nearest_rank(records: List[Dict[str, Any]], quantile: float) -> Dict[str, Any]:
+    rank = max(1, math.ceil(quantile * len(records)))
+    return records[min(rank, len(records)) - 1]
+
+
+def _point(record: Dict[str, Any], scale: float) -> Dict[str, Any]:
+    return {
+        "total_ms": record["total"] * scale,
+        "stage_ms": {
+            stage: record["stages"].get(stage, 0.0) * scale
+            for stage in REPORT_STAGES
+            if stage in record["stages"]
+        },
+    }
+
+
+def attribute_trace(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Aggregate per-stage attribution for every request in ``doc``.
+
+    Values are milliseconds when the document's clock is ``wall`` (span
+    timestamps are seconds); for ``cycles``/step-clock documents the
+    ``_ms`` keys carry raw clock units and ``unit`` says so — the shape
+    stays identical so callers need no branching.
+    """
+    other = doc.get("otherData", {}) if isinstance(doc, dict) else {}
+    clock = other.get("clock", "wall")
+    scale = 1000.0 if clock == "wall" else 1.0
+    records = attribute_requests(doc)
+    result: Dict[str, Any] = {
+        "clock": clock,
+        "unit": "ms" if clock == "wall" else str(clock),
+        "requests": len(records),
+        "stages": list(REPORT_STAGES),
+    }
+    if not records:
+        return result
+    mean_total = sum(r["total"] for r in records) / len(records)
+    mean_stages: Dict[str, float] = {}
+    for record in records:
+        for stage, value in record["stages"].items():
+            mean_stages[stage] = mean_stages.get(stage, 0.0) + value
+    result["mean"] = {
+        "total_ms": mean_total * scale,
+        "stage_ms": {
+            stage: mean_stages[stage] * scale / len(records)
+            for stage in REPORT_STAGES
+            if stage in mean_stages
+        },
+    }
+    result["p50"] = _point(_nearest_rank(records, 0.50), scale)
+    result["p99"] = _point(_nearest_rank(records, 0.99), scale)
+    return result
+
+
+def render_attribution(result: Dict[str, Any]) -> str:
+    """Human-readable stage table for :func:`attribute_trace` output."""
+    unit = result.get("unit", "ms")
+    lines = [
+        f"requests: {result.get('requests', 0)}  (clock: {result.get('clock')}, "
+        f"values in {unit})"
+    ]
+    if "mean" not in result:
+        lines.append("no request roots found in trace")
+        return "\n".join(lines)
+    header = f"{'stage':<14} {'p50':>12} {'p99':>12} {'mean':>12}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    points = {name: result[name] for name in ("p50", "p99", "mean")}
+    seen = set()
+    for point in points.values():
+        seen.update(point["stage_ms"])
+    for stage in REPORT_STAGES:
+        if stage not in seen:
+            continue
+        cells = [
+            f"{points[name]['stage_ms'].get(stage, 0.0):12.4f}"
+            for name in ("p50", "p99", "mean")
+        ]
+        lines.append(f"{stage:<14} " + " ".join(cells))
+    totals = [f"{points[name]['total_ms']:12.4f}" for name in ("p50", "p99", "mean")]
+    lines.append(f"{'total':<14} " + " ".join(totals))
+    return "\n".join(lines)

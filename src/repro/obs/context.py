@@ -3,7 +3,7 @@
 A :class:`TraceContext` is the small, serializable part of a trace that
 crosses process boundaries: the trace id, the span to parent under, and
 (optionally) a directory where the child should stream its spans as
-JSONL.  It travels two ways, mirroring the fault layer's
+JSONL.  It travels three ways, mirroring the fault layer's
 ``REPRO_FAULT_PLAN`` trick:
 
 * **Environment** (:data:`TRACE_ENV_VAR`) — static context installed
@@ -12,6 +12,9 @@ JSONL.  It travels two ways, mirroring the fault layer's
 * **Payload header** — a sentinel item prepended to a solve batch by the
   service batcher (see :mod:`repro.service.worker`), carrying a *fresh*
   parent span id per batch, which the environment cannot do.
+* **HTTP header** (:data:`TRACE_HEADER`) — injected by the cluster
+  router on every forward, carrying a fresh parent span id per request
+  so shard request spans stitch under the router's ``forward`` span.
 
 The JSON codec is strict on types so a corrupted environment variable
 fails loudly at the first traced call, not with a silent mis-parented
@@ -27,6 +30,13 @@ from typing import Mapping, Optional
 
 #: Environment variable carrying a JSON-encoded :class:`TraceContext`.
 TRACE_ENV_VAR = "REPRO_TRACE_CONTEXT"
+
+#: HTTP request header carrying a JSON-encoded :class:`TraceContext`.
+#: The router injects it on every forward (parenting the shard's request
+#: span under the router's ``forward`` span); the shard's HTTP layer
+#: parses it strictly and rejects malformed values with a 400 rather
+#: than silently mis-parenting a distributed trace.
+TRACE_HEADER = "X-Repro-Trace"
 
 
 @dataclass(frozen=True)
@@ -68,6 +78,20 @@ class TraceContext:
         if export_dir is not None and not isinstance(export_dir, str):
             raise ValueError("trace context export_dir must be a string")
         return cls(trace_id=trace_id, parent_span_id=parent, export_dir=export_dir)
+
+    def to_header(self) -> str:
+        """Value for the :data:`TRACE_HEADER` HTTP request header.
+
+        The compact JSON form is already a legal HTTP header value
+        (printable ASCII, no CR/LF), so the wire encoding is the same
+        codec the environment variable uses — one format, one parser.
+        """
+        return self.to_json()
+
+    @classmethod
+    def from_header(cls, value: str) -> "TraceContext":
+        """Parse a :data:`TRACE_HEADER` value (strict, like the env path)."""
+        return cls.from_json(value)
 
 
 def context_from_env(

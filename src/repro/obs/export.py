@@ -60,10 +60,15 @@ def chrome_trace(
     """Chrome ``trace_event`` document for ``spans``.
 
     ``clock`` selects which span clock drives the ``ts`` axis:
-    ``"cycles"`` (simulated time, deterministic) or ``"wall"``.
+    ``"cycles"`` (simulated time, deterministic), ``"wall"``, or
+    ``"step"`` — the tracer's deterministic fallback counter, which
+    lives on the wall track but must not be interpreted as seconds
+    (latency attribution reports it unscaled).
     """
-    if clock not in ("cycles", "wall"):
-        raise ValueError(f"clock must be 'cycles' or 'wall', got {clock!r}")
+    if clock not in ("cycles", "wall", "step"):
+        raise ValueError(
+            f"clock must be 'cycles', 'wall' or 'step', got {clock!r}"
+        )
     events: List[Dict[str, Any]] = [
         {
             "name": "process_name",

@@ -1,0 +1,245 @@
+"""Append-only performance-regression ledger (``BENCH_HISTORY.jsonl``).
+
+Every bench writer appends its envelope here, giving the repo a
+*memory* of its own performance: ``repro obs regress`` compares a fresh
+``BENCH_*.json`` document against the last N ledger entries of the same
+kind and flags deltas beyond per-metric tolerance bands, and
+``make perf-gate`` runs that comparison in CI.
+
+Design constraints, in order:
+
+* **No wall clocks** — this module lives under ``obs/`` and honors the
+  RPL007 contract, so entries carry a monotonically increasing ``seq``
+  instead of a timestamp.  Sequencing is what regression windows need;
+  wall-clock provenance belongs to git history.
+* **Schema-checked envelopes** — an append validates the bench
+  document's shared envelope (``schema``, ``kind``, ``host_cpus``,
+  ``routers``, ``shards``) so a malformed writer fails its own bench
+  run, not a later CI gate.
+* **Scalars only** — nested dicts flatten to dotted keys; lists (per
+  load-level rows, per-splice detail) are deliberately skipped.  The
+  regression surface is the summary statistics a human would eyeball,
+  not every row of raw data.
+* **Direction-aware tolerance bands** — ``*_ms``/``*_pct`` metrics
+  regress upward, ``*rps``/``*_rate``/``*speedup``/``*_wins`` metrics
+  regress downward, and everything else (request counts, chaos
+  counters, config echoes) is tracked but never gated.  The default
+  band is deliberately wide (:data:`DEFAULT_TOLERANCE`): this runs on
+  whatever noisy box CI lands on, and the gate exists to catch
+  order-of-magnitude rot, not 5% jitter.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+#: Ledger entry schema version.
+LEDGER_SCHEMA = 1
+
+#: Bench envelope schema this ledger accepts (benchmarks/cluster_common.py).
+BENCH_DOC_SCHEMA = 1
+
+#: Entries of the candidate's kind used as the regression baseline.
+DEFAULT_WINDOW = 5
+
+#: Default relative tolerance band (0.5 == +-50%), chosen for a noisy
+#: shared CI host; tighten per metric via the ``tolerances`` mapping.
+DEFAULT_TOLERANCE = 0.5
+
+#: Envelope keys excluded from the flattened metric set.
+_ENVELOPE_KEYS = frozenset({"schema", "kind", "host_cpus", "routers", "shards"})
+
+#: Leaf-name suffixes where a *higher* candidate value is a regression.
+_LOWER_IS_BETTER = ("_ms", "_pct")
+
+#: Leaf-name suffixes where a *lower* candidate value is a regression.
+_HIGHER_IS_BETTER = ("rps", "_rate", "speedup", "_wins")
+
+
+def validate_bench_doc(doc: Any) -> Dict[str, Any]:
+    """Check the shared bench envelope; return the doc on success."""
+    if not isinstance(doc, dict):
+        raise ValueError("bench document must be a JSON object")
+    schema = doc.get("schema")
+    if schema != BENCH_DOC_SCHEMA or isinstance(schema, bool):
+        raise ValueError(
+            f"bench document schema must be {BENCH_DOC_SCHEMA}, got {schema!r}"
+        )
+    kind = doc.get("kind")
+    if not isinstance(kind, str) or not kind:
+        raise ValueError("bench document needs a non-empty string kind")
+    cpus = doc.get("host_cpus")
+    if not isinstance(cpus, int) or isinstance(cpus, bool) or cpus < 1:
+        raise ValueError("bench document needs an int host_cpus >= 1")
+    for field in ("routers", "shards"):
+        value = doc.get(field)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ValueError(f"bench document needs an int {field} >= 0")
+    return doc
+
+
+def flatten_metrics(doc: Dict[str, Any]) -> Dict[str, float]:
+    """Numeric leaves of ``doc`` as sorted dotted keys (envelope excluded).
+
+    Bools and lists are skipped: bools are flags, and list-valued fields
+    are per-row detail whose shape may legitimately change run to run.
+    """
+    out: Dict[str, float] = {}
+
+    def walk(prefix: str, value: Any) -> None:
+        if isinstance(value, bool):
+            return
+        if isinstance(value, (int, float)):
+            out[prefix] = value
+        elif isinstance(value, dict):
+            for key in sorted(value):
+                walk(f"{prefix}.{key}", value[key])
+
+    for key in sorted(doc):
+        if key in _ENVELOPE_KEYS:
+            continue
+        walk(key, doc[key])
+    return out
+
+
+def metric_direction(key: str) -> Optional[str]:
+    """``"lower"``/``"higher"`` = the better direction, ``None`` = ungated."""
+    leaf = key.rsplit(".", 1)[-1]
+    if leaf.endswith(_LOWER_IS_BETTER):
+        return "lower"
+    if leaf.endswith(_HIGHER_IS_BETTER):
+        return "higher"
+    return None
+
+
+def read_history(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse and validate every ledger entry in ``path`` (missing → [])."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: malformed ledger line: {exc}") from exc
+        if not isinstance(entry, dict) or entry.get("schema") != LEDGER_SCHEMA:
+            raise ValueError(f"{path}:{lineno}: not a schema-{LEDGER_SCHEMA} entry")
+        if not isinstance(entry.get("seq"), int) or isinstance(entry["seq"], bool):
+            raise ValueError(f"{path}:{lineno}: entry needs an int seq")
+        if not isinstance(entry.get("kind"), str) or not entry["kind"]:
+            raise ValueError(f"{path}:{lineno}: entry needs a string kind")
+        if not isinstance(entry.get("metrics"), dict):
+            raise ValueError(f"{path}:{lineno}: entry needs a metrics object")
+        entries.append(entry)
+    return entries
+
+
+def append_entry(path: Union[str, Path], doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate ``doc`` and append its flattened entry to the ledger.
+
+    Returns the appended entry.  ``seq`` continues from the last entry
+    in the file (any kind), so the ledger orders all benches globally.
+    """
+    validate_bench_doc(doc)
+    path = Path(path)
+    history = read_history(path)
+    seq = history[-1]["seq"] + 1 if history else 1
+    entry = {
+        "schema": LEDGER_SCHEMA,
+        "seq": seq,
+        "kind": doc["kind"],
+        "host_cpus": doc["host_cpus"],
+        "routers": doc["routers"],
+        "shards": doc["shards"],
+        "metrics": flatten_metrics(doc),
+    }
+    line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+    with path.open("a") as handle:
+        handle.write(line + "\n")
+    return entry
+
+
+def regress(
+    history: List[Dict[str, Any]],
+    candidate: Dict[str, Any],
+    window: int = DEFAULT_WINDOW,
+    tolerance: float = DEFAULT_TOLERANCE,
+    tolerances: Optional[Dict[str, float]] = None,
+) -> Dict[str, Any]:
+    """Compare a candidate bench doc against the ledger's recent window.
+
+    The baseline for each metric is the mean over the last ``window``
+    entries of the candidate's kind that carry that metric.  A metric
+    regresses when it moves beyond its tolerance band in the *worse*
+    direction; improvements never flag.  Returns a report dict with
+    ``ok`` plus the per-metric evidence for every flagged regression.
+    """
+    validate_bench_doc(candidate)
+    kind = candidate["kind"]
+    baseline = [e for e in history if e["kind"] == kind][-max(1, window):]
+    metrics = flatten_metrics(candidate)
+    report: Dict[str, Any] = {
+        "kind": kind,
+        "window": window,
+        "baseline_entries": len(baseline),
+        "checked": 0,
+        "regressions": [],
+        "ok": True,
+    }
+    if not baseline:
+        report["note"] = f"no ledger entries of kind {kind!r}; nothing to gate"
+        return report
+    bands = tolerances or {}
+    for key in sorted(metrics):
+        direction = metric_direction(key)
+        if direction is None:
+            continue
+        values = [e["metrics"][key] for e in baseline if key in e["metrics"]]
+        if not values:
+            continue
+        base = sum(values) / len(values)
+        if base == 0:
+            continue
+        report["checked"] += 1
+        band = bands.get(key, tolerance)
+        delta = (metrics[key] - base) / abs(base)
+        worse = delta > band if direction == "lower" else delta < -band
+        if worse:
+            report["regressions"].append(
+                {
+                    "metric": key,
+                    "baseline": base,
+                    "candidate": metrics[key],
+                    "delta_pct": delta * 100.0,
+                    "tolerance_pct": band * 100.0,
+                    "better_direction": direction,
+                }
+            )
+    report["ok"] = not report["regressions"]
+    return report
+
+
+def render_regress_report(report: Dict[str, Any]) -> str:
+    """Human-readable text for one :func:`regress` report."""
+    head = (
+        f"perf-gate[{report['kind']}]: {report['checked']} metric(s) vs "
+        f"{report['baseline_entries']} ledger entr"
+        f"{'y' if report['baseline_entries'] == 1 else 'ies'}"
+    )
+    lines = [head]
+    if "note" in report:
+        lines.append(f"  note: {report['note']}")
+    for reg in report["regressions"]:
+        arrow = "rose" if reg["better_direction"] == "lower" else "fell"
+        lines.append(
+            f"  REGRESSION {reg['metric']}: {arrow} "
+            f"{abs(reg['delta_pct']):.1f}% (baseline {reg['baseline']:.6g} -> "
+            f"candidate {reg['candidate']:.6g}, band {reg['tolerance_pct']:.0f}%)"
+        )
+    lines.append(f"  result: {'ok' if report['ok'] else 'FAIL'}")
+    return "\n".join(lines)

@@ -1,0 +1,171 @@
+"""Cross-process trace stitching: shard rings merged under the router.
+
+A routed request crosses three processes — router, shard service, pool
+worker — and each keeps its own span ring with its own small-integer
+span ids and its own clock origin.  The router's collector fetches each
+live shard's ``GET /trace`` document and hands them here, where they
+become *one* Chrome trace:
+
+* **pid assignment** — the router keeps ``pid=1``; shards get
+  ``pid=2, 3, ...`` in sorted shard-id order, each with its own
+  ``process_name`` metadata event, so Perfetto shows one track per
+  process.
+* **span-id rebasing** — shard span ids are offset by a per-shard
+  stride (:data:`SHARD_SPAN_STRIDE`) so ids stay unique across the
+  merged document while remaining small and readable.
+* **remote-parent rewrite** — a shard request span carries the
+  ``remote_trace_id`` / ``remote_parent`` args it received via the
+  ``X-Repro-Trace`` header.  When they name this router's trace, the
+  span is re-parented under the router's ``forward`` span (the
+  *unoffset* router id), and its whole subtree's timestamps are shifted
+  so the subtree starts exactly at the forward span's start.  The shift
+  is what makes the merge meaningful across unsynchronized clocks —
+  and, under the deterministic step clock, byte-identical across runs.
+
+Everything here is pure data transformation: no clocks, no I/O — the
+module stays inside the RPL007 no-wall-clock contract for ``obs/``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Span-id offset between adjacent shard processes in a merged trace.
+SHARD_SPAN_STRIDE = 1_000_000
+
+
+def _require_doc(doc: Any, what: str) -> None:
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        raise ValueError(f"{what} is not a Chrome trace document")
+    other = doc.get("otherData")
+    if not isinstance(other, dict) or not isinstance(other.get("trace_id"), str):
+        raise ValueError(f"{what} lacks otherData.trace_id")
+
+
+def _copy_event(event: Dict[str, Any], pid: int) -> Dict[str, Any]:
+    out = dict(event)
+    out["pid"] = pid
+    args = out.get("args")
+    out["args"] = dict(args) if isinstance(args, dict) else {}
+    return out
+
+
+def _span_id(event: Dict[str, Any], what: str) -> int:
+    span_id = event["args"].get("span_id")
+    if not isinstance(span_id, int) or isinstance(span_id, bool):
+        raise ValueError(f"{what} event {event.get('name')!r} lacks an int span_id")
+    return span_id
+
+
+def _subtree_shifts(
+    events: List[Dict[str, Any]],
+    router_trace_id: str,
+    router_span_ts: Dict[int, float],
+) -> Dict[int, Tuple[float, Optional[int]]]:
+    """Per-span (ts shift, remote parent) for one shard's events.
+
+    Spans whose ``remote_trace_id``/``remote_parent`` args name a span
+    in the router ring root a *remote subtree*: the root is re-parented
+    under the router span and the root's shift (router parent ts minus
+    root ts) propagates to every descendant.  Spans outside any remote
+    subtree keep shift 0 and their local parentage.
+    """
+    children: Dict[int, List[int]] = {}
+    ts_of: Dict[int, float] = {}
+    for event in events:
+        args = event["args"]
+        span_id = _span_id(event, "shard")
+        ts_of[span_id] = float(event.get("ts", 0.0))
+        parent = args.get("parent_id", 0)
+        if isinstance(parent, int) and parent > 0:
+            children.setdefault(parent, []).append(span_id)
+
+    shifts: Dict[int, Tuple[float, Optional[int]]] = {}
+    for event in events:
+        args = event["args"]
+        remote_parent = args.get("remote_parent")
+        if (
+            args.get("remote_trace_id") != router_trace_id
+            or not isinstance(remote_parent, int)
+            or remote_parent not in router_span_ts
+        ):
+            continue
+        root_id = _span_id(event, "shard")
+        shift = router_span_ts[remote_parent] - ts_of[root_id]
+        shifts[root_id] = (shift, remote_parent)
+        stack = list(children.get(root_id, ()))
+        while stack:
+            span_id = stack.pop()
+            if span_id in shifts:
+                continue
+            shifts[span_id] = (shift, None)
+            stack.extend(children.get(span_id, ()))
+    return shifts
+
+
+def stitch_cluster_trace(
+    router_doc: Dict[str, Any],
+    shard_docs: Dict[str, Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Merge shard trace documents into the router's, one pid per process.
+
+    ``shard_docs`` maps shard id → that shard's ``GET /trace`` document.
+    Shards are merged in sorted shard-id order so the output is
+    deterministic for a deterministic input set.
+    """
+    _require_doc(router_doc, "router trace")
+    router_other = router_doc["otherData"]
+    trace_id = router_other["trace_id"]
+
+    events: List[Dict[str, Any]] = []
+    router_span_ts: Dict[int, float] = {}
+    for event in router_doc["traceEvents"]:
+        out = _copy_event(event, pid=1)
+        events.append(out)
+        if out.get("ph") == "X":
+            router_span_ts[_span_id(out, "router")] = float(out.get("ts", 0.0))
+
+    for index, shard_id in enumerate(sorted(shard_docs)):
+        doc = shard_docs[shard_id]
+        _require_doc(doc, f"shard {shard_id!r} trace")
+        pid = index + 2
+        offset = (index + 1) * SHARD_SPAN_STRIDE
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 1,
+                "args": {"name": f"repro:{shard_id}"},
+            }
+        )
+        shard_events = [
+            _copy_event(event, pid=pid)
+            for event in doc["traceEvents"]
+            if event.get("ph") != "M"
+        ]
+        shifts = _subtree_shifts(shard_events, trace_id, router_span_ts)
+        for out in shard_events:
+            args = out["args"]
+            span_id = _span_id(out, "shard")
+            shift, remote_parent = shifts.get(span_id, (0.0, None))
+            if shift:
+                out["ts"] = float(out.get("ts", 0.0)) + shift
+            args["span_id"] = span_id + offset
+            parent = args.get("parent_id", 0)
+            if remote_parent is not None:
+                # Cross-process link: parent under the *router's* span id.
+                args["parent_id"] = remote_parent
+            elif isinstance(parent, int) and parent > 0:
+                args["parent_id"] = parent + offset
+            events.append(out)
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "trace_id": trace_id,
+            "clock": router_other.get("clock", "wall"),
+            "stitched_shards": sorted(shard_docs),
+        },
+    }

@@ -44,6 +44,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
 
 from repro.obs.context import TRACE_ENV_VAR, TraceContext
+from repro.obs.stages import stage_of
 from repro.util.rng import derive_seed
 
 #: Sentinel distinguishing "no parent passed" from "explicitly parentless".
@@ -122,6 +123,7 @@ class Tracer:
         "_ring",
         "_sink",
         "started_total",
+        "stage_counts",
         "sample_every",
         "sampled_out_total",
         "_sample_phase",
@@ -151,6 +153,9 @@ class Tracer:
         #: Recorded spans started (ended or not) — the hook-count for
         #: overhead math; sampled-out begins do not count here.
         self.started_total = 0
+        #: Committed spans per attribution stage (repro.obs.stages);
+        #: surfaced as trace_stage_* counters on /metrics.
+        self.stage_counts: Dict[str, int] = {}
         #: Keep 1-in-N spans (1 = keep everything).
         self.sample_every = max(1, int(sample_every))
         #: Begins dropped by the sampler (export honesty counter).
@@ -170,6 +175,12 @@ class Tracer:
             return float(self._wall())
         self._steps += 1
         return float(self._steps)
+
+    @property
+    def clock(self) -> str:
+        """Wall-axis label for exports: ``"wall"`` when a monotonic
+        clock was injected, ``"step"`` for the deterministic fallback."""
+        return "wall" if self._wall is not None else "step"
 
     def begin(
         self,
@@ -273,6 +284,9 @@ class Tracer:
             self.end(s, cycles=cycles if cycles else None)
 
     def _commit(self, span: Span) -> None:
+        stage = stage_of(span.name)
+        if stage is not None:
+            self.stage_counts[stage] = self.stage_counts.get(stage, 0) + 1
         self._ring.append(span)
         if self._sink is not None:
             self._sink.write(span)

@@ -71,7 +71,7 @@ from repro.service.batcher import (
     Overloaded,
     WorkerCrashed,
 )
-from repro.obs.context import context_from_env
+from repro.obs.context import TraceContext, context_from_env
 from repro.obs.export import chrome_trace, render_chrome_json
 from repro.obs.trace import NULL_TRACER, Tracer, get_tracer
 from repro.service.cache import LRUTTLCache
@@ -124,6 +124,11 @@ class ServiceConfig:
     #: deterministic — seeded counter phase, not randomness — so the
     #: kept subset is identical across runs of one request sequence.
     trace_sample_every: int = 1
+    #: Use the tracer's deterministic step counter instead of the
+    #: injected wall clock for span timestamps.  Latency numbers become
+    #: meaningless; exports become byte-identical across runs — the
+    #: trade the cross-process stitching tests make.
+    trace_step_clock: bool = False
 
 
 class _BadRequest(Exception):
@@ -157,7 +162,7 @@ class MappingService:
         elif cfg.trace_ring > 0:
             self.tracer = Tracer(
                 trace_id="service",
-                wall_clock=clock,
+                wall_clock=None if cfg.trace_step_clock else clock,
                 capacity=cfg.trace_ring,
                 sample_every=cfg.trace_sample_every,
             )
@@ -166,6 +171,13 @@ class MappingService:
         #: Static context from REPRO_TRACE_CONTEXT, propagated to pool
         #: workers via an in-band batch header (fresh parent per batch).
         self._trace_child_ctx = context_from_env()
+        #: Canonical key → the first waiter's ``queue`` span id, alive
+        #: only while that waiter's submit is in flight.  The batcher
+        #: and ``_dispatch`` read it to parent ``batch.run`` /
+        #: ``solve.batch`` under the request that opened the batch, so
+        #: the solve path shows up inside one request's critical path
+        #: instead of as parentless background spans.
+        self._queue_parents: Dict[str, int] = {}
         self._body_cache: LRUTTLCache[bytes] = LRUTTLCache(
             cfg.cache_entries, cfg.cache_ttl, clock
         )
@@ -194,6 +206,7 @@ class MappingService:
             recover=self._recover_pool,
             requeue_limit=cfg.requeue_limit,
             tracer=self.tracer,
+            span_parents=self._queue_parents,
         )
         self._executor: Optional[Executor] = None
 
@@ -237,21 +250,33 @@ class MappingService:
 
     # -- request handling --------------------------------------------------------
 
-    async def handle_map(self, body: bytes) -> Response:
-        """Full pipeline for one ``POST /map`` body (traced when enabled)."""
+    async def handle_map(
+        self, body: bytes, trace_ctx: Optional[TraceContext] = None
+    ) -> Response:
+        """Full pipeline for one ``POST /map`` body (traced when enabled).
+
+        ``trace_ctx`` is an ``X-Repro-Trace`` header parsed by the HTTP
+        layer: the remote trace/parent ids are recorded as span args so
+        the router-side stitcher can re-parent this request span under
+        the forwarding span of the process that sent it.
+        """
         tracer = self.tracer
         if not tracer.enabled:
             return await self._handle_map(body)
+        args: Dict[str, Any] = {"bytes": len(body)}
+        if trace_ctx is not None:
+            args["remote_trace_id"] = trace_ctx.trace_id
+            args["remote_parent"] = trace_ctx.parent_span_id
         # nest=False: concurrent requests interleave on the loop, so a
         # shared nesting stack would mis-parent spans across requests.
         span = tracer.begin(
             "request:/map",
             cat="service.request",
-            args={"bytes": len(body)},
+            args=args,
             nest=False,
         )
         try:
-            status, headers, payload = await self._handle_map(body)
+            status, headers, payload = await self._handle_map(body, span.span_id)
         except BaseException:
             tracer.end(span, args={"error": True})
             raise
@@ -264,7 +289,7 @@ class MappingService:
         )
         return status, headers, payload
 
-    async def _handle_map(self, body: bytes) -> Response:
+    async def _handle_map(self, body: bytes, parent_id: int = 0) -> Response:
         """The untraced pipeline body behind :meth:`handle_map`."""
         self.metrics.mappings_total += 1
         body_key = hashlib.sha256(body).hexdigest()
@@ -277,16 +302,31 @@ class MappingService:
         except _BadRequest as exc:
             self.metrics.validation_errors_total += 1
             return 400, {}, _error_body(exc.kind, str(exc))
+        tracer = self.tracer
+        cspan = (
+            tracer.begin(
+                "canonicalize", cat="service.stage", parent=parent_id, nest=False
+            )
+            if tracer.enabled
+            else None
+        )
         canon, perm = canonical_form(matrix)
         key = canonical_key(canon, spec)
+        if cspan is not None:
+            tracer.end(cspan, args={"threads": matrix.shape[0]})
         # Retain the canonical matrix so later /map/delta requests can
         # reference this solve by key instead of re-sending the matrix.
         self._matrix_cache.put(key, (canon.tobytes(), matrix.shape[0], spec))
         assignment, cache_state, error = await self._solve_canonical(
-            key, canon, matrix.shape[0], spec
+            key, canon, matrix.shape[0], spec, parent_id
         )
         if error is not None:
             return error
+        rspan = (
+            tracer.begin("render", cat="service.stage", parent=parent_id, nest=False)
+            if tracer.enabled
+            else None
+        )
         mapping = unpermute(assignment, perm)
         quality = mapping_quality(matrix, mapping, topology)
         response = {
@@ -307,6 +347,8 @@ class MappingService:
         rendered = json.dumps(
             response, sort_keys=True, separators=_JSON_SEPARATORS
         ).encode("utf-8")
+        if rspan is not None:
+            tracer.end(rspan, args={"bytes": len(rendered)})
         # The miss observed before the solve's awaits is stale by now: a
         # concurrent request for the same body may have rendered and
         # cached already.  Re-check side-effect-free so the first writer
@@ -316,7 +358,12 @@ class MappingService:
         return 200, {"X-Repro-Cache": cache_state}, rendered
 
     async def _solve_canonical(
-        self, key: str, canon: np.ndarray, n: int, spec: worker.TopoSpec
+        self,
+        key: str,
+        canon: np.ndarray,
+        n: int,
+        spec: worker.TopoSpec,
+        parent_id: int = 0,
     ) -> Tuple[Optional[Tuple[int, ...]], str, Optional[Response]]:
         """Solve-cache / micro-batcher step shared by /map and /map/delta.
 
@@ -331,39 +378,68 @@ class MappingService:
             return assignment, "solve", None
         self.metrics.solve_cache_misses_total += 1
         payload = (canon.tobytes(), n, spec)
-        try:
-            assignment = await self._batcher.submit(key, payload)
-        except Overloaded as exc:
-            self.metrics.rejected_total += 1
-            headers = {"Retry-After": str(max(1, int(exc.retry_after)))}
-            return None, "miss", (429, headers, _error_body("Overloaded", str(exc)))
-        except CircuitOpen as exc:
-            self.metrics.shed_total += 1
-            headers = {"Retry-After": str(max(1, math.ceil(exc.retry_after)))}
-            return None, "miss", (503, headers, _error_body("CircuitOpen", str(exc)))
-        except (WorkerCrashed, DeadlineExceeded) as exc:
-            # Requeues exhausted: fail the request cleanly and
-            # retryably — the pool has already been rebuilt, so a
-            # client honoring Retry-After will succeed next attempt.
-            self.metrics.solve_failures_total += 1
-            return None, "miss", (
-                503, {"Retry-After": "1"}, _error_body("Unavailable", str(exc))
+        tracer = self.tracer
+        qspan = None
+        registered = False
+        if tracer.enabled:
+            # The queue span covers the whole batcher wait (window +
+            # dispatch); the first waiter for a key also lends its span
+            # as the parent for that batch's solve spans.
+            qspan = tracer.begin(
+                "queue", cat="service.stage", parent=parent_id, nest=False
             )
-        return assignment, "miss", None
+            if qspan.span_id > 0 and key not in self._queue_parents:
+                self._queue_parents[key] = qspan.span_id
+                registered = True
+        try:
+            try:
+                assignment = await self._batcher.submit(key, payload)
+            except Overloaded as exc:
+                self.metrics.rejected_total += 1
+                headers = {"Retry-After": str(max(1, int(exc.retry_after)))}
+                return None, "miss", (
+                    429, headers, _error_body("Overloaded", str(exc))
+                )
+            except CircuitOpen as exc:
+                self.metrics.shed_total += 1
+                headers = {"Retry-After": str(max(1, math.ceil(exc.retry_after)))}
+                return None, "miss", (
+                    503, headers, _error_body("CircuitOpen", str(exc))
+                )
+            except (WorkerCrashed, DeadlineExceeded) as exc:
+                # Requeues exhausted: fail the request cleanly and
+                # retryably — the pool has already been rebuilt, so a
+                # client honoring Retry-After will succeed next attempt.
+                self.metrics.solve_failures_total += 1
+                return None, "miss", (
+                    503, {"Retry-After": "1"}, _error_body("Unavailable", str(exc))
+                )
+            return assignment, "miss", None
+        finally:
+            if registered:
+                self._queue_parents.pop(key, None)  # repro-lint: ignore[RPL102] -- only the task that registered the key removes it (`registered` is task-local), so the entry cannot have been swapped across the await
+            if qspan is not None:
+                tracer.end(qspan)
 
-    async def handle_delta(self, body: bytes) -> Response:
+    async def handle_delta(
+        self, body: bytes, trace_ctx: Optional[TraceContext] = None
+    ) -> Response:
         """Full pipeline for one ``POST /map/delta`` body (traced)."""
         tracer = self.tracer
         if not tracer.enabled:
             return await self._handle_delta(body)
+        args: Dict[str, Any] = {"bytes": len(body)}
+        if trace_ctx is not None:
+            args["remote_trace_id"] = trace_ctx.trace_id
+            args["remote_parent"] = trace_ctx.parent_span_id
         span = tracer.begin(
             "request:/map/delta",
             cat="service.request",
-            args={"bytes": len(body)},
+            args=args,
             nest=False,
         )
         try:
-            status, headers, payload = await self._handle_delta(body)
+            status, headers, payload = await self._handle_delta(body, span.span_id)
         except BaseException:
             tracer.end(span, args={"error": True})
             raise
@@ -376,7 +452,7 @@ class MappingService:
         )
         return status, headers, payload
 
-    async def _handle_delta(self, body: bytes) -> Response:
+    async def _handle_delta(self, body: bytes, parent_id: int = 0) -> Response:
         """The untraced pipeline body behind :meth:`handle_delta`.
 
         1. exact-body cache (namespaced apart from /map bodies);
@@ -421,16 +497,26 @@ class MappingService:
             self.metrics.validation_errors_total += 1
             return 400, {}, _error_body(exc.kind, str(exc))
         drift = pattern_drift(window_cm, base_cm)
+        tracer = self.tracer
+        cspan = (
+            tracer.begin(
+                "canonicalize", cat="service.stage", parent=parent_id, nest=False
+            )
+            if tracer.enabled
+            else None
+        )
         # The updated matrix is retained under its own key either way,
         # so clients can chain deltas off this response's ``key``.
         canon2, perm2 = canonical_form(window_cm.matrix)
         key2 = canonical_key(canon2, spec)
+        if cspan is not None:
+            tracer.end(cspan, args={"threads": n})
         self._matrix_cache.put(key2, (canon2.tobytes(), n, spec))
         cache_state = "none"
         decision = policy.pre_gate(window_cm, 0, drift)
         if decision is None:
             assignment, cache_state, error = await self._solve_canonical(
-                key2, canon2, n, spec
+                key2, canon2, n, spec, parent_id
             )
             if error is not None:
                 return error
@@ -444,6 +530,11 @@ class MappingService:
         else:
             self.metrics.delta_holds_total += 1
             applied = list(current_mapping)
+        rspan = (
+            tracer.begin("render", cat="service.stage", parent=parent_id, nest=False)
+            if tracer.enabled
+            else None
+        )
         response = {
             "base_key": base_key,
             "key": key2,
@@ -460,6 +551,8 @@ class MappingService:
         rendered = json.dumps(
             response, sort_keys=True, separators=_JSON_SEPARATORS
         ).encode("utf-8")
+        if rspan is not None:
+            tracer.end(rspan, args={"bytes": len(rendered)})
         # Same stale-miss window as /map: only the first writer for this
         # body key populates the cache after the solve's awaits.
         if self._body_cache.peek(body_key) is None:
@@ -554,12 +647,22 @@ class MappingService:
         m.breaker_open_total = self.breaker.opened_total
         m.breaker_state = self.breaker.state_code
         m.faults_injected_total = get_injector().fired_total()
+        tracer = self.tracer
+        m.trace_spans_total = tracer.started_total
+        m.trace_sampled_out_total = tracer.sampled_out_total
+        stages = tracer.stage_counts
+        m.trace_stage_canonicalize_total = stages.get("canonicalize", 0)
+        m.trace_stage_queue_total = stages.get("queue", 0)
+        m.trace_stage_solve_total = stages.get("solve", 0)
+        m.trace_stage_render_total = stages.get("render", 0)
         return 200, {"Content-Type": "text/plain; charset=utf-8"}, m.render().encode("utf-8")
 
     def render_trace(self) -> Response:
         """``GET /trace``: Chrome-trace JSON of the span ring buffer."""
         doc = chrome_trace(
-            self.tracer.snapshot(), trace_id=self.tracer.trace_id, clock="wall"
+            self.tracer.snapshot(),
+            trace_id=self.tracer.trace_id,
+            clock=self.tracer.clock,
         )
         body = render_chrome_json(doc).encode("utf-8")
         return 200, {"Content-Type": "application/json; charset=utf-8"}, body
@@ -812,26 +915,37 @@ class MappingService:
         if executor is None:
             raise WorkerCrashed("executor closed while dispatching batch")
         tracer = self.tracer
-        span = (
-            tracer.begin(
+        span = None
+        if tracer.enabled:
+            parent = self._batch_parent(items)
+            kwargs: Dict[str, Any] = {"parent": parent} if parent else {}
+            span = tracer.begin(
                 "solve.batch",
                 cat="service.batch",
                 args={"items": len(items)},
                 nest=False,
+                **kwargs,
             )
-            if tracer.enabled
-            else None
-        )
         batch: List[worker.SolveItem] = [
             (key, payload[0], payload[1], payload[2]) for key, payload in items
         ]
+        header_ctx: Optional[TraceContext] = None
         if self._trace_child_ctx is not None:
             # In-band header: the environment already named the trace;
             # the header adds this batch's parent span for exact linkage.
-            ctx = self._trace_child_ctx
+            header_ctx = self._trace_child_ctx
             if span is not None:
-                ctx = replace(ctx, parent_span_id=span.span_id)
-            batch.insert(0, worker.trace_header(ctx))
+                header_ctx = replace(header_ctx, parent_span_id=span.span_id)
+        elif span is not None and span.span_id > 0 and get_tracer() is tracer:
+            # The service tracer is also the process-global one (a
+            # standalone `repro serve`): thread-executor workers share
+            # this process, so a bare header links their span under
+            # this batch with no environment setup at all.
+            header_ctx = TraceContext(
+                trace_id=tracer.trace_id, parent_span_id=span.span_id
+            )
+        if header_ctx is not None:
+            batch.insert(0, worker.trace_header(header_ctx))
         loop = asyncio.get_running_loop()
         try:
             results = await loop.run_in_executor(
@@ -851,6 +965,18 @@ class MappingService:
         if span is not None:
             tracer.end(span, args={"solved": len(out)})
         return out
+
+    def _batch_parent(self, items: List[Item]) -> int:
+        """Span id to parent a batch's solve spans under.
+
+        The first item whose key has a live ``queue`` span wins (see
+        ``_queue_parents``); 0 when no waiter in the batch is traced.
+        """
+        for key, _payload in items:
+            parent = self._queue_parents.get(key, 0)
+            if parent:
+                return parent
+        return 0
 
 
 def _error_body(kind: str, message: str) -> bytes:

@@ -169,10 +169,16 @@ class MicroBatcher:
         recover: Optional[Recover] = None,
         requeue_limit: int = 1,
         tracer: Optional[Tracer] = None,
+        span_parents: Optional[Dict[str, int]] = None,
     ):
         self._dispatch = dispatch
         #: Optional injected tracer; one span per batch run when enabled.
         self._tracer = tracer
+        #: Optional shared map of canonical key → requesting span id,
+        #: maintained by the owner while a submit is in flight.  When a
+        #: batch contains such a key, its ``batch.run`` span is parented
+        #: under that request's span instead of floating at the root.
+        self._span_parents = span_parents
         self.max_batch = max(1, max_batch)
         self.window = max(0.0, window)
         self.max_pending = max(1, max_pending)
@@ -255,8 +261,19 @@ class MicroBatcher:
         if tracer is None or not tracer.enabled:
             await self._run_batch_inner(items)
             return
+        parent = 0
+        if self._span_parents is not None:
+            for key, _payload in items:
+                parent = self._span_parents.get(key, 0)
+                if parent:
+                    break
+        kwargs: Dict[str, Any] = {"parent": parent} if parent else {}
         span = tracer.begin(
-            "batch.run", cat="service.batch", args={"items": len(items)}, nest=False
+            "batch.run",
+            cat="service.batch",
+            args={"items": len(items)},
+            nest=False,
+            **kwargs,
         )
         requeues_before = self.requeues
         try:

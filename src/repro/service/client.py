@@ -373,12 +373,21 @@ class AsyncMappingClient:
     # -- wire protocol -----------------------------------------------------------
 
     async def request(
-        self, method: str, path: str, body: bytes = b""
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, str], bytes]:
-        """One round trip; reconnects once if the kept-alive peer vanished."""
+        """One round trip; reconnects once if the kept-alive peer vanished.
+
+        ``headers`` adds extra request headers (the router uses it to
+        inject ``X-Repro-Trace`` on forwards); names and values must be
+        printable ASCII without CR/LF.
+        """
         await self.connect()
         try:
-            return await self._roundtrip(method, path, body)
+            return await self._roundtrip(method, path, body, headers)
         except (
             ConnectionResetError,
             BrokenPipeError,
@@ -386,10 +395,14 @@ class AsyncMappingClient:
         ):
             await self.close()
             await self.connect()
-            return await self._roundtrip(method, path, body)
+            return await self._roundtrip(method, path, body, headers)
 
     async def _roundtrip(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, str], bytes]:
         # Snapshot the stream pair: a concurrent close() may null the
         # attributes at any drain/readline suspension point, and a
@@ -398,11 +411,17 @@ class AsyncMappingClient:
         # rather than crash on a None attribute.
         reader, writer = self._reader, self._writer
         assert reader is not None and writer is not None
+        extra = ""
+        if extra_headers:
+            extra = "".join(
+                f"{name}: {value}\r\n" for name, value in extra_headers.items()
+            )
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"\r\n"
         ).encode("latin-1")
         writer.write(head + body)

@@ -30,6 +30,8 @@ from typing import Dict, Optional, Tuple
 
 from repro.faults.injector import InjectedReset, get_injector
 from repro.faults.plan import SITE_HTTP_RESPONSE
+from repro.obs.context import TraceContext
+from repro.obs.trace import activate_tracing
 from repro.service.app import MappingService, Response, ServiceConfig, _error_body
 
 _REASONS = {
@@ -175,6 +177,15 @@ class MappingServer:
                 started = self.service.clock()
                 try:
                     response = await self._route(request)
+                except _HttpError as exc:
+                    # Routing-level rejection (e.g. a malformed
+                    # X-Repro-Trace header): a typed 4xx, not a 500.
+                    self.service.metrics.http_errors_total += 1
+                    response = (
+                        exc.status,
+                        {},
+                        _error_body("BadRequest", str(exc)),
+                    )
                 except Exception as exc:  # noqa: BLE001 — must answer, not crash
                     self.service.metrics.http_errors_total += 1
                     response = (
@@ -261,19 +272,39 @@ class MappingServer:
         body = await reader.readexactly(length) if length else b""
         return _Request(method=method, path=path, headers=headers, body=body)
 
+    @staticmethod
+    def _trace_context(request: _Request) -> Optional[TraceContext]:
+        """Parse the ``X-Repro-Trace`` header; raise 400 on garbage.
+
+        A corrupted header must fail loudly at the boundary — a silently
+        dropped context would mis-parent a distributed trace in a way no
+        later check can detect.
+        """
+        raw = request.headers.get("x-repro-trace")
+        if raw is None:
+            return None
+        try:
+            return TraceContext.from_header(raw)
+        except ValueError as exc:
+            raise _HttpError(400, f"bad X-Repro-Trace header: {exc}") from exc
+
     async def _route(self, request: _Request) -> Response:
         if request.path == "/map":
             if request.method != "POST":
                 return 405, {"Allow": "POST"}, _error_body(
                     "MethodNotAllowed", "/map accepts POST only"
                 )
-            return await self.service.handle_map(request.body)
+            return await self.service.handle_map(
+                request.body, trace_ctx=self._trace_context(request)
+            )
         if request.path == "/map/delta":
             if request.method != "POST":
                 return 405, {"Allow": "POST"}, _error_body(
                     "MethodNotAllowed", "/map/delta accepts POST only"
                 )
-            return await self.service.handle_delta(request.body)
+            return await self.service.handle_delta(
+                request.body, trace_ctx=self._trace_context(request)
+            )
         if request.path == "/cache/push":
             if request.method != "POST":
                 return 405, {"Allow": "POST"}, _error_body(
@@ -323,6 +354,11 @@ class MappingServer:
 async def serve(config: Optional[ServiceConfig] = None) -> None:
     """Run a service until SIGTERM/SIGINT (the ``repro serve`` body)."""
     service = MappingService(config or ServiceConfig())
+    if service.tracer.enabled:
+        # Standalone process: the service tracer IS this process's
+        # tracer, so thread-executor worker spans (workers=0) land in
+        # the same ring the shard serves on GET /trace.
+        activate_tracing(service.tracer)
     server = MappingServer(service)
     host, port = await server.start()
     server.install_signal_handlers()

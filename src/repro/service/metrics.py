@@ -81,6 +81,16 @@ _ROWS: Tuple[Tuple[str, str], ...] = (
     # historical rows so the chaos harness's pinned prefix is unchanged.
     ("replication_applied_total", "counter"),
     ("replication_duplicate_total", "counter"),
+    # Tracing counters (PR 10): spans recorded, spans dropped by the
+    # deterministic sampler, and the per-stage breakdown used by the
+    # latency-attribution CLI.  Appended at the end so the pinned row
+    # prefix parsed by the chaos harness is unchanged.
+    ("trace_spans_total", "counter"),
+    ("trace_sampled_out_total", "counter"),
+    ("trace_stage_canonicalize_total", "counter"),
+    ("trace_stage_queue_total", "counter"),
+    ("trace_stage_solve_total", "counter"),
+    ("trace_stage_render_total", "counter"),
 )
 
 
@@ -117,6 +127,14 @@ class ServiceMetrics:
     replication_duplicate_total = _MetricAttr(
         "replication_duplicate_total", "counter"
     )
+    trace_spans_total = _MetricAttr("trace_spans_total", "counter")
+    trace_sampled_out_total = _MetricAttr("trace_sampled_out_total", "counter")
+    trace_stage_canonicalize_total = _MetricAttr(
+        "trace_stage_canonicalize_total", "counter"
+    )
+    trace_stage_queue_total = _MetricAttr("trace_stage_queue_total", "counter")
+    trace_stage_solve_total = _MetricAttr("trace_stage_solve_total", "counter")
+    trace_stage_render_total = _MetricAttr("trace_stage_render_total", "counter")
 
     def __init__(
         self,

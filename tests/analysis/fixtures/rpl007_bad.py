@@ -1,6 +1,6 @@
 """Fixture: RPL007 must flag wall-clock sources at obs call sites.
 
-Both violations are attribute *references*, not calls, so RPL002 (which
+All violations are attribute *references*, not calls, so RPL002 (which
 flags calls only) stays quiet and the snapshot isolates RPL007.
 """
 
@@ -15,3 +15,9 @@ def build_tracer(Tracer):
 def stamp(histogram):
     # A wall-clock reader handed to a metric observation site.
     histogram.observe(time.perf_counter)
+
+
+def route_latency(router_metrics):
+    # The cluster router's latency hook handed a wall-clock reader
+    # instead of an elapsed value computed from the injected clock.
+    router_metrics.observe_latency_ms(time.monotonic)

@@ -165,7 +165,7 @@ class TestRPL007:
     def test_flags_wall_clock_references_in_obs_modules(self):
         findings = lint_fixture("rpl007_bad.py", fixture_config(rpl007=RPL007))
         assert rule_ids(findings) == {"RPL007"}
-        assert len(findings) == 2
+        assert len(findings) == 3
         messages = " ".join(f.message for f in findings)
         assert "time.monotonic" in messages
         assert "time.perf_counter" in messages
@@ -175,10 +175,11 @@ class TestRPL007:
         # call-site arm is what fires here.
         findings = lint_fixture("rpl007_bad.py", fixture_config())
         assert rule_ids(findings) == {"RPL007"}
-        assert len(findings) == 2
+        assert len(findings) == 3
         messages = " ".join(f.message for f in findings)
         assert "'Tracer'" in messages
         assert "'observe'" in messages
+        assert "'observe_latency_ms'" in messages
 
     def test_references_not_calls_keep_rpl002_quiet(self):
         # The fixture's violations are attribute references; RPL002 only

@@ -1,0 +1,280 @@
+"""Regression ledger: envelopes, flattening, append, and the gate."""
+
+import json
+
+import pytest
+
+from repro.obs.ledger import (
+    append_entry,
+    flatten_metrics,
+    metric_direction,
+    read_history,
+    regress,
+    render_regress_report,
+    validate_bench_doc,
+)
+
+
+def bench(kind="service", **stats):
+    doc = {"schema": 1, "kind": kind, "host_cpus": 1, "routers": 0, "shards": 1}
+    doc.update(stats)
+    return doc
+
+
+class TestEnvelope:
+    def test_valid_doc_passes_through(self):
+        doc = bench(warm_p99_ms=1.5)
+        assert validate_bench_doc(doc) is doc
+
+    @pytest.mark.parametrize(
+        "mutate, match",
+        [
+            (lambda d: d.update(schema=2), "schema"),
+            (lambda d: d.update(schema=True), "schema"),
+            (lambda d: d.update(kind=""), "kind"),
+            (lambda d: d.update(host_cpus=0), "host_cpus"),
+            (lambda d: d.update(host_cpus=True), "host_cpus"),
+            (lambda d: d.update(routers=-1), "routers"),
+            (lambda d: d.update(shards="two"), "shards"),
+        ],
+    )
+    def test_rejects_broken_envelopes(self, mutate, match):
+        doc = bench()
+        mutate(doc)
+        with pytest.raises(ValueError, match=match):
+            validate_bench_doc(doc)
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="object"):
+            validate_bench_doc([1])
+
+
+class TestFlatten:
+    def test_nested_dicts_become_dotted_keys(self):
+        doc = bench(routed_stage_ms={"forward": 0.2, "route": 0.1})
+        assert flatten_metrics(doc) == {
+            "routed_stage_ms.forward": 0.2,
+            "routed_stage_ms.route": 0.1,
+        }
+
+    def test_envelope_bools_and_lists_skipped(self):
+        doc = bench(
+            splices=[{"x_ms": 1.0}],
+            strict=True,
+            warm_p50_ms=2.0,
+        )
+        assert flatten_metrics(doc) == {"warm_p50_ms": 2.0}
+
+
+class TestDirections:
+    @pytest.mark.parametrize(
+        "key, direction",
+        [
+            ("warm_p99_ms", "lower"),
+            ("trace_overhead_pct", "lower"),
+            ("routed_stage_ms.forward", None),  # dotted leaf decides
+            ("attribution_p50_stage_ms.solve", None),
+            ("warm_throughput_rps", "higher"),
+            ("cache_hit_rate", "higher"),
+            ("cache_speedup", "higher"),
+            ("adaptive_wins", "higher"),
+            ("cold_requests", None),
+        ],
+    )
+    def test_suffix_rules(self, key, direction):
+        assert metric_direction(key) == direction
+
+
+class TestAppendAndRead:
+    def test_seq_is_global_across_kinds(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        first = append_entry(path, bench("service", warm_p50_ms=1.0))
+        second = append_entry(path, bench("cluster", routed_p50_ms=2.0))
+        assert (first["seq"], second["seq"]) == (1, 2)
+        entries = read_history(path)
+        assert [e["kind"] for e in entries] == ["service", "cluster"]
+        assert entries[1]["metrics"] == {"routed_p50_ms": 2.0}
+
+    def test_invalid_doc_never_writes(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with pytest.raises(ValueError):
+            append_entry(path, {"kind": "service"})
+        assert not path.exists()
+
+    def test_missing_history_reads_empty(self, tmp_path):
+        assert read_history(tmp_path / "absent.jsonl") == []
+
+    def test_malformed_line_rejected_with_location(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        append_entry(path, bench())
+        path.write_text(path.read_text() + "{not json\n")
+        with pytest.raises(ValueError, match="ledger.jsonl:2"):
+            read_history(path)
+
+    def test_entries_are_compact_json_lines(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        append_entry(path, bench(warm_p50_ms=1.0))
+        line = path.read_text().splitlines()[0]
+        assert json.loads(line)["schema"] == 1
+        assert ": " not in line
+
+
+class TestRegress:
+    def _history(self, count=3, **metrics):
+        return [
+            {
+                "schema": 1,
+                "seq": i + 1,
+                "kind": "service",
+                "host_cpus": 1,
+                "routers": 0,
+                "shards": 1,
+                "metrics": dict(metrics),
+            }
+            for i in range(count)
+        ]
+
+    def test_no_baseline_is_ok_with_note(self):
+        report = regress([], bench(warm_p99_ms=1.0))
+        assert report["ok"] and "note" in report
+
+    def test_within_band_passes(self):
+        history = self._history(warm_p99_ms=10.0)
+        report = regress(history, bench(warm_p99_ms=14.0))  # +40% < 50%
+        assert report["ok"] and report["checked"] == 1
+
+    def test_seeded_latency_regression_fails(self):
+        history = self._history(warm_p99_ms=10.0)
+        report = regress(history, bench(warm_p99_ms=16.0))  # +60% > 50%
+        assert not report["ok"]
+        (reg,) = report["regressions"]
+        assert reg["metric"] == "warm_p99_ms"
+        assert reg["better_direction"] == "lower"
+        assert "REGRESSION warm_p99_ms" in render_regress_report(report)
+
+    def test_throughput_drop_fails(self):
+        history = self._history(warm_throughput_rps=1000.0)
+        report = regress(history, bench(warm_throughput_rps=400.0))  # -60%
+        assert not report["ok"]
+
+    def test_improvements_never_flag(self):
+        history = self._history(warm_p99_ms=10.0, warm_throughput_rps=100.0)
+        report = regress(
+            history, bench(warm_p99_ms=0.1, warm_throughput_rps=9000.0)
+        )
+        assert report["ok"] and report["checked"] == 2
+
+    def test_zero_baseline_skipped(self):
+        history = self._history(trace_overhead_pct=0.0)
+        report = regress(history, bench(trace_overhead_pct=80.0))
+        assert report["ok"] and report["checked"] == 0
+
+    def test_other_kinds_do_not_pollute_baseline(self):
+        history = self._history(warm_p99_ms=10.0)
+        for entry in history:
+            entry["kind"] = "cluster"
+        report = regress(history, bench(warm_p99_ms=99.0))
+        assert report["ok"] and "note" in report
+
+    def test_window_limits_baseline(self):
+        history = self._history(count=6, warm_p99_ms=100.0)
+        history[-1]["metrics"]["warm_p99_ms"] = 10.0
+        report = regress(history, bench(warm_p99_ms=14.0), window=1)
+        assert report["ok"]  # only the newest entry forms the baseline
+        report = regress(history, bench(warm_p99_ms=16.0), window=1)
+        assert not report["ok"]
+
+    def test_per_metric_tolerance_override(self):
+        history = self._history(warm_p99_ms=10.0)
+        report = regress(
+            history,
+            bench(warm_p99_ms=11.5),
+            tolerances={"warm_p99_ms": 0.1},
+        )
+        assert not report["ok"]
+
+    def test_ungated_metrics_are_tracked_but_never_flag(self):
+        history = self._history(cold_requests=64)
+        report = regress(history, bench(cold_requests=1))
+        assert report["ok"] and report["checked"] == 0
+
+
+class TestCli:
+    def test_append_then_regress_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        history = tmp_path / "BENCH_HISTORY.jsonl"
+        candidate = tmp_path / "BENCH_service.json"
+        candidate.write_text(json.dumps(bench(warm_p99_ms=10.0)))
+        assert main(
+            ["obs", "append", str(candidate), "--history", str(history)]
+        ) == 0
+        assert "seq 1" in capsys.readouterr().out
+        assert main(
+            [
+                "obs",
+                "regress",
+                "--history",
+                str(history),
+                "--candidate",
+                str(candidate),
+            ]
+        ) == 0
+        assert "result: ok" in capsys.readouterr().out
+
+    def test_regress_exits_nonzero_on_seeded_regression(self, tmp_path, capsys):
+        from repro.cli import main
+
+        history = tmp_path / "BENCH_HISTORY.jsonl"
+        append_entry(history, bench(warm_p99_ms=10.0))
+        candidate = tmp_path / "BENCH_service.json"
+        candidate.write_text(json.dumps(bench(warm_p99_ms=30.0)))
+        assert main(
+            [
+                "obs",
+                "regress",
+                "--history",
+                str(history),
+                "--candidate",
+                str(candidate),
+            ]
+        ) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_attribution_renders_stage_table(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = tmp_path / "trace.json"
+        trace.write_text(
+            json.dumps(
+                {
+                    "traceEvents": [
+                        {
+                            "name": "process_name",
+                            "ph": "M",
+                            "pid": 1,
+                            "tid": 1,
+                            "args": {"name": "repro:t"},
+                        },
+                        {
+                            "name": "request:/map",
+                            "ph": "X",
+                            "pid": 1,
+                            "tid": 1,
+                            "ts": 0.0,
+                            "dur": 1.0,
+                            "cat": "t",
+                            "args": {"span_id": 1, "parent_id": 0},
+                        },
+                    ],
+                    "displayTimeUnit": "ms",
+                    "otherData": {"trace_id": "t", "clock": "wall"},
+                }
+            )
+        )
+        assert main(["obs", "attribution", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "requests: 1" in out and "total" in out
+        assert main(["obs", "attribution", str(trace), "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["p50"]["total_ms"] == 1000.0

@@ -1,0 +1,179 @@
+"""Cross-process trace stitching: pids, id rebasing, remote re-parenting."""
+
+import pytest
+
+from repro.obs.export import render_chrome_json
+from repro.obs.stitch import SHARD_SPAN_STRIDE, stitch_cluster_trace
+
+
+def span(name, span_id, parent=0, ts=0.0, dur=1.0, pid=1, **extra):
+    return {
+        "name": name,
+        "ph": "X",
+        "pid": pid,
+        "tid": 1,
+        "ts": ts,
+        "dur": dur,
+        "cat": "t",
+        "args": {"span_id": span_id, "parent_id": parent, **extra},
+    }
+
+
+def doc(trace_id, events, clock="step"):
+    meta = {
+        "name": "process_name",
+        "ph": "M",
+        "pid": 1,
+        "tid": 1,
+        "args": {"name": f"repro:{trace_id}"},
+    }
+    return {
+        "traceEvents": [meta] + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": trace_id, "clock": clock},
+    }
+
+
+def router_doc():
+    return doc(
+        "router",
+        [
+            span("route", 1, ts=0.0, dur=10.0),
+            span("forward", 2, parent=1, ts=2.0, dur=6.0),
+        ],
+    )
+
+
+def shard_doc(trace_id="router", remote_parent=2):
+    return doc(
+        "shard-a",
+        [
+            span(
+                "request:/map",
+                1,
+                ts=100.0,
+                dur=5.0,
+                remote_trace_id=trace_id,
+                remote_parent=remote_parent,
+            ),
+            span("canonicalize", 2, parent=1, ts=101.0, dur=1.0),
+        ],
+    )
+
+
+def by_name(merged):
+    out = {}
+    for event in merged["traceEvents"]:
+        if event["ph"] == "X":
+            out.setdefault(event["name"], []).append(event)
+    return out
+
+
+class TestPidsAndIds:
+    def test_router_keeps_pid_1_shards_get_sorted_pids(self):
+        merged = stitch_cluster_trace(
+            router_doc(),
+            {"shard-1": shard_doc(), "shard-0": shard_doc()},
+        )
+        pids = {
+            e["args"]["name"]: e["pid"]
+            for e in merged["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert pids["repro:router"] == 1
+        assert pids["repro:shard-0"] == 2
+        assert pids["repro:shard-1"] == 3
+
+    def test_shard_span_ids_offset_by_stride(self):
+        merged = stitch_cluster_trace(router_doc(), {"s": shard_doc()})
+        names = by_name(merged)
+        request = names["request:/map"][0]
+        canon = names["canonicalize"][0]
+        assert request["args"]["span_id"] == 1 + SHARD_SPAN_STRIDE
+        assert canon["args"]["span_id"] == 2 + SHARD_SPAN_STRIDE
+        # Local parentage rebased with the same offset.
+        assert canon["args"]["parent_id"] == 1 + SHARD_SPAN_STRIDE
+
+    def test_router_span_ids_unchanged(self):
+        merged = stitch_cluster_trace(router_doc(), {"s": shard_doc()})
+        route = by_name(merged)["route"][0]
+        assert route["args"]["span_id"] == 1
+        assert route["pid"] == 1
+
+
+class TestRemoteReparenting:
+    def test_remote_root_parents_under_unoffset_router_span(self):
+        merged = stitch_cluster_trace(router_doc(), {"s": shard_doc()})
+        request = by_name(merged)["request:/map"][0]
+        assert request["args"]["parent_id"] == 2  # the forward span, unoffset
+
+    def test_subtree_shifted_to_forward_span_start(self):
+        merged = stitch_cluster_trace(router_doc(), {"s": shard_doc()})
+        names = by_name(merged)
+        request = names["request:/map"][0]
+        canon = names["canonicalize"][0]
+        # Root rebased onto the forward span's ts; the child keeps its
+        # +1.0 offset relative to the root.
+        assert request["ts"] == 2.0
+        assert canon["ts"] == 3.0
+
+    def test_foreign_trace_id_left_alone(self):
+        merged = stitch_cluster_trace(
+            router_doc(), {"s": shard_doc(trace_id="someone-else")}
+        )
+        request = by_name(merged)["request:/map"][0]
+        assert request["args"]["parent_id"] == 0
+        assert request["ts"] == 100.0
+
+    def test_unknown_remote_parent_left_alone(self):
+        merged = stitch_cluster_trace(
+            router_doc(), {"s": shard_doc(remote_parent=999)}
+        )
+        request = by_name(merged)["request:/map"][0]
+        assert request["args"]["parent_id"] == 0
+
+
+class TestEnvelopeAndDeterminism:
+    def test_other_data(self):
+        merged = stitch_cluster_trace(
+            router_doc(), {"b": shard_doc(), "a": shard_doc()}
+        )
+        assert merged["otherData"] == {
+            "trace_id": "router",
+            "clock": "step",
+            "stitched_shards": ["a", "b"],
+        }
+
+    def test_merge_deterministic_across_insertion_order(self):
+        one = stitch_cluster_trace(
+            router_doc(), {"a": shard_doc(), "b": shard_doc()}
+        )
+        two = stitch_cluster_trace(
+            router_doc(), {"b": shard_doc(), "a": shard_doc()}
+        )
+        assert render_chrome_json(one) == render_chrome_json(two)
+
+    def test_inputs_not_mutated(self):
+        router = router_doc()
+        shard = shard_doc()
+        stitch_cluster_trace(router, {"s": shard})
+        assert shard["traceEvents"][1]["args"]["span_id"] == 1
+        assert router["traceEvents"][1]["pid"] == 1
+
+
+class TestMalformedInput:
+    def test_router_doc_without_trace_id_rejected(self):
+        bad = router_doc()
+        del bad["otherData"]["trace_id"]
+        with pytest.raises(ValueError, match="trace_id"):
+            stitch_cluster_trace(bad, {})
+
+    def test_shard_doc_without_events_rejected(self):
+        with pytest.raises(ValueError, match="shard"):
+            stitch_cluster_trace(router_doc(), {"s": {"otherData": {}}})
+
+    def test_shard_span_without_span_id_rejected(self):
+        shard = shard_doc()
+        del shard["traceEvents"][1]["args"]["span_id"]
+        with pytest.raises(ValueError, match="span_id"):
+            stitch_cluster_trace(router_doc(), {"s": shard})

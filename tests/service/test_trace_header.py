@@ -1,0 +1,128 @@
+"""The ``X-Repro-Trace`` boundary: strict parsing, remote-parent args."""
+
+import asyncio
+import json
+from contextlib import asynccontextmanager
+
+from repro.obs.context import TRACE_HEADER, TraceContext
+from repro.service.app import MappingService, ServiceConfig
+from repro.service.client import AsyncMappingClient
+from repro.service.http import MappingServer
+
+PAIR8 = [
+    [0.0 if i == j else (100.0 if i // 2 == j // 2 else 1.0) for j in range(8)]
+    for i in range(8)
+]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def body_for(matrix):
+    return json.dumps({"matrix": matrix}, sort_keys=True).encode("utf-8")
+
+
+@asynccontextmanager
+async def serving(**config_overrides):
+    cfg = ServiceConfig(
+        port=0, workers=0, trace_step_clock=True, **config_overrides
+    )
+    service = MappingService(cfg)
+    server = MappingServer(service)
+    host, port = await server.start()
+    try:
+        yield service, host, port
+    finally:
+        server.request_shutdown()
+        await server.serve_until_shutdown()
+
+
+def request_root(service, name="request:/map"):
+    _, _, raw = service.render_trace()
+    doc = json.loads(raw.decode("utf-8"))
+    return [e for e in doc["traceEvents"] if e.get("name") == name]
+
+
+class TestTraceHeader:
+    def test_header_parents_the_request_root(self):
+        async def scenario():
+            async with serving() as (service, host, port):
+                ctx = TraceContext(trace_id="router", parent_span_id=7)
+                async with AsyncMappingClient(host, port) as client:
+                    status, _, _ = await client.request(
+                        "POST",
+                        "/map",
+                        body_for(PAIR8),
+                        headers={TRACE_HEADER: ctx.to_header()},
+                    )
+                assert status == 200
+                (root,) = request_root(service)
+                assert root["args"]["remote_trace_id"] == "router"
+                assert root["args"]["remote_parent"] == 7
+
+        run(scenario())
+
+    def test_absent_header_leaves_no_remote_args(self):
+        async def scenario():
+            async with serving() as (service, host, port):
+                async with AsyncMappingClient(host, port) as client:
+                    status, _, _ = await client.request(
+                        "POST", "/map", body_for(PAIR8)
+                    )
+                assert status == 200
+                (root,) = request_root(service)
+                assert "remote_trace_id" not in root["args"]
+                assert "remote_parent" not in root["args"]
+
+        run(scenario())
+
+    def test_malformed_header_is_a_400_not_a_misparented_trace(self):
+        async def scenario():
+            async with serving() as (service, host, port):
+                async with AsyncMappingClient(host, port) as client:
+                    status, _, raw = await client.request(
+                        "POST",
+                        "/map",
+                        body_for(PAIR8),
+                        headers={TRACE_HEADER: "{not json"},
+                    )
+                assert status == 400
+                payload = json.loads(raw.decode("utf-8"))
+                assert payload["error"]["type"] == "BadRequest"
+                assert "X-Repro-Trace" in payload["error"]["message"]
+                # The rejected request never became a trace root.
+                assert request_root(service) == []
+
+        run(scenario())
+
+    def test_delta_requests_carry_the_header_too(self):
+        async def scenario():
+            async with serving() as (service, host, port):
+                async with AsyncMappingClient(host, port) as client:
+                    status, _, raw = await client.request(
+                        "POST", "/map", body_for(PAIR8)
+                    )
+                    assert status == 200
+                    payload = json.loads(raw.decode("utf-8"))
+                    delta_body = json.dumps(
+                        {
+                            "base_key": payload["key"],
+                            "perm": payload["perm"],
+                            "updates": [[0, 5, 250.0]],
+                            "current_mapping": payload["mapping"],
+                        },
+                        sort_keys=True,
+                    ).encode("utf-8")
+                    ctx = TraceContext(trace_id="router", parent_span_id=42)
+                    status, _, _ = await client.request(
+                        "POST",
+                        "/map/delta",
+                        delta_body,
+                        headers={TRACE_HEADER: ctx.to_header()},
+                    )
+                assert status == 200
+                (root,) = request_root(service, name="request:/map/delta")
+                assert root["args"]["remote_parent"] == 42
+
+        run(scenario())
